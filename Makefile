@@ -1,0 +1,34 @@
+# Common targets for the dynamic-voting reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench tables sweep validate examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Paper-scale regeneration of Tables 2 and 3 (minutes, not seconds).
+tables:
+	REPRO_SIM_DAYS=200000 $(PYTHON) -m repro study
+
+sweep:
+	$(PYTHON) -m repro sweep --config F
+
+validate:
+	$(PYTHON) -m repro validate
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

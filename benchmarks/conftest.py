@@ -1,0 +1,40 @@
+"""Shared infrastructure for the benchmark/reproduction harness.
+
+Every table- or figure-level benchmark both *times* its workload (via
+pytest-benchmark) and *prints/saves* the regenerated artefact: run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the tables inline; every artefact is also written to
+``results/<name>.txt``.  Set ``REPRO_SIM_DAYS`` to lengthen the
+simulated horizon (the default keeps the whole harness under a few
+minutes; the paper-scale run uses 200000+).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artefact_sink():
+    """Writes named artefacts to results/ and echoes them to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return sink
+
+
+@pytest.fixture(scope="session")
+def study_cache():
+    """Shared (config, policy) -> CellResult cells across benchmarks, so
+    Table 3 reuses the simulation Table 2 already timed."""
+    return {}

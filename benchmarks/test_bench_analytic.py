@@ -1,0 +1,81 @@
+"""Analytic vs simulated availability (the PaBu86-style analysis).
+
+The paper cites Pâris & Burkhard's Markov-chain result for "DV performed
+worse than MCV for three copies".  This benchmark rebuilds those chains
+for identical sites on one segment, races them against the discrete-
+event simulator, and prints the agreement — two independent derivations
+of every protocol's availability, landing on the same numbers.
+"""
+
+from repro.analysis.dynamic_chain import (
+    dv_availability,
+    ldv_availability,
+    mcv_availability,
+)
+from repro.experiments.evaluator import evaluate_policy
+from repro.experiments.report import ascii_table
+from repro.experiments.runner import StudyParameters, default_horizon
+from repro.failures.models import SiteProfile
+from repro.failures.trace import generate_trace
+from repro.net.topology import single_segment
+
+MTTF, MTTR = 30.0, 2.0
+
+
+def _profiles(n):
+    return [
+        SiteProfile(
+            site_id=i, name=f"s{i}", mttf_days=MTTF,
+            hardware_fraction=1.0, restart_minutes=0.0,
+            repair_constant_hours=0.0,
+            repair_exponential_hours=MTTR * 24.0,
+        )
+        for i in range(1, n + 1)
+    ]
+
+
+def test_bench_analytic_vs_simulated(benchmark, artefact_sink):
+    horizon = default_horizon(60_000.0)
+
+    def run():
+        rows = []
+        for n in (2, 3, 4, 5):
+            trace = generate_trace(_profiles(n), horizon, seed=606)
+            topo = single_segment(n)
+            copies = frozenset(range(1, n + 1))
+
+            def sim(policy):
+                return evaluate_policy(
+                    policy, topo, copies, trace, warmup=0.0, batches=1
+                ).availability
+
+            rows.append([
+                n,
+                mcv_availability(n, MTTF, MTTR), sim("MCV"),
+                dv_availability(n, MTTF, MTTR), sim("DV"),
+                ldv_availability(n, MTTF, MTTR), sim("LDV"),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    artefact_sink(
+        "analytic_vs_simulated",
+        "Identical sites (MTTF 30 d, MTTR 2 d), one segment: Markov "
+        "chains vs simulator\n"
+        + ascii_table(
+            ["copies", "MCV chain", "MCV sim", "DV chain", "DV sim",
+             "LDV chain", "LDV sim"],
+            rows,
+        )
+        + "\nAt three copies the chains reproduce the paper's cited "
+        "PaBu86 ordering:\nDV < MCV < LDV; from four copies up DV overtakes "
+        "the static quorum.",
+    )
+
+    for row in rows:
+        n, mcv_c, mcv_s, dv_c, dv_s, ldv_c, ldv_s = row
+        assert abs(mcv_c - mcv_s) < 0.01, n
+        assert abs(dv_c - dv_s) < 0.01, n
+        assert abs(ldv_c - ldv_s) < 0.01, n
+    three = rows[1]
+    assert three[3] < three[1] < three[5]   # DV < MCV < LDV at n = 3

@@ -1,0 +1,63 @@
+"""Message-overhead benchmark (experiment X2): the efficiency claim.
+
+"Optimistic Dynamic Voting and Optimistic Topological Dynamic Voting
+require much less message traffic than their non-optimistic counterparts
+while achieving comparable, and in some case better, data availabilities."
+
+Replays one shared failure history through the message-level engine for
+each policy, with one access per day, and reports the message bill.
+"""
+
+from repro.core.registry import PAPER_POLICIES
+from repro.experiments.evaluator import poisson_times
+from repro.experiments.overhead import measure_overhead
+from repro.experiments.report import ascii_table
+from repro.experiments.testbed import testbed_topology
+from repro.failures.profiles import testbed_profiles
+from repro.failures.trace import generate_trace
+
+COPIES = frozenset({1, 2, 4, 6})  # configuration F
+DAYS = 730.0
+
+
+def test_bench_message_overhead(benchmark, artefact_sink):
+    topology = testbed_topology()
+    trace = generate_trace(testbed_profiles(), DAYS, seed=1988)
+    access_times = poisson_times(1.0, DAYS, seed=1988)
+
+    def run():
+        return {
+            policy: measure_overhead(policy, topology, COPIES, trace,
+                                     access_times)
+            for policy in PAPER_POLICIES
+        }
+
+    bills = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [policy, r.counters.state_requests, r.counters.state_replies,
+         r.counters.commits, r.counters.data_transfers,
+         r.counters.total_messages, round(r.messages_per_day, 2),
+         r.accesses_denied]
+        for policy, r in bills.items()
+    ]
+    artefact_sink(
+        "x2_message_overhead",
+        "Message overhead, configuration F, two simulated years, "
+        "one access/day\n"
+        + ascii_table(
+            ["policy", "requests", "replies", "commits", "data", "total",
+             "msgs/day", "denied"],
+            rows,
+        ),
+    )
+
+    # The claims: ODV costs strictly less than every eager dynamic
+    # protocol and polls about as rarely as MCV.
+    assert bills["ODV"].counters.total_messages < bills["LDV"].counters.total_messages
+    assert bills["OTDV"].counters.total_messages < bills["TDV"].counters.total_messages
+    assert (
+        abs(bills["ODV"].counters.state_requests
+            - bills["MCV"].counters.state_requests)
+        <= 0.02 * bills["MCV"].counters.state_requests
+    )

@@ -1,0 +1,114 @@
+"""Microbenchmarks of the substrates (true timing benchmarks with
+statistics, unlike the table-level pedantic runs): event kernel, the
+partition oracle, quorum evaluation and trace generation.  These guard
+against performance regressions that would make the paper-scale study
+impractical."""
+
+import random
+
+from repro.core.registry import make_protocol
+from repro.experiments.testbed import testbed_topology
+from repro.failures.profiles import testbed_profiles
+from repro.failures.trace import generate_trace
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+from repro.sim.kernel import Simulation
+
+
+def test_bench_kernel_event_throughput(benchmark):
+    """Schedule-and-run 10k self-rescheduling events."""
+
+    def run():
+        sim = Simulation()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_bench_partition_oracle(benchmark):
+    """Block computation over 1000 random up-sets of the testbed."""
+    topology = testbed_topology()
+    rng = random.Random(3)
+    ups = [
+        frozenset(s for s in range(1, 9) if rng.random() < 0.8)
+        for _ in range(1000)
+    ]
+
+    def run():
+        total = 0
+        for up in ups:
+            total += len(topology.blocks(up))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_bench_quorum_evaluation(benchmark):
+    """The availability probe on the hot path of the simulator."""
+    topology = testbed_topology()
+    protocol = make_protocol("OTDV", ReplicaSet({1, 2, 4, 6}))
+    rng = random.Random(5)
+    views = [
+        topology.view(frozenset(s for s in range(1, 9)
+                                if rng.random() < 0.8))
+        for _ in range(500)
+    ]
+
+    def run():
+        return sum(1 for view in views if protocol.is_available(view))
+
+    benchmark(run)
+
+
+def test_bench_synchronize_fixpoint(benchmark):
+    """Eager state maintenance across alternating fail/repair views."""
+    topology = single_segment(6)
+    views = [
+        topology.view(frozenset(range(1, 7)) - {k % 6 + 1})
+        for k in range(50)
+    ]
+
+    def run():
+        protocol = make_protocol("LDV", ReplicaSet({1, 2, 3, 4, 5, 6}))
+        for view in views:
+            protocol.synchronize(view)
+        return protocol.replicas.max_operation(protocol.copy_sites)
+
+    assert benchmark(run) > 1
+
+
+def test_bench_trace_generation(benchmark):
+    """A decade of the eight-site testbed's failure history."""
+
+    def run():
+        return len(generate_trace(testbed_profiles(), 3650.0, seed=1))
+
+    assert benchmark(run) > 100
+
+
+def test_bench_evaluator_throughput(benchmark):
+    """End-to-end cell evaluation: the unit of work behind every table
+    (a decade of trace replayed against one eager policy)."""
+    from repro.experiments.evaluator import evaluate_policy
+
+    topology = testbed_topology()
+    trace = generate_trace(testbed_profiles(), 3650.0, seed=2)
+
+    def run():
+        result = evaluate_policy(
+            "LDV", topology, frozenset({1, 2, 4, 6}), trace,
+            warmup=360.0, batches=5,
+        )
+        return result.synchronizations
+
+    assert benchmark(run) > 100

@@ -1,0 +1,35 @@
+"""Table 2 — replicated file unavailabilities (DESIGN.md experiment T2).
+
+Times the full availability study (one shared failure trace, eight
+configurations, six policies) and prints the regenerated table next to
+the published one.  Absolute values differ (different random streams,
+shorter default horizon); the shape assertions live in
+``tests/integration/test_shape.py``.
+"""
+
+from repro.experiments.runner import StudyParameters, default_horizon, run_study
+from repro.experiments.tables import PAPER_TABLE_2, format_comparison
+
+
+def test_bench_table2(benchmark, artefact_sink, study_cache):
+    params = StudyParameters(
+        horizon=default_horizon(20_000.0), warmup=360.0, batches=20,
+        seed=1988,
+    )
+
+    def run():
+        return run_study(params)
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    study_cache.update(cells)
+    artefact_sink(
+        "table2_unavailability",
+        format_comparison(
+            cells, PAPER_TABLE_2,
+            "Table 2: Replicated File Unavailabilities (paper vs ours, "
+            f"{params.horizon:.0f} simulated days, seed {params.seed})",
+        ),
+    )
+    # Sanity anchors for the headline shape (loose; details in tests/).
+    assert cells[("F", "DV")].unavailability > 0.05
+    assert cells[("E", "TDV")].unavailability == 0.0

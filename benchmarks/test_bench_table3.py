@@ -1,0 +1,56 @@
+"""Table 3 — mean duration of unavailable periods (experiment T3).
+
+Reuses the simulation cells produced by the Table 2 benchmark when it
+ran in the same session (both tables come from one simulation, exactly
+as in the paper); otherwise runs the study itself.  The timed kernel is
+the duration aggregation + rendering.
+"""
+
+from repro.experiments.runner import StudyParameters, default_horizon, run_study
+from repro.experiments.tables import PAPER_TABLE_3, format_comparison
+
+
+def test_bench_table3(benchmark, artefact_sink, study_cache):
+    params = StudyParameters(
+        horizon=default_horizon(20_000.0), warmup=360.0, batches=20,
+        seed=1988,
+    )
+    if not study_cache:
+        study_cache.update(run_study(params))
+
+    def render():
+        return format_comparison(
+            study_cache, PAPER_TABLE_3,
+            "Table 3: Mean Duration of Unavailable Periods, days "
+            f"(paper vs ours, {params.horizon:.0f} simulated days)",
+            use_durations=True,
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+
+    # Beyond the paper: tail durations (p95), since means hide the
+    # difference between many reboots and one week-long repair.
+    from repro.experiments.report import ascii_table
+
+    config_keys = sorted({key for key, _ in study_cache})
+    policies = ("MCV", "DV", "LDV", "ODV", "TDV", "OTDV")
+    rows = []
+    for key in config_keys:
+        row = [study_cache[(key, policies[0])].configuration.label]
+        for policy in policies:
+            cell = study_cache[(key, policy)]
+            if cell.result.down_periods == 0:
+                row.append("-")
+            else:
+                row.append(f"{cell.result.down_duration_quantile(0.95):.4f}")
+        rows.append(row)
+    tail_table = ascii_table(["config", *policies], rows)
+    artefact_sink(
+        "table3_mean_down_durations",
+        text + "\n\np95 outage durations, days (ours; not in the paper):\n"
+        + tail_table,
+    )
+
+    # Configuration D's outages are days long for every policy.
+    for policy in policies:
+        assert study_cache[("D", policy)].mean_down_duration > 1.0

@@ -1,0 +1,73 @@
+"""Weight-assignment ablation (experiment X4) — the paper's other future
+work item: "...and to analyze weight assignments."
+
+Static voting on configuration H (two pairs split by gateway 5).  A
+plain 1-1-1-1 assignment loses the file whenever the gateway splits the
+pairs; weighting the reliable main-segment pair keeps the majority on
+one side of the partition point.
+"""
+
+import functools
+
+from repro.core.weighted import WeightedMajorityVoting
+from repro.experiments.evaluator import evaluate_policy, poisson_times
+from repro.experiments.report import ascii_table
+from repro.experiments.runner import StudyParameters, default_horizon
+from repro.experiments.testbed import testbed_topology
+from repro.failures.profiles import testbed_profiles
+from repro.failures.trace import generate_trace
+
+COPIES = frozenset({1, 2, 7, 8})  # configuration H
+
+ASSIGNMENTS = {
+    "1-1-1-1 (plain, no tie-break)": {1: 1, 2: 1, 7: 1, 8: 1},
+    "2-1-1-1 (favour csvax)": {1: 2, 2: 1, 7: 1, 8: 1},
+    "2-2-1-1 (favour alpha pair)": {1: 2, 2: 2, 7: 1, 8: 1},
+    "1-1-2-2 (favour gamma pair)": {1: 1, 2: 1, 7: 2, 8: 2},
+    "3-1-1-1 (csvax dictator-ish)": {1: 3, 2: 1, 7: 1, 8: 1},
+}
+
+
+def test_bench_weight_assignments(benchmark, artefact_sink):
+    params = StudyParameters(
+        horizon=default_horizon(15_000.0), warmup=360.0, batches=5,
+        seed=1988,
+    )
+    topology = testbed_topology()
+    trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    access = poisson_times(1.0, trace.horizon, params.seed)
+
+    def run():
+        results = {}
+        for label, weights in ASSIGNMENTS.items():
+            factory = functools.partial(
+                WeightedMajorityVoting, weights=weights
+            )
+            results[label] = evaluate_policy(
+                factory, topology, COPIES, trace,
+                warmup=params.warmup, batches=params.batches,
+                access_times=access,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [label, r.unavailability, r.mean_down_duration]
+        for label, r in results.items()
+    ]
+    artefact_sink(
+        "x4_weight_assignments",
+        "Weight assignments, configuration H (copies 1, 2 | 7, 8 split "
+        "by gateway 5)\n"
+        + ascii_table(["assignment", "unavailability", "mean down (d)"],
+                      rows),
+    )
+
+    plain = results["1-1-1-1 (plain, no tie-break)"].unavailability
+    alpha = results["2-2-1-1 (favour alpha pair)"].unavailability
+    gamma = results["1-1-2-2 (favour gamma pair)"].unavailability
+    # Weighting the reliable pair on the main segment beats both the
+    # unweighted split and weighting the gateway-shadowed pair.
+    assert alpha < plain
+    assert alpha < gamma

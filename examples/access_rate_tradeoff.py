@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""How often must an optimistic protocol be exercised?
+
+ODV updates quorum state only when the file is accessed.  At very low
+access rates it behaves like MCV (quorums never adapt); at very high
+rates it converges to LDV (quorums effectively instantaneous).  In
+between lies the paper's configuration-F sweet spot, where *ignoring*
+transient failures beats reacting to them.
+
+This example sweeps the access rate on configurations A and F and prints
+the resulting unavailability curves against the eager baselines.
+
+Run:  python examples/access_rate_tradeoff.py [days]
+"""
+
+import sys
+
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.report import ascii_table
+from repro.experiments.runner import StudyParameters
+from repro.experiments.sweep import access_rate_sweep
+
+RATES = [0.05, 0.2, 1.0, 5.0, 20.0]
+
+
+def sweep_config(key: str, params: StudyParameters) -> None:
+    config = CONFIGURATIONS[key]
+    print(f"\nConfiguration {config.label} — {config.description}")
+
+    points = access_rate_sweep(
+        config, RATES, policies=("ODV", "OTDV"), params=params
+    )
+    reference = access_rate_sweep(
+        config, [1.0], policies=("MCV", "LDV", "TDV"), params=params
+    )
+    ref = {p.policy: p.unavailability for p in reference}
+
+    odv = {p.accesses_per_day: p.unavailability
+           for p in points if p.policy == "ODV"}
+    otdv = {p.accesses_per_day: p.unavailability
+            for p in points if p.policy == "OTDV"}
+    rows = [[f"{rate:g}", odv[rate], otdv[rate]] for rate in RATES]
+    print(ascii_table(["accesses/day", "ODV", "OTDV"], rows))
+    print(
+        f"eager references: MCV {ref['MCV']:.6f}   "
+        f"LDV {ref['LDV']:.6f}   TDV {ref['TDV']:.6f}"
+    )
+
+
+def main() -> None:
+    days = float(sys.argv[1]) if len(sys.argv) > 1 else 12_000.0
+    params = StudyParameters(horizon=days, warmup=360.0, batches=5,
+                             seed=1988)
+    print(f"Sweeping access rates over {days:.0f} simulated days...")
+    sweep_config("A", params)
+    sweep_config("F", params)
+    print(
+        "\nOn configuration A more accesses simply track LDV.  On "
+        "configuration F\nnote the shape the paper reports at one "
+        "access/day: a *lazier* ODV beats\nthe eager LDV, because a "
+        "quorum that never saw sites 1/2 bounce is still\nanchored on "
+        "them when gateway 4 goes down for its two-week repair."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A reduced run of the paper's availability study (Tables 2 and 3).
+
+Simulates the eight-site testbed for a configurable number of days (the
+paper-scale run takes minutes; the default here finishes in well under a
+minute), evaluates all six policies on all eight copy configurations and
+prints the regenerated tables next to the published ones.
+
+Run:  python examples/availability_study.py [days]
+"""
+
+import sys
+
+from repro.experiments.report import log_bars
+from repro.experiments.runner import StudyParameters, run_study
+from repro.experiments.tables import (
+    PAPER_TABLE_2,
+    PAPER_TABLE_3,
+    format_comparison,
+)
+
+
+def main() -> None:
+    days = float(sys.argv[1]) if len(sys.argv) > 1 else 15_000.0
+    params = StudyParameters(horizon=days, warmup=360.0, batches=10,
+                             seed=1988)
+    print(
+        f"Simulating {days:.0f} days of the Figure 8 network "
+        f"(warmup 360 d, one access/day for the optimistic policies)...\n"
+    )
+    cells = run_study(params)
+
+    print(format_comparison(
+        cells, PAPER_TABLE_2,
+        "Table 2: Replicated File Unavailabilities (paper vs ours)",
+    ))
+    print()
+    print(format_comparison(
+        cells, PAPER_TABLE_3,
+        "Table 3: Mean Duration of Unavailable Periods, days (paper vs ours)",
+        use_durations=True,
+    ))
+
+    print("\nConfiguration F at a glance (log scale) — the DV collapse and")
+    print("the optimistic/topological wins:\n")
+    rows = [
+        (policy, cells[("F", policy)].unavailability)
+        for policy in ("MCV", "DV", "LDV", "ODV", "TDV", "OTDV")
+    ]
+    print(log_bars(rows))
+
+    f_cells = {p: cells[("F", p)].unavailability for p, _ in rows}
+    print(
+        "\nReading it like the paper does: DV is stranded by gateway 4's "
+        "two-week\nrepairs ("
+        f"{f_cells['DV']:.3f} unavailability); LDV recovers most of that "
+        f"({f_cells['LDV']:.6f});\nODV beats LDV by not reacting to "
+        "transient failures "
+        f"({f_cells['ODV']:.6f});\nand the topological variants claim "
+        "same-segment votes "
+        f"(TDV {f_cells['TDV']:.6f}, OTDV {f_cells['OTDV']:.6f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Capacity planning with the analytic chains: how many copies for
+99.99 %?
+
+The Markov chains of :mod:`repro.analysis.dynamic_chain` answer sizing
+questions instantly — no simulation needed — for identical copies on
+one non-partitionable segment.  This example sizes a replicated file for
+target availabilities under each protocol and shows the cost of the
+protocol choice in *copies*.
+
+Run:  python examples/capacity_planning.py [mttf_days] [mttr_days]
+"""
+
+import sys
+
+from repro.analysis.dynamic_chain import (
+    ac_availability,
+    dv_availability,
+    ldv_availability,
+    mcv_availability,
+)
+from repro.experiments.report import ascii_table
+
+TARGETS = (0.99, 0.999, 0.9999, 0.99999)
+PROTOCOLS = {
+    "MCV (static majority)": mcv_availability,
+    "DV (plain dynamic)": dv_availability,
+    "LDV (lexicographic)": ldv_availability,
+    "TDV on one segment (= AC)": ac_availability,
+}
+MAX_COPIES = 12
+
+
+def copies_needed(fn, target, mttf, mttr):
+    """Smallest n (2..MAX_COPIES) with availability >= target, or None."""
+    for n in range(2, MAX_COPIES + 1):
+        if fn(n, mttf, mttr) >= target:
+            return n
+    return None
+
+
+def main() -> None:
+    mttf = float(sys.argv[1]) if len(sys.argv) > 1 else 30.0
+    mttr = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+    single = mttf / (mttf + mttr)
+    print(
+        f"Identical sites: MTTF {mttf:g} d, MTTR {mttr:g} d "
+        f"(single copy: {single:.4f} available)\n"
+    )
+
+    print("Availability by copy count:")
+    rows = []
+    for n in range(2, 7):
+        rows.append([
+            n,
+            mcv_availability(n, mttf, mttr),
+            dv_availability(n, mttf, mttr),
+            ldv_availability(n, mttf, mttr),
+            ac_availability(n, mttf, mttr),
+        ])
+    print(ascii_table(["copies", "MCV", "DV", "LDV", "TDV(seg)=AC"], rows))
+
+    print("\nCopies needed to hit a target:")
+    rows = []
+    for target in TARGETS:
+        row = [f"{target:.5g}"]
+        for fn in PROTOCOLS.values():
+            needed = copies_needed(fn, target, mttf, mttr)
+            row.append("-" if needed is None else str(needed))
+        rows.append(row)
+    print(ascii_table(["target", *PROTOCOLS.keys()], rows))
+
+    ldv3 = ldv_availability(3, mttf, mttr)
+    tdv2 = ac_availability(2, mttf, mttr)
+    print(
+        "\nReading it as the paper would: on one carrier-sense segment, "
+        "two copies\nunder Topological Dynamic Voting "
+        f"({tdv2:.6f}) already beat three copies under\nplain "
+        f"lexicographic voting ({ldv3:.6f}) — the Section 3 claim, as a "
+        "sizing rule."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Dynamic voting over real messages: actors, mailboxes, lost commits.
+
+Everything else in this repository manipulates protocol state directly;
+here the algorithms run the way a deployment would — each copy is an
+actor with a mailbox, and START / state replies / COMMITs are typed
+messages that the network only delivers within a partition block.  The
+demo shows:
+
+1. an ordinary write as a message exchange (and its message bill);
+2. a COMMIT lost to one copy — the copy goes stale, the file stays
+   consistent, RECOVER repairs it;
+3. the published topological rule's fork hazard happening over the wire
+   (why this library adds the lineage guard — see docs/CORRECTNESS.md §4).
+
+Run:  python examples/message_level_demo.py
+"""
+
+from repro.core.topological import TopologicalDynamicVoting
+from repro.engine import MessageCluster
+from repro.net.topology import single_segment
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def part1() -> None:
+    banner("1. a write is four message rounds")
+    cluster = MessageCluster(single_segment(3), {1, 2, 3}, initial="v0")
+    before = cluster.network.sent
+    cluster.write(1, "hello")
+    print(f"write at site 1: {cluster.network.sent - before} messages "
+          "(2 STARTs, 2 replies, 3 COMMITs carrying the payload)")
+    print("read at site 3 ->", repr(cluster.read(3)))
+    n = cluster.network
+    print(f"network totals: sent={n.sent} delivered={n.delivered} "
+          f"dropped={n.dropped}")
+
+
+def part2() -> None:
+    banner("2. a lost COMMIT makes a copy stale, never inconsistent")
+    cluster = MessageCluster(single_segment(3), {1, 2, 3}, initial="v0")
+    # Site 3 answers the START but its COMMIT vanishes (crash window).
+    cluster.network.lose_next_to(3, after=1)
+    cluster.write(1, "v1")
+    print("site 3 after the lost commit:",
+          f"payload={cluster.actor(3).payload!r}",
+          f"version={cluster.actor(3).state.version}")
+    print("read coordinated BY the stale site 3 ->",
+          repr(cluster.read(3)), "(data served from a newest copy)")
+    cluster.recover(3)
+    print("after RECOVER: payload =", repr(cluster.actor(3).payload))
+
+
+def part3() -> None:
+    banner("3. the published TDV rule forks over the wire")
+    cluster = MessageCluster(single_segment(2), {1, 2},
+                             protocol=TopologicalDynamicVoting,
+                             initial="v0")
+    cluster.fail_site(2)
+    cluster.write(1, "one's world")       # 1 claims dead 2's vote
+    print("site 2 down; site 1 claims its vote and writes 'one's world'")
+    cluster.fail_site(1)
+    cluster.restart_site(2)
+    cluster.write(2, "two's world")       # 2, stale, claims dead 1's vote
+    print("site 1 down; site 2 restarts and claims *1's* vote in turn")
+    a1, a2 = cluster.actor(1), cluster.actor(2)
+    print(f"  site 1: o={a1.state.operation} payload={a1.payload!r}")
+    print(f"  site 2: o={a2.state.operation} payload={a2.payload!r}")
+    print(
+        "same operation number, different data: a fork neither site can\n"
+        "detect from any message it could receive.  The simulation-level\n"
+        "protocols in this library close the hole with the lineage guard\n"
+        "(the Available-Copy 'wait for the last to fail' rule)."
+    )
+
+
+if __name__ == "__main__":
+    part1()
+    part2()
+    part3()

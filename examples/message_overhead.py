@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Message overhead: the "Efficient" in the paper's title.
+
+The classical objection to dynamic voting is the connection vector:
+keeping quorum state instantaneously fresh costs a state-exchange round
+on *every* change in the network, whether or not anyone touches the
+file.  Optimistic Dynamic Voting pays only at access time.
+
+This example replays a stretch of the testbed's failure history through
+the message-level engine for each policy, with one access per day, and
+prints the message bill.
+
+Run:  python examples/message_overhead.py [days]
+"""
+
+import sys
+
+from repro.core.registry import PAPER_POLICIES
+from repro.experiments.evaluator import poisson_times
+from repro.experiments.overhead import measure_overhead
+from repro.experiments.report import ascii_table
+from repro.experiments.testbed import testbed_topology
+from repro.failures.profiles import testbed_profiles
+from repro.failures.trace import generate_trace
+
+COPIES = frozenset({1, 2, 4, 6})  # configuration F
+
+
+def main() -> None:
+    days = float(sys.argv[1]) if len(sys.argv) > 1 else 365.0
+    topology = testbed_topology()
+    trace = generate_trace(testbed_profiles(), days, seed=1988)
+    access_times = poisson_times(1.0, days, seed=1988)
+    print(
+        f"Replaying {days:.0f} days ({len(trace)} site transitions, "
+        f"{len(access_times)} accesses) on configuration F "
+        f"(copies {sorted(COPIES)})...\n"
+    )
+
+    rows = []
+    for policy in PAPER_POLICIES:
+        bill = measure_overhead(policy, topology, COPIES, trace,
+                                access_times)
+        counters = bill.counters
+        rows.append([
+            bill.policy, counters.state_requests, counters.state_replies,
+            counters.commits, counters.data_transfers,
+            counters.total_messages, round(bill.messages_per_day, 2),
+            bill.accesses_denied,
+        ])
+    print(ascii_table(
+        ["policy", "requests", "replies", "commits", "data", "total",
+         "msgs/day", "denied"],
+        rows,
+    ))
+    print(
+        "\nMCV and the optimistic protocols pay only for accesses; the "
+        "eager\nprotocols (DV, LDV, TDV) additionally pay a state-exchange "
+        "round for\nevery one of the year's site transitions — and a real "
+        "connection-vector\nimplementation would poll continuously on top "
+        "of that (the paper cites\nGemini consuming 'nearly all of the "
+        "available machine cycles')."
+    )
+
+
+if __name__ == "__main__":
+    main()

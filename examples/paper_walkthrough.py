@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""The paper's worked examples, step by step, with the state tables
+printed in the paper's own format.
+
+Part 1 — Section 2.1: three copies A, B, C under (optimistic) dynamic
+voting with the lexicographic tie-break: writes, a failure of B, a
+partition separating A from C, and A continuing alone.
+
+Part 2 — Section 3: four copies A, B (same carrier-sense segment), C, D;
+Topological Dynamic Voting lets B carry failed A's vote where plain
+lexicographic voting loses the tie.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro.core.lexicographic import LexicographicDynamicVoting
+from repro.core.optimistic_topological import OptimisticTopologicalDynamicVoting
+from repro.net.sites import Site
+from repro.net.topology import PointToPointTopology, SegmentedTopology
+from repro.replica.state import ReplicaSet
+
+A, B, C, D = 1, 2, 3, 4
+NAMES = {A: "A", B: "B", C: "C", D: "D"}
+
+
+def show(replicas, caption):
+    print(f"\n{caption}")
+    cells = []
+    for sid in sorted(replicas.copy_sites):
+        st = replicas.state(sid)
+        members = ",".join(NAMES[m] for m in sorted(st.partition_set))
+        cells.append(
+            f"  {NAMES[sid]}: o={st.operation:<3} v={st.version:<3} "
+            f"P={{{members}}}"
+        )
+    print("\n".join(cells))
+
+
+def part1():
+    print("=" * 64)
+    print("Part 1 — Section 2.1: A, B, C with Lexicographic Dynamic Voting")
+    print("=" * 64)
+
+    topo = PointToPointTopology(
+        [Site(A, "A"), Site(B, "B"), Site(C, "C")],
+        [(A, B), (A, C), (B, C)],
+    )
+    replicas = ReplicaSet({A, B, C})
+    protocol = LexicographicDynamicVoting(replicas)
+    show(replicas, "Initial state (o, v = 1; P = {A, B, C}):")
+
+    view = topo.view({A, B, C})
+    for _ in range(7):
+        protocol.write(view, A)
+    show(replicas, "After seven successful writes (o, v = 8):")
+
+    print("\nSite B fails.  Information is exchanged only at access time,")
+    print("so nothing changes until the next operation.")
+    view = topo.view({A, C})
+    for _ in range(3):
+        protocol.write(view, A)
+    show(replicas, "Three more writes by the new majority partition {A, C}:")
+
+    print("\nThe link between A and C fails: partition {A} | {C}.")
+    topo.fail_link(A, C)
+    view = topo.view({A, C})
+    verdict_a = protocol.evaluate_block(view, frozenset({A}))
+    verdict_c = protocol.evaluate_block(view, frozenset({C}))
+    print(f"  A alone: granted={verdict_a.granted}"
+          f"  (|Q|=1 = |P|/2 and max(P)=A in Q)")
+    print(f"  C alone: granted={verdict_c.granted}  ({verdict_c.reason})")
+
+    for _ in range(4):
+        protocol.write(view, A)
+    show(replicas, "Four more writes by A, the majority partition:")
+
+
+def part2():
+    print("\n" + "=" * 64)
+    print("Part 2 — Section 3: Topological Dynamic Voting claims votes")
+    print("=" * 64)
+
+    # A and B share segment alpha; C and D are alone on gamma and delta,
+    # reached through repeaters X(9) and Y(10).
+    topo = SegmentedTopology(
+        [Site(A, "A"), Site(B, "B"), Site(C, "C"), Site(D, "D"),
+         Site(9, "X"), Site(10, "Y")],
+        {"alpha": [A, B, 9, 10], "gamma": [C], "delta": [D]},
+        {9: ("alpha", "gamma"), 10: ("alpha", "delta")},
+    )
+
+    def fresh(protocol_cls):
+        replicas = ReplicaSet({A, B, C, D})
+        protocol = protocol_cls(replicas)
+        # The paper's starting state: the majority block is {A, B}.
+        replicas.state(D).commit(8, 8, {A, B, C, D})
+        replicas.state(C).commit(11, 11, {A, B, C})
+        replicas.state(A).commit(15, 15, {A, B})
+        replicas.state(B).commit(15, 15, {A, B})
+        return protocol
+
+    otdv = fresh(OptimisticTopologicalDynamicVoting)
+    show(otdv.replicas, "Paper's starting state (majority block {A, B}):")
+
+    print("\nSite A fails.  B, C, D (and the repeaters) stay connected.")
+    view = topo.view({B, C, D, 9, 10})
+
+    ldv = fresh(LexicographicDynamicVoting)
+    plain = ldv.evaluate_block(view, view.block_of(B))
+    print(f"  Lexicographic DV: granted={plain.granted}  ({plain.reason})")
+
+    topological = otdv.evaluate_block(view, view.block_of(B))
+    counted = ",".join(NAMES[s] for s in sorted(topological.counted))
+    print(f"  Topological  DV: granted={topological.granted}  "
+          f"(T = {{{counted}}}: B carries absent A's vote — A shares")
+    print("                    B's segment, so A must be down, not rival)")
+
+    otdv.write(view, B)
+    show(otdv.replicas, "After B's write as the new majority block {B}:")
+
+
+if __name__ == "__main__":
+    part1()
+    part2()

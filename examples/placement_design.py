@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Copy-placement design: where should three copies live?
+
+Section 3's message is that availability depends not just on *how many*
+copies you keep but on *where they sit relative to partition points* —
+and that Topological Dynamic Voting strongly rewards co-locating copies
+on one non-partitionable segment.  This example sweeps every 3-copy
+placement on the testbed under LDV and TDV and ranks them.
+
+Run:  python examples/placement_design.py [days]
+"""
+
+import sys
+
+from repro.experiments.runner import StudyParameters
+from repro.experiments.report import ascii_table
+from repro.experiments.sweep import placement_sweep
+from repro.experiments.testbed import testbed_topology
+from repro.failures.profiles import TABLE_1
+
+
+def main() -> None:
+    days = float(sys.argv[1]) if len(sys.argv) > 1 else 8_000.0
+    params = StudyParameters(horizon=days, warmup=360.0, batches=5, seed=7)
+    topology = testbed_topology()
+
+    print(f"Evaluating all C(8,3) = 56 placements over {days:.0f} days "
+          f"under LDV and TDV...\n")
+    ldv = {r.copy_sites: r for r in placement_sweep(3, "LDV", params=params)}
+    tdv_rows = placement_sweep(3, "TDV", params=params)
+
+    def describe(sites):
+        return ", ".join(
+            f"{s}:{TABLE_1[s].name}({topology.segment_of(s)})"
+            for s in sorted(sites)
+        )
+
+    print("Top placements under Topological Dynamic Voting:")
+    rows = []
+    for row in tdv_rows[:8]:
+        rows.append([
+            describe(row.copy_sites),
+            row.segments_used,
+            row.unavailability,
+            ldv[row.copy_sites].unavailability,
+        ])
+    print(ascii_table(
+        ["placement (site:name(segment))", "segs", "TDV unavail",
+         "LDV unavail"],
+        rows,
+    ))
+
+    print("\nWorst placements under TDV:")
+    rows = [
+        [describe(r.copy_sites), r.segments_used, r.unavailability,
+         ldv[r.copy_sites].unavailability]
+        for r in tdv_rows[-5:]
+    ]
+    print(ascii_table(
+        ["placement (site:name(segment))", "segs", "TDV unavail",
+         "LDV unavail"],
+        rows,
+    ))
+
+    single = [r for r in tdv_rows if r.segments_used == 1]
+    multi = [r for r in tdv_rows if r.segments_used == 3]
+
+    def mean(rs):
+        return sum(r.unavailability for r in rs) / len(rs)
+
+    print(
+        f"\nMean TDV unavailability, single-segment placements: "
+        f"{mean(single):.6f}\n"
+        f"Mean TDV unavailability, fully dispersed placements:  "
+        f"{mean(multi):.6f}\n"
+        "\nCo-locating reliable same-segment sites lets TDV degenerate "
+        "into an\nAvailable-Copy protocol — one live copy keeps the file "
+        "up — while fully\ndispersed placements gain nothing over plain "
+        "lexicographic voting\n(the paper's configuration C observation)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro — a full reproduction of Pâris & Long, *Efficient Dynamic Voting
+Algorithms* (ICDE 1988).
+
+The package provides:
+
+* the six voting protocols of the paper (MCV, DV, LDV, ODV, TDV, OTDV)
+  plus the Available-Copy, weighted-voting and witness extensions
+  (:mod:`repro.core`);
+* the substrates they run on — a discrete-event kernel
+  (:mod:`repro.sim`), segmented LAN topologies (:mod:`repro.net`),
+  replica state (:mod:`repro.replica`), the Table 1 failure models
+  (:mod:`repro.failures`) and a statistics toolkit (:mod:`repro.stats`);
+* a message-level replication engine with real reads and writes
+  (:mod:`repro.engine`);
+* the availability study that regenerates the paper's Tables 2 and 3
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import ReplicaSet, make_protocol, testbed_topology
+
+    topology = testbed_topology()
+    replicas = ReplicaSet({1, 2, 4})          # configuration A
+    protocol = make_protocol("OTDV", replicas)
+    view = topology.view({1, 2, 3, 4, 5, 6, 7, 8})
+    assert protocol.is_available(view)
+"""
+
+from repro.core import (
+    AvailableCopy,
+    DynamicVoting,
+    DynamicVotingWithWitnesses,
+    LexicographicDynamicVoting,
+    MajorityConsensusVoting,
+    OperationKind,
+    OptimisticDynamicVoting,
+    OptimisticTopologicalDynamicVoting,
+    PAPER_POLICIES,
+    TopologicalDynamicVoting,
+    Verdict,
+    VotingProtocol,
+    WeightedMajorityVoting,
+    available_policies,
+    make_protocol,
+)
+from repro.errors import ReproError
+from repro.experiments import (
+    CONFIGURATIONS,
+    StudyParameters,
+    run_cell,
+    run_study,
+    testbed_topology,
+)
+from repro.failures import TABLE_1, generate_trace
+from repro.net import (
+    NetworkView,
+    PointToPointTopology,
+    SegmentedTopology,
+    Site,
+    Topology,
+    single_segment,
+)
+from repro.replica import ReplicaSet, ReplicaState, VersionedStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvailableCopy",
+    "CONFIGURATIONS",
+    "DynamicVoting",
+    "DynamicVotingWithWitnesses",
+    "LexicographicDynamicVoting",
+    "MajorityConsensusVoting",
+    "NetworkView",
+    "OperationKind",
+    "OptimisticDynamicVoting",
+    "OptimisticTopologicalDynamicVoting",
+    "PAPER_POLICIES",
+    "PointToPointTopology",
+    "ReplicaSet",
+    "ReplicaState",
+    "ReproError",
+    "SegmentedTopology",
+    "Site",
+    "StudyParameters",
+    "TABLE_1",
+    "TopologicalDynamicVoting",
+    "Topology",
+    "Verdict",
+    "VersionedStore",
+    "VotingProtocol",
+    "WeightedMajorityVoting",
+    "available_policies",
+    "generate_trace",
+    "make_protocol",
+    "run_cell",
+    "run_study",
+    "single_segment",
+    "testbed_topology",
+]

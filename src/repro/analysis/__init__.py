@@ -1,0 +1,46 @@
+"""Analytic availability models.
+
+Section 4 of the paper opens by explaining why it simulates: stochastic
+process models of *dynamic* protocols with partitions and non-exponential
+repairs are intractable. For the tractable corners, though, closed forms
+exist, and this package provides them as an independent check on the
+simulator:
+
+* :func:`~repro.analysis.enumeration.static_availability` — exact
+  steady-state availability of any *static* predicate (MCV, weighted
+  voting, "some copy up", ...) on a segmented topology with independent
+  sites, by enumerating all 2^n site states;
+* :mod:`~repro.analysis.markov` — a small continuous-time Markov chain
+  solver (stationary distributions via linear algebra) plus the classic
+  repairable-site and k-of-n models, the kind of analysis Pâris &
+  Burkhard used for dynamic voting [PaBu86].
+
+The cross-validation tests (``tests/analysis/``) check the trace
+generator and the trace evaluator against these formulas.
+"""
+
+from repro.analysis.dynamic_chain import (
+    ac_availability,
+    dv_availability,
+    ldv_availability,
+    mcv_availability,
+)
+from repro.analysis.enumeration import (
+    mcv_predicate,
+    single_copy_predicate,
+    static_availability,
+)
+from repro.analysis.markov import MarkovChain, k_of_n_availability, repairable_site
+
+__all__ = [
+    "MarkovChain",
+    "ac_availability",
+    "dv_availability",
+    "k_of_n_availability",
+    "ldv_availability",
+    "mcv_availability",
+    "mcv_predicate",
+    "repairable_site",
+    "single_copy_predicate",
+    "static_availability",
+]

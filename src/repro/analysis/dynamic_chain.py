@@ -1,0 +1,223 @@
+"""Exact Markov-chain availability of dynamic voting on identical sites.
+
+The paper attributes its "DV performed worse than MCV for three copies"
+finding to Pâris & Burkhard's Markov analysis [PaBu86].  This module
+rebuilds that style of analysis for the tractable case the paper's
+predecessors studied: *n identical copies on one non-partitionable
+segment*, exponential failures (rate ``1/mttf`` per up site) and repairs
+(rate ``1/mttr`` per down site, independent crews), instantaneous state
+information (the eager driver).
+
+On a partition-free segment the eager protocol keeps ``P`` equal to the
+set of up copies while it can, so the chain needs only:
+
+* ``("A", u)`` — available, ``P`` = the ``u`` up copies;
+* ``("BP", p, o)`` — blocked after a tie from ``u = 2``: the remembered
+  pair has ``p`` members up (0 or 1), ``o`` of the other ``n - 2``
+  copies are up (they churn but cannot help);
+* ``("BS", o)`` — blocked after the last quorum member (``P`` a
+  singleton) failed;
+* for LDV, ``("BM", y, o)`` — blocked with the pair's *maximum* down
+  (``y`` = whether the non-maximum member is up): the lexicographic rule
+  reopens the file the moment the maximum returns, even alone.
+
+Availability is the stationary probability of the ``A`` states, solved
+exactly with :class:`~repro.analysis.markov.MarkovChain`.  The tests
+cross-check these closed forms against the discrete-event simulator and
+reproduce the ordering DV < MCV < LDV for three copies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.markov import MarkovChain
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ac_availability",
+    "dv_availability",
+    "ldv_availability",
+    "mcv_availability",
+]
+
+
+def _check(n: int, mttf: float, mttr: float) -> tuple[float, float]:
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2 identical copies, got {n}")
+    if mttf <= 0 or mttr <= 0:
+        raise ConfigurationError("mttf and mttr must be > 0")
+    return (1.0 / mttf, 1.0 / mttr)
+
+
+def dv_availability(n: int, mttf: float, mttr: float) -> float:
+    """Stationary availability of plain Dynamic Voting (no tie-break).
+
+    Blocked-pair states need *both* remembered members back (a returning
+    single is a lost tie); a blocked singleton needs its one member.
+    """
+    lam, mu = _check(n, mttf, mttr)
+    rates: dict[tuple, float] = {}
+
+    def add(src, dst, rate):
+        if rate > 0:
+            rates[(src, dst)] = rates.get((src, dst), 0.0) + rate
+
+    for u in range(1, n + 1):
+        state = ("A", u)
+        if u < n:
+            add(state, ("A", u + 1), (n - u) * mu)
+        if u >= 3:
+            add(state, ("A", u - 1), u * lam)
+        elif u == 2:
+            add(state, ("BP", 1, 0), 2 * lam)
+        else:
+            add(state, ("BS", 0), lam)
+
+    others = n - 2
+    for o in range(others + 1):
+        up1 = ("BP", 1, o)
+        add(up1, ("A", 2 + o), mu)          # the down pair member returns
+        add(up1, ("BP", 0, o), lam)         # the up pair member fails
+        if o < others:
+            add(up1, ("BP", 1, o + 1), (others - o) * mu)
+        if o > 0:
+            add(up1, ("BP", 1, o - 1), o * lam)
+        up0 = ("BP", 0, o)
+        add(up0, ("BP", 1, o), 2 * mu)      # either pair member returns
+        if o < others:
+            add(up0, ("BP", 0, o + 1), (others - o) * mu)
+        if o > 0:
+            add(up0, ("BP", 0, o - 1), o * lam)
+
+    for o in range(n):                       # BS: n - 1 other copies churn
+        state = ("BS", o)
+        add(state, ("A", 1 + o), mu)         # the singleton returns
+        if o < n - 1:
+            add(state, ("BS", o + 1), (n - 1 - o) * mu)
+        if o > 0:
+            add(state, ("BS", o - 1), o * lam)
+
+    states = sorted({s for pair in rates for s in pair}, key=str)
+    chain = MarkovChain(states, rates)
+    return chain.probability(lambda s: s[0] == "A")
+
+
+def ldv_availability(n: int, mttf: float, mttr: float) -> float:
+    """Stationary availability of Lexicographic Dynamic Voting.
+
+    From ``u = 2``, losing the non-maximum member leaves the maximum as
+    a granted tie (still available); losing the maximum blocks the file
+    until the maximum returns — alone suffices.
+    """
+    lam, mu = _check(n, mttf, mttr)
+    rates: dict[tuple, float] = {}
+
+    def add(src, dst, rate):
+        if rate > 0:
+            rates[(src, dst)] = rates.get((src, dst), 0.0) + rate
+
+    for u in range(1, n + 1):
+        state = ("A", u)
+        if u < n:
+            add(state, ("A", u + 1), (n - u) * mu)
+        if u >= 3:
+            add(state, ("A", u - 1), u * lam)
+        elif u == 2:
+            add(state, ("A", 1), lam)        # the non-maximum fails: tie won
+            add(state, ("BM", 1, 0), lam)    # the maximum fails: blocked
+        else:
+            add(state, ("BS", 0), lam)
+
+    others = n - 2
+    for o in range(others + 1):
+        with_y = ("BM", 1, o)
+        add(with_y, ("A", 2 + o), mu)        # the maximum returns
+        add(with_y, ("BM", 0, o), lam)       # the non-maximum fails too
+        if o < others:
+            add(with_y, ("BM", 1, o + 1), (others - o) * mu)
+        if o > 0:
+            add(with_y, ("BM", 1, o - 1), o * lam)
+        without_y = ("BM", 0, o)
+        add(without_y, ("A", 1 + o), mu)     # the maximum returns, alone
+        add(without_y, ("BM", 1, o), mu)     # the non-maximum returns
+        if o < others:
+            add(without_y, ("BM", 0, o + 1), (others - o) * mu)
+        if o > 0:
+            add(without_y, ("BM", 0, o - 1), o * lam)
+
+    for o in range(n):
+        state = ("BS", o)
+        add(state, ("A", 1 + o), mu)
+        if o < n - 1:
+            add(state, ("BS", o + 1), (n - 1 - o) * mu)
+        if o > 0:
+            add(state, ("BS", o - 1), o * lam)
+
+    states = sorted({s for pair in rates for s in pair}, key=str)
+    chain = MarkovChain(states, rates)
+    return chain.probability(lambda s: s[0] == "A")
+
+
+def ac_availability(n: int, mttf: float, mttr: float) -> float:
+    """Stationary availability of Available Copy on one segment.
+
+    One live current copy keeps the file up; after a *total* failure it
+    waits for the last survivor ("the last to fail") to return, while the
+    other ``n - 1`` copies churn uselessly.  Section 3's claim — that
+    Topological Dynamic Voting with every copy on one segment degenerates
+    into Available Copy — makes this chain an exact prediction for
+    single-segment TDV, which the tests confirm against the simulator.
+    """
+    lam, mu = _check(n, mttf, mttr)
+    rates: dict[tuple, float] = {}
+
+    def add(src, dst, rate):
+        if rate > 0:
+            rates[(src, dst)] = rates.get((src, dst), 0.0) + rate
+
+    for u in range(1, n + 1):
+        state = ("A", u)
+        if u < n:
+            add(state, ("A", u + 1), (n - u) * mu)
+        if u >= 2:
+            add(state, ("A", u - 1), u * lam)
+        else:
+            add(state, ("BS", 0), lam)   # total failure: remember the last
+
+    for o in range(n):                    # the last survivor is down
+        state = ("BS", o)
+        add(state, ("A", 1 + o), mu)      # ... until it returns
+        if o < n - 1:
+            add(state, ("BS", o + 1), (n - 1 - o) * mu)
+        if o > 0:
+            add(state, ("BS", o - 1), o * lam)
+
+    states = sorted({s for pair in rates for s in pair}, key=str)
+    chain = MarkovChain(states, rates)
+    return chain.probability(lambda s: s[0] == "A")
+
+
+def mcv_availability(
+    n: int, mttf: float, mttr: float, tie_break: bool = True
+) -> float:
+    """Stationary availability of static majority voting, closed form.
+
+    Independent identical copies: per-site availability
+    ``a = mttf / (mttf + mttr)``; the file is up when a strict majority
+    is, plus (with the lexicographic tie-break, even ``n`` only) half of
+    the exactly-half patterns — those containing the maximum site.
+    """
+    lam, mu = _check(n, mttf, mttr)
+    del lam, mu  # closed form needs only the availability ratio
+    a = mttf / (mttf + mttr)
+    total = sum(
+        math.comb(n, i) * a**i * (1 - a) ** (n - i)
+        for i in range(n // 2 + 1, n + 1)
+    )
+    if tie_break and n % 2 == 0:
+        half = n // 2
+        # The maximum site is up in exactly comb(n-1, half-1) of the
+        # comb(n, half) half-up patterns: a fraction half / n = 1 / 2.
+        total += 0.5 * math.comb(n, half) * a**half * (1 - a) ** (n - half)
+    return total

@@ -1,0 +1,149 @@
+"""A small continuous-time Markov chain toolkit.
+
+The paper's predecessors analysed voting protocols with Markov chains
+(Pâris & Burkhard [PaBu86]); the paper itself abandons them because
+realistic repair distributions and partitions make the chains
+intractable.  We keep the tractable pieces as validation tools:
+
+* :class:`MarkovChain` — stationary distribution of an irreducible CTMC
+  (dense linear solve; fine for the handful of states we need);
+* :func:`repairable_site` — the classic 2-state up/down model, whose
+  availability ``mu / (lambda + mu)`` the trace generator must match;
+* :func:`k_of_n_availability` — the birth–death chain of n identical
+  repairable sites with independent repair crews, evaluated for
+  "at least k up" — MCV's availability on a partition-free LAN.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MarkovChain", "repairable_site", "k_of_n_availability"]
+
+
+class MarkovChain:
+    """A finite continuous-time Markov chain given by transition rates.
+
+    Args:
+        states: Hashable state labels (order fixes the vector layout).
+        rates: Mapping ``(from, to) -> rate`` with positive rates and
+            ``from != to``.
+    """
+
+    def __init__(self, states: Sequence, rates: Mapping[tuple, float]):
+        if not states:
+            raise ConfigurationError("at least one state is required")
+        if len(set(states)) != len(states):
+            raise ConfigurationError("duplicate state labels")
+        self._states = list(states)
+        self._index = {s: i for i, s in enumerate(self._states)}
+        self._rates: dict[tuple[int, int], float] = {}
+        for (src, dst), rate in rates.items():
+            if src not in self._index or dst not in self._index:
+                raise ConfigurationError(f"unknown state in ({src!r}, {dst!r})")
+            if src == dst:
+                raise ConfigurationError(f"self-transition at {src!r}")
+            if rate <= 0:
+                raise ConfigurationError(
+                    f"rate for ({src!r}, {dst!r}) must be > 0, got {rate}"
+                )
+            key = (self._index[src], self._index[dst])
+            self._rates[key] = self._rates.get(key, 0.0) + rate
+
+    @property
+    def states(self) -> tuple:
+        return tuple(self._states)
+
+    def generator_matrix(self) -> list[list[float]]:
+        """The infinitesimal generator Q (rows sum to zero)."""
+        n = len(self._states)
+        matrix = [[0.0] * n for _ in range(n)]
+        for (i, j), rate in self._rates.items():
+            matrix[i][j] += rate
+            matrix[i][i] -= rate
+        return matrix
+
+    def stationary_distribution(self) -> dict:
+        """Solve ``pi Q = 0`` with ``sum(pi) = 1`` by Gaussian elimination.
+
+        Raises:
+            ConfigurationError: if the chain is reducible (no unique
+                stationary distribution).
+        """
+        n = len(self._states)
+        q = self.generator_matrix()
+        # Build the transposed system Q^T pi = 0, replacing the last
+        # equation with the normalisation constraint.
+        a = [[q[j][i] for j in range(n)] for i in range(n)]
+        b = [0.0] * n
+        a[n - 1] = [1.0] * n
+        b[n - 1] = 1.0
+
+        # Gaussian elimination with partial pivoting.
+        for col in range(n):
+            pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+            if abs(a[pivot][col]) < 1e-12:
+                raise ConfigurationError(
+                    "chain appears reducible; no unique stationary "
+                    "distribution"
+                )
+            a[col], a[pivot] = a[pivot], a[col]
+            b[col], b[pivot] = b[pivot], b[col]
+            for row in range(n):
+                if row == col:
+                    continue
+                factor = a[row][col] / a[col][col]
+                if factor == 0.0:
+                    continue
+                for k in range(col, n):
+                    a[row][k] -= factor * a[col][k]
+                b[row] -= factor * b[col]
+        pi = [b[i] / a[i][i] for i in range(n)]
+        if any(p < -1e-9 for p in pi):
+            raise ConfigurationError("negative stationary probability")
+        total = sum(pi)
+        return {s: max(0.0, p) / total for s, p in zip(self._states, pi)}
+
+    def probability(self, predicate) -> float:
+        """Stationary probability of the states satisfying *predicate*."""
+        pi = self.stationary_distribution()
+        return sum(p for s, p in pi.items() if predicate(s))
+
+
+def repairable_site(mttf: float, mttr: float) -> MarkovChain:
+    """The 2-state repairable component ('up' <-> 'down').
+
+    Stationary availability is ``mttf / (mttf + mttr)``.
+    """
+    if mttf <= 0 or mttr <= 0:
+        raise ConfigurationError("mttf and mttr must be > 0")
+    return MarkovChain(
+        ["up", "down"],
+        {("up", "down"): 1.0 / mttf, ("down", "up"): 1.0 / mttr},
+    )
+
+
+def k_of_n_availability(n: int, k: int, mttf: float, mttr: float) -> float:
+    """Availability of "at least k of n identical sites up".
+
+    Independent repair crews: in state ``i`` (i sites up), failures occur
+    at rate ``i / mttf`` and repairs at rate ``(n - i) / mttr``.  The
+    chain is a birth–death process whose stationary distribution is the
+    binomial with per-site availability ``A = mttf / (mttf + mttr)``;
+    we solve the chain numerically and the tests cross-check the
+    binomial identity.
+    """
+    if n < 1 or not 0 <= k <= n:
+        raise ConfigurationError(f"need n >= 1 and 0 <= k <= n; got {n}, {k}")
+    states = list(range(n + 1))  # number of sites up
+    rates: dict[tuple[int, int], float] = {}
+    for i in states:
+        if i > 0:
+            rates[(i, i - 1)] = i / mttf
+        if i < n:
+            rates[(i, i + 1)] = (n - i) / mttr
+    chain = MarkovChain(states, rates)
+    return chain.probability(lambda i: i >= k)

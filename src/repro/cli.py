@@ -1,0 +1,439 @@
+"""Command-line interface: ``repro <command>`` or ``python -m repro``.
+
+Commands regenerate everything in the paper from the terminal:
+
+* ``repro testbed``   — Figure 8 (topology) and Table 1 (site data);
+* ``repro table2``    — Table 2 (unavailabilities), paper vs measured;
+* ``repro table3``    — Table 3 (mean unavailable-period durations);
+* ``repro study``     — both tables from one simulation;
+* ``repro sweep``     — the access-rate ablation (experiment X1);
+* ``repro placement`` — the copy-placement study (experiment X5);
+* ``repro trace``     — per-site availability of a generated trace;
+* ``repro demo``      — the engine walkthrough from Section 2's example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.registry import PAPER_POLICIES, available_policies
+from repro.experiments.configs import CONFIGURATIONS, configuration
+from repro.experiments.runner import StudyParameters, run_study
+from repro.experiments.sweep import access_rate_sweep, placement_sweep
+from repro.experiments.tables import (
+    PAPER_TABLE_2,
+    PAPER_TABLE_3,
+    format_comparison,
+    format_intervals,
+    format_table2,
+    format_table3,
+)
+from repro.experiments.testbed import render_testbed
+from repro.failures.profiles import testbed_profiles
+from repro.failures.trace import generate_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Paris & Long, 'Efficient Dynamic Voting "
+            "Algorithms' (ICDE 1988)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sim_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--horizon", type=float, default=None,
+            help="simulated days (default 40000, or REPRO_SIM_DAYS)",
+        )
+        p.add_argument("--seed", type=int, default=1988, help="master RNG seed")
+        p.add_argument("--warmup", type=float, default=360.0,
+                       help="days discarded before measurement")
+        p.add_argument("--batches", type=int, default=20,
+                       help="batch count for confidence intervals")
+        p.add_argument("--access-rate", type=float, default=1.0,
+                       help="file accesses per day (optimistic policies)")
+
+    sub.add_parser("testbed", help="print the Figure 8 network and Table 1")
+
+    for name, help_text in (
+        ("table2", "regenerate Table 2 (unavailabilities)"),
+        ("table3", "regenerate Table 3 (mean unavailable periods)"),
+        ("study", "regenerate both tables from one simulation"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        add_sim_args(p)
+        p.add_argument("--no-compare", action="store_true",
+                       help="print only measured values, not paper-vs-ours")
+        p.add_argument("--intervals", action="store_true",
+                       help="also print 95%% batch-means confidence intervals")
+        p.add_argument("--jobs", type=int, default=None,
+                       help="evaluate cells in N parallel processes")
+
+    p = sub.add_parser("sweep", help="access-rate ablation for ODV/OTDV")
+    add_sim_args(p)
+    p.add_argument("--config", default="F", choices=sorted(CONFIGURATIONS),
+                   help="configuration to sweep (default F)")
+    p.add_argument("--rates", default="0.1,0.5,1,2,5,10,50",
+                   help="comma-separated accesses per day")
+
+    p = sub.add_parser("placement", help="rank every copy placement")
+    add_sim_args(p)
+    p.add_argument("--copies", type=int, default=3, help="copies to place")
+    p.add_argument("--policy", default="TDV",
+                   choices=sorted(available_policies()))
+    p.add_argument("--top", type=int, default=10, help="rows to print")
+
+    p = sub.add_parser("trace", help="per-site availability of a trace")
+    add_sim_args(p)
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="also write the generated trace to a JSON file")
+
+    p = sub.add_parser("overhead", help="per-policy message bill")
+    add_sim_args(p)
+    p.add_argument("--config", default="F", choices=sorted(CONFIGURATIONS),
+                   help="configuration to replay (default F)")
+    p.add_argument("--days", type=float, default=365.0,
+                   help="days of history to replay through the engine")
+
+    p = sub.add_parser(
+        "validate",
+        help="self-check: simulator vs exact analytic availability",
+    )
+    add_sim_args(p)
+
+    p = sub.add_parser("scenario", help="run a JSON scenario file")
+    p.add_argument("file", help="path to a repro-scenario JSON document")
+
+    sub.add_parser("demo", help="run the Section 2 worked example")
+    return parser
+
+
+def _params(args: argparse.Namespace) -> StudyParameters:
+    kwargs = dict(
+        warmup=args.warmup,
+        batches=args.batches,
+        seed=args.seed,
+        access_rate_per_day=args.access_rate,
+    )
+    if args.horizon is not None:
+        kwargs["horizon"] = args.horizon
+    return StudyParameters(**kwargs)
+
+
+def _cmd_testbed(args: argparse.Namespace) -> None:
+    print(render_testbed())
+    print()
+    print("Table 1: Site Characteristics")
+    header = (
+        f"{'site':>4}  {'name':<8}  {'MTTF(d)':>8}  {'hw%':>4}  "
+        f"{'restart(min)':>12}  {'repair c(h)':>11}  {'repair e(h)':>11}  maint"
+    )
+    print(header)
+    print("-" * len(header))
+    for profile in testbed_profiles():
+        maint = "3h/90d" if profile.maintenance else "-"
+        print(
+            f"{profile.site_id:>4}  {profile.name:<8}  {profile.mttf_days:>8.1f}  "
+            f"{profile.hardware_fraction * 100:>4.0f}  "
+            f"{profile.restart_minutes:>12.1f}  "
+            f"{profile.repair_constant_hours:>11.1f}  "
+            f"{profile.repair_exponential_hours:>11.1f}  {maint}"
+        )
+
+
+def _cmd_tables(args: argparse.Namespace, which: str) -> None:
+    params = _params(args)
+    print(
+        f"simulating {params.horizon:.0f} days "
+        f"(seed {params.seed}, warmup {params.warmup:.0f} d, "
+        f"{params.batches} batches, "
+        f"{params.access_rate_per_day:g} access/day) ...",
+        file=sys.stderr,
+    )
+    cells = run_study(params, jobs=getattr(args, "jobs", None))
+    if which in ("table2", "study"):
+        if args.no_compare:
+            print(format_table2(cells))
+        else:
+            print(format_comparison(
+                cells, PAPER_TABLE_2,
+                "Table 2: Replicated File Unavailabilities (paper vs ours)",
+            ))
+    if which == "study":
+        print()
+    if which in ("table3", "study"):
+        if args.no_compare:
+            print(format_table3(cells))
+        else:
+            print(format_comparison(
+                cells, PAPER_TABLE_3,
+                "Table 3: Mean Duration of Unavailable Periods, days "
+                "(paper vs ours)",
+                use_durations=True,
+            ))
+    if getattr(args, "intervals", False):
+        print()
+        print(format_intervals(cells))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    params = _params(args)
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    config = configuration(args.config)
+    points = access_rate_sweep(config, rates, params=params)
+    print(f"Access-rate sweep on configuration {config.label}")
+    print(f"{'policy':>8}  {'acc/day':>8}  {'unavailability':>14}  {'mean down (d)':>13}")
+    for point in points:
+        print(
+            f"{point.policy:>8}  {point.accesses_per_day:>8.2f}  "
+            f"{point.unavailability:>14.6f}  {point.mean_down_duration:>13.4f}"
+        )
+
+
+def _cmd_placement(args: argparse.Namespace) -> None:
+    params = _params(args)
+    results = placement_sweep(args.copies, args.policy, params=params)
+    print(
+        f"Best placements of {args.copies} copies under {args.policy} "
+        f"(of {len(results)} evaluated)"
+    )
+    print(f"{'copies':<14}  {'segments':>8}  {'unavailability':>14}")
+    for row in results[: args.top]:
+        print(f"{row.label:<14}  {row.segments_used:>8}  {row.unavailability:>14.6f}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    params = _params(args)
+    trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    if args.save:
+        from repro.failures.serialization import dump_trace
+
+        dump_trace(trace, args.save)
+        print(f"trace written to {args.save}", file=sys.stderr)
+    print(
+        f"trace: {len(trace)} transitions over {trace.horizon:.0f} days "
+        f"(seed {params.seed})"
+    )
+    print(f"{'site':>4}  {'name':<8}  {'availability':>12}  {'analytic':>9}")
+    for profile in testbed_profiles():
+        measured = trace.site_availability(profile.site_id)
+        analytic = profile.steady_state_availability()
+        print(
+            f"{profile.site_id:>4}  {profile.name:<8}  {measured:>12.6f}  "
+            f"{analytic:>9.6f}"
+        )
+
+
+def _cmd_overhead(args: argparse.Namespace) -> None:
+    from repro.core.registry import PAPER_POLICIES
+    from repro.experiments.evaluator import poisson_times
+    from repro.experiments.overhead import measure_overhead
+    from repro.experiments.report import ascii_table
+    from repro.experiments.testbed import testbed_topology
+
+    config = configuration(args.config)
+    topology = testbed_topology()
+    trace = generate_trace(testbed_profiles(), args.days, args.seed)
+    access = poisson_times(args.access_rate, args.days, args.seed)
+    print(
+        f"replaying {args.days:.0f} days on configuration {config.label} "
+        f"({len(trace)} transitions, {len(access)} accesses)",
+        file=sys.stderr,
+    )
+    rows = []
+    for policy in PAPER_POLICIES:
+        bill = measure_overhead(policy, topology, config.copy_sites, trace,
+                                access)
+        rows.append([
+            bill.policy, bill.counters.state_requests,
+            bill.counters.state_replies, bill.counters.commits,
+            bill.counters.data_transfers, bill.counters.total_messages,
+            round(bill.messages_per_day, 2),
+        ])
+    print(ascii_table(
+        ["policy", "requests", "replies", "commits", "data", "total",
+         "msgs/day"],
+        rows,
+    ))
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Cross-check the simulator against closed forms (DESIGN.md §4)."""
+    from repro.analysis.enumeration import (
+        mcv_predicate,
+        single_copy_predicate,
+        static_availability,
+    )
+    from repro.experiments.evaluator import evaluate_policy
+    from repro.experiments.testbed import testbed_topology
+
+    params = _params(args)
+    topology = testbed_topology()
+    trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    measured_sites = {s: trace.site_availability(s) for s in range(1, 9)}
+
+    print(f"simulated {params.horizon:.0f} days (seed {params.seed})\n")
+    failures = 0
+
+    print("1. per-site availability vs mttf/(mttf+mttr):")
+    import math
+
+    for profile in testbed_profiles():
+        analytic = profile.steady_state_availability()
+        simulated = measured_sites[profile.site_id]
+        # ~3 standard errors of the downtime estimator: per-failure
+        # downtime varies by roughly its own mean (exponential parts),
+        # and the horizon sees about horizon / mttf failures.  Plus the
+        # maintenance duty cycle (sites 1, 3, 5), absent from the
+        # closed form.
+        n_failures = max(1.0, params.horizon / profile.mttf_days)
+        sigma = profile.expected_downtime() * math.sqrt(n_failures) / params.horizon
+        slack = 3.0 * sigma + 0.002 + (0.0015 if profile.maintenance else 0.0)
+        ok = abs(simulated - analytic) < slack
+        failures += 0 if ok else 1
+        print(f"   site {profile.site_id} ({profile.name:<8}) "
+              f"simulated {simulated:.6f}  analytic {analytic:.6f}  "
+              f"{'ok' if ok else 'MISMATCH'}")
+
+    print("\n2. MCV availability vs exact 2^8-state enumeration:")
+    for key in ("A", "B", "F"):
+        copies = configuration(key).copy_sites
+        result = evaluate_policy("MCV", topology, copies, trace,
+                                 warmup=0.0, batches=1)
+        exact = static_availability(topology, measured_sites,
+                                    mcv_predicate(copies))
+        ok = abs(result.availability - exact) < 0.005
+        failures += 0 if ok else 1
+        print(f"   config {key}: simulated {result.availability:.6f}  "
+              f"exact {exact:.6f}  {'ok' if ok else 'MISMATCH'}")
+
+    print("\n3. no policy beats the 'some copy up' bound (config A):")
+    from repro.core.registry import PAPER_POLICIES
+    from repro.experiments.evaluator import poisson_times
+
+    copies = configuration("A").copy_sites
+    bound = static_availability(topology, measured_sites,
+                                single_copy_predicate(copies))
+    access = poisson_times(params.access_rate_per_day, params.horizon,
+                           params.seed)
+    for policy in PAPER_POLICIES:
+        result = evaluate_policy(policy, topology, copies, trace,
+                                 warmup=0.0, batches=1,
+                                 access_times=access)
+        ok = result.availability <= bound + 0.002
+        failures += 0 if ok else 1
+        print(f"   {policy:<5} {result.availability:.6f} <= {bound:.6f}  "
+              f"{'ok' if ok else 'VIOLATION'}")
+
+    print(f"\n{'all checks passed' if failures == 0 else f'{failures} check(s) FAILED'}")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import load_scenario, run_scenario
+    from repro.experiments.testbed import testbed_topology
+
+    spec = load_scenario(args.file)
+    print(f"scenario {spec.name!r}: policy {spec.policy}, "
+          f"copies {sorted(spec.copy_sites)}")
+    result = run_scenario(
+        testbed_topology(), spec.copy_sites, spec.policy, spec.steps,
+        initial=spec.initial,
+    )
+    for index, outcome in enumerate(result.outcomes):
+        step = outcome.step
+        what = step.kind
+        if step.site is not None:
+            what += f" site {step.site}"
+            if step.peer is not None:
+                what += f"-{step.peer}"
+        status = "ok" if outcome.granted else "DENIED"
+        detail = ""
+        if step.kind == "read" and outcome.granted:
+            detail = f" -> {outcome.value!r}"
+        elif not outcome.granted and outcome.detail:
+            detail = f" ({outcome.detail})"
+        print(f"  {index:>3}  {what:<24} {status}{detail}")
+    denied = len(result.denied_steps)
+    print(f"done: {len(result.outcomes)} steps, {denied} denied")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> None:
+    # Local import: the demo pulls in the engine, which most commands skip.
+    from repro.engine import Cluster, ReplicatedFile
+    from repro.net.topology import SegmentedTopology
+    from repro.net.sites import Site
+
+    print("Section 2 worked example: copies at A(1), B(2), C(3); LDV.\n")
+    topology = SegmentedTopology(
+        [Site(1, "A"), Site(2, "B"), Site(3, "C")], {"lan": [1, 2, 3]}
+    )
+    cluster = Cluster(topology)
+    file = ReplicatedFile(cluster, {1, 2, 3}, policy="LDV", initial="v1")
+
+    def show(step: str) -> None:
+        states = file.protocol.replicas
+        cells = []
+        for sid, label in ((1, "A"), (2, "B"), (3, "C")):
+            st = states.state(sid)
+            members = ",".join(
+                {1: "A", 2: "B", 3: "C"}[m] for m in sorted(st.partition_set)
+            )
+            cells.append(f"{label}: o={st.operation} v={st.version} P={{{members}}}")
+        print(f"{step:<38} {' | '.join(cells)}")
+
+    show("initial state")
+    for i in range(7):
+        file.write(1, f"write-{i + 2}")
+    show("after seven writes")
+    cluster.fail_site(2)
+    show("B fails (eager LDV shrinks quorum)")
+    for i in range(3):
+        file.write(1, f"write-{i + 9}")
+    show("three more writes by {A, C}")
+    cluster.fail_site(3)
+    show("C fails; A alone is the majority")
+    print(f"\nfile still available: {file.is_available()}")
+    print(f"read at A -> {file.read(1)!r}")
+    print(f"message traffic: {file.counters}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro`` and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    command = args.command
+    if command == "testbed":
+        _cmd_testbed(args)
+    elif command in ("table2", "table3", "study"):
+        _cmd_tables(args, command)
+    elif command == "sweep":
+        _cmd_sweep(args)
+    elif command == "placement":
+        _cmd_placement(args)
+    elif command == "trace":
+        _cmd_trace(args)
+    elif command == "overhead":
+        _cmd_overhead(args)
+    elif command == "validate":
+        return _cmd_validate(args)
+    elif command == "scenario":
+        return _cmd_scenario(args)
+    elif command == "demo":
+        _cmd_demo(args)
+    else:  # pragma: no cover - argparse enforces choices
+        parser.error(f"unknown command {command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""The paper's contribution: static and dynamic voting protocols.
+
+All protocols implement one interface, :class:`~repro.core.base.VotingProtocol`:
+
+================================  =====  ==========  ===========  =========
+protocol                          abbr   update      tie-break    topology
+================================  =====  ==========  ===========  =========
+MajorityConsensusVoting           MCV    static      —            —
+DynamicVoting                     DV     eager       none         —
+LexicographicDynamicVoting        LDV    eager       lexicogr.    —
+OptimisticDynamicVoting           ODV    at access   lexicogr.    —
+TopologicalDynamicVoting          TDV    eager       lexicogr.    claims votes
+OptimisticTopologicalDynamicVot.  OTDV   at access   lexicogr.    claims votes
+================================  =====  ==========  ===========  =========
+
+Extensions beyond the evaluated six (the paper's related/future work):
+:class:`~repro.core.available_copy.AvailableCopy`,
+:class:`~repro.core.weighted.WeightedMajorityVoting`, and
+:class:`~repro.core.witnesses.DynamicVotingWithWitnesses`.
+
+*Eager* protocols assume the paper's "instantaneous state information"
+(the connection vector): the experiment harness calls
+:meth:`~repro.core.base.VotingProtocol.synchronize` after every network
+event.  *Optimistic* protocols are synchronised only when the file is
+actually accessed.
+"""
+
+from repro.core.available_copy import AvailableCopy
+from repro.core.base import (
+    DynamicVotingFamily,
+    OperationKind,
+    Verdict,
+    VotingProtocol,
+)
+from repro.core.cardinality import CardinalityDynamicVoting
+from repro.core.dynamic import DynamicVoting
+from repro.core.lexicographic import LexicographicDynamicVoting
+from repro.core.mcv import MajorityConsensusVoting
+from repro.core.optimistic import OptimisticDynamicVoting
+from repro.core.optimistic_topological import OptimisticTopologicalDynamicVoting
+from repro.core.reassignment import ReassignmentPolicy, VoteReassignmentVoting
+from repro.core.registry import PAPER_POLICIES, available_policies, make_protocol
+from repro.core.topological import TopologicalDynamicVoting
+from repro.core.weighted import WeightedMajorityVoting
+from repro.core.weighted_dynamic import (
+    OptimisticWeightedDynamicVoting,
+    WeightedDynamicVoting,
+    WeightedTopologicalDynamicVoting,
+)
+from repro.core.witnesses import (
+    DynamicVotingWithWitnesses,
+    TopologicalDynamicVotingWithWitnesses,
+)
+
+__all__ = [
+    "AvailableCopy",
+    "CardinalityDynamicVoting",
+    "DynamicVoting",
+    "DynamicVotingFamily",
+    "DynamicVotingWithWitnesses",
+    "LexicographicDynamicVoting",
+    "MajorityConsensusVoting",
+    "OperationKind",
+    "OptimisticDynamicVoting",
+    "OptimisticTopologicalDynamicVoting",
+    "OptimisticWeightedDynamicVoting",
+    "PAPER_POLICIES",
+    "ReassignmentPolicy",
+    "TopologicalDynamicVoting",
+    "TopologicalDynamicVotingWithWitnesses",
+    "Verdict",
+    "VoteReassignmentVoting",
+    "VotingProtocol",
+    "WeightedDynamicVoting",
+    "WeightedMajorityVoting",
+    "WeightedTopologicalDynamicVoting",
+    "available_policies",
+    "make_protocol",
+]

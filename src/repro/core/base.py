@@ -1,0 +1,538 @@
+"""Protocol interface and the shared dynamic-voting machinery.
+
+The quorum logic here is a direct transcription of the paper's Algorithm 1
+and the READ / WRITE / RECOVER procedures of Figures 1–3 (and, with the
+``topological`` switch, Figures 5–7):
+
+1. ``R``  — copies reachable from the requesting site's partition block;
+2. ``Q``  — reachable copies with the highest operation number (*current*);
+3. ``S``  — reachable copies with the highest version number (*newest*);
+4. ``P_m`` — the partition set of any member of ``Q`` (they all agree);
+5. the grant test — strict majority of ``P_m``, or exactly half plus the
+   lexicographic maximum of ``P_m``; topological protocols count the
+   claimable set ``T`` instead of ``Q``;
+6. COMMIT — install ``(o_m + 1, v', S')`` at every site of the new
+   partition set ``S'``.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional
+
+from repro.errors import ConfigurationError, ProtocolError, QuorumNotReachedError
+from repro.net.views import NetworkView
+from repro.replica.state import ReplicaSet
+
+__all__ = [
+    "CommitRecord",
+    "DynamicVotingFamily",
+    "OperationKind",
+    "Verdict",
+    "VotingProtocol",
+]
+
+
+class OperationKind(enum.Enum):
+    """The three operations of the paper's protocol figures."""
+
+    READ = "read"
+    WRITE = "write"
+    RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed state change, for audit trails (see
+    :meth:`VotingProtocol.enable_history`).
+
+    Attributes:
+        kind: ``"read"``, ``"write"``, ``"recover"`` or ``"adjust"``
+            (the eager null operation).
+        operation: The committed operation number.
+        version: The committed version number.
+        members: The new partition set (the COMMIT's recipients).
+    """
+
+    kind: str
+    operation: int
+    version: int
+    members: frozenset[int]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The outcome of evaluating the majority-partition test in one block.
+
+    Attributes:
+        granted: Whether an access from this block would be allowed.
+        block: The communicating block that was evaluated (empty for the
+            "no copies reachable anywhere" denial).
+        reachable: ``R`` — copy sites inside the block.
+        current: ``Q`` — reachable copies with the maximum operation number.
+        newest: ``S`` — reachable copies with the maximum version number.
+        counted: The set compared against ``|P_m| / 2``: ``Q`` for the
+            plain protocols, the claimable set ``T`` for topological ones.
+        partition_set: ``P_m`` — the previous quorum (denominator).
+        reference: ``m`` — the current copy whose state anchored the test,
+            or ``None`` when the block holds no copies.
+        reason: Short human-readable explanation of a denial.
+    """
+
+    granted: bool
+    block: frozenset[int] = frozenset()
+    reachable: frozenset[int] = frozenset()
+    current: frozenset[int] = frozenset()
+    newest: frozenset[int] = frozenset()
+    counted: frozenset[int] = frozenset()
+    partition_set: frozenset[int] = frozenset()
+    reference: Optional[int] = None
+    reason: str = field(default="", compare=False)
+
+    @staticmethod
+    def denial(reason: str, block: frozenset[int] = frozenset()) -> "Verdict":
+        """A denial verdict carrying only an explanation."""
+        return Verdict(granted=False, block=block, reason=reason)
+
+
+class VotingProtocol(abc.ABC):
+    """A consistency protocol for one replicated file.
+
+    Subclasses provide :meth:`evaluate_block` (the pure majority test) and
+    the state-changing operations.  The environment drives protocols in
+    two ways:
+
+    * *probing* — :meth:`is_available` / :meth:`evaluate` ask whether an
+      access arriving now would be granted, without touching state;
+    * *operating* — :meth:`read`, :meth:`write`, :meth:`recover` and
+      :meth:`synchronize` run the actual algorithms and mutate the
+      replicas' ``(o, v, P)`` state.
+
+    Class attributes:
+        name: Canonical abbreviation (``"MCV"``, ``"ODV"``, ...).
+        eager: ``True`` when the protocol assumes instantaneous state
+            information, i.e. the harness must call :meth:`synchronize`
+            after every network change; ``False`` for optimistic protocols
+            synchronised only at access time.
+    """
+
+    name: ClassVar[str] = "abstract"
+    eager: ClassVar[bool] = True
+    #: Whether a granted read COMMITs new state (dynamic protocols bump
+    #: the operation number and partition set; static ones do not).  The
+    #: engine uses this for message accounting.
+    commits_on_read: ClassVar[bool] = False
+
+    def __init__(self, replicas: ReplicaSet):
+        self._replicas = replicas
+        self._history: Optional[list["CommitRecord"]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> ReplicaSet:
+        """The per-copy consistency-control state this protocol manages."""
+        return self._replicas
+
+    # ------------------------------------------------------------------
+    # commit audit trail
+    # ------------------------------------------------------------------
+    def enable_history(self) -> "VotingProtocol":
+        """Start recording every commit (returns ``self`` for chaining).
+
+        Off by default — the availability study performs millions of
+        commits and must not accumulate them.
+        """
+        if self._history is None:
+            self._history = []
+        return self
+
+    @property
+    def history(self) -> tuple["CommitRecord", ...]:
+        """All commits recorded since :meth:`enable_history`.
+
+        Raises:
+            ConfigurationError: if history recording was never enabled.
+        """
+        if self._history is None:
+            raise ConfigurationError(
+                "commit history is off; call enable_history() first"
+            )
+        return tuple(self._history)
+
+    def _record(self, kind: str, operation: int, version: int,
+                members: frozenset[int]) -> None:
+        if self._history is not None:
+            self._history.append(
+                CommitRecord(kind, operation, version, members)
+            )
+
+    @property
+    def copy_sites(self) -> frozenset[int]:
+        return self._replicas.copy_sites
+
+    @property
+    def data_sites(self) -> frozenset[int]:
+        """Sites whose copies hold actual file data.
+
+        Equal to :attr:`copy_sites` for every protocol except
+        witness-augmented ones, where witnesses carry state but no bytes.
+        The engine stores payloads only at these sites.
+        """
+        return self._replicas.copy_sites
+
+    # ------------------------------------------------------------------
+    # pure evaluation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def evaluate_block(self, view: NetworkView, block: frozenset[int]) -> Verdict:
+        """Run the majority-partition test for an access from *block*.
+
+        Pure: never mutates replica state.
+        """
+
+    def evaluate(self, view: NetworkView) -> Verdict:
+        """The verdict for the best block — the paper's single user "can
+        access any of the sites", so the file is available if *any* block
+        grants.  Returns the granting verdict, or the last denial."""
+        denial: Optional[Verdict] = None
+        copies = self._replicas.copy_sites
+        for block in view.blocks:
+            if not (block & copies):
+                continue
+            verdict = self.evaluate_block(view, block)
+            if verdict.granted:
+                return verdict
+            denial = verdict
+        if denial is None:
+            denial = Verdict.denial("no partition block contains a copy")
+        return denial
+
+    def is_available(self, view: NetworkView) -> bool:
+        """Whether an access arriving now, at any site, would be granted."""
+        return self.evaluate(view).granted
+
+    def granting_blocks(self, view: NetworkView) -> tuple[frozenset[int], ...]:
+        """All blocks whose access would be granted.
+
+        The mutual-exclusion invariant says this tuple never holds more
+        than one element; the property-based tests assert exactly that.
+        """
+        copies = self._replicas.copy_sites
+        return tuple(
+            block
+            for block in view.blocks
+            if block & copies and self.evaluate_block(view, block).granted
+        )
+
+    # ------------------------------------------------------------------
+    # state-changing operations
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def read(self, view: NetworkView, site_id: int) -> Verdict:
+        """Attempt a read from *site_id*; mutates state iff granted."""
+
+    @abc.abstractmethod
+    def write(self, view: NetworkView, site_id: int) -> Verdict:
+        """Attempt a write from *site_id*; mutates state iff granted."""
+
+    @abc.abstractmethod
+    def recover(self, view: NetworkView, site_id: int) -> Verdict:
+        """One round of the RECOVER loop at copy site *site_id*."""
+
+    @abc.abstractmethod
+    def synchronize(self, view: NetworkView) -> None:
+        """Bring protocol state up to date with the network view.
+
+        For eager protocols the harness calls this after every network
+        event (modelling the connection vector); for optimistic ones,
+        only at access epochs.  Runs recoveries of reachable stale copies
+        and the quorum adjustment, to fixpoint.
+        """
+
+    def recover_stale(self, view: NetworkView) -> None:
+        """Run pending RECOVER loops without touching the quorum.
+
+        The paper's RECOVER is initiated by the restarting site itself
+        and "repeat[s] until successful" — it does not wait for anyone to
+        access the file.  Optimistic protocols therefore reintegrate
+        copies eagerly while still deferring quorum *adjustment* to
+        access time; the trace evaluator calls this after every network
+        event for the optimistic policies.  Default: nothing to do
+        (static protocols need no reintegration step).
+        """
+
+    # ------------------------------------------------------------------
+    def _require_copy(self, site_id: int) -> None:
+        if site_id not in self._replicas:
+            raise ConfigurationError(f"site {site_id} holds no copy")
+
+    def _block_for_request(self, view: NetworkView, site_id: int) -> frozenset[int]:
+        """The requesting site's block; a down requester can do nothing."""
+        if not view.is_up(site_id):
+            raise QuorumNotReachedError(f"requesting site {site_id} is down")
+        return view.block_of(site_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        copies = ",".join(map(str, sorted(self._replicas.copy_sites)))
+        return f"<{type(self).__name__} copies={{{copies}}}>"
+
+
+class DynamicVotingFamily(VotingProtocol):
+    """Shared implementation of the dynamic-voting rule family.
+
+    The three orthogonal switches below produce DV, LDV, ODV, TDV and
+    OTDV as five tiny subclasses:
+
+    * ``tie_break`` — apply the lexicographic rule when exactly half of
+      the previous partition set is counted (LDV and all newer variants);
+    * ``topological`` — count the claimable set ``T`` (votes of same-
+      segment unavailable members of ``P_m``) instead of ``Q``;
+    * ``eager`` — whether :meth:`synchronize` is meant to run at every
+      network change (protocol classes only *declare* this; the driver
+      enforces it).
+    """
+
+    tie_break: ClassVar[bool] = True
+    topological: ClassVar[bool] = False
+    commits_on_read: ClassVar[bool] = True
+    #: Deny grants anchored on a stale generation (see evaluate_block).
+    lineage_guard: ClassVar[bool] = False
+
+    def __init__(self, replicas: ReplicaSet):
+        super().__init__(replicas)
+        # Number of grants that relied on claimed votes of unreachable
+        # sites (always 0 for non-topological protocols).  Exposed so the
+        # property tests can correlate any stale read with a topological
+        # vote claim, the one documented consistency caveat (DESIGN.md §3).
+        self.claimed_vote_grants = 0
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 (+ the T extension of Section 3)
+    # ------------------------------------------------------------------
+    def evaluate_block(self, view: NetworkView, block: frozenset[int]) -> Verdict:
+        replicas = self._replicas
+        reachable = replicas.reachable(block)  # R
+        if not reachable:
+            return Verdict.denial("no copies reachable in block", block)
+
+        current = replicas.current_sites(reachable)  # Q
+        newest = replicas.newest_sites(reachable)  # S
+        reference = min(current)  # m: all of Q share one state triple
+        anchor_state = replicas.state(reference)
+        partition_set = anchor_state.partition_set  # P_m
+        self._check_generation(current)
+
+        if self.lineage_guard:
+            # Topological vote-claiming is unsafe across *sequential*
+            # total failures of a segment: each of two segment mates can,
+            # in turn, claim the other's vote over the same generation and
+            # fork the commit history (DESIGN.md §3).  The paper's
+            # availability study implicitly follows a single global
+            # lineage — the Available-Copy "wait for the last to fail"
+            # rule a segment falls back to — so the topological protocols
+            # refuse any grant whose anchor is not at the globally newest
+            # committed generation.
+            global_top = replicas.max_operation(replicas.copy_sites)
+            if anchor_state.operation < global_top:
+                return Verdict(
+                    granted=False,
+                    block=block,
+                    reachable=reachable,
+                    current=current,
+                    newest=newest,
+                    counted=frozenset(),
+                    partition_set=partition_set,
+                    reference=reference,
+                    reason=(
+                        "stale generation: a newer commit exists at an "
+                        "unreachable copy (lineage guard)"
+                    ),
+                )
+
+        counted = self._counted(view, reachable, partition_set, current)
+        doubled = 2 * self._measure(counted)
+        size = self._measure(partition_set)
+        if doubled > size:
+            granted = True
+            reason = ""
+        elif self.tie_break and doubled == size and view.max_site(partition_set) in current:
+            granted = True
+            reason = ""
+        elif doubled == size:
+            if self.tie_break:
+                reason = (
+                    "tie: exactly half of the previous partition set, "
+                    "without its maximum element"
+                )
+            else:
+                reason = (
+                    "tie: exactly half of the previous partition set "
+                    "(no tie-breaking rule)"
+                )
+            granted = False
+        else:
+            reason = "fewer than half of the previous partition set reachable"
+            granted = False
+
+        return Verdict(
+            granted=granted,
+            block=block,
+            reachable=reachable,
+            current=current,
+            newest=newest,
+            counted=counted,
+            partition_set=partition_set,
+            reference=reference,
+            reason=reason,
+        )
+
+    def _measure(self, sites: frozenset[int]) -> int:
+        """How much voting power *sites* carry.
+
+        The paper's protocols count copies (one site, one vote); the
+        weighted extension overrides this with a weight sum.  Must be a
+        non-negative integer-valued measure so the half-of-``P_m``
+        comparisons stay exact.
+        """
+        return len(sites)
+
+    def _counted(
+        self,
+        view: NetworkView,
+        reachable: frozenset[int],
+        partition_set: frozenset[int],
+        current: frozenset[int],
+    ) -> frozenset[int]:
+        """The vote set compared against ``|P_m| / 2``.
+
+        Plain protocols count ``Q``.  Topological protocols count
+        ``T = {r in P_m : exists s in P_m ∩ R on r's segment}`` — a live
+        member of the previous quorum carries the votes of its segment
+        mates, which cannot be partitioned away and hence must be down.
+        """
+        if not self.topological:
+            return current
+        active = partition_set & reachable  # the claimants: P_m ∩ R
+        counted = frozenset(
+            r
+            for r in partition_set
+            if any(view.same_segment(r, s) for s in active)
+        )
+        return counted
+
+    def _check_generation(self, current: frozenset[int]) -> None:
+        """All of ``Q`` must carry the same state triple.
+
+        Commits are totally ordered by mutual exclusion, so equal
+        operation numbers imply the same originating commit.  A mismatch
+        means the invariant was already broken; fail loudly.
+        """
+        states = {self._replicas.state(s).snapshot() for s in current}
+        if len(states) != 1:
+            raise ProtocolError(
+                f"divergent state among current sites {sorted(current)}: {states}"
+            )
+
+    # ------------------------------------------------------------------
+    # Figures 1/2 (5/6): READ and WRITE
+    # ------------------------------------------------------------------
+    def read(self, view: NetworkView, site_id: int) -> Verdict:
+        return self._operate(view, site_id, OperationKind.READ)
+
+    def write(self, view: NetworkView, site_id: int) -> Verdict:
+        return self._operate(view, site_id, OperationKind.WRITE)
+
+    def _operate(self, view: NetworkView, site_id: int, kind: OperationKind) -> Verdict:
+        block = self._block_for_request(view, site_id)
+        verdict = self.evaluate_block(view, block)
+        if verdict.granted:
+            self._commit_operation(verdict, write=(kind is OperationKind.WRITE))
+        return verdict
+
+    def _commit_operation(self, verdict: Verdict, write: bool,
+                          kind: Optional[str] = None) -> None:
+        """COMMIT(S, o_m + 1, v_m [+1], S)."""
+        self._note_claims(verdict)
+        assert verdict.reference is not None
+        anchor = self._replicas.state(verdict.reference)
+        new_operation = anchor.operation + 1
+        new_version = anchor.version + (1 if write else 0)
+        new_set = verdict.newest
+        for sid in new_set:
+            self._replicas.state(sid).commit(new_operation, new_version, new_set)
+        self._record(kind or ("write" if write else "read"),
+                     new_operation, new_version, new_set)
+
+    # ------------------------------------------------------------------
+    # Figure 3 (7): RECOVER
+    # ------------------------------------------------------------------
+    def recover(self, view: NetworkView, site_id: int) -> Verdict:
+        """One attempt of the RECOVER loop for the copy at *site_id*.
+
+        On success the recovering site is reinserted:
+        ``COMMIT(S ∪ {l}, o_m + 1, v_m, S ∪ {l})`` — the version bump to
+        ``v_m`` models "copy the file from site m".
+        """
+        self._require_copy(site_id)
+        block = self._block_for_request(view, site_id)
+        verdict = self.evaluate_block(view, block)
+        if not verdict.granted:
+            return verdict
+        self._note_claims(verdict)
+        assert verdict.reference is not None
+        anchor = self._replicas.state(verdict.reference)
+        new_set = verdict.newest | {site_id}
+        new_operation = anchor.operation + 1
+        for sid in new_set:
+            self._replicas.state(sid).commit(new_operation, anchor.version, new_set)
+        self._record("recover", new_operation, anchor.version, new_set)
+        return verdict
+
+    def _note_claims(self, verdict: Verdict) -> None:
+        if self.topological and (verdict.counted - verdict.reachable):
+            self.claimed_vote_grants += 1
+
+    # ------------------------------------------------------------------
+    def synchronize(self, view: NetworkView) -> None:
+        """Recover every reachable stale copy, then adjust the quorum.
+
+        Equivalent to: each stale reachable copy runs its RECOVER loop,
+        then a null operation shrinks the partition set to the reachable
+        current copies.  Converges in at most ``|copies| + 1`` rounds.
+        """
+        copies = self._replicas.copy_sites
+        for _ in range(len(copies) + 2):
+            verdict = self.evaluate(view)
+            if not verdict.granted:
+                return
+            stale = sorted((copies & verdict.block) - verdict.current)
+            if stale:
+                self.recover(view, stale[0])
+                continue
+            if verdict.partition_set != verdict.newest:
+                # Null operation: quorum adjustment without data movement.
+                self._commit_operation(verdict, write=False, kind="adjust")
+            return
+        raise ProtocolError("synchronize failed to converge")  # pragma: no cover
+
+    def recover_stale(self, view: NetworkView) -> None:
+        """Recoveries only — the restarting sites' own RECOVER loops.
+
+        Note that RECOVER's commit ``(S ∪ {l}, o_m + 1, v_m, S ∪ {l})``
+        *does* replace the partition set with the reachable current
+        copies plus the recoverer, so recovery can shrink a quorum as a
+        side effect when some previous members are unreachable; what it
+        never does is run the gratuitous null-operation adjustment that
+        eager protocols perform on every network event.
+        """
+        copies = self._replicas.copy_sites
+        for _ in range(len(copies) + 1):
+            verdict = self.evaluate(view)
+            if not verdict.granted:
+                return
+            stale = sorted((copies & verdict.block) - verdict.current)
+            if not stale:
+                return
+            self.recover(view, stale[0])

@@ -1,0 +1,24 @@
+"""Original Dynamic Voting (Davcev & Burkhard, SOSP 1985).
+
+A new majority block must contain a *strict* majority of the previous
+one; ties (exactly half on each side) make the file unavailable.  The
+paper evaluates DV with instantaneous state information, so this class is
+*eager*: the driver synchronises it at every network change.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.base import DynamicVotingFamily
+
+__all__ = ["DynamicVoting"]
+
+
+class DynamicVoting(DynamicVotingFamily):
+    """DV — dynamic quorums, no tie-breaking rule, instantaneous state."""
+
+    name: ClassVar[str] = "DV"
+    eager: ClassVar[bool] = True
+    tie_break: ClassVar[bool] = False
+    topological: ClassVar[bool] = False

@@ -1,0 +1,25 @@
+"""Lexicographic Dynamic Voting (Jajodia, ICDE 1987).
+
+Extends DV with a total ordering of the sites: a group holding *exactly*
+one half of the previous majority block may proceed iff it contains the
+maximum element of that block.  Two disjoint halves cannot both hold the
+maximum, so mutual exclusion is preserved while most ties are resolved.
+Evaluated with instantaneous state information (eager), as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.base import DynamicVotingFamily
+
+__all__ = ["LexicographicDynamicVoting"]
+
+
+class LexicographicDynamicVoting(DynamicVotingFamily):
+    """LDV — dynamic quorums + lexicographic tie-break, instantaneous state."""
+
+    name: ClassVar[str] = "LDV"
+    eager: ClassVar[bool] = True
+    tie_break: ClassVar[bool] = True
+    topological: ClassVar[bool] = False

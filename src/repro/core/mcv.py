@@ -1,0 +1,137 @@
+"""Static Majority Consensus Voting (Ellis 1977, Gifford 1979).
+
+The baseline every dynamic protocol is measured against.  The quorum is
+fixed at a strict majority of *all* physical copies: any partition block
+containing more than half of the copies (up or freshly restarted — every
+copy always votes) may access the file.  Because any two majorities
+intersect and a majority always contains a copy holding the latest
+version, consistency holds with no dynamic state at all — but a few
+failures can make every block fall below the static quorum, which is
+exactly the weakness dynamic voting removes.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.base import OperationKind, Verdict, VotingProtocol
+from repro.errors import ConfigurationError
+from repro.net.views import NetworkView
+from repro.replica.state import ReplicaSet
+
+__all__ = ["MajorityConsensusVoting"]
+
+
+class MajorityConsensusVoting(VotingProtocol):
+    """MCV — one vote per copy, static majority quorum.
+
+    State kept per copy is just the version number (operation numbers
+    mirror versions so the shared ``ReplicaState`` invariants hold; the
+    partition set is never consulted and never changes).
+
+    Ties with an even number of copies are resolved statically with the
+    same lexicographic convention as the dynamic protocols: a group
+    holding exactly half of the copies wins iff it contains the maximum
+    site.  The paper never states this for MCV, but its four-copy Table 2
+    rows demand it — e.g. configuration F would otherwise be unavailable
+    for site 4's entire two-week repairs (~0.12 unavailability versus the
+    published 0.002761); see DESIGN.md §3.  Equivalent to giving the
+    maximum site one extra vote in Gifford's weighted scheme.  Pass
+    ``tie_break=False`` for the strict textbook quorum.
+    """
+
+    name: ClassVar[str] = "MCV"
+    eager: ClassVar[bool] = True
+
+    def __init__(self, replicas: ReplicaSet, tie_break: bool = True):
+        super().__init__(replicas)
+        if len(replicas) < 1:
+            raise ConfigurationError("MCV needs at least one copy")
+        self._quorum = len(replicas) // 2 + 1
+        self._tie_break = tie_break
+
+    @property
+    def quorum(self) -> int:
+        """Votes required: strict majority of all copies."""
+        return self._quorum
+
+    @property
+    def tie_break(self) -> bool:
+        """Whether an exact half containing the maximum site suffices."""
+        return self._tie_break
+
+    # ------------------------------------------------------------------
+    def evaluate_block(self, view: NetworkView, block: frozenset[int]) -> Verdict:
+        replicas = self._replicas
+        reachable = replicas.reachable(block)
+        if not reachable:
+            return Verdict.denial("no copies reachable in block", block)
+        copies = replicas.copy_sites
+        granted = 2 * len(reachable) > len(copies)
+        if (
+            not granted
+            and self._tie_break
+            and 2 * len(reachable) == len(copies)
+            and view.max_site(copies) in reachable
+        ):
+            granted = True
+        newest = replicas.newest_sites(reachable)
+        return Verdict(
+            granted=granted,
+            block=block,
+            reachable=reachable,
+            current=reachable,  # every copy votes, stale or not
+            newest=newest,
+            counted=reachable,
+            partition_set=replicas.copy_sites,  # the static denominator
+            reference=min(newest),
+            reason="" if granted else (
+                f"{len(reachable)} of {len(replicas)} copies reachable, "
+                f"quorum is {self._quorum}"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def read(self, view: NetworkView, site_id: int) -> Verdict:
+        """Reads collect a majority and use its newest copy; no state change."""
+        block = self._block_for_request(view, site_id)
+        return self.evaluate_block(view, block)
+
+    def write(self, view: NetworkView, site_id: int) -> Verdict:
+        """Writes install ``max version + 1`` at every reachable copy."""
+        block = self._block_for_request(view, site_id)
+        verdict = self.evaluate_block(view, block)
+        if not verdict.granted:
+            return verdict
+        assert verdict.reference is not None
+        new_version = self._replicas.state(verdict.reference).version + 1
+        for sid in verdict.reachable:
+            state = self._replicas.state(sid)
+            # Keep o == v: MCV has no separate operation counter.
+            state.commit(new_version, new_version, state.partition_set)
+        return verdict
+
+    def recover(self, view: NetworkView, site_id: int) -> Verdict:
+        """A restarted copy votes again immediately; it refreshes its data
+        (version) if a newer reachable copy exists, but needs no quorum —
+        staleness is caught by version comparison inside later quorums."""
+        self._require_copy(site_id)
+        block = self._block_for_request(view, site_id)
+        verdict = self.evaluate_block(view, block)
+        newest_version = self._replicas.max_version(verdict.reachable)
+        state = self._replicas.state(site_id)
+        if state.version < newest_version:
+            state.commit(newest_version, newest_version, state.partition_set)
+        return verdict
+
+    def synchronize(self, view: NetworkView) -> None:
+        """MCV keeps no dynamic quorum state; nothing to do."""
+
+    # ------------------------------------------------------------------
+    def operate(self, view: NetworkView, site_id: int, kind: OperationKind) -> Verdict:
+        """Dispatch helper used by the engine."""
+        if kind is OperationKind.READ:
+            return self.read(view, site_id)
+        if kind is OperationKind.WRITE:
+            return self.write(view, site_id)
+        return self.recover(view, site_id)

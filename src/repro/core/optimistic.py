@@ -1,0 +1,32 @@
+"""Optimistic Dynamic Voting — the paper's first contribution (Section 2).
+
+Identical quorum rules to :class:`~repro.core.lexicographic.
+LexicographicDynamicVoting`, but the protocol *operates on possibly
+out-of-date information*: no connection vector is maintained, and the
+``(o, v, P)`` state evolves only when the file is actually accessed
+(``eager = False`` — the driver synchronises it at access epochs only).
+
+This is both cheaper (no state-maintenance traffic; see the
+message-overhead benchmark) and, counter-intuitively, sometimes *more*
+available than LDV: a short failure of a well-behaved site that heals
+before the next access never shrinks the quorum, so a later failure of a
+slow-to-repair partition point (the paper's configuration F) does not
+strand the file.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.base import DynamicVotingFamily
+
+__all__ = ["OptimisticDynamicVoting"]
+
+
+class OptimisticDynamicVoting(DynamicVotingFamily):
+    """ODV — lexicographic dynamic voting on access-time state only."""
+
+    name: ClassVar[str] = "ODV"
+    eager: ClassVar[bool] = False
+    tie_break: ClassVar[bool] = True
+    topological: ClassVar[bool] = False

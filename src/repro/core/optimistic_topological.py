@@ -1,0 +1,25 @@
+"""Optimistic Topological Dynamic Voting (Figures 5–7 of the paper).
+
+The combination of both contributions: topological vote-claiming with
+access-time-only state updates.  "Topological Dynamic Voting ... can be
+easily combined with Optimistic Dynamic Voting to obtain a more efficient
+consistency algorithm."
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.base import DynamicVotingFamily
+
+__all__ = ["OptimisticTopologicalDynamicVoting"]
+
+
+class OptimisticTopologicalDynamicVoting(DynamicVotingFamily):
+    """OTDV — topological vote claiming on access-time state only."""
+
+    name: ClassVar[str] = "OTDV"
+    eager: ClassVar[bool] = False
+    tie_break: ClassVar[bool] = True
+    topological: ClassVar[bool] = True
+    lineage_guard: ClassVar[bool] = True

@@ -1,0 +1,59 @@
+"""Name-based construction of protocols.
+
+The experiment harness, CLI and benchmarks refer to policies by the
+paper's abbreviations; this module maps those names to constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.available_copy import AvailableCopy
+from repro.core.base import VotingProtocol
+from repro.core.cardinality import CardinalityDynamicVoting
+from repro.core.dynamic import DynamicVoting
+from repro.core.lexicographic import LexicographicDynamicVoting
+from repro.core.mcv import MajorityConsensusVoting
+from repro.core.optimistic import OptimisticDynamicVoting
+from repro.core.optimistic_topological import OptimisticTopologicalDynamicVoting
+from repro.core.reassignment import VoteReassignmentVoting
+from repro.core.topological import TopologicalDynamicVoting
+from repro.errors import ConfigurationError
+from repro.replica.state import ReplicaSet
+
+__all__ = ["PAPER_POLICIES", "available_policies", "make_protocol"]
+
+#: The six policies of Tables 2 and 3, in the paper's column order.
+PAPER_POLICIES: tuple[str, ...] = ("MCV", "DV", "LDV", "ODV", "TDV", "OTDV")
+
+_FACTORIES: dict[str, Callable[[ReplicaSet], VotingProtocol]] = {
+    "MCV": MajorityConsensusVoting,
+    "DV": DynamicVoting,
+    "LDV": LexicographicDynamicVoting,
+    "ODV": OptimisticDynamicVoting,
+    "TDV": TopologicalDynamicVoting,
+    "OTDV": OptimisticTopologicalDynamicVoting,
+    "AC": AvailableCopy,
+    "JM-DV": CardinalityDynamicVoting,
+    "DVR": VoteReassignmentVoting,
+}
+
+
+def available_policies() -> tuple[str, ...]:
+    """Every policy name :func:`make_protocol` accepts."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_protocol(name: str, replicas: ReplicaSet) -> VotingProtocol:
+    """Build the protocol called *name* over *replicas*.
+
+    Raises:
+        ConfigurationError: for an unknown policy name.
+    """
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; choose from {available_policies()}"
+        ) from None
+    return factory(replicas)

@@ -1,0 +1,42 @@
+"""Topological Dynamic Voting — the paper's second contribution (Section 3).
+
+Sites on the same unsegmented carrier-sense segment (or token ring) can
+never be separated by a network partition.  Hence, if a member ``s`` of
+the previous majority block is reachable, every *unreachable* member on
+``s``'s segment must be **down**, not partitioned away — it cannot take
+part in a rival quorum, and ``s`` may safely carry its vote.
+
+Formally the counted set becomes::
+
+    T = { r in P_m : exists s in (P_m ∩ R) with segment(r) == segment(s) }
+
+and the grant test is ``|T| > |P_m|/2`` or ``|T| = |P_m|/2`` with
+``max(P_m) in Q``.  (The paper's Figure 5 prints ``P_m ∪ R`` — the prose
+makes clear the intended set is ``P_m ∩ R_k``; see DESIGN.md §3.)
+
+With every copy on one segment this degenerates into an Available-Copy
+protocol: one live copy suffices.  The flip side, inherited from
+Available Copy, is the *sequential total-failure caveat*: after all of a
+segment's current copies fail, the first to recover may claim its dead
+segment-mates' votes without having observed their newer state.
+Concurrent mutual exclusion always holds; the
+``claimed_vote_grants`` counter exposes when the caveat could apply.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.base import DynamicVotingFamily
+
+__all__ = ["TopologicalDynamicVoting"]
+
+
+class TopologicalDynamicVoting(DynamicVotingFamily):
+    """TDV — dynamic voting that claims votes of same-segment dead sites."""
+
+    name: ClassVar[str] = "TDV"
+    eager: ClassVar[bool] = True
+    tie_break: ClassVar[bool] = True
+    topological: ClassVar[bool] = True
+    lineage_guard: ClassVar[bool] = True

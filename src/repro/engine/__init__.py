@@ -1,0 +1,36 @@
+"""Message-level replication engine.
+
+The availability study only tracks protocol *state*; this package runs
+the protocols as an actual replicated-file service:
+
+* :class:`~repro.engine.cluster.Cluster` — a mutable environment (sites
+  go down and come back, links fail) with failure injection;
+* :class:`~repro.engine.file.ReplicatedFile` — the public API: ``read``,
+  ``write``, per-site recovery, availability probes.  Values really move
+  between per-site stores, so end-to-end consistency ("a granted read
+  returns the last granted write") is checkable;
+* :class:`~repro.engine.counters.MessageCounters` — per-operation message
+  accounting, used by the message-overhead benchmark to support the
+  paper's claim that the optimistic protocols cost about as much traffic
+  as MCV while the eager ones pay for every network event.
+
+Message exchange is modelled synchronously (the paper assumes reliable,
+ordered delivery within a partition); the counts follow the START /
+reply / COMMIT / data-transfer pattern of the algorithms.
+"""
+
+from repro.engine.actors import MessageCluster, SiteActor
+from repro.engine.cluster import Cluster
+from repro.engine.counters import MessageCounters
+from repro.engine.file import ReplicatedFile
+from repro.engine.transport import Mailbox, Network
+
+__all__ = [
+    "Cluster",
+    "Mailbox",
+    "MessageCluster",
+    "MessageCounters",
+    "Network",
+    "ReplicatedFile",
+    "SiteActor",
+]

@@ -1,0 +1,310 @@
+"""A genuinely message-passing execution of the voting protocols.
+
+:class:`MessageCluster` runs the paper's algorithms the way a deployment
+would: each copy is a :class:`SiteActor` owning its stable storage (the
+``(o, v, P)`` triple plus the payload) and a mailbox; a coordinator at
+the requesting site broadcasts START, *decides from the replies it
+actually received*, and sends COMMITs.  Nothing reads another site's
+state directly, so this layer demonstrates that the protocols need only
+message-visible information.
+
+Two deliberate consequences:
+
+* the optimistic protocols' efficiency is visible as plain message
+  counts (the :class:`~repro.engine.transport.Network` tallies);
+* the **lineage guard is not implementable here** — it needs knowledge a
+  message exchange cannot provide (the globally newest generation).  The
+  topological protocols therefore run with the *published* rule, and the
+  sequential fork hazard of DESIGN.md §3 can be reproduced over real
+  messages (see ``tests/engine/test_actors.py``).
+
+For availability studies use the state-level evaluator; this layer is
+for protocol demonstration and validation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Type
+
+from repro.core.base import DynamicVotingFamily
+from repro.core.lexicographic import LexicographicDynamicVoting
+from repro.engine.transport import (
+    CommitMessage,
+    DataReply,
+    DataRequest,
+    Mailbox,
+    Message,
+    Network,
+    StateReply,
+    StateRequest,
+)
+from repro.errors import (
+    ConfigurationError,
+    EngineError,
+    QuorumNotReachedError,
+    SiteUnavailableError,
+)
+from repro.net.topology import Topology
+from repro.net.views import NetworkView
+from repro.replica.state import ReplicaSet, ReplicaState
+
+__all__ = ["SiteActor", "MessageCluster"]
+
+
+class SiteActor:
+    """One copy: stable state, payload, and message handling."""
+
+    def __init__(self, site_id: int, copy_sites: frozenset[int],
+                 initial: Any):
+        self.site_id = site_id
+        self.state = ReplicaState(site_id, partition_set=copy_sites)
+        self.payload = initial
+        self.payload_version = 1
+        self.mailbox = Mailbox(site_id)
+
+    def step(self, view: NetworkView, network: Network) -> None:
+        """Process every queued message, sending any replies."""
+        for message in self.mailbox.drain():
+            self._handle(message, view, network)
+
+    def _handle(self, message: Message, view: NetworkView,
+                network: Network) -> None:
+        if isinstance(message, StateRequest):
+            network.send(view, StateReply(
+                sender=self.site_id,
+                receiver=message.sender,
+                operation=self.state.operation,
+                version=self.state.version,
+                partition_set=self.state.partition_set,
+            ))
+        elif isinstance(message, CommitMessage):
+            self.state.commit(
+                message.operation, message.version, message.partition_set
+            )
+            if message.carries_payload:
+                self.payload = message.payload
+                self.payload_version = message.version
+        elif isinstance(message, DataRequest):
+            network.send(view, DataReply(
+                sender=self.site_id,
+                receiver=message.sender,
+                version=self.payload_version,
+                payload=self.payload,
+            ))
+        else:  # pragma: no cover - defensive
+            raise EngineError(f"unhandled message {message!r}")
+
+
+class MessageCluster:
+    """Copies as actors; operations as explicit message exchanges.
+
+    Args:
+        topology: The network.
+        copy_sites: Sites holding copies (each becomes an actor).
+        protocol: A :class:`DynamicVotingFamily` subclass supplying the
+            decision rules (tie-break / topological flags).  The
+            coordinator evaluates them over the replies it collected;
+            the lineage guard is forced off (see module docstring).
+        initial: Initial payload.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        copy_sites: frozenset[int] | set[int],
+        protocol: Type[DynamicVotingFamily] = LexicographicDynamicVoting,
+        initial: Any = None,
+    ):
+        copy_sites = frozenset(copy_sites)
+        unknown = copy_sites - topology.site_ids
+        if unknown:
+            raise ConfigurationError(f"copy sites {sorted(unknown)} unknown")
+        if not issubclass(protocol, DynamicVotingFamily):
+            raise ConfigurationError(
+                "MessageCluster runs the dynamic-voting family; got "
+                f"{protocol!r}"
+            )
+        self._topology = topology
+        self._copy_sites = copy_sites
+        # The published rule: decisions use only message-visible state.
+        self._rules: Type[DynamicVotingFamily] = type(
+            f"_MessageLevel{protocol.__name__}",
+            (protocol,),
+            {"lineage_guard": False},
+        )
+        self._actors = {
+            sid: SiteActor(sid, copy_sites, initial) for sid in copy_sites
+        }
+        mailboxes = {a.site_id: a.mailbox for a in self._actors.values()}
+        # Non-copy sites get a mailbox too: any site may coordinate.
+        for sid in topology.site_ids - copy_sites:
+            mailboxes[sid] = Mailbox(sid)
+        self._mailboxes = mailboxes
+        self.network = Network(mailboxes)
+        self._up: set[int] = set(topology.site_ids)
+
+    # ------------------------------------------------------------------
+    @property
+    def copy_sites(self) -> frozenset[int]:
+        return self._copy_sites
+
+    def actor(self, site_id: int) -> SiteActor:
+        """The actor holding the copy at *site_id* (diagnostics)."""
+        try:
+            return self._actors[site_id]
+        except KeyError:
+            raise ConfigurationError(f"no copy at site {site_id}") from None
+
+    def fail_site(self, site_id: int) -> None:
+        """Take *site_id* down; it stops answering messages."""
+        self._up.discard(site_id)
+
+    def restart_site(self, site_id: int) -> None:
+        """Bring *site_id* back up with whatever state it last stored."""
+        self._up.add(site_id)
+
+    def view(self) -> NetworkView:
+        """A snapshot of the current network state."""
+        return self._topology.view(self._up)
+
+    # ------------------------------------------------------------------
+    # operations (each is a full message exchange)
+    # ------------------------------------------------------------------
+    def read(self, at_site: int) -> Any:
+        """READ from *at_site*, purely by messages (Figure 1/5)."""
+        replies, view = self._start(at_site)
+        verdict = self._decide(replies, view, at_site)
+        newest = verdict.newest
+        value = self._fetch_payload(at_site, min(newest), view)
+        anchor = replies[min(verdict.current)]
+        self._commit(at_site, view, newest,
+                     anchor.operation + 1, anchor.version)
+        return value
+
+    def write(self, at_site: int, value: Any) -> None:
+        """WRITE from *at_site* (Figure 2/6): payload rides the COMMIT."""
+        replies, view = self._start(at_site)
+        verdict = self._decide(replies, view, at_site)
+        anchor = replies[min(verdict.current)]
+        self._commit(at_site, view, verdict.newest,
+                     anchor.operation + 1, anchor.version + 1,
+                     payload=value, carries_payload=True)
+
+    def recover(self, at_site: int) -> bool:
+        """One RECOVER attempt by the copy at *at_site* (Figure 3/7)."""
+        if at_site not in self._copy_sites:
+            raise ConfigurationError(f"no copy at site {at_site}")
+        try:
+            replies, view = self._start(at_site)
+            verdict = self._decide(replies, view, at_site)
+        except QuorumNotReachedError:
+            return False
+        anchor = replies[min(verdict.current)]
+        me = self._actors[at_site]
+        if me.state.version < anchor.version:
+            source = min(verdict.newest)
+            payload_reply = self._exchange_data(at_site, source, view)
+            me.payload = payload_reply.payload
+            me.payload_version = payload_reply.version
+        self._commit(at_site, view, verdict.newest | {at_site},
+                     anchor.operation + 1, anchor.version)
+        return True
+
+    def is_available_from(self, at_site: int) -> bool:
+        """Probe by actually running the START round (messages count)."""
+        try:
+            replies, view = self._start(at_site)
+            self._decide(replies, view, at_site)
+            return True
+        except (QuorumNotReachedError, SiteUnavailableError):
+            return False
+
+    # ------------------------------------------------------------------
+    def _start(self, at_site: int) -> tuple[dict[int, StateReply], NetworkView]:
+        view = self.view()
+        if at_site not in self._topology.site_ids:
+            raise ConfigurationError(f"no site {at_site}")
+        if not view.is_up(at_site):
+            raise SiteUnavailableError(f"site {at_site} is down")
+        # Broadcast START to the *other* copies; the coordinator reads
+        # its own stable storage directly (no message to itself).
+        peers = self._copy_sites - {at_site}
+        self.network.broadcast(
+            view, at_site, peers,
+            lambda src, dst: StateRequest(sender=src, receiver=dst),
+        )
+        for sid in sorted(peers & frozenset(self._actors)):
+            if sid in view.up:
+                self._actors[sid].step(view, self.network)
+        replies: dict[int, StateReply] = {}
+        for message in self._mailboxes[at_site].drain():
+            if isinstance(message, StateReply):
+                replies[message.sender] = message
+        if at_site in self._actors:
+            me = self._actors[at_site]
+            replies[at_site] = StateReply(
+                sender=at_site,
+                receiver=at_site,
+                operation=me.state.operation,
+                version=me.state.version,
+                partition_set=me.state.partition_set,
+            )
+        return replies, view
+
+    def _decide(self, replies: dict[int, StateReply], view: NetworkView,
+                at_site: int):
+        if not replies:
+            raise QuorumNotReachedError(
+                f"no copies answered the START from site {at_site}"
+            )
+        snapshot = ReplicaSet(replies.keys())
+        for sid, reply in replies.items():
+            snapshot.state(sid).commit(
+                reply.operation, reply.version, reply.partition_set
+            )
+        verdict = self._rules(snapshot).evaluate_block(
+            view, view.block_of(at_site)
+        )
+        if not verdict.granted:
+            raise QuorumNotReachedError(
+                f"majority test failed at site {at_site}: {verdict.reason}"
+            )
+        return verdict
+
+    def _fetch_payload(self, at_site: int, source: int,
+                       view: NetworkView) -> Any:
+        if source == at_site:
+            return self._actors[at_site].payload
+        reply = self._exchange_data(at_site, source, view)
+        return reply.payload
+
+    def _exchange_data(self, at_site: int, source: int,
+                       view: NetworkView) -> DataReply:
+        if source == at_site:
+            me = self._actors[at_site]
+            return DataReply(sender=at_site, receiver=at_site,
+                             version=me.payload_version, payload=me.payload)
+        self.network.send(view, DataRequest(sender=at_site, receiver=source))
+        self._actors[source].step(view, self.network)
+        for message in self._mailboxes[at_site].drain():
+            if isinstance(message, DataReply):
+                return message
+        raise EngineError(  # pragma: no cover - defensive
+            f"no data reply from site {source}"
+        )
+
+    def _commit(self, at_site: int, view: NetworkView,
+                members: frozenset[int], operation: int, version: int,
+                payload: Any = None, carries_payload: bool = False) -> None:
+        self.network.broadcast(
+            view, at_site, members,
+            lambda src, dst: CommitMessage(
+                sender=src, receiver=dst,
+                operation=operation, version=version,
+                partition_set=members,
+                payload=payload, carries_payload=carries_payload,
+            ),
+        )
+        for sid in sorted(members):
+            if sid in view.up and sid in self._actors:
+                self._actors[sid].step(view, self.network)

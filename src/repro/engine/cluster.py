@@ -1,0 +1,126 @@
+"""The cluster environment: topology plus mutable site/link health.
+
+A :class:`Cluster` owns the authoritative up/down state of every site and
+hands out :class:`~repro.net.views.NetworkView` snapshots.  Replicated
+files register with the cluster so that *eager* protocols are
+synchronised automatically whenever the environment changes — the
+engine-level analogue of the connection vector — while optimistic files
+stay untouched until accessed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import EngineError, UnknownSiteError
+from repro.net.topology import PointToPointTopology, Topology
+from repro.net.views import NetworkView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.file import ReplicatedFile
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A group of sites whose health the caller controls.
+
+    All sites start up.  :meth:`fail_site` / :meth:`restart_site` (and,
+    on point-to-point topologies, :meth:`fail_link` / :meth:`repair_link`)
+    inject faults; registered eager files re-synchronise after every
+    change.
+    """
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+        self._up: set[int] = set(topology.site_ids)
+        self._files: list["ReplicatedFile"] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def up_sites(self) -> frozenset[int]:
+        return frozenset(self._up)
+
+    @property
+    def down_sites(self) -> frozenset[int]:
+        return self._topology.site_ids - self._up
+
+    def is_up(self, site_id: int) -> bool:
+        """Whether *site_id* is currently operational."""
+        self._require_site(site_id)
+        return site_id in self._up
+
+    def view(self) -> NetworkView:
+        """A snapshot of the current network state."""
+        return self._topology.view(self._up)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def fail_site(self, site_id: int) -> None:
+        """Take *site_id* down (idempotent)."""
+        self._require_site(site_id)
+        if site_id in self._up:
+            self._up.discard(site_id)
+            self._notify()
+
+    def restart_site(self, site_id: int) -> None:
+        """Bring *site_id* back up (idempotent).
+
+        Eager files immediately reintegrate the copy; optimistic files
+        leave it stale until their next access or an explicit
+        :meth:`~repro.engine.file.ReplicatedFile.recover_site`.
+        """
+        self._require_site(site_id)
+        if site_id not in self._up:
+            self._up.add(site_id)
+            self._notify()
+
+    def fail_sites(self, site_ids: Iterable[int]) -> None:
+        """Take several sites down, notifying once per transition."""
+        for site_id in site_ids:
+            self.fail_site(site_id)
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Cut the point-to-point link between *a* and *b*.
+
+        Raises:
+            EngineError: when the topology has no independent links
+                (segments cannot partition internally).
+        """
+        self._point_to_point().fail_link(a, b)
+        self._notify()
+
+    def repair_link(self, a: int, b: int) -> None:
+        """Restore the point-to-point link between *a* and *b*."""
+        self._point_to_point().repair_link(a, b)
+        self._notify()
+
+    # ------------------------------------------------------------------
+    def register(self, file: "ReplicatedFile") -> None:
+        """Attach a file so environment changes reach its protocol."""
+        self._files.append(file)
+
+    def _notify(self) -> None:
+        view = self.view()
+        for file in self._files:
+            file.on_network_change(view)
+
+    def _point_to_point(self) -> PointToPointTopology:
+        if not isinstance(self._topology, PointToPointTopology):
+            raise EngineError(
+                "link faults only exist on point-to-point topologies; "
+                "segmented LANs partition at gateways (fail the gateway site)"
+            )
+        return self._topology
+
+    def _require_site(self, site_id: int) -> None:
+        if site_id not in self._topology.site_ids:
+            raise UnknownSiteError(f"no site {site_id} in cluster")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster up={sorted(self._up)} down={sorted(self.down_sites)}>"

@@ -1,0 +1,76 @@
+"""Message accounting for the replication engine.
+
+The cost model follows the paper's operation structure: an operation
+broadcasts a START to every participating site, collects one state reply
+per reachable copy, sends one COMMIT per member of the new partition set,
+and moves file data only when a copy must be brought up to date.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MessageCounters"]
+
+
+@dataclass
+class MessageCounters:
+    """Tallies of every message category the engine emits.
+
+    Attributes:
+        state_requests: START broadcasts (one message per addressed site).
+        state_replies: ``(o, v, P)`` replies from reachable copies.
+        commits: COMMIT messages installing new state.
+        data_transfers: Whole-file payload movements (writes propagating
+            the new value, recoveries cloning a current copy).
+        denials: Operations aborted because the majority test failed.
+        operations: Operations attempted (reads + writes + recoveries +
+            synchronisation rounds).
+    """
+
+    state_requests: int = 0
+    state_replies: int = 0
+    commits: int = 0
+    data_transfers: int = 0
+    denials: int = 0
+    operations: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        """All network messages (denials/operations are counters, not traffic)."""
+        return (
+            self.state_requests
+            + self.state_replies
+            + self.commits
+            + self.data_transfers
+        )
+
+    def snapshot(self) -> "MessageCounters":
+        """An independent copy of the current tallies."""
+        return MessageCounters(
+            state_requests=self.state_requests,
+            state_replies=self.state_replies,
+            commits=self.commits,
+            data_transfers=self.data_transfers,
+            denials=self.denials,
+            operations=self.operations,
+        )
+
+    def diff(self, earlier: "MessageCounters") -> "MessageCounters":
+        """Tallies accumulated since *earlier* (a prior :meth:`snapshot`)."""
+        return MessageCounters(
+            state_requests=self.state_requests - earlier.state_requests,
+            state_replies=self.state_replies - earlier.state_replies,
+            commits=self.commits - earlier.commits,
+            data_transfers=self.data_transfers - earlier.data_transfers,
+            denials=self.denials - earlier.denials,
+            operations=self.operations - earlier.operations,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"requests={self.state_requests} replies={self.state_replies} "
+            f"commits={self.commits} data={self.data_transfers} "
+            f"denials={self.denials} ops={self.operations} "
+            f"(total msgs={self.total_messages})"
+        )

@@ -1,0 +1,185 @@
+"""Message types, mailboxes and the partition-aware network.
+
+The synchronous engine (:mod:`repro.engine.file`) applies protocol state
+changes directly and only *counts* messages.  This module provides the
+pieces for a genuinely message-passing execution
+(:mod:`repro.engine.actors`): typed messages, per-site FIFO mailboxes,
+and a network that delivers a message iff sender and receiver are up and
+in the same partition block — the paper's model (reliable, ordered,
+within a partition; no Byzantine behaviour).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Deque, Iterator
+
+from repro.errors import EngineError
+from repro.net.views import NetworkView
+
+__all__ = [
+    "Message",
+    "StateRequest",
+    "StateReply",
+    "CommitMessage",
+    "DataRequest",
+    "DataReply",
+    "Mailbox",
+    "Network",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base message: sender, receiver, and a per-network sequence id."""
+
+    sender: int
+    receiver: int
+    msg_id: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class StateRequest(Message):
+    """START: ask a copy for its consistency-control state."""
+
+
+@dataclass(frozen=True)
+class StateReply(Message):
+    """A copy's ``(o, v, P)`` triple, as stored on its stable storage."""
+
+    operation: int = 0
+    version: int = 0
+    partition_set: frozenset[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class CommitMessage(Message):
+    """COMMIT: install a new state triple (and, for writes, the payload)."""
+
+    operation: int = 0
+    version: int = 0
+    partition_set: frozenset[int] = frozenset()
+    payload: Any = None
+    carries_payload: bool = False
+
+
+@dataclass(frozen=True)
+class DataRequest(Message):
+    """RECOVER's "copy the file from site m": ask for the payload."""
+
+
+@dataclass(frozen=True)
+class DataReply(Message):
+    """The payload and its version, for a recovering copy."""
+
+    version: int = 0
+    payload: Any = None
+
+
+class Mailbox:
+    """A FIFO queue of delivered messages for one site."""
+
+    def __init__(self, owner: int):
+        self.owner = owner
+        self._queue: Deque[Message] = collections.deque()
+
+    def deliver(self, message: Message) -> None:
+        """Queue *message* (must be addressed to this mailbox's owner)."""
+        if message.receiver != self.owner:
+            raise EngineError(
+                f"message for {message.receiver} delivered to {self.owner}"
+            )
+        self._queue.append(message)
+
+    def drain(self) -> Iterator[Message]:
+        """Yield and consume all queued messages, in delivery order."""
+        while self._queue:
+            yield self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class Network:
+    """Routes messages between mailboxes according to a network view.
+
+    Delivery succeeds iff sender and receiver are both up and mutually
+    reachable *at send time* (the paper: delivery within a partition is
+    reliable and ordered).  Undeliverable messages are silently dropped —
+    the sender learns about absences by not receiving replies, exactly
+    like the real protocol.
+    """
+
+    def __init__(self, mailboxes: dict[int, Mailbox]):
+        self._mailboxes = mailboxes
+        self._ids = itertools.count()
+        self._loss_plan: dict[int, list[int]] = {}
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    def lose_next_to(self, receiver: int, count: int = 1,
+                     after: int = 0) -> None:
+        """Fault injection: silently drop *count* messages addressed to
+        *receiver*, skipping the next *after* deliveries first.
+
+        ``after=1`` models a copy that answers a START but crashes before
+        its COMMIT arrives: the request gets through, the commit is lost,
+        the copy goes stale — the state RECOVER later repairs.
+        """
+        if receiver not in self._mailboxes:
+            raise EngineError(f"no mailbox for site {receiver}")
+        if count < 1:
+            raise EngineError(f"count must be >= 1, got {count}")
+        if after < 0:
+            raise EngineError(f"after must be >= 0, got {after}")
+        plan = self._loss_plan.setdefault(receiver, [])
+        plan.extend([0] * after + [1] * count)
+
+    def _should_drop(self, receiver: int) -> bool:
+        plan = self._loss_plan.get(receiver)
+        if not plan:
+            return False
+        return bool(plan.pop(0))
+
+    def send(self, view: NetworkView, message: Message) -> bool:
+        """Attempt delivery under *view*; returns whether it arrived."""
+        if message.receiver not in self._mailboxes:
+            raise EngineError(f"no mailbox for site {message.receiver}")
+        stamped = _stamp(message, next(self._ids))
+        self.sent += 1
+        if self._should_drop(message.receiver):
+            self.dropped += 1
+            return False
+        deliverable = (
+            message.sender == message.receiver
+            or view.can_communicate(message.sender, message.receiver)
+        ) and message.receiver in view.up and message.sender in view.up
+        if not deliverable:
+            self.dropped += 1
+            return False
+        self._mailboxes[message.receiver].deliver(stamped)
+        self.delivered += 1
+        return True
+
+    def broadcast(
+        self,
+        view: NetworkView,
+        sender: int,
+        receivers: frozenset[int],
+        factory,
+    ) -> int:
+        """Send ``factory(sender, receiver)`` to every receiver; returns
+        the number delivered."""
+        count = 0
+        for receiver in sorted(receivers):
+            if self.send(view, factory(sender, receiver)):
+                count += 1
+        return count
+
+
+def _stamp(message: Message, msg_id: int) -> Message:
+    return dataclasses.replace(message, msg_id=msg_id)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch every package error with a single ``except`` clause while still being
+able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "SchedulingError",
+    "TopologyError",
+    "UnknownSiteError",
+    "ProtocolError",
+    "QuorumNotReachedError",
+    "StaleCopyError",
+    "ConfigurationError",
+    "EngineError",
+    "SiteUnavailableError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event kernel is used incorrectly."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled in the past or after shutdown."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed network topologies."""
+
+
+class UnknownSiteError(TopologyError):
+    """Raised when an operation references a site the topology lacks."""
+
+
+class ProtocolError(ReproError):
+    """Base class for consistency-protocol failures."""
+
+
+class QuorumNotReachedError(ProtocolError):
+    """Raised when an access is attempted outside the majority partition."""
+
+
+class StaleCopyError(ProtocolError):
+    """Raised when a copy's state is too old to take part in an operation."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid experiment or replica-set configurations."""
+
+
+class EngineError(ReproError):
+    """Raised by the message-level replication engine."""
+
+
+class SiteUnavailableError(EngineError):
+    """Raised when a message is sent to a site that is down or unreachable."""

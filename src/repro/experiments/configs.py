@@ -1,0 +1,59 @@
+"""The eight copy placements of the paper's study (Section 4).
+
+Three-copy configurations A–D and four-copy configurations E–H, with the
+partition-point commentary taken from the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Configuration", "CONFIGURATIONS", "configuration"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A named placement of physical copies on testbed sites."""
+
+    key: str
+    copy_sites: frozenset[int]
+    description: str
+
+    @property
+    def label(self) -> str:
+        """The row label used by the paper, e.g. ``"A: 1, 2, 4"``."""
+        return f"{self.key}: {', '.join(map(str, sorted(self.copy_sites)))}"
+
+
+def _config(key: str, sites: tuple[int, ...], description: str) -> Configuration:
+    return Configuration(key, frozenset(sites), description)
+
+
+#: Configurations A–H, keyed by letter.
+CONFIGURATIONS: dict[str, Configuration] = {
+    "A": _config("A", (1, 2, 4), "three copies, no partitions possible"),
+    "B": _config("B", (1, 2, 6), "three copies, single partition point at site 4"),
+    "C": _config("C", (1, 6, 8), "three copies, partition points at sites 4 and 5"),
+    "D": _config("D", (6, 7, 8), "three copies, either site 4 or 5 partitions"),
+    "E": _config("E", (1, 2, 3, 4), "four copies, no partitions possible"),
+    "F": _config("F", (1, 2, 4, 6), "four copies, partition point at site 4"),
+    "G": _config("G", (1, 2, 6, 8), "four copies, partition points at sites 4 and 5"),
+    "H": _config("H", (1, 2, 7, 8), "two pairs separated by the single partition point at site 5"),
+}
+
+
+def configuration(key: str) -> Configuration:
+    """Look up a configuration by its letter (case-insensitive).
+
+    Raises:
+        ConfigurationError: for an unknown key.
+    """
+    try:
+        return CONFIGURATIONS[key.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown configuration {key!r}; choose from "
+            f"{sorted(CONFIGURATIONS)}"
+        ) from None

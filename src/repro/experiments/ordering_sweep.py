@@ -1,0 +1,75 @@
+"""Which site should be the lexicographic maximum?  (Experiment X9.)
+
+The tie-breaking rule hands exactly-half groups to the side holding the
+maximum element, so the *choice of ordering* is a free design parameter
+the paper never analyses.  Intuition says the maximum should sit on a
+reliable, well-connected site: ties then resolve toward the group most
+likely to stay alive.  This sweep makes each candidate site the maximum
+in turn and measures the resulting availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.evaluator import evaluate_policy, poisson_times
+from repro.experiments.runner import StudyParameters
+from repro.experiments.testbed import testbed_topology
+from repro.failures.profiles import TABLE_1, testbed_profiles
+from repro.failures.trace import generate_trace
+
+__all__ = ["OrderingResult", "ordering_sweep"]
+
+
+@dataclass(frozen=True)
+class OrderingResult:
+    """One choice of maximum element and its measured availability."""
+
+    maximum_site: int
+    site_name: str
+    unavailability: float
+    mean_down_duration: float
+
+
+def ordering_sweep(
+    copy_sites: frozenset[int] | set[int],
+    policy: str = "LDV",
+    params: Optional[StudyParameters] = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> tuple[OrderingResult, ...]:
+    """Measure *policy* on *copy_sites* with each candidate as maximum.
+
+    The candidate gets rank 100; everyone else keeps the default order.
+    Results are sorted best (lowest unavailability) first.
+    """
+    copy_sites = frozenset(copy_sites)
+    if not copy_sites:
+        raise ConfigurationError("at least one copy site is required")
+    if params is None:
+        params = StudyParameters()
+    if candidates is None:
+        candidates = sorted(copy_sites)
+    unknown = set(candidates) - set(TABLE_1)
+    if unknown:
+        raise ConfigurationError(f"unknown candidate sites {sorted(unknown)}")
+    trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    access = poisson_times(params.access_rate_per_day, trace.horizon,
+                           params.seed)
+    results = []
+    for maximum in candidates:
+        topology = testbed_topology(ranks={maximum: 100.0})
+        outcome = evaluate_policy(
+            policy, topology, copy_sites, trace,
+            warmup=params.warmup, batches=params.batches,
+            access_times=access,
+        )
+        results.append(OrderingResult(
+            maximum_site=maximum,
+            site_name=TABLE_1[maximum].name,
+            unavailability=outcome.unavailability,
+            mean_down_duration=outcome.mean_down_duration,
+        ))
+    results.sort(key=lambda r: (r.unavailability, r.maximum_site))
+    return tuple(results)

@@ -1,0 +1,102 @@
+"""Plain-text rendering helpers for sweeps and studies.
+
+The original paper predates ubiquitous plotting; in that spirit (and to
+stay dependency-free) the examples render their results as aligned text
+bars and curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_bars", "log_bars", "ascii_table"]
+
+
+def ascii_bars(
+    rows: Sequence[tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bars scaled linearly to the largest value.
+
+    ``rows`` is a list of ``(label, value)`` pairs; values must be
+    non-negative.
+    """
+    if not rows:
+        raise ConfigurationError("no rows to render")
+    if any(value < 0 for _, value in rows):
+        raise ConfigurationError("bar values must be non-negative")
+    peak = max(value for _, value in rows)
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        length = 0 if peak == 0 else round(width * value / peak)
+        bar = "#" * length
+        lines.append(f"{label:<{label_width}}  {bar:<{width}}  {value:.6g}{unit}")
+    return "\n".join(lines)
+
+
+def log_bars(
+    rows: Sequence[tuple[str, float]],
+    width: int = 50,
+    floor: float = 1e-7,
+) -> str:
+    """Bars on a log scale — unavailabilities span orders of magnitude.
+
+    Zero (or sub-``floor``) values render as an empty bar tagged ``~0``.
+    """
+    if not rows:
+        raise ConfigurationError("no rows to render")
+    label_width = max(len(label) for label, _ in rows)
+    positives = [v for _, v in rows if v > floor]
+    if not positives:
+        return "\n".join(
+            f"{label:<{label_width}}  {'':<{width}}  ~0" for label, _ in rows
+        )
+    lo = math.log10(floor)
+    hi = math.log10(max(positives))
+    span = max(hi - lo, 1e-9)
+    lines = []
+    for label, value in rows:
+        if value <= floor:
+            lines.append(f"{label:<{label_width}}  {'':<{width}}  ~0")
+            continue
+        frac = (math.log10(value) - lo) / span
+        bar = "#" * max(1, round(width * frac))
+        lines.append(f"{label:<{label_width}}  {bar:<{width}}  {value:.6f}")
+    return "\n".join(lines)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 6,
+) -> str:
+    """A plain aligned table; floats are fixed-precision, rest ``str()``."""
+    if not headers:
+        raise ConfigurationError("headers are required")
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    separator = "-" * len(header_line)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        for row in text_rows
+    ]
+    return "\n".join([header_line, separator, *body])

@@ -1,0 +1,191 @@
+"""Sweeping (configuration × policy) cells over a shared failure trace."""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.registry import PAPER_POLICIES
+from repro.errors import ConfigurationError
+from repro.experiments.configs import CONFIGURATIONS, Configuration
+from repro.experiments.evaluator import (
+    EvaluationResult,
+    evaluate_policy,
+    poisson_times,
+)
+from repro.experiments.testbed import testbed_topology
+from repro.failures.profiles import testbed_profiles
+from repro.failures.trace import FailureTrace, generate_trace
+from repro.net.topology import Topology
+
+__all__ = ["StudyParameters", "CellResult", "run_cell", "run_study"]
+
+#: Environment variable overriding the default simulated horizon (days),
+#: so `REPRO_SIM_DAYS=200000 pytest benchmarks/` runs paper-length studies.
+HORIZON_ENV = "REPRO_SIM_DAYS"
+
+
+def default_horizon(fallback: float = 40_000.0) -> float:
+    """The simulated horizon in days, honouring ``REPRO_SIM_DAYS``."""
+    raw = os.environ.get(HORIZON_ENV)
+    if raw is None:
+        return fallback
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(f"{HORIZON_ENV}={raw!r} is not a number") from None
+    if value <= 0:
+        raise ConfigurationError(f"{HORIZON_ENV} must be > 0, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class StudyParameters:
+    """Everything that defines one availability study run.
+
+    Defaults follow the paper: one access per day for the optimistic
+    policies, a 360-day warm-up, batch-means confidence intervals.  The
+    horizon is a compromise between fidelity and runtime; set the
+    ``REPRO_SIM_DAYS`` environment variable (or pass ``horizon``) for
+    longer, tighter runs.
+    """
+
+    horizon: float = field(default_factory=default_horizon)
+    warmup: float = 360.0
+    batches: int = 20
+    seed: int = 1988
+    access_rate_per_day: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.horizon <= self.warmup:
+            raise ConfigurationError(
+                f"horizon ({self.horizon}) must exceed warmup ({self.warmup})"
+            )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (configuration, policy) cell of Table 2 / Table 3."""
+
+    configuration: Configuration
+    result: EvaluationResult
+
+    @property
+    def unavailability(self) -> float:
+        return self.result.unavailability
+
+    @property
+    def mean_down_duration(self) -> float:
+        return self.result.mean_down_duration
+
+
+def run_cell(
+    configuration: Configuration,
+    policy: str,
+    params: StudyParameters,
+    topology: Optional[Topology] = None,
+    trace: Optional[FailureTrace] = None,
+    access_times: Optional[tuple[float, ...]] = None,
+) -> CellResult:
+    """Evaluate one (configuration, policy) cell.
+
+    *topology*, *trace* and *access_times* may be passed in so a study
+    shares them across cells (common random numbers); when omitted they
+    are built from *params*.
+    """
+    if topology is None:
+        topology = testbed_topology()
+    if trace is None:
+        trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    if access_times is None:
+        access_times = poisson_times(
+            params.access_rate_per_day, trace.horizon, params.seed
+        )
+    result = evaluate_policy(
+        policy,
+        topology,
+        configuration.copy_sites,
+        trace,
+        warmup=params.warmup,
+        batches=params.batches,
+        access_times=access_times,
+    )
+    return CellResult(configuration, result)
+
+
+def _run_cell_worker(
+    args: tuple[str, str, StudyParameters, FailureTrace, tuple[float, ...]],
+) -> tuple[tuple[str, str], CellResult]:
+    """Process-pool entry point: one (configuration, policy) cell.
+
+    Module-level so it pickles; the shared trace and access stream ride
+    along with each task (cheap relative to the simulation itself).
+    """
+    config_key, policy, params, trace, access_times = args
+    cell = run_cell(
+        CONFIGURATIONS[config_key],
+        policy,
+        params,
+        trace=trace,
+        access_times=access_times,
+    )
+    return ((config_key, policy), cell)
+
+
+def run_study(
+    params: Optional[StudyParameters] = None,
+    configurations: Optional[Iterable[Configuration]] = None,
+    policies: Sequence[str] = PAPER_POLICIES,
+    jobs: Optional[int] = None,
+) -> Mapping[tuple[str, str], CellResult]:
+    """Run the full study: every configuration against every policy.
+
+    One failure trace and one access stream are generated per study and
+    shared by every cell, exactly as the paper measures all policies in
+    one simulation.  Returns cells keyed by ``(config_key, policy)``.
+
+    Args:
+        params: Simulation parameters (paper defaults when omitted).
+        configurations: Placements to evaluate (default: A–H).
+        policies: Policy names (default: the paper's six columns).
+        jobs: Worker processes for evaluating cells in parallel.  Cells
+            are independent given the shared trace, so results are
+            bit-identical to the sequential run; ``None`` or ``1`` stays
+            in-process.
+    """
+    if params is None:
+        params = StudyParameters()
+    if configurations is None:
+        configurations = CONFIGURATIONS.values()
+    configurations = list(configurations)
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    topology = testbed_topology()
+    trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    access_times = poisson_times(
+        params.access_rate_per_day, trace.horizon, params.seed
+    )
+    cells: dict[tuple[str, str], CellResult] = {}
+    if jobs is None or jobs == 1:
+        for configuration in configurations:
+            for policy in policies:
+                cells[(configuration.key, policy)] = run_cell(
+                    configuration,
+                    policy,
+                    params,
+                    topology=topology,
+                    trace=trace,
+                    access_times=access_times,
+                )
+        return cells
+    tasks = [
+        (configuration.key, policy, params, trace, access_times)
+        for configuration in configurations
+        for policy in policies
+    ]
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        for key, cell in pool.map(_run_cell_worker, tasks):
+            cells[key] = cell
+    return cells

@@ -1,0 +1,267 @@
+"""Scripted failure scenarios.
+
+The trace generator produces *stochastic* histories; this module runs
+*deterministic* ones — "what exactly happens to my file if the gateway
+dies five minutes after csvax?"  A scenario is a time-ordered script of
+site failures/repairs, link cuts, reads, writes and recovery attempts,
+executed against the message-level engine; the runner records the
+outcome of every step so tests, docs and capacity-planning scripts can
+assert against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.engine.cluster import Cluster
+from repro.engine.file import ReplicatedFile
+from repro.errors import (
+    ConfigurationError,
+    QuorumNotReachedError,
+    SiteUnavailableError,
+)
+from repro.net.topology import Topology
+
+__all__ = ["Step", "StepOutcome", "ScenarioResult", "run_scenario",
+           "load_scenario", "ScenarioSpec",
+           "fail", "restart", "cut_link", "heal_link", "read", "write",
+           "recover", "expect_available", "expect_unavailable"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One scripted action.
+
+    Built by the helper constructors below (``fail(2)``, ``write(1, "x")``,
+    ...), not usually by hand.
+    """
+
+    kind: str
+    site: Optional[int] = None
+    peer: Optional[int] = None
+    value: Any = None
+
+
+def fail(site: int) -> Step:
+    """Take a site down."""
+    return Step("fail", site=site)
+
+
+def restart(site: int) -> Step:
+    """Bring a site back up."""
+    return Step("restart", site=site)
+
+
+def cut_link(a: int, b: int) -> Step:
+    """Cut a point-to-point link."""
+    return Step("cut_link", site=a, peer=b)
+
+
+def heal_link(a: int, b: int) -> Step:
+    """Restore a point-to-point link."""
+    return Step("heal_link", site=a, peer=b)
+
+
+def read(site: int) -> Step:
+    """Attempt a read from *site*."""
+    return Step("read", site=site)
+
+
+def write(site: int, value: Any) -> Step:
+    """Attempt a write of *value* from *site*."""
+    return Step("write", site=site, value=value)
+
+
+def recover(site: int) -> Step:
+    """Run one RECOVER attempt at *site*."""
+    return Step("recover", site=site)
+
+
+def expect_available() -> Step:
+    """Assert the file is available from somewhere."""
+    return Step("expect_available")
+
+
+def expect_unavailable() -> Step:
+    """Assert the file is available from nowhere."""
+    return Step("expect_unavailable")
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """What one step did: granted/denied/not-applicable, plus any value."""
+
+    step: Step
+    granted: bool
+    value: Any = None
+    detail: str = ""
+
+
+@dataclass
+class ScenarioResult:
+    """The full record of a scenario run."""
+
+    policy: str
+    outcomes: list[StepOutcome] = field(default_factory=list)
+
+    @property
+    def reads(self) -> list[StepOutcome]:
+        return [o for o in self.outcomes if o.step.kind == "read"]
+
+    @property
+    def denied_steps(self) -> list[StepOutcome]:
+        return [o for o in self.outcomes
+                if o.step.kind in ("read", "write", "recover")
+                and not o.granted]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A scenario loaded from a JSON document (see :func:`load_scenario`)."""
+
+    policy: str
+    copy_sites: frozenset[int]
+    steps: tuple[Step, ...]
+    initial: Any = "v0"
+    name: str = "scenario"
+
+
+_STEP_PARSERS = {
+    "fail": lambda d: fail(int(d["site"])),
+    "restart": lambda d: restart(int(d["site"])),
+    "cut_link": lambda d: cut_link(int(d["a"]), int(d["b"])),
+    "heal_link": lambda d: heal_link(int(d["a"]), int(d["b"])),
+    "read": lambda d: read(int(d["site"])),
+    "write": lambda d: write(int(d["site"]), d.get("value")),
+    "recover": lambda d: recover(int(d["site"])),
+    "expect_available": lambda d: expect_available(),
+    "expect_unavailable": lambda d: expect_unavailable(),
+}
+
+
+def load_scenario(path) -> ScenarioSpec:
+    """Read a scenario from a JSON file.
+
+    Document shape::
+
+        {"format": "repro-scenario",
+         "name": "configuration H split",
+         "policy": "LDV",
+         "copies": [1, 2, 7, 8],
+         "initial": "v0",
+         "steps": [{"do": "write", "site": 1, "value": "x"},
+                   {"do": "fail", "site": 5},
+                   {"do": "expect_available"}]}
+
+    Raises:
+        ConfigurationError: on unreadable files or malformed documents.
+    """
+    import json
+    import pathlib
+
+    path = pathlib.Path(path)
+    try:
+        with path.open() as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read scenario {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != "repro-scenario":
+        raise ConfigurationError(f"{path} is not a repro scenario document")
+    try:
+        policy = str(data["policy"])
+        copies = frozenset(int(s) for s in data["copies"])
+        raw_steps = data["steps"]
+    except KeyError as exc:
+        raise ConfigurationError(f"scenario missing key {exc}") from exc
+    steps = []
+    for index, entry in enumerate(raw_steps):
+        kind = entry.get("do")
+        parser = _STEP_PARSERS.get(kind)
+        if parser is None:
+            raise ConfigurationError(
+                f"step {index}: unknown action {kind!r}; choose from "
+                f"{sorted(_STEP_PARSERS)}"
+            )
+        try:
+            steps.append(parser(entry))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"step {index}: {exc}") from exc
+    return ScenarioSpec(
+        policy=policy,
+        copy_sites=copies,
+        steps=tuple(steps),
+        initial=data.get("initial", "v0"),
+        name=str(data.get("name", path.stem)),
+    )
+
+
+def run_scenario(
+    topology: Topology,
+    copy_sites: frozenset[int] | set[int],
+    policy: str,
+    steps: Sequence[Step],
+    initial: Any = "v0",
+) -> ScenarioResult:
+    """Execute *steps* in order against a fresh cluster and file.
+
+    ``expect_available`` / ``expect_unavailable`` raise
+    :class:`ConfigurationError` when violated, making scenarios usable as
+    executable specifications.
+    """
+    cluster = Cluster(topology)
+    file = ReplicatedFile(cluster, frozenset(copy_sites), policy=policy,
+                          initial=initial)
+    result = ScenarioResult(policy=file.protocol.name)
+    for index, step in enumerate(steps):
+        outcome = _run_step(cluster, file, step, index)
+        result.outcomes.append(outcome)
+    return result
+
+
+def _run_step(cluster: Cluster, file: ReplicatedFile, step: Step,
+              index: int) -> StepOutcome:
+    kind = step.kind
+    if kind == "fail":
+        cluster.fail_site(step.site)
+        return StepOutcome(step, granted=True)
+    if kind == "restart":
+        cluster.restart_site(step.site)
+        return StepOutcome(step, granted=True)
+    if kind == "cut_link":
+        cluster.fail_link(step.site, step.peer)
+        return StepOutcome(step, granted=True)
+    if kind == "heal_link":
+        cluster.repair_link(step.site, step.peer)
+        return StepOutcome(step, granted=True)
+    if kind == "read":
+        try:
+            value = file.read(step.site)
+            return StepOutcome(step, granted=True, value=value)
+        except (QuorumNotReachedError, SiteUnavailableError) as exc:
+            return StepOutcome(step, granted=False, detail=str(exc))
+    if kind == "write":
+        try:
+            file.write(step.site, step.value)
+            return StepOutcome(step, granted=True, value=step.value)
+        except (QuorumNotReachedError, SiteUnavailableError) as exc:
+            return StepOutcome(step, granted=False, detail=str(exc))
+    if kind == "recover":
+        try:
+            ok = file.recover_site(step.site)
+            return StepOutcome(step, granted=ok)
+        except (QuorumNotReachedError, SiteUnavailableError) as exc:
+            return StepOutcome(step, granted=False, detail=str(exc))
+    if kind == "expect_available":
+        if not file.is_available():
+            raise ConfigurationError(
+                f"step {index}: expected the file to be available"
+            )
+        return StepOutcome(step, granted=True)
+    if kind == "expect_unavailable":
+        if file.is_available():
+            raise ConfigurationError(
+                f"step {index}: expected the file to be unavailable"
+            )
+        return StepOutcome(step, granted=True)
+    raise ConfigurationError(f"unknown scenario step kind {kind!r}")

@@ -1,0 +1,110 @@
+"""Persisting study results.
+
+A full (configuration × policy) study takes minutes at paper scale;
+saving the cells lets reports, notebooks and regression comparisons work
+from the recorded numbers instead of re-simulating.  JSON, versioned,
+with every scalar the tables need plus the confidence intervals.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Mapping, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.evaluator import EvaluationResult
+from repro.experiments.runner import CellResult
+from repro.stats.batch_means import ConfidenceInterval
+
+__all__ = ["dump_study", "load_study", "study_to_dict", "study_from_dict"]
+
+_FORMAT = "repro-study"
+_VERSION = 1
+
+
+def study_to_dict(cells: Mapping[tuple[str, str], CellResult]) -> dict:
+    """A JSON-serialisable representation of study cells."""
+    payload = []
+    for (config_key, policy), cell in sorted(cells.items()):
+        result = cell.result
+        payload.append({
+            "config": config_key,
+            "policy": policy,
+            "unavailability": result.unavailability,
+            "mean_down_duration": result.mean_down_duration,
+            "down_periods": result.down_periods,
+            "observed_time": result.observed_time,
+            "interval_mean": result.interval.mean,
+            "interval_half_width": result.interval.half_width,
+            "interval_batches": result.interval.batches,
+            "committed_operations": result.committed_operations,
+            "synchronizations": result.synchronizations,
+            "down_durations": list(result.down_durations),
+        })
+    return {"format": _FORMAT, "version": _VERSION, "cells": payload}
+
+
+def study_from_dict(data: dict) -> dict[tuple[str, str], CellResult]:
+    """Rebuild study cells from :func:`study_to_dict` output.
+
+    Raises:
+        ConfigurationError: on wrong format/version or malformed cells.
+    """
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise ConfigurationError("not a repro study document")
+    if data.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"unsupported study version {data.get('version')!r}"
+        )
+    cells: dict[tuple[str, str], CellResult] = {}
+    try:
+        for entry in data["cells"]:
+            config_key = str(entry["config"])
+            configuration = CONFIGURATIONS[config_key]
+            interval = ConfidenceInterval(
+                mean=float(entry["interval_mean"]),
+                half_width=float(entry["interval_half_width"]),
+                batches=int(entry["interval_batches"]),
+            )
+            result = EvaluationResult(
+                policy=str(entry["policy"]),
+                unavailability=float(entry["unavailability"]),
+                mean_down_duration=float(entry["mean_down_duration"]),
+                down_periods=int(entry["down_periods"]),
+                observed_time=float(entry["observed_time"]),
+                interval=interval,
+                committed_operations=int(entry["committed_operations"]),
+                synchronizations=int(entry["synchronizations"]),
+                down_durations=tuple(
+                    float(d) for d in entry.get("down_durations", ())
+                ),
+            )
+            cells[(config_key, result.policy)] = CellResult(
+                configuration, result
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed study document: {exc}") from exc
+    return cells
+
+
+def dump_study(
+    cells: Mapping[tuple[str, str], CellResult],
+    path: Union[str, pathlib.Path],
+) -> None:
+    """Write study cells to *path* as JSON."""
+    path = pathlib.Path(path)
+    with path.open("w") as handle:
+        json.dump(study_to_dict(cells), handle)
+
+
+def load_study(path: Union[str, pathlib.Path]) -> dict[tuple[str, str], CellResult]:
+    """Read study cells previously written by :func:`dump_study`."""
+    path = pathlib.Path(path)
+    try:
+        with path.open() as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read study {path}: {exc}") from exc
+    return study_from_dict(data)

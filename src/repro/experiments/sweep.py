@@ -1,0 +1,137 @@
+"""Parameter sweeps: the ablation experiments of DESIGN.md (X1, X5).
+
+* :func:`access_rate_sweep` — how the optimistic policies' availability
+  moves between the MCV-like (never update) and LDV-like (update
+  instantly) extremes as the file's access rate grows.  This is the
+  mechanism behind the paper's configuration-F observation that ODV can
+  *beat* LDV at one access per day.
+* :func:`placement_sweep` — availability of every possible placement of
+  ``k`` copies on the testbed under one policy; shows TDV's preference
+  for co-locating copies on a single segment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import Configuration
+from repro.experiments.evaluator import evaluate_policy, poisson_times
+from repro.experiments.runner import StudyParameters
+from repro.experiments.testbed import testbed_topology
+from repro.failures.profiles import testbed_profiles
+from repro.failures.trace import generate_trace
+
+__all__ = ["SweepPoint", "access_rate_sweep", "placement_sweep", "PlacementResult"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of an access-rate sweep."""
+
+    policy: str
+    accesses_per_day: float
+    unavailability: float
+    mean_down_duration: float
+
+
+def access_rate_sweep(
+    configuration: Configuration,
+    rates_per_day: Sequence[float],
+    policies: Sequence[str] = ("ODV", "OTDV"),
+    params: Optional[StudyParameters] = None,
+) -> tuple[SweepPoint, ...]:
+    """Measure optimistic policies across access rates on one placement.
+
+    Eager policies may be included as flat reference lines (their results
+    do not depend on the access rate).
+    """
+    if not rates_per_day:
+        raise ConfigurationError("at least one access rate is required")
+    if params is None:
+        params = StudyParameters()
+    topology = testbed_topology()
+    trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    points: list[SweepPoint] = []
+    for rate in rates_per_day:
+        access_times = poisson_times(rate, trace.horizon, params.seed)
+        for policy in policies:
+            result = evaluate_policy(
+                policy,
+                topology,
+                configuration.copy_sites,
+                trace,
+                warmup=params.warmup,
+                batches=params.batches,
+                access_times=access_times,
+            )
+            points.append(
+                SweepPoint(
+                    policy=result.policy,
+                    accesses_per_day=rate,
+                    unavailability=result.unavailability,
+                    mean_down_duration=result.mean_down_duration,
+                )
+            )
+    return tuple(points)
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """One placement's availability under one policy."""
+
+    copy_sites: frozenset[int]
+    segments_used: int
+    unavailability: float
+
+    @property
+    def label(self) -> str:
+        return ", ".join(map(str, sorted(self.copy_sites)))
+
+
+def placement_sweep(
+    copies: int,
+    policy: str,
+    params: Optional[StudyParameters] = None,
+    candidate_sites: Optional[Iterable[int]] = None,
+) -> tuple[PlacementResult, ...]:
+    """Availability of every ``copies``-sized placement on the testbed.
+
+    Returns results sorted best (lowest unavailability) first.
+    """
+    if params is None:
+        params = StudyParameters()
+    topology = testbed_topology()
+    sites = sorted(candidate_sites) if candidate_sites else sorted(topology.site_ids)
+    if copies < 1 or copies > len(sites):
+        raise ConfigurationError(
+            f"copies must be in 1..{len(sites)}, got {copies}"
+        )
+    trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    access_times = poisson_times(
+        params.access_rate_per_day, trace.horizon, params.seed
+    )
+    results: list[PlacementResult] = []
+    for combo in itertools.combinations(sites, copies):
+        placement = frozenset(combo)
+        outcome = evaluate_policy(
+            policy,
+            topology,
+            placement,
+            trace,
+            warmup=params.warmup,
+            batches=params.batches,
+            access_times=access_times,
+        )
+        segments = {topology.segment_of(s) for s in placement}
+        results.append(
+            PlacementResult(
+                copy_sites=placement,
+                segments_used=len(segments),
+                unavailability=outcome.unavailability,
+            )
+        )
+    results.sort(key=lambda r: (r.unavailability, sorted(r.copy_sites)))
+    return tuple(results)

@@ -1,0 +1,90 @@
+"""The paper's testbed network (Figure 8).
+
+"An existing network consisting of eight sites and three carrier-sense
+segments linked by gateways is used as a model.  Five of the eight sites
+are connected on the main carrier-sense segment.  One of these sites is
+the gateway to the second segment, to which the sixth site is also
+connected; another of the five sites is the gateway to the third segment,
+to which the seventh and eighth sites are also connected."
+
+The configuration descriptions pin the gateways down: configuration B
+(copies 1, 2, 6) has its single partition point at **site 4**, and
+configuration H (copies 1, 2, 7, 8) has its single partition point at
+**site 5**.  Hence:
+
+* segment ``alpha`` (main): sites 1, 2, 3, 4, 5;
+* segment ``beta``: site 6, reached through gateway site 4;
+* segment ``gamma``: sites 7 and 8, reached through gateway site 5.
+
+Gateways are homed on the main segment, per the paper's rule that a
+gateway host belongs to exactly one segment.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.failures.profiles import TABLE_1
+from repro.net.sites import Site
+from repro.net.topology import SegmentedTopology
+
+__all__ = ["SEGMENTS", "GATEWAYS", "testbed_topology", "render_testbed"]
+
+#: Segment membership of the eight testbed sites.
+SEGMENTS: dict[str, tuple[int, ...]] = {
+    "alpha": (1, 2, 3, 4, 5),
+    "beta": (6,),
+    "gamma": (7, 8),
+}
+
+#: Gateway sites and the segments each joins while up.
+GATEWAYS: dict[int, tuple[str, str]] = {
+    4: ("alpha", "beta"),
+    5: ("alpha", "gamma"),
+}
+
+
+def testbed_topology(
+    ranks: Optional[Mapping[int, float]] = None,
+) -> SegmentedTopology:
+    """Build the Figure 8 network with Table 1's host names.
+
+    Args:
+        ranks: Optional lexicographic ranks per site (higher wins ties).
+            Defaults to the paper's convention — the lowest-numbered site
+            is the maximum element.  The ordering sweep (experiment X9)
+            uses this to ask which site *should* hold the tie-break.
+    """
+    if ranks is not None:
+        unknown = set(ranks) - set(TABLE_1)
+        if unknown:
+            raise ConfigurationError(f"ranks for unknown sites {sorted(unknown)}")
+    sites = [
+        Site(
+            sid,
+            profile.name,
+            rank=None if ranks is None else ranks.get(sid, float(-sid)),
+        )
+        for sid, profile in sorted(TABLE_1.items())
+    ]
+    return SegmentedTopology(sites, SEGMENTS, GATEWAYS)
+
+
+def render_testbed() -> str:
+    """An ASCII rendering of Figure 8 (for the CLI and the examples)."""
+    lines = [
+        "segment alpha (main carrier-sense segment)",
+        "=====+========+=========+========+========+=====",
+        "     |        |         |        |        |",
+        "  1 csvax  2 beowulf  3 grendel  |        |",
+        "                            4 wizard   5 amos",
+        "                            [gateway]  [gateway]",
+        "                                |        |",
+        "segment beta ===+===       segment gamma =+======+=",
+        "                |                         |      |",
+        "            6 gremlin                  7 rip  8 mangle",
+        "",
+        "partition points: site 4 (cuts off beta), site 5 (cuts off gamma)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Witness placement: where should the state-only copy live?
+
+Extends experiment X3 from "does a witness help?" to "where does it help
+most?"  For a fixed pair of full copies, every remaining testbed site is
+tried as the witness location and ranked — a design tool for the
+paper's future-work item.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.witnesses import DynamicVotingWithWitnesses
+from repro.errors import ConfigurationError
+from repro.experiments.evaluator import evaluate_policy, poisson_times
+from repro.experiments.runner import StudyParameters
+from repro.experiments.testbed import testbed_topology
+from repro.failures.profiles import testbed_profiles
+from repro.failures.trace import generate_trace
+
+__all__ = ["WitnessPlacement", "witness_placement_sweep"]
+
+
+@dataclass(frozen=True)
+class WitnessPlacement:
+    """One witness location's outcome."""
+
+    witness_site: int
+    segment: str
+    unavailability: float
+    mean_down_duration: float
+
+
+def witness_placement_sweep(
+    full_copies: frozenset[int] | set[int],
+    params: Optional[StudyParameters] = None,
+    candidate_sites: Optional[frozenset[int]] = None,
+) -> tuple[tuple[WitnessPlacement, ...], float, float]:
+    """Try every candidate site as the witness for *full_copies*.
+
+    Returns ``(placements, bare_pair_unavailability,
+    full_triple_best_unavailability)`` where the placements are sorted
+    best-first, the bare value is the pair under plain LDV, and the
+    triple value is the best achievable by adding a *full* copy instead
+    (the storage-expensive upper bound).
+    """
+    full_copies = frozenset(full_copies)
+    if len(full_copies) < 2:
+        raise ConfigurationError("need at least two full copies")
+    if params is None:
+        params = StudyParameters()
+    topology = testbed_topology()
+    unknown = full_copies - topology.site_ids
+    if unknown:
+        raise ConfigurationError(f"unknown sites {sorted(unknown)}")
+    if candidate_sites is None:
+        candidate_sites = topology.site_ids - full_copies
+    trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    access = poisson_times(params.access_rate_per_day, trace.horizon,
+                           params.seed)
+
+    def run(policy, copies):
+        return evaluate_policy(
+            policy, topology, frozenset(copies), trace,
+            warmup=params.warmup, batches=params.batches,
+            access_times=access,
+        )
+
+    bare = run("LDV", full_copies).unavailability
+
+    placements = []
+    best_triple = 1.0
+    for witness in sorted(candidate_sites):
+        factory = functools.partial(
+            DynamicVotingWithWitnesses, witness_sites={witness}
+        )
+        witnessed = run(factory, full_copies | {witness})
+        placements.append(WitnessPlacement(
+            witness_site=witness,
+            segment=topology.segment_of(witness),
+            unavailability=witnessed.unavailability,
+            mean_down_duration=witnessed.mean_down_duration,
+        ))
+        triple = run("LDV", full_copies | {witness}).unavailability
+        best_triple = min(best_triple, triple)
+    placements.sort(key=lambda p: (p.unavailability, p.witness_site))
+    return tuple(placements), bare, best_triple

@@ -1,0 +1,35 @@
+"""Failure substrate: site fail/repair/maintenance processes.
+
+Implements the environment of the paper's Section 4 simulation:
+
+* exponential times to failure per site;
+* each failure is *hardware* with a per-site probability (repair time is
+  a constant minimum-service term plus an exponential term) or
+  *software* (a constant restart);
+* periodic preventive-maintenance windows for selected sites;
+* all of it parameterised exactly by Table 1
+  (:data:`repro.failures.profiles.TABLE_1`).
+
+The output is a :class:`~repro.failures.trace.FailureTrace`: a time-
+ordered list of site up/down transitions, generated once per replication
+and then replayed against every consistency policy (common random
+numbers, so policies are compared on identical failure histories).
+"""
+
+from repro.failures.models import MaintenanceSchedule, SiteProfile
+from repro.failures.profiles import TABLE_1, site_profile, testbed_profiles
+from repro.failures.serialization import dump_trace, load_trace
+from repro.failures.trace import FailureTrace, TraceEvent, generate_trace
+
+__all__ = [
+    "FailureTrace",
+    "MaintenanceSchedule",
+    "SiteProfile",
+    "TABLE_1",
+    "TraceEvent",
+    "dump_trace",
+    "generate_trace",
+    "load_trace",
+    "site_profile",
+    "testbed_profiles",
+]

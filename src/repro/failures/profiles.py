@@ -1,0 +1,64 @@
+"""Table 1 of the paper, verbatim.
+
+=====  =======  =====  ====  =======  ==========  =========
+site   name     MTTF   hw%   restart  hw repair   hw repair
+                (days)       (min)    const (h)   exp (h)
+=====  =======  =====  ====  =======  ==========  =========
+1      csvax    36.5   10    20.0     0.0         2
+2      beowulf  10     10    15       4           24
+3      grendel  365    90    10       0           2
+4      wizard   50     50    15       168         168
+5      amos     365    90    10       0           2
+6      gremlin  50     50    15       168         168
+7      rip      50     50    15       168         168
+8      mangle   50     50    15       168         168
+=====  =======  =====  ====  =======  ==========  =========
+
+Sites 1, 3 and 5 are unavailable for 3 hours every 90 days for
+preventive maintenance (windows staggered — see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.failures.models import MaintenanceSchedule, SiteProfile
+
+__all__ = ["TABLE_1", "site_profile", "testbed_profiles"]
+
+
+def _maintenance(offset_days: float) -> MaintenanceSchedule:
+    return MaintenanceSchedule(
+        interval_days=90.0, duration_hours=3.0, offset_days=offset_days
+    )
+
+
+#: The eight testbed sites, keyed by site id.
+TABLE_1: dict[int, SiteProfile] = {
+    1: SiteProfile(1, "csvax", 36.5, 0.10, 20.0, 0.0, 2.0, _maintenance(30.0)),
+    2: SiteProfile(2, "beowulf", 10.0, 0.10, 15.0, 4.0, 24.0),
+    3: SiteProfile(3, "grendel", 365.0, 0.90, 10.0, 0.0, 2.0, _maintenance(60.0)),
+    4: SiteProfile(4, "wizard", 50.0, 0.50, 15.0, 168.0, 168.0),
+    5: SiteProfile(5, "amos", 365.0, 0.90, 10.0, 0.0, 2.0, _maintenance(90.0)),
+    6: SiteProfile(6, "gremlin", 50.0, 0.50, 15.0, 168.0, 168.0),
+    7: SiteProfile(7, "rip", 50.0, 0.50, 15.0, 168.0, 168.0),
+    8: SiteProfile(8, "mangle", 50.0, 0.50, 15.0, 168.0, 168.0),
+}
+
+
+def site_profile(site_id: int) -> SiteProfile:
+    """The Table 1 profile for *site_id*.
+
+    Raises:
+        ConfigurationError: if the id is not one of the eight testbed sites.
+    """
+    try:
+        return TABLE_1[site_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"no Table 1 profile for site {site_id}; known sites are 1..8"
+        ) from None
+
+
+def testbed_profiles() -> tuple[SiteProfile, ...]:
+    """All eight profiles, ordered by site id."""
+    return tuple(TABLE_1[i] for i in sorted(TABLE_1))

@@ -1,0 +1,76 @@
+"""Saving and loading failure traces.
+
+A :class:`~repro.failures.trace.FailureTrace` fully determines a study's
+environment; persisting one lets different machines (or future versions
+of the code) evaluate policies against the *identical* failure history.
+The format is a small JSON document with a version tag.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from repro.errors import ConfigurationError
+from repro.failures.trace import FailureTrace, TraceEvent
+
+__all__ = ["dump_trace", "load_trace", "trace_to_dict", "trace_from_dict"]
+
+_FORMAT = "repro-failure-trace"
+_VERSION = 1
+
+
+def trace_to_dict(trace: FailureTrace) -> dict:
+    """A JSON-serialisable representation of *trace*."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "horizon": trace.horizon,
+        "sites": sorted(trace.site_ids),
+        "events": [[e.time, e.site_id, e.up] for e in trace.events],
+    }
+
+
+def trace_from_dict(data: dict) -> FailureTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output.
+
+    Raises:
+        ConfigurationError: on wrong format, unsupported version or
+            malformed events (time-ordering etc. is re-validated by the
+            :class:`FailureTrace` constructor).
+    """
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise ConfigurationError("not a repro failure-trace document")
+    if data.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"unsupported trace version {data.get('version')!r}"
+        )
+    try:
+        sites = [int(s) for s in data["sites"]]
+        horizon = float(data["horizon"])
+        events = [
+            TraceEvent(float(t), int(sid), bool(up))
+            for t, sid, up in data["events"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed trace document: {exc}") from exc
+    return FailureTrace(sites, events, horizon)
+
+
+def dump_trace(trace: FailureTrace, path: Union[str, pathlib.Path]) -> None:
+    """Write *trace* to *path* as JSON."""
+    path = pathlib.Path(path)
+    with path.open("w") as handle:
+        json.dump(trace_to_dict(trace), handle)
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> FailureTrace:
+    """Read a trace previously written by :func:`dump_trace`."""
+    path = pathlib.Path(path)
+    try:
+        with path.open() as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read trace {path}: {exc}") from exc
+    return trace_from_dict(data)

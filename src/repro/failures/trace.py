@@ -1,0 +1,295 @@
+"""Failure-trace generation: site lifecycles run through the DES kernel.
+
+A :class:`FailureTrace` is the complete up/down history of a set of sites
+over a finite horizon.  Traces are generated once per replication and
+replayed against every consistency policy, so all policies experience the
+*same* failures (common random numbers — the variance-reduction the paper
+gets for free by measuring all policies inside one simulation).
+
+Each site draws from its own seeded random stream: adding or removing a
+site never perturbs the history of the others.
+
+Beyond the paper's independent per-site model, :class:`OutageModel`
+injects *correlated* outages — a power loss or environmental failure
+taking a whole group of sites (typically one segment's machine room)
+down at once.  The paper excludes such events ("provided no catastrophic
+failure and no network failure ever occurred"); modelling them lets the
+benchmarks probe how much of the topological protocols' advantage
+survives when segment mates stop failing independently.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.failures.models import SiteProfile
+from repro.sim.events import Event, Priority
+from repro.sim.kernel import Simulation
+from repro.stats.distributions import Distribution, Exponential
+
+__all__ = ["TraceEvent", "FailureTrace", "OutageModel", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class OutageModel:
+    """A correlated-outage process.
+
+    At exponentially distributed intervals (mean ``mean_interval_days``)
+    every *up* site in ``site_ids`` is forced down simultaneously for a
+    shared duration drawn from ``duration``; sites already down stay on
+    their own repair schedules.
+    """
+
+    name: str
+    site_ids: frozenset[int]
+    mean_interval_days: float
+    duration: Distribution
+
+    def __post_init__(self) -> None:
+        if not self.site_ids:
+            raise ConfigurationError(f"outage {self.name!r} affects no sites")
+        if self.mean_interval_days <= 0:
+            raise ConfigurationError(
+                f"outage {self.name!r}: mean interval must be > 0"
+            )
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One site transition: at ``time``, ``site_id`` became up or down."""
+
+    time: float
+    site_id: int
+    up: bool
+
+
+class FailureTrace:
+    """A time-ordered site up/down history over ``[0, horizon]``.
+
+    All sites are up at time 0, matching the paper's initial condition.
+    """
+
+    def __init__(
+        self,
+        site_ids: Iterable[int],
+        events: Sequence[TraceEvent],
+        horizon: float,
+    ):
+        self._site_ids = frozenset(site_ids)
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon}")
+        last = 0.0
+        for event in events:
+            if event.site_id not in self._site_ids:
+                raise ConfigurationError(
+                    f"trace event for unknown site {event.site_id}"
+                )
+            if event.time < last:
+                raise ConfigurationError("trace events must be time-ordered")
+            last = event.time
+        self._events = tuple(events)
+        self._horizon = float(horizon)
+
+    # ------------------------------------------------------------------
+    @property
+    def site_ids(self) -> frozenset[int]:
+        return self._site_ids
+
+    @property
+    def horizon(self) -> float:
+        return self._horizon
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    def site_availability(self, site_id: int) -> float:
+        """Fraction of the horizon that *site_id* was up (diagnostic)."""
+        if site_id not in self._site_ids:
+            raise ConfigurationError(f"unknown site {site_id}")
+        up = True
+        last = 0.0
+        uptime = 0.0
+        for event in self._events:
+            if event.site_id != site_id:
+                continue
+            if up:
+                uptime += event.time - last
+            last = event.time
+            up = event.up
+        if up:
+            uptime += self._horizon - last
+        return uptime / self._horizon
+
+    def transitions_of(self, site_id: int) -> tuple[TraceEvent, ...]:
+        """All transitions of one site, in order."""
+        return tuple(e for e in self._events if e.site_id == site_id)
+
+
+class _SiteLifecycle:
+    """Event-driven fail/repair/maintenance behaviour of one site."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        profile: SiteProfile,
+        rng: random.Random,
+        record: list[TraceEvent],
+        horizon: float,
+    ):
+        self._sim = sim
+        self._profile = profile
+        self._rng = rng
+        self._record = record
+        self._up = True
+        self._pending_failure: Optional[Event] = None
+        self._schedule_failure()
+        if profile.maintenance is not None:
+            for start in profile.maintenance.windows(horizon):
+                sim.schedule_at(
+                    start,
+                    self._maintenance,
+                    priority=Priority.STATE_CHANGE,
+                    name=f"site{profile.site_id}:maintenance",
+                )
+
+    # ------------------------------------------------------------------
+    def _emit(self, up: bool) -> None:
+        self._record.append(TraceEvent(self._sim.now, self._profile.site_id, up))
+
+    def _schedule_failure(self) -> None:
+        ttf = self._profile.time_to_failure().sample(self._rng)
+        self._pending_failure = self._sim.schedule(
+            ttf,
+            self._fail,
+            priority=Priority.STATE_CHANGE,
+            name=f"site{self._profile.site_id}:fail",
+        )
+
+    def _fail(self) -> None:
+        self._pending_failure = None
+        self._up = False
+        self._emit(up=False)
+        downtime = self._profile.sample_downtime(self._rng)
+        self._sim.schedule(
+            downtime,
+            self._restore,
+            priority=Priority.STATE_CHANGE,
+            name=f"site{self._profile.site_id}:repair",
+        )
+
+    def _restore(self) -> None:
+        self._up = True
+        self._emit(up=True)
+        self._schedule_failure()
+
+    def _maintenance(self) -> None:
+        assert self._profile.maintenance is not None
+        self.force_down(self._profile.maintenance.duration_days)
+
+    def force_down(self, duration: float) -> None:
+        """Take the site down for *duration* days (maintenance, outage).
+
+        Skipped when the site is already down — its own repair schedule
+        stands (DESIGN.md §3).
+        """
+        if not self._up:
+            return
+        if self._pending_failure is not None:
+            self._sim.cancel(self._pending_failure)
+            self._pending_failure = None
+        self._up = False
+        self._emit(up=False)
+        self._sim.schedule(
+            duration,
+            self._restore,
+            priority=Priority.STATE_CHANGE,
+            name=f"site{self._profile.site_id}:forced-end",
+        )
+
+
+class _OutageProcess:
+    """Drives one :class:`OutageModel` against the site lifecycles."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        model: OutageModel,
+        lifecycles: dict[int, _SiteLifecycle],
+        rng: random.Random,
+    ):
+        self._sim = sim
+        self._model = model
+        self._targets = [
+            lifecycles[sid] for sid in sorted(model.site_ids)
+            if sid in lifecycles
+        ]
+        if not self._targets:
+            raise ConfigurationError(
+                f"outage {model.name!r} affects no simulated sites"
+            )
+        self._rng = rng
+        self._interval = Exponential(model.mean_interval_days)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        self._sim.schedule(
+            self._interval.sample(self._rng),
+            self._strike,
+            priority=Priority.URGENT,  # before individual transitions
+            name=f"outage:{self._model.name}",
+        )
+
+    def _strike(self) -> None:
+        duration = self._model.duration.sample(self._rng)
+        for lifecycle in self._targets:
+            lifecycle.force_down(duration)
+        self._schedule_next()
+
+
+def generate_trace(
+    profiles: Sequence[SiteProfile],
+    horizon: float,
+    seed: int,
+    outages: Sequence[OutageModel] = (),
+) -> FailureTrace:
+    """Simulate every site's lifecycle and return the merged trace.
+
+    Args:
+        profiles: Per-site failure models (e.g. Table 1).
+        horizon: Length of the history, in days.
+        seed: Master seed; site ``i`` draws from stream ``seed:i`` and
+            outage ``name`` from stream ``seed:outage:name``.
+        outages: Optional correlated-outage processes.
+    """
+    if not profiles:
+        raise ConfigurationError("at least one site profile is required")
+    ids = [p.site_id for p in profiles]
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError(f"duplicate site ids in profiles: {ids}")
+    sim = Simulation()
+    record: list[TraceEvent] = []
+    lifecycles: dict[int, _SiteLifecycle] = {}
+    for profile in profiles:
+        rng = random.Random(f"{seed}:{profile.site_id}")
+        lifecycles[profile.site_id] = _SiteLifecycle(
+            sim, profile, rng, record, horizon
+        )
+    names = [o.name for o in outages]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate outage names: {names}")
+    for model in outages:
+        rng = random.Random(f"{seed}:outage:{model.name}")
+        _OutageProcess(sim, model, lifecycles, rng)
+    sim.run(until=horizon)
+    return FailureTrace(ids, record, horizon)

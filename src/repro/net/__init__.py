@@ -1,0 +1,37 @@
+"""Network substrate: sites, segments, gateways and partitions.
+
+The paper's environment is a local-area network built from *indivisible*
+carrier-sense segments (or token rings) joined by gateway hosts.  Segments
+never partition internally; a partition can only appear when a gateway
+fails.  This package models that world:
+
+* :class:`~repro.net.sites.Site` — a host, with the rank used by the
+  lexicographic tie-break (the paper orders sites A > B > C; we make the
+  lowest-numbered site the maximum by default).
+* :class:`~repro.net.topology.SegmentedTopology` — segments + gateways,
+  the environment of Sections 3 and 4.
+* :class:`~repro.net.topology.PointToPointTopology` — a general graph of
+  sites and failure-prone links, for experiments outside the paper's LAN
+  assumption.
+* :class:`~repro.net.views.NetworkView` — an immutable snapshot of which
+  sites are up and how they group into communicating blocks; this is what
+  the voting protocols consume.
+"""
+
+from repro.net.sites import Site
+from repro.net.topology import (
+    PointToPointTopology,
+    SegmentedTopology,
+    Topology,
+    single_segment,
+)
+from repro.net.views import NetworkView
+
+__all__ = [
+    "NetworkView",
+    "PointToPointTopology",
+    "SegmentedTopology",
+    "Site",
+    "Topology",
+    "single_segment",
+]

@@ -1,0 +1,58 @@
+"""Site objects and the lexicographic site ordering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Site", "lexicographic_max"]
+
+
+@dataclass(frozen=True, order=False)
+class Site:
+    """A host that may hold a physical copy of a replicated file.
+
+    Attributes:
+        id: Unique integer identifier (Table 1 numbers sites 1..8).
+        name: Human-readable host name (``csvax``, ``beowulf``, ...).
+        rank: Position in the total order used by the lexicographic
+            tie-break.  *Higher rank wins.*  The paper's example orders
+            A > B > C, i.e. the first-listed site is the greatest, so the
+            default rank is ``-id`` (site 1 is the maximum element).
+    """
+
+    id: int
+    name: str = ""
+    rank: float = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ConfigurationError(f"site id must be >= 0, got {self.id}")
+        if self.rank is None:
+            object.__setattr__(self, "rank", float(-self.id))
+        if not self.name:
+            object.__setattr__(self, "name", f"site{self.id}")
+
+    def __repr__(self) -> str:
+        return f"Site({self.id}, {self.name!r})"
+
+
+def lexicographic_max(site_ids: Iterable[int], ranks: dict[int, float]) -> int:
+    """The maximum element of *site_ids* under the site ordering.
+
+    Ties in rank are broken by the smaller id so the order is total even
+    with user-supplied duplicate ranks.
+
+    Raises:
+        ConfigurationError: if *site_ids* is empty or contains an id
+            missing from *ranks*.
+    """
+    ids = list(site_ids)
+    if not ids:
+        raise ConfigurationError("lexicographic_max of an empty site set")
+    try:
+        return max(ids, key=lambda s: (ranks[s], -s))
+    except KeyError as exc:
+        raise ConfigurationError(f"no rank for site {exc.args[0]}") from exc

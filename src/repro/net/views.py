@@ -1,0 +1,110 @@
+"""Immutable snapshots of the network state.
+
+A :class:`NetworkView` answers, for one instant of simulated time, the only
+questions a voting protocol may ask of the network:
+
+* which sites are up,
+* which up sites can communicate (the partition *blocks*), and
+* which sites share an indivisible segment (for topological voting).
+
+The view is deliberately the *sole* conduit between the environment and
+the protocols; protocols hold no live references to topology mutable
+state, which keeps the optimistic protocols honest — they see the network
+only when an operation runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, AbstractSet, Iterable
+
+from repro.errors import UnknownSiteError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.topology import Topology
+
+__all__ = ["NetworkView"]
+
+
+class NetworkView:
+    """The network as seen at one instant.
+
+    Built by :meth:`Topology.view`; not normally constructed directly.
+    """
+
+    __slots__ = ("_topology", "_up", "_blocks", "_block_of")
+
+    def __init__(
+        self,
+        topology: "Topology",
+        up: frozenset[int],
+        blocks: tuple[frozenset[int], ...],
+    ):
+        self._topology = topology
+        self._up = up
+        self._blocks = blocks
+        self._block_of: dict[int, frozenset[int]] = {}
+        for block in blocks:
+            for site_id in block:
+                self._block_of[site_id] = block
+
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> "Topology":
+        return self._topology
+
+    @property
+    def up(self) -> frozenset[int]:
+        """Ids of all operational sites."""
+        return self._up
+
+    @property
+    def blocks(self) -> tuple[frozenset[int], ...]:
+        """Maximal groups of mutually communicating up sites."""
+        return self._blocks
+
+    def is_up(self, site_id: int) -> bool:
+        """Whether *site_id* is operational."""
+        if site_id not in self._topology.site_ids:
+            raise UnknownSiteError(f"no site {site_id} in topology")
+        return site_id in self._up
+
+    def block_of(self, site_id: int) -> frozenset[int]:
+        """The communicating block containing *site_id*.
+
+        Raises:
+            UnknownSiteError: if the site does not exist or is down (a
+                down site is in no block).
+        """
+        try:
+            return self._block_of[site_id]
+        except KeyError:
+            if site_id in self._topology.site_ids:
+                raise UnknownSiteError(f"site {site_id} is down") from None
+            raise UnknownSiteError(f"no site {site_id} in topology") from None
+
+    def reachable_from(self, site_id: int, targets: AbstractSet[int]) -> frozenset[int]:
+        """Subset of *targets* that an operation at *site_id* can contact."""
+        return self.block_of(site_id) & frozenset(targets)
+
+    def can_communicate(self, a: int, b: int) -> bool:
+        """Whether up sites *a* and *b* are in the same partition block."""
+        return (
+            a in self._block_of
+            and b in self._block_of
+            and self._block_of[a] is self._block_of[b]
+        )
+
+    def same_segment(self, a: int, b: int) -> bool:
+        """Whether *a* and *b* are on the same indivisible segment.
+
+        Defined for down sites too — segment membership is static.
+        """
+        return self._topology.same_segment(a, b)
+
+    def max_site(self, site_ids: Iterable[int]) -> int:
+        """Maximum element under the lexicographic site ordering."""
+        return self._topology.max_site(site_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        groups = ", ".join("{" + ",".join(map(str, sorted(b))) + "}" for b in self._blocks)
+        return f"<NetworkView up={sorted(self._up)} blocks=[{groups}]>"

@@ -1,0 +1,23 @@
+"""Replica substrate: per-copy protocol state and versioned data stores.
+
+Each physical copy of a replicated file carries, per Section 2.1 of the
+paper, three pieces of state:
+
+* an *operation number* ``o`` — incremented by every successful operation
+  the copy takes part in (reads included);
+* a *version number* ``v`` — identifies the last successful **write**;
+* a *partition set* ``P`` — the set of copies that participated in the
+  most recent successful operation; it is the quorum denominator for the
+  next operation.
+
+:class:`~repro.replica.state.ReplicaState` holds that triple with the
+monotonicity invariants enforced; :class:`~repro.replica.state.ReplicaSet`
+is the per-file collection of copies; and
+:class:`~repro.replica.store.VersionedStore` holds the actual file bytes
+so the message-level engine moves real data.
+"""
+
+from repro.replica.state import ReplicaSet, ReplicaState
+from repro.replica.store import VersionedStore
+
+__all__ = ["ReplicaSet", "ReplicaState", "VersionedStore"]

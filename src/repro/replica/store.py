@@ -1,0 +1,86 @@
+"""Versioned data storage for physical copies.
+
+The availability simulation only needs the consistency-control state, but
+the message-level engine (:mod:`repro.engine`) reads and writes real
+values, so consistency can be checked end to end: a granted read must
+return the payload of the most recent granted write.  ``VersionedStore``
+keeps one payload per copy, tagged with the version number that wrote it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError, StaleCopyError
+
+__all__ = ["VersionedStore"]
+
+
+class VersionedStore:
+    """Holds the data payload of every physical copy of one file.
+
+    Payloads are opaque Python values.  Version tags must track the
+    replica states: :meth:`put` is called on commit of a write,
+    :meth:`clone` during recovery's "copy the file from site m".
+    """
+
+    _UNSET = object()
+
+    def __init__(self, copy_sites: Iterable[int], initial: Any = None):
+        sites = sorted(set(copy_sites))
+        if not sites:
+            raise ConfigurationError("a store needs >= 1 copy site")
+        self._payloads: dict[int, Any] = {sid: initial for sid in sites}
+        self._versions: dict[int, int] = {sid: 1 for sid in sites}
+
+    # ------------------------------------------------------------------
+    @property
+    def copy_sites(self) -> frozenset[int]:
+        return frozenset(self._payloads)
+
+    def version_at(self, site_id: int) -> int:
+        """Version tag of the payload held at *site_id*."""
+        self._require(site_id)
+        return self._versions[site_id]
+
+    def get(self, site_id: int) -> Any:
+        """Payload held at *site_id* (no currency check — caller's duty)."""
+        self._require(site_id)
+        return self._payloads[site_id]
+
+    def put(self, site_id: int, version: int, payload: Any) -> None:
+        """Install *payload* at *site_id* as *version*.
+
+        Raises:
+            StaleCopyError: if *version* is older than what the copy holds;
+                a commit may never roll a copy's data backwards.
+        """
+        self._require(site_id)
+        if version < self._versions[site_id]:
+            raise StaleCopyError(
+                f"site {site_id} holds v{self._versions[site_id]}, "
+                f"refusing to install older v{version}"
+            )
+        self._versions[site_id] = version
+        self._payloads[site_id] = payload
+
+    def clone(self, source: int, target: int) -> None:
+        """Copy *source*'s payload and version onto *target* (RECOVER).
+
+        Raises:
+            StaleCopyError: if the source is older than the target — a
+                recovery must copy from an up-to-date site.
+        """
+        self._require(source)
+        self._require(target)
+        if self._versions[source] < self._versions[target]:
+            raise StaleCopyError(
+                f"recovery source site {source} (v{self._versions[source]}) is "
+                f"older than target site {target} (v{self._versions[target]})"
+            )
+        self._versions[target] = self._versions[source]
+        self._payloads[target] = self._payloads[source]
+
+    def _require(self, site_id: int) -> None:
+        if site_id not in self._payloads:
+            raise ConfigurationError(f"no copy at site {site_id}")

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free DES core in the classic event-calendar style:
+
+* :class:`~repro.sim.events.Event` — a scheduled callback with a firing
+  time, a priority and a stable sequence number for deterministic
+  tie-breaking.
+* :class:`~repro.sim.calendar.EventCalendar` — a binary-heap future event
+  list supporting O(log n) schedule/pop and lazy cancellation.
+* :class:`~repro.sim.kernel.Simulation` — the clock and run loop.
+* :class:`~repro.sim.process.Process` — generator-based processes that
+  ``yield`` delays, for components most naturally written as sequential
+  activities (e.g. a site's fail/repair lifecycle).
+
+The kernel is deliberately deterministic: two runs with the same seed and
+the same schedule order produce identical event orderings.
+"""
+
+from repro.sim.calendar import EventCalendar
+from repro.sim.events import Event, Priority
+from repro.sim.kernel import Simulation
+from repro.sim.process import Process, delay
+
+__all__ = [
+    "Event",
+    "EventCalendar",
+    "Priority",
+    "Process",
+    "Simulation",
+    "delay",
+]

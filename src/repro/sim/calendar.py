@@ -1,0 +1,71 @@
+"""Future event list (event calendar) built on a binary heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from repro.sim.events import Event
+
+__all__ = ["EventCalendar"]
+
+
+class EventCalendar:
+    """A priority queue of :class:`~repro.sim.events.Event` objects.
+
+    Cancelled events are discarded lazily when they reach the head of the
+    heap, so both :meth:`push` and cancellation are cheap.  ``len()``
+    reports only live events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0
+
+    def push(self, event: Event) -> None:
+        """Insert *event* into the calendar."""
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            IndexError: if the calendar holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty event calendar")
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest live event without removing it, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Tell the calendar one of its queued events was just cancelled.
+
+        The kernel calls this so ``len()`` stays exact without a heap scan.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every queued event."""
+        self._heap.clear()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate live events in an unspecified (heap) order."""
+        return (e for e in self._heap if not e.cancelled)

@@ -1,0 +1,162 @@
+"""The simulation clock and run loop."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.calendar import EventCalendar
+from repro.sim.events import Event, Priority
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """A discrete-event simulation: a clock plus a future event list.
+
+    Typical use::
+
+        sim = Simulation()
+        sim.schedule(1.5, lambda: print("fired at", sim.now))
+        sim.run(until=10.0)
+
+    Time is a float in arbitrary units; the availability study uses days.
+    The kernel never advances the clock backwards and executes same-time
+    events in (priority, scheduling order).
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._calendar = EventCalendar()
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of live events waiting in the calendar."""
+        return len(self._calendar)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        priority: Priority = Priority.DEFAULT,
+        name: str = "",
+    ) -> Event:
+        """Schedule *action* to run ``delay`` time units from now.
+
+        Returns the :class:`Event`, which the caller may :meth:`~Event.cancel`.
+
+        Raises:
+            SchedulingError: if *delay* is negative or not finite.
+        """
+        return self.schedule_at(self._now + delay, action, priority, name)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: Priority = Priority.DEFAULT,
+        name: str = "",
+    ) -> Event:
+        """Schedule *action* at absolute simulated *time* (>= now)."""
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule into the past: {time} < now ({self._now})"
+            )
+        event = Event(time, action, priority=priority, seq=self._seq, name=name)
+        self._seq += 1
+        self._calendar.push(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._calendar.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> Event:
+        """Execute exactly one event and return it.
+
+        Raises:
+            SimulationError: if the calendar is empty.
+        """
+        if not self._calendar:
+            raise SimulationError("no events to execute")
+        event = self._calendar.pop()
+        self._now = event.time
+        self.events_executed += 1
+        event.fire()
+        return event
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run events until the calendar empties, *until* is reached, or
+        *max_events* have executed.
+
+        When stopping at *until*, the clock is advanced to exactly *until*
+        (events scheduled at precisely *until* are executed).  Returns the
+        final clock value.
+
+        Raises:
+            SimulationError: on re-entrant calls to :meth:`run`.
+        """
+        if self._running:
+            raise SimulationError("Simulation.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._calendar and not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._calendar.peek()
+                assert head is not None
+                if until is not None and head.time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped:
+            if until < self._now:
+                raise SimulationError(
+                    f"run(until={until}) ended past its horizon (now={self._now})"
+                )
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Discard all pending events and rewind the clock."""
+        self._calendar.clear()
+        self._now = float(start_time)
+        self._stopped = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulation now={self._now:.6g} pending={self.pending}>"

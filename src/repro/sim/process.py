@@ -1,0 +1,100 @@
+"""Generator-based processes on top of the event kernel.
+
+A process is a Python generator that ``yield``\\ s :func:`delay` commands.
+The kernel resumes the generator after each delay elapses.  Processes are a
+convenience layer: everything they do can be expressed with raw events, but
+sequential activities (a site failing, being repaired, failing again, ...)
+read far more naturally as a loop.
+
+Example::
+
+    def lifecycle(sim):
+        while True:
+            yield delay(ttf())
+            go_down()
+            yield delay(repair())
+            come_up()
+
+    Process(sim, lifecycle(sim)).start()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Priority
+from repro.sim.kernel import Simulation
+
+__all__ = ["Process", "delay"]
+
+
+@dataclass(frozen=True)
+class _Delay:
+    """Command object yielded by process generators."""
+
+    duration: float
+    priority: Priority = Priority.DEFAULT
+
+
+def delay(duration: float, priority: Priority = Priority.DEFAULT) -> _Delay:
+    """Build the command a process yields to sleep for *duration*."""
+    return _Delay(duration, priority)
+
+
+class Process:
+    """Drives a generator through the simulation clock.
+
+    The generator yields :func:`delay` objects; anything else raises
+    :class:`~repro.errors.SimulationError`.  When the generator returns,
+    the process is *finished*; :meth:`interrupt` kills it early.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        generator: Generator[_Delay, None, None],
+        name: str = "process",
+    ):
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self._pending_event: Optional[Event] = None
+
+    def start(self, initial_delay: float = 0.0) -> "Process":
+        """Schedule the first resumption and return ``self`` for chaining."""
+        self._pending_event = self._sim.schedule(
+            initial_delay, self._resume, name=f"{self.name}:start"
+        )
+        return self
+
+    def interrupt(self) -> None:
+        """Stop the process; its generator is closed immediately."""
+        if self._pending_event is not None:
+            self._sim.cancel(self._pending_event)
+            self._pending_event = None
+        if not self.finished:
+            self._generator.close()
+            self.finished = True
+
+    def _resume(self) -> None:
+        self._pending_event = None
+        try:
+            command = next(self._generator)
+        except StopIteration:
+            self.finished = True
+            return
+        if not isinstance(command, _Delay):
+            self._generator.close()
+            self.finished = True
+            raise SimulationError(
+                f"process {self.name!r} yielded {command!r}; expected delay(...)"
+            )
+        self._pending_event = self._sim.schedule(
+            command.duration,
+            self._resume,
+            priority=command.priority,
+            name=f"{self.name}:resume",
+        )

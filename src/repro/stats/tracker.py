@@ -1,0 +1,174 @@
+"""Continuous-time tracking of a boolean availability signal.
+
+The availability study needs, per (configuration, policy):
+
+* the *unavailability*: fraction of post-warm-up time during which an
+  access would be denied (Table 2), and
+* the *mean duration of unavailable periods* in days (Table 3).
+
+:class:`AvailabilityTracker` consumes a sequence of ``set_state(time, up)``
+calls (the evaluator emits one whenever the probe's verdict changes) and
+integrates downtime exactly.  A warm-up horizon discards the transient:
+time before ``warmup`` contributes nothing, and a period straddling the
+warm-up boundary is counted only from the boundary on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["Interval", "AvailabilityTracker"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed-open span ``[start, end)`` of simulated time."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def clipped(self, lo: float, hi: float) -> "Interval | None":
+        """The part of this interval inside ``[lo, hi)``, or ``None``."""
+        start = max(self.start, lo)
+        end = min(self.end, hi)
+        if start >= end:
+            return None
+        return Interval(start, end)
+
+
+class AvailabilityTracker:
+    """Integrates up/down time for one availability signal.
+
+    State transitions must be fed in non-decreasing time order.  Redundant
+    transitions (same state again) are ignored, so callers may emit a
+    verdict after every event without deduplicating.
+    """
+
+    def __init__(self, start_time: float = 0.0, initially_up: bool = True,
+                 warmup: float = 0.0, keep_periods: bool = False):
+        self._t0 = float(start_time)
+        self._warmup_end = self._t0 + float(warmup)
+        self._last_time = self._t0
+        self._state_up = initially_up
+        self._down_time = 0.0
+        self._down_periods = 0
+        self._down_duration_total = 0.0
+        self._closed = False
+        self._end_time = self._t0
+        self._keep_periods = keep_periods
+        self._periods: list[Interval] = []
+        self._open_down_since: float | None = None if initially_up else self._t0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        """Current value of the tracked signal."""
+        return self._state_up
+
+    def set_state(self, time: float, up: bool) -> None:
+        """Record that the signal is *up* (or not) from *time* onwards."""
+        if self._closed:
+            raise SimulationError("tracker already finished")
+        if time < self._last_time:
+            raise SimulationError(
+                f"transitions must be time-ordered: {time} < {self._last_time}"
+            )
+        if up == self._state_up:
+            return
+        self._advance(time)
+        self._state_up = up
+        if not up:
+            self._open_down_since = time
+        else:
+            self._close_down_period(time)
+
+    def finish(self, time: float) -> None:
+        """Close the observation window at *time* (idempotent).
+
+        A down period still open at the end of the window is counted with
+        the window boundary as its end, as the paper's finite-horizon
+        simulation necessarily does.
+        """
+        if self._closed:
+            return
+        if time < self._last_time:
+            raise SimulationError(
+                f"finish time {time} precedes last transition {self._last_time}"
+            )
+        self._advance(time)
+        if not self._state_up:
+            self._close_down_period(time)
+        self._end_time = time
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def _advance(self, time: float) -> None:
+        """Integrate the current state over [last_time, time)."""
+        if not self._state_up:
+            lo = max(self._last_time, self._warmup_end)
+            if time > lo:
+                self._down_time += time - lo
+        self._last_time = time
+
+    def _close_down_period(self, time: float) -> None:
+        since = self._open_down_since
+        self._open_down_since = None
+        if since is None:
+            return
+        # Periods entirely inside the warm-up are discarded; straddling
+        # periods are clipped at the warm-up boundary.
+        start = max(since, self._warmup_end)
+        if time <= start:
+            return
+        self._down_periods += 1
+        self._down_duration_total += time - start
+        if self._keep_periods:
+            self._periods.append(Interval(start, time))
+
+    # ------------------------------------------------------------------
+    @property
+    def observed_time(self) -> float:
+        """Length of the post-warm-up observation window."""
+        if not self._closed:
+            raise SimulationError("call finish() before reading results")
+        return max(0.0, self._end_time - self._warmup_end)
+
+    @property
+    def down_time(self) -> float:
+        """Total post-warm-up time during which the signal was down."""
+        if not self._closed:
+            raise SimulationError("call finish() before reading results")
+        return self._down_time
+
+    def unavailability(self) -> float:
+        """Fraction of the observation window spent down (0 if empty)."""
+        total = self.observed_time
+        if total <= 0.0:
+            return 0.0
+        return self._down_time / total
+
+    @property
+    def down_period_count(self) -> int:
+        """Number of (clipped) down periods in the observation window."""
+        if not self._closed:
+            raise SimulationError("call finish() before reading results")
+        return self._down_periods
+
+    def mean_down_duration(self) -> float:
+        """Mean length of an unavailable period; 0.0 when there were none."""
+        if not self._closed:
+            raise SimulationError("call finish() before reading results")
+        if self._down_periods == 0:
+            return 0.0
+        return self._down_duration_total / self._down_periods
+
+    @property
+    def periods(self) -> tuple[Interval, ...]:
+        """The recorded down periods (only if ``keep_periods=True``)."""
+        return tuple(self._periods)

@@ -1,0 +1,141 @@
+"""Tests for the dynamic-voting Markov chains, including the paper's
+cited PaBu86 finding and cross-validation against the simulator."""
+
+import pytest
+
+from repro.analysis.dynamic_chain import (
+    ac_availability,
+    dv_availability,
+    ldv_availability,
+    mcv_availability,
+)
+from repro.errors import ConfigurationError
+
+MTTF, MTTR = 30.0, 2.0
+A = MTTF / (MTTF + MTTR)
+
+
+class TestClosedForms:
+    def test_mcv_three_copies_binomial(self):
+        expected = A**3 + 3 * A**2 * (1 - A)
+        assert mcv_availability(3, MTTF, MTTR) == pytest.approx(expected)
+
+    def test_mcv_tie_break_adds_half_the_half_patterns(self):
+        import math
+
+        plain = mcv_availability(4, MTTF, MTTR, tie_break=False)
+        with_tb = mcv_availability(4, MTTF, MTTR, tie_break=True)
+        bonus = 0.5 * math.comb(4, 2) * A**2 * (1 - A) ** 2
+        assert with_tb - plain == pytest.approx(bonus)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dv_availability(1, MTTF, MTTR)
+        with pytest.raises(ConfigurationError):
+            ldv_availability(3, 0.0, MTTR)
+        with pytest.raises(ConfigurationError):
+            mcv_availability(3, MTTF, -1.0)
+
+
+class TestPaperFindingsAnalytically:
+    def test_dv_worse_than_mcv_for_three_copies(self):
+        """The PaBu86 result the paper cites, now in closed form."""
+        assert dv_availability(3, MTTF, MTTR) < mcv_availability(3, MTTF, MTTR)
+
+    def test_ldv_beats_both_for_three_copies(self):
+        ldv = ldv_availability(3, MTTF, MTTR)
+        assert ldv > mcv_availability(3, MTTF, MTTR)
+        assert ldv > dv_availability(3, MTTF, MTTR)
+
+    def test_ordering_holds_across_repair_regimes(self):
+        for mttr in (0.5, 2.0, 10.0):
+            dv = dv_availability(3, MTTF, mttr)
+            mcv = mcv_availability(3, MTTF, mttr)
+            ldv = ldv_availability(3, MTTF, mttr)
+            assert dv < mcv < ldv, mttr
+
+    def test_dv_gains_with_more_copies(self):
+        """With five copies, dynamic adaptation overtakes the static
+        quorum (the paper's four-copy configurations E and G)."""
+        assert dv_availability(5, MTTF, MTTR) > mcv_availability(5, MTTF, MTTR)
+
+    def test_ldv_availability_increases_with_n(self):
+        values = [ldv_availability(n, MTTF, MTTR) for n in (2, 3, 4, 5)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_all_availabilities_are_probabilities(self):
+        for n in (2, 3, 4, 5, 6):
+            for fn in (dv_availability, ldv_availability, mcv_availability):
+                value = fn(n, MTTF, MTTR)
+                assert 0.0 < value < 1.0
+
+
+class TestAgainstTheSimulator:
+    """The chains and the discrete-event simulator must agree on the
+    identical-sites single-segment world both can express."""
+
+    @staticmethod
+    def _simulate(policy, n, horizon=120_000.0):
+        from repro.experiments.evaluator import evaluate_policy
+        from repro.failures.models import SiteProfile
+        from repro.failures.trace import generate_trace
+        from repro.net.topology import single_segment
+
+        profiles = [
+            SiteProfile(
+                site_id=i, name=f"s{i}", mttf_days=MTTF,
+                hardware_fraction=1.0, restart_minutes=0.0,
+                repair_constant_hours=0.0,
+                repair_exponential_hours=MTTR * 24.0,
+            )
+            for i in range(1, n + 1)
+        ]
+        trace = generate_trace(profiles, horizon, seed=606)
+        result = evaluate_policy(
+            policy, single_segment(n), frozenset(range(1, n + 1)), trace,
+            warmup=0.0, batches=1,
+        )
+        return result.availability
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_dv_simulation_matches_chain(self, n):
+        simulated = self._simulate("DV", n)
+        analytic = dv_availability(n, MTTF, MTTR)
+        assert simulated == pytest.approx(analytic, abs=0.004)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_ldv_simulation_matches_chain(self, n):
+        simulated = self._simulate("LDV", n)
+        analytic = ldv_availability(n, MTTF, MTTR)
+        assert simulated == pytest.approx(analytic, abs=0.004)
+
+    def test_mcv_simulation_matches_closed_form(self):
+        simulated = self._simulate("MCV", 3)
+        analytic = mcv_availability(3, MTTF, MTTR)
+        assert simulated == pytest.approx(analytic, abs=0.004)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_single_segment_tdv_matches_the_ac_chain(self, n):
+        """Section 3's degeneration claim, closed analytically: TDV with
+        every copy on one segment follows the Available-Copy chain."""
+        simulated = self._simulate("TDV", n)
+        analytic = ac_availability(n, MTTF, MTTR)
+        assert simulated == pytest.approx(analytic, abs=0.004)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_ac_protocol_matches_its_own_chain(self, n):
+        simulated = self._simulate("AC", n)
+        analytic = ac_availability(n, MTTF, MTTR)
+        assert simulated == pytest.approx(analytic, abs=0.004)
+
+
+class TestAvailableCopyDominance:
+    def test_ac_dominates_every_voting_protocol(self):
+        """On a partition-free segment Available Copy is the ceiling —
+        which is exactly why TDV's degeneration to it is the paper's
+        headline improvement."""
+        for n in (2, 3, 4, 5):
+            ac = ac_availability(n, MTTF, MTTR)
+            assert ac >= ldv_availability(n, MTTF, MTTR)
+            assert ac >= dv_availability(n, MTTF, MTTR)
+            assert ac >= mcv_availability(n, MTTF, MTTR)

@@ -1,0 +1,131 @@
+"""Unit tests for exact static-availability enumeration."""
+
+import pytest
+
+from repro.analysis.enumeration import (
+    mcv_predicate,
+    single_copy_predicate,
+    static_availability,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.testbed import testbed_topology
+from repro.net.topology import single_segment
+
+
+class TestStaticAvailability:
+    def test_single_site_is_its_availability(self):
+        topo = single_segment(1)
+        value = static_availability(
+            topo, {1: 0.9}, single_copy_predicate(frozenset({1}))
+        )
+        assert value == pytest.approx(0.9)
+
+    def test_some_copy_up_is_one_minus_product(self):
+        topo = single_segment(3)
+        avail = {1: 0.9, 2: 0.8, 3: 0.7}
+        value = static_availability(
+            topo, avail, single_copy_predicate(frozenset({1, 2, 3}))
+        )
+        expected = 1.0 - (0.1 * 0.2 * 0.3)
+        assert value == pytest.approx(expected)
+
+    def test_mcv_two_of_three_binomial(self):
+        topo = single_segment(3)
+        p = 0.9
+        avail = {1: p, 2: p, 3: p}
+        value = static_availability(
+            topo, avail, mcv_predicate(frozenset({1, 2, 3}))
+        )
+        expected = p**3 + 3 * p**2 * (1 - p)
+        assert value == pytest.approx(expected)
+
+    def test_mcv_tie_break_asymmetry(self):
+        """With 2 copies, the tie-break makes copy 1 alone sufficient but
+        not copy 2 alone."""
+        topo = single_segment(2)
+        avail = {1: 0.9, 2: 0.8}
+        with_tb = static_availability(
+            topo, avail, mcv_predicate(frozenset({1, 2}))
+        )
+        without_tb = static_availability(
+            topo, avail, mcv_predicate(frozenset({1, 2}), tie_break=False)
+        )
+        assert with_tb == pytest.approx(0.9)          # site 1 up suffices
+        assert without_tb == pytest.approx(0.9 * 0.8)  # both needed
+
+    def test_partitions_reduce_availability(self):
+        """On the testbed, MCV over {1, 2, 6} also needs gateway 4 for
+        the 6-side to count; compare against a partition-free LAN."""
+        testbed = testbed_topology()
+        avail = {s: 0.9 for s in range(1, 9)}
+        on_testbed = static_availability(
+            testbed, avail, mcv_predicate(frozenset({1, 2, 6}))
+        )
+        lan = single_segment(8)
+        on_lan = static_availability(
+            lan, avail, mcv_predicate(frozenset({1, 2, 6}))
+        )
+        assert on_testbed < on_lan
+
+    def test_degenerate_probabilities(self):
+        topo = single_segment(2)
+        assert static_availability(
+            topo, {1: 1.0, 2: 1.0}, mcv_predicate(frozenset({1, 2}))
+        ) == pytest.approx(1.0)
+        assert static_availability(
+            topo, {1: 0.0, 2: 0.0}, mcv_predicate(frozenset({1, 2}))
+        ) == pytest.approx(0.0)
+
+    def test_validation(self):
+        topo = single_segment(2)
+        with pytest.raises(ConfigurationError):
+            static_availability(topo, {1: 0.9},
+                                mcv_predicate(frozenset({1, 2})))
+        with pytest.raises(ConfigurationError):
+            static_availability(topo, {1: 1.5, 2: 0.5},
+                                mcv_predicate(frozenset({1, 2})))
+        with pytest.raises(ConfigurationError):
+            mcv_predicate(frozenset())
+        with pytest.raises(ConfigurationError):
+            single_copy_predicate(frozenset())
+
+
+class TestCrossValidationAgainstSimulation:
+    """The simulator and the closed form must agree on static protocols."""
+
+    def test_mcv_simulated_matches_enumeration(self):
+        from repro.experiments.evaluator import evaluate_policy
+        from repro.failures.profiles import testbed_profiles
+        from repro.failures.trace import generate_trace
+
+        topo = testbed_topology()
+        copies = frozenset({1, 2, 6})
+        trace = generate_trace(testbed_profiles(), 60_000.0, seed=303)
+        result = evaluate_policy("MCV", topo, copies, trace,
+                                 warmup=0.0, batches=1)
+        # Feed the *measured* per-site availabilities into the exact
+        # formula, so only the protocol/partition logic is under test.
+        measured = {s: trace.site_availability(s) for s in range(1, 9)}
+        exact = static_availability(topo, measured, mcv_predicate(copies))
+        assert result.availability == pytest.approx(exact, abs=0.004)
+
+    def test_best_case_bound_holds_for_every_policy(self):
+        """No policy can beat 'some copy up'."""
+        from repro.core.registry import PAPER_POLICIES
+        from repro.experiments.evaluator import evaluate_policy, poisson_times
+        from repro.failures.profiles import testbed_profiles
+        from repro.failures.trace import generate_trace
+
+        topo = testbed_topology()
+        copies = frozenset({1, 2, 4})
+        trace = generate_trace(testbed_profiles(), 8_000.0, seed=17)
+        access = poisson_times(1.0, trace.horizon, 17)
+        measured = {s: trace.site_availability(s) for s in range(1, 9)}
+        bound = static_availability(
+            topo, measured, single_copy_predicate(copies)
+        )
+        for policy in PAPER_POLICIES:
+            result = evaluate_policy(policy, topo, copies, trace,
+                                     warmup=0.0, batches=1,
+                                     access_times=access)
+            assert result.availability <= bound + 0.002

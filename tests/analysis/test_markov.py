@@ -1,0 +1,117 @@
+"""Unit tests for the CTMC toolkit."""
+
+import pytest
+
+from repro.analysis.markov import MarkovChain, k_of_n_availability, repairable_site
+from repro.errors import ConfigurationError
+
+
+class TestMarkovChain:
+    def test_two_state_stationary(self):
+        chain = MarkovChain(["a", "b"], {("a", "b"): 2.0, ("b", "a"): 1.0})
+        pi = chain.stationary_distribution()
+        assert pi["a"] == pytest.approx(1.0 / 3.0)
+        assert pi["b"] == pytest.approx(2.0 / 3.0)
+
+    def test_distribution_sums_to_one(self):
+        chain = MarkovChain(
+            [0, 1, 2],
+            {(0, 1): 1.0, (1, 2): 2.0, (2, 0): 3.0, (1, 0): 0.5},
+        )
+        pi = chain.stationary_distribution()
+        assert sum(pi.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in pi.values())
+
+    def test_generator_rows_sum_to_zero(self):
+        chain = MarkovChain(["x", "y"], {("x", "y"): 1.5, ("y", "x"): 0.5})
+        for row in chain.generator_matrix():
+            assert sum(row) == pytest.approx(0.0)
+
+    def test_probability_of_predicate(self):
+        chain = MarkovChain(["up", "down"],
+                            {("up", "down"): 1.0, ("down", "up"): 3.0})
+        assert chain.probability(lambda s: s == "up") == pytest.approx(0.75)
+
+    def test_reducible_chain_rejected(self):
+        chain = MarkovChain(["a", "b", "c"], {("a", "b"): 1.0, ("b", "a"): 1.0})
+        with pytest.raises(ConfigurationError):
+            chain.stationary_distribution()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MarkovChain([], {})
+        with pytest.raises(ConfigurationError):
+            MarkovChain(["a", "a"], {})
+        with pytest.raises(ConfigurationError):
+            MarkovChain(["a", "b"], {("a", "a"): 1.0})
+        with pytest.raises(ConfigurationError):
+            MarkovChain(["a", "b"], {("a", "b"): -1.0})
+        with pytest.raises(ConfigurationError):
+            MarkovChain(["a"], {("a", "z"): 1.0})
+
+
+class TestRepairableSite:
+    def test_availability_formula(self):
+        chain = repairable_site(mttf=50.0, mttr=2.0)
+        pi = chain.stationary_distribution()
+        assert pi["up"] == pytest.approx(50.0 / 52.0)
+
+    def test_matches_trace_generator(self):
+        """The simulated site availability converges to the CTMC value."""
+        from repro.failures.models import SiteProfile
+        from repro.failures.trace import generate_trace
+
+        profile = SiteProfile(
+            site_id=1, name="s", mttf_days=20.0, hardware_fraction=1.0,
+            restart_minutes=0.0, repair_constant_hours=0.0,
+            repair_exponential_hours=48.0,
+        )
+        trace = generate_trace([profile], 100_000.0, seed=5)
+        chain = repairable_site(mttf=20.0, mttr=2.0)
+        expected = chain.stationary_distribution()["up"]
+        assert trace.site_availability(1) == pytest.approx(expected, abs=0.005)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            repairable_site(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            repairable_site(1.0, -1.0)
+
+
+class TestKOfN:
+    def test_matches_binomial_identity(self):
+        mttf, mttr = 30.0, 3.0
+        a = mttf / (mttf + mttr)
+        for n in (2, 3, 4, 5):
+            for k in range(n + 1):
+                from math import comb
+
+                binomial = sum(
+                    comb(n, i) * a**i * (1 - a) ** (n - i)
+                    for i in range(k, n + 1)
+                )
+                assert k_of_n_availability(n, k, mttf, mttr) == pytest.approx(
+                    binomial
+                )
+
+    def test_k_zero_is_certain(self):
+        assert k_of_n_availability(3, 0, 10.0, 1.0) == pytest.approx(1.0)
+
+    def test_mcv_on_a_lan_is_majority_of_n(self):
+        """k-of-n with k = majority equals enumeration over one segment."""
+        from repro.analysis.enumeration import mcv_predicate, static_availability
+        from repro.net.topology import single_segment
+
+        mttf, mttr = 25.0, 5.0
+        a = mttf / (mttf + mttr)
+        topo = single_segment(3)
+        enum = static_availability(
+            topo, {s: a for s in (1, 2, 3)}, mcv_predicate(frozenset({1, 2, 3}))
+        )
+        assert k_of_n_availability(3, 2, mttf, mttr) == pytest.approx(enum)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            k_of_n_availability(0, 0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            k_of_n_availability(3, 4, 1.0, 1.0)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.testbed import testbed_topology
+from repro.net.sites import Site
+from repro.net.topology import SegmentedTopology, single_segment
+
+
+@pytest.fixture
+def testbed():
+    """The Figure 8 network: 8 sites, 3 segments, gateways at 4 and 5."""
+    return testbed_topology()
+
+
+@pytest.fixture
+def lan3():
+    """Three sites A(1), B(2), C(3) on one segment (Section 2 example)."""
+    return single_segment(3)
+
+
+@pytest.fixture
+def paper_section3_topology():
+    """The Section 3 example: A(1), B(2) on segment alpha; C(3) on gamma;
+    D(4) on delta; repeaters X/Y modelled as gateway sites 9 and 10."""
+    sites = [Site(i) for i in (1, 2, 3, 4, 9, 10)]
+    return SegmentedTopology(
+        sites,
+        {"alpha": [1, 2, 9, 10], "gamma": [3], "delta": [4]},
+        {9: ("alpha", "gamma"), 10: ("alpha", "delta")},
+    )
+
+
+def make_view(topology, up):
+    """Helper: a view with exactly the sites in *up* operational."""
+    return topology.view(frozenset(up))

@@ -1,0 +1,92 @@
+"""Unit tests for the Available Copy baseline."""
+
+import pytest
+
+from repro.core.available_copy import AvailableCopy
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+
+
+@pytest.fixture
+def lan3():
+    return single_segment(3)
+
+
+def _ac(copies):
+    return AvailableCopy(ReplicaSet(copies))
+
+
+class TestAvailability:
+    def test_one_live_copy_suffices(self, lan3):
+        protocol = _ac({1, 2, 3})
+        for survivor in (1, 2, 3):
+            assert protocol.is_available(lan3.view({survivor}))
+
+    def test_no_live_copy_denied(self, lan3):
+        protocol = _ac({1, 2})
+        assert not protocol.is_available(lan3.view({3}))
+
+    def test_current_set_tracks_up_copies(self, lan3):
+        protocol = _ac({1, 2, 3})
+        protocol.synchronize(lan3.view({1, 3}))
+        assert protocol.current_copies == frozenset({1, 3})
+
+
+class TestTotalFailure:
+    def test_waits_for_a_member_of_last_current_set(self, lan3):
+        protocol = _ac({1, 2, 3})
+        protocol.synchronize(lan3.view({1, 2}))
+        protocol.synchronize(lan3.view({2}))   # 2 is the last survivor
+        protocol.synchronize(lan3.view(set()))
+        # 1 restarts first: not current, file still down.
+        protocol.synchronize(lan3.view({1}))
+        assert not protocol.is_available(lan3.view({1}))
+        # 2 restarts: file back, and 1 is cloned back in.
+        protocol.synchronize(lan3.view({1, 2}))
+        assert protocol.is_available(lan3.view({1, 2}))
+        assert protocol.current_copies == frozenset({1, 2})
+
+    def test_current_set_frozen_during_total_failure(self, lan3):
+        protocol = _ac({1, 2, 3})
+        protocol.synchronize(lan3.view({3}))
+        protocol.synchronize(lan3.view(set()))
+        assert protocol.current_copies == frozenset({3})
+
+
+class TestOperations:
+    def test_write_makes_reachable_copies_current(self, lan3):
+        protocol = _ac({1, 2, 3})
+        view = lan3.view({1, 2})
+        verdict = protocol.write(view, 1)
+        assert verdict.granted
+        assert protocol.current_copies == frozenset({1, 2})
+        assert protocol.replicas.state(1).version == 2
+        assert protocol.replicas.state(3).version == 1
+
+    def test_read_does_not_change_state(self, lan3):
+        protocol = _ac({1, 2, 3})
+        before = protocol.replicas.as_mapping()
+        assert protocol.read(lan3.view({1, 2, 3}), 2).granted
+        assert protocol.replicas.as_mapping() == before
+
+    def test_recover_clones_from_current_copy(self, lan3):
+        protocol = _ac({1, 2, 3})
+        protocol.write(lan3.view({1, 2}), 1)   # 3 now stale
+        verdict = protocol.recover(lan3.view({1, 2, 3}), 3)
+        assert verdict.granted
+        assert 3 in protocol.current_copies
+        assert protocol.replicas.state(3).version == 2
+
+    def test_recover_without_current_copy_denied(self, lan3):
+        protocol = _ac({1, 2})
+        protocol.synchronize(lan3.view({2}))
+        protocol.synchronize(lan3.view(set()))
+        verdict = protocol.recover(lan3.view({1}), 1)
+        assert not verdict.granted
+
+    def test_synchronize_refreshes_versions(self, lan3):
+        protocol = _ac({1, 2, 3})
+        protocol.write(lan3.view({1, 2}), 1)
+        protocol.synchronize(lan3.view({1, 2, 3}))
+        assert protocol.replicas.state(3).version == 2
+        assert protocol.current_copies == frozenset({1, 2, 3})

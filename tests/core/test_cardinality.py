@@ -1,0 +1,102 @@
+"""Unit and equivalence tests for the Jajodia–Mutchler integer variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cardinality import CardinalityDynamicVoting
+from repro.core.dynamic import DynamicVoting
+from repro.experiments.testbed import testbed_topology
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+
+
+@pytest.fixture
+def lan4():
+    return single_segment(4)
+
+
+class TestIntegerState:
+    def test_initial_state(self):
+        protocol = CardinalityDynamicVoting(ReplicaSet({1, 2, 3}))
+        for site in (1, 2, 3):
+            assert protocol.integer_state(site) == (1, 3)
+
+    def test_state_is_two_integers(self, lan4):
+        """The storage claim: (VN, SC), nothing else."""
+        protocol = CardinalityDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))
+        vn, sc = protocol.integer_state(1)
+        assert isinstance(vn, int) and isinstance(sc, int)
+        assert sc == 2  # last quorum: {1, 2}
+
+    def test_unknown_site_rejected(self):
+        protocol = CardinalityDynamicVoting(ReplicaSet({1, 2}))
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            protocol.integer_state(9)
+
+
+class TestQuorumBehaviour:
+    def test_majority_of_last_quorum_grants(self, lan4):
+        protocol = CardinalityDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))   # SC becomes 2
+        assert protocol.is_available(lan4.view({1, 2}))
+
+    def test_exact_half_cannot_be_tie_broken(self, lan4):
+        """The paper's point: integers cannot name a maximum element, so
+        the tie must fail — unlike LDV with partition sets."""
+        protocol = CardinalityDynamicVoting(ReplicaSet({1, 2}))
+        assert not protocol.is_available(lan4.view({1}))
+        assert not protocol.is_available(lan4.view({2}))
+
+    def test_recover_rejoins_and_grows_cardinality(self, lan4):
+        protocol = CardinalityDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))
+        protocol.recover(lan4.view({1, 2, 3}), 3)
+        assert protocol.integer_state(3)[1] == 3
+
+    def test_denied_operation_changes_nothing(self, lan4):
+        protocol = CardinalityDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))
+        before = [protocol.integer_state(s) for s in (1, 2, 3)]
+        protocol.write(lan4.view({3, 4}), 3)
+        assert [protocol.integer_state(s) for s in (1, 2, 3)] == before
+
+
+class TestEquivalenceWithPartitionSetDV:
+    """JM87 with integers must make the same decisions as DV with
+    partition sets — the substance of the paper's Section 2.1 comparison."""
+
+    TOPOLOGY = testbed_topology()
+    ALL = frozenset(range(1, 9))
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        copies=st.sampled_from([
+            frozenset({1, 2, 4}),
+            frozenset({1, 2, 6}),
+            frozenset({6, 7, 8}),
+            frozenset({1, 2, 4, 6}),
+        ]),
+        events=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=8), st.booleans()),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_same_availability_trajectory(self, copies, events):
+        dv = DynamicVoting(ReplicaSet(copies))
+        jm = CardinalityDynamicVoting(ReplicaSet(copies))
+        up = set(self.ALL)
+        for site, goes_up in events:
+            if goes_up:
+                up.add(site)
+            else:
+                up.discard(site)
+            view = self.TOPOLOGY.view(up)
+            dv.synchronize(view)
+            jm.synchronize(view)
+            assert dv.is_available(view) == jm.is_available(view)
+            assert dv.granting_blocks(view) == jm.granting_blocks(view)

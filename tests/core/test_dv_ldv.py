@@ -1,0 +1,166 @@
+"""Unit tests for DV and LDV (eager dynamic voting, with/without tie-break)."""
+
+import pytest
+
+from repro.core.dynamic import DynamicVoting
+from repro.core.lexicographic import LexicographicDynamicVoting
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+
+
+@pytest.fixture
+def lan4():
+    return single_segment(4)
+
+
+class TestQuorumAdjustment:
+    def test_quorum_shrinks_with_synchronize(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2, 4}))  # 3 down
+        assert protocol.replicas.state(1).partition_set == frozenset({1, 2})
+
+    def test_shrunken_quorum_survives_second_failure(self, lan4):
+        """The defining advantage over MCV: {1,2,3} -> {1,2} -> {1}."""
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))
+        protocol.synchronize(lan4.view({1}))
+        assert protocol.is_available(lan4.view({1}))
+        assert protocol.replicas.state(1).partition_set == frozenset({1})
+
+    def test_mcv_would_be_unavailable_in_the_same_history(self, lan4):
+        from repro.core.mcv import MajorityConsensusVoting
+
+        mcv = MajorityConsensusVoting(ReplicaSet({1, 2, 3}))
+        assert not mcv.is_available(lan4.view({1}))
+
+    def test_synchronize_reintegrates_recovered_copy(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))       # 3 leaves the quorum
+        protocol.synchronize(lan4.view({1, 2, 3}))    # 3 returns
+        assert protocol.replicas.state(3).partition_set == frozenset({1, 2, 3})
+        assert protocol.replicas.current_sites({1, 2, 3}) == frozenset({1, 2, 3})
+
+    def test_synchronize_outside_majority_changes_nothing(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))  # P = {1, 2}
+        before = protocol.replicas.as_mapping()
+        protocol.synchronize(lan4.view({3}))     # 3 alone: no quorum of {1,2}
+        assert protocol.replicas.as_mapping() == before
+
+    def test_synchronize_is_idempotent(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        view = lan4.view({1, 2})
+        protocol.synchronize(view)
+        after_first = protocol.replicas.as_mapping()
+        protocol.synchronize(view)
+        assert protocol.replicas.as_mapping() == after_first
+
+
+class TestTieSemantics:
+    def test_dv_declares_ties_unavailable(self, lan4):
+        """Original DV: exactly half on each side means no access at all."""
+        protocol = DynamicVoting(ReplicaSet({1, 2}))
+        view = lan4.view({1, 3, 4})  # copy 2 down: {1} is half of {1, 2}
+        assert not protocol.is_available(view)
+
+    def test_ldv_resolves_the_same_tie(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2}))
+        view = lan4.view({1, 3, 4})
+        assert protocol.is_available(view)
+
+    def test_ldv_tie_needs_the_maximum_element(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2}))
+        view = lan4.view({2, 3, 4})  # only the non-maximum copy is up
+        assert not protocol.is_available(view)
+
+    def test_dv_three_copies_requires_two_of_previous_block(self, lan4):
+        """Paris & Burkhard's finding: DV with three copies is *more*
+        restrictive than MCV — one survivor of {1,2,3} cannot proceed."""
+        protocol = DynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))
+        assert protocol.is_available(lan4.view({1, 2}))
+        assert not protocol.is_available(lan4.view({1}))
+
+    def test_odd_partition_set_has_no_ties(self, lan4):
+        protocol = DynamicVoting(ReplicaSet({1, 2, 3}))
+        view = lan4.view({1, 2})
+        assert protocol.is_available(view)  # 2 of 3 is a strict majority
+
+
+class TestReadsAndWrites:
+    def test_read_bumps_operation_not_version(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        view = lan4.view({1, 2, 3})
+        protocol.read(view, 1)
+        state = protocol.replicas.state(1)
+        assert state.operation == 2
+        assert state.version == 1
+
+    def test_write_bumps_both(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        view = lan4.view({1, 2, 3})
+        protocol.write(view, 1)
+        state = protocol.replicas.state(1)
+        assert state.operation == 2
+        assert state.version == 2
+
+    def test_commit_reaches_every_member_of_new_partition_set(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        view = lan4.view({1, 2})
+        verdict = protocol.write(view, 1)
+        for site in verdict.newest:
+            assert protocol.replicas.state(site).partition_set == verdict.newest
+
+    def test_denied_operation_aborts_without_state_change(self, lan4):
+        protocol = DynamicVoting(ReplicaSet({1, 2}))
+        before = protocol.replicas.as_mapping()
+        view = lan4.view({1, 3, 4})
+        verdict = protocol.write(view, 1)
+        assert not verdict.granted
+        assert protocol.replicas.as_mapping() == before
+
+    def test_version_current_copy_rejoins_via_read_commit(self, lan4):
+        """A copy that missed only *reads* holds the newest version and is
+        folded back into the partition set by the next operation's COMMIT
+        to S — no explicit RECOVER needed (Figure 1's commit set)."""
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.read(lan4.view({1, 2}), 1)          # 3 misses a read
+        verdict = protocol.read(lan4.view({1, 2, 3}), 1)
+        assert verdict.granted
+        assert 3 in verdict.newest
+        assert protocol.replicas.state(3).partition_set == frozenset({1, 2, 3})
+
+    def test_version_stale_copy_needs_recover(self, lan4):
+        """A copy that missed a *write* is excluded from S until RECOVER."""
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.write(lan4.view({1, 2}), 1)         # 3 misses a write
+        verdict = protocol.read(lan4.view({1, 2, 3}), 1)
+        assert verdict.granted
+        assert 3 not in verdict.newest
+        recover = protocol.recover(lan4.view({1, 2, 3}), 3)
+        assert recover.granted
+        assert protocol.replicas.state(3).version == 2
+        assert protocol.replicas.state(3).partition_set == frozenset({1, 2, 3})
+
+
+class TestRecover:
+    def test_recover_outside_majority_denied(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))  # P = {1, 2}
+        verdict = protocol.recover(lan4.view({3, 4}), 3)
+        assert not verdict.granted
+        assert protocol.replicas.state(3).partition_set == frozenset({1, 2, 3})
+
+    def test_recover_of_non_copy_rejected(self, lan4):
+        from repro.errors import ConfigurationError
+
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        with pytest.raises(ConfigurationError):
+            protocol.recover(lan4.view({1, 2, 3, 4}), 4)
+
+    def test_recover_increments_operation_number(self, lan4):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))
+        op_before = protocol.replicas.state(1).operation
+        protocol.recover(lan4.view({1, 2, 3}), 3)
+        assert protocol.replicas.state(1).operation == op_before + 1

@@ -1,0 +1,90 @@
+"""Unit tests for the commit audit trail."""
+
+import pytest
+
+from repro.core.base import CommitRecord
+from repro.core.lexicographic import LexicographicDynamicVoting
+from repro.errors import ConfigurationError
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+
+
+@pytest.fixture
+def lan3():
+    return single_segment(3)
+
+
+def _protocol():
+    return LexicographicDynamicVoting(ReplicaSet({1, 2, 3})).enable_history()
+
+
+class TestCommitHistory:
+    def test_off_by_default(self, lan3):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.write(lan3.view({1, 2, 3}), 1)
+        with pytest.raises(ConfigurationError):
+            _ = protocol.history
+
+    def test_reads_and_writes_recorded(self, lan3):
+        protocol = _protocol()
+        view = lan3.view({1, 2, 3})
+        protocol.write(view, 1)
+        protocol.read(view, 2)
+        kinds = [r.kind for r in protocol.history]
+        assert kinds == ["write", "read"]
+        write = protocol.history[0]
+        assert write == CommitRecord("write", 2, 2,
+                                     frozenset({1, 2, 3}))
+
+    def test_denied_operations_leave_no_record(self, lan3):
+        protocol = _protocol()
+        protocol.synchronize(lan3.view({1, 2}))   # adjust recorded
+        count = len(protocol.history)
+        protocol.write(lan3.view({3}), 3)         # denied
+        assert len(protocol.history) == count
+
+    def test_recover_and_adjust_kinds(self, lan3):
+        protocol = _protocol()
+        protocol.synchronize(lan3.view({1, 2}))       # quorum shrink
+        protocol.synchronize(lan3.view({1, 2, 3}))    # 3 recovers
+        kinds = [r.kind for r in protocol.history]
+        assert kinds[0] == "adjust"
+        assert "recover" in kinds
+
+    def test_operation_numbers_strictly_increase(self, lan3):
+        protocol = _protocol()
+        views = [
+            lan3.view({1, 2, 3}), lan3.view({1, 2}),
+            lan3.view({1, 2, 3}), lan3.view({2, 3}),
+        ]
+        for view in views:
+            protocol.synchronize(view)
+            protocol.write(view, min(view.up))
+        ops = [r.operation for r in protocol.history]
+        assert ops == sorted(set(ops))
+
+    def test_history_reconstructs_final_state(self, lan3):
+        """Replaying the audit trail yields each copy's final triple."""
+        protocol = _protocol()
+        protocol.write(lan3.view({1, 2, 3}), 1)
+        protocol.synchronize(lan3.view({1, 2}))
+        protocol.write(lan3.view({1, 2}), 1)
+        protocol.synchronize(lan3.view({1, 2, 3}))
+        last_seen = {}
+        for record in protocol.history:
+            for member in record.members:
+                last_seen[member] = record
+        for sid in (1, 2, 3):
+            state = protocol.replicas.state(sid)
+            record = last_seen[sid]
+            assert state.snapshot() == (
+                record.operation, record.version, record.members
+            )
+
+    def test_enable_history_is_idempotent_and_chains(self, lan3):
+        protocol = LexicographicDynamicVoting(ReplicaSet({1, 2}))
+        assert protocol.enable_history() is protocol
+        protocol.read(lan3.view({1, 2}), 1)
+        count = len(protocol.history)
+        protocol.enable_history()          # must not clear
+        assert len(protocol.history) == count

@@ -1,0 +1,142 @@
+"""Unit tests for Majority Consensus Voting."""
+
+import pytest
+
+from repro.core.mcv import MajorityConsensusVoting
+from repro.errors import QuorumNotReachedError
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+
+
+@pytest.fixture
+def lan5():
+    return single_segment(5)
+
+
+def _mcv(copies, **kwargs):
+    return MajorityConsensusVoting(ReplicaSet(copies), **kwargs)
+
+
+class TestQuorumSize:
+    def test_majority_of_three_is_two(self):
+        assert _mcv({1, 2, 3}).quorum == 2
+
+    def test_majority_of_four_is_three(self):
+        assert _mcv({1, 2, 3, 4}).quorum == 3
+
+    def test_majority_of_one_is_one(self):
+        assert _mcv({1}).quorum == 1
+
+
+class TestAvailability:
+    def test_all_up_grants(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        assert protocol.is_available(lan5.view({1, 2, 3, 4, 5}))
+
+    def test_two_of_three_grants(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        assert protocol.is_available(lan5.view({1, 3, 4}))
+
+    def test_one_of_three_denied(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        assert not protocol.is_available(lan5.view({3, 4, 5}))
+
+    def test_no_copies_up_denied(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        assert not protocol.is_available(lan5.view({4, 5}))
+
+    def test_restarted_copy_votes_immediately(self, lan5):
+        """MCV copies vote stale or not — the defining contrast with DV."""
+        protocol = _mcv({1, 2, 3})
+        view = lan5.view({1, 2, 3})
+        protocol.write(view, 1)
+        # 3 misses two writes...
+        view = lan5.view({1, 2})
+        protocol.write(view, 1)
+        # ...then 1 fails and 3 restarts: {2, 3} is a majority although 3
+        # is stale.
+        view = lan5.view({2, 3})
+        assert protocol.is_available(view)
+
+
+class TestTieBreak:
+    def test_half_with_maximum_site_grants_by_default(self, lan5):
+        protocol = _mcv({1, 2, 3, 4})
+        assert protocol.is_available(lan5.view({1, 2, 5}))
+
+    def test_half_without_maximum_site_denied(self, lan5):
+        protocol = _mcv({1, 2, 3, 4})
+        assert not protocol.is_available(lan5.view({3, 4, 5}))
+
+    def test_strict_quorum_when_tie_break_disabled(self, lan5):
+        protocol = _mcv({1, 2, 3, 4}, tie_break=False)
+        assert not protocol.tie_break
+        assert not protocol.is_available(lan5.view({1, 2, 5}))
+        assert protocol.is_available(lan5.view({1, 2, 3, 5}))
+
+    def test_disjoint_halves_cannot_both_grant(self, testbed):
+        """Mutual exclusion of the static tie-break: only the half with
+        the maximum site wins when site 5 splits configuration H."""
+        protocol = _mcv({1, 2, 7, 8})
+        view = testbed.view(frozenset(range(1, 9)) - {5})
+        granting = protocol.granting_blocks(view)
+        assert len(granting) == 1
+        assert 1 in granting[0]
+
+
+class TestOperations:
+    def test_write_bumps_version_at_reachable_copies(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        view = lan5.view({1, 2, 4, 5})
+        verdict = protocol.write(view, 1)
+        assert verdict.granted
+        assert protocol.replicas.state(1).version == 2
+        assert protocol.replicas.state(2).version == 2
+        assert protocol.replicas.state(3).version == 1  # down, missed it
+
+    def test_read_never_changes_state(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        view = lan5.view({1, 2, 3})
+        before = protocol.replicas.as_mapping()
+        assert protocol.read(view, 2).granted
+        assert protocol.replicas.as_mapping() == before
+
+    def test_denied_write_changes_nothing(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        view = lan5.view({1, 4, 5})
+        before = protocol.replicas.as_mapping()
+        assert not protocol.write(view, 1).granted
+        assert protocol.replicas.as_mapping() == before
+
+    def test_recover_refreshes_stale_version(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        protocol.write(lan5.view({1, 2}), 1)  # 3 goes stale
+        view = lan5.view({1, 2, 3})
+        protocol.recover(view, 3)
+        assert protocol.replicas.state(3).version == 2
+
+    def test_partition_sets_never_change(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        initial = frozenset({1, 2, 3})
+        protocol.write(lan5.view({1, 2}), 1)
+        protocol.write(lan5.view({1, 2, 3}), 3)
+        for state in protocol.replicas:
+            assert state.partition_set == initial
+
+    def test_synchronize_is_a_noop(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        before = protocol.replicas.as_mapping()
+        protocol.synchronize(lan5.view({1}))
+        assert protocol.replicas.as_mapping() == before
+
+    def test_operation_from_down_site_rejected(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        with pytest.raises(QuorumNotReachedError):
+            protocol.read(lan5.view({2, 3}), 1)
+
+    def test_reads_see_latest_write_via_newest_set(self, lan5):
+        protocol = _mcv({1, 2, 3})
+        protocol.write(lan5.view({1, 2}), 1)           # v2 at {1, 2}
+        verdict = protocol.read(lan5.view({2, 3}), 3)  # quorum {2, 3}
+        assert verdict.granted
+        assert verdict.newest == frozenset({2})        # v2 beats stale 3

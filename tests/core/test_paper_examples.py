@@ -1,0 +1,158 @@
+"""The paper's worked examples, transcribed as executable tests.
+
+Section 2.1 walks a three-copy file at sites A, B, C through writes, a
+site failure, a partition and the lexicographic tie-break; Section 3
+walks the four-copy topological example.  These tests follow the paper's
+state tables line by line (A=1, B=2, C=3, D=4; lowest id is the
+lexicographic maximum, mirroring A > B > C).
+"""
+
+import pytest
+
+from repro.core.lexicographic import LexicographicDynamicVoting
+from repro.core.optimistic_topological import OptimisticTopologicalDynamicVoting
+from repro.net.sites import Site
+from repro.net.topology import PointToPointTopology, SegmentedTopology
+from repro.replica.state import ReplicaSet
+
+A, B, C, D = 1, 2, 3, 4
+
+
+@pytest.fixture
+def p2p_abc():
+    """A fully connected point-to-point network of A, B, C whose links can
+    fail — the Section 2 example partitions A from C."""
+    sites = [Site(A, "A"), Site(B, "B"), Site(C, "C")]
+    return PointToPointTopology(sites, [(A, B), (A, C), (B, C)])
+
+
+class TestSection2WorkedExample:
+    def test_full_walkthrough(self, p2p_abc):
+        replicas = ReplicaSet({A, B, C})
+        protocol = LexicographicDynamicVoting(replicas)
+        topo = p2p_abc
+
+        # Initial state: o, v = 1 and P = {A, B, C} everywhere.
+        for site in (A, B, C):
+            assert replicas.state(site).snapshot() == (1, 1, frozenset({A, B, C}))
+
+        # "After seven write operations ... o, v = 8."
+        view = topo.view({A, B, C})
+        for _ in range(7):
+            assert protocol.write(view, A).granted
+        for site in (A, B, C):
+            assert replicas.state(site).snapshot() == (8, 8, frozenset({A, B, C}))
+
+        # "Suppose now that site B fails.  Information is exchanged only
+        # at access time, so there is no change in the state information."
+        view = topo.view({A, C})
+        assert replicas.state(B).snapshot() == (8, 8, frozenset({A, B, C}))
+
+        # "{A, C} contains a majority of the previous majority partition"
+        # — three more writes leave o, v = 11 and P = {A, C}.
+        for _ in range(3):
+            assert protocol.write(view, A).granted
+        assert replicas.state(A).snapshot() == (11, 11, frozenset({A, C}))
+        assert replicas.state(C).snapshot() == (11, 11, frozenset({A, C}))
+        assert replicas.state(B).snapshot() == (8, 8, frozenset({A, B, C}))
+
+        # "Assume that the link between A and C fails" — partition {A}|{C}.
+        topo.fail_link(A, C)
+        view = topo.view({A, C})
+        assert set(view.blocks) == {frozenset({A}), frozenset({C})}
+
+        # "Since A ranks higher than C, the group containing A is the
+        # majority partition."  C determines it is not.
+        verdict_a = protocol.evaluate_block(view, frozenset({A}))
+        verdict_c = protocol.evaluate_block(view, frozenset({C}))
+        assert verdict_a.granted
+        assert not verdict_c.granted
+
+        # "Four more write operations would leave the file in the state"
+        # A: o, v = 15, P = {A}.
+        for _ in range(4):
+            assert protocol.write(view, A).granted
+        assert replicas.state(A).snapshot() == (15, 15, frozenset({A}))
+        assert replicas.state(C).snapshot() == (11, 11, frozenset({A, C}))
+
+    def test_side_without_maximum_stays_denied(self, p2p_abc):
+        """C alone must never proceed: A could be active on its side."""
+        replicas = ReplicaSet({A, B, C})
+        protocol = LexicographicDynamicVoting(replicas)
+        topo = p2p_abc
+        view = topo.view({A, C})
+        assert protocol.write(view, A).granted  # shrink P to {A, C}
+        topo.fail_link(A, C)
+        view = topo.view({A, C})
+        denial = protocol.evaluate_block(view, frozenset({C}))
+        assert not denial.granted
+        assert "tie" in denial.reason
+
+
+class TestSection3WorkedExample:
+    """Four copies: A, B on segment alpha; C on gamma; D on delta.
+
+    Initial state from the paper:
+        A: o,v=15 P={A,B}   B: o,v=15 P={A,B}
+        C: o,v=11 P={A,B,C} D: o,v=8  P={A,B,C,D}
+    """
+
+    @pytest.fixture
+    def topology(self):
+        sites = [Site(A, "A"), Site(B, "B"), Site(C, "C"), Site(D, "D"),
+                 Site(9, "X"), Site(10, "Y")]
+        return SegmentedTopology(
+            sites,
+            {"alpha": [A, B, 9, 10], "gamma": [C], "delta": [D]},
+            {9: ("alpha", "gamma"), 10: ("alpha", "delta")},
+        )
+
+    @pytest.fixture
+    def protocol(self):
+        replicas = ReplicaSet({A, B, C, D})
+        protocol = OptimisticTopologicalDynamicVoting(replicas)
+        replicas.state(D).commit(8, 8, {A, B, C, D})
+        replicas.state(C).commit(11, 11, {A, B, C})
+        replicas.state(A).commit(15, 15, {A, B})
+        replicas.state(B).commit(15, 15, {A, B})
+        return protocol
+
+    def test_b_carries_the_vote_of_failed_a(self, topology, protocol):
+        """"When site B obtains no answer from site A ... B knows that A
+        must be unavailable and can safely become the majority block."
+
+        Under plain LDV this would be a lost tie (A precedes B); the
+        topological rule lets B claim A's vote.
+        """
+        view = topology.view({B, C, D, 9, 10})
+        verdict = protocol.evaluate_block(view, view.block_of(B))
+        assert verdict.granted
+        # T contains both A (claimed) and B (live member of P_m).
+        assert verdict.counted == frozenset({A, B})
+
+    def test_plain_ldv_loses_the_same_tie(self, topology):
+        replicas = ReplicaSet({A, B, C, D})
+        ldv = LexicographicDynamicVoting(replicas)
+        replicas.state(D).commit(8, 8, {A, B, C, D})
+        replicas.state(C).commit(11, 11, {A, B, C})
+        replicas.state(A).commit(15, 15, {A, B})
+        replicas.state(B).commit(15, 15, {A, B})
+        view = topology.view({B, C, D, 9, 10})
+        verdict = ldv.evaluate_block(view, view.block_of(B))
+        assert not verdict.granted
+
+    def test_partition_separating_c_does_not_strand_the_file(
+        self, topology, protocol
+    ):
+        """Gateway X fails: {A,B,D} vs {C}.  The majority partition is
+        still built from P = {A, B}, both reachable."""
+        view = topology.view({A, B, D, 10})
+        verdict = protocol.evaluate_block(view, view.block_of(A))
+        assert verdict.granted
+
+    def test_stale_d_cannot_anchor_a_quorum(self, topology, protocol):
+        """D alone (delta cut off) holds P = {A,B,C,D} at o=8 — four
+        generations stale; the majority test must fail."""
+        view = topology.view({D})
+        verdict = protocol.evaluate_block(view, frozenset({D}))
+        assert not verdict.granted

@@ -1,0 +1,144 @@
+"""Unit and property tests for dynamic vote reassignment [BGS86]."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reassignment import ReassignmentPolicy, VoteReassignmentVoting
+from repro.errors import ConfigurationError
+from repro.experiments.testbed import testbed_topology
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+
+
+@pytest.fixture
+def lan4():
+    return single_segment(4)
+
+
+def _dvr(copies, policy=ReassignmentPolicy.ALLIANCE):
+    return VoteReassignmentVoting(ReplicaSet(copies), policy=policy)
+
+
+class TestInitialState:
+    def test_uniform_base_weights(self):
+        protocol = _dvr({1, 2, 3})
+        assignment, weights = protocol.assignment_at(1)
+        assert assignment == 1
+        assert weights == {1: 1, 2: 1, 3: 1}
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoteReassignmentVoting(ReplicaSet({1, 2}), policy="overthrow")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _dvr({1, 2}).assignment_at(9)
+
+
+class TestReassignment:
+    def test_alliance_splits_dead_votes(self, lan4):
+        protocol = _dvr({1, 2, 3, 4})
+        protocol.synchronize(lan4.view({1, 2}))   # 3 and 4 presumed dead
+        _, weights = protocol.assignment_at(1)
+        assert weights == {1: 2, 2: 2, 3: 0, 4: 0}
+
+    def test_overthrow_gives_all_to_the_maximum(self, lan4):
+        protocol = _dvr({1, 2, 3, 4}, policy=ReassignmentPolicy.OVERTHROW)
+        protocol.synchronize(lan4.view({1, 2}))
+        _, weights = protocol.assignment_at(1)
+        assert weights == {1: 3, 2: 1, 3: 0, 4: 0}
+
+    def test_total_weight_is_invariant(self, lan4):
+        protocol = _dvr({1, 2, 3, 4})
+        for up in ({1, 2, 3}, {1, 2}, {1}, {1, 2, 3, 4}):
+            protocol.synchronize(lan4.view(up))
+            _, weights = protocol.assignment_at(min(up))
+            assert sum(weights.values()) == 4
+
+    def test_full_recovery_restores_base_assignment(self, lan4):
+        protocol = _dvr({1, 2, 3})
+        protocol.synchronize(lan4.view({1, 2}))
+        protocol.synchronize(lan4.view({1, 2, 3}))
+        _, weights = protocol.assignment_at(3)
+        assert weights == {1: 1, 2: 1, 3: 1}
+
+    def test_no_commit_when_nothing_changed(self, lan4):
+        protocol = _dvr({1, 2, 3})
+        view = lan4.view({1, 2, 3})
+        protocol.synchronize(view)
+        a1, _ = protocol.assignment_at(1)
+        protocol.synchronize(view)
+        a2, _ = protocol.assignment_at(1)
+        assert a1 == a2
+
+
+class TestAvailability:
+    def test_reassigned_group_survives_cascade(self, lan4):
+        """The point of reassignment: after absorbing dead votes, a lone
+        survivor still holds the majority."""
+        protocol = _dvr({1, 2, 3, 4})
+        protocol.synchronize(lan4.view({1, 2, 3}))
+        protocol.synchronize(lan4.view({1, 2}))
+        protocol.synchronize(lan4.view({1}))
+        assert protocol.is_available(lan4.view({1}))
+
+    def test_static_mcv_dies_in_the_same_cascade(self, lan4):
+        from repro.core.mcv import MajorityConsensusVoting
+
+        mcv = MajorityConsensusVoting(ReplicaSet({1, 2, 3, 4}))
+        assert not mcv.is_available(lan4.view({1}))
+
+    def test_sudden_mass_failure_still_fails(self, lan4):
+        """Without time to reassign, one survivor of four has 1 of 4
+        votes — reassignment only helps gradual erosion."""
+        protocol = _dvr({1, 2, 3, 4})
+        assert not protocol.is_available(lan4.view({4}))
+
+    def test_writes_track_versions(self, lan4):
+        protocol = _dvr({1, 2, 3})
+        view = lan4.view({1, 2, 3})
+        protocol.write(view, 1)
+        verdict = protocol.evaluate_block(view, frozenset({1, 2, 3}))
+        assert verdict.newest == frozenset({1, 2, 3})
+
+    def test_recover_adopts_assignment(self, lan4):
+        protocol = _dvr({1, 2, 3})
+        protocol.synchronize(lan4.view({1, 2}))
+        protocol.recover(lan4.view({1, 2, 3}), 3)
+        a3, w3 = protocol.assignment_at(3)
+        a1, w1 = protocol.assignment_at(1)
+        assert (a3, w3) == (a1, w1)
+
+
+class TestMutualExclusion:
+    TOPOLOGY = testbed_topology()
+    ALL = frozenset(range(1, 9))
+
+    @pytest.mark.parametrize("policy", list(ReassignmentPolicy))
+    @settings(max_examples=60, deadline=None)
+    @given(
+        copies=st.sampled_from([
+            frozenset({1, 2, 4}),
+            frozenset({1, 2, 6}),
+            frozenset({6, 7, 8}),
+            frozenset({1, 2, 4, 6}),
+            frozenset({1, 2, 7, 8}),
+        ]),
+        events=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=8), st.booleans()),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_at_most_one_granting_block(self, policy, copies, events):
+        protocol = VoteReassignmentVoting(ReplicaSet(copies), policy=policy)
+        up = set(self.ALL)
+        for site, goes_up in events:
+            if goes_up:
+                up.add(site)
+            else:
+                up.discard(site)
+            view = self.TOPOLOGY.view(up)
+            protocol.synchronize(view)
+            assert len(protocol.granting_blocks(view)) <= 1

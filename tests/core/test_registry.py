@@ -1,0 +1,49 @@
+"""Unit tests for the policy registry."""
+
+import pytest
+
+from repro.core.base import VotingProtocol
+from repro.core.registry import PAPER_POLICIES, available_policies, make_protocol
+from repro.errors import ConfigurationError
+from repro.replica.state import ReplicaSet
+
+
+class TestRegistry:
+    def test_paper_policies_in_column_order(self):
+        assert PAPER_POLICIES == ("MCV", "DV", "LDV", "ODV", "TDV", "OTDV")
+
+    def test_every_paper_policy_constructs(self):
+        for name in PAPER_POLICIES:
+            protocol = make_protocol(name, ReplicaSet({1, 2, 3}))
+            assert isinstance(protocol, VotingProtocol)
+            assert protocol.name == name
+
+    def test_available_copy_is_registered_too(self):
+        protocol = make_protocol("AC", ReplicaSet({1, 2}))
+        assert protocol.name == "AC"
+
+    def test_names_are_case_insensitive(self):
+        assert make_protocol("odv", ReplicaSet({1, 2, 3})).name == "ODV"
+
+    def test_unknown_name_rejected_with_choices(self):
+        with pytest.raises(ConfigurationError) as err:
+            make_protocol("PAXOS", ReplicaSet({1, 2, 3}))
+        assert "PAXOS" in str(err.value)
+
+    def test_available_policies_sorted(self):
+        names = available_policies()
+        assert list(names) == sorted(names)
+        assert set(PAPER_POLICIES) <= set(names)
+
+    def test_eager_flags_match_the_paper(self):
+        replicas = ReplicaSet({1, 2, 3})
+        eager = {n: make_protocol(n, replicas).eager for n in PAPER_POLICIES}
+        assert eager == {
+            "MCV": True, "DV": True, "LDV": True,
+            "ODV": False, "TDV": True, "OTDV": False,
+        }
+
+    def test_protocols_do_not_share_state(self):
+        a = make_protocol("LDV", ReplicaSet({1, 2, 3}))
+        b = make_protocol("LDV", ReplicaSet({1, 2, 3}))
+        assert a.replicas is not b.replicas

@@ -1,0 +1,168 @@
+"""Unit tests for Topological Dynamic Voting: vote claiming, the
+Available-Copy degeneration, and the lineage guard."""
+
+import pytest
+
+from repro.core.lexicographic import LexicographicDynamicVoting
+from repro.core.topological import TopologicalDynamicVoting
+from repro.net.sites import Site
+from repro.net.topology import SegmentedTopology, single_segment
+from repro.replica.state import ReplicaSet
+
+
+class UnguardedTDV(TopologicalDynamicVoting):
+    """The algorithm exactly as published (no lineage guard)."""
+
+    lineage_guard = False
+
+
+@pytest.fixture
+def lan3():
+    return single_segment(3)
+
+
+@pytest.fixture
+def two_segments():
+    """Sites 1, 2 on segment a; 3, 4 on segment b; 2 is the gateway."""
+    return SegmentedTopology(
+        [Site(i) for i in (1, 2, 3, 4)],
+        {"a": [1, 2], "b": [3, 4]},
+        {2: ("a", "b")},
+    )
+
+
+class TestVoteClaiming:
+    def test_live_site_claims_dead_segment_mates(self, lan3):
+        """One survivor of three same-segment copies carries all votes."""
+        protocol = TopologicalDynamicVoting(ReplicaSet({1, 2, 3}))
+        view = lan3.view({3})
+        verdict = protocol.evaluate_block(view, frozenset({3}))
+        assert verdict.granted
+        assert verdict.counted == frozenset({1, 2, 3})
+
+    def test_claim_counter_increments(self, lan3):
+        protocol = TopologicalDynamicVoting(ReplicaSet({1, 2, 3}))
+        assert protocol.claimed_vote_grants == 0
+        protocol.read(lan3.view({3}), 3)
+        assert protocol.claimed_vote_grants == 1
+
+    def test_no_claim_across_segments(self, two_segments):
+        """Site 3 cannot claim votes of sites 1, 2 on the other segment."""
+        replicas = ReplicaSet({1, 2, 3})
+        protocol = TopologicalDynamicVoting(replicas)
+        view = two_segments.view({3})  # 1, 2 down; gateway 2 down too
+        verdict = protocol.evaluate_block(view, frozenset({3}))
+        assert not verdict.granted
+        assert verdict.counted == frozenset({3})
+
+    def test_partitioned_mates_are_not_claimable(self, two_segments):
+        """4 cannot claim 3's... wait — 3 and 4 share segment b, so they
+        are never partitioned; claim votes of 1/2 across the gateway is
+        what must fail."""
+        replicas = ReplicaSet({1, 3, 4})
+        protocol = TopologicalDynamicVoting(replicas)
+        # Gateway 2 down: {1} | {3, 4}.  P = {1, 3, 4} everywhere.
+        view = two_segments.view({1, 3, 4})
+        block_b = view.block_of(3)
+        verdict = protocol.evaluate_block(view, block_b)
+        # T = {3, 4}: a strict majority of {1, 3, 4} by count.
+        assert verdict.counted == frozenset({3, 4})
+        assert verdict.granted
+        # Block {1} counts only itself — and loses the majority test.
+        block_a = view.block_of(1)
+        assert not protocol.evaluate_block(view, block_a).granted
+
+    def test_claimed_votes_do_not_recover_data(self, lan3):
+        """Claiming 1's vote must not mark 1 current: commit set is S."""
+        protocol = TopologicalDynamicVoting(ReplicaSet({1, 2, 3}))
+        verdict = protocol.write(lan3.view({3}), 3)
+        assert verdict.granted
+        assert protocol.replicas.state(3).partition_set == frozenset({3})
+        assert protocol.replicas.state(1).partition_set == frozenset({1, 2, 3})
+
+
+class TestAvailableCopyDegeneration:
+    def test_single_survivor_keeps_file_available(self, lan3):
+        """All copies on one segment: any one live copy suffices."""
+        protocol = TopologicalDynamicVoting(ReplicaSet({1, 2, 3}))
+        for survivor in (1, 2, 3):
+            fresh = TopologicalDynamicVoting(ReplicaSet({1, 2, 3}))
+            assert fresh.is_available(lan3.view({survivor}))
+
+    def test_sequential_failures_to_last_survivor(self, lan3):
+        protocol = TopologicalDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan3.view({1, 2, 3}))
+        protocol.synchronize(lan3.view({2, 3}))
+        protocol.synchronize(lan3.view({3}))
+        assert protocol.is_available(lan3.view({3}))
+        assert protocol.replicas.state(3).partition_set == frozenset({3})
+
+    def test_total_failure_waits_for_last_to_fail(self, lan3):
+        """After everyone is down, only the last survivor's return makes
+        the file available — the Available-Copy rule, enforced by the
+        lineage guard."""
+        protocol = TopologicalDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan3.view({2, 3}))
+        protocol.synchronize(lan3.view({3}))   # 3 is the last survivor
+        # total failure; then 1 restarts first:
+        assert not protocol.is_available(lan3.view({1}))
+        assert not protocol.is_available(lan3.view({1, 2}))
+        # the last survivor returns:
+        assert protocol.is_available(lan3.view({3}))
+        assert protocol.is_available(lan3.view({1, 3}))
+
+    def test_recovered_mates_rejoin_through_last_survivor(self, lan3):
+        protocol = TopologicalDynamicVoting(ReplicaSet({1, 2, 3}))
+        protocol.synchronize(lan3.view({3}))
+        protocol.synchronize(lan3.view({1, 3}))  # 1 back, via survivor 3
+        assert protocol.replicas.state(1).partition_set == frozenset({1, 3})
+        assert protocol.is_available(lan3.view({1}))  # 1 is now in lineage
+
+
+class TestLineageGuard:
+    def test_published_rule_forks_history_without_guard(self, lan3):
+        """Reproduce the hazard of DESIGN.md §3 with the unguarded,
+        as-published algorithm: sequential claims fork the lineage."""
+        protocol = UnguardedTDV(ReplicaSet({2, 3}))
+        protocol.synchronize(lan3.view({2, 3}))
+        # 3 fails; 2 claims 3's vote and commits alone.
+        protocol.synchronize(lan3.view({2}))
+        assert protocol.replicas.state(2).partition_set == frozenset({2})
+        # 2 fails; 3 restarts and, with stale state, claims 2's vote.
+        view = lan3.view({3})
+        verdict = protocol.evaluate_block(view, frozenset({3}))
+        assert verdict.granted  # the published rule allows the fork
+        protocol.read(view, 3)
+        # Two divergent partition sets now coexist at the same generation.
+        assert protocol.replicas.state(2).partition_set == frozenset({2})
+        assert protocol.replicas.state(3).partition_set == frozenset({3})
+        assert (
+            protocol.replicas.state(2).operation
+            == protocol.replicas.state(3).operation
+        )
+
+    def test_guard_blocks_the_fork(self, lan3):
+        protocol = TopologicalDynamicVoting(ReplicaSet({2, 3}))
+        protocol.synchronize(lan3.view({2, 3}))
+        protocol.synchronize(lan3.view({2}))
+        view = lan3.view({3})
+        verdict = protocol.evaluate_block(view, frozenset({3}))
+        assert not verdict.granted
+        assert "lineage" in verdict.reason
+
+    def test_guard_never_blocks_the_true_lineage(self, lan3):
+        protocol = TopologicalDynamicVoting(ReplicaSet({2, 3}))
+        protocol.synchronize(lan3.view({2, 3}))
+        protocol.synchronize(lan3.view({2}))
+        assert protocol.is_available(lan3.view({2}))
+
+
+class TestTopologicalTieBreak:
+    def test_tie_resolved_by_maximum_in_current_set(self, two_segments):
+        """|T| = |P_m|/2 grants only with max(P_m) in Q (Figure 5)."""
+        replicas = ReplicaSet({1, 3})  # different segments
+        protocol = TopologicalDynamicVoting(replicas)
+        # Gateway down: {1} | {3}.  P = {1, 3}; T on each side is itself.
+        view = two_segments.view({1, 3, 4})
+        assert protocol.evaluate_block(view, view.block_of(1)).granted
+        assert not protocol.evaluate_block(view, view.block_of(3)).granted

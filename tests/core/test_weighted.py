@@ -1,0 +1,114 @@
+"""Unit tests for weighted static voting."""
+
+import pytest
+
+from repro.core.weighted import WeightedMajorityVoting
+from repro.errors import ConfigurationError
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+
+
+@pytest.fixture
+def lan4():
+    return single_segment(4)
+
+
+class TestConstruction:
+    def test_default_weights_are_unit(self):
+        protocol = WeightedMajorityVoting(ReplicaSet({1, 2, 3}))
+        assert protocol.total_weight == 3
+        assert protocol.read_quorum == 2
+        assert protocol.write_quorum == 2
+
+    def test_quorum_constraints_enforced(self):
+        replicas = ReplicaSet({1, 2, 3})
+        with pytest.raises(ConfigurationError):
+            WeightedMajorityVoting(replicas, read_quorum=1, write_quorum=2)
+        with pytest.raises(ConfigurationError):
+            WeightedMajorityVoting(replicas, read_quorum=3, write_quorum=1)
+
+    def test_weights_must_cover_copies(self):
+        replicas = ReplicaSet({1, 2})
+        with pytest.raises(ConfigurationError):
+            WeightedMajorityVoting(replicas, weights={1: 1})
+        with pytest.raises(ConfigurationError):
+            WeightedMajorityVoting(replicas, weights={1: 1, 2: 1, 3: 1})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightedMajorityVoting(ReplicaSet({1, 2}), weights={1: -1, 2: 3})
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightedMajorityVoting(ReplicaSet({1, 2}), weights={1: 0, 2: 0})
+
+
+class TestWeightedQuorums:
+    def test_heavy_site_alone_can_reach_quorum(self, lan4):
+        """Weights 3,1,1 with majority 3: site 1 alone suffices."""
+        protocol = WeightedMajorityVoting(
+            ReplicaSet({1, 2, 3}), weights={1: 3, 2: 1, 3: 1}
+        )
+        assert protocol.is_available(lan4.view({1}))
+
+    def test_light_sites_together_cannot(self, lan4):
+        protocol = WeightedMajorityVoting(
+            ReplicaSet({1, 2, 3}), weights={1: 3, 2: 1, 3: 1}
+        )
+        assert not protocol.is_available(lan4.view({2, 3}))
+
+    def test_extra_vote_emulates_mcv_tie_break(self, lan4):
+        """Weights 2,1,1,1 (total 5, majority 3): {1, x} always wins,
+        {3, 4} never does — exactly MCV's lexicographic tie-break."""
+        protocol = WeightedMajorityVoting(
+            ReplicaSet({1, 2, 3, 4}), weights={1: 2, 2: 1, 3: 1, 4: 1}
+        )
+        assert protocol.is_available(lan4.view({1, 2}))
+        assert not protocol.is_available(lan4.view({3, 4}))
+
+    def test_zero_weight_copy_never_counts(self, lan4):
+        protocol = WeightedMajorityVoting(
+            ReplicaSet({1, 2, 3}), weights={1: 1, 2: 1, 3: 0}
+        )
+        assert not protocol.is_available(lan4.view({2, 3}))
+        assert protocol.is_available(lan4.view({1, 2, 3}))
+
+
+class TestReadWriteSplit:
+    def test_read_one_write_all(self, lan4):
+        """r=1, w=3 on three copies: reads survive anything, writes don't."""
+        protocol = WeightedMajorityVoting(
+            ReplicaSet({1, 2, 3}), read_quorum=1, write_quorum=3
+        )
+        view = lan4.view({2})
+        assert protocol.can_read(view)
+        assert not protocol.can_write(view)
+
+    def test_read_quorum_grants_read_even_when_write_denied(self, lan4):
+        protocol = WeightedMajorityVoting(
+            ReplicaSet({1, 2, 3}), read_quorum=1, write_quorum=3
+        )
+        verdict = protocol.read(lan4.view({2}), 2)
+        assert verdict.granted
+        assert not protocol.write(lan4.view({2}), 2).granted
+
+    def test_write_updates_reachable_copies(self, lan4):
+        protocol = WeightedMajorityVoting(ReplicaSet({1, 2, 3}))
+        verdict = protocol.write(lan4.view({1, 2}), 1)
+        assert verdict.granted
+        assert protocol.replicas.state(1).version == 2
+        assert protocol.replicas.state(2).version == 2
+        assert protocol.replicas.state(3).version == 1
+
+    def test_recover_refreshes_stale_copy(self, lan4):
+        protocol = WeightedMajorityVoting(ReplicaSet({1, 2, 3}))
+        protocol.write(lan4.view({1, 2}), 1)
+        protocol.recover(lan4.view({1, 2, 3}), 3)
+        assert protocol.replicas.state(3).version == 2
+
+    def test_weight_of_helper(self):
+        protocol = WeightedMajorityVoting(
+            ReplicaSet({1, 2, 3}), weights={1: 3, 2: 2, 3: 1}
+        )
+        assert protocol.weight_of(frozenset({1, 3})) == 4
+        assert protocol.weight_of(frozenset({99})) == 0

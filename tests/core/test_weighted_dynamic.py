@@ -1,0 +1,170 @@
+"""Unit and property tests for weighted dynamic voting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lexicographic import LexicographicDynamicVoting
+from repro.core.weighted_dynamic import (
+    OptimisticWeightedDynamicVoting,
+    WeightedDynamicVoting,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.testbed import testbed_topology
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+
+
+@pytest.fixture
+def lan4():
+    return single_segment(4)
+
+
+class TestConstruction:
+    def test_default_unit_weights(self):
+        protocol = WeightedDynamicVoting(ReplicaSet({1, 2, 3}))
+        assert protocol.weights == {1: 1, 2: 1, 3: 1}
+
+    def test_weights_must_cover_copies(self):
+        with pytest.raises(ConfigurationError):
+            WeightedDynamicVoting(ReplicaSet({1, 2}), weights={1: 1})
+
+    def test_weights_must_be_non_negative_integers(self):
+        with pytest.raises(ConfigurationError):
+            WeightedDynamicVoting(ReplicaSet({1, 2}), weights={1: -1, 2: 2})
+        with pytest.raises(ConfigurationError):
+            WeightedDynamicVoting(ReplicaSet({1, 2}), weights={1: 0.5, 2: 1})
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightedDynamicVoting(ReplicaSet({1, 2}), weights={1: 0, 2: 0})
+
+
+class TestWeightedQuorums:
+    def test_unit_weights_behave_like_ldv(self, lan4):
+        weighted = WeightedDynamicVoting(ReplicaSet({1, 2, 3}))
+        plain = LexicographicDynamicVoting(ReplicaSet({1, 2, 3}))
+        for up in ({1, 2, 3}, {1, 2}, {2, 3}, {3}):
+            view = lan4.view(up)
+            weighted.synchronize(view)
+            plain.synchronize(view)
+            assert weighted.is_available(view) == plain.is_available(view)
+
+    def test_heavy_copy_survives_alone(self, lan4):
+        """Weights 3,1,1: the heavy copy holds a strict majority of the
+        initial partition set by itself — no quorum shrinking needed."""
+        protocol = WeightedDynamicVoting(
+            ReplicaSet({1, 2, 3}), weights={1: 3, 2: 1, 3: 1}
+        )
+        assert protocol.is_available(lan4.view({1}))
+
+    def test_light_pair_outweighed(self, lan4):
+        protocol = WeightedDynamicVoting(
+            ReplicaSet({1, 2, 3}), weights={1: 3, 2: 1, 3: 1}
+        )
+        assert not protocol.is_available(lan4.view({2, 3}))
+
+    def test_quorum_adapts_after_heavy_copy_leaves(self, lan4):
+        """Dynamic membership still works: once the survivors commit a
+        new partition set without the heavy copy, its weight no longer
+        counts in the denominator."""
+        protocol = WeightedDynamicVoting(
+            ReplicaSet({1, 2, 3}), weights={1: 3, 2: 1, 3: 1}
+        )
+        protocol.synchronize(lan4.view({2, 3}))
+        # P is still {1,2,3} (2+3 have 2 of 5: denied)...
+        assert not protocol.is_available(lan4.view({2, 3}))
+        # ...until the heavy copy itself shrinks the quorum on its way
+        # out: with 1 present, {1,2,3} -> write -> 1 fails after P={1,2}?
+        # Commit P = {2, 3} requires a quorum including 1; do it while 1
+        # is up, then kill 1.
+        protocol.synchronize(lan4.view({1, 2}))   # P -> {1, 2} (w=4)
+        protocol.synchronize(lan4.view({2}))      # {2} has 1 of 4: denied
+        assert not protocol.is_available(lan4.view({2}))
+
+    def test_weighted_tie_break_uses_max_of_partition_set(self, lan4):
+        protocol = WeightedDynamicVoting(
+            ReplicaSet({1, 2, 3, 4}), weights={1: 1, 2: 1, 3: 1, 4: 1}
+        )
+        # {1, 2} is half of the weight with max member 1: granted.
+        assert protocol.is_available(lan4.view({1, 2}))
+        assert not protocol.is_available(lan4.view({3, 4}))
+
+    def test_optimistic_variant_defers_updates(self, lan4):
+        protocol = OptimisticWeightedDynamicVoting(ReplicaSet({1, 2, 3}))
+        assert not protocol.eager
+        protocol.synchronize(lan4.view({1, 2}))
+        assert protocol.replicas.state(1).partition_set == frozenset({1, 2})
+
+
+class TestWeightedTopological:
+    def test_dead_heavy_neighbour_votes_through_a_mate(self, lan4):
+        """Copies 1 (weight 3), 2, 3 share a segment: with 1 and 3 down,
+        copy 2 claims their weights (3 + 1) and holds a supermajority."""
+        from repro.core.weighted_dynamic import WeightedTopologicalDynamicVoting
+
+        protocol = WeightedTopologicalDynamicVoting(
+            ReplicaSet({1, 2, 3}), weights={1: 3, 2: 1, 3: 1}
+        )
+        view = lan4.view({2})
+        verdict = protocol.evaluate_block(view, frozenset({2}))
+        assert verdict.granted
+        assert verdict.counted == frozenset({1, 2, 3})
+
+    def test_cross_segment_weight_is_not_claimable(self):
+        from repro.core.weighted_dynamic import WeightedTopologicalDynamicVoting
+        from repro.net.sites import Site
+        from repro.net.topology import SegmentedTopology
+
+        topo = SegmentedTopology(
+            [Site(i) for i in (1, 2, 3)],
+            {"a": [1, 2], "b": [3]},
+            {2: ("a", "b")},
+        )
+        # The heavy copy 1 is on segment a; copy 3 on segment b cannot
+        # claim its weight even though 1 is down.
+        protocol = WeightedTopologicalDynamicVoting(
+            ReplicaSet({1, 3}), weights={1: 3, 3: 1}
+        )
+        view = topo.view({2, 3})
+        verdict = protocol.evaluate_block(view, view.block_of(3))
+        assert not verdict.granted
+        assert verdict.counted == frozenset({3})
+
+    def test_lineage_guard_active(self):
+        from repro.core.weighted_dynamic import WeightedTopologicalDynamicVoting
+
+        assert WeightedTopologicalDynamicVoting.lineage_guard
+
+
+class TestWeightedMutualExclusion:
+    TOPOLOGY = testbed_topology()
+    ALL = frozenset(range(1, 9))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        weights=st.fixed_dictionaries({
+            1: st.integers(min_value=0, max_value=3),
+            2: st.integers(min_value=1, max_value=3),
+            7: st.integers(min_value=0, max_value=3),
+            8: st.integers(min_value=0, max_value=3),
+        }),
+        events=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=8), st.booleans()),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_at_most_one_granting_block(self, weights, events):
+        protocol = WeightedDynamicVoting(
+            ReplicaSet({1, 2, 7, 8}), weights=weights
+        )
+        up = set(self.ALL)
+        for site, goes_up in events:
+            if goes_up:
+                up.add(site)
+            else:
+                up.discard(site)
+            view = self.TOPOLOGY.view(up)
+            protocol.synchronize(view)
+            assert len(protocol.granting_blocks(view)) <= 1

@@ -1,0 +1,206 @@
+"""Unit tests for dynamic voting with witness copies."""
+
+import pytest
+
+from repro.core.witnesses import DynamicVotingWithWitnesses
+from repro.errors import ConfigurationError
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+
+
+@pytest.fixture
+def lan3():
+    return single_segment(3)
+
+
+def _with_witness(copies={1, 2, 3}, witnesses={3}):
+    return DynamicVotingWithWitnesses(ReplicaSet(copies), witnesses)
+
+
+class TestConstruction:
+    def test_witnesses_must_hold_state(self):
+        with pytest.raises(ConfigurationError):
+            DynamicVotingWithWitnesses(ReplicaSet({1, 2}), {9})
+
+    def test_at_least_one_full_copy_required(self):
+        with pytest.raises(ConfigurationError):
+            DynamicVotingWithWitnesses(ReplicaSet({1, 2}), {1, 2})
+
+    def test_site_partitions(self):
+        protocol = _with_witness()
+        assert protocol.witness_sites == frozenset({3})
+        assert protocol.full_sites == frozenset({1, 2})
+
+
+class TestWitnessVoting:
+    def test_full_copy_plus_witness_is_a_quorum(self, lan3):
+        """Two full copies + one witness: copy 1 with the witness forms a
+        majority even with copy 2 down — the witness's whole point."""
+        protocol = _with_witness()
+        assert protocol.is_available(lan3.view({1, 3}))
+
+    def test_witness_alone_is_not_enough(self, lan3):
+        """A witness quorum without any full current copy must deny.
+
+        Witness at the maximum site 1 so the lexicographic tie *passes*
+        and the denial is attributable to the missing data copy.
+        """
+        protocol = _with_witness(witnesses={1})
+        protocol.synchronize(lan3.view({1, 3}))   # quorum shrinks to {1, 3}
+        view = lan3.view({1})                     # only the witness up
+        verdict = protocol.evaluate_block(view, frozenset({1}))
+        assert not verdict.granted
+        assert "witness" in verdict.reason
+
+    def test_witness_outvotes_a_stale_full_copy(self, lan3):
+        """Copy 1 misses a write; witness + copy 2 continue; later the
+        witness plus stale copy 1 cannot serve data newer than copy 1."""
+        protocol = _with_witness()
+        protocol.write(lan3.view({2, 3}), 2)      # v2 at {2}, state at {2,3}
+        view = lan3.view({1, 3})                  # stale full copy + witness
+        verdict = protocol.evaluate_block(view, frozenset({1, 3}))
+        assert not verdict.granted
+
+    def test_two_copies_one_witness_beats_two_copies(self, lan3):
+        """With copies {1, 2} alone, losing copy 1 strands copy 2 (tie
+        without the maximum); adding witness 3 rescues it."""
+        from repro.core.lexicographic import LexicographicDynamicVoting
+
+        plain = LexicographicDynamicVoting(ReplicaSet({1, 2}))
+        witnessed = _with_witness()
+        view_plain = lan3.view({2})
+        assert not plain.is_available(view_plain)
+        assert witnessed.is_available(lan3.view({2, 3}))
+
+    def test_witness_recovers_state_from_quorum(self, lan3):
+        protocol = _with_witness()
+        protocol.synchronize(lan3.view({1, 2}))   # witness 3 drops out
+        verdict = protocol.recover(lan3.view({1, 2, 3}), 3)
+        assert verdict.granted
+        assert protocol.replicas.state(3).partition_set == frozenset({1, 2, 3})
+
+    def test_writes_propagate_version_to_witness_state(self, lan3):
+        protocol = _with_witness()
+        protocol.write(lan3.view({1, 2, 3}), 1)
+        assert protocol.replicas.state(3).version == 2  # state only, no data
+
+
+class TestMultipleWitnesses:
+    def test_two_witnesses_one_copy(self, lan3):
+        """One full copy + two witnesses: the copy with either witness is
+        a majority of three, and the copy alone never suffices."""
+        protocol = _with_witness(witnesses={2, 3})
+        assert protocol.is_available(lan3.view({1, 2}))
+        assert protocol.is_available(lan3.view({1, 3}))
+        # Both witnesses together hold a majority but no data: denied.
+        assert not protocol.is_available(lan3.view({2, 3}))
+        # Wait: {2,3} is a majority of {1,2,3}, but newest ∩ full = ∅ —
+        # verify the denial reason is the witness condition.
+        verdict = protocol.evaluate_block(lan3.view({2, 3}),
+                                          frozenset({2, 3}))
+        assert "witness" in verdict.reason
+
+    def test_copy_alone_after_quorum_shrink(self, lan3):
+        protocol = _with_witness(witnesses={2, 3})
+        protocol.synchronize(lan3.view({1, 2}))  # P -> {1, 2}
+        protocol.synchronize(lan3.view({1}))     # tie won by max site 1
+        assert protocol.is_available(lan3.view({1}))
+
+    def test_witness_quorum_never_advances_data(self, lan3):
+        """Even when denied, the witness pair's states are untouched."""
+        protocol = _with_witness(witnesses={2, 3})
+        before = protocol.replicas.as_mapping()
+        protocol.write(lan3.view({2, 3}), 2)
+        assert protocol.replicas.as_mapping() == before
+
+
+class TestPromotionDemotion:
+    def test_promote_makes_witness_a_full_copy(self, lan3):
+        protocol = _with_witness()
+        verdict = protocol.promote(lan3.view({1, 2, 3}), 3)
+        assert verdict.granted
+        assert protocol.witness_sites == frozenset()
+        assert protocol.full_sites == frozenset({1, 2, 3})
+        assert protocol.data_sites == frozenset({1, 2, 3})
+
+    def test_promote_requires_majority(self, lan3):
+        protocol = _with_witness()
+        protocol.synchronize(lan3.view({1, 2}))   # witness 3 excluded
+        verdict = protocol.promote(lan3.view({3}), 3)
+        assert not verdict.granted
+        assert 3 in protocol.witness_sites        # unchanged
+
+    def test_promote_non_witness_rejected(self, lan3):
+        protocol = _with_witness()
+        with pytest.raises(ConfigurationError):
+            protocol.promote(lan3.view({1, 2, 3}), 1)
+
+    def test_demote_makes_full_copy_a_witness(self, lan3):
+        protocol = _with_witness(witnesses=set())
+        verdict = protocol.demote(lan3.view({1, 2, 3}), 2)
+        assert verdict.granted
+        assert protocol.witness_sites == frozenset({2})
+        assert protocol.data_sites == frozenset({1, 3})
+
+    def test_demote_last_full_copy_rejected(self, lan3):
+        protocol = _with_witness(witnesses={2, 3})
+        with pytest.raises(ConfigurationError):
+            protocol.demote(lan3.view({1, 2, 3}), 1)
+
+    def test_demote_existing_witness_rejected(self, lan3):
+        protocol = _with_witness()
+        with pytest.raises(ConfigurationError):
+            protocol.demote(lan3.view({1, 2, 3}), 3)
+
+    def test_promoted_witness_survives_as_data_source(self, lan3):
+        """After promotion, the former witness alone can serve reads
+        (with the tie-break) — it really holds data now."""
+        protocol = _with_witness(witnesses={1})
+        protocol.promote(lan3.view({1, 2, 3}), 1)
+        protocol.synchronize(lan3.view({1, 2}))    # shrink to {1, 2}
+        protocol.synchronize(lan3.view({1}))       # tie won by max site 1
+        verdict = protocol.evaluate_block(lan3.view({1}), frozenset({1}))
+        assert verdict.granted
+
+    def test_conversion_is_serialised_by_commit(self, lan3):
+        protocol = _with_witness()
+        op_before = protocol.replicas.state(1).operation
+        protocol.promote(lan3.view({1, 2, 3}), 3)
+        assert protocol.replicas.state(1).operation == op_before + 1
+
+
+class TestTopologicalWitnesses:
+    def test_segment_mate_carries_a_dead_witness_vote(self, lan3):
+        from repro.core.witnesses import TopologicalDynamicVotingWithWitnesses
+
+        protocol = TopologicalDynamicVotingWithWitnesses(
+            ReplicaSet({1, 2, 3}), witness_sites={3}
+        )
+        # Copies 1, 2 and witness 3 share one segment: with 1 and 3
+        # dead, copy 2 claims both votes and keeps the file going.
+        view = lan3.view({2})
+        verdict = protocol.evaluate_block(view, frozenset({2}))
+        assert verdict.granted
+        assert verdict.counted == frozenset({1, 2, 3})
+
+    def test_witness_only_survivor_still_denied(self, lan3):
+        """Topological claiming cannot conjure data: the lone witness may
+        gather every vote, yet no full copy means no grant."""
+        from repro.core.witnesses import TopologicalDynamicVotingWithWitnesses
+
+        protocol = TopologicalDynamicVotingWithWitnesses(
+            ReplicaSet({1, 2, 3}), witness_sites={1}
+        )
+        view = lan3.view({1})
+        verdict = protocol.evaluate_block(view, frozenset({1}))
+        assert not verdict.granted
+        assert "witness" in verdict.reason
+
+    def test_data_sites_exclude_witnesses(self):
+        from repro.core.witnesses import TopologicalDynamicVotingWithWitnesses
+
+        protocol = TopologicalDynamicVotingWithWitnesses(
+            ReplicaSet({1, 2, 3}), witness_sites={3}
+        )
+        assert protocol.data_sites == frozenset({1, 2})
+        assert protocol.lineage_guard

@@ -1,0 +1,239 @@
+"""Tests for the message-passing execution (actors + coordinator)."""
+
+import pytest
+
+from repro.core.dynamic import DynamicVoting
+from repro.core.topological import TopologicalDynamicVoting
+from repro.engine.actors import MessageCluster
+from repro.errors import ConfigurationError, QuorumNotReachedError, SiteUnavailableError
+from repro.experiments.testbed import testbed_topology
+from repro.net.topology import single_segment
+
+
+@pytest.fixture
+def cluster():
+    return MessageCluster(single_segment(4), {1, 2, 3}, initial="v0")
+
+
+class TestMessageLevelOperations:
+    def test_write_read_roundtrip(self, cluster):
+        cluster.write(1, "hello")
+        assert cluster.read(3) == "hello"
+
+    def test_messages_actually_flow(self, cluster):
+        before = cluster.network.sent
+        cluster.write(1, "x")
+        assert cluster.network.sent > before
+        assert cluster.network.delivered > 0
+
+    def test_coordinator_from_non_copy_site(self, cluster):
+        cluster.write(4, "from-a-client-site")
+        assert cluster.read(4) == "from-a-client-site"
+
+    def test_down_sites_do_not_answer(self, cluster):
+        cluster.fail_site(3)
+        cluster.write(1, "two-answered")  # {1, 2} majority of {1, 2, 3}
+        assert cluster.actor(3).payload == "v0"     # missed everything
+        assert cluster.actor(2).payload == "two-answered"
+
+    def test_quorum_denial_raises(self, cluster):
+        cluster.write(1, "shrink")           # P still {1,2,3}
+        cluster.fail_site(1)
+        cluster.fail_site(2)
+        with pytest.raises(QuorumNotReachedError):
+            cluster.read(3)
+
+    def test_operation_from_down_site_rejected(self, cluster):
+        cluster.fail_site(1)
+        with pytest.raises(SiteUnavailableError):
+            cluster.read(1)
+
+    def test_recover_fetches_data_by_message(self, cluster):
+        cluster.fail_site(3)
+        cluster.write(1, "missed-by-3")
+        cluster.restart_site(3)
+        assert cluster.recover(3)
+        assert cluster.actor(3).payload == "missed-by-3"
+        assert cluster.actor(3).state.partition_set == frozenset({1, 2, 3})
+
+    def test_recover_outside_majority_returns_false(self, cluster):
+        cluster.write(1, "w")                 # o advances at {1,2,3}
+        cluster.fail_site(3)
+        cluster.write(1, "w2")                # P -> {1, 2}
+        cluster.fail_site(1)
+        cluster.fail_site(2)
+        cluster.restart_site(3)
+        assert not cluster.recover(3)
+
+    def test_quorum_shrinks_through_operations(self, cluster):
+        cluster.fail_site(3)
+        cluster.write(1, "a")                 # P -> {1, 2}
+        cluster.fail_site(2)
+        cluster.write(1, "b")                 # {1} = half of {1,2} w/ max
+        assert cluster.read(1) == "b"
+
+    def test_is_available_from_costs_messages(self, cluster):
+        before = cluster.network.sent
+        assert cluster.is_available_from(1)
+        assert cluster.network.sent > before
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MessageCluster(single_segment(3), {1, 9})
+        with pytest.raises(ConfigurationError):
+            MessageCluster(single_segment(3), {1, 2}, protocol=str)
+        with pytest.raises(ConfigurationError):
+            MessageCluster(single_segment(3), {1, 2}).actor(3)
+
+
+class TestAgainstStateLevelEngine:
+    def test_same_outcomes_as_synchronous_engine(self):
+        """The message-level run and the state-level run of one scripted
+        history agree on every grant/denial and every read value."""
+        from repro.engine.cluster import Cluster
+        from repro.engine.file import ReplicatedFile
+
+        script = [
+            ("write", 1, "v1"), ("fail", 3), ("write", 2, "v2"),
+            ("read", 1), ("restart", 3), ("recover", 3), ("read", 3),
+            ("fail", 1), ("write", 2, "v3"), ("read", 2),
+        ]
+        topo_a = single_segment(4)
+        message_cluster = MessageCluster(topo_a, {1, 2, 3}, initial="v0")
+
+        topo_b = single_segment(4)
+        sync_cluster = Cluster(topo_b)
+        sync_file = ReplicatedFile(sync_cluster, {1, 2, 3}, policy="ODV",
+                                   initial="v0")
+
+        for step in script:
+            kind = step[0]
+            if kind == "fail":
+                message_cluster.fail_site(step[1])
+                sync_cluster.fail_site(step[1])
+                continue
+            if kind == "restart":
+                message_cluster.restart_site(step[1])
+                sync_cluster.restart_site(step[1])
+                continue
+            if kind == "recover":
+                assert (message_cluster.recover(step[1])
+                        == sync_file.recover_site(step[1]))
+                continue
+            try:
+                if kind == "write":
+                    message_cluster.write(step[1], step[2])
+                    a_outcome = ("granted", None)
+                else:
+                    a_outcome = ("granted", message_cluster.read(step[1]))
+            except QuorumNotReachedError:
+                a_outcome = ("denied", None)
+            try:
+                if kind == "write":
+                    sync_file.write(step[1], step[2])
+                    b_outcome = ("granted", None)
+                else:
+                    b_outcome = ("granted", sync_file.read(step[1]))
+            except QuorumNotReachedError:
+                b_outcome = ("denied", None)
+            assert a_outcome == b_outcome, step
+
+
+class TestLostCommitRobustness:
+    """A copy that replies to START but misses the COMMIT (crash in the
+    window, dropped packet under the paper's 'delivered reliably within a
+    partition' idealisation) simply goes stale — exactly the state a
+    failed-and-restarted copy is in, and RECOVER repairs it."""
+
+    def test_missed_commit_leaves_copy_stale_but_consistent(self):
+        cluster = MessageCluster(single_segment(3), {1, 2, 3}, initial="v0")
+        # 3 answers the START (message 1) but misses its COMMIT (message 2).
+        cluster.network.lose_next_to(3, after=1)
+        cluster.write(1, "v1")
+        assert cluster.actor(3).payload == "v0"
+        assert cluster.actor(3).state.version == 1
+        # Reads still return the committed value — 3 is outvoted.
+        assert cluster.read(2) == "v1"
+
+    def test_missed_start_excludes_the_copy_entirely(self):
+        """Dropping the START instead: 3 never replies, so the commit
+        set is {1, 2} and 3 simply missed the operation."""
+        cluster = MessageCluster(single_segment(3), {1, 2, 3}, initial="v0")
+        cluster.network.lose_next_to(3)      # the very next message
+        cluster.write(1, "v1")
+        assert cluster.actor(3).state.partition_set == frozenset({1, 2, 3})
+        assert cluster.actor(1).state.partition_set == frozenset({1, 2})
+
+    def test_stale_copy_cannot_anchor_reads(self):
+        cluster = MessageCluster(single_segment(3), {1, 2, 3}, initial="v0")
+        cluster.network.lose_next_to(3, after=1)
+        cluster.write(1, "v1")
+        # A read *coordinated by* 3 gathers everyone's state and serves
+        # the newest copy's data, not its own stale payload.
+        assert cluster.read(3) == "v1"
+
+    def test_recover_repairs_the_missed_commit(self):
+        cluster = MessageCluster(single_segment(3), {1, 2, 3}, initial="v0")
+        cluster.network.lose_next_to(3, after=1)
+        cluster.write(1, "v1")
+        assert cluster.recover(3)
+        assert cluster.actor(3).payload == "v1"
+        assert cluster.actor(3).state.version == 2
+
+    def test_majority_of_commits_lost_stalls_progress_safely(self):
+        """If every peer misses the COMMIT, only the coordinator is
+        current: {1} is below half of P = {1,2,3}... except that 1 is
+        the maximum — even so, 1 of 3 is under half, so everything is
+        denied until the stale peers RECOVER through a real quorum."""
+        cluster = MessageCluster(single_segment(3), {1, 2, 3}, initial="v0")
+        cluster.network.lose_next_to(2, after=1)
+        cluster.network.lose_next_to(3, after=1)
+        cluster.write(1, "only-1-has-this")
+        with pytest.raises(QuorumNotReachedError):
+            cluster.read(1)
+        # Recovery IS possible: 2's RECOVER gathers everyone, sees 1's
+        # newer generation with Q = {1}... 1 of 3 is still under half,
+        # so recovery is denied too — the file is safely stuck.
+        assert cluster.recover(2) is False
+        assert cluster.actor(2).payload == "v0"
+        assert cluster.actor(3).payload == "v0"
+
+    def test_injection_validation(self):
+        cluster = MessageCluster(single_segment(2), {1, 2})
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError):
+            cluster.network.lose_next_to(9)
+        with pytest.raises(EngineError):
+            cluster.network.lose_next_to(1, count=0)
+        with pytest.raises(EngineError):
+            cluster.network.lose_next_to(1, after=-1)
+
+
+class TestPublishedTopologicalHazardOverMessages:
+    def test_sequential_fork_reproduces_with_real_messages(self):
+        """The DESIGN.md §3 hazard, end to end over the wire: sequential
+        same-segment vote claims fork the history, and the fork is
+        undetectable from any message either survivor can receive."""
+        cluster = MessageCluster(
+            single_segment(2), {1, 2},
+            protocol=TopologicalDynamicVoting, initial="v0",
+        )
+        cluster.fail_site(2)
+        cluster.write(1, "one's world")       # 1 claims 2's vote
+        cluster.fail_site(1)
+        cluster.restart_site(2)
+        cluster.write(2, "two's world")       # 2 claims 1's vote
+        assert cluster.actor(1).payload == "one's world"
+        assert cluster.actor(2).payload == "two's world"
+        # Same generation, divergent data: the split brain is real.
+        assert (cluster.actor(1).state.operation
+                == cluster.actor(2).state.operation)
+
+    def test_plain_dv_denies_the_same_sequence(self):
+        cluster = MessageCluster(
+            single_segment(2), {1, 2}, protocol=DynamicVoting, initial="v0",
+        )
+        cluster.fail_site(2)
+        with pytest.raises(QuorumNotReachedError):
+            cluster.write(1, "tie")           # DV: 1 of 2 is a lost tie

@@ -1,0 +1,56 @@
+"""Engine tests for Available Copy files (the non-family eager path:
+protocol-internal synchronisation plus store mirroring)."""
+
+import pytest
+
+from repro.engine.cluster import Cluster
+from repro.engine.file import ReplicatedFile
+from repro.errors import QuorumNotReachedError
+from repro.net.topology import single_segment
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(single_segment(3))
+
+
+class TestAvailableCopyFile:
+    def test_single_survivor_serves_reads_and_writes(self, cluster):
+        file = ReplicatedFile(cluster, {1, 2, 3}, policy="AC", initial="v0")
+        file.write(1, "v1")
+        cluster.fail_sites([1, 2])
+        assert file.read(3) == "v1"
+        file.write(3, "v2")
+        assert file.read(3) == "v2"
+
+    def test_restart_clones_data_automatically(self, cluster):
+        """AC is eager: the cluster notification path must both update
+        the current set and mirror the payload."""
+        file = ReplicatedFile(cluster, {1, 2, 3}, policy="AC", initial="v0")
+        cluster.fail_site(3)
+        file.write(1, "while-3-down")
+        cluster.restart_site(3)          # _mirror_store clones here
+        assert file.value_at(3) == "while-3-down"
+        assert file.version_at(3) == file.version_at(1)
+
+    def test_total_failure_waits_for_last_survivor(self, cluster):
+        file = ReplicatedFile(cluster, {1, 2, 3}, policy="AC", initial="v0")
+        cluster.fail_site(1)
+        cluster.fail_site(2)
+        file.write(3, "final")
+        cluster.fail_site(3)             # total failure; 3 was last
+        cluster.restart_site(1)
+        with pytest.raises(QuorumNotReachedError):
+            file.read(1)
+        cluster.restart_site(3)          # the last survivor returns
+        assert file.read(1) == "final"   # and 1 was cloned back in
+        assert file.value_at(1) == "final"
+
+    def test_mirror_counts_data_transfers(self, cluster):
+        file = ReplicatedFile(cluster, {1, 2}, policy="AC", initial="v0")
+        cluster.fail_site(2)
+        file.write(1, "x")
+        before = file.counters.snapshot()
+        cluster.restart_site(2)
+        delta = file.counters.diff(before)
+        assert delta.data_transfers == 1

@@ -1,0 +1,89 @@
+"""Unit tests for the cluster environment."""
+
+import pytest
+
+from repro.engine.cluster import Cluster
+from repro.errors import EngineError, UnknownSiteError
+from repro.net.sites import Site
+from repro.net.topology import PointToPointTopology, single_segment
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(single_segment(4))
+
+
+class TestHealthControl:
+    def test_all_sites_start_up(self, cluster):
+        assert cluster.up_sites == frozenset({1, 2, 3, 4})
+        assert cluster.down_sites == frozenset()
+
+    def test_fail_and_restart(self, cluster):
+        cluster.fail_site(2)
+        assert not cluster.is_up(2)
+        assert cluster.down_sites == frozenset({2})
+        cluster.restart_site(2)
+        assert cluster.is_up(2)
+
+    def test_fail_is_idempotent(self, cluster):
+        cluster.fail_site(2)
+        cluster.fail_site(2)
+        assert cluster.down_sites == frozenset({2})
+
+    def test_fail_sites_bulk(self, cluster):
+        cluster.fail_sites([1, 3])
+        assert cluster.down_sites == frozenset({1, 3})
+
+    def test_unknown_site_rejected(self, cluster):
+        with pytest.raises(UnknownSiteError):
+            cluster.fail_site(99)
+        with pytest.raises(UnknownSiteError):
+            cluster.is_up(99)
+
+    def test_view_reflects_health(self, cluster):
+        cluster.fail_site(3)
+        view = cluster.view()
+        assert view.up == frozenset({1, 2, 4})
+
+
+class TestLinkControl:
+    def test_link_faults_on_segmented_topology_rejected(self, cluster):
+        with pytest.raises(EngineError):
+            cluster.fail_link(1, 2)
+
+    def test_link_faults_on_point_to_point(self):
+        topo = PointToPointTopology(
+            [Site(1), Site(2), Site(3)], [(1, 2), (2, 3)]
+        )
+        cluster = Cluster(topo)
+        cluster.fail_link(1, 2)
+        view = cluster.view()
+        assert not view.can_communicate(1, 2)
+        cluster.repair_link(1, 2)
+        assert cluster.view().can_communicate(1, 2)
+
+
+class TestNotification:
+    def test_registered_files_hear_about_transitions(self, cluster):
+        heard = []
+
+        class Listener:
+            def on_network_change(self, view):
+                heard.append(frozenset(view.up))
+
+        cluster.register(Listener())
+        cluster.fail_site(1)
+        cluster.restart_site(1)
+        assert heard == [frozenset({2, 3, 4}), frozenset({1, 2, 3, 4})]
+
+    def test_idempotent_transitions_do_not_notify(self, cluster):
+        heard = []
+
+        class Listener:
+            def on_network_change(self, view):
+                heard.append(1)
+
+        cluster.register(Listener())
+        cluster.fail_site(1)
+        cluster.fail_site(1)
+        assert len(heard) == 1

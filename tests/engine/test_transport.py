@@ -1,0 +1,109 @@
+"""Unit tests for the message transport layer."""
+
+import pytest
+
+from repro.engine.transport import (
+    CommitMessage,
+    Mailbox,
+    Network,
+    StateReply,
+    StateRequest,
+)
+from repro.errors import EngineError
+from repro.net.topology import single_segment
+from repro.experiments.testbed import testbed_topology
+
+
+def _network(site_ids):
+    mailboxes = {sid: Mailbox(sid) for sid in site_ids}
+    return Network(mailboxes), mailboxes
+
+
+class TestMailbox:
+    def test_fifo_order(self):
+        box = Mailbox(1)
+        a = StateRequest(sender=2, receiver=1)
+        b = StateRequest(sender=3, receiver=1)
+        box.deliver(a)
+        box.deliver(b)
+        assert [m.sender for m in box.drain()] == [2, 3]
+        assert len(box) == 0
+
+    def test_wrong_receiver_rejected(self):
+        box = Mailbox(1)
+        with pytest.raises(EngineError):
+            box.deliver(StateRequest(sender=2, receiver=9))
+
+
+class TestNetwork:
+    def test_delivery_within_a_block(self):
+        topo = single_segment(3)
+        network, mailboxes = _network({1, 2, 3})
+        view = topo.view({1, 2, 3})
+        assert network.send(view, StateRequest(sender=1, receiver=2))
+        assert len(mailboxes[2]) == 1
+        assert network.delivered == 1
+
+    def test_down_receiver_drops(self):
+        topo = single_segment(3)
+        network, mailboxes = _network({1, 2, 3})
+        view = topo.view({1, 3})
+        assert not network.send(view, StateRequest(sender=1, receiver=2))
+        assert len(mailboxes[2]) == 0
+        assert network.dropped == 1
+
+    def test_partition_drops(self):
+        topo = testbed_topology()
+        network, mailboxes = _network(set(range(1, 9)))
+        view = topo.view(frozenset(range(1, 9)) - {4})  # beta cut off
+        assert not network.send(view, StateRequest(sender=1, receiver=6))
+        assert network.send(view, StateRequest(sender=1, receiver=2))
+
+    def test_self_send_always_works_when_up(self):
+        topo = single_segment(2)
+        network, mailboxes = _network({1, 2})
+        view = topo.view({1})
+        assert network.send(view, StateRequest(sender=1, receiver=1))
+
+    def test_messages_are_stamped_with_unique_ids(self):
+        topo = single_segment(2)
+        network, mailboxes = _network({1, 2})
+        view = topo.view({1, 2})
+        network.send(view, StateRequest(sender=1, receiver=2))
+        network.send(view, StateRequest(sender=1, receiver=2))
+        ids = [m.msg_id for m in mailboxes[2].drain()]
+        assert len(set(ids)) == 2
+
+    def test_broadcast_counts_deliveries(self):
+        topo = single_segment(4)
+        network, _ = _network({1, 2, 3, 4})
+        view = topo.view({1, 2, 4})
+        delivered = network.broadcast(
+            view, 1, frozenset({2, 3, 4}),
+            lambda src, dst: StateRequest(sender=src, receiver=dst),
+        )
+        assert delivered == 2  # site 3 is down
+
+    def test_unknown_mailbox_rejected(self):
+        topo = single_segment(2)
+        network, _ = _network({1})
+        view = topo.view({1, 2})
+        with pytest.raises(EngineError):
+            network.send(view, StateRequest(sender=1, receiver=2))
+
+    def test_typed_payload_fields_roundtrip(self):
+        topo = single_segment(2)
+        network, mailboxes = _network({1, 2})
+        view = topo.view({1, 2})
+        network.send(view, StateReply(
+            sender=1, receiver=2, operation=5, version=3,
+            partition_set=frozenset({1, 2}),
+        ))
+        network.send(view, CommitMessage(
+            sender=1, receiver=2, operation=6, version=4,
+            partition_set=frozenset({1}), payload="data",
+            carries_payload=True,
+        ))
+        reply, commit = list(mailboxes[2].drain())
+        assert (reply.operation, reply.version) == (5, 3)
+        assert commit.payload == "data"

@@ -1,0 +1,71 @@
+"""Engine tests for witness-augmented replicated files: witnesses vote
+and carry state but never hold payloads."""
+
+import pytest
+
+from repro.core.witnesses import DynamicVotingWithWitnesses
+from repro.engine.cluster import Cluster
+from repro.engine.file import ReplicatedFile
+from repro.errors import ConfigurationError, QuorumNotReachedError
+from repro.net.topology import single_segment
+from repro.replica.state import ReplicaSet
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(single_segment(3))
+
+
+def _witness_file(cluster, initial="v0"):
+    protocol = DynamicVotingWithWitnesses(ReplicaSet({1, 2, 3}),
+                                          witness_sites={3})
+    return ReplicatedFile(cluster, {1, 2, 3}, policy=protocol,
+                          initial=initial), protocol
+
+
+class TestWitnessFile:
+    def test_store_covers_only_full_copies(self, cluster):
+        file, protocol = _witness_file(cluster)
+        assert protocol.data_sites == frozenset({1, 2})
+        with pytest.raises(ConfigurationError):
+            file.value_at(3)  # the witness has no payload slot
+
+    def test_read_write_roundtrip(self, cluster):
+        file, _ = _witness_file(cluster)
+        file.write(1, "payload")
+        assert file.read(2) == "payload"
+        assert file.read(3) == "payload"  # witness site may *request*
+
+    def test_witness_keeps_file_alive_after_copy_failure(self, cluster):
+        """Copy 2 dies; copy 1 + witness 3 still form a majority and the
+        data still flows from the full copy."""
+        file, _ = _witness_file(cluster)
+        file.write(1, "before")
+        cluster.fail_site(2)
+        file.write(1, "after")
+        assert file.read(1) == "after"
+
+    def test_witness_state_advances_without_data(self, cluster):
+        file, protocol = _witness_file(cluster)
+        file.write(1, "x")
+        assert protocol.replicas.state(3).version == 2  # state tracked
+        with pytest.raises(ConfigurationError):
+            file.version_at(3)                           # but no bytes
+
+    def test_no_grant_when_only_witness_and_stale_copy_remain(self, cluster):
+        """Witness + a copy that missed the last write cannot serve it."""
+        file, _ = _witness_file(cluster)
+        cluster.fail_site(2)
+        file.write(1, "unseen-by-2")
+        cluster.fail_site(1)
+        cluster.restart_site(2)
+        with pytest.raises(QuorumNotReachedError):
+            file.read(2)
+
+    def test_full_copy_recovery_clones_from_full_source(self, cluster):
+        file, _ = _witness_file(cluster)
+        cluster.fail_site(2)
+        file.write(1, "w2")
+        cluster.restart_site(2)
+        assert file.recover_site(2)
+        assert file.value_at(2) == "w2"

@@ -1,0 +1,41 @@
+"""Unit tests for configurations A–H."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import CONFIGURATIONS, configuration
+
+
+class TestConfigurations:
+    def test_eight_configurations(self):
+        assert sorted(CONFIGURATIONS) == list("ABCDEFGH")
+
+    @pytest.mark.parametrize(
+        "key, sites",
+        [
+            ("A", {1, 2, 4}), ("B", {1, 2, 6}), ("C", {1, 6, 8}),
+            ("D", {6, 7, 8}), ("E", {1, 2, 3, 4}), ("F", {1, 2, 4, 6}),
+            ("G", {1, 2, 6, 8}), ("H", {1, 2, 7, 8}),
+        ],
+    )
+    def test_copy_sites_match_the_paper(self, key, sites):
+        assert CONFIGURATIONS[key].copy_sites == frozenset(sites)
+
+    def test_three_copy_configs(self):
+        for key in "ABCD":
+            assert len(CONFIGURATIONS[key].copy_sites) == 3
+
+    def test_four_copy_configs(self):
+        for key in "EFGH":
+            assert len(CONFIGURATIONS[key].copy_sites) == 4
+
+    def test_labels_match_paper_row_headers(self):
+        assert CONFIGURATIONS["A"].label == "A: 1, 2, 4"
+        assert CONFIGURATIONS["H"].label == "H: 1, 2, 7, 8"
+
+    def test_lookup_case_insensitive(self):
+        assert configuration("f").key == "F"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            configuration("Z")

@@ -1,0 +1,71 @@
+"""Unit tests for the lexicographic-ordering sweep."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ordering_sweep import ordering_sweep
+from repro.experiments.runner import StudyParameters
+from repro.experiments.testbed import testbed_topology
+
+
+@pytest.fixture
+def quick():
+    return StudyParameters(horizon=3000.0, warmup=360.0, batches=2, seed=41)
+
+
+class TestTestbedRanks:
+    def test_custom_rank_changes_the_maximum(self):
+        default = testbed_topology()
+        assert default.max_site({1, 2, 7, 8}) == 1
+        custom = testbed_topology(ranks={8: 100.0})
+        assert custom.max_site({1, 2, 7, 8}) == 8
+
+    def test_other_sites_keep_default_order(self):
+        custom = testbed_topology(ranks={8: 100.0})
+        assert custom.max_site({2, 5, 7}) == 2
+
+    def test_unknown_rank_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            testbed_topology(ranks={99: 1.0})
+
+    def test_ordering_flips_a_tie_outcome(self):
+        """Config H's gateway-5 split goes to whichever side holds the
+        maximum — end to end through the protocol."""
+        from repro.core.lexicographic import LexicographicDynamicVoting
+        from repro.replica.state import ReplicaSet
+
+        up = frozenset(range(1, 9)) - {5}
+        default = testbed_topology()
+        ldv = LexicographicDynamicVoting(ReplicaSet({1, 2, 7, 8}))
+        view = default.view(up)
+        granting = ldv.granting_blocks(view)
+        assert granting and 1 in granting[0]
+
+        flipped = testbed_topology(ranks={8: 100.0})
+        ldv8 = LexicographicDynamicVoting(ReplicaSet({1, 2, 7, 8}))
+        view8 = flipped.view(up)
+        granting8 = ldv8.granting_blocks(view8)
+        assert granting8 and 8 in granting8[0]
+
+
+class TestOrderingSweep:
+    def test_covers_candidates_sorted(self, quick):
+        results = ordering_sweep({1, 2, 7, 8}, params=quick,
+                                 candidates=[1, 2, 8])
+        assert {r.maximum_site for r in results} == {1, 2, 8}
+        values = [r.unavailability for r in results]
+        assert values == sorted(values)
+
+    def test_names_attached(self, quick):
+        results = ordering_sweep({1, 2}, params=quick, candidates=[2])
+        assert results[0].site_name == "beowulf"
+
+    def test_defaults_to_copy_sites(self, quick):
+        results = ordering_sweep({1, 2}, params=quick)
+        assert {r.maximum_site for r in results} == {1, 2}
+
+    def test_validation(self, quick):
+        with pytest.raises(ConfigurationError):
+            ordering_sweep(set(), params=quick)
+        with pytest.raises(ConfigurationError):
+            ordering_sweep({1, 2}, params=quick, candidates=[99])

@@ -1,0 +1,66 @@
+"""Unit tests for the message-overhead experiment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.evaluator import poisson_times
+from repro.experiments.overhead import measure_overhead
+from repro.experiments.testbed import testbed_topology
+from repro.failures.profiles import testbed_profiles
+from repro.failures.trace import FailureTrace, TraceEvent, generate_trace
+
+
+@pytest.fixture(scope="module")
+def short_history():
+    trace = generate_trace(testbed_profiles(), 120.0, seed=77)
+    access = poisson_times(1.0, 120.0, seed=77)
+    return trace, access
+
+
+class TestMeasureOverhead:
+    def test_result_fields(self, short_history):
+        trace, access = short_history
+        result = measure_overhead(
+            "ODV", testbed_topology(), frozenset({1, 2, 4}), trace, access
+        )
+        assert result.policy == "ODV"
+        assert result.days == trace.horizon
+        assert result.accesses_granted + result.accesses_denied == len(access)
+        assert result.messages_per_day == pytest.approx(
+            result.counters.total_messages / trace.horizon
+        )
+
+    def test_eager_protocols_cost_more(self, short_history):
+        trace, access = short_history
+        topo = testbed_topology()
+        copies = frozenset({1, 2, 4, 6})
+        odv = measure_overhead("ODV", topo, copies, trace, access)
+        ldv = measure_overhead("LDV", topo, copies, trace, access)
+        assert odv.counters.total_messages < ldv.counters.total_messages
+
+    def test_quiet_network_equalises_odv_and_ldv(self):
+        """With zero site transitions the eager surcharge vanishes."""
+        trace = FailureTrace(range(1, 9), [], 50.0)
+        access = poisson_times(1.0, 50.0, seed=3)
+        topo = testbed_topology()
+        copies = frozenset({1, 2, 4})
+        odv = measure_overhead("ODV", topo, copies, trace, access)
+        ldv = measure_overhead("LDV", topo, copies, trace, access)
+        assert odv.counters.total_messages == ldv.counters.total_messages
+
+    def test_denied_accesses_counted(self):
+        """All copies dead: every access is denied everywhere."""
+        events = [TraceEvent(0.5, s, False) for s in (1, 2, 4)]
+        trace = FailureTrace(range(1, 9), events, 10.0)
+        access = (1.0, 2.0, 3.0)
+        result = measure_overhead(
+            "MCV", testbed_topology(), frozenset({1, 2, 4}), trace, access
+        )
+        assert result.accesses_denied == 3
+        assert result.accesses_granted == 0
+
+    def test_empty_copies_rejected(self, short_history):
+        trace, access = short_history
+        with pytest.raises(ConfigurationError):
+            measure_overhead("MCV", testbed_topology(), frozenset(), trace,
+                             access)

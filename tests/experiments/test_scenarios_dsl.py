@@ -1,0 +1,207 @@
+"""Unit tests for the scripted-scenario runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import scenarios as sc
+from repro.experiments.testbed import testbed_topology
+from repro.net.sites import Site
+from repro.net.topology import PointToPointTopology, single_segment
+
+
+class TestScenarioRunner:
+    def test_write_read_roundtrip(self):
+        result = sc.run_scenario(
+            single_segment(3), {1, 2, 3}, "LDV",
+            [sc.write(1, "x"), sc.read(2)],
+        )
+        assert result.policy == "LDV"
+        assert result.reads[0].value == "x"
+        assert not result.denied_steps
+
+    def test_denials_recorded_not_raised(self):
+        result = sc.run_scenario(
+            single_segment(3), {1, 2, 3}, "MCV",
+            [sc.fail(2), sc.fail(3), sc.write(1, "nope"), sc.read(1)],
+        )
+        assert len(result.denied_steps) == 2
+        assert "quorum" in result.denied_steps[0].detail.lower() or \
+               result.denied_steps[0].detail
+
+    def test_expectations_enforced(self):
+        with pytest.raises(ConfigurationError):
+            sc.run_scenario(
+                single_segment(3), {1, 2, 3}, "MCV",
+                [sc.fail(1), sc.fail(2), sc.expect_available()],
+            )
+        # And the passing direction:
+        sc.run_scenario(
+            single_segment(3), {1, 2, 3}, "MCV",
+            [sc.fail(1), sc.fail(2), sc.expect_unavailable()],
+        )
+
+    def test_recover_step(self):
+        result = sc.run_scenario(
+            single_segment(3), {1, 2, 3}, "ODV",
+            [
+                sc.fail(3),
+                sc.write(1, "w"),
+                sc.restart(3),
+                sc.recover(3),
+                sc.read(3),
+            ],
+        )
+        assert result.outcomes[3].granted   # recovery succeeded
+        assert result.reads[0].value == "w"
+
+    def test_link_steps_on_point_to_point(self):
+        topo = PointToPointTopology(
+            [Site(1), Site(2), Site(3)], [(1, 2), (2, 3), (1, 3)]
+        )
+        result = sc.run_scenario(
+            topo, {1, 2, 3}, "LDV",
+            [
+                sc.cut_link(1, 3),
+                sc.write(1, "a"),
+                sc.heal_link(1, 3),
+                sc.read(3),
+            ],
+        )
+        assert result.reads[0].value == "a"
+
+    def test_unknown_step_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sc.run_scenario(
+                single_segment(2), {1, 2}, "MCV", [sc.Step("dance")],
+            )
+
+    def test_paper_configuration_h_as_a_scenario(self):
+        """Configuration H's gateway split, as an executable spec."""
+        result = sc.run_scenario(
+            testbed_topology(), {1, 2, 7, 8}, "LDV",
+            [
+                sc.write(1, "before"),
+                sc.fail(5),                # the split
+                sc.expect_available(),     # max side carries on
+                sc.write(1, "after"),
+                sc.read(7),                # minority side is denied
+                sc.restart(5),
+                sc.read(8),
+            ],
+        )
+        denied = [o for o in result.reads if not o.granted]
+        granted = [o for o in result.reads if o.granted]
+        assert len(denied) == 1
+        assert granted[-1].value == "after"
+
+
+class TestScenarioLoading:
+    def _write(self, tmp_path, document):
+        import json
+
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def _valid(self):
+        return {
+            "format": "repro-scenario",
+            "name": "demo",
+            "policy": "LDV",
+            "copies": [1, 2, 3],
+            "initial": "seed",
+            "steps": [
+                {"do": "write", "site": 1, "value": "x"},
+                {"do": "fail", "site": 2},
+                {"do": "read", "site": 3},
+                {"do": "expect_available"},
+            ],
+        }
+
+    def test_round_trip_and_run(self, tmp_path):
+        path = self._write(tmp_path, self._valid())
+        spec = sc.load_scenario(path)
+        assert spec.name == "demo"
+        assert spec.policy == "LDV"
+        assert spec.copy_sites == frozenset({1, 2, 3})
+        assert spec.initial == "seed"
+        result = sc.run_scenario(
+            single_segment(3), spec.copy_sites, spec.policy, spec.steps,
+            initial=spec.initial,
+        )
+        assert result.reads[0].value == "x"
+
+    def test_link_steps_parse(self, tmp_path):
+        document = self._valid()
+        document["steps"] = [{"do": "cut_link", "a": 1, "b": 2}]
+        spec = sc.load_scenario(self._write(tmp_path, document))
+        assert spec.steps[0].kind == "cut_link"
+        assert (spec.steps[0].site, spec.steps[0].peer) == (1, 2)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        document = self._valid()
+        document["format"] = "something"
+        with pytest.raises(ConfigurationError):
+            sc.load_scenario(self._write(tmp_path, document))
+
+    def test_unknown_action_rejected(self, tmp_path):
+        document = self._valid()
+        document["steps"] = [{"do": "explode"}]
+        with pytest.raises(ConfigurationError):
+            sc.load_scenario(self._write(tmp_path, document))
+
+    def test_missing_fields_rejected(self, tmp_path):
+        document = self._valid()
+        del document["copies"]
+        with pytest.raises(ConfigurationError):
+            sc.load_scenario(self._write(tmp_path, document))
+        document = self._valid()
+        document["steps"] = [{"do": "fail"}]   # no site
+        with pytest.raises(ConfigurationError):
+            sc.load_scenario(self._write(tmp_path, document))
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            sc.load_scenario(tmp_path / "missing.json")
+
+    def test_shipped_example_scenario_loads(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        path = root / "examples" / "scenarios" / "configuration_h_split.json"
+        spec = sc.load_scenario(path)
+        assert spec.policy == "LDV"
+        assert spec.copy_sites == frozenset({1, 2, 7, 8})
+
+
+class TestMeanTimeBetweenOutages:
+    def test_infinite_when_never_down(self):
+        import math
+
+        from repro.experiments.evaluator import evaluate_policy
+        from repro.failures.trace import FailureTrace
+
+        trace = FailureTrace([1, 2, 3], [], 1000.0)
+        result = evaluate_policy(
+            "MCV", single_segment(3), frozenset({1, 2, 3}), trace,
+            warmup=0.0, batches=1,
+        )
+        assert math.isinf(result.mean_time_between_outages)
+
+    def test_counts_outage_starts(self):
+        from repro.experiments.evaluator import evaluate_policy
+        from repro.failures.trace import FailureTrace, TraceEvent
+
+        events = [
+            TraceEvent(100.0, 1, False), TraceEvent(110.0, 2, False),
+            TraceEvent(120.0, 1, True), TraceEvent(130.0, 2, True),
+            TraceEvent(500.0, 1, False), TraceEvent(510.0, 2, False),
+            TraceEvent(520.0, 1, True), TraceEvent(530.0, 2, True),
+        ]
+        trace = FailureTrace([1, 2, 3], events, 1000.0)
+        result = evaluate_policy(
+            "MCV", single_segment(3), frozenset({1, 2, 3}), trace,
+            warmup=0.0, batches=1,
+        )
+        assert result.down_periods == 2
+        assert result.mean_time_between_outages == 500.0

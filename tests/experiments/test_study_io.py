@@ -1,0 +1,75 @@
+"""Unit tests for study persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.runner import StudyParameters, run_study
+from repro.experiments.study_io import (
+    dump_study,
+    load_study,
+    study_from_dict,
+    study_to_dict,
+)
+from repro.experiments.tables import format_table2
+
+
+@pytest.fixture(scope="module")
+def cells():
+    params = StudyParameters(horizon=2000.0, warmup=360.0, batches=2, seed=8)
+    return run_study(params, configurations=[CONFIGURATIONS["A"]],
+                     policies=("MCV", "LDV", "ODV"))
+
+
+class TestStudyIO:
+    def test_round_trip_preserves_values(self, cells, tmp_path):
+        path = tmp_path / "study.json"
+        dump_study(cells, path)
+        loaded = load_study(path)
+        assert set(loaded) == set(cells)
+        for key, cell in cells.items():
+            restored = loaded[key]
+            assert restored.unavailability == cell.unavailability
+            assert restored.mean_down_duration == cell.mean_down_duration
+            assert restored.result.down_periods == cell.result.down_periods
+            assert restored.result.interval == cell.result.interval
+            assert (restored.result.down_durations
+                    == cell.result.down_durations)
+
+    def test_tables_render_from_loaded_cells(self, cells, tmp_path):
+        path = tmp_path / "study.json"
+        dump_study(cells, path)
+        loaded = load_study(path)
+        assert format_table2(loaded, policies=("MCV", "LDV", "ODV")) == \
+            format_table2(cells, policies=("MCV", "LDV", "ODV"))
+
+    def test_document_shape(self, cells, tmp_path):
+        path = tmp_path / "study.json"
+        dump_study(cells, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-study"
+        assert len(data["cells"]) == 3
+
+    def test_quantiles_survive_the_round_trip(self, cells):
+        loaded = study_from_dict(study_to_dict(cells))
+        for key, cell in cells.items():
+            assert (loaded[key].result.down_duration_quantile(0.9)
+                    == cell.result.down_duration_quantile(0.9))
+
+    def test_validation(self, cells):
+        with pytest.raises(ConfigurationError):
+            study_from_dict({"format": "other"})
+        document = study_to_dict(cells)
+        document["version"] = 99
+        with pytest.raises(ConfigurationError):
+            study_from_dict(document)
+        document = study_to_dict(cells)
+        del document["cells"][0]["policy"]
+        with pytest.raises(ConfigurationError):
+            study_from_dict(document)
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_study(tmp_path / "absent.json")

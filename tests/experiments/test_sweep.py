@@ -1,0 +1,68 @@
+"""Unit tests for the access-rate and placement sweeps."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.runner import StudyParameters
+from repro.experiments.sweep import access_rate_sweep, placement_sweep
+
+
+@pytest.fixture
+def quick():
+    return StudyParameters(horizon=2000.0, warmup=360.0, batches=2, seed=21)
+
+
+class TestAccessRateSweep:
+    def test_points_cover_rates_and_policies(self, quick):
+        points = access_rate_sweep(
+            CONFIGURATIONS["A"], [0.5, 2.0], policies=("ODV",), params=quick
+        )
+        assert [(p.policy, p.accesses_per_day) for p in points] == [
+            ("ODV", 0.5), ("ODV", 2.0),
+        ]
+
+    def test_eager_reference_policy_is_flat(self, quick):
+        points = access_rate_sweep(
+            CONFIGURATIONS["A"], [0.5, 5.0], policies=("LDV",), params=quick
+        )
+        assert points[0].unavailability == points[1].unavailability
+
+    def test_empty_rates_rejected(self, quick):
+        with pytest.raises(ConfigurationError):
+            access_rate_sweep(CONFIGURATIONS["A"], [], params=quick)
+
+
+class TestPlacementSweep:
+    def test_all_combinations_evaluated(self, quick):
+        results = placement_sweep(
+            2, "MCV", params=quick, candidate_sites=[1, 2, 3, 4]
+        )
+        assert len(results) == 6  # C(4, 2)
+
+    def test_sorted_best_first(self, quick):
+        results = placement_sweep(
+            2, "MCV", params=quick, candidate_sites=[1, 2, 3, 4]
+        )
+        values = [r.unavailability for r in results]
+        assert values == sorted(values)
+
+    def test_segments_used_counted(self, quick):
+        results = placement_sweep(
+            2, "LDV", params=quick, candidate_sites=[1, 2, 6]
+        )
+        by_sites = {r.copy_sites: r.segments_used for r in results}
+        assert by_sites[frozenset({1, 2})] == 1
+        assert by_sites[frozenset({1, 6})] == 2
+
+    def test_copies_bounds_checked(self, quick):
+        with pytest.raises(ConfigurationError):
+            placement_sweep(0, "MCV", params=quick)
+        with pytest.raises(ConfigurationError):
+            placement_sweep(9, "MCV", params=quick)
+
+    def test_label(self, quick):
+        results = placement_sweep(
+            2, "MCV", params=quick, candidate_sites=[1, 2]
+        )
+        assert results[0].label == "1, 2"

@@ -1,0 +1,85 @@
+"""Unit tests for table formatting and the published reference data."""
+
+import pytest
+
+from repro.core.registry import PAPER_POLICIES
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.runner import StudyParameters, run_study
+from repro.experiments.tables import (
+    PAPER_TABLE_2,
+    PAPER_TABLE_3,
+    format_comparison,
+    format_table2,
+    format_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    params = StudyParameters(horizon=2500.0, warmup=360.0, batches=3, seed=4)
+    return run_study(params, configurations=[CONFIGURATIONS["A"],
+                                             CONFIGURATIONS["D"]])
+
+
+class TestPublishedData:
+    def test_every_cell_present(self):
+        for table in (PAPER_TABLE_2, PAPER_TABLE_3):
+            assert sorted(table) == list("ABCDEFGH")
+            for row in table.values():
+                assert sorted(row) == sorted(PAPER_POLICIES)
+
+    def test_table2_values_are_probabilities(self):
+        for row in PAPER_TABLE_2.values():
+            for value in row.values():
+                assert 0.0 <= value < 1.0
+
+    def test_table3_dashes_only_for_config_e_topological(self):
+        missing = [
+            (key, policy)
+            for key, row in PAPER_TABLE_3.items()
+            for policy, value in row.items()
+            if value is None
+        ]
+        assert missing == [("E", "TDV"), ("E", "OTDV")]
+
+    def test_headline_paper_findings_hold_in_published_data(self):
+        """The qualitative claims of Section 4, read off Table 2 itself."""
+        for key in "ABCD":  # DV worse than MCV for three copies
+            assert PAPER_TABLE_2[key]["DV"] > PAPER_TABLE_2[key]["MCV"]
+        # LDV beats MCV and DV everywhere.
+        for key, row in PAPER_TABLE_2.items():
+            assert row["LDV"] <= row["MCV"]
+            assert row["LDV"] <= row["DV"]
+        # ODV beats LDV in configuration F (the optimistic surprise).
+        assert PAPER_TABLE_2["F"]["ODV"] < PAPER_TABLE_2["F"]["LDV"]
+        # TDV == LDV and OTDV == ODV in configuration C (all segments
+        # distinct: no votes to claim).
+        assert PAPER_TABLE_2["C"]["TDV"] == PAPER_TABLE_2["C"]["LDV"]
+        assert PAPER_TABLE_2["C"]["OTDV"] == PAPER_TABLE_2["C"]["ODV"]
+
+
+class TestFormatting:
+    def test_table2_contains_rows_and_policies(self, small_study):
+        text = format_table2(small_study)
+        assert "A: 1, 2, 4" in text
+        assert "D: 6, 7, 8" in text
+        for policy in PAPER_POLICIES:
+            assert policy in text
+
+    def test_table3_renders_dash_for_zero_periods(self, small_study):
+        text = format_table3(small_study)
+        assert "Mean Duration" in text
+        # Config A under TDV rarely fails in 2.5k days; accept either a
+        # number or a dash, but the renderer must not crash.
+        assert text.count("\n") >= 3
+
+    def test_comparison_interleaves_paper_and_ours(self, small_study):
+        text = format_comparison(small_study, PAPER_TABLE_2, "T2")
+        assert "(paper)" in text and "(ours)" in text
+        assert text.index("(paper)") < text.index("(ours)")
+
+    def test_comparison_durations_mode(self, small_study):
+        text = format_comparison(
+            small_study, PAPER_TABLE_3, "T3", use_durations=True
+        )
+        assert "(ours)" in text

@@ -1,0 +1,57 @@
+"""Unit tests for the Figure 8 testbed."""
+
+from repro.experiments.testbed import GATEWAYS, SEGMENTS, render_testbed, testbed_topology
+
+
+class TestTestbedTopology:
+    def test_segment_layout_matches_figure_8(self):
+        assert SEGMENTS["alpha"] == (1, 2, 3, 4, 5)
+        assert SEGMENTS["beta"] == (6,)
+        assert SEGMENTS["gamma"] == (7, 8)
+
+    def test_gateways_are_sites_4_and_5(self):
+        assert set(GATEWAYS) == {4, 5}
+        assert GATEWAYS[4] == ("alpha", "beta")
+        assert GATEWAYS[5] == ("alpha", "gamma")
+
+    def test_topology_uses_table_1_names(self):
+        topo = testbed_topology()
+        assert topo.site(1).name == "csvax"
+        assert topo.site(6).name == "gremlin"
+
+    def test_configuration_b_partition_point(self):
+        """Config B (1, 2, 6): only site 4's failure separates the copies."""
+        topo = testbed_topology()
+        everyone = frozenset(range(1, 9))
+        blocks = topo.blocks(everyone - {4})
+        copy_blocks = {b & {1, 2, 6} for b in blocks if b & {1, 2, 6}}
+        assert copy_blocks == {frozenset({1, 2}), frozenset({6})}
+
+    def test_configuration_h_partition_point(self):
+        """Config H (1, 2, 7, 8): site 5 splits the two pairs."""
+        topo = testbed_topology()
+        everyone = frozenset(range(1, 9))
+        blocks = topo.blocks(everyone - {5})
+        copy_blocks = {b & {1, 2, 7, 8} for b in blocks if b & {1, 2, 7, 8}}
+        assert copy_blocks == {frozenset({1, 2}), frozenset({7, 8})}
+
+    def test_configuration_a_never_partitions(self):
+        """Config A (1, 2, 4): all on alpha — no partition can split them."""
+        topo = testbed_topology()
+        import itertools
+
+        for r in range(9):
+            for up in itertools.combinations(range(1, 9), r):
+                up = frozenset(up)
+                present = up & {1, 2, 4}
+                if len(present) < 2:
+                    continue
+                blocks = topo.blocks(up)
+                holders = [b for b in blocks if b & present]
+                assert len(holders) == 1
+
+    def test_render_mentions_all_hosts(self):
+        art = render_testbed()
+        for name in ("csvax", "beowulf", "grendel", "wizard",
+                     "amos", "gremlin", "rip", "mangle"):
+            assert name in art

@@ -1,0 +1,52 @@
+"""Unit tests for the witness-placement sweep."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import StudyParameters
+from repro.experiments.witness_sweep import witness_placement_sweep
+
+
+@pytest.fixture
+def quick():
+    return StudyParameters(horizon=2500.0, warmup=360.0, batches=2, seed=31)
+
+
+class TestWitnessPlacementSweep:
+    def test_covers_all_candidates(self, quick):
+        placements, bare, triple = witness_placement_sweep(
+            {1, 2}, params=quick, candidate_sites=frozenset({3, 4, 6})
+        )
+        assert {p.witness_site for p in placements} == {3, 4, 6}
+
+    def test_sorted_best_first(self, quick):
+        placements, _, _ = witness_placement_sweep(
+            {1, 2}, params=quick, candidate_sites=frozenset({3, 4, 6})
+        )
+        values = [p.unavailability for p in placements]
+        assert values == sorted(values)
+
+    def test_witness_never_worse_than_bare_pair(self, quick):
+        placements, bare, _ = witness_placement_sweep(
+            {1, 2}, params=quick, candidate_sites=frozenset({3, 5})
+        )
+        for placement in placements:
+            assert placement.unavailability <= bare + 1e-9
+
+    def test_segment_annotated(self, quick):
+        placements, _, _ = witness_placement_sweep(
+            {1, 2}, params=quick, candidate_sites=frozenset({3, 6})
+        )
+        segments = {p.witness_site: p.segment for p in placements}
+        assert segments[3] == "alpha"
+        assert segments[6] == "beta"
+
+    def test_validation(self, quick):
+        with pytest.raises(ConfigurationError):
+            witness_placement_sweep({1}, params=quick)
+        with pytest.raises(ConfigurationError):
+            witness_placement_sweep({1, 99}, params=quick)
+
+    def test_defaults_to_all_other_sites(self, quick):
+        placements, _, _ = witness_placement_sweep({1, 2}, params=quick)
+        assert {p.witness_site for p in placements} == set(range(3, 9))

@@ -1,0 +1,97 @@
+"""Unit tests for the failure/repair/maintenance models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures.models import HOURS, MINUTES, MaintenanceSchedule, SiteProfile
+
+
+def _profile(**overrides):
+    base = dict(
+        site_id=1,
+        name="test",
+        mttf_days=50.0,
+        hardware_fraction=0.5,
+        restart_minutes=15.0,
+        repair_constant_hours=168.0,
+        repair_exponential_hours=168.0,
+    )
+    base.update(overrides)
+    return SiteProfile(**base)
+
+
+class TestUnits:
+    def test_conversion_constants(self):
+        assert HOURS == pytest.approx(1 / 24)
+        assert MINUTES == pytest.approx(1 / 1440)
+
+
+class TestMaintenanceSchedule:
+    def test_windows_are_periodic(self):
+        schedule = MaintenanceSchedule(90.0, 3.0, offset_days=30.0)
+        windows = list(schedule.windows(400.0))
+        assert windows == [120.0, 210.0, 300.0, 390.0]
+
+    def test_duration_in_days(self):
+        schedule = MaintenanceSchedule(90.0, 3.0)
+        assert schedule.duration_days == pytest.approx(3.0 / 24.0)
+
+    def test_no_windows_beyond_horizon(self):
+        schedule = MaintenanceSchedule(90.0, 3.0)
+        assert list(schedule.windows(80.0)) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MaintenanceSchedule(0.0, 3.0)
+        with pytest.raises(ConfigurationError):
+            MaintenanceSchedule(90.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            MaintenanceSchedule(90.0, 3.0, offset_days=-5.0)
+
+
+class TestSiteProfile:
+    def test_distribution_units(self):
+        profile = _profile()
+        assert profile.time_to_failure().mean == 50.0
+        assert profile.software_downtime().mean == pytest.approx(15.0 / 1440.0)
+        assert profile.hardware_downtime().mean == pytest.approx(336.0 / 24.0)
+        assert profile.hardware_downtime().offset == pytest.approx(168.0 / 24.0)
+
+    def test_expected_downtime_mixes_fault_classes(self):
+        profile = _profile(hardware_fraction=0.5)
+        expected = 0.5 * (336.0 / 24.0) + 0.5 * (15.0 / 1440.0)
+        assert profile.expected_downtime() == pytest.approx(expected)
+
+    def test_pure_software_site(self):
+        profile = _profile(hardware_fraction=0.0, restart_minutes=20.0)
+        assert profile.expected_downtime() == pytest.approx(20.0 / 1440.0)
+
+    def test_sample_downtime_respects_fault_split(self):
+        rng = random.Random(5)
+        profile = _profile(hardware_fraction=1.0)
+        # Pure hardware: every downtime includes the constant service term.
+        assert all(
+            profile.sample_downtime(rng) >= 168.0 / 24.0 for _ in range(100)
+        )
+        software_only = _profile(hardware_fraction=0.0)
+        assert all(
+            software_only.sample_downtime(rng) == pytest.approx(15.0 / 1440.0)
+            for _ in range(100)
+        )
+
+    def test_steady_state_availability(self):
+        profile = _profile(hardware_fraction=0.0, restart_minutes=1440.0)
+        # MTTF 50 d, MTTR 1 d -> availability 50/51.
+        assert profile.steady_state_availability() == pytest.approx(50.0 / 51.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _profile(mttf_days=0.0)
+        with pytest.raises(ConfigurationError):
+            _profile(hardware_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            _profile(restart_minutes=-1.0)
+        with pytest.raises(ConfigurationError):
+            _profile(repair_constant_hours=-1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for correlated-outage processes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures.models import SiteProfile
+from repro.failures.trace import OutageModel, generate_trace
+from repro.stats.distributions import Constant, Exponential
+
+
+def _stable_profile(site_id):
+    """A site that essentially never fails on its own."""
+    return SiteProfile(
+        site_id=site_id, name=f"s{site_id}", mttf_days=1e9,
+        hardware_fraction=0.0, restart_minutes=10.0,
+        repair_constant_hours=0.0, repair_exponential_hours=0.0,
+    )
+
+
+class TestOutageModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OutageModel("x", frozenset(), 10.0, Constant(1.0))
+        with pytest.raises(ConfigurationError):
+            OutageModel("x", frozenset({1}), 0.0, Constant(1.0))
+
+    def test_outage_takes_the_group_down_together(self):
+        profiles = [_stable_profile(i) for i in (1, 2, 3)]
+        outage = OutageModel("room", frozenset({1, 2}), 50.0, Constant(1.0))
+        trace = generate_trace(profiles, 2000.0, seed=4, outages=[outage])
+        downs_1 = [e.time for e in trace.transitions_of(1) if not e.up]
+        downs_2 = [e.time for e in trace.transitions_of(2) if not e.up]
+        downs_3 = [e.time for e in trace.transitions_of(3) if not e.up]
+        assert downs_1 and downs_1 == downs_2     # simultaneous strikes
+        assert downs_3 == []                      # site 3 unaffected
+
+    def test_shared_duration(self):
+        profiles = [_stable_profile(i) for i in (1, 2)]
+        outage = OutageModel("room", frozenset({1, 2}), 100.0, Constant(2.0))
+        trace = generate_trace(profiles, 3000.0, seed=9, outages=[outage])
+        ups_1 = [e.time for e in trace.transitions_of(1) if e.up]
+        ups_2 = [e.time for e in trace.transitions_of(2) if e.up]
+        assert ups_1 == ups_2
+        downs = [e.time for e in trace.transitions_of(1) if not e.up]
+        for down, up in zip(downs, ups_1):
+            assert up - down == pytest.approx(2.0)
+
+    def test_outage_frequency_tracks_interval(self):
+        profiles = [_stable_profile(1)]
+        outage = OutageModel("pwr", frozenset({1}), 20.0, Constant(0.5))
+        trace = generate_trace(profiles, 20_000.0, seed=1, outages=[outage])
+        strikes = [e for e in trace.transitions_of(1) if not e.up]
+        # ~1000 expected; allow wide slack (overlaps skip strikes).
+        assert 700 <= len(strikes) <= 1300
+
+    def test_already_down_site_is_skipped(self):
+        # Site fails on its own constantly with long repairs; outages
+        # must not double-emit down transitions.
+        profile = SiteProfile(
+            site_id=1, name="s1", mttf_days=1.0, hardware_fraction=1.0,
+            restart_minutes=0.0, repair_constant_hours=240.0,
+            repair_exponential_hours=0.0,
+        )
+        outage = OutageModel("pwr", frozenset({1}), 2.0, Constant(0.1))
+        trace = generate_trace([profile], 500.0, seed=2, outages=[outage])
+        states = [e.up for e in trace.transitions_of(1)]
+        assert all(a != b for a, b in zip(states, states[1:]))
+
+    def test_deterministic_per_seed_and_independent_streams(self):
+        profiles = [_stable_profile(i) for i in (1, 2)]
+        outage = OutageModel("room", frozenset({1}), 30.0,
+                             Exponential(0.5))
+        a = generate_trace(profiles, 2000.0, seed=5, outages=[outage])
+        b = generate_trace(profiles, 2000.0, seed=5, outages=[outage])
+        assert a.events == b.events
+
+    def test_duplicate_outage_names_rejected(self):
+        profiles = [_stable_profile(1)]
+        outage = OutageModel("x", frozenset({1}), 10.0, Constant(1.0))
+        with pytest.raises(ConfigurationError):
+            generate_trace(profiles, 100.0, seed=1,
+                           outages=[outage, outage])
+
+    def test_outage_for_unknown_sites_rejected(self):
+        profiles = [_stable_profile(1)]
+        outage = OutageModel("x", frozenset({9}), 10.0, Constant(1.0))
+        with pytest.raises(ConfigurationError):
+            generate_trace(profiles, 100.0, seed=1, outages=[outage])

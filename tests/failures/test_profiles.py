@@ -1,0 +1,66 @@
+"""Table 1 must be encoded exactly as published."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures.profiles import TABLE_1, site_profile
+from repro.failures.profiles import testbed_profiles as load_testbed_profiles
+
+
+class TestTable1:
+    def test_eight_sites(self):
+        assert sorted(TABLE_1) == list(range(1, 9))
+
+    def test_names(self):
+        names = [TABLE_1[i].name for i in range(1, 9)]
+        assert names == [
+            "csvax", "beowulf", "grendel", "wizard",
+            "amos", "gremlin", "rip", "mangle",
+        ]
+
+    @pytest.mark.parametrize(
+        "site_id, mttf, hw, restart, const, exp",
+        [
+            (1, 36.5, 0.10, 20.0, 0.0, 2.0),
+            (2, 10.0, 0.10, 15.0, 4.0, 24.0),
+            (3, 365.0, 0.90, 10.0, 0.0, 2.0),
+            (4, 50.0, 0.50, 15.0, 168.0, 168.0),
+            (5, 365.0, 0.90, 10.0, 0.0, 2.0),
+            (6, 50.0, 0.50, 15.0, 168.0, 168.0),
+            (7, 50.0, 0.50, 15.0, 168.0, 168.0),
+            (8, 50.0, 0.50, 15.0, 168.0, 168.0),
+        ],
+    )
+    def test_row_values(self, site_id, mttf, hw, restart, const, exp):
+        profile = TABLE_1[site_id]
+        assert profile.mttf_days == mttf
+        assert profile.hardware_fraction == hw
+        assert profile.restart_minutes == restart
+        assert profile.repair_constant_hours == const
+        assert profile.repair_exponential_hours == exp
+
+    def test_maintenance_only_on_sites_1_3_5(self):
+        for site_id, profile in TABLE_1.items():
+            if site_id in (1, 3, 5):
+                assert profile.maintenance is not None
+                assert profile.maintenance.interval_days == 90.0
+                assert profile.maintenance.duration_hours == 3.0
+            else:
+                assert profile.maintenance is None
+
+    def test_maintenance_windows_staggered(self):
+        offsets = {TABLE_1[i].maintenance.offset_days for i in (1, 3, 5)}
+        assert len(offsets) == 3
+
+    def test_site_profile_lookup(self):
+        assert site_profile(4).name == "wizard"
+        with pytest.raises(ConfigurationError):
+            site_profile(9)
+
+    def test_testbed_profiles_ordered(self):
+        assert [p.site_id for p in load_testbed_profiles()] == list(range(1, 9))
+
+    def test_gateway_sites_have_slow_hardware_repairs(self):
+        """Table 1's point: the partition points (4, 5 is amos... the
+        gateways 4 and the leaf sites 6-8) take a week minimum to fix."""
+        assert site_profile(4).repair_constant_hours == 168.0

@@ -1,0 +1,98 @@
+"""Unit tests for trace persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures.profiles import testbed_profiles as load_testbed_profiles
+from repro.failures.serialization import (
+    dump_trace,
+    load_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.failures.trace import FailureTrace, TraceEvent, generate_trace
+
+
+@pytest.fixture
+def trace():
+    return generate_trace(load_testbed_profiles(), 500.0, seed=99)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, trace):
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.site_ids == trace.site_ids
+        assert rebuilt.horizon == trace.horizon
+        assert rebuilt.events == trace.events
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        dump_trace(trace, path)
+        rebuilt = load_trace(path)
+        assert rebuilt.events == trace.events
+
+    def test_document_is_plain_json(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        dump_trace(trace, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-failure-trace"
+        assert data["version"] == 1
+
+    def test_loaded_trace_reproduces_evaluation(self, trace, tmp_path):
+        from repro.experiments.evaluator import evaluate_policy
+        from repro.experiments.testbed import testbed_topology
+
+        path = tmp_path / "trace.json"
+        dump_trace(trace, path)
+        rebuilt = load_trace(path)
+        topo = testbed_topology()
+        copies = frozenset({1, 2, 4})
+        a = evaluate_policy("LDV", topo, copies, trace, warmup=0.0, batches=1)
+        b = evaluate_policy("LDV", topo, copies, rebuilt, warmup=0.0, batches=1)
+        assert a.unavailability == b.unavailability
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trace_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, trace):
+        data = trace_to_dict(trace)
+        data["version"] = 99
+        with pytest.raises(ConfigurationError):
+            trace_from_dict(data)
+
+    def test_malformed_events_rejected(self, trace):
+        data = trace_to_dict(trace)
+        data["events"] = [["soon", 1, True]]
+        with pytest.raises(ConfigurationError):
+            trace_from_dict(data)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trace_from_dict({"format": "repro-failure-trace", "version": 1})
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "nope.json"
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_out_of_order_events_rejected_on_load(self):
+        data = {
+            "format": "repro-failure-trace",
+            "version": 1,
+            "horizon": 10.0,
+            "sites": [1],
+            "events": [[5.0, 1, False], [1.0, 1, True]],
+        }
+        with pytest.raises(ConfigurationError):
+            trace_from_dict(data)

@@ -1,0 +1,139 @@
+"""Unit tests for failure-trace generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures.models import MaintenanceSchedule, SiteProfile
+from repro.failures.profiles import testbed_profiles as load_testbed_profiles
+from repro.failures.trace import FailureTrace, TraceEvent, generate_trace
+
+
+def _fast_profile(site_id, mttf=5.0, maintenance=None):
+    return SiteProfile(
+        site_id=site_id,
+        name=f"s{site_id}",
+        mttf_days=mttf,
+        hardware_fraction=0.0,
+        restart_minutes=60.0,
+        repair_constant_hours=0.0,
+        repair_exponential_hours=0.0,
+        maintenance=maintenance,
+    )
+
+
+class TestFailureTraceContainer:
+    def test_events_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            FailureTrace(
+                [1],
+                [TraceEvent(5.0, 1, False), TraceEvent(1.0, 1, True)],
+                10.0,
+            )
+
+    def test_events_for_unknown_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureTrace([1], [TraceEvent(1.0, 2, False)], 10.0)
+
+    def test_horizon_positive(self):
+        with pytest.raises(ConfigurationError):
+            FailureTrace([1], [], 0.0)
+
+    def test_site_availability_no_events_is_one(self):
+        trace = FailureTrace([1], [], 100.0)
+        assert trace.site_availability(1) == 1.0
+
+    def test_site_availability_integrates_downtime(self):
+        trace = FailureTrace(
+            [1],
+            [TraceEvent(10.0, 1, False), TraceEvent(30.0, 1, True)],
+            100.0,
+        )
+        assert trace.site_availability(1) == pytest.approx(0.8)
+
+    def test_open_down_interval_extends_to_horizon(self):
+        trace = FailureTrace([1], [TraceEvent(90.0, 1, False)], 100.0)
+        assert trace.site_availability(1) == pytest.approx(0.9)
+
+    def test_transitions_of_filters_by_site(self):
+        events = [TraceEvent(1.0, 1, False), TraceEvent(2.0, 2, False)]
+        trace = FailureTrace([1, 2], events, 10.0)
+        assert trace.transitions_of(1) == (events[0],)
+
+
+class TestGeneration:
+    def test_deterministic_for_a_seed(self):
+        profiles = [_fast_profile(1), _fast_profile(2)]
+        a = generate_trace(profiles, 500.0, seed=7)
+        b = generate_trace(profiles, 500.0, seed=7)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        profiles = [_fast_profile(1)]
+        a = generate_trace(profiles, 500.0, seed=1)
+        b = generate_trace(profiles, 500.0, seed=2)
+        assert a.events != b.events
+
+    def test_per_site_streams_are_independent(self):
+        """Adding a site must not perturb another site's history."""
+        solo = generate_trace([_fast_profile(1)], 500.0, seed=3)
+        duo = generate_trace([_fast_profile(1), _fast_profile(2)], 500.0, seed=3)
+        assert solo.transitions_of(1) == duo.transitions_of(1)
+
+    def test_transitions_alternate_per_site(self):
+        trace = generate_trace([_fast_profile(1)], 1000.0, seed=9)
+        states = [e.up for e in trace.transitions_of(1)]
+        # Starting up, the first transition is down, then strictly
+        # alternating.
+        assert states[0] is False
+        assert all(a != b for a, b in zip(states, states[1:]))
+
+    def test_availability_tracks_analytic_value(self):
+        # MTTF 5 d, constant 1 h repair: availability = 5 / (5 + 1/24).
+        trace = generate_trace([_fast_profile(1)], 50_000.0, seed=11)
+        expected = 5.0 / (5.0 + 1.0 / 24.0)
+        assert trace.site_availability(1) == pytest.approx(expected, abs=0.005)
+
+    def test_maintenance_windows_appear(self):
+        schedule = MaintenanceSchedule(100.0, 24.0, offset_days=0.0)
+        profile = _fast_profile(1, mttf=1e9, maintenance=schedule)
+        trace = generate_trace([profile], 500.0, seed=1)
+        downs = [e.time for e in trace.transitions_of(1) if not e.up]
+        assert downs == [100.0, 200.0, 300.0, 400.0]
+        # Each window lasts one day.
+        ups = [e.time for e in trace.transitions_of(1) if e.up]
+        assert ups == [101.0, 201.0, 301.0, 401.0]
+
+    def test_maintenance_skipped_while_down(self):
+        # A site that fails at t~0 and repairs after 150 days misses the
+        # 100-day maintenance window entirely.
+        profile = SiteProfile(
+            site_id=1,
+            name="s1",
+            mttf_days=0.001,     # fails immediately
+            hardware_fraction=1.0,
+            restart_minutes=0.0,
+            repair_constant_hours=150.0 * 24.0,
+            repair_exponential_hours=0.0,
+            maintenance=MaintenanceSchedule(100.0, 24.0, offset_days=0.0),
+        )
+        trace = generate_trace([profile], 149.0, seed=1)
+        downs = [e for e in trace.transitions_of(1) if not e.up]
+        assert len(downs) == 1  # the failure; no maintenance transition
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_trace([], 100.0, seed=1)
+
+    def test_duplicate_site_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_trace([_fast_profile(1), _fast_profile(1)], 100.0, seed=1)
+
+    def test_testbed_trace_smoke(self):
+        trace = generate_trace(load_testbed_profiles(), 2000.0, seed=1988)
+        assert trace.site_ids == frozenset(range(1, 9))
+        # beowulf (MTTF 10 d) fails roughly 200 times in 2000 days.
+        failures = [e for e in trace.transitions_of(2) if not e.up]
+        assert 120 <= len(failures) <= 280
+        # grendel (MTTF 365 d) fails far less often.
+        rare = [e for e in trace.transitions_of(3) if not e.up]
+        assert len(rare) < 40

@@ -1,0 +1,97 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--horizon", "1500", "--warmup", "100", "--batches", "2"]
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_testbed(self, capsys):
+        assert main(["testbed"]) == 0
+        out = capsys.readouterr().out
+        assert "csvax" in out and "Table 1" in out
+
+    def test_demo_replays_the_paper_example(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "o=8" in out          # after seven writes
+        assert "P={A}" in out        # A alone is the majority
+        assert "available: True" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--horizon", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "beowulf" in out
+
+    def test_table2_comparison(self, capsys):
+        assert main(["table2", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "(paper)" in out and "(ours)" in out
+        assert "A: 1, 2, 4" in out
+
+    def test_table3_plain(self, capsys):
+        assert main(["table3", *FAST, "--no-compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Mean Duration" in out
+
+    def test_study_prints_both_tables(self, capsys):
+        assert main(["study", *FAST, "--no-compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Unavailabilities" in out and "Mean Duration" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", *FAST, "--config", "A",
+                     "--rates", "0.5,2"]) == 0
+        out = capsys.readouterr().out
+        assert "ODV" in out and "OTDV" in out
+
+    def test_placement(self, capsys):
+        assert main(["placement", *FAST, "--copies", "2",
+                     "--policy", "MCV", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Best placements" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--days", "60", "--config", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "msgs/day" in out and "OTDV" in out
+
+    def test_trace_save(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--horizon", "500", "--save", str(path)]) == 0
+        from repro.failures import load_trace
+
+        assert load_trace(path).horizon == 500.0
+
+    def test_scenario_command(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        path = root / "examples" / "scenarios" / "configuration_h_split.json"
+        assert main(["scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "DENIED" in out             # the minority-side read
+        assert "'after the split'" in out  # the reunited read
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--horizon", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+        assert "enumeration" in out
+
+    def test_table2_intervals_flag(self, capsys):
+        assert main(["table2", *FAST, "--no-compare", "--intervals"]) == 0
+        out = capsys.readouterr().out
+        assert "confidence intervals" in out and "±" in out

@@ -1,0 +1,40 @@
+"""Every example script must run to completion (small arguments)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+# (script, argv) — arguments keep runtimes at a few seconds each.
+CASES = [
+    ("quickstart.py", []),
+    ("paper_walkthrough.py", []),
+    ("availability_study.py", ["2500"]),
+    ("placement_design.py", ["1500"]),
+    ("access_rate_tradeoff.py", ["2000"]),
+    ("message_overhead.py", ["90"]),
+    ("wan_point_to_point.py", []),
+    ("witness_quorums.py", ["2000"]),
+    ("message_level_demo.py", []),
+    ("capacity_planning.py", []),
+]
+
+
+class TestExamples:
+    def test_every_example_has_a_case(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        assert scripts == {name for name, _ in CASES}
+
+    @pytest.mark.parametrize("script, argv", CASES)
+    def test_example_runs_cleanly(self, script, argv):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES / script), *argv],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip(), f"{script} printed nothing"

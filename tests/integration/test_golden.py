@@ -1,0 +1,78 @@
+"""Golden regression values.
+
+Exact outputs of a small fixed-seed study.  Python's ``random.Random``
+(Mersenne Twister) is stable across CPython versions, so these values
+only change when the *model* changes — which is exactly what they are
+here to catch.  If a deliberate modelling change breaks them, update the
+numbers and record the reason in DESIGN.md.
+"""
+
+import pytest
+
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.runner import StudyParameters, run_study
+
+GOLDEN_PARAMS = StudyParameters(
+    horizon=4000.0, warmup=360.0, batches=4, seed=1988,
+    access_rate_per_day=1.0,
+)
+
+
+@pytest.fixture(scope="module")
+def golden_study():
+    return run_study(
+        GOLDEN_PARAMS,
+        configurations=[CONFIGURATIONS["A"], CONFIGURATIONS["F"]],
+    )
+
+
+class TestGoldenValues:
+    def test_values_are_reproducible_within_a_session(self, golden_study):
+        again = run_study(
+            GOLDEN_PARAMS,
+            configurations=[CONFIGURATIONS["A"], CONFIGURATIONS["F"]],
+        )
+        for key, cell in golden_study.items():
+            assert again[key].unavailability == cell.unavailability
+            assert again[key].mean_down_duration == cell.mean_down_duration
+
+    def test_golden_unavailabilities(self, golden_study):
+        expected = {
+            ("A", "MCV"): 0.00157186,
+            ("A", "DV"): 0.00398026,
+            ("A", "LDV"): 0.00062463,
+            ("A", "ODV"): 0.00044153,
+            ("A", "TDV"): 0.0,
+            ("A", "OTDV"): 0.0,
+            ("F", "DV"): 0.11232220,
+            ("F", "LDV"): 0.00219279,
+            ("F", "TDV"): 0.0,
+        }
+        for key, value in expected.items():
+            measured = golden_study[key].unavailability
+            assert measured == pytest.approx(value, abs=5e-7), (key, measured)
+
+    def test_golden_down_period_counts(self, golden_study):
+        expected = {
+            ("A", "MCV"): 61,
+            ("A", "DV"): 59,
+            ("A", "LDV"): 15,
+            ("A", "ODV"): 18,
+            ("A", "TDV"): 0,
+            ("F", "DV"): 62,
+            ("F", "LDV"): 13,
+        }
+        for key, value in expected.items():
+            assert golden_study[key].result.down_periods == value, key
+
+    def test_golden_committed_operations(self, golden_study):
+        """The eager protocols' state-update volume is deterministic."""
+        ldv_ops = golden_study[("A", "LDV")].result.committed_operations
+        odv_ops = golden_study[("A", "ODV")].result.committed_operations
+        assert ldv_ops > 0 and odv_ops > 0
+        again = run_study(
+            GOLDEN_PARAMS, configurations=[CONFIGURATIONS["A"]],
+            policies=("LDV", "ODV"),
+        )
+        assert again[("A", "LDV")].result.committed_operations == ldv_ops
+        assert again[("A", "ODV")].result.committed_operations == odv_ops

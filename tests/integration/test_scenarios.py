@@ -1,0 +1,120 @@
+"""End-to-end scenario tests: the paper's narrative findings replayed as
+deterministic engine histories on the real testbed."""
+
+import pytest
+
+from repro.engine.cluster import Cluster
+from repro.engine.file import ReplicatedFile
+from repro.errors import QuorumNotReachedError
+from repro.experiments.testbed import testbed_topology
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(testbed_topology())
+
+
+class TestConfigurationHStory:
+    """"The failure of site 5 in configuration H will normally leave the
+    system with two operational groups of the same size."""
+
+    def test_dv_is_stranded_by_the_split(self, cluster):
+        file = ReplicatedFile(cluster, {1, 2, 7, 8}, policy="DV")
+        cluster.fail_site(5)
+        assert not file.is_available()
+        # Repairing site 5 reunites the halves.
+        cluster.restart_site(5)
+        assert file.is_available()
+
+    def test_ldv_gives_the_split_to_the_max_side(self, cluster):
+        file = ReplicatedFile(cluster, {1, 2, 7, 8}, policy="LDV")
+        cluster.fail_site(5)
+        assert file.available_from(1)
+        assert file.available_from(2)
+        assert not file.available_from(7)
+        assert not file.available_from(8)
+
+    def test_writes_on_the_max_side_win_after_reunion(self, cluster):
+        file = ReplicatedFile(cluster, {1, 2, 7, 8}, policy="LDV",
+                              initial="v0")
+        cluster.fail_site(5)
+        file.write(1, "split-brain-proof")
+        with pytest.raises(QuorumNotReachedError):
+            file.write(7, "should never commit")
+        cluster.restart_site(5)
+        assert file.read(8) == "split-brain-proof"
+
+
+class TestConfigurationEStory:
+    """Four copies on one Ethernet: "a replicated object with a similar
+    copy configuration could remain continuously available for more than
+    three hundred years"."""
+
+    def test_tdv_survives_down_to_one_copy(self, cluster):
+        file = ReplicatedFile(cluster, {1, 2, 3, 4}, policy="TDV",
+                              initial="v0")
+        file.write(1, "v1")
+        for victim in (1, 2, 3):
+            cluster.fail_site(victim)
+        assert file.is_available()
+        assert file.read(4) == "v1"
+
+    def test_ldv_dies_at_the_tie(self, cluster):
+        file = ReplicatedFile(cluster, {1, 2, 3, 4}, policy="LDV")
+        cluster.fail_site(1)          # LDV shrinks to {2, 3, 4}
+        cluster.fail_site(2)          # {3, 4} majority of {2,3,4} - fine
+        cluster.fail_site(3)          # {4} is not a majority of {3, 4}
+        assert not file.is_available()
+
+    def test_tdv_recovery_cascades_back(self, cluster):
+        file = ReplicatedFile(cluster, {1, 2, 3, 4}, policy="TDV",
+                              initial="v0")
+        for victim in (1, 2, 3):
+            cluster.fail_site(victim)
+        file.write(4, "survivor")
+        for returning in (3, 2, 1):
+            cluster.restart_site(returning)   # eager: auto-reintegration
+        for site in (1, 2, 3, 4):
+            assert file.value_at(site) == "survivor"
+
+
+class TestGatewayPartitionStories:
+    def test_gateway_4_failure_isolates_gremlin(self, cluster):
+        """Configuration B: copies 1, 2, 6.  Site 4's failure leaves 6
+        alone; the {1, 2} side keeps the majority."""
+        file = ReplicatedFile(cluster, {1, 2, 6}, policy="LDV",
+                              initial="v0")
+        cluster.fail_site(4)
+        file.write(1, "mainland")
+        with pytest.raises(QuorumNotReachedError):
+            file.read(6)
+        cluster.restart_site(4)
+        assert file.read(6) == "mainland"
+
+    def test_double_gateway_failure_configuration_d(self, cluster):
+        """Copies 6, 7, 8: cutting both gateways splits them {6} | {7,8};
+        the pair on gamma holds the majority of three."""
+        file = ReplicatedFile(cluster, {6, 7, 8}, policy="LDV")
+        cluster.fail_site(4)
+        cluster.fail_site(5)
+        assert not file.available_from(6)
+        assert file.available_from(7)
+        file.write(7, "gamma-pair")
+        cluster.restart_site(5)   # reconnects gamma to the main segment
+        cluster.restart_site(4)   # reconnects beta: site 6 rejoins
+        assert file.read(6) == "gamma-pair"
+
+    def test_otdv_claims_within_gamma_after_partition(self, cluster):
+        """Copies 7, 8 plus 1: with gateway 5 down and 8 dead, 7 may
+        claim 8's vote (same segment) — OTDV keeps the gamma side going
+        if it holds the quorum."""
+        file = ReplicatedFile(cluster, {1, 7, 8}, policy="OTDV",
+                              initial="v0")
+        file.synchronize()
+        cluster.fail_site(5)      # {1,...} | {7, 8}
+        cluster.fail_site(8)      # 8 dead, not partitioned
+        # P = {1, 7, 8}; gamma block reaches 7, claims 8: T = {7, 8} ->
+        # 2 > 3/2: granted.
+        assert file.available_from(7)
+        # The alpha side reaches only copy 1: T = {1}, a lost tie.
+        assert not file.available_from(1)

@@ -1,0 +1,54 @@
+"""Unit tests for sites and the lexicographic ordering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.sites import Site, lexicographic_max
+
+
+class TestSite:
+    def test_default_name(self):
+        assert Site(3).name == "site3"
+
+    def test_explicit_name(self):
+        assert Site(1, "csvax").name == "csvax"
+
+    def test_default_rank_prefers_lower_ids(self):
+        """The paper orders A > B > C: first (lowest-numbered) site wins."""
+        assert Site(1).rank > Site(2).rank > Site(3).rank
+
+    def test_explicit_rank(self):
+        assert Site(5, rank=99.0).rank == 99.0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Site(-1)
+
+    def test_sites_are_hashable_and_frozen(self):
+        site = Site(1)
+        assert hash(site) == hash(Site(1))
+        with pytest.raises(AttributeError):
+            site.id = 2  # type: ignore[misc]
+
+
+class TestLexicographicMax:
+    def test_default_ranks_pick_lowest_id(self):
+        ranks = {i: float(-i) for i in (1, 2, 3)}
+        assert lexicographic_max([2, 3, 1], ranks) == 1
+        assert lexicographic_max([2, 3], ranks) == 2
+
+    def test_custom_ranks_override(self):
+        ranks = {1: 0.0, 2: 10.0, 3: 5.0}
+        assert lexicographic_max([1, 2, 3], ranks) == 2
+
+    def test_rank_ties_break_by_lower_id(self):
+        ranks = {4: 1.0, 7: 1.0}
+        assert lexicographic_max([7, 4], ranks) == 4
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lexicographic_max([], {})
+
+    def test_missing_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lexicographic_max([1, 2], {1: 0.0})

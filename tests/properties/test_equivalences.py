@@ -1,0 +1,112 @@
+"""Protocol equivalences the design promises, checked property-style.
+
+* ODV applies *exactly* the LDV rules — synchronising ODV at every
+  network event must yield the identical state trajectory as LDV.
+* OTDV is to TDV what ODV is to LDV.
+* On a fully dispersed placement (every copy its own segment), the
+  topological protocols reduce to their plain counterparts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lexicographic import LexicographicDynamicVoting
+from repro.core.optimistic import OptimisticDynamicVoting
+from repro.core.optimistic_topological import OptimisticTopologicalDynamicVoting
+from repro.core.topological import TopologicalDynamicVoting
+from repro.experiments.testbed import testbed_topology
+from repro.replica.state import ReplicaSet
+
+TOPOLOGY = testbed_topology()
+ALL_SITES = frozenset(range(1, 9))
+
+events_strategy = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=8), st.booleans()),
+    min_size=1,
+    max_size=30,
+)
+
+copy_sets = st.sampled_from([
+    frozenset({1, 2, 4}),
+    frozenset({1, 2, 6}),
+    frozenset({1, 2, 4, 6}),
+    frozenset({1, 2, 7, 8}),
+])
+
+# Every copy on its own segment (1 on alpha, 6 on beta, 8 on gamma).
+DISPERSED = frozenset({1, 6, 8})
+
+
+def _trajectory(protocol, copies, events, per_event_sync):
+    """Drive the protocol; return the state snapshot after every event."""
+    up = set(ALL_SITES)
+    snapshots = []
+    for site, goes_up in events:
+        if goes_up:
+            up.add(site)
+        else:
+            up.discard(site)
+        view = TOPOLOGY.view(up)
+        if per_event_sync:
+            protocol.synchronize(view)
+        snapshots.append(protocol.replicas.as_mapping())
+    return snapshots
+
+
+class TestTimingEquivalences:
+    @settings(max_examples=80, deadline=None)
+    @given(copies=copy_sets, events=events_strategy)
+    def test_odv_synced_per_event_is_ldv(self, copies, events):
+        ldv = LexicographicDynamicVoting(ReplicaSet(copies))
+        odv = OptimisticDynamicVoting(ReplicaSet(copies))
+        a = _trajectory(ldv, copies, events, per_event_sync=True)
+        b = _trajectory(odv, copies, events, per_event_sync=True)
+        assert a == b
+
+    @settings(max_examples=80, deadline=None)
+    @given(copies=copy_sets, events=events_strategy)
+    def test_otdv_synced_per_event_is_tdv(self, copies, events):
+        tdv = TopologicalDynamicVoting(ReplicaSet(copies))
+        otdv = OptimisticTopologicalDynamicVoting(ReplicaSet(copies))
+        a = _trajectory(tdv, copies, events, per_event_sync=True)
+        b = _trajectory(otdv, copies, events, per_event_sync=True)
+        assert a == b
+
+
+class TestDispersedPlacementEquivalences:
+    @settings(max_examples=80, deadline=None)
+    @given(events=events_strategy)
+    def test_tdv_equals_ldv_when_no_segment_is_shared(self, events):
+        """Configuration C's identity, as a trajectory property: with no
+        two copies on one segment, T = Q at every step — except that the
+        lineage guard can *additionally* deny stale blocks, which for
+        non-topological protocols are provably denied anyway."""
+        ldv = LexicographicDynamicVoting(ReplicaSet(DISPERSED))
+        tdv = TopologicalDynamicVoting(ReplicaSet(DISPERSED))
+        up = set(ALL_SITES)
+        for site, goes_up in events:
+            if goes_up:
+                up.add(site)
+            else:
+                up.discard(site)
+            view = TOPOLOGY.view(up)
+            ldv.synchronize(view)
+            tdv.synchronize(view)
+            assert ldv.replicas.as_mapping() == tdv.replicas.as_mapping()
+            assert ldv.is_available(view) == tdv.is_available(view)
+
+    @settings(max_examples=80, deadline=None)
+    @given(events=events_strategy)
+    def test_availability_verdicts_agree_per_block(self, events):
+        ldv = LexicographicDynamicVoting(ReplicaSet(DISPERSED))
+        tdv = TopologicalDynamicVoting(ReplicaSet(DISPERSED))
+        up = set(ALL_SITES)
+        for site, goes_up in events:
+            if goes_up:
+                up.add(site)
+            else:
+                up.discard(site)
+            view = TOPOLOGY.view(up)
+            ldv.synchronize(view)
+            tdv.synchronize(view)
+            assert ldv.granting_blocks(view) == tdv.granting_blocks(view)

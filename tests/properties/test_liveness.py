@@ -1,0 +1,100 @@
+"""Liveness: whatever happened, a fully healed network recovers.
+
+After an arbitrary fault history, restoring every site and running one
+synchronisation must leave every policy available, with every copy
+holding the identical, newest state.  (Safety without this would be
+trivial — a protocol that never grants is perfectly consistent.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import PAPER_POLICIES, make_protocol
+from repro.errors import QuorumNotReachedError
+from repro.experiments.testbed import testbed_topology
+from repro.replica.state import ReplicaSet
+
+TOPOLOGY = testbed_topology()
+ALL_SITES = frozenset(range(1, 9))
+
+events_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.sampled_from(["fail", "restart"]),
+                  st.integers(min_value=1, max_value=8)),
+        st.tuples(st.sampled_from(["read", "write"]),
+                  st.integers(min_value=1, max_value=8)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+copy_sets = st.sampled_from([
+    frozenset({1, 2, 4}),
+    frozenset({1, 6, 8}),
+    frozenset({6, 7, 8}),
+    frozenset({1, 2, 4, 6}),
+    frozenset({1, 2, 7, 8}),
+])
+
+
+class TestHealedNetworkRecovers:
+    @pytest.mark.parametrize("policy", PAPER_POLICIES + ("AC", "JM-DV", "DVR"))
+    @settings(max_examples=30, deadline=None)
+    @given(copies=copy_sets, events=events_strategy)
+    def test_full_heal_restores_availability(self, policy, copies, events):
+        protocol = make_protocol(policy, ReplicaSet(copies))
+        up = set(ALL_SITES)
+        for kind, site in events:
+            view = TOPOLOGY.view(up)
+            try:
+                if kind == "fail":
+                    up.discard(site)
+                    if protocol.eager:
+                        protocol.synchronize(TOPOLOGY.view(up))
+                elif kind == "restart":
+                    up.add(site)
+                    if protocol.eager:
+                        protocol.synchronize(TOPOLOGY.view(up))
+                elif kind == "read":
+                    protocol.read(view, site)
+                else:
+                    protocol.write(view, site)
+            except QuorumNotReachedError:
+                continue
+        healed = TOPOLOGY.view(ALL_SITES)
+        protocol.synchronize(healed)
+        assert protocol.is_available(healed), policy
+        # And availability is from exactly one block (the whole network).
+        assert len(protocol.granting_blocks(healed)) == 1
+
+    @pytest.mark.parametrize("policy", ("LDV", "ODV", "TDV", "OTDV"))
+    @settings(max_examples=30, deadline=None)
+    @given(copies=copy_sets, events=events_strategy)
+    def test_full_heal_converges_all_copies(self, policy, copies, events):
+        """For the dynamic family, healing also re-unifies state: every
+        copy ends at the same (o, v, P) with P = all copies."""
+        protocol = make_protocol(policy, ReplicaSet(copies))
+        up = set(ALL_SITES)
+        for kind, site in events:
+            view = TOPOLOGY.view(up)
+            try:
+                if kind == "fail":
+                    up.discard(site)
+                elif kind == "restart":
+                    up.add(site)
+                elif kind == "read":
+                    protocol.read(view, site)
+                else:
+                    protocol.write(view, site)
+                if protocol.eager and kind in ("fail", "restart"):
+                    protocol.synchronize(TOPOLOGY.view(up))
+            except QuorumNotReachedError:
+                continue
+        healed = TOPOLOGY.view(ALL_SITES)
+        protocol.synchronize(healed)
+        triples = {
+            protocol.replicas.state(s).snapshot() for s in copies
+        }
+        assert len(triples) == 1
+        assert next(iter(triples))[2] == copies

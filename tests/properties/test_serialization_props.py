@@ -1,0 +1,62 @@
+"""Property tests for the persistence formats: arbitrary valid traces
+round-trip losslessly, and evaluating a restored trace gives identical
+numbers to the original."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.evaluator import evaluate_policy
+from repro.failures.serialization import trace_from_dict, trace_to_dict
+from repro.failures.trace import FailureTrace, TraceEvent
+from repro.net.topology import single_segment
+
+
+@st.composite
+def traces(draw):
+    n_sites = draw(st.integers(min_value=1, max_value=5))
+    sites = list(range(1, n_sites + 1))
+    horizon = draw(st.floats(min_value=10.0, max_value=1000.0,
+                             allow_nan=False, allow_infinity=False))
+    raw = draw(st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=horizon,
+                      allow_nan=False, allow_infinity=False),
+            st.sampled_from(sites),
+            st.booleans(),
+        ),
+        max_size=40,
+    ))
+    events = [TraceEvent(t, s, up)
+              for t, s, up in sorted(raw, key=lambda e: e[0])]
+    return FailureTrace(sites, events, horizon)
+
+
+class TestTraceRoundTripProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(trace=traces())
+    def test_lossless_round_trip(self, trace):
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.site_ids == trace.site_ids
+        assert rebuilt.horizon == trace.horizon
+        assert rebuilt.events == trace.events
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=traces())
+    def test_restored_trace_evaluates_identically(self, trace):
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        topo = single_segment(max(trace.site_ids))
+        copies = trace.site_ids
+        a = evaluate_policy("MCV", topo, copies, trace,
+                            warmup=0.0, batches=1)
+        b = evaluate_policy("MCV", topo, copies, rebuilt,
+                            warmup=0.0, batches=1)
+        assert a.unavailability == b.unavailability
+        assert a.down_periods == b.down_periods
+
+    @settings(max_examples=150, deadline=None)
+    @given(trace=traces())
+    def test_site_availability_survives(self, trace):
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        for site in trace.site_ids:
+            assert (rebuilt.site_availability(site)
+                    == trace.site_availability(site))

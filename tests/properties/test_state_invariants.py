@@ -1,0 +1,124 @@
+"""Properties of the per-copy protocol state under random operation
+histories: monotonicity, v <= o, generation coherence, partition-set
+soundness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import PAPER_POLICIES, make_protocol
+from repro.errors import QuorumNotReachedError
+from repro.experiments.testbed import testbed_topology
+from repro.replica.state import ReplicaSet
+
+TOPOLOGY = testbed_topology()
+ALL_SITES = frozenset(range(1, 9))
+
+step_strategy = st.one_of(
+    st.tuples(st.sampled_from(["fail", "restart"]),
+              st.integers(min_value=1, max_value=8)),
+    st.tuples(st.sampled_from(["read", "write", "recover"]),
+              st.integers(min_value=1, max_value=8)),
+    st.tuples(st.just("sync"), st.just(0)),
+)
+
+copy_sets = st.sampled_from([
+    frozenset({1, 2, 4}),
+    frozenset({1, 6, 8}),
+    frozenset({1, 2, 4, 6}),
+    frozenset({1, 2, 7, 8}),
+])
+
+
+def _snapshot(replicas):
+    return {s: replicas.state(s).snapshot() for s in replicas.copy_sites}
+
+
+def _check_invariants(replicas, before, after):
+    for site, (op_b, v_b, _) in before.items():
+        op_a, v_a, p_a = after[site]
+        assert op_a >= op_b, f"operation went backwards at {site}"
+        assert v_a >= v_b, f"version went backwards at {site}"
+        assert v_a <= op_a, f"v > o at {site}"
+        assert p_a, f"empty partition set at {site}"
+    # Generation coherence: equal operation numbers imply equal triples.
+    by_op = {}
+    for site, triple in after.items():
+        by_op.setdefault(triple[0], set()).add(triple)
+    for op, triples in by_op.items():
+        assert len(triples) == 1, f"divergent triples at o={op}: {triples}"
+
+
+class TestStateInvariants:
+    @pytest.mark.parametrize("policy", PAPER_POLICIES)
+    @settings(max_examples=40, deadline=None)
+    @given(copies=copy_sets,
+           steps=st.lists(step_strategy, min_size=1, max_size=40))
+    def test_invariants_hold_under_random_histories(self, policy, copies, steps):
+        replicas = ReplicaSet(copies)
+        protocol = make_protocol(policy, replicas)
+        up = set(ALL_SITES)
+        for kind, site in steps:
+            before = _snapshot(replicas)
+            view = TOPOLOGY.view(up)
+            try:
+                if kind == "fail":
+                    up.discard(site)
+                    if protocol.eager:
+                        protocol.synchronize(TOPOLOGY.view(up))
+                elif kind == "restart":
+                    up.add(site)
+                    if protocol.eager:
+                        protocol.synchronize(TOPOLOGY.view(up))
+                elif kind == "read":
+                    protocol.read(view, site)
+                elif kind == "write":
+                    protocol.write(view, site)
+                elif kind == "recover":
+                    if site in copies:
+                        protocol.recover(view, site)
+                elif kind == "sync":
+                    protocol.synchronize(view)
+            except QuorumNotReachedError:
+                continue
+            _check_invariants(replicas, before, _snapshot(replicas))
+
+    @pytest.mark.parametrize("policy", ["LDV", "ODV", "TDV", "OTDV"])
+    @settings(max_examples=40, deadline=None)
+    @given(copies=copy_sets,
+           steps=st.lists(step_strategy, min_size=1, max_size=40))
+    def test_partition_set_members_received_the_commit(
+        self, policy, copies, steps
+    ):
+        """Soundness: every member of a committed partition set carries
+        that same commit — P never names a site that missed it."""
+        replicas = ReplicaSet(copies)
+        protocol = make_protocol(policy, replicas)
+        up = set(ALL_SITES)
+        for kind, site in steps:
+            view = TOPOLOGY.view(up)
+            try:
+                if kind == "fail":
+                    up.discard(site)
+                    if protocol.eager:
+                        protocol.synchronize(TOPOLOGY.view(up))
+                elif kind == "restart":
+                    up.add(site)
+                    if protocol.eager:
+                        protocol.synchronize(TOPOLOGY.view(up))
+                elif kind in ("read", "write"):
+                    getattr(protocol, kind)(view, site)
+                elif kind == "recover" and site in copies:
+                    protocol.recover(view, site)
+                else:
+                    protocol.synchronize(view)
+            except QuorumNotReachedError:
+                continue
+            # For the copy/copies at the newest generation, every member
+            # of their partition set must hold the identical triple.
+            top = replicas.max_operation(copies)
+            leaders = [s for s in copies
+                       if replicas.state(s).operation == top]
+            triple = replicas.state(leaders[0]).snapshot()
+            for member in triple[2]:
+                assert replicas.state(member).snapshot() == triple

@@ -1,0 +1,133 @@
+"""Stateful (rule-based) testing of the replicated-file engine.
+
+Hypothesis drives an arbitrary interleaving of operations and faults
+against one file; class-level invariants are re-checked after *every*
+rule — the closest thing to a model checker in the suite.
+
+Model kept alongside the system: the last granted write's value, and
+each site's health.  Invariants:
+
+* a granted read returns the modelled value;
+* at most one partition block ever grants;
+* per-copy state stays monotone and mutually consistent;
+* the payload stored at any copy never carries a version newer than the
+  protocol state admits.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.engine.cluster import Cluster
+from repro.engine.file import ReplicatedFile
+from repro.errors import QuorumNotReachedError, SiteUnavailableError
+from repro.experiments.testbed import testbed_topology
+
+SITES = st.integers(min_value=1, max_value=8)
+POLICIES = st.sampled_from(["MCV", "DV", "LDV", "ODV", "TDV", "OTDV"])
+COPIES = st.sampled_from([
+    frozenset({1, 2, 4}),
+    frozenset({1, 2, 6}),
+    frozenset({1, 2, 4, 6}),
+    frozenset({1, 2, 7, 8}),
+])
+
+
+class ReplicatedFileMachine(RuleBasedStateMachine):
+    """One file on the testbed under an arbitrary fault/op interleaving."""
+
+    @initialize(policy=POLICIES, copies=COPIES)
+    def setup(self, policy, copies):
+        self.cluster = Cluster(testbed_topology())
+        self.file = ReplicatedFile(self.cluster, copies, policy=policy,
+                                   initial="v0")
+        self.model_value = "v0"
+        self.counter = 0
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @rule(site=SITES)
+    def fail_site(self, site):
+        self.cluster.fail_site(site)
+
+    @rule(site=SITES)
+    def restart_site(self, site):
+        self.cluster.restart_site(site)
+
+    @rule(site=SITES)
+    def write(self, site):
+        self.counter += 1
+        value = f"v{self.counter}"
+        try:
+            self.file.write(site, value)
+            self.model_value = value
+        except (QuorumNotReachedError, SiteUnavailableError):
+            pass
+
+    @rule(site=SITES)
+    def read(self, site):
+        try:
+            got = self.file.read(site)
+        except (QuorumNotReachedError, SiteUnavailableError):
+            return
+        assert got == self.model_value, (
+            f"read {got!r}, last granted write {self.model_value!r}"
+        )
+
+    @rule(site=SITES)
+    def recover(self, site):
+        if site in self.file.copy_sites and self.cluster.is_up(site):
+            self.file.recover_site(site)
+
+    @rule()
+    def synchronize(self):
+        self.file.synchronize()
+
+    # ------------------------------------------------------------------
+    # invariants, re-checked after every rule
+    # ------------------------------------------------------------------
+    @invariant()
+    def at_most_one_majority_partition(self):
+        view = self.cluster.view()
+        granting = self.file.protocol.granting_blocks(view)
+        assert len(granting) <= 1
+
+    @invariant()
+    def replica_state_is_coherent(self):
+        replicas = self.file.protocol.replicas
+        by_operation = {}
+        for sid in self.file.copy_sites:
+            state = replicas.state(sid)
+            assert state.version <= state.operation
+            assert state.partition_set
+            by_operation.setdefault(state.operation, set()).add(
+                state.snapshot()
+            )
+        for operation, triples in by_operation.items():
+            assert len(triples) == 1, (
+                f"divergent triples at o={operation}: {triples}"
+            )
+
+    @invariant()
+    def store_versions_never_exceed_state(self):
+        replicas = self.file.protocol.replicas
+        for sid in self.file.protocol.data_sites:
+            assert self.file.version_at(sid) <= replicas.state(sid).version
+
+
+# The topological protocols run with the lineage guard here, so full
+# consistency is expected for all six policies.
+TestReplicatedFileMachine = pytest.mark.filterwarnings(
+    "ignore::hypothesis.errors.NonInteractiveExampleWarning"
+)(
+    settings(max_examples=25, stateful_step_count=40, deadline=None)(
+        ReplicatedFileMachine
+    ).TestCase
+)

@@ -1,0 +1,93 @@
+"""Property tests for randomly generated segmented topologies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.sites import Site
+from repro.net.topology import SegmentedTopology
+
+
+@st.composite
+def segmented_topologies(draw):
+    """Random segment layouts with random gateway assignments."""
+    n_sites = draw(st.integers(min_value=2, max_value=10))
+    n_segments = draw(st.integers(min_value=1, max_value=min(4, n_sites)))
+    names = [f"seg{i}" for i in range(n_segments)]
+    # Assign every site a home segment; guarantee no segment is empty by
+    # seeding one site per segment first.
+    sites = list(range(1, n_sites + 1))
+    assignment = {}
+    for i, name in enumerate(names):
+        assignment[sites[i]] = name
+    for site in sites[n_segments:]:
+        assignment[site] = draw(st.sampled_from(names))
+    segments = {name: [s for s, seg in assignment.items() if seg == name]
+                for name in names}
+    # Gateways: each joins its home segment and one other.
+    gateways = {}
+    if n_segments > 1:
+        n_gateways = draw(st.integers(min_value=0, max_value=n_sites // 2))
+        candidates = draw(st.permutations(sites))
+        for site in candidates[:n_gateways]:
+            home = assignment[site]
+            other = draw(st.sampled_from([n for n in names if n != home]))
+            gateways[site] = (home, other)
+    return SegmentedTopology([Site(s) for s in sites], segments, gateways)
+
+
+@st.composite
+def topology_and_up(draw):
+    topo = draw(segmented_topologies())
+    ids = sorted(topo.site_ids)
+    up = draw(st.sets(st.sampled_from(ids)))
+    return topo, frozenset(up)
+
+
+class TestSegmentedTopologyProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(pair=topology_and_up())
+    def test_blocks_partition_the_up_set(self, pair):
+        topo, up = pair
+        blocks = topo.blocks(up)
+        union = frozenset().union(*blocks) if blocks else frozenset()
+        assert union == up
+        assert sum(len(b) for b in blocks) == len(up)
+
+    @settings(max_examples=200, deadline=None)
+    @given(pair=topology_and_up())
+    def test_same_segment_up_sites_share_a_block(self, pair):
+        """The indivisible-segment guarantee the topological protocols
+        rely on: up sites of one segment are never separated."""
+        topo, up = pair
+        blocks = topo.blocks(up)
+        for name in topo.segment_names:
+            members = sorted(topo.segment_members(name) & up)
+            if len(members) < 2:
+                continue
+            holder = next(b for b in blocks if members[0] in b)
+            assert all(m in holder for m in members)
+
+    @settings(max_examples=200, deadline=None)
+    @given(pair=topology_and_up())
+    def test_blocks_shrink_monotonically_with_failures(self, pair):
+        """Removing a site never merges two blocks."""
+        topo, up = pair
+        if not up:
+            return
+        victim = sorted(up)[0]
+        before = topo.blocks(up)
+        after = topo.blocks(up - {victim})
+        # Every block after the failure is a subset of one block before.
+        for block in after:
+            assert any(block <= b for b in before)
+
+    @settings(max_examples=200, deadline=None)
+    @given(pair=topology_and_up())
+    def test_views_are_consistent_with_blocks(self, pair):
+        topo, up = pair
+        view = topo.view(up)
+        for block in view.blocks:
+            for a in block:
+                for b in block:
+                    assert view.can_communicate(a, b)
+        assert view.up == up

@@ -1,0 +1,88 @@
+"""Property tests for the availability tracker against a brute-force
+reference integrator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.tracker import AvailabilityTracker
+
+transitions_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0,
+                  allow_nan=False, allow_infinity=False),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=30,
+).map(lambda items: sorted(items, key=lambda t: t[0]))
+
+
+def _reference(transitions, horizon, warmup):
+    """Brute-force: walk the timeline and integrate downtime directly."""
+    state = True
+    last = 0.0
+    down = 0.0
+    periods = []
+    open_since = None
+    for time, up in transitions:
+        if up != state:
+            if not state:
+                lo = max(last, warmup)
+                if time > lo:
+                    down += time - lo
+            if not up:
+                open_since = time
+            else:
+                start = max(open_since, warmup)
+                if time > start:
+                    periods.append(time - start)
+                open_since = None
+            state = up
+            last = time
+    if not state:
+        lo = max(last, warmup)
+        if horizon > lo:
+            down += horizon - lo
+        start = max(open_since, warmup)
+        if horizon > start:
+            periods.append(horizon - start)
+    return down, periods
+
+
+class TestTrackerAgainstReference:
+    @settings(max_examples=300, deadline=None)
+    @given(transitions=transitions_strategy,
+           warmup=st.floats(min_value=0.0, max_value=500.0))
+    def test_downtime_and_periods_match_reference(self, transitions, warmup):
+        horizon = 1000.0
+        tracker = AvailabilityTracker(warmup=warmup, keep_periods=True)
+        for time, up in transitions:
+            tracker.set_state(time, up)
+        tracker.finish(horizon)
+        expected_down, expected_periods = _reference(
+            transitions, horizon, warmup
+        )
+        assert abs(tracker.down_time - expected_down) < 1e-9
+        assert tracker.down_period_count == len(expected_periods)
+        if expected_periods:
+            expected_mean = sum(expected_periods) / len(expected_periods)
+            assert abs(tracker.mean_down_duration() - expected_mean) < 1e-9
+
+    @settings(max_examples=200, deadline=None)
+    @given(transitions=transitions_strategy)
+    def test_unavailability_bounded(self, transitions):
+        tracker = AvailabilityTracker()
+        for time, up in transitions:
+            tracker.set_state(time, up)
+        tracker.finish(1000.0)
+        assert 0.0 <= tracker.unavailability() <= 1.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(transitions=transitions_strategy)
+    def test_periods_sum_to_down_time(self, transitions):
+        tracker = AvailabilityTracker(keep_periods=True)
+        for time, up in transitions:
+            tracker.set_state(time, up)
+        tracker.finish(1000.0)
+        total = sum(p.duration for p in tracker.periods)
+        assert abs(total - tracker.down_time) < 1e-9

@@ -1,0 +1,131 @@
+"""Unit tests for per-copy replica state."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.replica.state import ReplicaSet, ReplicaState
+
+
+class TestReplicaState:
+    def test_initial_triple(self):
+        state = ReplicaState(1, partition_set={1, 2, 3})
+        assert state.operation == 1
+        assert state.version == 1
+        assert state.partition_set == frozenset({1, 2, 3})
+
+    def test_commit_installs_new_triple(self):
+        state = ReplicaState(1, partition_set={1, 2})
+        state.commit(5, 3, {1})
+        assert state.snapshot() == (5, 3, frozenset({1}))
+
+    def test_operation_monotonicity_enforced(self):
+        state = ReplicaState(1, operation=5, version=3, partition_set={1})
+        with pytest.raises(ProtocolError):
+            state.commit(4, 3, {1})
+
+    def test_version_monotonicity_enforced(self):
+        state = ReplicaState(1, operation=5, version=3, partition_set={1})
+        with pytest.raises(ProtocolError):
+            state.commit(6, 2, {1})
+
+    def test_version_cannot_exceed_operation(self):
+        state = ReplicaState(1, partition_set={1})
+        with pytest.raises(ProtocolError):
+            state.commit(3, 4, {1})
+
+    def test_empty_partition_set_rejected_on_commit(self):
+        state = ReplicaState(1, partition_set={1})
+        with pytest.raises(ProtocolError):
+            state.commit(2, 1, set())
+
+    def test_equal_numbers_allowed(self):
+        """Re-committing the same numbers is legal (RECOVER of a member)."""
+        state = ReplicaState(1, operation=5, version=3, partition_set={1})
+        state.commit(5, 3, {1, 2})
+        assert state.partition_set == frozenset({1, 2})
+
+    def test_construction_invariants(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaState(1, operation=0, partition_set={1})
+        with pytest.raises(ConfigurationError):
+            ReplicaState(1, operation=2, version=3, partition_set={1})
+        with pytest.raises(ConfigurationError):
+            ReplicaState(1, partition_set=set())
+
+    def test_adopt_copies_other_state(self):
+        source = ReplicaState(1, operation=9, version=7, partition_set={1, 2})
+        target = ReplicaState(2, partition_set={1, 2})
+        target.adopt(source)
+        assert target.snapshot() == source.snapshot()
+
+    def test_repr_shows_triple(self):
+        state = ReplicaState(1, operation=2, version=2, partition_set={1, 3})
+        assert "o=2" in repr(state) and "v=2" in repr(state)
+
+
+class TestReplicaSet:
+    def test_initialisation_matches_paper_example(self):
+        """Section 2.1: o = v = 1 and P = {A, B, C} at every copy."""
+        replicas = ReplicaSet({1, 2, 3})
+        for state in replicas:
+            assert state.operation == 1
+            assert state.version == 1
+            assert state.partition_set == frozenset({1, 2, 3})
+
+    def test_copy_sites(self):
+        assert ReplicaSet({4, 2, 7}).copy_sites == frozenset({2, 4, 7})
+
+    def test_state_lookup(self):
+        replicas = ReplicaSet({1, 2})
+        assert replicas.state(1).site_id == 1
+        with pytest.raises(ConfigurationError):
+            replicas.state(3)
+
+    def test_contains_and_len(self):
+        replicas = ReplicaSet({1, 2, 3})
+        assert 2 in replicas
+        assert 9 not in replicas
+        assert len(replicas) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaSet(set())
+
+    def test_reachable_intersects_block(self):
+        replicas = ReplicaSet({1, 2, 6})
+        assert replicas.reachable({1, 2, 3, 4}) == frozenset({1, 2})
+
+    def test_current_and_newest_sites(self):
+        replicas = ReplicaSet({1, 2, 3})
+        replicas.state(1).commit(5, 4, {1, 2})
+        replicas.state(2).commit(5, 4, {1, 2})
+        assert replicas.current_sites({1, 2, 3}) == frozenset({1, 2})
+        assert replicas.newest_sites({1, 2, 3}) == frozenset({1, 2})
+        assert replicas.current_sites({3}) == frozenset({3})
+
+    def test_newest_differs_from_current_after_reads(self):
+        """Reads bump o but not v: a copy that misses reads keeps the
+        newest version while falling out of the current set."""
+        replicas = ReplicaSet({1, 2, 3})
+        replicas.state(1).commit(5, 1, {1, 2})
+        replicas.state(2).commit(5, 1, {1, 2})
+        assert replicas.current_sites({1, 2, 3}) == frozenset({1, 2})
+        assert replicas.newest_sites({1, 2, 3}) == frozenset({1, 2, 3})
+
+    def test_max_operation_and_version(self):
+        replicas = ReplicaSet({1, 2})
+        replicas.state(1).commit(7, 3, {1})
+        assert replicas.max_operation({1, 2}) == 7
+        assert replicas.max_version({1, 2}) == 3
+
+    def test_queries_with_no_copies_raise(self):
+        replicas = ReplicaSet({1, 2})
+        with pytest.raises(ProtocolError):
+            replicas.current_sites({5, 6})
+
+    def test_as_mapping_snapshot(self):
+        replicas = ReplicaSet({1, 2})
+        snapshot = replicas.as_mapping()
+        assert snapshot[1] == (1, 1, frozenset({1, 2}))
+        replicas.state(1).commit(2, 2, {1})
+        assert snapshot[1] == (1, 1, frozenset({1, 2}))  # unchanged copy

@@ -1,0 +1,69 @@
+"""Unit tests for the versioned data store."""
+
+import pytest
+
+from repro.errors import ConfigurationError, StaleCopyError
+from repro.replica.store import VersionedStore
+
+
+class TestVersionedStore:
+    def test_initial_payload_everywhere(self):
+        store = VersionedStore({1, 2, 3}, initial="seed")
+        for site in (1, 2, 3):
+            assert store.get(site) == "seed"
+            assert store.version_at(site) == 1
+
+    def test_put_and_get(self):
+        store = VersionedStore({1, 2})
+        store.put(1, 2, "hello")
+        assert store.get(1) == "hello"
+        assert store.version_at(1) == 2
+        assert store.version_at(2) == 1
+
+    def test_put_same_version_allowed(self):
+        store = VersionedStore({1})
+        store.put(1, 1, "x")
+        assert store.get(1) == "x"
+
+    def test_put_older_version_rejected(self):
+        store = VersionedStore({1})
+        store.put(1, 5, "new")
+        with pytest.raises(StaleCopyError):
+            store.put(1, 4, "old")
+
+    def test_clone_copies_payload_and_version(self):
+        store = VersionedStore({1, 2})
+        store.put(1, 3, "data")
+        store.clone(1, 2)
+        assert store.get(2) == "data"
+        assert store.version_at(2) == 3
+
+    def test_clone_from_stale_source_rejected(self):
+        store = VersionedStore({1, 2})
+        store.put(2, 5, "newer")
+        with pytest.raises(StaleCopyError):
+            store.clone(1, 2)
+
+    def test_clone_equal_versions_is_noop_safe(self):
+        store = VersionedStore({1, 2}, initial="a")
+        store.clone(1, 2)
+        assert store.get(2) == "a"
+
+    def test_unknown_sites_rejected(self):
+        store = VersionedStore({1})
+        with pytest.raises(ConfigurationError):
+            store.get(9)
+        with pytest.raises(ConfigurationError):
+            store.put(9, 1, "x")
+        with pytest.raises(ConfigurationError):
+            store.clone(1, 9)
+
+    def test_empty_copy_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VersionedStore(set())
+
+    def test_payloads_may_be_any_object(self):
+        payload = {"k": [1, 2, 3]}
+        store = VersionedStore({1})
+        store.put(1, 2, payload)
+        assert store.get(1) is payload

@@ -1,0 +1,100 @@
+"""Unit tests for the event calendar."""
+
+import pytest
+
+from repro.sim.calendar import EventCalendar
+from repro.sim.events import Event, Priority
+
+
+def _event(time, seq=0, priority=Priority.DEFAULT):
+    return Event(time, lambda: None, priority=priority, seq=seq)
+
+
+class TestPushPop:
+    def test_pop_returns_earliest(self):
+        calendar = EventCalendar()
+        calendar.push(_event(5.0, seq=0))
+        calendar.push(_event(1.0, seq=1))
+        calendar.push(_event(3.0, seq=2))
+        assert calendar.pop().time == 1.0
+        assert calendar.pop().time == 3.0
+        assert calendar.pop().time == 5.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventCalendar().pop()
+
+    def test_len_counts_live_events(self):
+        calendar = EventCalendar()
+        assert len(calendar) == 0
+        calendar.push(_event(1.0))
+        calendar.push(_event(2.0))
+        assert len(calendar) == 2
+        calendar.pop()
+        assert len(calendar) == 1
+
+    def test_bool_reflects_liveness(self):
+        calendar = EventCalendar()
+        assert not calendar
+        calendar.push(_event(1.0))
+        assert calendar
+
+    def test_same_time_pops_in_seq_order(self):
+        calendar = EventCalendar()
+        events = [_event(1.0, seq=i) for i in range(5)]
+        for event in reversed(events):
+            calendar.push(event)
+        assert [calendar.pop().seq for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped_on_pop(self):
+        calendar = EventCalendar()
+        doomed = _event(1.0, seq=0)
+        survivor = _event(2.0, seq=1)
+        calendar.push(doomed)
+        calendar.push(survivor)
+        doomed.cancel()
+        calendar.note_cancelled()
+        assert calendar.pop() is survivor
+
+    def test_len_after_cancellation(self):
+        calendar = EventCalendar()
+        doomed = _event(1.0)
+        calendar.push(doomed)
+        doomed.cancel()
+        calendar.note_cancelled()
+        assert len(calendar) == 0
+        assert not calendar
+
+    def test_peek_skips_cancelled(self):
+        calendar = EventCalendar()
+        doomed = _event(1.0, seq=0)
+        survivor = _event(2.0, seq=1)
+        calendar.push(doomed)
+        calendar.push(survivor)
+        doomed.cancel()
+        calendar.note_cancelled()
+        assert calendar.peek() is survivor
+
+    def test_peek_empty_returns_none(self):
+        assert EventCalendar().peek() is None
+
+
+class TestClearAndIterate:
+    def test_clear_empties_calendar(self):
+        calendar = EventCalendar()
+        calendar.push(_event(1.0))
+        calendar.clear()
+        assert len(calendar) == 0
+        assert calendar.peek() is None
+
+    def test_iter_yields_only_live_events(self):
+        calendar = EventCalendar()
+        live = _event(1.0, seq=0)
+        dead = _event(2.0, seq=1)
+        calendar.push(live)
+        calendar.push(dead)
+        dead.cancel()
+        calendar.note_cancelled()
+        assert list(calendar) == [live]

@@ -1,0 +1,74 @@
+"""Unit tests for the event objects."""
+
+import pytest
+
+from repro.sim.events import Event, Priority
+
+
+def _noop():
+    return "fired"
+
+
+class TestEventOrdering:
+    def test_earlier_time_sorts_first(self):
+        early = Event(1.0, _noop, seq=5)
+        late = Event(2.0, _noop, seq=1)
+        assert early < late
+
+    def test_priority_breaks_time_ties(self):
+        urgent = Event(1.0, _noop, priority=Priority.URGENT, seq=9)
+        normal = Event(1.0, _noop, priority=Priority.DEFAULT, seq=0)
+        assert urgent < normal
+
+    def test_sequence_breaks_priority_ties(self):
+        first = Event(1.0, _noop, seq=0)
+        second = Event(1.0, _noop, seq=1)
+        assert first < second
+
+    def test_sort_key_composition(self):
+        event = Event(3.5, _noop, priority=Priority.ACCESS, seq=7)
+        assert event.sort_key() == (3.5, int(Priority.ACCESS), 7)
+
+    def test_state_change_precedes_access_at_same_instant(self):
+        repair = Event(1.0, _noop, priority=Priority.STATE_CHANGE, seq=9)
+        access = Event(1.0, _noop, priority=Priority.ACCESS, seq=0)
+        assert repair < access
+
+
+class TestEventLifecycle:
+    def test_fire_runs_the_action(self):
+        assert Event(0.0, _noop).fire() == "fired"
+
+    def test_fire_passes_through_return_value(self):
+        event = Event(0.0, lambda: 42)
+        assert event.fire() == 42
+
+    def test_cancel_marks_cancelled(self):
+        event = Event(0.0, _noop)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancel_is_idempotent(self):
+        event = Event(0.0, _noop)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_name_defaults_to_action_name(self):
+        assert Event(0.0, _noop).name == "_noop"
+
+    def test_explicit_name_wins(self):
+        assert Event(0.0, _noop, name="custom").name == "custom"
+
+
+class TestPriorityBands:
+    def test_band_order(self):
+        assert (
+            Priority.URGENT
+            < Priority.STATE_CHANGE
+            < Priority.DEFAULT
+            < Priority.ACCESS
+            < Priority.MEASUREMENT
+            < Priority.LATE
+        )

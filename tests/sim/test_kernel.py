@@ -1,0 +1,199 @@
+"""Unit tests for the simulation clock and run loop."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Priority
+from repro.sim.kernel import Simulation
+
+
+class TestScheduling:
+    def test_schedule_relative_delay(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(2.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulation(start_time=10.0)
+        fired = []
+        sim.schedule_at(12.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [12.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulation(start_time=5.0)
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_non_finite_time_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("inf"), lambda: None)
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_pending_counts_scheduled_events(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+
+
+class TestExecutionOrder:
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_priority_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(1.0, lambda: order.append("access"), priority=Priority.ACCESS)
+        sim.schedule(1.0, lambda: order.append("repair"),
+                     priority=Priority.STATE_CHANGE)
+        sim.run()
+        assert order == ["repair", "access"]
+
+    def test_same_time_same_priority_fifo(self):
+        sim = Simulation()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_with_events(self):
+        sim = Simulation()
+        times = []
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.schedule(4.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 4.0]
+        assert sim.now == 4.0
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulation()
+        fired = []
+
+        def chain(n):
+            fired.append((sim.now, n))
+            if n > 0:
+                sim.schedule(1.0, lambda: chain(n - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert fired == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+        assert sim.pending == 1
+
+    def test_run_until_includes_boundary_events(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=3.0)
+        assert fired == [3]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulation()
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+    def test_max_events_bound(self):
+        sim = Simulation()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_stop_terminates_run(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulation()
+
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_step_executes_exactly_one_event(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.step()
+        assert fired == [1]
+        assert sim.now == 1.0
+
+    def test_step_on_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Simulation().step()
+
+    def test_events_executed_counter(self):
+        sim = Simulation()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        sim = Simulation()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("no"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent_and_keeps_count_exact(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.pending == 1
+
+
+class TestReset:
+    def test_reset_clears_events_and_clock(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+
+    def test_reset_allows_fresh_start_time(self):
+        sim = Simulation()
+        sim.reset(start_time=100.0)
+        assert sim.now == 100.0

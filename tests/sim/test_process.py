@@ -1,0 +1,121 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulation
+from repro.sim.process import Process, delay
+
+
+class TestProcessExecution:
+    def test_process_runs_through_delays(self):
+        sim = Simulation()
+        log = []
+
+        def worker():
+            log.append(("start", sim.now))
+            yield delay(2.0)
+            log.append(("middle", sim.now))
+            yield delay(3.0)
+            log.append(("end", sim.now))
+
+        Process(sim, worker()).start()
+        sim.run()
+        assert log == [("start", 0.0), ("middle", 2.0), ("end", 5.0)]
+
+    def test_initial_delay_offsets_start(self):
+        sim = Simulation()
+        log = []
+
+        def worker():
+            log.append(sim.now)
+            yield delay(1.0)
+            log.append(sim.now)
+
+        Process(sim, worker()).start(initial_delay=10.0)
+        sim.run()
+        assert log == [10.0, 11.0]
+
+    def test_finished_flag(self):
+        sim = Simulation()
+
+        def worker():
+            yield delay(1.0)
+
+        process = Process(sim, worker()).start()
+        assert not process.finished
+        sim.run()
+        assert process.finished
+
+    def test_infinite_process_runs_until_horizon(self):
+        sim = Simulation()
+        ticks = []
+
+        def clock():
+            while True:
+                yield delay(1.0)
+                ticks.append(sim.now)
+
+        Process(sim, clock()).start()
+        sim.run(until=5.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_two_processes_interleave(self):
+        sim = Simulation()
+        log = []
+
+        def maker(name, step):
+            def proc():
+                while sim.now < 6:
+                    yield delay(step)
+                    log.append((name, sim.now))
+            return proc
+
+        Process(sim, maker("fast", 1.0)()).start()
+        Process(sim, maker("slow", 2.5)()).start()
+        sim.run(until=5.0)
+        fast = [t for n, t in log if n == "fast"]
+        slow = [t for n, t in log if n == "slow"]
+        assert fast == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert slow == [2.5, 5.0]
+
+
+class TestProcessErrors:
+    def test_bad_yield_raises(self):
+        sim = Simulation()
+
+        def worker():
+            yield "not a delay"
+
+        Process(sim, worker()).start()
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_interrupt_stops_future_resumptions(self):
+        sim = Simulation()
+        log = []
+
+        def worker():
+            while True:
+                yield delay(1.0)
+                log.append(sim.now)
+
+        process = Process(sim, worker()).start()
+        sim.run(until=2.0)
+        process.interrupt()
+        sim.run(until=10.0)
+        assert log == [1.0, 2.0]
+        assert process.finished
+
+    def test_interrupt_before_start_event_fires(self):
+        sim = Simulation()
+        log = []
+
+        def worker():
+            log.append("ran")
+            yield delay(1.0)
+
+        process = Process(sim, worker()).start(initial_delay=5.0)
+        process.interrupt()
+        sim.run()
+        assert log == []

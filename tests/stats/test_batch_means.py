@@ -1,0 +1,147 @@
+"""Unit tests for batch-means estimation."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.batch_means import BatchMeans, ConfidenceInterval, t_critical
+
+
+class TestTCritical:
+    def test_known_values(self):
+        assert t_critical(1) == pytest.approx(12.706)
+        assert t_critical(10) == pytest.approx(2.228)
+        assert t_critical(30) == pytest.approx(2.042)
+
+    def test_interpolated_bands(self):
+        assert t_critical(35) == pytest.approx(2.021)
+        assert t_critical(100) == pytest.approx(1.980)
+        assert t_critical(10_000) == pytest.approx(1.960)
+
+    def test_monotone_nonincreasing(self):
+        values = [t_critical(d) for d in range(1, 200)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_dof(self):
+        with pytest.raises(ConfigurationError):
+            t_critical(0)
+
+
+class TestBatchMeans:
+    def test_mean_of_batches(self):
+        bm = BatchMeans()
+        bm.extend([1.0, 2.0, 3.0])
+        assert bm.mean() == 2.0
+
+    def test_variance_is_unbiased_sample_variance(self):
+        bm = BatchMeans()
+        bm.extend([1.0, 2.0, 3.0, 4.0])
+        assert bm.variance() == pytest.approx(5.0 / 3.0)
+
+    def test_interval_half_width(self):
+        bm = BatchMeans()
+        bm.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        ci = bm.interval()
+        expected = t_critical(4) * math.sqrt(bm.variance() / 5)
+        assert ci.mean == 3.0
+        assert ci.half_width == pytest.approx(expected)
+        assert ci.batches == 5
+
+    def test_identical_batches_have_zero_width(self):
+        bm = BatchMeans()
+        bm.extend([0.25] * 10)
+        ci = bm.interval()
+        assert ci.mean == 0.25
+        assert ci.half_width == 0.0
+
+    def test_single_batch_has_infinite_width(self):
+        bm = BatchMeans()
+        bm.add(0.5)
+        ci = bm.interval()
+        assert ci.mean == 0.5
+        assert math.isinf(ci.half_width)
+
+    def test_empty_estimator_raises(self):
+        with pytest.raises(ConfigurationError):
+            BatchMeans().mean()
+        with pytest.raises(ConfigurationError):
+            BatchMeans().interval()
+
+    def test_variance_needs_two_batches(self):
+        bm = BatchMeans()
+        bm.add(1.0)
+        with pytest.raises(ConfigurationError):
+            bm.variance()
+
+    def test_values_are_preserved_in_order(self):
+        bm = BatchMeans()
+        bm.extend([3.0, 1.0, 2.0])
+        assert bm.values == (3.0, 1.0, 2.0)
+        assert bm.count == 3
+
+
+class TestBatchAdequacy:
+    def test_iid_batches_look_independent(self):
+        import random
+
+        rng = random.Random(2)
+        bm = BatchMeans()
+        bm.extend([rng.random() for _ in range(200)])
+        assert abs(bm.lag1_autocorrelation()) < 0.2
+        assert bm.batches_look_independent()
+
+    def test_trending_batches_flagged(self):
+        bm = BatchMeans()
+        bm.extend([float(i) for i in range(50)])
+        assert bm.lag1_autocorrelation() > 0.8
+        assert not bm.batches_look_independent()
+
+    def test_alternating_batches_negative(self):
+        bm = BatchMeans()
+        bm.extend([0.0, 1.0] * 25)
+        assert bm.lag1_autocorrelation() < -0.8
+
+    def test_constant_batches_return_zero(self):
+        bm = BatchMeans()
+        bm.extend([0.5] * 10)
+        assert bm.lag1_autocorrelation() == 0.0
+
+    def test_needs_three_batches(self):
+        bm = BatchMeans()
+        bm.extend([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bm.lag1_autocorrelation()
+
+
+class TestConfidenceInterval:
+    def test_bounds(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, batches=5)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+
+    def test_contains(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, batches=5)
+        assert ci.contains(10.0)
+        assert ci.contains(8.0)
+        assert ci.contains(12.0)
+        assert not ci.contains(12.1)
+
+    def test_str_rendering(self):
+        text = str(ConfidenceInterval(0.5, 0.1, 4))
+        assert "0.5" in text and "n=4" in text
+
+    def test_interval_covers_true_mean_usually(self):
+        """Statistical sanity: intervals from iid batches cover the truth."""
+        import random
+
+        rng = random.Random(123)
+        covered = 0
+        trials = 200
+        for _ in range(trials):
+            bm = BatchMeans()
+            bm.extend([rng.gauss(5.0, 1.0) for _ in range(10)])
+            if bm.interval().contains(5.0):
+                covered += 1
+        # 95% nominal coverage; allow generous slack for 200 trials.
+        assert covered / trials > 0.85

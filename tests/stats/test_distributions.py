@@ -1,0 +1,165 @@
+"""Unit tests for the random-variate distributions."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.distributions import (
+    Constant,
+    Empirical,
+    Exponential,
+    ShiftedExponential,
+    Uniform,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestExponential:
+    def test_mean_property(self):
+        assert Exponential(36.5).mean == 36.5
+
+    def test_samples_are_positive(self, rng):
+        dist = Exponential(10.0)
+        assert all(dist.sample(rng) > 0 for _ in range(1000))
+
+    def test_sample_mean_converges(self, rng):
+        dist = Exponential(5.0)
+        n = 50_000
+        mean = sum(dist.sample(rng) for _ in range(n)) / n
+        assert mean == pytest.approx(5.0, rel=0.05)
+
+    def test_memoryless_shape(self, rng):
+        """About 1/e of samples exceed the mean for an exponential."""
+        dist = Exponential(1.0)
+        n = 50_000
+        exceed = sum(1 for _ in range(n) if dist.sample(rng) > 1.0) / n
+        assert exceed == pytest.approx(0.3679, abs=0.01)
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(0.0)
+        with pytest.raises(ConfigurationError):
+            Exponential(-1.0)
+
+    def test_deterministic_given_seed(self):
+        dist = Exponential(3.0)
+        a = [dist.sample(random.Random(7)) for _ in range(3)]
+        b = [dist.sample(random.Random(7)) for _ in range(3)]
+        assert a == b
+
+
+class TestConstant:
+    def test_always_same_value(self, rng):
+        dist = Constant(2.5)
+        assert [dist.sample(rng) for _ in range(5)] == [2.5] * 5
+
+    def test_mean_is_value(self):
+        assert Constant(7.0).mean == 7.0
+
+    def test_zero_allowed(self, rng):
+        assert Constant(0.0).sample(rng) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Constant(-0.1)
+
+
+class TestShiftedExponential:
+    def test_mean_is_sum_of_parts(self):
+        dist = ShiftedExponential(7.0, 7.0)
+        assert dist.mean == 14.0
+
+    def test_samples_never_below_offset(self, rng):
+        dist = ShiftedExponential(4.0, 24.0)
+        assert all(dist.sample(rng) >= 4.0 for _ in range(1000))
+
+    def test_zero_exponential_part_degenerates_to_constant(self, rng):
+        dist = ShiftedExponential(3.0, 0.0)
+        assert all(dist.sample(rng) == 3.0 for _ in range(10))
+
+    def test_sample_mean_converges(self, rng):
+        dist = ShiftedExponential(2.0, 3.0)
+        n = 50_000
+        mean = sum(dist.sample(rng) for _ in range(n)) / n
+        assert mean == pytest.approx(5.0, rel=0.05)
+
+    def test_accessors(self):
+        dist = ShiftedExponential(1.5, 2.5)
+        assert dist.offset == 1.5
+        assert dist.exponential_mean == 2.5
+
+    def test_negative_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShiftedExponential(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ShiftedExponential(1.0, -1.0)
+
+
+class TestUniform:
+    def test_samples_in_range(self, rng):
+        dist = Uniform(2.0, 5.0)
+        assert all(2.0 <= dist.sample(rng) <= 5.0 for _ in range(1000))
+
+    def test_mean(self):
+        assert Uniform(2.0, 6.0).mean == 4.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(5.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            Uniform(-1.0, 2.0)
+
+
+class TestEmpirical:
+    def test_mean_matches_samples(self):
+        dist = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert dist.mean == 2.5
+
+    def test_single_sample_is_constant(self, rng):
+        dist = Empirical([3.0])
+        assert dist.sample(rng) == 3.0
+        assert dist.quantile(0.5) == 3.0
+
+    def test_samples_within_observed_range(self, rng):
+        dist = Empirical([1.0, 5.0, 9.0])
+        assert all(1.0 <= dist.sample(rng) <= 9.0 for _ in range(1000))
+
+    def test_quantiles_interpolate(self):
+        dist = Empirical([0.0, 10.0])
+        assert dist.quantile(0.0) == 0.0
+        assert dist.quantile(0.5) == 5.0
+        assert dist.quantile(1.0) == 10.0
+
+    def test_quantile_bounds_checked(self):
+        dist = Empirical([1.0])
+        with pytest.raises(ConfigurationError):
+            dist.quantile(1.5)
+
+    def test_cdf(self):
+        dist = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(2.0) == 0.5
+        assert dist.cdf(10.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([])
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([-1.0, 2.0])
+
+    def test_sample_mean_tracks_interpolated_cdf_mean(self, rng):
+        data = sorted([0.5, 1.5, 2.5, 3.5, 10.0])
+        dist = Empirical(data)
+        # The sampler interpolates between order statistics; its exact
+        # mean is the trapezoidal average of the sorted data.
+        expected = (data[0] + 2 * sum(data[1:-1]) + data[-1]) / (2 * (len(data) - 1))
+        n = 50_000
+        mean = sum(dist.sample(rng) for _ in range(n)) / n
+        assert mean == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,88 @@
+"""Unit tests for running summary statistics."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.summaries import RunningStats
+
+
+class TestRunningStats:
+    def test_mean_and_count(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.total == 10.0
+
+    def test_variance_matches_two_pass(self):
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats = RunningStats()
+        stats.extend(data)
+        mean = sum(data) / len(data)
+        expected = sum((x - mean) ** 2 for x in data) / (len(data) - 1)
+        assert stats.variance == pytest.approx(expected)
+        assert stats.stdev == pytest.approx(math.sqrt(expected))
+
+    def test_extrema(self):
+        stats = RunningStats()
+        stats.extend([3.0, -1.0, 7.0])
+        assert stats.minimum == -1.0
+        assert stats.maximum == 7.0
+
+    def test_empty_raises(self):
+        stats = RunningStats()
+        with pytest.raises(ConfigurationError):
+            _ = stats.mean
+        with pytest.raises(ConfigurationError):
+            _ = stats.minimum
+
+    def test_variance_needs_two(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        with pytest.raises(ConfigurationError):
+            _ = stats.variance
+
+    def test_numerical_stability_with_large_offset(self):
+        stats = RunningStats()
+        base = 1e12
+        stats.extend([base + x for x in (1.0, 2.0, 3.0)])
+        assert stats.variance == pytest.approx(1.0, rel=1e-6)
+
+
+class TestMerge:
+    def test_merge_equals_single_pass(self):
+        rng = random.Random(9)
+        data = [rng.random() for _ in range(100)]
+        left = RunningStats()
+        right = RunningStats()
+        left.extend(data[:37])
+        right.extend(data[37:])
+        merged = left.merge(right)
+        whole = RunningStats()
+        whole.extend(data)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.variance == pytest.approx(whole.variance)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+
+    def test_merge_with_empty(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0])
+        merged = stats.merge(RunningStats())
+        assert merged.count == 2
+        assert merged.mean == 1.5
+        merged2 = RunningStats().merge(stats)
+        assert merged2.count == 2
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = RunningStats()
+        a.add(1.0)
+        b = RunningStats()
+        b.add(3.0)
+        a.merge(b)
+        assert a.count == 1
+        assert b.count == 1

@@ -1,0 +1,186 @@
+"""Unit tests for the availability tracker."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.stats.tracker import AvailabilityTracker, Interval
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval(1.0, 4.0).duration == 3.0
+
+    def test_clipped_inside(self):
+        assert Interval(1.0, 4.0).clipped(0.0, 10.0) == Interval(1.0, 4.0)
+
+    def test_clipped_partial_overlap(self):
+        assert Interval(1.0, 4.0).clipped(2.0, 3.0) == Interval(2.0, 3.0)
+        assert Interval(1.0, 4.0).clipped(3.0, 10.0) == Interval(3.0, 4.0)
+
+    def test_clipped_disjoint_is_none(self):
+        assert Interval(1.0, 4.0).clipped(5.0, 9.0) is None
+        assert Interval(1.0, 4.0).clipped(0.0, 1.0) is None
+
+
+class TestBasicTracking:
+    def test_always_up_means_zero_unavailability(self):
+        tracker = AvailabilityTracker()
+        tracker.finish(100.0)
+        assert tracker.unavailability() == 0.0
+        assert tracker.down_period_count == 0
+        assert tracker.mean_down_duration() == 0.0
+
+    def test_single_down_period(self):
+        tracker = AvailabilityTracker()
+        tracker.set_state(10.0, up=False)
+        tracker.set_state(15.0, up=True)
+        tracker.finish(100.0)
+        assert tracker.down_time == pytest.approx(5.0)
+        assert tracker.unavailability() == pytest.approx(0.05)
+        assert tracker.down_period_count == 1
+        assert tracker.mean_down_duration() == pytest.approx(5.0)
+
+    def test_multiple_periods_average(self):
+        tracker = AvailabilityTracker()
+        tracker.set_state(10.0, up=False)
+        tracker.set_state(12.0, up=True)
+        tracker.set_state(20.0, up=False)
+        tracker.set_state(26.0, up=True)
+        tracker.finish(100.0)
+        assert tracker.down_period_count == 2
+        assert tracker.mean_down_duration() == pytest.approx(4.0)
+        assert tracker.unavailability() == pytest.approx(0.08)
+
+    def test_initially_down(self):
+        tracker = AvailabilityTracker(initially_up=False)
+        tracker.set_state(5.0, up=True)
+        tracker.finish(10.0)
+        assert tracker.down_time == pytest.approx(5.0)
+        assert tracker.down_period_count == 1
+
+    def test_open_period_clipped_at_finish(self):
+        tracker = AvailabilityTracker()
+        tracker.set_state(90.0, up=False)
+        tracker.finish(100.0)
+        assert tracker.down_time == pytest.approx(10.0)
+        assert tracker.down_period_count == 1
+        assert tracker.mean_down_duration() == pytest.approx(10.0)
+
+    def test_redundant_transitions_ignored(self):
+        tracker = AvailabilityTracker()
+        tracker.set_state(5.0, up=True)
+        tracker.set_state(10.0, up=False)
+        tracker.set_state(12.0, up=False)
+        tracker.set_state(15.0, up=True)
+        tracker.finish(20.0)
+        assert tracker.down_period_count == 1
+        assert tracker.down_time == pytest.approx(5.0)
+
+    def test_zero_length_period_not_counted(self):
+        tracker = AvailabilityTracker()
+        tracker.set_state(5.0, up=False)
+        tracker.set_state(5.0, up=True)
+        tracker.finish(10.0)
+        assert tracker.down_period_count == 0
+        assert tracker.down_time == 0.0
+
+
+class TestWarmup:
+    def test_downtime_inside_warmup_discarded(self):
+        tracker = AvailabilityTracker(warmup=50.0)
+        tracker.set_state(10.0, up=False)
+        tracker.set_state(20.0, up=True)
+        tracker.finish(150.0)
+        assert tracker.down_time == 0.0
+        assert tracker.down_period_count == 0
+        assert tracker.observed_time == pytest.approx(100.0)
+
+    def test_straddling_period_clipped_at_warmup(self):
+        tracker = AvailabilityTracker(warmup=50.0)
+        tracker.set_state(40.0, up=False)
+        tracker.set_state(60.0, up=True)
+        tracker.finish(150.0)
+        assert tracker.down_time == pytest.approx(10.0)
+        assert tracker.down_period_count == 1
+        assert tracker.mean_down_duration() == pytest.approx(10.0)
+
+    def test_unavailability_uses_post_warmup_window(self):
+        tracker = AvailabilityTracker(warmup=100.0)
+        tracker.set_state(100.0, up=False)
+        tracker.set_state(110.0, up=True)
+        tracker.finish(200.0)
+        assert tracker.unavailability() == pytest.approx(0.1)
+
+
+class TestWarmupEdgeCases:
+    def test_warmup_beyond_horizon_gives_empty_window(self):
+        tracker = AvailabilityTracker(warmup=200.0)
+        tracker.set_state(10.0, up=False)
+        tracker.finish(100.0)
+        assert tracker.observed_time == 0.0
+        assert tracker.unavailability() == 0.0
+        assert tracker.down_period_count == 0
+
+    def test_down_at_warmup_boundary_counts_from_boundary(self):
+        tracker = AvailabilityTracker(warmup=50.0, initially_up=False)
+        tracker.set_state(60.0, up=True)
+        tracker.finish(100.0)
+        assert tracker.down_time == pytest.approx(10.0)
+        assert tracker.down_period_count == 1
+
+
+class TestPeriodsRecording:
+    def test_periods_kept_when_requested(self):
+        tracker = AvailabilityTracker(keep_periods=True)
+        tracker.set_state(1.0, up=False)
+        tracker.set_state(2.0, up=True)
+        tracker.set_state(8.0, up=False)
+        tracker.finish(10.0)
+        assert tracker.periods == (Interval(1.0, 2.0), Interval(8.0, 10.0))
+
+    def test_periods_empty_by_default(self):
+        tracker = AvailabilityTracker()
+        tracker.set_state(1.0, up=False)
+        tracker.set_state(2.0, up=True)
+        tracker.finish(10.0)
+        assert tracker.periods == ()
+
+
+class TestErrors:
+    def test_out_of_order_transition_rejected(self):
+        tracker = AvailabilityTracker()
+        tracker.set_state(10.0, up=False)
+        with pytest.raises(SimulationError):
+            tracker.set_state(5.0, up=True)
+
+    def test_results_unreadable_before_finish(self):
+        tracker = AvailabilityTracker()
+        with pytest.raises(SimulationError):
+            _ = tracker.down_time
+        with pytest.raises(SimulationError):
+            tracker.unavailability()
+
+    def test_transitions_after_finish_rejected(self):
+        tracker = AvailabilityTracker()
+        tracker.finish(10.0)
+        with pytest.raises(SimulationError):
+            tracker.set_state(11.0, up=False)
+
+    def test_finish_before_last_transition_rejected(self):
+        tracker = AvailabilityTracker()
+        tracker.set_state(10.0, up=False)
+        with pytest.raises(SimulationError):
+            tracker.finish(5.0)
+
+    def test_finish_is_idempotent(self):
+        tracker = AvailabilityTracker()
+        tracker.set_state(2.0, up=False)
+        tracker.finish(10.0)
+        tracker.finish(10.0)
+        assert tracker.down_time == pytest.approx(8.0)
+
+    def test_is_up_reflects_current_state(self):
+        tracker = AvailabilityTracker()
+        assert tracker.is_up
+        tracker.set_state(1.0, up=False)
+        assert not tracker.is_up
