@@ -8,8 +8,14 @@ Commands regenerate everything in the paper from the terminal:
 * ``repro study``     — both tables from one simulation;
 * ``repro sweep``     — the access-rate ablation (experiment X1);
 * ``repro placement`` — the copy-placement study (experiment X5);
-* ``repro trace``     — per-site availability of a generated trace;
+* ``repro trace``     — per-site availability of a generated trace, or,
+  given a scenario file, a full JSONL decision trace of its replay;
 * ``repro demo``      — the engine walkthrough from Section 2's example.
+
+Observability: a global ``--log-level`` flag configures the package
+logger; ``study``/``table2``/``table3`` and ``validate`` accept
+``--metrics-out PATH`` to write a run manifest plus metrics dump (see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.registry import PAPER_POLICIES, available_policies
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.configs import CONFIGURATIONS, configuration
 from repro.experiments.runner import StudyParameters, run_study
 from repro.experiments.sweep import access_rate_sweep, placement_sweep
@@ -45,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of Paris & Long, 'Efficient Dynamic Voting "
             "Algorithms' (ICDE 1988)."
         ),
+    )
+    from repro.obs.logging import LOG_LEVELS
+
+    parser.add_argument(
+        "--log-level", default=None, choices=sorted(LOG_LEVELS),
+        help="configure the 'repro' logger on stderr (default: off)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -76,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print 95%% batch-means confidence intervals")
         p.add_argument("--jobs", type=int, default=None,
                        help="evaluate cells in N parallel processes")
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write a run manifest + metrics JSON "
+                            "(per-cell wall-clock, quorum decision tallies)")
 
     p = sub.add_parser("sweep", help="access-rate ablation for ODV/OTDV")
     add_sim_args(p)
@@ -91,10 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(available_policies()))
     p.add_argument("--top", type=int, default=10, help="rows to print")
 
-    p = sub.add_parser("trace", help="per-site availability of a trace")
+    p = sub.add_parser(
+        "trace",
+        help="per-site availability of a trace, or a JSONL decision "
+             "trace of a scenario replay",
+    )
     add_sim_args(p)
+    p.add_argument("scenario", nargs="?", default=None,
+                   help="repro-scenario JSON file: replay it with full "
+                        "structured tracing instead of sampling a trace")
     p.add_argument("--save", metavar="PATH", default=None,
                    help="also write the generated trace to a JSON file")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="JSONL destination for the scenario decision "
+                        "trace (default: stdout)")
 
     p = sub.add_parser("overhead", help="per-policy message bill")
     add_sim_args(p)
@@ -108,6 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-check: simulator vs exact analytic availability",
     )
     add_sim_args(p)
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write a run manifest + metrics JSON for the "
+                        "validation checks")
 
     p = sub.add_parser("scenario", help="run a JSON scenario file")
     p.add_argument("file", help="path to a repro-scenario JSON document")
@@ -149,7 +178,46 @@ def _cmd_testbed(args: argparse.Namespace) -> None:
         )
 
 
+def _write_metrics_dump(
+    path: str,
+    command: str,
+    params: StudyParameters,
+    policies,
+    configurations,
+    metrics,
+    wall_clock_seconds: float,
+    **extra,
+) -> None:
+    """Write a ``{"manifest": ..., "metrics": ...}`` JSON document."""
+    import json
+    import pathlib
+
+    from repro.obs.manifest import build_manifest
+
+    cell_seconds = {
+        f"{labels.get('config', '?')}/{labels.get('policy', '?')}":
+            instrument.total
+        for name, labels, instrument in metrics.series()
+        if name == "cell.seconds"
+    }
+    manifest = build_manifest(
+        command, params, policies, configurations, **extra
+    ).finished(wall_clock_seconds, cell_seconds)
+    payload = {"manifest": manifest.to_dict(), "metrics": metrics.to_dict()}
+    try:
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot write metrics to {path}: {exc}"
+        ) from exc
+    print(f"metrics written to {path}", file=sys.stderr)
+
+
 def _cmd_tables(args: argparse.Namespace, which: str) -> None:
+    import time
+
+    from repro.obs.metrics import MetricsRegistry
+
     params = _params(args)
     print(
         f"simulating {params.horizon:.0f} days "
@@ -158,7 +226,18 @@ def _cmd_tables(args: argparse.Namespace, which: str) -> None:
         f"{params.access_rate_per_day:g} access/day) ...",
         file=sys.stderr,
     )
-    cells = run_study(params, jobs=getattr(args, "jobs", None))
+    metrics_out = getattr(args, "metrics_out", None)
+    metrics = MetricsRegistry() if metrics_out else None
+    started = time.perf_counter()
+    cells = run_study(params, jobs=getattr(args, "jobs", None),
+                      metrics=metrics)
+    elapsed = time.perf_counter() - started
+    if metrics_out:
+        _write_metrics_dump(
+            metrics_out, which, params, PAPER_POLICIES,
+            tuple(sorted(CONFIGURATIONS)), metrics, elapsed,
+            jobs=getattr(args, "jobs", None),
+        )
     if which in ("table2", "study"):
         if args.no_compare:
             print(format_table2(cells))
@@ -208,6 +287,37 @@ def _cmd_placement(args: argparse.Namespace) -> None:
     print(f"{'copies':<14}  {'segments':>8}  {'unavailability':>14}")
     for row in results[: args.top]:
         print(f"{row.label:<14}  {row.segments_used:>8}  {row.unavailability:>14.6f}")
+
+
+def _cmd_trace_scenario(args: argparse.Namespace) -> int:
+    """Replay a scenario file with full structured tracing (JSONL)."""
+    from repro.experiments.scenarios import load_scenario, run_scenario
+    from repro.experiments.testbed import testbed_topology
+    from repro.obs.tracer import JsonlSink, Tracer
+
+    spec = load_scenario(args.scenario)
+    try:
+        sink = JsonlSink(args.out if args.out else sys.stdout)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot write trace to {args.out}: {exc}"
+        ) from exc
+    tracer = Tracer(sink, scenario=spec.name)
+    try:
+        result = run_scenario(
+            testbed_topology(), spec.copy_sites, spec.policy, spec.steps,
+            initial=spec.initial, tracer=tracer,
+        )
+    finally:
+        tracer.close()
+    denied = len(result.denied_steps)
+    print(
+        f"scenario {spec.name!r}: {len(result.outcomes)} steps, "
+        f"{denied} denied, {sink.emitted} trace records"
+        + (f" -> {args.out}" if args.out else ""),
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -267,6 +377,8 @@ def _cmd_overhead(args: argparse.Namespace) -> None:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     """Cross-check the simulator against closed forms (DESIGN.md §4)."""
+    import time
+
     from repro.analysis.enumeration import (
         mcv_predicate,
         single_copy_predicate,
@@ -274,11 +386,27 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     )
     from repro.experiments.evaluator import evaluate_policy
     from repro.experiments.testbed import testbed_topology
+    from repro.obs.metrics import MetricsRegistry, MetricsSink
+    from repro.obs.tracer import Tracer
 
+    metrics_out = getattr(args, "metrics_out", None)
+    metrics = MetricsRegistry() if metrics_out else None
+    started = time.perf_counter()
     params = _params(args)
     topology = testbed_topology()
     trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
     measured_sites = {s: trace.site_availability(s) for s in range(1, 9)}
+
+    def evaluate_cell(policy, copies, config_key, **kwargs):
+        """evaluate_policy, tallied and timed when --metrics-out is set."""
+        if metrics is None:
+            return evaluate_policy(policy, topology, copies, trace, **kwargs)
+        with metrics.timed("cell.seconds", config=config_key, policy=policy):
+            return evaluate_policy(
+                policy, topology, copies, trace,
+                tracer=Tracer(MetricsSink(metrics, config=config_key)),
+                **kwargs,
+            )
 
     print(f"simulated {params.horizon:.0f} days (seed {params.seed})\n")
     failures = 0
@@ -306,8 +434,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     print("\n2. MCV availability vs exact 2^8-state enumeration:")
     for key in ("A", "B", "F"):
         copies = configuration(key).copy_sites
-        result = evaluate_policy("MCV", topology, copies, trace,
-                                 warmup=0.0, batches=1)
+        result = evaluate_cell("MCV", copies, key, warmup=0.0, batches=1)
         exact = static_availability(topology, measured_sites,
                                     mcv_predicate(copies))
         ok = abs(result.availability - exact) < 0.005
@@ -325,15 +452,21 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     access = poisson_times(params.access_rate_per_day, params.horizon,
                            params.seed)
     for policy in PAPER_POLICIES:
-        result = evaluate_policy(policy, topology, copies, trace,
-                                 warmup=0.0, batches=1,
-                                 access_times=access)
+        result = evaluate_cell(policy, copies, "A", warmup=0.0, batches=1,
+                               access_times=access)
         ok = result.availability <= bound + 0.002
         failures += 0 if ok else 1
         print(f"   {policy:<5} {result.availability:.6f} <= {bound:.6f}  "
               f"{'ok' if ok else 'VIOLATION'}")
 
     print(f"\n{'all checks passed' if failures == 0 else f'{failures} check(s) FAILED'}")
+    if metrics_out:
+        _write_metrics_dump(
+            metrics_out, "validate", params,
+            ("MCV",) + tuple(PAPER_POLICIES), ("A", "B", "F"),
+            metrics, time.perf_counter() - started,
+            failures=failures,
+        )
     return 0 if failures == 0 else 1
 
 
@@ -411,6 +544,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro`` and ``python -m repro``."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        from repro.obs.logging import configure_logging
+
+        configure_logging(args.log_level)
+    try:
+        return _dispatch(parser, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     command = args.command
     if command == "testbed":
         _cmd_testbed(args)
@@ -421,6 +566,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif command == "placement":
         _cmd_placement(args)
     elif command == "trace":
+        if args.scenario is not None:
+            return _cmd_trace_scenario(args)
         _cmd_trace(args)
     elif command == "overhead":
         _cmd_overhead(args)

@@ -20,11 +20,14 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass, field
-from typing import ClassVar, Optional
+from typing import TYPE_CHECKING, ClassVar, Optional
 
 from repro.errors import ConfigurationError, ProtocolError, QuorumNotReachedError
 from repro.net.views import NetworkView
 from repro.replica.state import ReplicaSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import Tracer
 
 __all__ = [
     "CommitRecord",
@@ -128,6 +131,70 @@ class VotingProtocol(abc.ABC):
     def __init__(self, replicas: ReplicaSet):
         self._replicas = replicas
         self._history: Optional[list["CommitRecord"]] = None
+        self._tracer: Optional["Tracer"] = None
+
+    # ------------------------------------------------------------------
+    # structured tracing
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Optional["Tracer"]) -> "VotingProtocol":
+        """Attach (or, with ``None``, detach) a structured-event tracer.
+
+        With a tracer attached, every quorum test emits a
+        ``quorum.granted`` / ``quorum.denied`` decision record carrying
+        the ``(o, v, P)`` context of Algorithm 1, plus
+        ``tiebreak.lexicographic`` and ``votes.carried`` records when
+        those rules fire.  Detached (the default) the hot path pays one
+        ``None`` check.  Returns ``self`` for chaining.
+        """
+        self._tracer = tracer
+        return self
+
+    def _trace_decision(
+        self,
+        verdict: Verdict,
+        tie_break_winner: Optional[int] = None,
+        carried: frozenset[int] = frozenset(),
+    ) -> None:
+        """Emit the decision records for one quorum test (tracer attached).
+
+        *tie_break_winner* is the lexicographic maximum that let an
+        exact half proceed (when that rule fired); *carried* the votes a
+        topological protocol claimed for unreachable segment mates.
+        """
+        tracer = self._tracer
+        assert tracer is not None
+        operation = version = None
+        if verdict.reference is not None:
+            anchor = self._replicas.state(verdict.reference)
+            operation, version = anchor.operation, anchor.version
+        tracer.record(
+            "quorum.granted" if verdict.granted else "quorum.denied",
+            policy=self.name,
+            block=verdict.block,
+            reachable=verdict.reachable,
+            counted=verdict.counted,
+            partition_set=verdict.partition_set,
+            reference=verdict.reference,
+            operation=operation,
+            version=version,
+            reason=verdict.reason,
+        )
+        if tie_break_winner is not None:
+            tracer.record(
+                "tiebreak.lexicographic",
+                policy=self.name,
+                partition_set=verdict.partition_set,
+                winner=tie_break_winner,
+                granted=verdict.granted,
+            )
+        if carried:
+            tracer.record(
+                "votes.carried",
+                policy=self.name,
+                carried=carried,
+                claimants=verdict.partition_set & verdict.reachable,
+                granted=verdict.granted,
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -315,7 +382,10 @@ class DynamicVotingFamily(VotingProtocol):
         replicas = self._replicas
         reachable = replicas.reachable(block)  # R
         if not reachable:
-            return Verdict.denial("no copies reachable in block", block)
+            verdict = Verdict.denial("no copies reachable in block", block)
+            if self._tracer is not None:
+                self._trace_decision(verdict)
+            return verdict
 
         current = replicas.current_sites(reachable)  # Q
         newest = replicas.newest_sites(reachable)  # S
@@ -336,7 +406,7 @@ class DynamicVotingFamily(VotingProtocol):
             # committed generation.
             global_top = replicas.max_operation(replicas.copy_sites)
             if anchor_state.operation < global_top:
-                return Verdict(
+                verdict = Verdict(
                     granted=False,
                     block=block,
                     reachable=reachable,
@@ -350,16 +420,21 @@ class DynamicVotingFamily(VotingProtocol):
                         "unreachable copy (lineage guard)"
                     ),
                 )
+                if self._tracer is not None:
+                    self._trace_decision(verdict)
+                return verdict
 
         counted = self._counted(view, reachable, partition_set, current)
         doubled = 2 * self._measure(counted)
         size = self._measure(partition_set)
+        tie_break_winner: Optional[int] = None
         if doubled > size:
             granted = True
             reason = ""
         elif self.tie_break and doubled == size and view.max_site(partition_set) in current:
             granted = True
             reason = ""
+            tie_break_winner = view.max_site(partition_set)
         elif doubled == size:
             if self.tie_break:
                 reason = (
@@ -376,7 +451,7 @@ class DynamicVotingFamily(VotingProtocol):
             reason = "fewer than half of the previous partition set reachable"
             granted = False
 
-        return Verdict(
+        verdict = Verdict(
             granted=granted,
             block=block,
             reachable=reachable,
@@ -387,6 +462,13 @@ class DynamicVotingFamily(VotingProtocol):
             reference=reference,
             reason=reason,
         )
+        if self._tracer is not None:
+            self._trace_decision(
+                verdict,
+                tie_break_winner=tie_break_winner,
+                carried=counted - reachable,
+            )
+        return verdict
 
     def _measure(self, sites: frozenset[int]) -> int:
         """How much voting power *sites* carry.

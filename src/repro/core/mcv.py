@@ -65,9 +65,13 @@ class MajorityConsensusVoting(VotingProtocol):
         replicas = self._replicas
         reachable = replicas.reachable(block)
         if not reachable:
-            return Verdict.denial("no copies reachable in block", block)
+            verdict = Verdict.denial("no copies reachable in block", block)
+            if self._tracer is not None:
+                self._trace_decision(verdict)
+            return verdict
         copies = replicas.copy_sites
         granted = 2 * len(reachable) > len(copies)
+        tie_break_winner = None
         if (
             not granted
             and self._tie_break
@@ -75,8 +79,9 @@ class MajorityConsensusVoting(VotingProtocol):
             and view.max_site(copies) in reachable
         ):
             granted = True
+            tie_break_winner = view.max_site(copies)
         newest = replicas.newest_sites(reachable)
-        return Verdict(
+        verdict = Verdict(
             granted=granted,
             block=block,
             reachable=reachable,
@@ -90,6 +95,9 @@ class MajorityConsensusVoting(VotingProtocol):
                 f"quorum is {self._quorum}"
             ),
         )
+        if self._tracer is not None:
+            self._trace_decision(verdict, tie_break_winner=tie_break_winner)
+        return verdict
 
     # ------------------------------------------------------------------
     def read(self, view: NetworkView, site_id: int) -> Verdict:

@@ -14,7 +14,10 @@ Message accounting follows the paper's operation structure (see
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import Tracer
 
 from repro.core.base import DynamicVotingFamily, Verdict, VotingProtocol
 from repro.core.registry import make_protocol
@@ -79,7 +82,30 @@ class ReplicatedFile:
         # Witness-style protocols keep payloads only at full data copies.
         self._store = VersionedStore(self._protocol.data_sites, initial)
         self._counters = MessageCounters()
+        self._tracer: Optional["Tracer"] = None
         cluster.register(self)
+
+    def attach_tracer(self, tracer: Optional["Tracer"]) -> "ReplicatedFile":
+        """Trace this file's operations and its protocol's quorum decisions.
+
+        The tracer is forwarded to the protocol (``quorum.*`` records)
+        and the file itself emits ``op.read`` / ``op.write`` /
+        ``op.recover`` records.  Pass ``None`` to detach.  Returns
+        ``self`` for chaining.
+        """
+        self._tracer = tracer
+        self._protocol.attach_tracer(tracer)
+        return self
+
+    def _trace_op(self, kind: str, site_id: int, verdict: Verdict) -> None:
+        if self._tracer is not None:
+            self._tracer.record(
+                kind,
+                file=self.name,
+                site=site_id,
+                granted=verdict.granted,
+                reason=verdict.reason,
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -132,6 +158,7 @@ class ReplicatedFile:
         view = self._view_for(at_site)
         verdict = self._protocol.read(view, at_site)
         self._account_operation(verdict, at_site)
+        self._trace_op("op.read", at_site, verdict)
         if not verdict.granted:
             raise QuorumNotReachedError(
                 f"read of {self.name!r} denied at site {at_site}: {verdict.reason}"
@@ -156,6 +183,7 @@ class ReplicatedFile:
         view = self._view_for(at_site)
         verdict = self._protocol.write(view, at_site)
         self._account_operation(verdict, at_site)
+        self._trace_op("op.write", at_site, verdict)
         if not verdict.granted:
             raise QuorumNotReachedError(
                 f"write of {self.name!r} denied at site {at_site}: {verdict.reason}"
@@ -186,6 +214,7 @@ class ReplicatedFile:
         view = self._view_for(site_id)
         verdict = self._protocol.recover(view, site_id)
         self._account_operation(verdict, site_id)
+        self._trace_op("op.recover", site_id, verdict)
         if not verdict.granted:
             return False
         self._clone_payload(site_id, verdict)

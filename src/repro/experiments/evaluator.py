@@ -18,7 +18,10 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import Tracer
 
 from repro.core.base import VotingProtocol
 from repro.core.registry import make_protocol
@@ -193,6 +196,7 @@ def evaluate_policy(
     warmup: float = 360.0,
     batches: int = 20,
     access_times: tuple[float, ...] = (),
+    tracer: Optional["Tracer"] = None,
 ) -> EvaluationResult:
     """Replay *trace* against one policy and measure availability.
 
@@ -207,6 +211,9 @@ def evaluate_policy(
         batches: Number of equal-time batches for the confidence interval.
         access_times: Access epochs; required for optimistic policies,
             ignored by eager ones.
+        tracer: Attached to the protocol for the replay, so every quorum
+            test emits a decision record (``None``, the default, adds no
+            per-event work).
     """
     unknown = copy_sites - topology.site_ids
     if unknown:
@@ -226,6 +233,8 @@ def evaluate_policy(
         protocol = make_protocol(policy, replicas)
     else:
         protocol = policy(replicas)
+    if tracer is not None:
+        protocol.attach_tracer(tracer)
     if not protocol.eager and not access_times:
         raise ConfigurationError(
             f"{protocol.name} is optimistic; supply access_times "

@@ -19,6 +19,11 @@ from repro.experiments.testbed import testbed_topology
 from repro.failures.profiles import testbed_profiles
 from repro.failures.trace import FailureTrace, generate_trace
 from repro.net.topology import Topology
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, MetricsSink
+from repro.obs.tracer import Tracer
+
+_log = get_logger("experiments.runner")
 
 __all__ = ["StudyParameters", "CellResult", "run_cell", "run_study"]
 
@@ -59,6 +64,10 @@ class StudyParameters:
     access_rate_per_day: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ConfigurationError(
+                f"warmup must be >= 0, got {self.warmup}"
+            )
         if self.horizon <= self.warmup:
             raise ConfigurationError(
                 f"horizon ({self.horizon}) must exceed warmup ({self.warmup})"
@@ -88,12 +97,19 @@ def run_cell(
     topology: Optional[Topology] = None,
     trace: Optional[FailureTrace] = None,
     access_times: Optional[tuple[float, ...]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CellResult:
     """Evaluate one (configuration, policy) cell.
 
     *topology*, *trace* and *access_times* may be passed in so a study
     shares them across cells (common random numbers); when omitted they
     are built from *params*.
+
+    With a *metrics* registry, the cell's replay is wrapped in a
+    ``cell.seconds`` timer and the protocol's decision stream is counted
+    into per-policy ``quorum.granted`` / ``quorum.denied`` /
+    ``tiebreak.lexicographic`` / ``votes.carried`` series, labelled by
+    configuration.  Tallying never changes the simulated results.
     """
     if topology is None:
         topology = testbed_topology()
@@ -103,35 +119,68 @@ def run_cell(
         access_times = poisson_times(
             params.access_rate_per_day, trace.horizon, params.seed
         )
-    result = evaluate_policy(
-        policy,
-        topology,
-        configuration.copy_sites,
-        trace,
-        warmup=params.warmup,
-        batches=params.batches,
-        access_times=access_times,
-    )
+
+    def evaluate(tracer: Optional[Tracer]) -> EvaluationResult:
+        return evaluate_policy(
+            policy,
+            topology,
+            configuration.copy_sites,
+            trace,
+            warmup=params.warmup,
+            batches=params.batches,
+            access_times=access_times,
+            tracer=tracer,
+        )
+
+    if metrics is None:
+        result = evaluate(None)
+    else:
+        tracer = Tracer(MetricsSink(metrics, config=configuration.key))
+        with metrics.timed(
+            "cell.seconds", config=configuration.key, policy=policy
+        ):
+            result = evaluate(tracer)
     return CellResult(configuration, result)
 
 
+#: Per-worker study context, installed once by the pool initializer so
+#: the (large) failure trace and access stream are pickled per *worker*,
+#: not per task.
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_worker(
+    params: StudyParameters,
+    trace: FailureTrace,
+    access_times: tuple[float, ...],
+) -> None:
+    _WORKER_CONTEXT["params"] = params
+    _WORKER_CONTEXT["trace"] = trace
+    _WORKER_CONTEXT["access_times"] = access_times
+    _WORKER_CONTEXT["topology"] = testbed_topology()
+
+
 def _run_cell_worker(
-    args: tuple[str, str, StudyParameters, FailureTrace, tuple[float, ...]],
-) -> tuple[tuple[str, str], CellResult]:
+    task: tuple[str, str, bool],
+) -> tuple[tuple[str, str], CellResult, Optional[MetricsRegistry]]:
     """Process-pool entry point: one (configuration, policy) cell.
 
-    Module-level so it pickles; the shared trace and access stream ride
-    along with each task (cheap relative to the simulation itself).
+    The shared study context comes from :func:`_init_worker`; the task
+    itself is just the cell key plus whether to tally metrics (returned
+    as a per-cell registry for the parent to merge).
     """
-    config_key, policy, params, trace, access_times = args
+    config_key, policy, want_metrics = task
+    metrics = MetricsRegistry() if want_metrics else None
     cell = run_cell(
         CONFIGURATIONS[config_key],
         policy,
-        params,
-        trace=trace,
-        access_times=access_times,
+        _WORKER_CONTEXT["params"],
+        topology=_WORKER_CONTEXT["topology"],
+        trace=_WORKER_CONTEXT["trace"],
+        access_times=_WORKER_CONTEXT["access_times"],
+        metrics=metrics,
     )
-    return ((config_key, policy), cell)
+    return ((config_key, policy), cell, metrics)
 
 
 def run_study(
@@ -139,6 +188,7 @@ def run_study(
     configurations: Optional[Iterable[Configuration]] = None,
     policies: Sequence[str] = PAPER_POLICIES,
     jobs: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Mapping[tuple[str, str], CellResult]:
     """Run the full study: every configuration against every policy.
 
@@ -153,7 +203,12 @@ def run_study(
         jobs: Worker processes for evaluating cells in parallel.  Cells
             are independent given the shared trace, so results are
             bit-identical to the sequential run; ``None`` or ``1`` stays
-            in-process.
+            in-process.  The trace and access stream are shipped once
+            per worker (pool initializer), not once per cell.
+        metrics: A registry collecting per-cell wall-clock and
+            per-policy decision tallies (see :func:`run_cell`).  In the
+            parallel path each worker tallies into its own registry and
+            the results are merged here.
     """
     if params is None:
         params = StudyParameters()
@@ -162,6 +217,12 @@ def run_study(
     configurations = list(configurations)
     if jobs is not None and jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    _log.info(
+        "study: %d configurations x %d policies, horizon %.0f days, "
+        "seed %d, jobs=%s",
+        len(configurations), len(policies), params.horizon, params.seed,
+        jobs or 1,
+    )
     topology = testbed_topology()
     trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
     access_times = poisson_times(
@@ -171,21 +232,33 @@ def run_study(
     if jobs is None or jobs == 1:
         for configuration in configurations:
             for policy in policies:
-                cells[(configuration.key, policy)] = run_cell(
+                cell = run_cell(
                     configuration,
                     policy,
                     params,
                     topology=topology,
                     trace=trace,
                     access_times=access_times,
+                    metrics=metrics,
                 )
+                _log.debug("cell %s/%s done: unavailability %.6f",
+                           configuration.key, policy, cell.unavailability)
+                cells[(configuration.key, policy)] = cell
         return cells
     tasks = [
-        (configuration.key, policy, params, trace, access_times)
+        (configuration.key, policy, metrics is not None)
         for configuration in configurations
         for policy in policies
     ]
-    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        for key, cell in pool.map(_run_cell_worker, tasks):
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_init_worker,
+        initargs=(params, trace, access_times),
+    ) as pool:
+        for key, cell, cell_metrics in pool.map(_run_cell_worker, tasks):
+            _log.debug("cell %s/%s done: unavailability %.6f",
+                       key[0], key[1], cell.unavailability)
             cells[key] = cell
+            if metrics is not None and cell_metrics is not None:
+                metrics.merge(cell_metrics)
     return cells

@@ -12,7 +12,10 @@ assert against them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import Tracer
 
 from repro.engine.cluster import Cluster
 from repro.engine.file import ReplicatedFile
@@ -202,18 +205,31 @@ def run_scenario(
     policy: str,
     steps: Sequence[Step],
     initial: Any = "v0",
+    tracer: Optional["Tracer"] = None,
 ) -> ScenarioResult:
     """Execute *steps* in order against a fresh cluster and file.
 
     ``expect_available`` / ``expect_unavailable`` raise
     :class:`ConfigurationError` when violated, making scenarios usable as
     executable specifications.
+
+    With a *tracer*, every step emits a ``scenario.step`` record and the
+    underlying file and protocol emit their ``op.*`` and ``quorum.*``
+    decision records — the full story of why each access was granted or
+    denied (``repro trace <scenario> --out trace.jsonl``).
     """
     cluster = Cluster(topology)
     file = ReplicatedFile(cluster, frozenset(copy_sites), policy=policy,
                           initial=initial)
+    if tracer is not None:
+        file.attach_tracer(tracer)
     result = ScenarioResult(policy=file.protocol.name)
     for index, step in enumerate(steps):
+        if tracer is not None:
+            tracer.record(
+                "scenario.step", index=index, action=step.kind,
+                site=step.site, peer=step.peer,
+            )
         outcome = _run_step(cluster, file, step, index)
         result.outcomes.append(outcome)
     return result

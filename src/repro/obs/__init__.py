@@ -1,0 +1,68 @@
+"""Observability: structured tracing, metrics and run provenance.
+
+The simulation stack executes millions of quorum decisions per study;
+this package makes them visible without slowing them down:
+
+* :mod:`repro.obs.tracer` — structured event records with pluggable
+  sinks (null, in-memory ring, JSONL file).  Instrumented code pays one
+  ``is not None`` check when tracing is off.
+* :mod:`repro.obs.metrics` — a counter/gauge/histogram registry with
+  labelled series and a ``timed()`` context manager.
+* :mod:`repro.obs.manifest` — run provenance (seed, horizon, policies,
+  git SHA, interpreter, per-cell wall-clock).
+* :mod:`repro.obs.logging` — stdlib-logging bridge behind the CLI's
+  ``--log-level`` flag.
+
+Quickstart::
+
+    from repro.obs import MemorySink, Tracer
+
+    tracer = Tracer(MemorySink())
+    protocol.attach_tracer(tracer)       # any VotingProtocol
+    protocol.write(view, site_id)
+    tracer.sink.of_kind("quorum.granted")
+"""
+
+from repro.obs.manifest import RunManifest, build_manifest, git_revision
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+)
+from repro.obs.logging import (
+    LOG_LEVELS,
+    LoggingSink,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.tracer import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TraceRecord,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LOG_LEVELS",
+    "LoggingSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "MetricsSink",
+    "NullSink",
+    "RunManifest",
+    "TraceRecord",
+    "Tracer",
+    "build_manifest",
+    "configure_logging",
+    "get_logger",
+    "git_revision",
+    "read_jsonl",
+]

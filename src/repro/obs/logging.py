@@ -1,0 +1,101 @@
+"""Bridge to stdlib logging.
+
+The library itself never calls ``logging.basicConfig`` — applications
+own the root logger.  This module gives the CLI (and anyone embedding
+the package) two conveniences:
+
+* :func:`configure_logging` — wire ``--log-level`` to a sane stderr
+  handler under the ``"repro"`` namespace, idempotently;
+* :class:`LoggingSink` — a tracer sink forwarding every
+  :class:`~repro.obs.tracer.TraceRecord` to a logger, so decision
+  records interleave with ordinary log lines when that is more useful
+  than a JSONL file.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+from repro.errors import ConfigurationError
+from repro.obs.tracer import TraceRecord
+
+__all__ = ["LOG_LEVELS", "LoggingSink", "configure_logging", "get_logger"]
+
+#: Accepted ``--log-level`` names, mapped to stdlib levels.
+LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the package namespace (``repro`` or ``repro.<name>``)."""
+    return logging.getLogger(f"{_ROOT_NAME}.{name}" if name else _ROOT_NAME)
+
+
+def configure_logging(
+    level: str = "warning", stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Set up the ``repro`` logger with one stderr handler.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers.  Returns the configured logger.
+
+    Raises:
+        ConfigurationError: for a level name outside :data:`LOG_LEVELS`.
+    """
+    try:
+        numeric = LOG_LEVELS[level.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown log level {level!r}; choose from {sorted(LOG_LEVELS)}"
+        ) from None
+    logger = get_logger()
+    logger.setLevel(numeric)
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_handler", False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-8s %(name)s: %(message)s"
+        ))
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)  # type: ignore[attr-defined]
+    handler.setLevel(numeric)
+    logger.propagate = False
+    return logger
+
+
+class LoggingSink:
+    """Forwards trace records to a stdlib logger at a fixed level."""
+
+    def __init__(
+        self,
+        logger: Optional[logging.Logger] = None,
+        level: int = logging.DEBUG,
+    ):
+        self._logger = logger if logger is not None else get_logger("trace")
+        self._level = level
+
+    def emit(self, record: TraceRecord) -> None:
+        """Log *record* as ``<kind> k=v ...`` when the level is on."""
+        if self._logger.isEnabledFor(self._level):
+            payload = record.to_dict()
+            kind = payload.pop("kind")
+            payload.pop("seq", None)
+            detail = " ".join(f"{k}={v}" for k, v in payload.items())
+            self._logger.log(self._level, "%s %s", kind, detail)
+
+    def close(self) -> None:
+        """Nothing to release."""

@@ -1,0 +1,171 @@
+"""Run provenance: what exactly produced a set of results.
+
+A :class:`RunManifest` pins down everything needed to reproduce (or
+distrust) a study run: the simulation parameters, the policy and
+configuration sets, the code identity (git SHA, dirty flag), the
+interpreter and platform, and wall-clock timings per study cell.  The
+runner builds one per study and ``--metrics-out`` writes it next to the
+metrics dump.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
+
+__all__ = ["RunManifest", "build_manifest", "git_revision"]
+
+_FORMAT = "repro-manifest"
+_VERSION = 1
+
+
+def git_revision(
+    repo_dir: Optional[Union[str, pathlib.Path]] = None,
+) -> tuple[Optional[str], Optional[bool]]:
+    """The ``(sha, dirty)`` of the working tree, or ``(None, None)``.
+
+    Never raises: outside a checkout (installed wheel, tarball) there is
+    simply no revision to record.
+    """
+    if repo_dir is None:
+        repo_dir = pathlib.Path(__file__).resolve().parent
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=5,
+        )
+        if sha.returncode != 0:
+            return None, None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=5,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return sha.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance of one study (or validation) run.
+
+    Attributes:
+        command: What ran (``"study"``, ``"validate"``, ...).
+        seed: Master RNG seed.
+        horizon: Simulated days.
+        warmup: Days discarded before measurement.
+        batches: Batch count for confidence intervals.
+        access_rate_per_day: Access-stream intensity.
+        policies: Policy abbreviations evaluated.
+        configurations: Configuration keys evaluated.
+        git_sha: Commit the code was at (``None`` outside a checkout).
+        git_dirty: Whether the tree had uncommitted changes.
+        python_version: ``sys.version`` of the interpreter.
+        platform: ``platform.platform()`` string.
+        started_at: ISO-8601 UTC wall-clock start.
+        wall_clock_seconds: Total run duration (0.0 until finished).
+        cell_seconds: Wall-clock per ``"config/policy"`` cell.
+        extra: Free-form annotations (e.g. job count).
+    """
+
+    command: str
+    seed: int
+    horizon: float
+    warmup: float
+    batches: int
+    access_rate_per_day: float
+    policies: tuple[str, ...]
+    configurations: tuple[str, ...]
+    git_sha: Optional[str] = None
+    git_dirty: Optional[bool] = None
+    python_version: str = ""
+    platform: str = ""
+    started_at: str = ""
+    wall_clock_seconds: float = 0.0
+    cell_seconds: Mapping[str, float] = field(default_factory=dict)
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation."""
+        return {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "command": self.command,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "warmup": self.warmup,
+            "batches": self.batches,
+            "access_rate_per_day": self.access_rate_per_day,
+            "policies": list(self.policies),
+            "configurations": list(self.configurations),
+            "git_sha": self.git_sha,
+            "git_dirty": self.git_dirty,
+            "python_version": self.python_version,
+            "platform": self.platform,
+            "started_at": self.started_at,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "cell_seconds": dict(self.cell_seconds),
+            "extra": dict(self.extra),
+        }
+
+    def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the manifest as JSON; returns the path written."""
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def finished(
+        self,
+        wall_clock_seconds: float,
+        cell_seconds: Optional[Mapping[str, float]] = None,
+    ) -> "RunManifest":
+        """A copy with the run's final timings filled in."""
+        return RunManifest(
+            **{
+                **self.__dict__,
+                "wall_clock_seconds": wall_clock_seconds,
+                "cell_seconds": dict(
+                    cell_seconds if cell_seconds is not None
+                    else self.cell_seconds
+                ),
+            }
+        )
+
+
+def build_manifest(
+    command: str,
+    params: Any,
+    policies: Sequence[str],
+    configurations: Sequence[str],
+    **extra: Any,
+) -> RunManifest:
+    """A manifest for a run about to start.
+
+    *params* is a :class:`~repro.experiments.runner.StudyParameters` (or
+    anything with the same ``seed``/``horizon``/``warmup``/``batches``/
+    ``access_rate_per_day`` attributes).
+    """
+    sha, dirty = git_revision()
+    return RunManifest(
+        command=command,
+        seed=params.seed,
+        horizon=params.horizon,
+        warmup=params.warmup,
+        batches=params.batches,
+        access_rate_per_day=params.access_rate_per_day,
+        policies=tuple(policies),
+        configurations=tuple(configurations),
+        git_sha=sha,
+        git_dirty=dirty,
+        python_version=sys.version.split()[0],
+        platform=platform.platform(),
+        started_at=datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        extra=extra,
+    )

@@ -1,0 +1,222 @@
+"""Structured event tracing.
+
+A :class:`Tracer` turns interesting moments — an event firing in the
+kernel, a quorum test granting or denying an access, a lexicographic
+tie-break — into :class:`TraceRecord` objects and hands them to a
+pluggable sink.  Three sinks cover the useful space:
+
+* :class:`NullSink` drops everything (the default; instrumented code
+  pays only a ``tracer is not None`` check when no tracer is attached,
+  and one extra call when a null tracer is);
+* :class:`MemorySink` keeps the last *capacity* records in a ring
+  buffer, for tests and interactive debugging;
+* :class:`JsonlSink` appends one JSON object per record to a file —
+  the format ``python -m repro trace <scenario> --out trace.jsonl``
+  emits and the docs' walkthroughs read back.
+
+Records carry a monotonically increasing sequence number, an event
+``kind`` (dotted, e.g. ``"quorum.granted"``), an optional simulated
+time, and free-form ``fields``.  Sets are serialised as sorted lists so
+JSONL output is deterministic.
+"""
+
+from __future__ import annotations
+
+import collections
+import io
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Optional, Union
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "TraceRecord",
+    "Tracer",
+    "read_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace event.
+
+    Attributes:
+        seq: Position in the tracer's emission order (0-based).
+        kind: Dotted event name, e.g. ``"event.fired"``.
+        time: Simulated time of the event, when one applies.
+        fields: Event-specific payload (JSON-serialisable values).
+    """
+
+    seq: int
+    kind: str
+    time: Optional[float] = None
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation (sets become sorted lists)."""
+        payload: dict[str, Any] = {"seq": self.seq, "kind": self.kind}
+        if self.time is not None:
+            payload["time"] = self.time
+        for key, value in self.fields.items():
+            payload[key] = _jsonable(value)
+        return payload
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (frozenset, set)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+class NullSink:
+    """Discards every record."""
+
+    def emit(self, record: TraceRecord) -> None:
+        """Drop *record*."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class MemorySink:
+    """Keeps the most recent *capacity* records in a ring buffer."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._buffer: collections.deque[TraceRecord] = collections.deque(
+            maxlen=capacity
+        )
+        self.emitted = 0
+
+    def emit(self, record: TraceRecord) -> None:
+        """Append *record*, evicting the oldest when full."""
+        self._buffer.append(record)
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Nothing to release; the buffer stays readable."""
+
+    @property
+    def records(self) -> tuple[TraceRecord, ...]:
+        """The buffered records, oldest first."""
+        return tuple(self._buffer)
+
+    def of_kind(self, kind: str) -> tuple[TraceRecord, ...]:
+        """Buffered records whose kind equals *kind*."""
+        return tuple(r for r in self._buffer if r.kind == kind)
+
+    def clear(self) -> None:
+        """Empty the buffer (the ``emitted`` count is kept)."""
+        self._buffer.clear()
+
+
+class JsonlSink:
+    """Writes one JSON object per record to a file or stream."""
+
+    def __init__(self, destination: Union[str, pathlib.Path, io.TextIOBase]):
+        if isinstance(destination, (str, pathlib.Path)):
+            self._handle: Any = open(destination, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        self.emitted = 0
+
+    def emit(self, record: TraceRecord) -> None:
+        """Write *record* as one JSON line."""
+        json.dump(record.to_dict(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Close the file if this sink opened it (borrowed streams stay
+        open)."""
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+
+def read_jsonl(path: Union[str, pathlib.Path]) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file back into a list of dictionaries."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class Tracer:
+    """Hands structured records to a sink, with bound context fields.
+
+    Instrumented code holds ``tracer = None`` by default and guards every
+    emission with ``if tracer is not None`` — the disabled path costs one
+    attribute check.  :meth:`bind` returns a child tracer that stamps
+    extra fields (e.g. ``policy="LDV", config="H"``) onto every record,
+    sharing the parent's sink and sequence counter.
+
+    Usage::
+
+        tracer = Tracer(JsonlSink("trace.jsonl"))
+        tracer.record("quorum.granted", time=3.5, site=1, operation=4)
+        tracer.close()
+    """
+
+    __slots__ = ("_sink", "_context", "_seq_box")
+
+    def __init__(self, sink: Any = None, **context: Any):
+        self._sink = sink if sink is not None else NullSink()
+        self._context = dict(context)
+        self._seq_box = [0]
+
+    @property
+    def sink(self) -> Any:
+        return self._sink
+
+    @property
+    def context(self) -> Mapping[str, Any]:
+        return dict(self._context)
+
+    def bind(self, **context: Any) -> "Tracer":
+        """A child tracer stamping *context* onto every record."""
+        child = Tracer.__new__(Tracer)
+        child._sink = self._sink
+        child._context = {**self._context, **context}
+        child._seq_box = self._seq_box
+        return child
+
+    def record(
+        self, kind: str, time: Optional[float] = None, **fields: Any
+    ) -> None:
+        """Emit one record of *kind* at simulated *time* (optional)."""
+        seq = self._seq_box[0]
+        self._seq_box[0] = seq + 1
+        if self._context:
+            merged = {**self._context, **fields}
+        else:
+            merged = fields
+        self._sink.emit(TraceRecord(seq=seq, kind=kind, time=time, fields=merged))
+
+    def close(self) -> None:
+        """Flush and close the underlying sink."""
+        self._sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        """Iterate buffered records when the sink keeps them in memory."""
+        records = getattr(self._sink, "records", ())
+        return iter(records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tracer sink={type(self._sink).__name__} seq={self._seq_box[0]}>"

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.calendar import EventCalendar
 from repro.sim.events import Event, Priority
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import Tracer
 
 __all__ = ["Simulation"]
 
@@ -24,15 +27,25 @@ class Simulation:
     Time is a float in arbitrary units; the availability study uses days.
     The kernel never advances the clock backwards and executes same-time
     events in (priority, scheduling order).
+
+    When a :class:`~repro.obs.tracer.Tracer` is attached, the kernel
+    emits ``event.fired`` / ``event.cancelled`` records; detached (the
+    default), the hot loop pays only a ``None`` check per event.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 tracer: Optional["Tracer"] = None):
         self._now = float(start_time)
         self._calendar = EventCalendar()
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._tracer = tracer
         self.events_executed = 0
+
+    def attach_tracer(self, tracer: Optional["Tracer"]) -> None:
+        """Attach (or, with ``None``, detach) a structured-event tracer."""
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # clock
@@ -90,6 +103,11 @@ class Simulation:
         if not event.cancelled:
             event.cancel()
             self._calendar.note_cancelled()
+            if self._tracer is not None:
+                self._tracer.record(
+                    "event.cancelled", time=self._now,
+                    event=event.name, scheduled_for=event.time,
+                )
 
     # ------------------------------------------------------------------
     # execution
@@ -106,6 +124,11 @@ class Simulation:
         self._now = event.time
         self.events_executed += 1
         event.fire()
+        if self._tracer is not None:
+            self._tracer.record(
+                "event.fired", time=event.time,
+                event=event.name, priority=int(event.priority),
+            )
         return event
 
     def run(
@@ -117,8 +140,11 @@ class Simulation:
         *max_events* have executed.
 
         When stopping at *until*, the clock is advanced to exactly *until*
-        (events scheduled at precisely *until* are executed).  Returns the
-        final clock value.
+        (events scheduled at precisely *until* are executed).  If the run
+        instead ends early — :meth:`stop` was called, or *max_events* hit
+        with events still pending before *until* — the clock stays at the
+        last executed event, so those events remain executable by a later
+        :meth:`run`.  Returns the final clock value.
 
         Raises:
             SimulationError: on re-entrant calls to :meth:`run`.
@@ -141,11 +167,14 @@ class Simulation:
         finally:
             self._running = False
         if until is not None and not self._stopped:
-            if until < self._now:
-                raise SimulationError(
-                    f"run(until={until}) ended past its horizon (now={self._now})"
-                )
-            self._now = until
+            head = self._calendar.peek()
+            if head is None or head.time > until:
+                if until < self._now:
+                    raise SimulationError(
+                        f"run(until={until}) ended past its horizon "
+                        f"(now={self._now})"
+                    )
+                self._now = until
         return self._now
 
     def stop(self) -> None:

@@ -40,6 +40,19 @@ class TestStudyParameters:
         monkeypatch.setenv(HORIZON_ENV, "-5")
         with pytest.raises(ConfigurationError):
             default_horizon()
+        monkeypatch.setenv(HORIZON_ENV, "0")
+        with pytest.raises(ConfigurationError):
+            default_horizon()
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudyParameters(horizon=1000.0, warmup=-1.0)
+
+    def test_non_positive_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudyParameters(horizon=0.0, warmup=0.0)
+        with pytest.raises(ConfigurationError):
+            StudyParameters(horizon=-10.0, warmup=0.0)
 
     def test_env_absent_uses_fallback(self, monkeypatch):
         monkeypatch.delenv(HORIZON_ENV, raising=False)
@@ -94,6 +107,68 @@ class TestRunStudy:
     def test_invalid_jobs_rejected(self, quick):
         with pytest.raises(ConfigurationError):
             run_study(quick, policies=("MCV",), jobs=0)
+
+    def test_metrics_collects_cell_timings_and_decisions(self, quick):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        run_study(
+            quick,
+            configurations=[CONFIGURATIONS["A"], CONFIGURATIONS["B"]],
+            policies=("MCV", "LDV"),
+            metrics=metrics,
+        )
+        timings = [
+            (labels, instrument)
+            for name, labels, instrument in metrics.series()
+            if name == "cell.seconds"
+        ]
+        assert len(timings) == 4
+        assert all(instrument.count == 1 for _, instrument in timings)
+        assert {labels["config"] for labels, _ in timings} == {"A", "B"}
+        decision_kinds = {
+            name for name, _, _ in metrics.series() if name != "cell.seconds"
+        }
+        assert "quorum.granted" in decision_kinds
+
+    def test_parallel_metrics_match_sequential(self, quick):
+        """Worker registries merged across processes must tally the same
+        decisions as the in-process run."""
+        from repro.obs.metrics import MetricsRegistry
+
+        sequential = MetricsRegistry()
+        parallel = MetricsRegistry()
+        run_study(
+            quick,
+            configurations=[CONFIGURATIONS["A"]],
+            policies=("MCV", "LDV"),
+            metrics=sequential,
+        )
+        run_study(
+            quick,
+            configurations=[CONFIGURATIONS["A"]],
+            policies=("MCV", "LDV"),
+            metrics=parallel,
+            jobs=2,
+        )
+
+        def counters(registry):
+            return {
+                (name, tuple(sorted(labels.items()))): instrument.value
+                for name, labels, instrument in registry.series()
+                if name != "cell.seconds"
+            }
+
+        assert counters(parallel) == counters(sequential)
+
+    def test_metrics_do_not_change_results(self, quick):
+        from repro.obs.metrics import MetricsRegistry
+
+        plain = run_cell(CONFIGURATIONS["C"], "TDV", quick)
+        metered = run_cell(CONFIGURATIONS["C"], "TDV", quick,
+                           metrics=MetricsRegistry())
+        assert metered.unavailability == plain.unavailability
+        assert metered.result.down_periods == plain.result.down_periods
 
     def test_common_random_numbers_across_cells(self, quick):
         """A policy's result must not depend on which other policies ran."""

@@ -95,3 +95,87 @@ class TestCommands:
         assert main(["table2", *FAST, "--no-compare", "--intervals"]) == 0
         out = capsys.readouterr().out
         assert "confidence intervals" in out and "±" in out
+
+
+class TestObservability:
+    def _scenario_path(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        return root / "examples" / "scenarios" / "configuration_h_split.json"
+
+    def test_trace_scenario_to_file(self, tmp_path):
+        from repro.obs.tracer import read_jsonl
+
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["trace", str(self._scenario_path()),
+                     "--out", str(out_path)]) == 0
+        records = read_jsonl(out_path)
+        assert records, "trace file must not be empty"
+        kinds = {r["kind"] for r in records}
+        assert "scenario.step" in kinds
+        assert "quorum.granted" in kinds
+        assert "op.write" in kinds
+        # Sequence numbers are the emission order.
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        # Every scenario record carries the scenario name as bound context.
+        assert all(
+            r["scenario"] == "configuration H: gateway 5 splits the pairs"
+            for r in records
+        )
+
+    def test_trace_scenario_to_stdout(self, capsys):
+        import json
+
+        assert main(["trace", str(self._scenario_path())]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert all("kind" in json.loads(line) for line in lines)
+
+    def test_trace_scenario_missing_file_fails(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.json")]) != 0
+
+    def test_study_metrics_out(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["study", *FAST, "--no-compare",
+                     "--metrics-out", str(path)]) == 0
+        dump = json.loads(path.read_text())
+        manifest = dump["manifest"]
+        assert manifest["format"] == "repro-manifest"
+        assert manifest["command"] == "study"
+        assert manifest["horizon"] == 1500.0
+        assert manifest["wall_clock_seconds"] > 0.0
+        assert len(manifest["cell_seconds"]) == 8 * 6  # configs × policies
+        metrics = dump["metrics"]
+        assert metrics["format"] == "repro-metrics"
+        names = {entry["name"] for entry in metrics["series"]}
+        assert "cell.seconds" in names
+        assert "quorum.granted" in names
+
+    def test_validate_metrics_out(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["validate", "--horizon", "8000",
+                     "--metrics-out", str(path)]) == 0
+        dump = json.loads(path.read_text())
+        assert dump["manifest"]["command"] == "validate"
+        assert dump["manifest"]["extra"]["failures"] == 0
+
+    def test_log_level_flag(self, capsys):
+        import logging
+
+        logger = logging.getLogger("repro")
+        saved_level, saved_handlers = logger.level, list(logger.handlers)
+        try:
+            assert main(["--log-level", "info", "testbed"]) == 0
+            assert logger.level == logging.INFO
+        finally:
+            logger.level = saved_level
+            logger.handlers = saved_handlers
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "loud", "testbed"])

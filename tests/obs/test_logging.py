@@ -1,0 +1,81 @@
+"""Unit tests for the stdlib-logging bridge."""
+
+import io
+import logging
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.logging import (
+    LOG_LEVELS,
+    LoggingSink,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.tracer import TraceRecord
+
+
+@pytest.fixture(autouse=True)
+def clean_repro_logger():
+    """Strip the repro logger's handlers around each test."""
+    logger = logging.getLogger("repro")
+    saved = list(logger.handlers)
+    logger.handlers = []
+    yield
+    logger.handlers = saved
+
+
+class TestConfigureLogging:
+    def test_levels_cover_the_standard_names(self):
+        assert set(LOG_LEVELS) == {
+            "debug", "info", "warning", "error", "critical",
+        }
+
+    def test_writes_to_the_given_stream(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("test").info("hello")
+        assert "hello" in stream.getvalue()
+        assert "repro.test" in stream.getvalue()
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("test").info("quiet")
+        assert stream.getvalue() == ""
+
+    def test_idempotent_no_handler_stacking(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        configure_logging("info", stream=stream)
+        get_logger().info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_reconfigure_changes_level(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        configure_logging("debug", stream=stream)
+        get_logger().debug("now visible")
+        assert "now visible" in stream.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            configure_logging("loud")
+
+
+class TestLoggingSink:
+    def test_forwards_records_to_the_logger(self):
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        sink = LoggingSink()
+        sink.emit(TraceRecord(seq=0, kind="quorum.granted", time=2.0,
+                              fields={"site": 1}))
+        output = stream.getvalue()
+        assert "quorum.granted" in output
+        assert "site=1" in output
+
+    def test_silent_when_level_disabled(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        LoggingSink().emit(TraceRecord(seq=0, kind="x"))
+        assert stream.getvalue() == ""

@@ -1,0 +1,62 @@
+"""Unit tests for run manifests."""
+
+import json
+
+from repro.experiments.runner import StudyParameters
+from repro.obs.manifest import RunManifest, build_manifest, git_revision
+
+
+class TestGitRevision:
+    def test_inside_checkout_returns_sha(self):
+        sha, dirty = git_revision()
+        assert sha is None or (len(sha) == 40 and isinstance(dirty, bool))
+
+    def test_outside_checkout_returns_none(self, tmp_path):
+        sha, dirty = git_revision(tmp_path)
+        assert (sha, dirty) == (None, None)
+
+
+class TestBuildManifest:
+    def test_captures_parameters_and_environment(self):
+        params = StudyParameters(horizon=1000.0, warmup=100.0, batches=5,
+                                 seed=7)
+        manifest = build_manifest(
+            "study", params, ["MCV", "LDV"], ["A", "H"], jobs=4,
+        )
+        assert manifest.command == "study"
+        assert manifest.seed == 7
+        assert manifest.horizon == 1000.0
+        assert manifest.warmup == 100.0
+        assert manifest.batches == 5
+        assert manifest.policies == ("MCV", "LDV")
+        assert manifest.configurations == ("A", "H")
+        assert manifest.extra == {"jobs": 4}
+        assert manifest.python_version
+        assert manifest.platform
+        assert manifest.started_at.endswith("+00:00")
+
+    def test_finished_fills_timings_without_mutating(self):
+        params = StudyParameters(horizon=1000.0, warmup=0.0)
+        manifest = build_manifest("study", params, ["MCV"], ["A"])
+        done = manifest.finished(12.5, {"A/MCV": 12.5})
+        assert manifest.wall_clock_seconds == 0.0
+        assert done.wall_clock_seconds == 12.5
+        assert done.cell_seconds == {"A/MCV": 12.5}
+        assert done.seed == manifest.seed
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        params = StudyParameters(horizon=1000.0, warmup=0.0)
+        manifest = build_manifest("validate", params, ["TDV"], ["B"])
+        path = manifest.write(tmp_path / "manifest.json")
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-manifest"
+        assert data["command"] == "validate"
+        assert data["policies"] == ["TDV"]
+
+    def test_to_dict_is_json_serialisable(self):
+        manifest = RunManifest(
+            command="study", seed=1, horizon=10.0, warmup=0.0, batches=1,
+            access_rate_per_day=1.0, policies=("MCV",),
+            configurations=("A",),
+        )
+        json.dumps(manifest.to_dict())

@@ -1,0 +1,163 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+)
+from repro.obs.tracer import TraceRecord, Tracer
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in (1.0, 5.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 9.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 5.0
+        assert histogram.mean == 3.0
+
+    def test_histogram_quantiles_interpolate(self):
+        histogram = Histogram()
+        for value in (0.0, 10.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(0.5) == 5.0
+        assert histogram.quantile(1.0) == 10.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_histogram_merge(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        b.observe(3.0)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == 9.0
+        assert a.minimum == 1.0
+        assert a.maximum == 5.0
+
+    def test_histogram_reservoir_is_bounded(self):
+        histogram = Histogram(reservoir_size=4)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert len(histogram._reservoir) == 4
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x", policy="LDV")
+        first.inc()
+        assert registry.counter("x", policy="LDV") is first
+        assert registry.value("x", policy="LDV") == 1.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", config="H", policy="LDV")
+        b = registry.counter("x", policy="LDV", config="H")
+        assert a is b
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("x", policy="LDV").inc()
+        registry.counter("x", policy="MCV").inc(2)
+        assert registry.value("x", policy="LDV") == 1.0
+        assert registry.value("x", policy="MCV") == 2.0
+        assert len(registry) == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_value_absent_series_is_none(self):
+        assert MetricsRegistry().value("nope") is None
+
+    def test_timed_records_duration(self):
+        registry = MetricsRegistry()
+        with registry.timed("span.seconds", cell="A"):
+            pass
+        histogram = registry.histogram("span.seconds", cell="A")
+        assert histogram.count == 1
+        assert histogram.total >= 0.0
+
+    def test_timed_records_even_on_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.timed("span.seconds"):
+                raise RuntimeError("boom")
+        assert registry.histogram("span.seconds").count == 1
+
+    def test_merge_counters_add_gauges_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(2)
+        b.counter("hits").inc(3)
+        a.gauge("level").set(1)
+        b.gauge("level").set(9)
+        b.histogram("t").observe(4.0)
+        a.merge(b)
+        assert a.value("hits") == 5.0
+        assert a.value("level") == 9.0
+        assert a.histogram("t").count == 1
+
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("quorum.granted", policy="LDV").inc()
+        payload = registry.to_dict()
+        assert payload["format"] == "repro-metrics"
+        assert payload["series"] == [{
+            "name": "quorum.granted",
+            "labels": {"policy": "LDV"},
+            "type": "counter",
+            "value": 1.0,
+        }]
+
+
+class TestMetricsSink:
+    def test_counts_records_by_kind_and_policy(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(MetricsSink(registry, config="H"))
+        tracer.record("quorum.granted", policy="LDV")
+        tracer.record("quorum.granted", policy="LDV")
+        tracer.record("quorum.denied", policy="MCV")
+        assert registry.value("quorum.granted", config="H",
+                              policy="LDV") == 2.0
+        assert registry.value("quorum.denied", config="H",
+                              policy="MCV") == 1.0
+
+    def test_records_without_policy_use_bare_labels(self):
+        registry = MetricsRegistry()
+        sink = MetricsSink(registry)
+        sink.emit(TraceRecord(seq=0, kind="scenario.step", fields={}))
+        assert registry.value("scenario.step") == 1.0

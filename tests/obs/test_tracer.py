@@ -1,0 +1,147 @@
+"""Unit tests for the structured-event tracer and its sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TraceRecord,
+    Tracer,
+    read_jsonl,
+)
+
+
+class TestTraceRecord:
+    def test_to_dict_basic(self):
+        record = TraceRecord(seq=3, kind="quorum.granted", time=1.5,
+                             fields={"site": 4})
+        assert record.to_dict() == {
+            "seq": 3, "kind": "quorum.granted", "time": 1.5, "site": 4,
+        }
+
+    def test_to_dict_omits_missing_time(self):
+        record = TraceRecord(seq=0, kind="scenario.step")
+        assert "time" not in record.to_dict()
+
+    def test_sets_serialise_as_sorted_lists(self):
+        record = TraceRecord(
+            seq=0, kind="quorum.granted",
+            fields={"reachable": frozenset({8, 2, 5}), "pair": (1, 2)},
+        )
+        payload = record.to_dict()
+        assert payload["reachable"] == [2, 5, 8]
+        assert payload["pair"] == [1, 2]
+
+
+class TestSinks:
+    def test_null_sink_discards(self):
+        sink = NullSink()
+        sink.emit(TraceRecord(seq=0, kind="x"))
+        sink.close()
+
+    def test_memory_sink_keeps_records_in_order(self):
+        sink = MemorySink()
+        for i in range(3):
+            sink.emit(TraceRecord(seq=i, kind=f"k{i}"))
+        assert [r.kind for r in sink.records] == ["k0", "k1", "k2"]
+        assert sink.emitted == 3
+
+    def test_memory_sink_ring_buffer_drops_oldest(self):
+        sink = MemorySink(capacity=2)
+        for i in range(5):
+            sink.emit(TraceRecord(seq=i, kind="k"))
+        assert [r.seq for r in sink.records] == [3, 4]
+        assert sink.emitted == 5  # emission count is not capped
+
+    def test_memory_sink_of_kind(self):
+        sink = MemorySink()
+        sink.emit(TraceRecord(seq=0, kind="a"))
+        sink.emit(TraceRecord(seq=1, kind="b"))
+        sink.emit(TraceRecord(seq=2, kind="a"))
+        assert [r.seq for r in sink.of_kind("a")] == [0, 2]
+
+    def test_memory_sink_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MemorySink(capacity=0)
+
+    def test_jsonl_sink_writes_one_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(TraceRecord(seq=0, kind="a", time=1.0, fields={"s": 1}))
+        sink.emit(TraceRecord(seq=1, kind="b"))
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"seq": 0, "kind": "a", "time": 1.0,
+                                        "s": 1}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(TraceRecord(seq=0, kind="quorum.granted",
+                              fields={"block": frozenset({1, 2})}))
+        sink.close()
+        assert read_jsonl(path) == [
+            {"seq": 0, "kind": "quorum.granted", "block": [1, 2]}
+        ]
+
+    def test_jsonl_sink_on_borrowed_stream(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.emit(TraceRecord(seq=0, kind="a"))
+        sink.close()  # must not close a handle it does not own
+        assert not stream.closed
+        assert json.loads(stream.getvalue()) == {"seq": 0, "kind": "a"}
+
+
+class TestTracer:
+    def test_default_sink_is_null(self):
+        tracer = Tracer()
+        tracer.record("anything", site=1)  # must not raise
+        assert isinstance(tracer.sink, NullSink)
+
+    def test_records_reach_sink_with_increasing_seq(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.record("a")
+        tracer.record("b", time=2.0, site=3)
+        assert [r.seq for r in sink.records] == [0, 1]
+        assert sink.records[1].fields == {"site": 3}
+
+    def test_bound_context_stamps_every_record(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, policy="LDV")
+        tracer.record("quorum.granted", site=1)
+        assert sink.records[0].fields == {"policy": "LDV", "site": 1}
+
+    def test_bind_shares_sink_and_sequence(self):
+        sink = MemorySink()
+        parent = Tracer(sink, config="H")
+        child = parent.bind(policy="TDV")
+        parent.record("a")
+        child.record("b")
+        assert [r.seq for r in sink.records] == [0, 1]
+        assert sink.records[0].fields == {"config": "H"}
+        assert sink.records[1].fields == {"config": "H", "policy": "TDV"}
+
+    def test_record_fields_override_context(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, policy="LDV")
+        tracer.record("x", policy="MCV")
+        assert sink.records[0].fields["policy"] == "MCV"
+
+    def test_context_manager_closes_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            tracer.record("a")
+        assert read_jsonl(path) == [{"seq": 0, "kind": "a"}]
+
+    def test_iterates_memory_sink_records(self):
+        tracer = Tracer(MemorySink())
+        tracer.record("a")
+        tracer.record("b")
+        assert [r.kind for r in tracer] == ["a", "b"]

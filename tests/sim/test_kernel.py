@@ -127,6 +127,30 @@ class TestRunControl:
         sim.run(max_events=4)
         assert fired == [0, 1, 2, 3]
 
+    def test_max_events_with_until_keeps_clock_at_last_event(self):
+        """Regression: an early max_events stop must not fast-forward the
+        clock to *until* — the unexecuted events are still pending and a
+        later run() must be able to execute them."""
+        sim = Simulation()
+        fired = []
+        for i in range(1, 6):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        sim.run(until=10.0, max_events=2)
+        assert fired == [1, 2]
+        assert sim.now == 2.0  # not 10.0
+        assert sim.pending == 3
+        sim.run(until=10.0)
+        assert fired == [1, 2, 3, 4, 5]
+        assert sim.now == 10.0
+
+    def test_stop_with_until_keeps_clock_at_last_event(self):
+        sim = Simulation()
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=20.0)
+        assert sim.now == 1.0
+        assert sim.pending == 1
+
     def test_stop_terminates_run(self):
         sim = Simulation()
         fired = []
@@ -182,6 +206,36 @@ class TestCancellation:
         sim.cancel(event)
         sim.cancel(event)
         assert sim.pending == 1
+
+
+class TestTracing:
+    def test_fired_and_cancelled_events_are_recorded(self):
+        from repro.obs.tracer import MemorySink, Tracer
+
+        sink = MemorySink()
+        sim = Simulation(tracer=Tracer(sink))
+        sim.schedule(1.0, lambda: None, name="tick")
+        doomed = sim.schedule(2.0, lambda: None, name="doomed")
+        sim.cancel(doomed)
+        sim.run()
+        kinds = [r.kind for r in sink.records]
+        assert kinds == ["event.cancelled", "event.fired"]
+        cancelled, fired = sink.records
+        assert cancelled.fields["event"] == "doomed"
+        assert cancelled.fields["scheduled_for"] == 2.0
+        assert fired.fields["event"] == "tick"
+        assert fired.time == 1.0
+
+    def test_detached_tracer_stops_recording(self):
+        from repro.obs.tracer import MemorySink, Tracer
+
+        sink = MemorySink()
+        sim = Simulation()
+        sim.attach_tracer(Tracer(sink))
+        sim.schedule(1.0, lambda: None)
+        sim.attach_tracer(None)
+        sim.run()
+        assert not sink.records
 
 
 class TestReset:
