@@ -1,0 +1,119 @@
+"""Streaming trace-analytics throughput and bounded-memory guard.
+
+The acceptance bar for the analysis subsystem: a ~1M-record JSONL
+decision trace must stream through the query pipeline in bounded
+memory — the pipeline never materialises the trace, so peak heap stays
+orders of magnitude below the file size.  The benchmarks time the three
+canonical passes (filtered count, one-pass summary, denial audit); the
+guard proves the memory claim with ``tracemalloc``.
+
+``REPRO_TRACE_RECORDS`` overrides the synthetic trace size (default
+1_000_000) for quick local runs.
+"""
+
+import json
+import os
+import random
+import tracemalloc
+
+import pytest
+
+from repro.obs.analysis import RecordStream, audit_trace, summarize
+
+RECORDS = int(os.environ.get("REPRO_TRACE_RECORDS", "1000000"))
+POLICIES = ("MCV", "DV", "LDV", "ODV", "TDV", "OTDV")
+DENIAL_REASON = "fewer than half of the previous partition set reachable"
+DENIAL_RATE = 0.1
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """A synthetic decision trace of ``RECORDS`` records, written once
+    per session (realistic field mix: timed quorum verdicts across the
+    six paper policies)."""
+    path = tmp_path_factory.mktemp("trace") / "synthetic.jsonl"
+    rng = random.Random(1988)
+    with open(path, "w", encoding="utf-8") as handle:
+        t = 0.0
+        for seq in range(RECORDS):
+            t += rng.random()
+            denied = rng.random() < DENIAL_RATE
+            record = {
+                "seq": seq,
+                "kind": "quorum.denied" if denied else "quorum.granted",
+                "time": round(t, 3),
+                "policy": POLICIES[seq % len(POLICIES)],
+                "site": 1 + seq % 8,
+                "reachable": [1, 2, 7],
+                "counted": [1] if denied else [1, 2, 7],
+                "partition_set": [1, 2, 7, 8],
+            }
+            if denied:
+                record["reason"] = DENIAL_REASON
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+    return path
+
+
+def test_bench_streaming_filtered_count(benchmark, trace_path):
+    """Throughput of the hot query shape: filter by kind and policy,
+    count — one streaming pass over the full trace."""
+    stream = RecordStream.from_jsonl(trace_path)
+    denied = benchmark(
+        lambda: stream.of_kind("quorum.denied").where(policy="LDV").count()
+    )
+    assert 0 < denied < RECORDS
+    benchmark.extra_info["records"] = RECORDS
+
+
+def test_bench_one_pass_summary(benchmark, trace_path):
+    """Throughput of ``repro analyze summary``'s single aggregation
+    pass."""
+    stream = RecordStream.from_jsonl(trace_path)
+    summary = benchmark(lambda: summarize(stream))
+    assert summary.total == RECORDS
+    assert set(summary.by_policy) == set(POLICIES)
+    benchmark.extra_info["records"] = RECORDS
+
+
+def test_bench_denial_audit(benchmark, trace_path):
+    """Throughput of the ``repro analyze audit`` pass: every denial
+    classified and explained, streaming."""
+    stream = RecordStream.from_jsonl(trace_path)
+
+    def run():
+        by_rule: dict[str, int] = {}
+        for explanation in audit_trace(stream):
+            by_rule[explanation.rule] = by_rule.get(explanation.rule, 0) + 1
+        return by_rule
+
+    by_rule = benchmark(run)
+    assert set(by_rule) == {"no-majority"}
+    benchmark.extra_info["records"] = RECORDS
+
+
+def test_streaming_query_memory_is_bounded(trace_path, artefact_sink):
+    """The acceptance guard: a full filtered-group pass over the trace
+    must peak far below the file size (materialising ~RECORDS dicts
+    would cost roughly 10x the file)."""
+    stream = RecordStream.from_jsonl(trace_path)
+    file_size = trace_path.stat().st_size
+    tracemalloc.start()
+    try:
+        counts = stream.of_kind("quorum.").group_count("policy", "kind")
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert sum(counts.values()) == RECORDS
+    assert peak < 48_000_000, (
+        f"streaming pass peaked at {peak / 1e6:.1f} MB"
+    )
+    if RECORDS >= 200_000:
+        assert peak * 4 < file_size, (
+            f"peak {peak / 1e6:.1f} MB is not clearly below the "
+            f"{file_size / 1e6:.1f} MB trace — is the stream materialising?"
+        )
+    artefact_sink(
+        "trace_analysis_memory",
+        f"streaming group_count over {RECORDS} records "
+        f"({file_size / 1e6:.1f} MB trace): peak heap {peak / 1e6:.2f} MB",
+    )

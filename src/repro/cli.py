@@ -10,11 +10,17 @@ Commands regenerate everything in the paper from the terminal:
 * ``repro placement`` — the copy-placement study (experiment X5);
 * ``repro trace``     — per-site availability of a generated trace, or,
   given a scenario file, a full JSONL decision trace of its replay;
+* ``repro analyze``   — streaming analytics over a decision trace:
+  ``summary`` (record counts), ``timeline`` (availability spans),
+  ``audit`` (every denial mapped to its Algorithm-1 rule) and ``diff``
+  (two protocols' decisions over the same history, first divergence
+  explained);
 * ``repro demo``      — the engine walkthrough from Section 2's example.
 
 Observability: a global ``--log-level`` flag configures the package
 logger; ``study``/``table2``/``table3`` and ``validate`` accept
-``--metrics-out PATH`` to write a run manifest plus metrics dump (see
+``--metrics-out PATH`` to write a run manifest plus metrics dump, and
+the study commands accept ``--progress`` for a live progress line (see
 :mod:`repro.obs`).
 """
 
@@ -92,6 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write a run manifest + metrics JSON "
                             "(per-cell wall-clock, quorum decision tallies)")
+        p.add_argument("--progress", action="store_true",
+                       help="print a live progress line (cells done, "
+                            "events/s, ETA) to stderr as cells complete")
 
     p = sub.add_parser("sweep", help="access-rate ablation for ODV/OTDV")
     add_sim_args(p)
@@ -140,6 +149,56 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("scenario", help="run a JSON scenario file")
     p.add_argument("file", help="path to a repro-scenario JSON document")
+
+    p = sub.add_parser(
+        "analyze",
+        help="streaming analytics over a JSONL decision trace",
+    )
+    asub = p.add_subparsers(dest="analyze_command", required=True)
+
+    def add_json_out(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--json-out", metavar="PATH", default=None,
+                       help="also write the full result as a JSON document")
+
+    q = asub.add_parser(
+        "summary",
+        help="record counts, quorum decision tallies, covered span",
+    )
+    q.add_argument("trace", help="JSONL decision trace (.jsonl or .jsonl.gz)")
+    add_json_out(q)
+
+    q = asub.add_parser(
+        "timeline",
+        help="per-policy availability spans rebuilt from the decisions",
+    )
+    q.add_argument("trace", help="JSONL decision trace (.jsonl or .jsonl.gz)")
+    q.add_argument("--policy", default=None,
+                   help="restrict to one policy's timeline")
+    add_json_out(q)
+
+    q = asub.add_parser(
+        "audit",
+        help="map every quorum denial to the Algorithm-1 rule that failed",
+    )
+    q.add_argument("trace", help="JSONL decision trace (.jsonl or .jsonl.gz)")
+    q.add_argument("--limit", type=int, default=20,
+                   help="denials to explain in full (default 20)")
+    add_json_out(q)
+
+    q = asub.add_parser(
+        "diff",
+        help="align two protocols' traces over the same history and "
+             "explain the first divergent quorum decision",
+    )
+    q.add_argument("traces", nargs="*", metavar="TRACE",
+                   help="two JSONL decision traces to align")
+    q.add_argument("--scenario", metavar="FILE", default=None,
+                   help="instead of trace files: replay this scenario "
+                        "under two policies and diff the decisions")
+    q.add_argument("--policies", default="ODV,OTDV",
+                   help="comma-separated policy pair for --scenario "
+                        "(default ODV,OTDV)")
+    add_json_out(q)
 
     sub.add_parser("demo", help="run the Section 2 worked example")
     return parser
@@ -230,7 +289,8 @@ def _cmd_tables(args: argparse.Namespace, which: str) -> None:
     metrics = MetricsRegistry() if metrics_out else None
     started = time.perf_counter()
     cells = run_study(params, jobs=getattr(args, "jobs", None),
-                      metrics=metrics)
+                      metrics=metrics,
+                      progress=getattr(args, "progress", False))
     elapsed = time.perf_counter() - started
     if metrics_out:
         _write_metrics_dump(
@@ -502,42 +562,247 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 def _cmd_demo(args: argparse.Namespace) -> None:
     # Local import: the demo pulls in the engine, which most commands skip.
-    from repro.engine import Cluster, ReplicatedFile
-    from repro.net.topology import SegmentedTopology
-    from repro.net.sites import Site
+    from repro.experiments.demo import run_demo
 
-    print("Section 2 worked example: copies at A(1), B(2), C(3); LDV.\n")
-    topology = SegmentedTopology(
-        [Site(1, "A"), Site(2, "B"), Site(3, "C")], {"lan": [1, 2, 3]}
-    )
-    cluster = Cluster(topology)
-    file = ReplicatedFile(cluster, {1, 2, 3}, policy="LDV", initial="v1")
+    run_demo()
 
-    def show(step: str) -> None:
-        states = file.protocol.replicas
-        cells = []
-        for sid, label in ((1, "A"), (2, "B"), (3, "C")):
-            st = states.state(sid)
-            members = ",".join(
-                {1: "A", 2: "B", 3: "C"}[m] for m in sorted(st.partition_set)
+
+def _write_json_out(path: str, payload: dict) -> None:
+    """Write an analysis result as a JSON document."""
+    import json
+    import pathlib
+
+    try:
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot write {path}: {exc}") from exc
+    print(f"json written to {path}", file=sys.stderr)
+
+
+def _cmd_analyze_summary(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ascii_table
+    from repro.obs.analysis import RecordStream, summarize
+
+    summary = summarize(RecordStream.from_jsonl(args.trace))
+    print(f"trace {args.trace}: {summary.total} records")
+    if summary.first_time is not None:
+        print(f"timed span: {summary.first_time:g} .. {summary.last_time:g}")
+    if summary.sites:
+        print("sites touched: "
+              + ", ".join(str(s) for s in sorted(summary.sites)))
+    if summary.by_kind:
+        print()
+        rows = [
+            [kind, count]
+            for kind, count in sorted(
+                summary.by_kind.items(), key=lambda kv: (-kv[1], kv[0])
             )
-            cells.append(f"{label}: o={st.operation} v={st.version} P={{{members}}}")
-        print(f"{step:<38} {' | '.join(cells)}")
+        ]
+        print(ascii_table(["kind", "records"], rows))
+    if summary.grants or summary.denials:
+        print()
+        print(f"quorum decisions: {summary.grants} granted, "
+              f"{summary.denials} denied "
+              f"(denial rate {summary.denial_rate:.3f})")
+    if args.json_out:
+        _write_json_out(args.json_out, summary.to_dict())
+    return 0
 
-    show("initial state")
-    for i in range(7):
-        file.write(1, f"write-{i + 2}")
-    show("after seven writes")
-    cluster.fail_site(2)
-    show("B fails (eager LDV shrinks quorum)")
-    for i in range(3):
-        file.write(1, f"write-{i + 9}")
-    show("three more writes by {A, C}")
-    cluster.fail_site(3)
-    show("C fails; A alone is the majority")
-    print(f"\nfile still available: {file.is_available()}")
-    print(f"read at A -> {file.read(1)!r}")
-    print(f"message traffic: {file.counters}")
+
+def _cmd_analyze_timeline(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ascii_table
+    from repro.obs.analysis import RecordStream, build_timelines
+
+    timelines = build_timelines(RecordStream.from_jsonl(args.trace))
+    if args.policy is not None:
+        if args.policy not in timelines:
+            raise ConfigurationError(
+                f"no decisions by {args.policy!r} in the trace; "
+                f"saw {sorted(timelines) or 'none'}"
+            )
+        timelines = {args.policy: timelines[args.policy]}
+    if not timelines:
+        raise ConfigurationError("no quorum decisions in the trace")
+    rows = []
+    for policy, timeline in sorted(timelines.items()):
+        rows.append([
+            policy, timeline.unit, timeline.decisions,
+            f"{timeline.start:g}..{timeline.end:g}",
+            len(timeline.down_spans),
+            round(timeline.unavailable_time(), 6),
+            round(timeline.unavailability(), 6),
+        ])
+    print(ascii_table(
+        ["policy", "unit", "decisions", "window", "outages",
+         "down", "unavailability"],
+        rows,
+    ))
+    for policy, timeline in sorted(timelines.items()):
+        downs = timeline.down_spans
+        if not downs:
+            continue
+        print(f"\n{policy} unavailable spans ({timeline.unit}):")
+        shown = downs[:20]
+        print(ascii_table(
+            ["start", "end", "duration"],
+            [[span.start, span.end, span.duration] for span in shown],
+        ))
+        if len(downs) > len(shown):
+            print(f"... and {len(downs) - len(shown)} more")
+    if args.json_out:
+        _write_json_out(args.json_out, {
+            "format": "repro-trace-timelines",
+            "version": 1,
+            "timelines": [
+                timelines[policy].to_dict() for policy in sorted(timelines)
+            ],
+        })
+    return 0
+
+
+def _cmd_analyze_audit(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ascii_table
+    from repro.obs.analysis import RecordStream, audit_trace
+
+    if args.limit < 0:
+        raise ConfigurationError(f"--limit must be >= 0, got {args.limit}")
+    total = 0
+    by_rule: dict[str, int] = {}
+    kept = []
+    for denial in audit_trace(RecordStream.from_jsonl(args.trace)):
+        total += 1
+        by_rule[denial.rule] = by_rule.get(denial.rule, 0) + 1
+        if len(kept) < args.limit:
+            kept.append(denial)
+    if total == 0:
+        print("no denied quorum decisions in the trace")
+        if args.json_out:
+            _write_json_out(args.json_out, {
+                "format": "repro-trace-audit", "version": 1,
+                "denials": 0, "by_rule": {}, "explanations": [],
+            })
+        return 0
+    for denial in kept:
+        where = f"t={denial.time:g}" if denial.time is not None else \
+            f"seq={denial.seq}"
+        print(f"[{where}] {denial.policy} denied — {denial.rule}")
+        print(f"    {denial.explanation}")
+        if denial.topological_note:
+            print(f"    ({denial.topological_note})")
+    if total > len(kept):
+        print(f"... and {total - len(kept)} more "
+              "(raise --limit or use --json-out)")
+    print()
+    print(ascii_table(
+        ["rule", "denials"],
+        sorted(by_rule.items(), key=lambda kv: (-kv[1], kv[0])),
+    ))
+    if args.json_out:
+        _write_json_out(args.json_out, {
+            "format": "repro-trace-audit",
+            "version": 1,
+            "denials": total,
+            "by_rule": dict(sorted(by_rule.items())),
+            "explanations": [denial.to_dict() for denial in kept],
+        })
+    return 0
+
+
+def _scenario_records(path: str, policy: str):
+    """Replay *path* under *policy*, returning the decision records."""
+    from repro.experiments.scenarios import load_scenario, run_scenario
+    from repro.experiments.testbed import testbed_topology
+    from repro.obs.tracer import MemorySink, Tracer
+
+    spec = load_scenario(path)
+    sink = MemorySink(capacity=1_000_000)
+    tracer = Tracer(sink, scenario=spec.name)
+    run_scenario(
+        testbed_topology(), spec.copy_sites, policy, spec.steps,
+        initial=spec.initial, tracer=tracer,
+    )
+    return [record.to_dict() for record in sink.records]
+
+
+def _cmd_analyze_diff(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ascii_table
+    from repro.obs.analysis import RecordStream, diff_traces, explain_denial
+
+    if args.scenario is not None:
+        if args.traces:
+            raise ConfigurationError(
+                "give either two trace files or --scenario, not both"
+            )
+        policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+        if len(policies) != 2:
+            raise ConfigurationError(
+                f"--policies needs exactly two names, got {policies}"
+            )
+        print(f"replaying {args.scenario} under {policies[0]} "
+              f"and {policies[1]} ...", file=sys.stderr)
+        records_a = _scenario_records(args.scenario, policies[0])
+        records_b = _scenario_records(args.scenario, policies[1])
+    else:
+        if len(args.traces) != 2:
+            raise ConfigurationError(
+                "diff needs two JSONL traces (or --scenario FILE)"
+            )
+        records_a = RecordStream.from_jsonl(args.traces[0])
+        records_b = RecordStream.from_jsonl(args.traces[1])
+    diff = diff_traces(records_a, records_b)
+    print(f"{diff.policy_a} vs {diff.policy_b}: {diff.aligned} aligned "
+          f"decisions, {diff.agreements} agree, {diff.divergent} diverge")
+    if diff.only_a or diff.only_b:
+        print(f"unaligned decision points: {diff.only_a} only in "
+              f"{diff.policy_a}, {diff.only_b} only in {diff.policy_b}")
+    first = diff.first_divergence
+    if first is None:
+        print("the protocols agree on every aligned decision")
+    else:
+        where = f"position {first.position:g}"
+        if first.action:
+            where += f" ({first.action})"
+        print(f"\nfirst divergence at {where}:")
+        for policy, decision in (
+            (diff.policy_a, first.a), (diff.policy_b, first.b),
+        ):
+            verdict = "GRANTED" if decision.granted else "DENIED"
+            print(f"  {policy:<5} {verdict}: {decision.explain()}")
+            if not decision.granted:
+                note = explain_denial(decision.record).topological_note
+                if note:
+                    print(f"        ({note})")
+        if len(diff.divergences) > 1:
+            print()
+            print(ascii_table(
+                ["position", "action", diff.policy_a, diff.policy_b],
+                [
+                    [
+                        f"{d.position:g}", d.action or "-",
+                        "granted" if d.a.granted else "denied",
+                        "granted" if d.b.granted else "denied",
+                    ]
+                    for d in diff.divergences
+                ],
+            ))
+    if args.json_out:
+        _write_json_out(args.json_out, diff.to_dict())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    command = args.analyze_command
+    if command == "summary":
+        return _cmd_analyze_summary(args)
+    if command == "timeline":
+        return _cmd_analyze_timeline(args)
+    if command == "audit":
+        return _cmd_analyze_audit(args)
+    if command == "diff":
+        return _cmd_analyze_diff(args)
+    raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+        f"unknown analyze command {command!r}"
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -575,6 +840,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_validate(args)
     elif command == "scenario":
         return _cmd_scenario(args)
+    elif command == "analyze":
+        return _cmd_analyze(args)
     elif command == "demo":
         _cmd_demo(args)
     else:  # pragma: no cover - argparse enforces choices

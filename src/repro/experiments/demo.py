@@ -1,0 +1,102 @@
+"""The Section 2 worked example, as a reusable (and traceable) program.
+
+The paper walks one small history: three copies A, B, C on a LAN under
+LDV; seven writes; B fails and the quorum shrinks to {A, C}; three more
+writes; C fails and A alone — holding the lexicographically greatest
+member of P = {A, C} — keeps the file available.  The epilogue is the
+paper's cautionary half: A fails too, B restarts alone, and B's read
+must be denied, because B can only count 1 of the 3 members of its
+(stale) partition set P = {A, B, C}.
+
+``repro demo`` prints this story; :func:`run_demo` also accepts a
+:class:`~repro.obs.tracer.Tracer` so the same history yields a
+structured decision trace — the fixture
+``tests/obs/test_audit.py`` audits to check that every denial maps to
+the paper's prose (see :mod:`repro.obs.analysis.audit`).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING, Optional, TextIO
+
+from repro.engine import Cluster, ReplicatedFile
+from repro.errors import QuorumNotReachedError
+from repro.net.sites import Site
+from repro.net.topology import SegmentedTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import Tracer
+
+__all__ = ["run_demo", "SITE_LETTERS"]
+
+#: The paper's site letters for the demo's three copies.
+SITE_LETTERS = {1: "A", 2: "B", 3: "C"}
+
+
+def run_demo(
+    stream: Optional[TextIO] = None,
+    tracer: Optional["Tracer"] = None,
+) -> ReplicatedFile:
+    """Replay the Section 2 example, narrating each state to *stream*.
+
+    With a *tracer*, the file emits its full ``op.*`` / ``quorum.*``
+    decision trace alongside the narration.  Returns the file so
+    callers can inspect the final protocol state.
+    """
+    out = stream if stream is not None else sys.stdout
+
+    def emit(text: str = "") -> None:
+        print(text, file=out)
+
+    emit("Section 2 worked example: copies at A(1), B(2), C(3); LDV.\n")
+    topology = SegmentedTopology(
+        [Site(1, "A"), Site(2, "B"), Site(3, "C")], {"lan": [1, 2, 3]}
+    )
+    cluster = Cluster(topology)
+    file = ReplicatedFile(cluster, {1, 2, 3}, policy="LDV", initial="v1")
+    if tracer is not None:
+        file.attach_tracer(tracer)
+
+    def show(step: str) -> None:
+        states = file.protocol.replicas
+        cells = []
+        for sid, label in sorted(SITE_LETTERS.items()):
+            st = states.state(sid)
+            members = ",".join(
+                SITE_LETTERS[m] for m in sorted(st.partition_set)
+            )
+            cells.append(
+                f"{label}: o={st.operation} v={st.version} P={{{members}}}"
+            )
+        emit(f"{step:<38} {' | '.join(cells)}")
+
+    show("initial state")
+    for i in range(7):
+        file.write(1, f"write-{i + 2}")
+    show("after seven writes")
+    cluster.fail_site(2)
+    show("B fails (eager LDV shrinks quorum)")
+    for i in range(3):
+        file.write(1, f"write-{i + 9}")
+    show("three more writes by {A, C}")
+    cluster.fail_site(3)
+    show("C fails; A alone is the majority")
+    emit(f"\nfile still available: {file.is_available()}")
+    emit(f"read at A -> {file.read(1)!r}")
+
+    # Epilogue — the denial the paper warns about: A fails as well, then
+    # B restarts alone.  B's partition set is still the original
+    # {A, B, C}, so it counts 1 of 3 and must be refused.
+    cluster.fail_site(1)
+    emit()
+    show("A fails too; no copy is reachable")
+    cluster.restart_site(2)
+    show("B restarts alone (stale P at B)")
+    try:
+        file.read(2)
+        emit("read at B -> GRANTED (unexpected!)")  # pragma: no cover
+    except QuorumNotReachedError as exc:
+        emit(f"read at B -> DENIED ({exc})")
+    emit(f"\nmessage traffic: {file.counters}")
+    return file

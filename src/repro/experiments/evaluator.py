@@ -243,6 +243,8 @@ def evaluate_policy(
 
     up = set(trace.site_ids)
     view = topology.view(up)
+    if tracer is not None:
+        tracer.set_time(0.0)
     tracker = AvailabilityTracker(
         0.0,
         initially_up=protocol.is_available(view),
@@ -270,6 +272,8 @@ def evaluate_policy(
                 up.discard(event.site_id)
             view = topology.view(up)
             now = event.time
+            if tracer is not None:
+                tracer.set_time(now)
             if protocol.eager:
                 protocol.synchronize(view)
                 synchronizations += 1
@@ -281,6 +285,8 @@ def evaluate_policy(
         else:
             now = accesses[j]
             j += 1
+            if tracer is not None:
+                tracer.set_time(now)
             protocol.synchronize(view)
             synchronizations += 1
         tracker.set_state(now, protocol.is_available(view))

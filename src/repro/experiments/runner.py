@@ -5,7 +5,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.core.registry import PAPER_POLICIES
 from repro.errors import ConfigurationError
@@ -21,6 +21,7 @@ from repro.failures.trace import FailureTrace, generate_trace
 from repro.net.topology import Topology
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, MetricsSink
+from repro.obs.telemetry import StudyProgress
 from repro.obs.tracer import Tracer
 
 _log = get_logger("experiments.runner")
@@ -183,12 +184,19 @@ def _run_cell_worker(
     return ((config_key, policy), cell, metrics)
 
 
+#: Accepted by ``run_study(progress=...)``: ``True`` for a default
+#: stderr reporter, or a factory ``(total_cells, events_per_cell) ->
+#: StudyProgress`` for custom streams/clocks (tests use this).
+ProgressSpec = Union[bool, Callable[[int, int], StudyProgress], None]
+
+
 def run_study(
     params: Optional[StudyParameters] = None,
     configurations: Optional[Iterable[Configuration]] = None,
     policies: Sequence[str] = PAPER_POLICIES,
     jobs: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
+    progress: ProgressSpec = None,
 ) -> Mapping[tuple[str, str], CellResult]:
     """Run the full study: every configuration against every policy.
 
@@ -209,6 +217,14 @@ def run_study(
             per-policy decision tallies (see :func:`run_cell`).  In the
             parallel path each worker tallies into its own registry and
             the results are merged here.
+        progress: ``True`` to print a throttled progress line (cells
+            done, events/s, ETA) to stderr as cells complete, or a
+            factory building the :class:`~repro.obs.telemetry.
+            StudyProgress` reporter.  The reporter runs in this process
+            and is fed as results arrive, so it needs no cross-process
+            state and stays correct under the parallel path (the
+            ordered ``pool.map`` stream makes its lines trail the
+            slowest outstanding cell, never over-report).
     """
     if params is None:
         params = StudyParameters()
@@ -228,6 +244,16 @@ def run_study(
     access_times = poisson_times(
         params.access_rate_per_day, trace.horizon, params.seed
     )
+    reporter: Optional[StudyProgress] = None
+    if progress:
+        total_cells = len(configurations) * len(policies)
+        events_per_cell = len(trace.events) + len(access_times)
+        if callable(progress):
+            reporter = progress(total_cells, events_per_cell)
+        else:
+            reporter = StudyProgress(
+                total_cells, events_per_cell, metrics=metrics
+            )
     cells: dict[tuple[str, str], CellResult] = {}
     if jobs is None or jobs == 1:
         for configuration in configurations:
@@ -244,6 +270,8 @@ def run_study(
                 _log.debug("cell %s/%s done: unavailability %.6f",
                            configuration.key, policy, cell.unavailability)
                 cells[(configuration.key, policy)] = cell
+                if reporter is not None:
+                    reporter.cell_done((configuration.key, policy))
         return cells
     tasks = [
         (configuration.key, policy, metrics is not None)
@@ -261,4 +289,6 @@ def run_study(
             cells[key] = cell
             if metrics is not None and cell_metrics is not None:
                 metrics.merge(cell_metrics)
+            if reporter is not None:
+                reporter.cell_done(key)
     return cells

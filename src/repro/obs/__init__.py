@@ -12,6 +12,11 @@ this package makes them visible without slowing them down:
   git SHA, interpreter, per-cell wall-clock).
 * :mod:`repro.obs.logging` — stdlib-logging bridge behind the CLI's
   ``--log-level`` flag.
+* :mod:`repro.obs.telemetry` — live progress lines for long study runs
+  (``run_study(progress=True)``, ``repro study --progress``).
+* :mod:`repro.obs.analysis` — streaming trace analytics: lazy record
+  queries, availability timelines, denial auditing and trace diffing
+  (``repro analyze {summary,timeline,audit,diff}``).
 
 Quickstart::
 
@@ -37,12 +42,14 @@ from repro.obs.logging import (
     configure_logging,
     get_logger,
 )
+from repro.obs.telemetry import StudyProgress
 from repro.obs.tracer import (
     JsonlSink,
     MemorySink,
     NullSink,
     TraceRecord,
     Tracer,
+    iter_jsonl,
     read_jsonl,
 )
 
@@ -58,11 +65,13 @@ __all__ = [
     "MetricsSink",
     "NullSink",
     "RunManifest",
+    "StudyProgress",
     "TraceRecord",
     "Tracer",
     "build_manifest",
     "configure_logging",
     "get_logger",
     "git_revision",
+    "iter_jsonl",
     "read_jsonl",
 ]

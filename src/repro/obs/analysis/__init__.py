@@ -1,0 +1,56 @@
+"""Streaming analytics over structured decision traces.
+
+PR 1 made the simulator *emit* evidence (``quorum.granted`` /
+``quorum.denied``, ``tiebreak.lexicographic``, ``votes.carried``,
+``op.*``); this package *consumes* it, answering the paper's own
+questions from a trace instead of from raw JSONL:
+
+* :mod:`repro.obs.analysis.query` — a lazy record pipeline (filter /
+  project / group / count) that never materialises the trace;
+* :mod:`repro.obs.analysis.timeline` — mounted/unmounted availability
+  spans per policy, the Table 2 quantity rebuilt from decisions;
+* :mod:`repro.obs.analysis.audit` — every denial mapped back to the
+  Algorithm-1 rule that failed, in the paper's vocabulary;
+* :mod:`repro.obs.analysis.diff` — two protocols' traces over the same
+  failure history aligned, with the first divergent decision explained
+  from both sides.
+
+Surfaced on the command line as ``repro analyze
+{summary,timeline,audit,diff}``.
+"""
+
+from repro.obs.analysis.audit import (
+    RULES,
+    DenialExplanation,
+    audit_trace,
+    explain_denial,
+    explain_grant,
+)
+from repro.obs.analysis.diff import (
+    Decision,
+    Divergence,
+    TraceDiff,
+    decisions,
+    diff_traces,
+)
+from repro.obs.analysis.query import RecordStream, TraceSummary, summarize
+from repro.obs.analysis.timeline import PolicyTimeline, Span, build_timelines
+
+__all__ = [
+    "Decision",
+    "DenialExplanation",
+    "Divergence",
+    "PolicyTimeline",
+    "RULES",
+    "RecordStream",
+    "Span",
+    "TraceDiff",
+    "TraceSummary",
+    "audit_trace",
+    "build_timelines",
+    "decisions",
+    "diff_traces",
+    "explain_denial",
+    "explain_grant",
+    "summarize",
+]

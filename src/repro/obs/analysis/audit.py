@@ -1,0 +1,252 @@
+"""Explaining quorum decisions in the paper's Algorithm-1 vocabulary.
+
+Every ``quorum.denied`` record carries the raw ingredients of the
+majority-partition test — the reachable set *R*, the counted set (*Q*,
+or the claimable set *T* for topological protocols), and the previous
+partition set *P*.  This module maps each denial back to the rule of
+Algorithm 1 that failed, phrased the way Section 2 of the paper argues
+its worked example:
+
+* ``no-reachable-copy`` — the requester's partition block holds no copy
+  at all;
+* ``no-majority`` — fewer than half of the previous partition set could
+  be counted (the B-restarts-alone denial of Section 2);
+* ``lost-tiebreak`` — exactly half was counted, but the
+  lexicographically greatest member of *P* sits on the other side
+  (Jajodia's rule, LDV/ODV/TDV/OTDV);
+* ``tie-unbroken`` — exactly half, under a protocol with no
+  tie-breaking rule (plain DV denies both halves);
+* ``stale-generation`` — the lineage guard of the topological
+  protocols (docs/CORRECTNESS.md §4);
+* ``no-static-majority`` — MCV-family static quorum misses;
+* ``other`` — anything the classifier does not recognise (witness or
+  weighted extensions with their own reasons).
+
+For topological protocols the explainer also notes whether the segment
+rule could have helped: when the counted set equals *Q* (no votes were
+carried), no unreachable member of *P* shares a segment with a live
+claimant — "no topological claim possible" in the paper's terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Optional
+
+__all__ = [
+    "DenialExplanation",
+    "RULES",
+    "audit_trace",
+    "explain_denial",
+    "explain_grant",
+]
+
+Record = Mapping[str, Any]
+
+#: Rule slugs, in the order Algorithm 1 fails them.
+RULES = (
+    "no-reachable-copy",
+    "no-majority",
+    "lost-tiebreak",
+    "tie-unbroken",
+    "stale-generation",
+    "no-static-majority",
+    "other",
+)
+
+#: Protocols whose counted set is the claimable set T (Section 3).
+_TOPOLOGICAL_POLICIES = frozenset({"TDV", "OTDV", "TDV+W"})
+
+
+@dataclass(frozen=True)
+class DenialExplanation:
+    """One denied access, mapped to the Algorithm-1 rule that failed.
+
+    Attributes:
+        seq: The trace record's sequence number.
+        time: Simulated time, when the trace carries one.
+        policy: The deciding protocol.
+        rule: One of :data:`RULES`.
+        counted: The votes counted (*Q*, or *T* for topological
+            protocols).
+        partition_set: The previous partition set *P* (the denominator).
+        needed: Votes that would have carried a strict majority.
+        explanation: The denial in the paper's prose.
+        topological_note: Why vote-claiming did not help (topological
+            protocols only, empty otherwise).
+        reason: The protocol's raw reason string, for cross-checking.
+    """
+
+    seq: int
+    time: Optional[float]
+    policy: str
+    rule: str
+    counted: tuple[int, ...]
+    partition_set: tuple[int, ...]
+    needed: int
+    explanation: str
+    topological_note: str = ""
+    reason: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation."""
+        payload = {
+            "seq": self.seq,
+            "policy": self.policy,
+            "rule": self.rule,
+            "counted": list(self.counted),
+            "partition_set": list(self.partition_set),
+            "needed": self.needed,
+            "explanation": self.explanation,
+        }
+        if self.time is not None:
+            payload["time"] = self.time
+        if self.topological_note:
+            payload["topological_note"] = self.topological_note
+        if self.reason:
+            payload["reason"] = self.reason
+        return payload
+
+
+def _as_tuple(value: Any) -> tuple[int, ...]:
+    if value is None:
+        return ()
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(value))
+    return tuple(value)
+
+
+def _classify(reason: str) -> str:
+    if reason.startswith("no copies reachable") or reason.startswith(
+        "no partition block"
+    ):
+        return "no-reachable-copy"
+    if reason.startswith("fewer than half"):
+        return "no-majority"
+    if reason.startswith("tie:"):
+        if "no tie-breaking rule" in reason:
+            return "tie-unbroken"
+        return "lost-tiebreak"
+    if reason.startswith("stale generation"):
+        return "stale-generation"
+    if "quorum is" in reason:
+        return "no-static-majority"
+    return "other"
+
+
+def explain_denial(record: Record) -> DenialExplanation:
+    """Map one ``quorum.denied`` record to the rule of Algorithm 1 that
+    failed, with an explanation in the paper's vocabulary."""
+    policy = str(record.get("policy", "?"))
+    reason = str(record.get("reason", ""))
+    counted = _as_tuple(record.get("counted"))
+    partition_set = _as_tuple(record.get("partition_set"))
+    rule = _classify(reason)
+    size = len(partition_set)
+    needed = size // 2 + 1
+    p_text = "{" + ", ".join(map(str, partition_set)) + "}"
+
+    if rule == "no-reachable-copy":
+        explanation = (
+            "no copy of the file is reachable from the requesting "
+            "site's partition block; Algorithm 1 cannot even find R"
+        )
+    elif rule == "no-majority":
+        explanation = (
+            f"only {len(counted)} of the {size} members of the previous "
+            f"partition set P = {p_text} could be counted — Algorithm 1 "
+            f"requires more than half ({needed} votes) to proceed"
+        )
+    elif rule == "lost-tiebreak":
+        explanation = (
+            f"exactly half of P = {p_text} was counted "
+            f"({len(counted)} of {size}), and the lexicographically "
+            "greatest member of P is on the other side, so this half "
+            "loses the tie (Jajodia's rule)"
+        )
+    elif rule == "tie-unbroken":
+        explanation = (
+            f"exactly half of P = {p_text} was counted "
+            f"({len(counted)} of {size}); the protocol has no "
+            "tie-breaking rule, so neither half may proceed (the "
+            "blocking case LDV was invented to fix)"
+        )
+    elif rule == "stale-generation":
+        explanation = (
+            "a newer commit exists at an unreachable copy; the lineage "
+            "guard refuses to anchor a quorum on a superseded "
+            "generation (docs/CORRECTNESS.md §4)"
+        )
+    elif rule == "no-static-majority":
+        explanation = (
+            f"{len(counted)} reachable of {size} copies is below the "
+            "static majority quorum; MCV never adapts the denominator"
+        )
+    else:
+        explanation = reason or "denied for a protocol-specific reason"
+
+    topological_note = ""
+    if policy in _TOPOLOGICAL_POLICIES and rule in (
+        "no-majority", "lost-tiebreak", "tie-unbroken",
+    ):
+        reachable = frozenset(_as_tuple(record.get("reachable")))
+        carried = frozenset(counted) - reachable
+        if carried:
+            topological_note = (
+                "even after carrying the votes of down segment-mates "
+                f"{sorted(carried)}, the counted set falls short"
+            )
+        else:
+            topological_note = (
+                "no topological claim possible: no unreachable member "
+                "of P shares a segment with a reachable current copy"
+            )
+
+    return DenialExplanation(
+        seq=int(record.get("seq", -1)),
+        time=record.get("time"),
+        policy=policy,
+        rule=rule,
+        counted=counted,
+        partition_set=partition_set,
+        needed=needed,
+        explanation=explanation,
+        topological_note=topological_note,
+        reason=reason,
+    )
+
+
+def explain_grant(record: Record) -> str:
+    """A one-line Algorithm-1 reading of a ``quorum.granted`` record."""
+    counted = _as_tuple(record.get("counted"))
+    partition_set = _as_tuple(record.get("partition_set"))
+    reachable = frozenset(_as_tuple(record.get("reachable")))
+    size = len(partition_set)
+    p_text = "{" + ", ".join(map(str, partition_set)) + "}"
+    carried = sorted(frozenset(counted) - reachable)
+    if size and 2 * len(counted) > size:
+        text = (
+            f"{len(counted)} of the {size} members of P = {p_text} "
+            "counted — a strict majority"
+        )
+    elif size:
+        text = (
+            f"exactly half of P = {p_text} counted, holding the "
+            "lexicographically greatest member — the tie is won"
+        )
+    else:
+        text = "granted"
+    if carried:
+        text += (
+            f"; the votes of down segment-mates {carried} were carried "
+            "topologically"
+        )
+    return text
+
+
+def audit_trace(records: Iterable[Record]) -> Iterator[DenialExplanation]:
+    """Stream a :class:`DenialExplanation` for every ``quorum.denied``
+    record of *records* (lazy; bounded memory on any trace size)."""
+    for record in records:
+        if record.get("kind") == "quorum.denied":
+            yield explain_denial(record)

@@ -1,0 +1,268 @@
+"""Diffing two decision traces of different protocols.
+
+The paper's whole argument is comparative: the *same* failure history
+and the *same* access stream, replayed under two protocols, and the
+availability difference traced back to individual quorum decisions
+(the Section 2 worked example; the TOB-SVD line of related work argues
+safety exactly this way).  This module aligns two traces on their
+shared decision points — the scenario step index for scripted replays,
+the simulated time for study traces — and reports the first point
+where the protocols disagree, with both sides' Algorithm-1 reasoning.
+
+Both traces stream: alignment is a merge-join over two lazy decision
+iterators, so million-record traces diff in bounded memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Optional
+
+from repro.obs.analysis.audit import explain_denial, explain_grant
+
+__all__ = ["Decision", "Divergence", "TraceDiff", "decisions", "diff_traces"]
+
+Record = Mapping[str, Any]
+
+#: Keep at most this many divergence reports; beyond it, only count.
+MAX_REPORTED_DIVERGENCES = 32
+
+
+@dataclass
+class Decision:
+    """The final quorum verdict at one decision point of a trace.
+
+    A decision point is a position on the trace's timeline (scenario
+    step index, simulated time, or sequence number); the *last*
+    ``quorum.*`` record there is the verdict the driver acted on.
+    ``tiebreak`` / ``carried`` hold the companion records emitted for
+    that same verdict, when the rules fired.
+    """
+
+    position: float
+    policy: str
+    granted: bool
+    record: Record
+    action: str = ""
+    tiebreak: Optional[Record] = None
+    carried: Optional[Record] = None
+
+    def explain(self) -> str:
+        """This verdict in the paper's Algorithm-1 vocabulary."""
+        if self.granted:
+            return explain_grant(self.record)
+        return explain_denial(self.record).explanation
+
+    def rule(self) -> str:
+        """The failed Algorithm-1 rule (denials; ``""`` for grants)."""
+        if self.granted:
+            return ""
+        return explain_denial(self.record).rule
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation."""
+        payload: dict[str, Any] = {
+            "position": self.position,
+            "policy": self.policy,
+            "granted": self.granted,
+            "explanation": self.explain(),
+        }
+        if not self.granted:
+            payload["rule"] = self.rule()
+        if self.action:
+            payload["action"] = self.action
+        if self.carried is not None:
+            payload["votes_carried"] = list(self.carried.get("carried", ()))
+        if self.tiebreak is not None:
+            payload["tiebreak_winner"] = self.tiebreak.get("winner")
+        return payload
+
+
+def _describe_step(record: Record) -> str:
+    action = str(record.get("action", "?"))
+    index = record.get("index")
+    text = f"step {index}: {action}" if index is not None else action
+    site = record.get("site")
+    if site is not None:
+        text += f" at site {site}"
+        peer = record.get("peer")
+        if peer is not None:
+            text += f"-{peer}"
+    return text
+
+
+def decisions(records: Iterable[Record]) -> Iterator[Decision]:
+    """Collapse a record stream into its decision points, lazily.
+
+    Multiple ``quorum.*`` records at one position (an ``evaluate``
+    sweep over blocks, synchronisation traffic before the final probe)
+    collapse to the last verdict there, exactly as the driver saw it.
+    """
+    current_step: Optional[float] = None
+    current_action = ""
+    pending: Optional[Decision] = None
+    for record in records:
+        kind = record.get("kind")
+        if kind == "scenario.step":
+            index = record.get("index")
+            if index is not None:
+                current_step = float(index)
+            current_action = _describe_step(record)
+            continue
+        if kind == "tiebreak.lexicographic":
+            if pending is not None and pending.tiebreak is None:
+                pending.tiebreak = record
+            continue
+        if kind == "votes.carried":
+            if pending is not None and pending.carried is None:
+                pending.carried = record
+            continue
+        if kind not in ("quorum.granted", "quorum.denied"):
+            continue
+        time = record.get("time")
+        if time is not None:
+            position = float(time)
+        elif current_step is not None:
+            position = current_step
+        else:
+            position = float(record.get("seq", 0))
+        if pending is not None and position != pending.position:
+            yield pending
+            pending = None
+        pending = Decision(
+            position=position,
+            policy=str(record.get("policy", "?")),
+            granted=(kind == "quorum.granted"),
+            record=record,
+            action=current_action,
+        )
+    if pending is not None:
+        yield pending
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One decision point where the two protocols disagreed."""
+
+    position: float
+    action: str
+    a: Decision
+    b: Decision
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation."""
+        return {
+            "position": self.position,
+            "action": self.action,
+            "a": self.a.to_dict(),
+            "b": self.b.to_dict(),
+        }
+
+
+@dataclass
+class TraceDiff:
+    """The alignment of two decision traces.
+
+    Attributes:
+        policy_a / policy_b: The two protocols (first policy seen on
+            each side).
+        aligned: Decision points present in both traces.
+        divergent: Aligned points where the grant verdicts differ.
+        first_divergence: The earliest disagreement, with both sides'
+            Algorithm-1 reasoning (``None`` when the traces agree).
+        divergences: Up to :data:`MAX_REPORTED_DIVERGENCES` reports, in
+            order.
+        a_granted_b_denied / b_granted_a_denied: Direction tallies.
+        only_a / only_b: Decision points present on one side only
+            (0 when both traces replay the same script).
+    """
+
+    policy_a: str = "?"
+    policy_b: str = "?"
+    aligned: int = 0
+    divergent: int = 0
+    first_divergence: Optional[Divergence] = None
+    divergences: list[Divergence] = field(default_factory=list)
+    a_granted_b_denied: int = 0
+    b_granted_a_denied: int = 0
+    only_a: int = 0
+    only_b: int = 0
+
+    @property
+    def agreements(self) -> int:
+        return self.aligned - self.divergent
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable document (the ``--json-out`` payload)."""
+        return {
+            "format": "repro-trace-diff",
+            "version": 1,
+            "policies": [self.policy_a, self.policy_b],
+            "aligned_decisions": self.aligned,
+            "agreements": self.agreements,
+            "divergent": self.divergent,
+            "a_granted_b_denied": self.a_granted_b_denied,
+            "b_granted_a_denied": self.b_granted_a_denied,
+            "only_a": self.only_a,
+            "only_b": self.only_b,
+            "first_divergence": (
+                None
+                if self.first_divergence is None
+                else self.first_divergence.to_dict()
+            ),
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+
+
+def diff_traces(
+    records_a: Iterable[Record], records_b: Iterable[Record]
+) -> TraceDiff:
+    """Align two traces on their decision points and diff the verdicts.
+
+    Single streaming pass over both inputs (merge-join on position);
+    memory is bounded by the number of *divergences kept*, never the
+    trace length.
+    """
+    diff = TraceDiff()
+    it_a = decisions(records_a)
+    it_b = decisions(records_b)
+    a = next(it_a, None)
+    b = next(it_b, None)
+    while a is not None and b is not None:
+        if diff.policy_a == "?":
+            diff.policy_a = a.policy
+        if diff.policy_b == "?":
+            diff.policy_b = b.policy
+        if a.position == b.position:
+            diff.aligned += 1
+            if a.granted != b.granted:
+                diff.divergent += 1
+                if a.granted:
+                    diff.a_granted_b_denied += 1
+                else:
+                    diff.b_granted_a_denied += 1
+                if len(diff.divergences) < MAX_REPORTED_DIVERGENCES:
+                    divergence = Divergence(
+                        position=a.position,
+                        action=a.action or b.action,
+                        a=a,
+                        b=b,
+                    )
+                    diff.divergences.append(divergence)
+                    if diff.first_divergence is None:
+                        diff.first_divergence = divergence
+            a = next(it_a, None)
+            b = next(it_b, None)
+        elif a.position < b.position:
+            diff.only_a += 1
+            a = next(it_a, None)
+        else:
+            diff.only_b += 1
+            b = next(it_b, None)
+    while a is not None:
+        diff.only_a += 1
+        a = next(it_a, None)
+    while b is not None:
+        diff.only_b += 1
+        b = next(it_b, None)
+    return diff

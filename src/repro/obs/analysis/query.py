@@ -1,0 +1,362 @@
+"""Lazy, composable queries over structured trace records.
+
+A :class:`RecordStream` wraps a *re-iterable* source of record
+dictionaries (a JSONL file, a :class:`~repro.obs.tracer.MemorySink`, a
+list) and stacks generator transforms on top of it: filter by kind,
+policy, site or time window, project fields, limit, group and count.
+Nothing is materialised until a terminal operation asks for it, and the
+terminals themselves are single-pass — ``count()`` and
+``group_count()`` hold one counter per distinct group, never the
+records.  A million-record production trace therefore streams through
+in bounded memory (``benchmarks/test_bench_trace_analysis.py`` holds
+the line).
+
+Usage::
+
+    from repro.obs.analysis import RecordStream
+
+    stream = RecordStream.from_jsonl("trace.jsonl")
+    stream.of_kind("quorum.denied").count()
+    stream.of_kind("quorum.denied").group_count("policy")
+    stream.between(100.0, 200.0).of_kind("quorum.granted").first()
+
+Streams are *re-iterable* when their source is (files are reopened per
+pass), so one stream object supports several queries.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import Counter as _Counter
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RecordStream", "TraceSummary", "summarize"]
+
+Record = Mapping[str, Any]
+_MISSING = object()
+
+
+class _JsonlSource:
+    """A re-iterable view of a JSONL trace file (reopened per pass)."""
+
+    __slots__ = ("_path",)
+
+    def __init__(self, path: Union[str, pathlib.Path]):
+        self._path = pathlib.Path(path)
+
+    def __iter__(self) -> Iterator[Record]:
+        from repro.obs.tracer import iter_jsonl
+
+        return iter_jsonl(self._path)
+
+
+class _Transformed:
+    """A re-iterable applying one iterator transform to a source."""
+
+    __slots__ = ("_source", "_transform")
+
+    def __init__(
+        self,
+        source: Iterable[Record],
+        transform: Callable[[Iterator[Record]], Iterator[Record]],
+    ):
+        self._source = source
+        self._transform = transform
+
+    def __iter__(self) -> Iterator[Record]:
+        return self._transform(iter(self._source))
+
+
+class RecordStream:
+    """A lazy pipeline over trace records (dictionaries).
+
+    Filter/projection methods return new streams without touching the
+    source; terminal methods (:meth:`count`, :meth:`first`,
+    :meth:`group_count`, :meth:`collect`) run one pass.
+    """
+
+    def __init__(self, source: Iterable[Record]):
+        self._source = source
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_jsonl(cls, path: Union[str, pathlib.Path]) -> "RecordStream":
+        """Stream a JSONL trace file (``.gz`` transparently decompressed).
+
+        The file is read lazily and reopened on every pass, so the
+        stream is re-iterable and never holds the trace in memory.
+        """
+        path = pathlib.Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"no trace file {path}")
+        return cls(_JsonlSource(path))
+
+    @classmethod
+    def from_sink(cls, sink: Any) -> "RecordStream":
+        """Stream a :class:`~repro.obs.tracer.MemorySink`'s buffered
+        records (or any object exposing ``records`` of
+        :class:`~repro.obs.tracer.TraceRecord`), as dictionaries."""
+        if not hasattr(sink, "records"):
+            raise ConfigurationError(
+                f"{type(sink).__name__} keeps no records; use a MemorySink"
+            )
+        return cls(_Transformed(
+            _SinkSource(sink), lambda records: records
+        ))
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._source)
+
+    def _chain(
+        self, transform: Callable[[Iterator[Record]], Iterator[Record]]
+    ) -> "RecordStream":
+        return RecordStream(_Transformed(self._source, transform))
+
+    # ------------------------------------------------------------------
+    # lazy transforms
+    # ------------------------------------------------------------------
+    def of_kind(self, *kinds: str) -> "RecordStream":
+        """Records whose ``kind`` is one of *kinds* (prefix match when a
+        kind ends with ``.``, so ``of_kind("quorum.")`` takes both
+        grants and denials)."""
+        if not kinds:
+            raise ConfigurationError("of_kind needs at least one kind")
+        exact = frozenset(k for k in kinds if not k.endswith("."))
+        prefixes = tuple(k for k in kinds if k.endswith("."))
+
+        def transform(records: Iterator[Record]) -> Iterator[Record]:
+            for record in records:
+                kind = record.get("kind")
+                if kind in exact:
+                    yield record
+                elif prefixes and isinstance(kind, str) and \
+                        kind.startswith(prefixes):
+                    yield record
+
+        return self._chain(transform)
+
+    def where(
+        self,
+        predicate: Optional[Callable[[Record], bool]] = None,
+        **equals: Any,
+    ) -> "RecordStream":
+        """Records satisfying *predicate* and every ``field=value`` pair.
+
+        ``stream.where(policy="LDV", site=7)`` keeps records whose
+        fields match exactly; a callable predicate covers everything
+        else.
+        """
+        if predicate is None and not equals:
+            raise ConfigurationError("where() needs a predicate or fields")
+
+        def transform(records: Iterator[Record]) -> Iterator[Record]:
+            for record in records:
+                if predicate is not None and not predicate(record):
+                    continue
+                if all(record.get(k, _MISSING) == v for k, v in equals.items()):
+                    yield record
+
+        return self._chain(transform)
+
+    def between(
+        self, start: float = 0.0, end: float = float("inf")
+    ) -> "RecordStream":
+        """Records whose ``time`` lies in ``[start, end)``.
+
+        Untimed records (``time`` absent) are dropped — they cannot be
+        placed on the window.
+        """
+        if end < start:
+            raise ConfigurationError(
+                f"empty time window [{start}, {end})"
+            )
+
+        def transform(records: Iterator[Record]) -> Iterator[Record]:
+            for record in records:
+                time = record.get("time")
+                if time is not None and start <= time < end:
+                    yield record
+
+        return self._chain(transform)
+
+    def project(self, *fields: str) -> "RecordStream":
+        """Keep only *fields* of every record (absent fields dropped)."""
+        if not fields:
+            raise ConfigurationError("project() needs at least one field")
+
+        def transform(records: Iterator[Record]) -> Iterator[Record]:
+            for record in records:
+                yield {k: record[k] for k in fields if k in record}
+
+        return self._chain(transform)
+
+    def limit(self, n: int) -> "RecordStream":
+        """At most the first *n* records."""
+        if n < 0:
+            raise ConfigurationError(f"limit must be >= 0, got {n}")
+
+        def transform(records: Iterator[Record]) -> Iterator[Record]:
+            for index, record in enumerate(records):
+                if index >= n:
+                    return
+                yield record
+
+        return self._chain(transform)
+
+    # ------------------------------------------------------------------
+    # terminals (single pass, bounded memory)
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of records in the stream."""
+        return sum(1 for _ in self)
+
+    def first(self, default: Optional[Record] = None) -> Optional[Record]:
+        """The first record, or *default* when the stream is empty."""
+        return next(iter(self), default)
+
+    def group_count(self, *fields: str) -> dict[Any, int]:
+        """Count records per distinct value of *fields*.
+
+        One field keys by its value; several key by the tuple.  Memory
+        is proportional to the number of distinct groups, not records.
+        """
+        if not fields:
+            raise ConfigurationError("group_count() needs at least one field")
+        counts: _Counter = _Counter()
+        for record in self:
+            if len(fields) == 1:
+                key = _hashable(record.get(fields[0]))
+            else:
+                key = tuple(_hashable(record.get(f)) for f in fields)
+            counts[key] += 1
+        return dict(counts)
+
+    def collect(self) -> list[Record]:
+        """Materialise the stream as a list (explicit; use sparingly)."""
+        return list(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RecordStream source={type(self._source).__name__}>"
+
+
+class _SinkSource:
+    """Re-iterable dictionaries from a MemorySink-like object."""
+
+    __slots__ = ("_sink",)
+
+    def __init__(self, sink: Any):
+        self._sink = sink
+
+    def __iter__(self) -> Iterator[Record]:
+        for record in self._sink.records:
+            yield record.to_dict()
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(value))
+    return value
+
+
+# ----------------------------------------------------------------------
+# one-pass trace summary
+# ----------------------------------------------------------------------
+class TraceSummary:
+    """Aggregate facts about one trace, computed in a single pass.
+
+    Attributes:
+        total: Number of records seen.
+        by_kind: Record count per ``kind``.
+        by_policy: Record count per ``policy`` (records without a
+            policy tag are not counted here).
+        denials: Count of ``quorum.denied`` records.
+        grants: Count of ``quorum.granted`` records.
+        first_time / last_time: The timed span covered (``None`` when no
+            record carries a time).
+        sites: Distinct ``site`` values seen on ``op.*`` and
+            ``scenario.step`` records.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.by_kind: dict[str, int] = {}
+        self.by_policy: dict[str, int] = {}
+        self.denials = 0
+        self.grants = 0
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+        self.sites: set[int] = set()
+
+    def add(self, record: Record) -> None:
+        """Fold one record into the summary."""
+        self.total += 1
+        kind = record.get("kind", "?")
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        policy = record.get("policy")
+        if policy is not None:
+            self.by_policy[policy] = self.by_policy.get(policy, 0) + 1
+        if kind == "quorum.denied":
+            self.denials += 1
+        elif kind == "quorum.granted":
+            self.grants += 1
+        time = record.get("time")
+        if time is not None:
+            if self.first_time is None or time < self.first_time:
+                self.first_time = time
+            if self.last_time is None or time > self.last_time:
+                self.last_time = time
+        if kind.startswith(("op.", "scenario.")):
+            site = record.get("site")
+            if isinstance(site, int):
+                self.sites.add(site)
+
+    @property
+    def denial_rate(self) -> float:
+        """Denied fraction of all quorum decisions (0.0 when none)."""
+        decisions = self.grants + self.denials
+        return self.denials / decisions if decisions else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable document (the ``--json-out`` payload)."""
+        return {
+            "format": "repro-trace-summary",
+            "version": 1,
+            "total_records": self.total,
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "by_policy": dict(sorted(self.by_policy.items())),
+            "quorum": {
+                "granted": self.grants,
+                "denied": self.denials,
+                "denial_rate": self.denial_rate,
+            },
+            "time_span": (
+                None
+                if self.first_time is None
+                else {"first": self.first_time, "last": self.last_time}
+            ),
+            "sites": sorted(self.sites),
+        }
+
+
+def summarize(records: Iterable[Record]) -> TraceSummary:
+    """One-pass :class:`TraceSummary` of *records* (any record iterable,
+    typically a :class:`RecordStream`)."""
+    summary = TraceSummary()
+    for record in records:
+        summary.add(record)
+    return summary

@@ -1,0 +1,198 @@
+"""Rebuilding per-protocol availability intervals from a decision trace.
+
+The simulator's measurement model probes the quorum test after every
+event, so the *last* ``quorum.granted`` / ``quorum.denied`` record at
+each point of the trace is the file's availability verdict there (an
+``evaluate`` sweep emits one record per partition block and stops on
+the granting one, and the driver's final probe follows any
+synchronisation traffic).  Folding those verdicts in order yields the
+mounted/unmounted spans of the file — the quantity Table 2 integrates —
+without ever materialising the trace.
+
+Positions on the timeline come from the records' ``time`` field when
+the trace carries one (``evaluate_policy`` stamps the simulation clock
+via :meth:`repro.obs.tracer.Tracer.set_time`); untimed scenario traces
+fall back to the script's step index, and bare decision streams to the
+record sequence number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
+
+__all__ = ["Span", "PolicyTimeline", "build_timelines"]
+
+Record = Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One maximal interval of constant availability.
+
+    ``start`` / ``end`` are timeline positions (simulated days for
+    timed traces, step indices for scenario traces).
+    """
+
+    start: float
+    end: float
+    available: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation."""
+        return {
+            "start": self.start,
+            "end": self.end,
+            "available": self.available,
+        }
+
+
+class PolicyTimeline:
+    """The availability history of one policy, as alternating spans."""
+
+    def __init__(self, policy: str, unit: str = "time"):
+        self.policy = policy
+        #: ``"time"`` (simulated days), ``"step"`` or ``"seq"``.
+        self.unit = unit
+        self.spans: list[Span] = []
+        self._state: Optional[bool] = None
+        self._since: Optional[float] = None
+        self._pending_pos: Optional[float] = None
+        self._pending_granted: Optional[bool] = None
+        self._final_pos: Optional[float] = None
+        self.decisions = 0
+
+    # ------------------------------------------------------------------
+    # streaming construction
+    # ------------------------------------------------------------------
+    def observe(self, position: float, granted: bool) -> None:
+        """Fold one quorum verdict at *position* into the timeline.
+
+        Verdicts at the same position overwrite each other — the last
+        record at a position is the driver's final probe.
+        """
+        self.decisions += 1
+        if self._pending_pos is not None and position != self._pending_pos:
+            self._commit()
+        self._pending_pos = position
+        self._pending_granted = granted
+        self._final_pos = position
+
+    def _commit(self) -> None:
+        assert self._pending_pos is not None
+        granted = bool(self._pending_granted)
+        if self._state is None:
+            self._state = granted
+            self._since = self._pending_pos
+        elif granted != self._state:
+            self.spans.append(
+                Span(float(self._since), float(self._pending_pos), self._state)
+            )
+            self._state = granted
+            self._since = self._pending_pos
+
+    def finish(self) -> "PolicyTimeline":
+        """Close the open span; call once after the last record."""
+        if self._pending_pos is not None:
+            self._commit()
+            self._pending_pos = None
+        if self._state is not None and self._since is not None:
+            last_end = self.spans[-1].end if self.spans else self._since
+            end = max(last_end, self._last_position())
+            if end > self._since or not self.spans:
+                self.spans.append(
+                    Span(float(self._since), float(end), self._state)
+                )
+            self._state = None
+        return self
+
+    def _last_position(self) -> float:
+        return float(self._final_pos if self._final_pos is not None else 0.0)
+
+    # ------------------------------------------------------------------
+    # measures
+    # ------------------------------------------------------------------
+    @property
+    def start(self) -> float:
+        return self.spans[0].start if self.spans else 0.0
+
+    @property
+    def end(self) -> float:
+        return self.spans[-1].end if self.spans else 0.0
+
+    @property
+    def observed(self) -> float:
+        """Length of the observed window."""
+        return self.end - self.start
+
+    def unavailable_time(self, since: float = 0.0) -> float:
+        """Total unavailable span length at positions >= *since*."""
+        total = 0.0
+        for span in self.spans:
+            if span.available:
+                continue
+            lo = max(span.start, since)
+            if span.end > lo:
+                total += span.end - lo
+        return total
+
+    def unavailability(self, since: float = 0.0) -> float:
+        """Unavailable fraction of the observed window past *since* —
+        the Table 2 quantity when the trace spans a full study replay."""
+        lo = max(self.start, since)
+        window = self.end - lo
+        if window <= 0:
+            return 0.0
+        return self.unavailable_time(since) / window
+
+    @property
+    def down_spans(self) -> tuple[Span, ...]:
+        return tuple(s for s in self.spans if not s.available)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable document."""
+        return {
+            "policy": self.policy,
+            "unit": self.unit,
+            "decisions": self.decisions,
+            "observed": {"start": self.start, "end": self.end},
+            "unavailable_time": self.unavailable_time(),
+            "unavailability": self.unavailability(),
+            "down_periods": len(self.down_spans),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+
+def build_timelines(records: Iterable[Record]) -> dict[str, PolicyTimeline]:
+    """Reconstruct one :class:`PolicyTimeline` per policy from a record
+    stream (single pass, memory bounded by span count, not trace size)."""
+    timelines: dict[str, PolicyTimeline] = {}
+    current_step: Optional[float] = None
+    for record in records:
+        kind = record.get("kind")
+        if kind == "scenario.step":
+            index = record.get("index")
+            if index is not None:
+                current_step = float(index)
+            continue
+        if kind not in ("quorum.granted", "quorum.denied"):
+            continue
+        time = record.get("time")
+        if time is not None:
+            position, unit = float(time), "time"
+        elif current_step is not None:
+            position, unit = current_step, "step"
+        else:
+            position, unit = float(record.get("seq", 0)), "seq"
+        policy = str(record.get("policy", "?"))
+        timeline = timelines.get(policy)
+        if timeline is None:
+            timeline = timelines[policy] = PolicyTimeline(policy, unit)
+        timeline.observe(position, kind == "quorum.granted")
+    for timeline in timelines.values():
+        timeline.finish()
+    return timelines

@@ -12,7 +12,9 @@ pluggable sink.  Three sinks cover the useful space:
   buffer, for tests and interactive debugging;
 * :class:`JsonlSink` appends one JSON object per record to a file —
   the format ``python -m repro trace <scenario> --out trace.jsonl``
-  emits and the docs' walkthroughs read back.
+  emits and the docs' walkthroughs read back.  Paths ending in ``.gz``
+  are gzip-compressed transparently (and decompressed by
+  :func:`iter_jsonl` / :func:`read_jsonl`).
 
 Records carry a monotonically increasing sequence number, an event
 ``kind`` (dotted, e.g. ``"quorum.granted"``), an optional simulated
@@ -23,9 +25,11 @@ JSONL output is deterministic.
 from __future__ import annotations
 
 import collections
+import gzip
 import io
 import json
 import pathlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Optional, Union
 
@@ -35,6 +39,7 @@ __all__ = [
     "NullSink",
     "TraceRecord",
     "Tracer",
+    "iter_jsonl",
     "read_jsonl",
 ]
 
@@ -116,12 +121,27 @@ class MemorySink:
         self._buffer.clear()
 
 
+def _is_gzip_path(path: Union[str, pathlib.Path]) -> bool:
+    return str(path).endswith(".gz")
+
+
 class JsonlSink:
-    """Writes one JSON object per record to a file or stream."""
+    """Writes one JSON object per record to a file or stream.
+
+    Paths ending in ``.gz`` are written gzip-compressed.  The sink is a
+    context manager; on exit (or :meth:`close`) the destination is
+    flushed even when it is a borrowed stream the sink will not close —
+    ``repro trace`` output is therefore never left partially buffered.
+    """
 
     def __init__(self, destination: Union[str, pathlib.Path, io.TextIOBase]):
         if isinstance(destination, (str, pathlib.Path)):
-            self._handle: Any = open(destination, "w", encoding="utf-8")
+            if _is_gzip_path(destination):
+                self._handle: Any = gzip.open(
+                    destination, "wt", encoding="utf-8"
+                )
+            else:
+                self._handle = open(destination, "w", encoding="utf-8")
             self._owns_handle = True
         else:
             self._handle = destination
@@ -135,21 +155,81 @@ class JsonlSink:
         self.emitted += 1
 
     def close(self) -> None:
-        """Close the file if this sink opened it (borrowed streams stay
-        open)."""
-        if self._owns_handle and not self._handle.closed:
+        """Flush, then close the file if this sink opened it.
+
+        Borrowed streams are flushed but stay open, so interleaving with
+        other writers (stdout) keeps working.
+        """
+        if getattr(self._handle, "closed", False):
+            return
+        try:
+            self._handle.flush()
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            pass
+        if self._owns_handle:
             self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def iter_jsonl(
+    path: Union[str, pathlib.Path]
+) -> Iterator[dict[str, Any]]:
+    """Stream a JSONL trace file as dictionaries, one record at a time.
+
+    Never materialises the whole trace — million-record files cost one
+    record of memory.  ``.gz`` paths are decompressed transparently.  A
+    truncated final line (the signature of an interrupted run) produces
+    a :class:`UserWarning` and ends the stream instead of raising; a
+    malformed line *followed by further records* still raises
+    ``json.JSONDecodeError``, because that is corruption, not
+    truncation.
+    """
+    opener = gzip.open if _is_gzip_path(path) else open
+    with opener(path, "rt", encoding="utf-8") as handle:
+        pending: Optional[tuple[int, str]] = None
+        for number, line in enumerate(handle, start=1):
+            if pending is not None:
+                yield _parse_line(*pending, final=False)
+                pending = None
+            line = line.strip()
+            if line:
+                pending = (number, line)
+        if pending is not None:
+            record = _parse_line(*pending, final=True)
+            if record is not None:
+                yield record
+
+
+def _parse_line(
+    number: int, line: str, final: bool
+) -> Optional[dict[str, Any]]:
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError:
+        if not final:
+            raise
+        warnings.warn(
+            f"discarding truncated final line {number} of JSONL trace "
+            "(interrupted run?)",
+            UserWarning,
+            stacklevel=3,
+        )
+        return None
 
 
 def read_jsonl(path: Union[str, pathlib.Path]) -> list[dict[str, Any]]:
-    """Parse a JSONL trace file back into a list of dictionaries."""
-    records = []
-    with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
-    return records
+    """Parse a JSONL trace file back into a list of dictionaries.
+
+    Convenience wrapper over :func:`iter_jsonl` (same gzip and
+    truncated-final-line handling); prefer the iterator for large
+    traces.
+    """
+    return list(iter_jsonl(path))
 
 
 class Tracer:
@@ -161,6 +241,14 @@ class Tracer:
     extra fields (e.g. ``policy="LDV", config="H"``) onto every record,
     sharing the parent's sink and sequence counter.
 
+    A tracer also carries a *clock*: drivers that know the simulated
+    time call :meth:`set_time` as they advance, and records emitted
+    without an explicit ``time`` are stamped with the clock's value.
+    Instrumented code (protocols) stays clock-ignorant while its
+    decision records still land on the simulation timeline — which is
+    what lets :mod:`repro.obs.analysis.timeline` rebuild availability
+    intervals from a trace.
+
     Usage::
 
         tracer = Tracer(JsonlSink("trace.jsonl"))
@@ -168,12 +256,13 @@ class Tracer:
         tracer.close()
     """
 
-    __slots__ = ("_sink", "_context", "_seq_box")
+    __slots__ = ("_sink", "_context", "_seq_box", "_time_box")
 
     def __init__(self, sink: Any = None, **context: Any):
         self._sink = sink if sink is not None else NullSink()
         self._context = dict(context)
         self._seq_box = [0]
+        self._time_box: list[Optional[float]] = [None]
 
     @property
     def sink(self) -> Any:
@@ -189,14 +278,29 @@ class Tracer:
         child._sink = self._sink
         child._context = {**self._context, **context}
         child._seq_box = self._seq_box
+        child._time_box = self._time_box
         return child
+
+    def set_time(self, time: Optional[float]) -> None:
+        """Advance the shared clock (``None`` stops time-stamping).
+
+        The clock is shared with every :meth:`bind` child, so one
+        driver-side call per event stamps all instrumented layers.
+        """
+        self._time_box[0] = time
 
     def record(
         self, kind: str, time: Optional[float] = None, **fields: Any
     ) -> None:
-        """Emit one record of *kind* at simulated *time* (optional)."""
+        """Emit one record of *kind* at simulated *time* (optional).
+
+        Without an explicit *time*, the shared clock's value (see
+        :meth:`set_time`) is used when one has been set.
+        """
         seq = self._seq_box[0]
         self._seq_box[0] = seq + 1
+        if time is None:
+            time = self._time_box[0]
         if self._context:
             merged = {**self._context, **fields}
         else:

@@ -30,6 +30,13 @@ class TestCommands:
         assert "P={A}" in out        # A alone is the majority
         assert "available: True" in out
 
+    def test_demo_epilogue_shows_the_denied_read(self, capsys):
+        """Section 2's cautionary half: B restarting alone is refused."""
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "read at B -> DENIED" in out
+        assert "fewer than half of the previous partition set" in out
+
     def test_trace(self, capsys):
         assert main(["trace", "--horizon", "2000"]) == 0
         out = capsys.readouterr().out
@@ -164,6 +171,11 @@ class TestObservability:
         assert dump["manifest"]["command"] == "validate"
         assert dump["manifest"]["extra"]["failures"] == 0
 
+    def test_study_progress_flag(self, capsys):
+        assert main(["study", *FAST, "--no-compare", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "progress: 48/48 cells (100%)" in err
+
     def test_log_level_flag(self, capsys):
         import logging
 
@@ -179,3 +191,116 @@ class TestObservability:
     def test_bad_log_level_rejected(self):
         with pytest.raises(SystemExit):
             main(["--log-level", "loud", "testbed"])
+
+
+class TestAnalyze:
+    """The ``repro analyze`` family over real scenario traces."""
+
+    def _scenario(self, name):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        return root / "examples" / "scenarios" / name
+
+    @pytest.fixture()
+    def h_split_trace(self, tmp_path, capsys):
+        path = tmp_path / "h_split.jsonl"
+        assert main(["trace", str(self._scenario("configuration_h_split.json")),
+                     "--out", str(path)]) == 0
+        capsys.readouterr()  # swallow the trace command's own output
+        return path
+
+    def test_summary(self, h_split_trace, capsys):
+        assert main(["analyze", "summary", str(h_split_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "28 records" in out
+        assert "quorum.granted" in out
+        assert "denial rate" in out
+
+    def test_summary_json_out(self, h_split_trace, capsys, tmp_path):
+        import json
+
+        dest = tmp_path / "summary.json"
+        assert main(["analyze", "summary", str(h_split_trace),
+                     "--json-out", str(dest)]) == 0
+        payload = json.loads(dest.read_text())
+        assert payload["format"] == "repro-trace-summary"
+        assert payload["quorum"]["denied"] == 1
+
+    def test_timeline(self, h_split_trace, capsys):
+        assert main(["analyze", "timeline", str(h_split_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "LDV" in out and "unavailability" in out
+        assert "unavailable spans" in out
+
+    def test_timeline_unknown_policy_fails(self, h_split_trace, capsys):
+        assert main(["analyze", "timeline", str(h_split_trace),
+                     "--policy", "MCV"]) == 1
+        assert "no decisions by 'MCV'" in capsys.readouterr().err
+
+    def test_audit_explains_the_lost_tiebreak(self, h_split_trace, capsys):
+        assert main(["analyze", "audit", str(h_split_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "lost-tiebreak" in out
+        assert "Jajodia" in out
+
+    def test_audit_json_out(self, h_split_trace, capsys, tmp_path):
+        import json
+
+        dest = tmp_path / "audit.json"
+        assert main(["analyze", "audit", str(h_split_trace),
+                     "--json-out", str(dest)]) == 0
+        payload = json.loads(dest.read_text())
+        assert payload["denials"] == 1
+        assert payload["by_rule"] == {"lost-tiebreak": 1}
+        assert payload["explanations"][0]["explanation"]
+
+    def test_diff_scenario_mode_finds_the_divergence(self, capsys):
+        assert main([
+            "analyze", "diff",
+            "--scenario",
+            str(self._scenario("configuration_h_double_fault.json")),
+            "--policies", "ODV,OTDV",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ODV vs OTDV" in out
+        assert "first divergence at position 3" in out
+        assert "DENIED" in out and "GRANTED" in out
+        assert "carried topologically" in out
+
+    def test_diff_two_trace_files(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        scenario = str(self._scenario("configuration_h_split.json"))
+        assert main(["trace", scenario, "--out", str(a)]) == 0
+        assert main(["trace", scenario, "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "agree" in out
+        assert "the protocols agree on every aligned decision" in out
+
+    def test_diff_needs_two_traces_or_a_scenario(self, capsys):
+        assert main(["analyze", "diff"]) == 1
+        assert "two JSONL traces" in capsys.readouterr().err
+
+    def test_diff_json_out(self, tmp_path, capsys):
+        import json
+
+        dest = tmp_path / "diff.json"
+        assert main([
+            "analyze", "diff",
+            "--scenario",
+            str(self._scenario("configuration_h_double_fault.json")),
+            "--json-out", str(dest),
+        ]) == 0
+        payload = json.loads(dest.read_text())
+        assert payload["format"] == "repro-trace-diff"
+        assert payload["policies"] == ["ODV", "OTDV"]
+        assert payload["first_divergence"]["position"] == 3.0
+        assert payload["first_divergence"]["b"]["votes_carried"] == [2]
+
+    def test_analyze_missing_trace_fails(self, tmp_path, capsys):
+        assert main(["analyze", "summary",
+                     str(tmp_path / "nope.jsonl")]) == 1
+        assert "no trace file" in capsys.readouterr().err

@@ -1,0 +1,196 @@
+"""Unit tests for the quorum-denial auditor.
+
+Satellite: the Section 2 worked example (``repro demo``) must audit
+cleanly — every denied access maps to an Algorithm-1 rule with the
+paper's prose explanation.
+"""
+
+import io
+
+import pytest
+
+from repro.obs.analysis import (
+    RULES,
+    audit_trace,
+    explain_denial,
+    explain_grant,
+)
+
+
+def _denied(reason, policy="LDV", **fields):
+    return {"kind": "quorum.denied", "seq": 7, "policy": policy,
+            "reason": reason, **fields}
+
+
+class TestClassification:
+    @pytest.mark.parametrize("reason, rule", [
+        ("no copies reachable in block", "no-reachable-copy"),
+        ("no partition block contains a copy", "no-reachable-copy"),
+        ("fewer than half of the previous partition set reachable",
+         "no-majority"),
+        ("tie: exactly half of the previous partition set, without its "
+         "maximum element", "lost-tiebreak"),
+        ("tie: exactly half of the previous partition set "
+         "(no tie-breaking rule)", "tie-unbroken"),
+        ("stale generation: a newer commit exists elsewhere",
+         "stale-generation"),
+        ("2 of 5 copies reachable, quorum is 3", "no-static-majority"),
+        ("some exotic witness condition", "other"),
+    ])
+    def test_reason_maps_to_rule(self, reason, rule):
+        explanation = explain_denial(_denied(reason))
+        assert explanation.rule == rule
+        assert explanation.rule in RULES
+        assert explanation.explanation.strip()
+
+    def test_no_majority_explanation_speaks_the_papers_language(self):
+        explanation = explain_denial(_denied(
+            "fewer than half of the previous partition set reachable",
+            counted=[1], partition_set=[1, 2, 7, 8],
+        ))
+        assert "1 of the 4 members" in explanation.explanation
+        assert "P = {1, 2, 7, 8}" in explanation.explanation
+        assert "more than half (3 votes)" in explanation.explanation
+        assert explanation.needed == 3
+
+    def test_lost_tiebreak_explanation_names_jajodias_rule(self):
+        explanation = explain_denial(_denied(
+            "tie: exactly half of the previous partition set, without its "
+            "maximum element",
+            counted=[7, 8], partition_set=[1, 2, 7, 8],
+        ))
+        assert "exactly half" in explanation.explanation
+        assert "Jajodia" in explanation.explanation
+
+    def test_fields_carried_through(self):
+        explanation = explain_denial(_denied(
+            "fewer than half of the previous partition set reachable",
+            counted=[2], partition_set=[1, 2, 3], time=12.5,
+        ))
+        assert explanation.seq == 7
+        assert explanation.time == 12.5
+        assert explanation.counted == (2,)
+        assert explanation.partition_set == (1, 2, 3)
+        assert explanation.reason.startswith("fewer than half")
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        payload = explain_denial(_denied(
+            "tie: exactly half of the previous partition set, without its "
+            "maximum element",
+            policy="OTDV", counted=[7, 8], partition_set=[1, 2, 7, 8],
+            reachable=[7, 8],
+        )).to_dict()
+        assert payload["rule"] == "lost-tiebreak"
+        assert payload["topological_note"]
+        json.dumps(payload)
+
+
+class TestTopologicalNote:
+    def test_note_when_votes_were_carried_but_fell_short(self):
+        explanation = explain_denial(_denied(
+            "fewer than half of the previous partition set reachable",
+            policy="OTDV", counted=[1, 2], partition_set=[1, 2, 5, 7, 8],
+            reachable=[1],
+        ))
+        assert "carrying the votes of down segment-mates [2]" in \
+            explanation.topological_note
+
+    def test_note_when_no_claim_was_possible(self):
+        explanation = explain_denial(_denied(
+            "fewer than half of the previous partition set reachable",
+            policy="TDV", counted=[7], partition_set=[1, 2, 7, 8],
+            reachable=[7],
+        ))
+        assert "no topological claim possible" in explanation.topological_note
+
+    def test_no_note_for_non_topological_policies(self):
+        explanation = explain_denial(_denied(
+            "fewer than half of the previous partition set reachable",
+            policy="LDV", counted=[7], partition_set=[1, 2, 7, 8],
+        ))
+        assert explanation.topological_note == ""
+
+
+class TestExplainGrant:
+    def test_strict_majority(self):
+        text = explain_grant({
+            "kind": "quorum.granted", "counted": [1, 2, 7],
+            "partition_set": [1, 2, 7, 8], "reachable": [1, 2, 7],
+        })
+        assert "3 of the 4 members" in text
+        assert "strict majority" in text
+
+    def test_tie_won(self):
+        text = explain_grant({
+            "kind": "quorum.granted", "counted": [1, 2],
+            "partition_set": [1, 2, 7, 8], "reachable": [1, 2],
+        })
+        assert "exactly half" in text and "tie is won" in text
+
+    def test_carried_votes_mentioned(self):
+        text = explain_grant({
+            "kind": "quorum.granted", "counted": [1, 2],
+            "partition_set": [1, 2, 7, 8], "reachable": [1],
+        })
+        assert "down segment-mates [2]" in text
+        assert "carried topologically" in text
+
+
+class TestAuditTrace:
+    def test_only_denials_are_explained(self):
+        records = [
+            {"kind": "quorum.granted", "policy": "LDV"},
+            _denied("fewer than half of the previous partition set "
+                    "reachable"),
+            {"kind": "op.read", "site": 1},
+            _denied("no copies reachable in block"),
+        ]
+        rules = [e.rule for e in audit_trace(records)]
+        assert rules == ["no-majority", "no-reachable-copy"]
+
+    def test_lazy_streaming(self):
+        def infinite():
+            while True:
+                yield _denied("no copies reachable in block")
+
+        explanations = audit_trace(infinite())
+        assert next(explanations).rule == "no-reachable-copy"
+
+
+class TestSection2Demo:
+    """Satellite: the worked example's denials audit to the paper's prose."""
+
+    @pytest.fixture(scope="class")
+    def demo_explanations(self):
+        from repro.experiments.demo import run_demo
+        from repro.obs.analysis import RecordStream
+        from repro.obs.tracer import MemorySink, Tracer
+
+        sink = MemorySink()
+        run_demo(stream=io.StringIO(), tracer=Tracer(sink))
+        return list(audit_trace(RecordStream.from_sink(sink)))
+
+    def test_demo_has_denials_to_audit(self, demo_explanations):
+        assert demo_explanations
+
+    def test_every_denial_gets_prose_and_a_rule(self, demo_explanations):
+        for explanation in demo_explanations:
+            assert explanation.rule in RULES
+            assert explanation.rule != "other"
+            assert explanation.explanation.strip()
+
+    def test_b_restarting_alone_is_the_no_majority_denial(
+        self, demo_explanations
+    ):
+        """Section 2's cautionary case: B restarts with the stale
+        partition set {A, B, C} and counts only itself — 1 of 3."""
+        no_majority = [e for e in demo_explanations
+                       if e.rule == "no-majority"]
+        assert no_majority
+        final = no_majority[-1]
+        assert final.partition_set == (1, 2, 3)
+        assert final.counted == (2,)
+        assert "1 of the 3 members" in final.explanation
+        assert "more than half (2 votes)" in final.explanation

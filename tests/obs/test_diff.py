@@ -1,0 +1,176 @@
+"""Unit tests for decision-trace diffing.
+
+The acceptance case: ODV and OTDV replayed over the same
+configuration-H double fault must diverge at the isolated site's read,
+with both protocols' Algorithm-1 reasoning reported.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.obs.analysis import decisions, diff_traces
+
+
+def _grant(position, policy="ODV", **fields):
+    return {"kind": "quorum.granted", "time": position, "policy": policy,
+            **fields}
+
+
+def _deny(position, policy="ODV", **fields):
+    return {"kind": "quorum.denied", "time": position, "policy": policy,
+            "reason": "fewer than half of the previous partition set "
+                      "reachable",
+            **fields}
+
+
+class TestDecisions:
+    def test_last_record_at_a_position_wins(self):
+        records = [
+            _deny(1.0),   # evaluate sweep: first block denied...
+            _grant(1.0),  # ...second block granted; the verdict
+            _deny(2.0),
+        ]
+        verdicts = [(d.position, d.granted) for d in decisions(records)]
+        assert verdicts == [(1.0, True), (2.0, False)]
+
+    def test_positions_fall_back_to_scenario_steps(self):
+        records = [
+            {"kind": "scenario.step", "index": 0, "action": "write",
+             "site": 1},
+            {"kind": "quorum.granted", "policy": "ODV"},
+            {"kind": "scenario.step", "index": 1, "action": "read",
+             "site": 7},
+            {"kind": "quorum.denied", "policy": "ODV",
+             "reason": "fewer than half of the previous partition set "
+                       "reachable"},
+        ]
+        got = list(decisions(records))
+        assert [(d.position, d.granted) for d in got] == [
+            (0.0, True), (1.0, False),
+        ]
+        assert got[1].action == "step 1: read at site 7"
+
+    def test_companion_records_attach_to_the_decision(self):
+        records = [
+            _grant(1.0),
+            {"kind": "votes.carried", "carried": [2], "claimants": [1]},
+            {"kind": "tiebreak.lexicographic", "winner": 1, "granted": True},
+        ]
+        decision = next(decisions(records))
+        assert decision.carried["carried"] == [2]
+        assert decision.tiebreak["winner"] == 1
+
+    def test_explain_speaks_algorithm_1(self):
+        decision = next(decisions([
+            _deny(3.0, counted=[1], partition_set=[1, 2, 7, 8]),
+        ]))
+        assert decision.rule() == "no-majority"
+        assert "1 of the 4 members" in decision.explain()
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        records = [
+            _grant(1.0, counted=[1, 2], partition_set=[1, 2, 7, 8],
+                   reachable=[1]),
+            {"kind": "votes.carried", "carried": [2], "claimants": [1]},
+        ]
+        payload = next(decisions(records)).to_dict()
+        assert payload["granted"] is True
+        assert payload["votes_carried"] == [2]
+        json.dumps(payload)
+
+
+class TestDiffTraces:
+    def test_identical_traces_have_no_divergence(self):
+        records = [_grant(1.0), _deny(2.0), _grant(3.0)]
+        diff = diff_traces(records, list(records))
+        assert diff.aligned == 3
+        assert diff.divergent == 0
+        assert diff.agreements == 3
+        assert diff.first_divergence is None
+
+    def test_first_divergence_is_reported_with_both_sides(self):
+        a = [_grant(1.0, policy="OTDV"), _grant(2.0, policy="OTDV")]
+        b = [_grant(1.0, policy="ODV"),
+             _deny(2.0, policy="ODV", counted=[1],
+                   partition_set=[1, 2, 7, 8])]
+        diff = diff_traces(a, b)
+        assert diff.policy_a == "OTDV" and diff.policy_b == "ODV"
+        assert diff.divergent == 1
+        assert diff.a_granted_b_denied == 1
+        first = diff.first_divergence
+        assert first.position == 2.0
+        assert first.a.granted and not first.b.granted
+        assert first.b.rule() == "no-majority"
+
+    def test_unaligned_positions_counted_not_diffed(self):
+        a = [_grant(1.0), _grant(2.0)]
+        b = [_grant(1.0), _grant(3.0)]
+        diff = diff_traces(a, b)
+        assert diff.aligned == 1
+        assert diff.only_a == 1 and diff.only_b == 1
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        diff = diff_traces(
+            [_grant(1.0, policy="OTDV")],
+            [_deny(1.0, policy="ODV")],
+        )
+        payload = diff.to_dict()
+        assert payload["format"] == "repro-trace-diff"
+        assert payload["policies"] == ["OTDV", "ODV"]
+        assert payload["first_divergence"]["position"] == 1.0
+        json.dumps(payload)
+
+
+class TestDoubleFaultAcceptance:
+    """ODV vs OTDV over the same double fault: the diff must pinpoint
+    the first divergent quorum decision with both protocols' reasoning."""
+
+    @pytest.fixture(scope="class")
+    def diff(self):
+        from repro.experiments.scenarios import load_scenario, run_scenario
+        from repro.experiments.testbed import testbed_topology
+        from repro.obs.analysis import RecordStream
+        from repro.obs.tracer import MemorySink, Tracer
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        spec = load_scenario(
+            root / "examples" / "scenarios"
+            / "configuration_h_double_fault.json"
+        )
+
+        def replay(policy):
+            sink = MemorySink()
+            run_scenario(
+                testbed_topology(), spec.copy_sites, policy, spec.steps,
+                initial=spec.initial, tracer=Tracer(sink),
+            )
+            return RecordStream.from_sink(sink)
+
+        return diff_traces(replay("ODV"), replay("OTDV"))
+
+    def test_protocols_diverge(self, diff):
+        assert diff.policy_a == "ODV" and diff.policy_b == "OTDV"
+        assert diff.divergent > 0
+        assert diff.b_granted_a_denied == diff.divergent
+
+    def test_first_divergence_is_the_isolated_read(self, diff):
+        first = diff.first_divergence
+        assert first.position == 3.0  # step 3: read at site 1
+        assert "read at site 1" in first.action
+        assert not first.a.granted and first.b.granted
+
+    def test_both_sides_reason_in_the_papers_vocabulary(self, diff):
+        first = diff.first_divergence
+        # ODV: csvax alone counts 1 of the 4 members of P.
+        assert first.a.rule() == "no-majority"
+        assert "1 of the 4 members" in first.a.explain()
+        # OTDV: beowulf's vote is carried (down segment-mate), reaching
+        # exactly half, and csvax holds the tie-break.
+        assert "carried topologically" in first.b.explain()
+        assert "tie is won" in first.b.explain()
+        assert first.b.carried["carried"] == [2]

@@ -1,0 +1,197 @@
+"""Unit tests for the lazy record-query pipeline."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.analysis import RecordStream, summarize
+from repro.obs.tracer import MemorySink, Tracer
+
+
+def _records():
+    return [
+        {"seq": 0, "kind": "scenario.step", "index": 0, "action": "write",
+         "site": 1},
+        {"seq": 1, "kind": "quorum.granted", "time": 1.0, "policy": "LDV",
+         "counted": [1, 2], "site": 1},
+        {"seq": 2, "kind": "op.write", "time": 1.0, "site": 1},
+        {"seq": 3, "kind": "quorum.denied", "time": 2.5, "policy": "LDV",
+         "reason": "tie: x", "site": 7},
+        {"seq": 4, "kind": "quorum.granted", "time": 4.0, "policy": "ODV",
+         "site": 2},
+        {"seq": 5, "kind": "tiebreak.lexicographic", "winner": 1},
+    ]
+
+
+def _jsonl(tmp_path, records, name="trace.jsonl"):
+    path = tmp_path / name
+    path.write_text(
+        "".join(json.dumps(r, separators=(",", ":")) + "\n" for r in records)
+    )
+    return path
+
+
+class TestTransforms:
+    def test_of_kind_exact(self):
+        stream = RecordStream(_records())
+        assert stream.of_kind("quorum.denied").count() == 1
+
+    def test_of_kind_prefix(self):
+        stream = RecordStream(_records())
+        assert stream.of_kind("quorum.").count() == 3
+        assert stream.of_kind("op.", "scenario.step").count() == 2
+
+    def test_of_kind_requires_a_kind(self):
+        with pytest.raises(ConfigurationError):
+            RecordStream(_records()).of_kind()
+
+    def test_where_by_field_equality(self):
+        stream = RecordStream(_records())
+        assert stream.where(policy="LDV").count() == 2
+        assert stream.where(policy="LDV", site=7).count() == 1
+
+    def test_where_missing_field_never_matches(self):
+        assert RecordStream(_records()).where(policy=None).count() == 0
+
+    def test_where_with_predicate(self):
+        stream = RecordStream(_records())
+        assert stream.where(lambda r: r.get("site", 0) > 2).count() == 1
+
+    def test_where_requires_a_filter(self):
+        with pytest.raises(ConfigurationError):
+            RecordStream(_records()).where()
+
+    def test_between_half_open_window(self):
+        stream = RecordStream(_records())
+        assert stream.between(1.0, 4.0).count() == 3  # 4.0 excluded
+        assert stream.between(2.5).count() == 2
+
+    def test_between_drops_untimed_records(self):
+        assert RecordStream(_records()).between(0.0).count() == 4
+
+    def test_between_rejects_empty_window(self):
+        with pytest.raises(ConfigurationError):
+            RecordStream(_records()).between(5.0, 1.0)
+
+    def test_project_keeps_only_fields(self):
+        stream = RecordStream(_records()).of_kind("quorum.granted")
+        rows = stream.project("policy", "site").collect()
+        assert rows == [{"policy": "LDV", "site": 1},
+                        {"policy": "ODV", "site": 2}]
+
+    def test_project_requires_fields(self):
+        with pytest.raises(ConfigurationError):
+            RecordStream(_records()).project()
+
+    def test_limit(self):
+        assert RecordStream(_records()).limit(2).count() == 2
+        assert RecordStream(_records()).limit(0).count() == 0
+
+    def test_limit_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            RecordStream(_records()).limit(-1)
+
+    def test_transforms_compose_lazily(self):
+        stream = (
+            RecordStream(_records())
+            .of_kind("quorum.")
+            .where(policy="LDV")
+            .between(0.0, 2.0)
+        )
+        assert [r["seq"] for r in stream] == [1]
+
+
+class TestTerminals:
+    def test_count_and_first(self):
+        stream = RecordStream(_records())
+        assert stream.count() == 6
+        assert stream.first()["seq"] == 0
+        assert stream.of_kind("nope").first() is None
+        assert stream.of_kind("nope").first({"d": 1}) == {"d": 1}
+
+    def test_group_count_single_field(self):
+        counts = RecordStream(_records()).of_kind("quorum.").group_count(
+            "policy"
+        )
+        assert counts == {"LDV": 2, "ODV": 1}
+
+    def test_group_count_multiple_fields(self):
+        counts = RecordStream(_records()).of_kind("quorum.").group_count(
+            "policy", "kind"
+        )
+        assert counts[("LDV", "quorum.granted")] == 1
+        assert counts[("LDV", "quorum.denied")] == 1
+
+    def test_group_count_hashes_list_values(self):
+        counts = RecordStream(_records()).where(
+            lambda r: "counted" in r
+        ).group_count("counted")
+        assert counts == {(1, 2): 1}
+
+    def test_group_count_requires_fields(self):
+        with pytest.raises(ConfigurationError):
+            RecordStream(_records()).group_count()
+
+
+class TestSources:
+    def test_from_jsonl_streams_and_reiterates(self, tmp_path):
+        path = _jsonl(tmp_path, _records())
+        stream = RecordStream.from_jsonl(path)
+        # Two passes over the same stream object give the same answer —
+        # the file is reopened per pass.
+        assert stream.count() == 6
+        assert stream.of_kind("quorum.denied").count() == 1
+
+    def test_from_jsonl_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RecordStream.from_jsonl(tmp_path / "nope.jsonl")
+
+    def test_from_jsonl_gzip(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "trace.jsonl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            for record in _records():
+                fh.write(json.dumps(record) + "\n")
+        assert RecordStream.from_jsonl(path).count() == 6
+
+    def test_from_sink(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, policy="LDV")
+        tracer.record("quorum.granted", site=1)
+        tracer.record("quorum.denied", site=2)
+        stream = RecordStream.from_sink(sink)
+        assert stream.of_kind("quorum.denied").count() == 1
+        assert stream.first()["policy"] == "LDV"
+
+    def test_from_sink_rejects_recordless_sinks(self):
+        from repro.obs.tracer import NullSink
+
+        with pytest.raises(ConfigurationError):
+            RecordStream.from_sink(NullSink())
+
+
+class TestSummarize:
+    def test_summary_aggregates_in_one_pass(self):
+        summary = summarize(_records())
+        assert summary.total == 6
+        assert summary.by_kind["quorum.granted"] == 2
+        assert summary.by_policy == {"LDV": 2, "ODV": 1}
+        assert summary.grants == 2 and summary.denials == 1
+        assert summary.denial_rate == pytest.approx(1 / 3)
+        assert summary.first_time == 1.0 and summary.last_time == 4.0
+        assert summary.sites == {1}  # op.* / scenario.* records only
+
+    def test_summary_without_quorum_records(self):
+        summary = summarize([{"kind": "event.fired"}])
+        assert summary.denial_rate == 0.0
+        assert summary.first_time is None
+
+    def test_summary_to_dict_is_json_ready(self):
+        payload = summarize(_records()).to_dict()
+        assert payload["format"] == "repro-trace-summary"
+        assert payload["quorum"] == {
+            "granted": 2, "denied": 1, "denial_rate": pytest.approx(1 / 3),
+        }
+        json.dumps(payload)  # must serialise

@@ -1,0 +1,174 @@
+"""Unit tests for live study-progress telemetry."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import StudyProgress
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _reporter(total=4, events=1000, interval=5.0, metrics=None):
+    clock = FakeClock()
+    stream = io.StringIO()
+    reporter = StudyProgress(
+        total, events, stream=stream, interval_seconds=interval,
+        metrics=metrics, clock=clock,
+    )
+    return reporter, clock, stream
+
+
+class TestValidation:
+    def test_rejects_bad_totals(self):
+        with pytest.raises(ConfigurationError):
+            StudyProgress(0)
+        with pytest.raises(ConfigurationError):
+            StudyProgress(4, events_per_cell=-1)
+        with pytest.raises(ConfigurationError):
+            StudyProgress(4, interval_seconds=-1.0)
+
+
+class TestThrottling:
+    def test_first_cell_reports_immediately(self):
+        reporter, clock, stream = _reporter()
+        clock.advance(1.0)
+        reporter.cell_done(("A", "MCV"))
+        assert reporter.lines_emitted == 1
+        assert "progress: 1/4 cells (25%)" in stream.getvalue()
+        assert "last A/MCV" in stream.getvalue()
+
+    def test_lines_are_throttled_between_intervals(self):
+        reporter, clock, stream = _reporter(total=10, interval=5.0)
+        clock.advance(1.0)
+        reporter.cell_done()          # reports (first)
+        clock.advance(1.0)
+        reporter.cell_done()          # throttled
+        reporter.cell_done()          # throttled
+        clock.advance(5.0)
+        reporter.cell_done()          # due again
+        assert reporter.lines_emitted == 2
+        assert reporter.cells_done == 4
+
+    def test_final_cell_always_reports(self):
+        reporter, clock, stream = _reporter(total=2, interval=1e9)
+        clock.advance(1.0)
+        reporter.cell_done()
+        reporter.cell_done()  # throttle window not due, but final
+        assert reporter.lines_emitted == 2
+        assert "progress: 2/2 cells (100%)" in stream.getvalue()
+
+
+class TestRates:
+    def test_events_per_second(self):
+        reporter, clock, _ = _reporter(total=4, events=1000)
+        clock.advance(2.0)
+        reporter.cell_done()
+        assert reporter.events_per_second() == pytest.approx(500.0)
+
+    def test_rate_is_zero_without_events_per_cell(self):
+        reporter, clock, _ = _reporter(events=0)
+        clock.advance(1.0)
+        reporter.cell_done()
+        assert reporter.events_per_second() == 0.0
+
+    def test_eta(self):
+        reporter, clock, _ = _reporter(total=4)
+        assert reporter.eta_seconds() == float("inf")  # nothing done yet
+        clock.advance(10.0)
+        reporter.cell_done()  # 1 cell per 10s; 3 remain
+        assert reporter.eta_seconds() == pytest.approx(30.0)
+
+    def test_progress_line_mentions_rate_and_eta(self):
+        reporter, clock, stream = _reporter(total=4, events=1000)
+        clock.advance(2.0)
+        reporter.cell_done()
+        line = stream.getvalue()
+        assert "events/s" in line
+        assert "ETA" in line
+
+
+class TestMetricsGauges:
+    def test_gauges_published_every_cell(self):
+        metrics = MetricsRegistry()
+        reporter, clock, _ = _reporter(total=4, events=1000,
+                                       metrics=metrics)
+        clock.advance(2.0)
+        reporter.cell_done()
+        assert metrics.gauge("study.cells_done").value == 1
+        assert metrics.gauge("study.events_per_second").value == \
+            pytest.approx(500.0)
+        assert metrics.gauge("study.eta_seconds").value == \
+            pytest.approx(6.0)
+
+
+class TestRunStudyIntegration:
+    def _progress_factory(self, stream):
+        def factory(total_cells, events_per_cell):
+            return StudyProgress(
+                total_cells, events_per_cell, stream=stream,
+                interval_seconds=0.0,
+            )
+        return factory
+
+    def test_sequential_study_reports_every_cell(self):
+        from repro.experiments.configs import CONFIGURATIONS
+        from repro.experiments.runner import StudyParameters, run_study
+
+        stream = io.StringIO()
+        params = StudyParameters(horizon=800.0, warmup=100.0, batches=2)
+        cells = run_study(
+            params,
+            configurations=[CONFIGURATIONS["A"]],
+            policies=("MCV", "LDV"),
+            progress=self._progress_factory(stream),
+        )
+        assert len(cells) == 2
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2  # interval 0: every cell reports
+        assert "progress: 2/2 cells (100%)" in lines[-1]
+        assert "last A/LDV" in lines[-1]
+
+    def test_parallel_study_reports_in_the_parent(self):
+        """The reporter observes completions in the parent process, so
+        the parallel path needs no cross-process state."""
+        from repro.experiments.configs import CONFIGURATIONS
+        from repro.experiments.runner import StudyParameters, run_study
+
+        stream = io.StringIO()
+        params = StudyParameters(horizon=800.0, warmup=100.0, batches=2)
+        cells = run_study(
+            params,
+            configurations=[CONFIGURATIONS["A"]],
+            policies=("MCV", "LDV"),
+            jobs=2,
+            progress=self._progress_factory(stream),
+        )
+        assert len(cells) == 2
+        assert "progress: 2/2 cells (100%)" in stream.getvalue()
+
+    def test_progress_true_builds_a_default_reporter(self, capsys):
+        from repro.experiments.configs import CONFIGURATIONS
+        from repro.experiments.runner import StudyParameters, run_study
+
+        params = StudyParameters(horizon=800.0, warmup=100.0, batches=2)
+        run_study(
+            params,
+            configurations=[CONFIGURATIONS["A"]],
+            policies=("MCV",),
+            progress=True,
+        )
+        assert "progress: 1/1 cells (100%)" in capsys.readouterr().err

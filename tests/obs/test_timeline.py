@@ -1,0 +1,166 @@
+"""Unit tests for availability-timeline reconstruction."""
+
+import pytest
+
+from repro.obs.analysis import PolicyTimeline, build_timelines
+
+
+def _quorum(kind, policy="LDV", **fields):
+    return {"kind": kind, "policy": policy, **fields}
+
+
+class TestPolicyTimeline:
+    def test_alternating_verdicts_produce_spans(self):
+        timeline = PolicyTimeline("LDV")
+        for position, granted in [(0.0, True), (10.0, False), (15.0, True),
+                                  (20.0, True)]:
+            timeline.observe(position, granted)
+        timeline.finish()
+        assert [(s.start, s.end, s.available) for s in timeline.spans] == [
+            (0.0, 10.0, True), (10.0, 15.0, False), (15.0, 20.0, True),
+        ]
+
+    def test_same_position_last_verdict_wins(self):
+        # An evaluate sweep emits one record per block; the driver's
+        # final probe is last.  Earlier verdicts at the position must
+        # not open spans.
+        timeline = PolicyTimeline("LDV")
+        timeline.observe(0.0, True)
+        timeline.observe(5.0, False)
+        timeline.observe(5.0, False)
+        timeline.observe(5.0, True)  # final probe: available after all
+        timeline.observe(9.0, True)
+        timeline.finish()
+        assert [(s.start, s.end, s.available) for s in timeline.spans] == [
+            (0.0, 9.0, True),
+        ]
+        assert timeline.decisions == 5
+
+    def test_single_decision_gives_zero_length_span(self):
+        timeline = PolicyTimeline("LDV")
+        timeline.observe(3.0, False)
+        timeline.finish()
+        assert [(s.start, s.end) for s in timeline.spans] == [(3.0, 3.0)]
+        assert timeline.observed == 0.0
+        assert timeline.unavailability() == 0.0  # empty window
+
+    def test_measures(self):
+        timeline = PolicyTimeline("LDV")
+        for position, granted in [(0.0, True), (40.0, False), (60.0, True),
+                                  (100.0, True)]:
+            timeline.observe(position, granted)
+        timeline.finish()
+        assert timeline.start == 0.0 and timeline.end == 100.0
+        assert timeline.observed == 100.0
+        assert timeline.unavailable_time() == 20.0
+        assert timeline.unavailability() == pytest.approx(0.2)
+        assert [s.duration for s in timeline.down_spans] == [20.0]
+
+    def test_unavailability_since_clips_spans(self):
+        timeline = PolicyTimeline("LDV")
+        for position, granted in [(0.0, False), (50.0, True), (100.0, True)]:
+            timeline.observe(position, granted)
+        timeline.finish()
+        # Down [0, 50); asking from 25 clips the down span to [25, 50).
+        assert timeline.unavailable_time(since=25.0) == 25.0
+        assert timeline.unavailability(since=25.0) == pytest.approx(1 / 3)
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        timeline = PolicyTimeline("ODV", unit="step")
+        timeline.observe(0.0, True)
+        timeline.observe(2.0, False)
+        timeline.observe(4.0, True)
+        payload = timeline.finish().to_dict()
+        assert payload["policy"] == "ODV"
+        assert payload["unit"] == "step"
+        assert payload["down_periods"] == 1
+        json.dumps(payload)
+
+
+class TestBuildTimelines:
+    def test_positions_from_time_field(self):
+        records = [
+            _quorum("quorum.granted", time=0.0),
+            _quorum("quorum.denied", time=5.0),
+            _quorum("quorum.granted", time=8.0),
+        ]
+        timelines = build_timelines(records)
+        assert set(timelines) == {"LDV"}
+        assert timelines["LDV"].unit == "time"
+        assert timelines["LDV"].unavailable_time() == 3.0
+
+    def test_positions_fall_back_to_scenario_step(self):
+        records = [
+            {"kind": "scenario.step", "index": 0},
+            _quorum("quorum.granted"),
+            {"kind": "scenario.step", "index": 1},
+            _quorum("quorum.denied"),
+            {"kind": "scenario.step", "index": 2},
+            _quorum("quorum.granted"),
+        ]
+        timeline = build_timelines(records)["LDV"]
+        assert timeline.unit == "step"
+        assert [(s.start, s.end) for s in timeline.down_spans] == [(1.0, 2.0)]
+
+    def test_positions_fall_back_to_seq(self):
+        records = [
+            _quorum("quorum.granted", seq=0),
+            _quorum("quorum.denied", seq=3),
+            _quorum("quorum.granted", seq=9),
+        ]
+        timeline = build_timelines(records)["LDV"]
+        assert timeline.unit == "seq"
+        assert timeline.end == 9.0
+
+    def test_policies_tracked_independently(self):
+        records = [
+            _quorum("quorum.granted", policy="ODV", time=0.0),
+            _quorum("quorum.granted", policy="OTDV", time=0.0),
+            _quorum("quorum.denied", policy="ODV", time=4.0),
+            _quorum("quorum.granted", policy="OTDV", time=4.0),
+            _quorum("quorum.granted", policy="ODV", time=6.0),
+            _quorum("quorum.granted", policy="OTDV", time=6.0),
+        ]
+        timelines = build_timelines(records)
+        assert timelines["ODV"].unavailable_time() == 2.0
+        assert timelines["OTDV"].unavailable_time() == 0.0
+
+    def test_non_quorum_records_ignored(self):
+        records = [
+            {"kind": "op.write", "time": 0.0},
+            _quorum("quorum.granted", time=1.0),
+            {"kind": "event.fired", "time": 2.0},
+        ]
+        timelines = build_timelines(records)
+        assert timelines["LDV"].decisions == 1
+
+    def test_empty_stream(self):
+        assert build_timelines([]) == {}
+
+
+class TestScenarioIntegration:
+    def test_configuration_h_split_outage_is_visible(self):
+        """The worked split of docs/REPRODUCING.md: the minority-side
+        read at step 4 is the only unavailable point of the replay."""
+        from repro.experiments.scenarios import load_scenario, run_scenario
+        from repro.experiments.testbed import testbed_topology
+        from repro.obs.analysis import RecordStream
+        from repro.obs.tracer import MemorySink, Tracer
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        spec = load_scenario(
+            root / "examples" / "scenarios" / "configuration_h_split.json"
+        )
+        sink = MemorySink()
+        run_scenario(
+            testbed_topology(), spec.copy_sites, spec.policy, spec.steps,
+            initial=spec.initial, tracer=Tracer(sink),
+        )
+        timeline = build_timelines(RecordStream.from_sink(sink))["LDV"]
+        assert timeline.unit == "step"
+        assert len(timeline.down_spans) == 1
+        down = timeline.down_spans[0]
+        assert down.start == 4.0  # the denied read at step 4

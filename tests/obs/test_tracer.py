@@ -1,5 +1,6 @@
 """Unit tests for the structured-event tracer and its sinks."""
 
+import gzip
 import io
 import json
 
@@ -11,6 +12,7 @@ from repro.obs.tracer import (
     NullSink,
     TraceRecord,
     Tracer,
+    iter_jsonl,
     read_jsonl,
 )
 
@@ -97,6 +99,86 @@ class TestSinks:
         assert not stream.closed
         assert json.loads(stream.getvalue()) == {"seq": 0, "kind": "a"}
 
+    def test_jsonl_sink_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        with JsonlSink(path) as sink:
+            sink.emit(TraceRecord(seq=0, kind="quorum.granted",
+                                  fields={"block": frozenset({1, 2})}))
+            sink.emit(TraceRecord(seq=1, kind="quorum.denied"))
+        # The file really is gzip (magic bytes), and reads back whole.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert [r["kind"] for r in read_jsonl(path)] == [
+            "quorum.granted", "quorum.denied",
+        ]
+
+    def test_jsonl_sink_context_manager_flushes_borrowed_stream(self):
+        flushes = []
+
+        class Recording(io.StringIO):
+            def flush(self):
+                flushes.append(True)
+                super().flush()
+
+        stream = Recording()
+        with JsonlSink(stream) as sink:
+            sink.emit(TraceRecord(seq=0, kind="a"))
+        assert flushes, "exit must flush the destination"
+        assert not stream.closed
+
+    def test_jsonl_sink_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.emit(TraceRecord(seq=0, kind="a"))
+        sink.close()
+        sink.close()  # second close must not raise on the closed handle
+
+
+class TestIterJsonl:
+    def test_streams_records_lazily(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"seq": 0, "kind": "a"}\n{"seq": 1, "kind": "b"}\n')
+        iterator = iter_jsonl(path)
+        assert next(iterator)["kind"] == "a"
+        assert next(iterator)["kind"] == "b"
+        with pytest.raises(StopIteration):
+            next(iterator)
+
+    def test_truncated_final_line_warns_and_is_dropped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"seq": 0, "kind": "a"}\n{"seq": 1, "kind": "b"'  # cut off
+        )
+        with pytest.warns(UserWarning, match="truncated final line 2"):
+            records = read_jsonl(path)
+        assert records == [{"seq": 0, "kind": "a"}]
+
+    def test_corruption_before_the_end_still_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"seq": 0, "kind": "a"}\n'
+            '{"seq": 1, "kind":\n'            # corrupt, but not final
+            '{"seq": 2, "kind": "c"}\n'
+        )
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"seq": 0, "kind": "a"}\n\n{"seq": 1, "kind": "b"}\n')
+        assert [r["seq"] for r in iter_jsonl(path)] == [0, 1]
+
+    def test_gzip_transparent_decompression(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write('{"seq": 0, "kind": "a"}\n')
+        assert read_jsonl(path) == [{"seq": 0, "kind": "a"}]
+
+    def test_gzip_truncated_final_line_also_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write('{"seq": 0, "kind": "a"}\n{"seq": 1, "ki')
+        with pytest.warns(UserWarning, match="truncated"):
+            assert read_jsonl(path) == [{"seq": 0, "kind": "a"}]
+
 
 class TestTracer:
     def test_default_sink_is_null(self):
@@ -145,3 +227,61 @@ class TestTracer:
         tracer.record("a")
         tracer.record("b")
         assert [r.kind for r in tracer] == ["a", "b"]
+
+
+class TestSharedClock:
+    def test_set_time_stamps_subsequent_records(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.record("before")
+        tracer.set_time(12.5)
+        tracer.record("after")
+        assert sink.records[0].time is None
+        assert sink.records[1].time == 12.5
+
+    def test_explicit_time_overrides_the_clock(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.set_time(5.0)
+        tracer.record("x", time=9.0)
+        assert sink.records[0].time == 9.0
+
+    def test_clock_is_shared_with_bind_children(self):
+        """The driver stamps time once; protocol-bound child tracers
+        inherit it — that is what puts study decisions on the timeline."""
+        sink = MemorySink()
+        parent = Tracer(sink)
+        child = parent.bind(policy="LDV")
+        parent.set_time(3.0)
+        child.record("quorum.granted")
+        assert sink.records[0].time == 3.0
+
+    def test_set_time_none_stops_stamping(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.set_time(1.0)
+        tracer.set_time(None)
+        tracer.record("x")
+        assert sink.records[0].time is None
+
+    def test_evaluate_policy_stamps_simulation_time(self):
+        """End to end: a study replay's decision records carry the
+        simulated clock, so build_timelines can use real positions."""
+        from repro.experiments.evaluator import evaluate_policy
+        from repro.experiments.testbed import testbed_topology
+        from repro.failures.profiles import testbed_profiles
+        from repro.failures.trace import generate_trace
+
+        sink = MemorySink()
+        trace = generate_trace(testbed_profiles(), 400.0, seed=3)
+        evaluate_policy(
+            "LDV", testbed_topology(), frozenset({1, 2, 4}), trace,
+            warmup=0.0, batches=1, tracer=Tracer(sink),
+        )
+        quorum = [r for r in sink.records
+                  if r.kind.startswith("quorum.")]
+        assert quorum, "the replay must emit decisions"
+        times = [r.time for r in quorum]
+        assert all(t is not None for t in times)
+        assert times == sorted(times)
+        assert times[-1] <= trace.horizon
