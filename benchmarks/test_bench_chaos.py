@@ -1,0 +1,57 @@
+"""Chaos-harness throughput: seeded schedules per second with the
+invariant monitor interposed on every trace record.  Guards the fuzzing
+loop's cost — a sweep is only useful while hundreds of schedules stay
+in CI-smoke territory."""
+
+from repro.chaos import build_schedule, run_schedule, run_sweep
+from repro.experiments.configs import configuration
+from repro.experiments.testbed import testbed_topology
+
+TOPOLOGY = testbed_topology()
+COPIES = configuration("H").copy_sites
+
+
+def test_bench_chaos_schedule_build(benchmark):
+    """Deterministic schedule generation for 100 seeds."""
+
+    def run():
+        return sum(
+            len(build_schedule(seed, COPIES, TOPOLOGY.site_ids,
+                               config="H").steps)
+            for seed in range(100)
+        )
+
+    assert benchmark(run) > 100 * 60
+
+
+def test_bench_chaos_run_with_monitor(benchmark):
+    """One 60-step schedule against LDV, monitor always on."""
+    schedule = build_schedule(5, COPIES, TOPOLOGY.site_ids, config="H")
+
+    def run():
+        result = run_schedule(schedule, "LDV", topology=TOPOLOGY)
+        assert result.ok
+        return result.operations
+
+    assert benchmark(run) == 60
+
+
+def test_bench_chaos_sweep_quick(benchmark, artefact_sink):
+    """The CI smoke workload: 2 seeds across all six protocols."""
+
+    def run():
+        return run_sweep(seeds=range(2), config="H", steps=40,
+                         topology=TOPOLOGY)
+
+    report = benchmark(run)
+    assert report.ok
+    lines = [
+        f"{row.policy:>6}: {row.runs} runs, {row.operations} ops, "
+        f"{row.faults_injected} faults, {len(row.violations)} violations"
+        for row in report.rows
+    ]
+    artefact_sink(
+        "chaos_sweep",
+        "Chaos sweep (2 seeds x 6 policies, 40 steps, config H)\n"
+        + "\n".join(lines),
+    )

@@ -1,0 +1,69 @@
+"""Chaos engine and runtime safety-invariant monitor.
+
+Fuzzes the message-passing execution of every voting protocol with
+seeded, policy-driven perturbations — message drop / duplication /
+delay / reorder within a partition block, site crashes mid-operation
+leaving partial metadata writes, partition flaps timed between state
+collection and COMMIT — while an always-on
+:class:`~repro.chaos.monitor.InvariantMonitor` checks each structured
+trace record against the protocols' safety story and fails fast with a
+replayable :class:`~repro.chaos.monitor.InvariantViolation`.
+
+Entry points:
+
+* :func:`~repro.chaos.schedule.build_schedule` — a deterministic
+  perturbation plan from a seed;
+* :func:`~repro.chaos.harness.run_schedule` /
+  :func:`~repro.chaos.harness.run_sweep` — execute schedules with the
+  monitor interposed;
+* ``python -m repro chaos run|sweep|replay`` — the CLI.
+"""
+
+from repro.chaos.broken import GreedyTieBreakVoting
+from repro.chaos.faults import PartialCommitStage, RequestReplyChaos
+from repro.chaos.harness import (
+    CHAOS_POLICIES,
+    AuditedCluster,
+    ChaosRunResult,
+    PolicySweepRow,
+    StaticMajorityCluster,
+    SweepReport,
+    chaos_policies,
+    explain_divergence,
+    run_schedule,
+    run_sweep,
+)
+from repro.chaos.monitor import (
+    InvariantMonitor,
+    InvariantViolation,
+    check_exclusion,
+)
+from repro.chaos.schedule import (
+    ChaosPolicy,
+    ChaosSchedule,
+    ChaosStep,
+    build_schedule,
+)
+
+__all__ = [
+    "AuditedCluster",
+    "CHAOS_POLICIES",
+    "ChaosPolicy",
+    "ChaosRunResult",
+    "ChaosSchedule",
+    "ChaosStep",
+    "GreedyTieBreakVoting",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "PartialCommitStage",
+    "PolicySweepRow",
+    "RequestReplyChaos",
+    "StaticMajorityCluster",
+    "SweepReport",
+    "build_schedule",
+    "chaos_policies",
+    "check_exclusion",
+    "explain_divergence",
+    "run_schedule",
+    "run_sweep",
+]

@@ -1,0 +1,142 @@
+"""Seeded fault stages for the network's delivery pipeline.
+
+Two stages implement the chaos engine's message-level perturbations:
+
+* :class:`RequestReplyChaos` drops, duplicates or delays request/reply
+  traffic (StateRequest, StateReply, DataRequest, DataReply) at the
+  :class:`~repro.chaos.schedule.ChaosPolicy` rates.  It deliberately
+  never touches a COMMIT: the paper's model makes commit delivery
+  within a partition reliable, and an arbitrary commit drop forks even
+  the *correct* protocols.
+* :class:`PartialCommitStage` is the seam for the budgeted commit
+  faults.  It is inert until the harness *arms* it with an explicit
+  keep-set computed where the quorum context is known (the harness can
+  check the majority budget; this stage cannot), then drops COMMITs to
+  every receiver outside that set.
+
+Both stages are deterministic given their construction seed, which the
+harness derives from the schedule seed — a replayed seed reproduces the
+exact same fault sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.chaos.schedule import ChaosPolicy, derived_rng
+from repro.engine.transport import CommitMessage, DeliveryAttempt, FaultStage
+from repro.obs.tracer import Tracer
+
+__all__ = ["PartialCommitStage", "RequestReplyChaos"]
+
+
+def _describe(attempt: DeliveryAttempt) -> dict:
+    message = attempt.message
+    return {
+        "message": type(message).__name__,
+        "sender": message.sender,
+        "receiver": message.receiver,
+        "msg_id": message.msg_id,
+    }
+
+
+class RequestReplyChaos(FaultStage):
+    """Drop / duplicate / delay request and reply messages.
+
+    The three rates are checked in order against one uniform draw per
+    deliverable message, so at most one fault applies per message.
+    Undeliverable attempts (partitioned or down receivers) pass through
+    untouched — chaos perturbs traffic the network would have carried,
+    it does not conjure delivery across a partition.
+    """
+
+    def __init__(self, policy: ChaosPolicy, seed: int,
+                 tracer: Optional[Tracer] = None):
+        self._policy = policy
+        self._rng = derived_rng(seed, "pipeline")
+        self._tracer = tracer
+        self.faults_injected = 0
+
+    def _trace(self, fault: str, attempt: DeliveryAttempt) -> None:
+        self.faults_injected += 1
+        if self._tracer is not None:
+            self._tracer.record("chaos.fault", fault=fault,
+                                **_describe(attempt))
+
+    def process(self, attempt: DeliveryAttempt) -> list[DeliveryAttempt]:
+        if (
+            not attempt.deliverable
+            or attempt.verdict != "pass"
+            or isinstance(attempt.message, CommitMessage)
+        ):
+            return [attempt]
+        policy = self._policy
+        roll = self._rng.random()
+        if roll < policy.drop_rate:
+            attempt.verdict = "drop"
+            attempt.tag("drop")
+            self._trace("drop", attempt)
+            return [attempt]
+        roll -= policy.drop_rate
+        if roll < policy.duplicate_rate:
+            twin = DeliveryAttempt(
+                dataclasses.replace(attempt.message),
+                attempt.deliverable,
+                faults=("duplicate",),
+            )
+            attempt.tag("duplicate")
+            self._trace("duplicate", attempt)
+            return [attempt, twin]
+        roll -= policy.duplicate_rate
+        if roll < policy.delay_rate:
+            attempt.verdict = "hold"
+            attempt.tag("delay")
+            self._trace("delay", attempt)
+            return [attempt]
+        return [attempt]
+
+
+class PartialCommitStage(FaultStage):
+    """Drop COMMITs to receivers outside an armed keep-set.
+
+    The stage is armed per commit broadcast by the harness (which knows
+    the quorum and can keep the delivered set majority-preserving) and
+    disarmed right after, so only the targeted broadcast is affected.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self._keep: Optional[frozenset[int]] = None
+        self._label = ""
+        self._tracer = tracer
+        self.commits_suppressed = 0
+
+    @property
+    def armed(self) -> bool:
+        return self._keep is not None
+
+    def arm(self, keep: frozenset[int], label: str = "partial-commit") -> None:
+        """Drop commits to every receiver not in *keep* until disarmed."""
+        self._keep = frozenset(keep)
+        self._label = label
+
+    def disarm(self) -> None:
+        """Stop suppressing commits (the broadcast has finished)."""
+        self._keep = None
+        self._label = ""
+
+    def process(self, attempt: DeliveryAttempt) -> list[DeliveryAttempt]:
+        if (
+            self._keep is None
+            or attempt.verdict != "pass"
+            or not isinstance(attempt.message, CommitMessage)
+        ):
+            return [attempt]
+        if attempt.message.receiver not in self._keep:
+            attempt.verdict = "drop"
+            attempt.tag(self._label)
+            self.commits_suppressed += 1
+            if self._tracer is not None:
+                self._tracer.record("chaos.fault", fault=self._label,
+                                    keep=self._keep, **_describe(attempt))
+        return [attempt]

@@ -1,0 +1,229 @@
+"""Seeded chaos schedules: what to perturb, and when.
+
+A :class:`ChaosSchedule` is a deterministic function of its seed: the
+same seed always yields the same operations, crashes, restarts and
+fault armings, and the pipeline/harness randomness is derived from the
+same seed — so ``repro chaos replay --seed N`` reproduces a violating
+run bit-for-bit.  Schedules serialise to JSON
+(:func:`repro.failures.serialization.dump_chaos_schedule`) so a
+violation report can be shipped and replayed elsewhere.
+
+The knobs live in :class:`ChaosPolicy`.  Message-level rates apply to
+request/reply traffic only; COMMIT perturbation is budgeted separately
+(``partial_commit_rate`` / ``flap_rate``) because an arbitrary commit
+drop genuinely forks even the *correct* protocols — the paper's model
+makes commit delivery within a partition reliable.  The default budget
+keeps every partial commit majority-preserving (see
+:mod:`repro.chaos.harness`); ``unsafe_partial_commits=True`` lifts that
+restriction for demonstrations of the resulting fork.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Iterable, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ChaosPolicy",
+    "ChaosSchedule",
+    "ChaosStep",
+    "build_schedule",
+]
+
+#: Step kinds a schedule may contain.
+STEP_KINDS = ("read", "write", "recover", "crash", "restart", "flap")
+
+#: Relative weights of the operation kinds in a generated schedule.
+_OP_WEIGHTS = (("write", 5), ("read", 3), ("recover", 2))
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Fault intensities, all probabilities per opportunity.
+
+    Attributes:
+        drop_rate / duplicate_rate / delay_rate: Per deliverable
+            request/reply message (StateRequest, StateReply,
+            DataRequest, DataReply).  Delayed messages are released at
+            the next step boundary, possibly after the network changed.
+        partial_commit_rate: Per COMMIT broadcast — deliver the commit
+            to a random strict subset of its recipients (majority-
+            preserving unless ``unsafe_partial_commits``).
+        flap_rate: Per generated step — arm a crash that lands between
+            state collection and COMMIT of the next operation, with the
+            victim restarted at the end of that step (a partition flap
+            timed into the protocol's window of vulnerability).
+        crash_rate / restart_rate: Per generated step — take a random
+            up site down, bring a random down site back.
+        unsafe_partial_commits: Allow commits to reach fewer than a
+            strict majority.  This breaks even correct protocols (the
+            orphaned commit plus a rival re-grant of the same operation
+            number); only enable it to demonstrate the monitor.
+    """
+
+    drop_rate: float = 0.08
+    duplicate_rate: float = 0.05
+    delay_rate: float = 0.06
+    partial_commit_rate: float = 0.10
+    flap_rate: float = 0.08
+    crash_rate: float = 0.12
+    restart_rate: float = 0.35
+    unsafe_partial_commits: bool = False
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name.endswith("_rate") and not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{spec.name} must be in [0, 1], got {value}"
+                )
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable representation."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosPolicy":
+        """Rebuild a policy from :meth:`to_dict` output."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown chaos policy fields {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ChaosStep:
+    """One scheduled action.
+
+    ``kind`` is one of :data:`STEP_KINDS`; ``site`` names the
+    coordinator (operations) or the victim (crash/restart).  A ``flap``
+    step carries no site — the harness picks a victim the majority
+    budget allows, mid-operation.
+    """
+
+    kind: str
+    site: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in STEP_KINDS:
+            raise ConfigurationError(f"unknown chaos step kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A fully determined perturbation plan for one protocol run."""
+
+    seed: int
+    policy: ChaosPolicy
+    steps: tuple[ChaosStep, ...]
+    copy_sites: frozenset[int]
+    config: str = "?"
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable representation."""
+        return {
+            "seed": self.seed,
+            "config": self.config,
+            "copy_sites": sorted(self.copy_sites),
+            "policy": self.policy.to_dict(),
+            "steps": [
+                [step.kind, step.site] for step in self.steps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output."""
+        try:
+            steps = tuple(
+                ChaosStep(str(kind), None if site is None else int(site))
+                for kind, site in data["steps"]
+            )
+            return cls(
+                seed=int(data["seed"]),
+                policy=ChaosPolicy.from_dict(dict(data["policy"])),
+                steps=steps,
+                copy_sites=frozenset(int(s) for s in data["copy_sites"]),
+                config=str(data.get("config", "?")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed chaos schedule document: {exc}"
+            ) from exc
+
+
+def derived_rng(seed: int, stream: str) -> random.Random:
+    """A :class:`random.Random` for one named stream of *seed*.
+
+    Every consumer of schedule randomness (builder, message pipeline,
+    harness) draws from its own stream, so adding draws to one layer
+    never perturbs another — replays stay stable across the layers.
+    """
+    return random.Random(f"{seed}:{stream}")
+
+
+def build_schedule(
+    seed: int,
+    copy_sites: Iterable[int],
+    site_ids: Iterable[int],
+    policy: Optional[ChaosPolicy] = None,
+    length: int = 60,
+    config: str = "?",
+) -> ChaosSchedule:
+    """Generate the deterministic schedule for *seed*.
+
+    The builder tracks a model of the up-set so crash steps target up
+    sites and restart steps target down ones, never taking the last
+    site down.  Mid-run flap crashes (applied by the harness) are
+    transient and invisible to this model.
+    """
+    copy_sites = frozenset(copy_sites)
+    site_ids = frozenset(site_ids)
+    if not copy_sites <= site_ids:
+        raise ConfigurationError(
+            f"copy sites {sorted(copy_sites - site_ids)} not in topology"
+        )
+    if length < 1:
+        raise ConfigurationError(f"length must be >= 1, got {length}")
+    if policy is None:
+        policy = ChaosPolicy()
+    rng = derived_rng(seed, "schedule")
+    up = set(site_ids)
+    steps: list[ChaosStep] = []
+    kinds = [kind for kind, _ in _OP_WEIGHTS]
+    weights = [weight for _, weight in _OP_WEIGHTS]
+    for _ in range(length):
+        if rng.random() < policy.crash_rate and len(up) > 1:
+            victim = rng.choice(sorted(up))
+            up.discard(victim)
+            steps.append(ChaosStep("crash", victim))
+        down = sorted(site_ids - up)
+        if down and rng.random() < policy.restart_rate:
+            revived = rng.choice(down)
+            up.add(revived)
+            steps.append(ChaosStep("restart", revived))
+        if rng.random() < policy.flap_rate:
+            steps.append(ChaosStep("flap"))
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == "recover":
+            candidates = sorted(up & copy_sites)
+            if not candidates:
+                kind = "read"
+        if kind == "recover":
+            site = rng.choice(candidates)
+        else:
+            site = rng.choice(sorted(up))
+        steps.append(ChaosStep(kind, site))
+    return ChaosSchedule(
+        seed=seed,
+        policy=policy,
+        steps=tuple(steps),
+        copy_sites=copy_sites,
+        config=config,
+    )

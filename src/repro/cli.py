@@ -15,6 +15,11 @@ Commands regenerate everything in the paper from the terminal:
   ``audit`` (every denial mapped to its Algorithm-1 rule) and ``diff``
   (two protocols' decisions over the same history, first divergence
   explained);
+* ``repro chaos``     — fuzz the message-passing engine with seeded
+  perturbations while the safety-invariant monitor watches every trace
+  record: ``run`` (one schedule), ``sweep`` (many seeds x all
+  protocols), ``replay`` (reproduce a violating schedule
+  deterministically);
 * ``repro demo``      — the engine walkthrough from Section 2's example.
 
 Observability: a global ``--log-level`` flag configures the package
@@ -200,6 +205,69 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default ODV,OTDV)")
     add_json_out(q)
 
+    p = sub.add_parser(
+        "chaos",
+        help="fuzz the protocols under seeded chaos with the "
+             "safety-invariant monitor always on",
+    )
+    csub = p.add_subparsers(dest="chaos_command", required=True)
+
+    def add_chaos_build(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--steps", type=int, default=60,
+                       help="schedule length in steps (default 60)")
+        q.add_argument("--config", default="H",
+                       choices=sorted(CONFIGURATIONS),
+                       help="copy placement (default H)")
+        q.add_argument("--unsafe-partial-commits", action="store_true",
+                       help="lift the commit-fault safety budget "
+                            "(demonstrates forks on correct protocols)")
+
+    q = csub.add_parser(
+        "run", help="one seeded schedule against one protocol",
+    )
+    q.add_argument("--seed", type=int, default=0, help="chaos seed")
+    q.add_argument("--policy", default="LDV",
+                   help="MCV/DV/LDV/ODV/TDV/OTDV, or BROKEN-TIE "
+                        "(deliberately unsafe, for the monitor demo)")
+    add_chaos_build(q)
+    q.add_argument("--out", metavar="PATH", default=None,
+                   help="JSONL destination for the structured trace")
+    q.add_argument("--save-schedule", metavar="PATH", default=None,
+                   help="write the schedule as replayable JSON")
+    q.add_argument("--json-out", metavar="PATH", default=None,
+                   help="also write the run summary as a JSON document")
+
+    q = csub.add_parser(
+        "sweep",
+        help="fuzz many seeded schedules across the paper's protocols",
+    )
+    q.add_argument("--seeds", type=int, default=40,
+                   help="seeds per policy, 0..N-1 (default 40)")
+    q.add_argument("--policies", default="MCV,DV,LDV,ODV,TDV,OTDV",
+                   help="comma-separated protocols to fuzz")
+    add_chaos_build(q)
+    q.add_argument("--quick", action="store_true",
+                   help="8 seeds per policy: the CI smoke variant")
+    q.add_argument("--json-out", metavar="PATH", default=None,
+                   help="also write the sweep report as a JSON document")
+
+    q = csub.add_parser(
+        "replay",
+        help="re-run a violating schedule deterministically",
+    )
+    q.add_argument("--schedule", metavar="FILE", default=None,
+                   help="schedule JSON written by run --save-schedule")
+    q.add_argument("--seed", type=int, default=None,
+                   help="rebuild the schedule from this seed instead")
+    q.add_argument("--policy", default=None,
+                   help="protocol to replay against (default: the one "
+                        "recorded in --schedule, else LDV)")
+    add_chaos_build(q)
+    q.add_argument("--out", metavar="PATH", default=None,
+                   help="JSONL destination for the structured trace")
+    q.add_argument("--json-out", metavar="PATH", default=None,
+                   help="also write the run summary as a JSON document")
+
     sub.add_parser("demo", help="run the Section 2 worked example")
     return parser
 
@@ -272,7 +340,7 @@ def _write_metrics_dump(
     print(f"metrics written to {path}", file=sys.stderr)
 
 
-def _cmd_tables(args: argparse.Namespace, which: str) -> None:
+def _cmd_tables(args: argparse.Namespace, which: str) -> int:
     import time
 
     from repro.obs.metrics import MetricsRegistry
@@ -321,6 +389,15 @@ def _cmd_tables(args: argparse.Namespace, which: str) -> None:
     if getattr(args, "intervals", False):
         print()
         print(format_intervals(cells))
+    failed = getattr(cells, "failed_cells", ())
+    if failed:
+        print(f"\nwarning: {len(failed)} cell(s) failed after a retry "
+              "(shown as '?' above):", file=sys.stderr)
+        for cell in failed:
+            print(f"  {cell.config_key}/{cell.policy}: {cell.error}",
+                  file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
@@ -738,6 +815,13 @@ def _cmd_analyze_diff(args: argparse.Namespace) -> int:
             raise ConfigurationError(
                 f"--policies needs exactly two names, got {policies}"
             )
+        known = available_policies()
+        for name in policies:
+            if name not in known:
+                raise ConfigurationError(
+                    f"unknown policy {name!r} in --policies; "
+                    f"choose from {', '.join(sorted(known))}"
+                )
         print(f"replaying {args.scenario} under {policies[0]} "
               f"and {policies[1]} ...", file=sys.stderr)
         records_a = _scenario_records(args.scenario, policies[0])
@@ -805,8 +889,234 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
 
 
+def _chaos_schedule_from_args(args: argparse.Namespace, seed: int):
+    """Build a schedule from CLI knobs (run, and replay --seed)."""
+    from repro.chaos import ChaosPolicy, build_schedule
+    from repro.experiments.testbed import testbed_topology
+
+    chaos = ChaosPolicy(
+        unsafe_partial_commits=getattr(args, "unsafe_partial_commits", False)
+    )
+    placement = configuration(args.config)
+    return build_schedule(
+        seed,
+        placement.copy_sites,
+        testbed_topology().site_ids,
+        policy=chaos,
+        length=args.steps,
+        config=placement.key,
+    )
+
+
+def _print_chaos_violation(result) -> None:
+    """The violation report: what broke, the evidence, the first
+    decision where the run left the safe path (PR-2 diff analytics)."""
+    from repro.chaos import explain_divergence
+    from repro.obs.analysis import explain_violation
+
+    violation = result.violation
+    print(f"\nVIOLATION: {violation}")
+    print(f"  {explain_violation(violation.to_dict())}")
+    diff = explain_divergence(result)
+    if diff is None:
+        return
+    reference = ("fault-free run" if diff.policy_a == diff.policy_b
+                 else diff.policy_b)
+    first = diff.first_divergence
+    if first is None:
+        print(f"  no divergent quorum decision vs the {reference} "
+              "(the violation is in the commit path, not a decision)")
+        return
+    print(f"  first divergence from the {reference} at schedule step "
+          f"{first.position:g}:")
+    for policy, decision in ((diff.policy_a, first.a),
+                             (diff.policy_b, first.b)):
+        verdict = "GRANTED" if decision.granted else "DENIED"
+        print(f"    {policy:<10} {verdict}: {decision.explain()}")
+
+
+def _print_chaos_result(result, out: Optional[str]) -> None:
+    schedule = result.schedule
+    print(f"chaos run: policy {result.policy}, seed {schedule.seed}, "
+          f"config {schedule.config}, {len(schedule.steps)} steps")
+    print(f"  {result.operations} operations: {result.granted} granted, "
+          f"{result.denied} denied, {result.aborted} aborted")
+    print(f"  {result.faults_injected} faults injected, "
+          f"{result.messages_sent} messages, "
+          f"{result.stale_commits} stale commits tolerated"
+          + (f" -> {out}" if out else ""))
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    from repro.chaos import run_schedule
+    from repro.obs.tracer import JsonlSink
+
+    schedule = _chaos_schedule_from_args(args, args.seed)
+    if args.save_schedule:
+        from repro.failures.serialization import dump_chaos_schedule
+
+        dump_chaos_schedule(schedule, args.save_schedule,
+                            protocol=args.policy)
+        print(f"schedule written to {args.save_schedule}", file=sys.stderr)
+    sink = None
+    if args.out:
+        try:
+            sink = JsonlSink(args.out)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write trace to {args.out}: {exc}"
+            ) from exc
+    try:
+        result = run_schedule(schedule, args.policy, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+    _print_chaos_result(result, args.out)
+    if result.ok:
+        print("  OK: every safety invariant held")
+    else:
+        _print_chaos_violation(result)
+    if args.json_out:
+        _write_json_out(args.json_out, result.to_dict())
+    return 0 if result.ok else 1
+
+
+def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosPolicy, run_sweep
+    from repro.experiments.report import ascii_table
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    if not policies:
+        raise ConfigurationError("--policies named no protocols")
+    seeds = 8 if args.quick else args.seeds
+    if seeds < 1:
+        raise ConfigurationError(f"--seeds must be >= 1, got {seeds}")
+    chaos = ChaosPolicy(
+        unsafe_partial_commits=args.unsafe_partial_commits
+    )
+    print(f"chaos sweep: {len(policies)} policies x {seeds} seeds "
+          f"({len(policies) * seeds} schedules of {args.steps} steps, "
+          f"config {args.config}) ...", file=sys.stderr)
+    report = run_sweep(
+        policies=policies,
+        seeds=range(seeds),
+        config=args.config,
+        steps=args.steps,
+        chaos=chaos,
+    )
+    rows = [
+        [
+            row.policy, row.runs, row.operations, row.granted, row.denied,
+            row.aborted, row.faults_injected, len(row.violations),
+        ]
+        for row in report.rows
+    ]
+    print(ascii_table(
+        ["policy", "runs", "ops", "granted", "denied", "aborted",
+         "faults", "violations"],
+        rows,
+    ))
+    print(f"\n{report.total_runs} runs, "
+          f"{report.total_violations} invariant violations")
+    for row in report.rows:
+        if row.first_violation is not None:
+            _print_chaos_violation(row.first_violation)
+    if args.json_out:
+        _write_json_out(args.json_out, report.to_dict())
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    from repro.chaos import run_schedule
+    from repro.obs.tracer import JsonlSink
+
+    protocol = args.policy
+    if args.schedule is not None:
+        from repro.chaos import ChaosSchedule
+        from repro.failures.serialization import load_chaos_document
+
+        document = load_chaos_document(args.schedule)
+        schedule = ChaosSchedule.from_dict(document)
+        if protocol is None:
+            protocol = document.get("protocol")
+    elif args.seed is not None:
+        schedule = _chaos_schedule_from_args(args, args.seed)
+    else:
+        raise ConfigurationError(
+            "replay needs --schedule FILE or --seed N"
+        )
+    if protocol is None:
+        protocol = "LDV"
+    sink = None
+    if args.out:
+        try:
+            sink = JsonlSink(args.out)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write trace to {args.out}: {exc}"
+            ) from exc
+    try:
+        result = run_schedule(schedule, protocol, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+    _print_chaos_result(result, args.out)
+    if result.ok:
+        print("  no invariant violation reproduced")
+    else:
+        _print_chaos_violation(result)
+    if args.json_out:
+        _write_json_out(args.json_out, result.to_dict())
+    return 0 if result.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    command = args.chaos_command
+    if command == "run":
+        return _cmd_chaos_run(args)
+    if command == "sweep":
+        return _cmd_chaos_sweep(args)
+    if command == "replay":
+        return _cmd_chaos_replay(args)
+    raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+        f"unknown chaos command {command!r}"
+    )
+
+
+def _ensure_writable(path: str) -> None:
+    """Fail fast (exit 2) on an unwritable output path, before hours of
+    simulation would be thrown away at write time."""
+    import os
+    import pathlib
+
+    target = pathlib.Path(path)
+    if target.is_dir():
+        raise ConfigurationError(f"cannot write {path}: is a directory")
+    if target.exists():
+        if not os.access(target, os.W_OK):
+            raise ConfigurationError(
+                f"cannot write {path}: permission denied"
+            )
+        return
+    parent = target.parent if str(target.parent) else pathlib.Path(".")
+    if not parent.is_dir():
+        raise ConfigurationError(
+            f"cannot write {path}: directory {parent} does not exist"
+        )
+    if not os.access(parent, os.W_OK):
+        raise ConfigurationError(
+            f"cannot write {path}: directory {parent} is not writable"
+        )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for ``repro`` and ``python -m repro``."""
+    """Entry point for ``repro`` and ``python -m repro``.
+
+    Exit codes: 0 success, 1 a check or run failed (validation
+    mismatch, invariant violation, failed study cells), 2 the command
+    itself was misconfigured (bad paths, unknown names, malformed
+    input files).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.log_level is not None:
@@ -815,17 +1125,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         configure_logging(args.log_level)
     try:
         return _dispatch(parser, args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
 
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    for attr in ("out", "save", "save_schedule", "json_out", "metrics_out"):
+        value = getattr(args, attr, None)
+        if value:
+            _ensure_writable(value)
     command = args.command
     if command == "testbed":
         _cmd_testbed(args)
     elif command in ("table2", "table3", "study"):
-        _cmd_tables(args, command)
+        return _cmd_tables(args, command)
     elif command == "sweep":
         _cmd_sweep(args)
     elif command == "placement":
@@ -842,6 +1159,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_scenario(args)
     elif command == "analyze":
         return _cmd_analyze(args)
+    elif command == "chaos":
+        return _cmd_chaos(args)
     elif command == "demo":
         _cmd_demo(args)
     else:  # pragma: no cover - argparse enforces choices

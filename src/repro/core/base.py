@@ -196,6 +196,24 @@ class VotingProtocol(abc.ABC):
                 granted=verdict.granted,
             )
 
+    def _trace_commit(self, kind: str, operation: int, version: int,
+                      members: frozenset[int]) -> None:
+        """Emit a ``commit.applied`` record (tracer attached only).
+
+        The committed ``(o, v, P)`` triple is the invariant monitor's
+        state-level feed: monotonicity and partition-set containment are
+        checked against the stream of these records.
+        """
+        if self._tracer is not None:
+            self._tracer.record(
+                "commit.applied",
+                policy=self.name,
+                commit_kind=kind,
+                operation=operation,
+                version=version,
+                members=members,
+            )
+
     # ------------------------------------------------------------------
     @property
     def replicas(self) -> ReplicaSet:
@@ -544,8 +562,9 @@ class DynamicVotingFamily(VotingProtocol):
         new_set = verdict.newest
         for sid in new_set:
             self._replicas.state(sid).commit(new_operation, new_version, new_set)
-        self._record(kind or ("write" if write else "read"),
-                     new_operation, new_version, new_set)
+        kind = kind or ("write" if write else "read")
+        self._record(kind, new_operation, new_version, new_set)
+        self._trace_commit(kind, new_operation, new_version, new_set)
 
     # ------------------------------------------------------------------
     # Figure 3 (7): RECOVER
@@ -570,6 +589,7 @@ class DynamicVotingFamily(VotingProtocol):
         for sid in new_set:
             self._replicas.state(sid).commit(new_operation, anchor.version, new_set)
         self._record("recover", new_operation, anchor.version, new_set)
+        self._trace_commit("recover", new_operation, anchor.version, new_set)
         return verdict
 
     def _note_claims(self, verdict: Verdict) -> None:

@@ -24,7 +24,7 @@ for protocol demonstration and validation.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Type
+from typing import Any, Optional, Sequence, Type
 
 from repro.core.base import DynamicVotingFamily
 from repro.core.lexicographic import LexicographicDynamicVoting
@@ -32,6 +32,7 @@ from repro.engine.transport import (
     CommitMessage,
     DataReply,
     DataRequest,
+    FaultStage,
     Mailbox,
     Message,
     Network,
@@ -41,26 +42,41 @@ from repro.engine.transport import (
 from repro.errors import (
     ConfigurationError,
     EngineError,
+    ProtocolError,
     QuorumNotReachedError,
     SiteUnavailableError,
 )
 from repro.net.topology import Topology
 from repro.net.views import NetworkView
+from repro.obs.tracer import Tracer
 from repro.replica.state import ReplicaSet, ReplicaState
 
 __all__ = ["SiteActor", "MessageCluster"]
 
 
 class SiteActor:
-    """One copy: stable state, payload, and message handling."""
+    """One copy: stable state, payload, and message handling.
+
+    With a *tracer* attached, every applied COMMIT emits a
+    ``site.commit`` record (the invariant monitor's per-replica feed).
+    ``tolerate_stale=True`` makes the actor *ignore* a COMMIT that would
+    move its ``(o, v)`` backwards — the signature of a message a fault
+    pipeline delayed past later commits — recording a
+    ``site.stale_commit`` instead of raising; the default remains the
+    strict fail-fast behaviour.
+    """
 
     def __init__(self, site_id: int, copy_sites: frozenset[int],
-                 initial: Any):
+                 initial: Any, tracer: Optional[Tracer] = None,
+                 tolerate_stale: bool = False):
         self.site_id = site_id
         self.state = ReplicaState(site_id, partition_set=copy_sites)
         self.payload = initial
         self.payload_version = 1
         self.mailbox = Mailbox(site_id)
+        self.tracer = tracer
+        self.tolerate_stale = tolerate_stale
+        self.stale_commits = 0
 
     def step(self, view: NetworkView, network: Network) -> None:
         """Process every queued message, sending any replies."""
@@ -73,26 +89,60 @@ class SiteActor:
             network.send(view, StateReply(
                 sender=self.site_id,
                 receiver=message.sender,
+                round_id=message.round_id,
                 operation=self.state.operation,
                 version=self.state.version,
                 partition_set=self.state.partition_set,
             ))
         elif isinstance(message, CommitMessage):
-            self.state.commit(
-                message.operation, message.version, message.partition_set
-            )
-            if message.carries_payload:
-                self.payload = message.payload
-                self.payload_version = message.version
+            self._apply_commit(message)
         elif isinstance(message, DataRequest):
             network.send(view, DataReply(
                 sender=self.site_id,
                 receiver=message.sender,
+                round_id=message.round_id,
                 version=self.payload_version,
                 payload=self.payload,
             ))
+        elif isinstance(message, (StateReply, DataReply)):
+            # A reply that reached this actor's queue instead of being
+            # drained by a coordinating operation is a delayed answer to
+            # a coordination round that has already ended; discard it.
+            pass
         else:  # pragma: no cover - defensive
             raise EngineError(f"unhandled message {message!r}")
+
+    def _apply_commit(self, message: CommitMessage) -> None:
+        try:
+            self.state.commit(
+                message.operation, message.version, message.partition_set
+            )
+        except ProtocolError:
+            if not self.tolerate_stale:
+                raise
+            self.stale_commits += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    "site.stale_commit",
+                    site=self.site_id,
+                    operation=message.operation,
+                    version=message.version,
+                    stored_operation=self.state.operation,
+                    stored_version=self.state.version,
+                )
+            return
+        if message.carries_payload:
+            self.payload = message.payload
+            self.payload_version = message.version
+        if self.tracer is not None:
+            self.tracer.record(
+                "site.commit",
+                site=self.site_id,
+                operation=message.operation,
+                version=message.version,
+                partition_set=message.partition_set,
+                sender=message.sender,
+            )
 
 
 class MessageCluster:
@@ -106,6 +156,10 @@ class MessageCluster:
             coordinator evaluates them over the replies it collected;
             the lineage guard is forced off (see module docstring).
         initial: Initial payload.
+        tracer: Structured-event tracer; quorum decisions and per-site
+            commits are recorded through it (chaos monitoring).
+        pipeline: Fault stages installed into the :class:`Network`.
+        tolerate_stale: Forwarded to every :class:`SiteActor`.
     """
 
     def __init__(
@@ -114,6 +168,9 @@ class MessageCluster:
         copy_sites: frozenset[int] | set[int],
         protocol: Type[DynamicVotingFamily] = LexicographicDynamicVoting,
         initial: Any = None,
+        tracer: Optional[Tracer] = None,
+        pipeline: Sequence[FaultStage] = (),
+        tolerate_stale: bool = False,
     ):
         copy_sites = frozenset(copy_sites)
         unknown = copy_sites - topology.site_ids
@@ -126,6 +183,7 @@ class MessageCluster:
             )
         self._topology = topology
         self._copy_sites = copy_sites
+        self._tracer = tracer
         # The published rule: decisions use only message-visible state.
         self._rules: Type[DynamicVotingFamily] = type(
             f"_MessageLevel{protocol.__name__}",
@@ -133,15 +191,18 @@ class MessageCluster:
             {"lineage_guard": False},
         )
         self._actors = {
-            sid: SiteActor(sid, copy_sites, initial) for sid in copy_sites
+            sid: SiteActor(sid, copy_sites, initial, tracer=tracer,
+                           tolerate_stale=tolerate_stale)
+            for sid in copy_sites
         }
         mailboxes = {a.site_id: a.mailbox for a in self._actors.values()}
         # Non-copy sites get a mailbox too: any site may coordinate.
         for sid in topology.site_ids - copy_sites:
             mailboxes[sid] = Mailbox(sid)
         self._mailboxes = mailboxes
-        self.network = Network(mailboxes)
+        self.network = Network(mailboxes, pipeline=pipeline)
         self._up: set[int] = set(topology.site_ids)
+        self._round = 0
 
     # ------------------------------------------------------------------
     @property
@@ -226,19 +287,25 @@ class MessageCluster:
             raise ConfigurationError(f"no site {at_site}")
         if not view.is_up(at_site):
             raise SiteUnavailableError(f"site {at_site} is down")
+        self._round += 1
+        round_id = self._round
         # Broadcast START to the *other* copies; the coordinator reads
         # its own stable storage directly (no message to itself).
         peers = self._copy_sites - {at_site}
         self.network.broadcast(
             view, at_site, peers,
-            lambda src, dst: StateRequest(sender=src, receiver=dst),
+            lambda src, dst: StateRequest(sender=src, receiver=dst,
+                                          round_id=round_id),
         )
         for sid in sorted(peers & frozenset(self._actors)):
             if sid in view.up:
                 self._actors[sid].step(view, self.network)
         replies: dict[int, StateReply] = {}
         for message in self._mailboxes[at_site].drain():
-            if isinstance(message, StateReply):
+            # Replies delayed past their operation (round) are stale
+            # protocol state and must not enter this decision.
+            if isinstance(message, StateReply) and \
+                    message.round_id == round_id:
                 replies[message.sender] = message
         if at_site in self._actors:
             me = self._actors[at_site]
@@ -262,9 +329,10 @@ class MessageCluster:
             snapshot.state(sid).commit(
                 reply.operation, reply.version, reply.partition_set
             )
-        verdict = self._rules(snapshot).evaluate_block(
-            view, view.block_of(at_site)
-        )
+        rules = self._rules(snapshot)
+        if self._tracer is not None:
+            rules.attach_tracer(self._tracer)
+        verdict = rules.evaluate_block(view, view.block_of(at_site))
         if not verdict.granted:
             raise QuorumNotReachedError(
                 f"majority test failed at site {at_site}: {verdict.reason}"
@@ -284,14 +352,19 @@ class MessageCluster:
             me = self._actors[at_site]
             return DataReply(sender=at_site, receiver=at_site,
                              version=me.payload_version, payload=me.payload)
-        self.network.send(view, DataRequest(sender=at_site, receiver=source))
+        self.network.send(view, DataRequest(sender=at_site, receiver=source,
+                                            round_id=self._round))
         self._actors[source].step(view, self.network)
+        reply: Optional[DataReply] = None
         for message in self._mailboxes[at_site].drain():
-            if isinstance(message, DataReply):
-                return message
-        raise EngineError(  # pragma: no cover - defensive
-            f"no data reply from site {source}"
-        )
+            if isinstance(message, DataReply) and \
+                    message.round_id == self._round:
+                reply = message
+        if reply is not None:
+            return reply
+        # Reachable under fault injection: the DataRequest or DataReply
+        # was dropped or delayed, so the read aborts before its COMMIT.
+        raise EngineError(f"no data reply from site {source}")
 
     def _commit(self, at_site: int, view: NetworkView,
                 members: frozenset[int], operation: int, version: int,
@@ -299,7 +372,7 @@ class MessageCluster:
         self.network.broadcast(
             view, at_site, members,
             lambda src, dst: CommitMessage(
-                sender=src, receiver=dst,
+                sender=src, receiver=dst, round_id=self._round,
                 operation=operation, version=version,
                 partition_set=members,
                 payload=payload, carries_payload=carries_payload,

@@ -7,6 +7,13 @@ pieces for a genuinely message-passing execution
 and a network that delivers a message iff sender and receiver are up and
 in the same partition block — the paper's model (reliable, ordered,
 within a partition; no Byzantine behaviour).
+
+Delivery runs through a pluggable *fault pipeline*: each attempted
+delivery becomes a :class:`DeliveryAttempt` that every configured
+:class:`FaultStage` may pass, drop, duplicate or hold.  The default
+pipeline is empty (the paper's reliable-within-a-partition model); the
+chaos engine (:mod:`repro.chaos`) installs seeded stages, and later
+latency or Byzantine models slot into the same seam.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ import collections
 import dataclasses
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Deque, Iterator
+from typing import Any, Deque, Iterator, Sequence
 
 from repro.errors import EngineError
 from repro.net.views import NetworkView
@@ -27,6 +34,8 @@ __all__ = [
     "CommitMessage",
     "DataRequest",
     "DataReply",
+    "DeliveryAttempt",
+    "FaultStage",
     "Mailbox",
     "Network",
 ]
@@ -34,11 +43,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Message:
-    """Base message: sender, receiver, and a per-network sequence id."""
+    """Base message: sender, receiver, and a per-network sequence id.
+
+    ``round_id`` tags the coordinator round (operation attempt) a
+    request/reply belongs to, so a coordinator can discard replies that
+    a fault pipeline delayed across an operation boundary.  The default
+    ``0`` means "untagged" and keeps fault-free exchanges unchanged.
+    """
 
     sender: int
     receiver: int
     msg_id: int = field(default=-1, compare=False)
+    round_id: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -103,6 +119,47 @@ class Mailbox:
         return len(self._queue)
 
 
+@dataclass
+class DeliveryAttempt:
+    """One message on its way through the fault pipeline.
+
+    Attributes:
+        message: The (already id-stamped) message.
+        deliverable: Whether the network view at send time allows
+            delivery (sender and receiver up and in one block).  Fault
+            stages only act on deliverable attempts — the paper's fault
+            model perturbs traffic *within* a partition, never conjures
+            delivery across one.
+        verdict: ``"pass"`` (deliver if deliverable), ``"drop"``
+            (discard), or ``"hold"`` (park in the network's held buffer
+            until :meth:`Network.release_held` — a delayed message).
+        faults: Audit tags of the stages that touched this attempt.
+    """
+
+    message: Message
+    deliverable: bool
+    verdict: str = "pass"
+    faults: tuple[str, ...] = ()
+
+    def tag(self, fault: str) -> None:
+        """Append *fault* to the audit trail."""
+        self.faults = self.faults + (fault,)
+
+
+class FaultStage:
+    """One stage of the delivery pipeline; the base class is identity.
+
+    Subclasses override :meth:`process` to drop (set ``verdict``),
+    duplicate (return several attempts) or delay (verdict ``"hold"``)
+    deliveries.  Stages must be deterministic given their own seeded
+    state — replayability of a fault schedule depends on it.
+    """
+
+    def process(self, attempt: DeliveryAttempt) -> list[DeliveryAttempt]:
+        """Transform one attempt into zero or more outgoing attempts."""
+        return [attempt]
+
+
 class Network:
     """Routes messages between mailboxes according to a network view.
 
@@ -111,15 +168,34 @@ class Network:
     reliable and ordered).  Undeliverable messages are silently dropped —
     the sender learns about absences by not receiving replies, exactly
     like the real protocol.
+
+    A *pipeline* of :class:`FaultStage` objects may perturb deliveries
+    (drop, duplicate, hold); with the default empty pipeline the network
+    behaves exactly as before the seam existed.
     """
 
-    def __init__(self, mailboxes: dict[int, Mailbox]):
+    def __init__(self, mailboxes: dict[int, Mailbox],
+                 pipeline: Sequence[FaultStage] = ()):
         self._mailboxes = mailboxes
+        self._pipeline: tuple[FaultStage, ...] = tuple(pipeline)
         self._ids = itertools.count()
         self._loss_plan: dict[int, list[int]] = {}
+        self._held: list[Message] = []
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    @property
+    def pipeline(self) -> tuple[FaultStage, ...]:
+        """The installed fault stages, in processing order."""
+        return self._pipeline
+
+    @property
+    def held(self) -> tuple[Message, ...]:
+        """Messages a stage delayed, awaiting :meth:`release_held`."""
+        return tuple(self._held)
 
     def lose_next_to(self, receiver: int, count: int = 1,
                      after: int = 0) -> None:
@@ -146,7 +222,11 @@ class Network:
         return bool(plan.pop(0))
 
     def send(self, view: NetworkView, message: Message) -> bool:
-        """Attempt delivery under *view*; returns whether it arrived."""
+        """Attempt delivery under *view*; returns whether it arrived.
+
+        The attempt runs through the fault pipeline; with an empty
+        pipeline this is plain partition-aware delivery.
+        """
         if message.receiver not in self._mailboxes:
             raise EngineError(f"no mailbox for site {message.receiver}")
         stamped = _stamp(message, next(self._ids))
@@ -158,12 +238,50 @@ class Network:
             message.sender == message.receiver
             or view.can_communicate(message.sender, message.receiver)
         ) and message.receiver in view.up and message.sender in view.up
-        if not deliverable:
-            self.dropped += 1
-            return False
-        self._mailboxes[message.receiver].deliver(stamped)
-        self.delivered += 1
-        return True
+        attempts = [DeliveryAttempt(stamped, deliverable)]
+        for stage in self._pipeline:
+            attempts = [
+                out for attempt in attempts for out in stage.process(attempt)
+            ]
+        if len(attempts) > 1:
+            self.duplicated += len(attempts) - 1
+        arrived = False
+        for attempt in attempts:
+            if attempt.verdict == "hold":
+                self._held.append(attempt.message)
+                self.delayed += 1
+            elif attempt.verdict == "pass" and attempt.deliverable:
+                self._mailboxes[attempt.message.receiver].deliver(
+                    attempt.message
+                )
+                self.delivered += 1
+                arrived = True
+            else:
+                self.dropped += 1
+        return arrived
+
+    def release_held(self, view: NetworkView) -> int:
+        """Deliver every held (delayed) message that is still deliverable
+        under the *current* view; the rest are dropped.
+
+        Models a delayed message arriving after the network changed —
+        possibly after the partition that allowed its send has healed, or
+        after its receiver went down.  Returns the number delivered.
+        """
+        released, self._held = self._held, []
+        count = 0
+        for message in released:
+            deliverable = (
+                message.sender == message.receiver
+                or view.can_communicate(message.sender, message.receiver)
+            ) and message.receiver in view.up
+            if deliverable:
+                self._mailboxes[message.receiver].deliver(message)
+                self.delivered += 1
+                count += 1
+            else:
+                self.dropped += 1
+        return count
 
     def broadcast(
         self,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.core.registry import PAPER_POLICIES
 from repro.errors import ConfigurationError
@@ -26,7 +26,14 @@ from repro.obs.tracer import Tracer
 
 _log = get_logger("experiments.runner")
 
-__all__ = ["StudyParameters", "CellResult", "run_cell", "run_study"]
+__all__ = [
+    "FailedCell",
+    "StudyParameters",
+    "StudyResult",
+    "CellResult",
+    "run_cell",
+    "run_study",
+]
 
 #: Environment variable overriding the default simulated horizon (days),
 #: so `REPRO_SIM_DAYS=200000 pytest benchmarks/` runs paper-length studies.
@@ -144,6 +151,55 @@ def run_cell(
     return CellResult(configuration, result)
 
 
+@dataclass(frozen=True)
+class FailedCell:
+    """A (configuration, policy) cell that failed even after a retry.
+
+    Attributes:
+        config_key: The configuration's key ("A" .. "H").
+        policy: The policy that was being evaluated.
+        error: ``TypeName: message`` of the final exception.
+        attempts: How many evaluations were tried (normally 2).
+    """
+
+    config_key: str
+    policy: str
+    error: str
+    attempts: int = 2
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable failure record."""
+        return {
+            "config": self.config_key,
+            "policy": self.policy,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+class StudyResult(dict):
+    """The cells of a study, keyed by ``(config_key, policy)``.
+
+    A plain mapping to every consumer (tables, benchmarks), plus the
+    :attr:`failed_cells` record of any cell whose evaluation raised
+    twice — such cells are *absent* from the mapping, and the table
+    formatters print them as ``?``/``-``.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.failed_cells: tuple[FailedCell, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell was evaluated successfully."""
+        return not self.failed_cells
+
+
+def _describe_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
 #: Per-worker study context, installed once by the pool initializer so
 #: the (large) failure trace and access stream are pickled per *worker*,
 #: not per task.
@@ -197,12 +253,18 @@ def run_study(
     jobs: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
     progress: ProgressSpec = None,
-) -> Mapping[tuple[str, str], CellResult]:
+) -> StudyResult:
     """Run the full study: every configuration against every policy.
 
     One failure trace and one access stream are generated per study and
     shared by every cell, exactly as the paper measures all policies in
-    one simulation.  Returns cells keyed by ``(config_key, policy)``.
+    one simulation.  Returns a :class:`StudyResult` mapping keyed by
+    ``(config_key, policy)``.
+
+    A cell whose evaluation raises does **not** abort the study: the
+    cell is retried once, and if it fails again it is recorded on the
+    result's :attr:`StudyResult.failed_cells` (and omitted from the
+    mapping) while every other cell still runs to completion.
 
     Args:
         params: Simulation parameters (paper defaults when omitted).
@@ -254,24 +316,44 @@ def run_study(
             reporter = StudyProgress(
                 total_cells, events_per_cell, metrics=metrics
             )
-    cells: dict[tuple[str, str], CellResult] = {}
+    cells = StudyResult()
+    failed: list[FailedCell] = []
     if jobs is None or jobs == 1:
         for configuration in configurations:
             for policy in policies:
-                cell = run_cell(
-                    configuration,
-                    policy,
-                    params,
-                    topology=topology,
-                    trace=trace,
-                    access_times=access_times,
-                    metrics=metrics,
-                )
-                _log.debug("cell %s/%s done: unavailability %.6f",
-                           configuration.key, policy, cell.unavailability)
-                cells[(configuration.key, policy)] = cell
+                key = (configuration.key, policy)
+                attempts = 0
+                cell = None
+                last_error = ""
+                while cell is None and attempts < 2:
+                    attempts += 1
+                    try:
+                        cell = run_cell(
+                            configuration,
+                            policy,
+                            params,
+                            topology=topology,
+                            trace=trace,
+                            access_times=access_times,
+                            metrics=metrics,
+                        )
+                    except Exception as exc:
+                        last_error = _describe_error(exc)
+                        _log.warning(
+                            "cell %s/%s failed (attempt %d): %s",
+                            configuration.key, policy, attempts, last_error,
+                        )
+                if cell is None:
+                    failed.append(FailedCell(
+                        configuration.key, policy, last_error, attempts,
+                    ))
+                else:
+                    _log.debug("cell %s/%s done: unavailability %.6f",
+                               configuration.key, policy, cell.unavailability)
+                    cells[key] = cell
                 if reporter is not None:
-                    reporter.cell_done((configuration.key, policy))
+                    reporter.cell_done(key)
+        cells.failed_cells = tuple(failed)
         return cells
     tasks = [
         (configuration.key, policy, metrics is not None)
@@ -283,12 +365,49 @@ def run_study(
         initializer=_init_worker,
         initargs=(params, trace, access_times),
     ) as pool:
-        for key, cell, cell_metrics in pool.map(_run_cell_worker, tasks):
-            _log.debug("cell %s/%s done: unavailability %.6f",
-                       key[0], key[1], cell.unavailability)
-            cells[key] = cell
-            if metrics is not None and cell_metrics is not None:
-                metrics.merge(cell_metrics)
-            if reporter is not None:
-                reporter.cell_done(key)
+        # Per-task futures (not pool.map): one worker raise must fail
+        # one cell, not tear the whole ordered stream down.
+        pending = {
+            pool.submit(_run_cell_worker, task): (task, 1) for task in tasks
+        }
+        while pending:
+            done, _ = concurrent.futures.wait(
+                pending, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in done:
+                task, attempt = pending.pop(future)
+                key = (task[0], task[1])
+                try:
+                    _, cell, cell_metrics = future.result()
+                except Exception as exc:
+                    error = _describe_error(exc)
+                    _log.warning("cell %s/%s failed (attempt %d): %s",
+                                 key[0], key[1], attempt, error)
+                    if attempt < 2:
+                        try:
+                            retry = pool.submit(_run_cell_worker, task)
+                        except Exception as submit_exc:
+                            # The pool itself broke; record and move on.
+                            failed.append(FailedCell(
+                                key[0], key[1],
+                                _describe_error(submit_exc), attempt,
+                            ))
+                        else:
+                            pending[retry] = (task, attempt + 1)
+                            continue
+                    else:
+                        failed.append(FailedCell(
+                            key[0], key[1], error, attempt,
+                        ))
+                    if reporter is not None:
+                        reporter.cell_done(key)
+                    continue
+                _log.debug("cell %s/%s done: unavailability %.6f",
+                           key[0], key[1], cell.unavailability)
+                cells[key] = cell
+                if metrics is not None and cell_metrics is not None:
+                    metrics.merge(cell_metrics)
+                if reporter is not None:
+                    reporter.cell_done(key)
+    cells.failed_cells = tuple(failed)
     return cells

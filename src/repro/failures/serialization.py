@@ -1,24 +1,45 @@
-"""Saving and loading failure traces.
+"""Saving and loading failure traces and chaos schedules.
 
 A :class:`~repro.failures.trace.FailureTrace` fully determines a study's
 environment; persisting one lets different machines (or future versions
 of the code) evaluate policies against the *identical* failure history.
 The format is a small JSON document with a version tag.
+
+A :class:`~repro.chaos.schedule.ChaosSchedule` plays the same role for
+the chaos engine — schedule plus seed fully determine a perturbed run —
+so the same document idiom (format tag, version tag, flat JSON) covers
+it: :func:`dump_chaos_schedule` / :func:`load_chaos_schedule` are what
+``repro chaos run --save-schedule`` and ``repro chaos replay
+--schedule`` speak.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.failures.trace import FailureTrace, TraceEvent
 
-__all__ = ["dump_trace", "load_trace", "trace_to_dict", "trace_from_dict"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.schedule import ChaosSchedule
+
+__all__ = [
+    "dump_chaos_schedule",
+    "dump_trace",
+    "load_chaos_document",
+    "load_chaos_schedule",
+    "load_trace",
+    "trace_to_dict",
+    "trace_from_dict",
+]
 
 _FORMAT = "repro-failure-trace"
 _VERSION = 1
+
+_CHAOS_FORMAT = "repro-chaos-schedule"
+_CHAOS_VERSION = 1
 
 
 def trace_to_dict(trace: FailureTrace) -> dict:
@@ -74,3 +95,71 @@ def load_trace(path: Union[str, pathlib.Path]) -> FailureTrace:
     except (OSError, json.JSONDecodeError) as exc:
         raise ConfigurationError(f"cannot read trace {path}: {exc}") from exc
     return trace_from_dict(data)
+
+
+def dump_chaos_schedule(schedule: "ChaosSchedule",
+                        path: Union[str, pathlib.Path],
+                        protocol: Optional[str] = None) -> None:
+    """Write a chaos schedule to *path* as a tagged JSON document.
+
+    *protocol* records the protocol the schedule was run against, so
+    ``repro chaos replay --schedule`` reproduces the run without the
+    caller having to remember which policy was under test.
+    """
+    path = pathlib.Path(path)
+    document = {
+        "format": _CHAOS_FORMAT,
+        "version": _CHAOS_VERSION,
+        **schedule.to_dict(),
+    }
+    if protocol is not None:
+        document["protocol"] = protocol
+    try:
+        with path.open("w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot write chaos schedule {path}: {exc}"
+        ) from exc
+
+
+def load_chaos_document(path: Union[str, pathlib.Path]) -> dict:
+    """Read and validate a chaos-schedule document as a plain dict.
+
+    The dict carries the schedule body plus any run context written by
+    :func:`dump_chaos_schedule` (notably ``"protocol"``, the policy the
+    schedule was recorded against).
+
+    Raises:
+        ConfigurationError: on unreadable files or wrong format tags.
+    """
+    path = pathlib.Path(path)
+    try:
+        with path.open() as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(
+            f"cannot read chaos schedule {path}: {exc}"
+        ) from exc
+    if not isinstance(data, dict) or data.get("format") != _CHAOS_FORMAT:
+        raise ConfigurationError("not a repro chaos-schedule document")
+    if data.get("version") != _CHAOS_VERSION:
+        raise ConfigurationError(
+            f"unsupported chaos-schedule version {data.get('version')!r}"
+        )
+    return data
+
+
+def load_chaos_schedule(path: Union[str, pathlib.Path]) -> "ChaosSchedule":
+    """Read a schedule previously written by :func:`dump_chaos_schedule`.
+
+    Raises:
+        ConfigurationError: on unreadable files, wrong format tags or
+            malformed schedule bodies.
+    """
+    # Imported lazily: repro.failures must stay importable without the
+    # chaos package (and the chaos package imports repro.failures).
+    from repro.chaos.schedule import ChaosSchedule
+
+    return ChaosSchedule.from_dict(load_chaos_document(path))

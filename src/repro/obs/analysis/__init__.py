@@ -25,6 +25,8 @@ from repro.obs.analysis.audit import (
     audit_trace,
     explain_denial,
     explain_grant,
+    explain_violation,
+    violations_in_trace,
 )
 from repro.obs.analysis.diff import (
     Decision,
@@ -52,5 +54,7 @@ __all__ = [
     "diff_traces",
     "explain_denial",
     "explain_grant",
+    "explain_violation",
     "summarize",
+    "violations_in_trace",
 ]

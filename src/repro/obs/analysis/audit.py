@@ -39,6 +39,8 @@ __all__ = [
     "audit_trace",
     "explain_denial",
     "explain_grant",
+    "explain_violation",
+    "violations_in_trace",
 ]
 
 Record = Mapping[str, Any]
@@ -250,3 +252,67 @@ def audit_trace(records: Iterable[Record]) -> Iterator[DenialExplanation]:
     for record in records:
         if record.get("kind") == "quorum.denied":
             yield explain_denial(record)
+
+
+#: What each safety invariant protects, in the paper's terms.
+_INVARIANT_STORIES = {
+    "quorum-exclusion": (
+        "mutual exclusion (Theorem 1): at most one partition block may "
+        "hold a quorum at any instant"
+    ),
+    "divergent-commit": (
+        "single-writer history: one operation number must commit one "
+        "(version, partition-set) body"
+    ),
+    "non-monotone-state": (
+        "replica monotonicity: committed (o, v) never moves backwards"
+    ),
+    "quorum-escape": (
+        "commit containment: the new partition set is drawn from the "
+        "quorum that granted the access"
+    ),
+    "carried-partitioned-vote": (
+        "topological soundness: only votes of down (or same-block) "
+        "segment-mates may be claimed"
+    ),
+    "divergent-state": (
+        "generation agreement among current sites (Algorithm 1's "
+        "precondition for the majority test)"
+    ),
+}
+
+
+def explain_violation(record: Record) -> str:
+    """A one-paragraph reading of an ``invariant.violation`` record:
+    which safety property broke, the evidence, and how to replay it."""
+    invariant = str(record.get("invariant", "?"))
+    detail = str(record.get("detail", ""))
+    story = _INVARIANT_STORIES.get(
+        invariant, "a protocol safety invariant"
+    )
+    parts = [f"{invariant}: broke {story}."]
+    if detail:
+        parts.append(f"Evidence: {detail}.")
+    policy = record.get("policy")
+    seed = record.get("seed")
+    step = record.get("step")
+    where = []
+    if policy is not None:
+        where.append(f"policy {policy}")
+    if step is not None:
+        where.append(f"step {step}")
+    if where:
+        parts.append(f"Observed under {', '.join(where)}.")
+    if seed is not None:
+        parts.append(f"Replay with: repro chaos replay --seed {seed}"
+                     + (f" --policy {policy}" if policy is not None else "")
+                     + ".")
+    return " ".join(parts)
+
+
+def violations_in_trace(records: Iterable[Record]) -> Iterator[Record]:
+    """Stream every ``invariant.violation`` record of *records* (the
+    chaos monitor emits one just before it aborts the run)."""
+    for record in records:
+        if record.get("kind") == "invariant.violation":
+            yield record

@@ -1,0 +1,148 @@
+"""The chaos harness end to end: safe protocols stay safe, a broken
+protocol is caught, and violations replay deterministically."""
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_POLICIES,
+    ChaosPolicy,
+    ChaosSchedule,
+    build_schedule,
+    chaos_policies,
+    explain_divergence,
+    run_schedule,
+    run_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.configs import configuration
+from repro.experiments.testbed import testbed_topology
+
+TOPOLOGY = testbed_topology()
+COPIES = configuration("H").copy_sites
+
+
+def _schedule(seed, policy=None, length=60):
+    return build_schedule(
+        seed, COPIES, TOPOLOGY.site_ids, policy=policy, length=length,
+        config="H",
+    )
+
+
+class TestCorrectProtocols:
+    @pytest.mark.parametrize("policy", CHAOS_POLICIES)
+    def test_no_violations_under_chaos(self, policy):
+        for seed in range(3):
+            result = run_schedule(_schedule(seed), policy, topology=TOPOLOGY)
+            assert result.ok, (
+                f"{policy} seed {seed}: {result.violation}"
+            )
+            assert result.operations > 0
+
+    def test_faults_are_actually_injected(self):
+        result = run_schedule(_schedule(0), "LDV", topology=TOPOLOGY)
+        assert result.faults_injected > 0
+        assert result.messages_sent > 0
+
+    def test_fault_free_runs_grant_at_least_as_often(self):
+        """The fault-free reference of the same schedule never grants
+        less than the perturbed run (faults only remove information)."""
+        chaotic = run_schedule(_schedule(1), "LDV", topology=TOPOLOGY)
+        clean = run_schedule(_schedule(1), "LDV", topology=TOPOLOGY,
+                             faults=False)
+        assert clean.granted >= chaotic.granted
+        assert clean.faults_injected == 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_schedule(_schedule(0), "NOPE", topology=TOPOLOGY)
+
+    def test_policy_roster(self):
+        assert "BROKEN-TIE" in chaos_policies()
+        assert "BROKEN-TIE" not in CHAOS_POLICIES
+
+
+class TestBrokenProtocolCaught:
+    def test_monitor_catches_the_greedy_tiebreak(self):
+        caught = 0
+        for seed in range(5):
+            result = run_schedule(_schedule(seed), "BROKEN-TIE",
+                                  topology=TOPOLOGY)
+            if result.violation is not None:
+                caught += 1
+                assert result.violation.invariant in (
+                    "divergent-commit", "quorum-exclusion",
+                    "non-monotone-state", "divergent-state",
+                )
+        assert caught == 5, "every fuzzed seed should expose the bug"
+
+    def test_replay_reproduces_the_violation_exactly(self):
+        first = run_schedule(_schedule(3), "BROKEN-TIE", topology=TOPOLOGY)
+        assert first.violation is not None
+        # The violation carries its own schedule; rebuild and re-run.
+        replayed_schedule = ChaosSchedule.from_dict(first.violation.schedule)
+        second = run_schedule(replayed_schedule, "BROKEN-TIE",
+                              topology=TOPOLOGY)
+        assert second.violation is not None
+        assert second.violation.invariant == first.violation.invariant
+        assert second.violation.step == first.violation.step
+        assert second.violation.detail == first.violation.detail
+        assert second.record_dicts() == first.record_dicts()
+
+    def test_divergence_names_the_first_bad_decision(self):
+        result = run_schedule(_schedule(3), "BROKEN-TIE", topology=TOPOLOGY)
+        assert result.violation is not None
+        diff = explain_divergence(result, topology=TOPOLOGY)
+        assert diff is not None
+        first = diff.first_divergence
+        assert first is not None
+        assert first.a.granted != first.b.granted
+
+    def test_no_divergence_report_for_clean_runs(self):
+        result = run_schedule(_schedule(0), "LDV", topology=TOPOLOGY)
+        assert explain_divergence(result, topology=TOPOLOGY) is None
+
+
+class TestUnsafePartialCommits:
+    def test_lifting_the_budget_forks_a_correct_protocol(self):
+        """With the majority budget lifted, a partial COMMIT orphans a
+        generation and a rival quorum re-runs the operation number —
+        the monitor sees the fork on a *correct* protocol."""
+        unsafe = ChaosPolicy(
+            unsafe_partial_commits=True, partial_commit_rate=0.6,
+        )
+        result = run_schedule(_schedule(1, policy=unsafe), "LDV",
+                              topology=TOPOLOGY)
+        assert result.violation is not None
+        assert result.violation.invariant == "divergent-commit"
+
+    def test_budgeted_partial_commits_stay_safe(self):
+        budgeted = ChaosPolicy(partial_commit_rate=0.6)
+        for seed in range(3):
+            result = run_schedule(_schedule(seed, policy=budgeted), "LDV",
+                                  topology=TOPOLOGY)
+            assert result.ok
+
+
+class TestSweep:
+    def test_small_sweep_is_clean_and_counts_runs(self):
+        report = run_sweep(
+            policies=("LDV", "TDV"), seeds=range(2), config="H",
+            steps=40, topology=TOPOLOGY,
+        )
+        assert report.ok
+        assert report.total_runs == 4
+        assert report.total_violations == 0
+        payload = report.to_dict()
+        assert payload["format"] == "repro-chaos-sweep"
+        assert payload["total_runs"] == 4
+
+    def test_sweep_isolates_the_broken_protocol(self):
+        report = run_sweep(
+            policies=("LDV", "BROKEN-TIE"), seeds=range(2), config="H",
+            steps=40, topology=TOPOLOGY,
+        )
+        by_policy = {row.policy: row for row in report.rows}
+        assert not by_policy["LDV"].violations
+        assert by_policy["BROKEN-TIE"].violations
+        assert by_policy["BROKEN-TIE"].first_violation is not None
+        assert not report.ok

@@ -1,0 +1,153 @@
+"""Unit tests for the invariant monitor's shadow-model checks."""
+
+import pytest
+
+from repro.chaos import InvariantMonitor, InvariantViolation
+from repro.obs.tracer import MemorySink, TraceRecord
+
+
+def _record(kind, **fields):
+    return TraceRecord(seq=0, kind=kind, fields=fields)
+
+
+def _commit(site, operation, version, members):
+    return _record(
+        "site.commit", site=site, operation=operation, version=version,
+        partition_set=frozenset(members),
+    )
+
+
+class TestMonotonicity:
+    def test_forward_commits_pass(self):
+        monitor = InvariantMonitor(policy="LDV", seed=1)
+        monitor.emit(_commit(1, 1, 1, {1, 2}))
+        monitor.emit(_commit(1, 2, 1, {1}))
+        monitor.emit(_commit(1, 2, 1, {1}))  # idempotent duplicate
+
+    def test_backwards_state_raises(self):
+        monitor = InvariantMonitor(policy="LDV", seed=1)
+        monitor.emit(_commit(1, 3, 3, {1, 2}))
+        with pytest.raises(InvariantViolation) as info:
+            monitor.emit(_commit(1, 2, 2, {1, 2}))
+        assert info.value.invariant == "non-monotone-state"
+        assert info.value.policy == "LDV"
+        assert info.value.seed == 1
+
+
+class TestDivergentCommit:
+    def test_same_body_twice_is_fine(self):
+        monitor = InvariantMonitor(policy="DV")
+        monitor.emit(_commit(1, 2, 2, {1, 2}))
+        monitor.emit(_commit(2, 2, 2, {1, 2}))
+
+    def test_two_bodies_for_one_operation_raise(self):
+        monitor = InvariantMonitor(policy="DV")
+        monitor.emit(_commit(1, 2, 2, {1}))
+        with pytest.raises(InvariantViolation) as info:
+            monitor.emit(_commit(7, 2, 3, {7}))
+        assert info.value.invariant == "divergent-commit"
+        assert "two quorums" in info.value.detail
+
+
+class TestQuorumEscape:
+    def test_commit_outside_the_granting_quorum_raises(self):
+        monitor = InvariantMonitor(policy="LDV")
+        monitor.emit(_record(
+            "quorum.granted", policy="LDV", reachable=frozenset({1, 2}),
+            counted=frozenset({1, 2}), partition_set=frozenset({1, 2, 3}),
+        ))
+        with pytest.raises(InvariantViolation) as info:
+            monitor.emit(_record(
+                "commit.applied", operation=2, version=2,
+                members=frozenset({1, 2, 3}),
+            ))
+        assert info.value.invariant == "quorum-escape"
+
+    def test_mcv_static_denominator_is_exempt(self):
+        monitor = InvariantMonitor(policy="MCV")
+        monitor.emit(_record(
+            "quorum.granted", policy="MCV", reachable=frozenset({1, 2}),
+            counted=frozenset({1, 2}), partition_set=frozenset({1, 2, 7, 8}),
+        ))
+        monitor.emit(_record(
+            "commit.applied", operation=2, version=2,
+            members=frozenset({1, 2}),
+        ))
+
+
+class TestCarriedVotes:
+    def _carried(self, carried, claimants, granted=True):
+        return _record(
+            "votes.carried", granted=granted,
+            carried=frozenset(carried), claimants=frozenset(claimants),
+        )
+
+    def test_carrying_a_down_site_is_fine(self):
+        monitor = InvariantMonitor(policy="TDV")
+        monitor.note_network(up={1, 2}, blocks=[frozenset({1, 2})])
+        monitor.emit(self._carried({3}, {1}))  # 3 is down
+
+    def test_carrying_a_same_block_site_is_fine(self):
+        """An up site in the claimants' own block only lost its reply;
+        it can never arm a rival quorum."""
+        monitor = InvariantMonitor(policy="TDV")
+        monitor.note_network(
+            up={1, 2, 3}, blocks=[frozenset({1, 2, 3})],
+        )
+        monitor.emit(self._carried({3}, {1}))
+
+    def test_carrying_a_partitioned_site_raises(self):
+        monitor = InvariantMonitor(policy="TDV")
+        monitor.note_network(
+            up={1, 2, 3}, blocks=[frozenset({1, 2}), frozenset({3})],
+        )
+        with pytest.raises(InvariantViolation) as info:
+            monitor.emit(self._carried({3}, {1}))
+        assert info.value.invariant == "carried-partitioned-vote"
+
+    def test_denied_claims_are_not_checked(self):
+        monitor = InvariantMonitor(policy="TDV")
+        monitor.note_network(
+            up={1, 2, 3}, blocks=[frozenset({1, 2}), frozenset({3})],
+        )
+        monitor.emit(self._carried({3}, {1}, granted=False))
+
+
+class TestViolationPlumbing:
+    def test_offending_record_reaches_the_sink_before_the_raise(self):
+        sink = MemorySink()
+        monitor = InvariantMonitor(sink, policy="DV", seed=9)
+        monitor.note_step(4)
+        monitor.emit(_commit(1, 2, 2, {1}))
+        with pytest.raises(InvariantViolation):
+            monitor.emit(_commit(7, 2, 3, {7}))
+        kinds = [record.kind for record in sink.records]
+        assert kinds[-1] == "invariant.violation"
+        assert kinds[-2] == "site.commit"  # the evidence is in the trace
+        violation = sink.records[-1]
+        assert violation.fields["invariant"] == "divergent-commit"
+        assert violation.fields["seed"] == 9
+        assert violation.fields["step"] == 4
+
+    def test_violation_to_dict_carries_replay_material(self):
+        monitor = InvariantMonitor(policy="DV", seed=9)
+        monitor.note_step(4)
+        monitor.emit(_commit(1, 2, 2, {1}))
+        with pytest.raises(InvariantViolation) as info:
+            monitor.emit(_commit(7, 2, 3, {7}))
+        payload = info.value.to_dict()
+        assert payload["policy"] == "DV"
+        assert payload["seed"] == 9
+        assert payload["step"] == 4
+        assert payload["record"]["kind"] == "site.commit"
+
+    def test_explain_violation_prose(self):
+        from repro.obs.analysis import explain_violation
+
+        monitor = InvariantMonitor(policy="DV", seed=9)
+        monitor.emit(_commit(1, 2, 2, {1}))
+        with pytest.raises(InvariantViolation) as info:
+            monitor.emit(_commit(7, 2, 3, {7}))
+        text = explain_violation(info.value.to_dict())
+        assert "single-writer history" in text
+        assert "repro chaos replay --seed 9 --policy DV" in text

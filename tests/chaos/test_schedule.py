@@ -1,0 +1,104 @@
+"""Chaos schedules: determinism, validation, serialisation."""
+
+import pytest
+
+from repro.chaos import ChaosPolicy, ChaosSchedule, ChaosStep, build_schedule
+from repro.errors import ConfigurationError
+from repro.experiments.configs import configuration
+from repro.experiments.testbed import testbed_topology
+
+COPIES = configuration("H").copy_sites
+SITES = testbed_topology().site_ids
+
+
+class TestChaosPolicy:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPolicy(drop_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ChaosPolicy(crash_rate=-0.1)
+
+    def test_round_trip(self):
+        policy = ChaosPolicy(drop_rate=0.2, unsafe_partial_commits=True)
+        assert ChaosPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPolicy.from_dict({"drop_rate": 0.1, "laser_rate": 0.9})
+
+
+class TestBuildSchedule:
+    def test_same_seed_same_schedule(self):
+        a = build_schedule(7, COPIES, SITES, config="H")
+        b = build_schedule(7, COPIES, SITES, config="H")
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ(self):
+        a = build_schedule(7, COPIES, SITES, config="H")
+        b = build_schedule(8, COPIES, SITES, config="H")
+        assert a.to_dict() != b.to_dict()
+
+    def test_recover_targets_copy_sites(self):
+        """RECOVER only makes sense at a copy; reads and writes may be
+        coordinated from any up site."""
+        schedule = build_schedule(3, COPIES, SITES, config="H")
+        for step in schedule.steps:
+            if step.kind == "recover":
+                assert step.site in COPIES
+
+    def test_length_counts_operations(self):
+        schedule = build_schedule(1, COPIES, SITES, length=25, config="H")
+        ops = sum(
+            1 for s in schedule.steps
+            if s.kind in ("read", "write", "recover")
+        )
+        assert ops == 25
+
+
+class TestScheduleSerialization:
+    def test_round_trip_in_memory(self):
+        schedule = build_schedule(11, COPIES, SITES, config="H")
+        again = ChaosSchedule.from_dict(schedule.to_dict())
+        assert again.to_dict() == schedule.to_dict()
+        assert again.steps == schedule.steps
+
+    def test_dump_load_file(self, tmp_path):
+        from repro.failures.serialization import (
+            dump_chaos_schedule,
+            load_chaos_schedule,
+        )
+
+        schedule = build_schedule(11, COPIES, SITES, config="H")
+        path = tmp_path / "schedule.json"
+        dump_chaos_schedule(schedule, path)
+        loaded = load_chaos_schedule(path)
+        assert loaded.to_dict() == schedule.to_dict()
+
+    def test_load_rejects_corrupt_and_foreign_files(self, tmp_path):
+        from repro.failures.serialization import load_chaos_schedule
+
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ConfigurationError):
+            load_chaos_schedule(missing)
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{nope")
+        with pytest.raises(ConfigurationError):
+            load_chaos_schedule(corrupt)
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"format": "other", "version": 1}')
+        with pytest.raises(ConfigurationError):
+            load_chaos_schedule(foreign)
+
+    def test_from_dict_rejects_bad_steps(self):
+        with pytest.raises(ConfigurationError):
+            ChaosSchedule.from_dict({
+                "seed": 1,
+                "policy": ChaosPolicy().to_dict(),
+                "copy_sites": [1, 2],
+                "steps": [["teleport", 1]],
+                "config": "H",
+            })
+
+    def test_step_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChaosStep("explode", 1)

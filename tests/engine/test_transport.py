@@ -1,9 +1,13 @@
 """Unit tests for the message transport layer."""
 
+import dataclasses
+
 import pytest
 
 from repro.engine.transport import (
     CommitMessage,
+    DeliveryAttempt,
+    FaultStage,
     Mailbox,
     Network,
     StateReply,
@@ -107,3 +111,110 @@ class TestNetwork:
         reply, commit = list(mailboxes[2].drain())
         assert (reply.operation, reply.version) == (5, 3)
         assert commit.payload == "data"
+
+
+class _HoldNext(FaultStage):
+    """Delay the next *count* deliverable messages (test helper)."""
+
+    def __init__(self, count=1):
+        self.remaining = count
+
+    def process(self, attempt):
+        if attempt.deliverable and self.remaining > 0:
+            self.remaining -= 1
+            attempt.verdict = "hold"
+            attempt.tag("delay")
+        return [attempt]
+
+
+class _DuplicateAll(FaultStage):
+    """Duplicate every deliverable message (test helper)."""
+
+    def process(self, attempt):
+        if not attempt.deliverable:
+            return [attempt]
+        twin = DeliveryAttempt(
+            dataclasses.replace(attempt.message), attempt.deliverable,
+            faults=("duplicate",),
+        )
+        return [attempt, twin]
+
+
+class TestFaultPipeline:
+    def test_fifo_under_interleaved_senders(self):
+        """One receiver, two senders taking turns: the mailbox keeps
+        global delivery order, not per-sender bursts."""
+        topo = single_segment(3)
+        network, mailboxes = _network({1, 2, 3})
+        view = topo.view({1, 2, 3})
+        for _ in range(3):
+            network.send(view, StateRequest(sender=1, receiver=3))
+            network.send(view, StateRequest(sender=2, receiver=3))
+        drained = list(mailboxes[3].drain())
+        assert [m.sender for m in drained] == [1, 2, 1, 2, 1, 2]
+        assert [m.msg_id for m in drained] == sorted(
+            m.msg_id for m in drained
+        )
+
+    def test_held_message_survives_a_partition_merge(self):
+        """A message delayed before a partition heals arrives once the
+        blocks merge — release_held checks the *current* view."""
+        topo = testbed_topology()
+        network, mailboxes = _network(set(range(1, 9)))
+        stage = _HoldNext()
+        network = Network(mailboxes, pipeline=(stage,))
+        whole = topo.view(frozenset(range(1, 9)))
+        split = topo.view(frozenset(range(1, 9)) - {4})  # 1 and 6 split
+        assert not network.send(whole, StateRequest(sender=1, receiver=6))
+        assert network.held and network.delayed == 1
+        # Released while the partition is open: nothing can cross it.
+        assert network.release_held(split) == 0
+        assert len(mailboxes[6]) == 0
+        # A second held message released after the merge is delivered.
+        stage.remaining = 1
+        assert not network.send(split, StateRequest(sender=1, receiver=2))
+        assert network.release_held(whole) == 1
+        assert [m.sender for m in mailboxes[2].drain()] == [1]
+
+    def test_down_site_messages_dropped_not_queued(self):
+        """Messages to a down site vanish at send time — and a held
+        message whose receiver crashed is dropped at release, so no
+        queue grows without bound for a dead destination."""
+        topo = single_segment(3)
+        network, mailboxes = _network({1, 2, 3})
+        stage = _HoldNext()
+        network = Network(mailboxes, pipeline=(stage,))
+        up = topo.view({1, 2, 3})
+        assert not network.send(up, StateRequest(sender=1, receiver=2))
+        down = topo.view({1, 3})  # 2 crashes while the message is held
+        assert network.release_held(down) == 0
+        assert len(mailboxes[2]) == 0
+        assert not network.held
+        # Direct sends to the down site also drop immediately.
+        for _ in range(5):
+            assert not network.send(down, StateRequest(sender=1, receiver=2))
+        assert len(mailboxes[2]) == 0
+        # 1 held-then-dropped at release + 5 dropped at send.
+        assert network.dropped == 6
+
+    def test_duplicate_stage_delivers_twice(self):
+        topo = single_segment(2)
+        network, mailboxes = _network({1, 2})
+        network = Network(mailboxes, pipeline=(_DuplicateAll(),))
+        view = topo.view({1, 2})
+        assert network.send(view, StateRequest(sender=1, receiver=2))
+        assert network.duplicated == 1
+        assert len(mailboxes[2]) == 2
+
+    def test_drop_verdict_counts_as_dropped(self):
+        class DropAll(FaultStage):
+            def process(self, attempt):
+                attempt.verdict = "drop"
+                return [attempt]
+
+        topo = single_segment(2)
+        network, mailboxes = _network({1, 2})
+        network = Network(mailboxes, pipeline=(DropAll(),))
+        view = topo.view({1, 2})
+        assert not network.send(view, StateRequest(sender=1, receiver=2))
+        assert network.dropped == 1 and len(mailboxes[2]) == 0

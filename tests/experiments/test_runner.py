@@ -11,6 +11,7 @@ from repro.experiments.runner import (
     run_cell,
     run_study,
 )
+import repro.experiments.runner as runner_module
 
 
 @pytest.fixture
@@ -181,3 +182,80 @@ class TestRunStudy:
             policies=("MCV", "LDV", "TDV"),
         )[("A", "LDV")]
         assert alone.unavailability == together.unavailability
+
+
+class TestFailedCells:
+    """A cell whose evaluation raises degrades gracefully: retried
+    once, recorded, and never takes the rest of the study down."""
+
+    def test_clean_study_is_ok(self, quick):
+        cells = run_study(
+            quick, configurations=[CONFIGURATIONS["A"]], policies=("MCV",)
+        )
+        assert cells.ok
+        assert cells.failed_cells == ()
+
+    def test_sequential_failure_recorded_not_raised(self, quick):
+        cells = run_study(
+            quick,
+            configurations=[CONFIGURATIONS["A"]],
+            policies=("LDV", "BOGUS"),
+        )
+        assert ("A", "LDV") in cells
+        assert ("A", "BOGUS") not in cells
+        assert not cells.ok
+        assert len(cells.failed_cells) == 1
+        failed = cells.failed_cells[0]
+        assert (failed.config_key, failed.policy) == ("A", "BOGUS")
+        assert failed.attempts == 2
+        assert "ConfigurationError" in failed.error
+
+    def test_transient_failure_retried_to_success(self, quick, monkeypatch):
+        real_run_cell = runner_module.run_cell
+        calls = {"count": 0}
+
+        def flaky(configuration, policy, params, **kwargs):
+            if policy == "LDV" and calls["count"] == 0:
+                calls["count"] += 1
+                raise RuntimeError("transient worker loss")
+            return real_run_cell(configuration, policy, params, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_cell", flaky)
+        cells = run_study(
+            quick, configurations=[CONFIGURATIONS["A"]], policies=("LDV",)
+        )
+        assert cells.ok
+        assert ("A", "LDV") in cells
+        assert calls["count"] == 1
+
+    def test_parallel_failure_recorded_and_good_cells_survive(self, quick):
+        sequential = run_study(
+            quick, configurations=[CONFIGURATIONS["A"]], policies=("LDV",)
+        )
+        parallel = run_study(
+            quick,
+            configurations=[CONFIGURATIONS["A"], CONFIGURATIONS["B"]],
+            policies=("LDV", "BOGUS"),
+            jobs=2,
+        )
+        assert not parallel.ok
+        assert {
+            (f.config_key, f.policy) for f in parallel.failed_cells
+        } == {("A", "BOGUS"), ("B", "BOGUS")}
+        assert all(f.attempts == 2 for f in parallel.failed_cells)
+        assert set(parallel) == {("A", "LDV"), ("B", "LDV")}
+        # The surviving cells are still bit-identical to a clean run.
+        assert (parallel[("A", "LDV")].unavailability
+                == sequential[("A", "LDV")].unavailability)
+
+    def test_failed_cell_to_dict(self, quick):
+        cells = run_study(
+            quick,
+            configurations=[CONFIGURATIONS["A"]],
+            policies=("BOGUS",),
+        )
+        payload = cells.failed_cells[0].to_dict()
+        assert payload["config"] == "A"
+        assert payload["policy"] == "BOGUS"
+        assert payload["attempts"] == 2
+        assert payload["error"]
