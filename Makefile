@@ -2,16 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench tables sweep validate examples clean
+.PHONY: install test bench bench-record bench-compare tables sweep validate examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
+# test/bench run against the source tree directly; no install needed.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Append the next BENCH_<n>.json trajectory point (quick workloads).
+bench-record:
+	PYTHONPATH=src $(PYTHON) -m repro bench record --quick
+
+# Gate the latest trajectory point against the committed baseline.
+bench-compare:
+	PYTHONPATH=src $(PYTHON) -m repro bench compare --baseline BENCH_0.json
 
 # Paper-scale regeneration of Tables 2 and 3 (minutes, not seconds).
 tables:

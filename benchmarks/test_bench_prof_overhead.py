@@ -1,0 +1,96 @@
+"""Disabled-profiler overhead guard.
+
+Mirror of ``test_bench_tracer_overhead.py`` for the profiling hooks:
+with no :class:`~repro.obs.prof.phases.PhaseProfiler` attached, the
+kernel's hot loop pays only the ``profiler is not None`` check.  There
+is no un-instrumented build to compare against, so the guard compares
+the detached path against the same workload with a profiler attached —
+which pays the check *plus* a dict increment per event.  If the
+detached path is not clearly cheaper than even that, the
+zero-cost-when-disabled claim is broken.
+
+A second check bounds the *enabled* path on the study workload: a
+profiled ``run_cell`` is opt-in and may cost something, but must stay
+within 2x of the bare cell and change no results.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.runner import StudyParameters, run_cell
+from repro.obs.prof import PhaseProfiler
+from repro.sim.kernel import Simulation
+
+EVENTS = 20_000
+
+
+def _kernel_workload(profiler):
+    sim = Simulation(profiler=profiler)
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < EVENTS:
+            sim.schedule(1.0, tick, name="tick")
+
+    sim.schedule(0.0, tick, name="tick")
+    sim.run()
+    return count
+
+
+def _best_of(func, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_kernel_detached_profiler(benchmark):
+    """Throughput of the instrumented kernel with no profiler attached."""
+    assert benchmark(lambda: _kernel_workload(None)) == EVENTS
+
+
+def test_detached_path_beats_attached_profiler():
+    """The detached check must cost less than an attached profiler:
+    that difference *is* the per-event counting the guard avoids."""
+    profiler = PhaseProfiler()
+    for _ in range(3):  # retries absorb scheduler noise
+        detached = _best_of(lambda: _kernel_workload(None))
+        attached = _best_of(lambda: _kernel_workload(profiler))
+        if detached <= attached * 1.05:
+            return
+    pytest.fail(
+        f"detached profiler path ({detached:.4f}s) is slower than an "
+        f"attached profiler ({attached:.4f}s) by more than 5%"
+    )
+
+
+def test_study_cell_profiled_overhead_is_bounded():
+    """The *enabled* path is allowed to cost something (it is opt-in),
+    but a profiled study cell must not blow past 2x the bare cell, and
+    must produce bit-identical results."""
+    params = StudyParameters(horizon=4000.0, warmup=360.0, batches=4,
+                             seed=11)
+    config = CONFIGURATIONS["B"]
+
+    def bare():
+        return run_cell(config, "LDV", params)
+
+    def profiled():
+        return run_cell(config, "LDV", params, profiler=PhaseProfiler())
+
+    assert bare().result == profiled().result
+    for _ in range(3):
+        bare_time = _best_of(bare, repeats=3)
+        profiled_time = _best_of(profiled, repeats=3)
+        if profiled_time <= bare_time * 2.0:
+            return
+    pytest.fail(
+        f"phase profiling more than doubles a study cell: "
+        f"{profiled_time:.4f}s vs {bare_time:.4f}s"
+    )

@@ -586,6 +586,7 @@ def run_schedule(
     topology: Optional[Topology] = None,
     faults: bool = True,
     sink: Optional[Any] = None,
+    profiler: Optional[Any] = None,
 ) -> ChaosRunResult:
     """Execute *schedule* against *policy* with the monitor always on.
 
@@ -594,6 +595,11 @@ def run_schedule(
     including any violation — message for message.  ``faults=False``
     executes the same operation/crash/restart sequence with every fault
     channel disabled (the reference run for divergence reports).
+
+    A *profiler* (:class:`~repro.obs.prof.phases.PhaseProfiler`) is
+    attached to the cluster, so per-operation and per-message-type
+    hot-path counters are collected (``repro profile chaos``); it never
+    changes the run.
 
     Returns a :class:`ChaosRunResult`; a violation ends the run at its
     step and is stored on the result rather than raised.
@@ -606,6 +612,8 @@ def run_schedule(
     monitor = InvariantMonitor(inner, policy=name, seed=schedule.seed)
     tracer = Tracer(monitor)
     cluster, stages = _build_cluster(name, schedule, topology, tracer, faults)
+    if profiler is not None:
+        cluster.attach_profiler(profiler)
     result = ChaosRunResult(policy=name, schedule=schedule)
     try:
         for index, step in enumerate(schedule.steps):

@@ -20,6 +20,14 @@ Commands regenerate everything in the paper from the terminal:
   record: ``run`` (one schedule), ``sweep`` (many seeds x all
   protocols), ``replay`` (reproduce a violating schedule
   deterministically);
+* ``repro profile``   — profile a ``scenario``, a (small) ``study`` or a
+  ``chaos`` run: top-N hot functions, flamegraph-compatible collapsed
+  stacks (``--collapsed``), deterministic phase timers and kernel
+  hot-path counters, via cProfile or a signal-based stack sampler;
+* ``repro bench``     — the benchmark trajectory: ``record`` appends a
+  ``BENCH_<n>.json`` point (quick in-process subset, or ingest a
+  pytest-benchmark JSON), ``compare`` diffs two points with noise-aware
+  thresholds and exits 1 on a regression (the CI gate);
 * ``repro demo``      — the engine walkthrough from Section 2's example.
 
 Observability: a global ``--log-level`` flag configures the package
@@ -268,6 +276,110 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--json-out", metavar="PATH", default=None,
                    help="also write the run summary as a JSON document")
 
+    p = sub.add_parser(
+        "profile",
+        help="profile a workload: hot functions, flamegraph stacks, "
+             "phase timers",
+    )
+    psub = p.add_subparsers(dest="profile_command", required=True)
+
+    def add_profile_common(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--engine", default="cprofile",
+                       choices=("cprofile", "sample"),
+                       help="cprofile (deterministic, exact counts) or "
+                            "sample (signal-based stack sampler, true "
+                            "stacks, low overhead)")
+        q.add_argument("--interval", type=float, default=5.0,
+                       help="sampling period in milliseconds "
+                            "(sample engine only; default 5)")
+        q.add_argument("--top", type=int, default=15,
+                       help="hot functions to print (default 15)")
+        q.add_argument("--collapsed", metavar="PATH", default=None,
+                       help="write flamegraph-compatible collapsed "
+                            "stacks ('a;b;c count' lines)")
+        q.add_argument("--json-out", metavar="PATH", default=None,
+                       help="also write the full report as a JSON "
+                            "document")
+        q.add_argument("--out", metavar="PATH", default=None,
+                       help="write the text report here instead of "
+                            "stdout")
+
+    q = psub.add_parser("scenario", help="profile one scenario replay")
+    q.add_argument("file", help="path to a repro-scenario JSON document")
+    q.add_argument("--policy", default=None,
+                   help="override the scenario's policy")
+    add_profile_common(q)
+
+    q = psub.add_parser(
+        "study", help="profile a (small) availability study",
+    )
+    add_sim_args(q)
+    q.add_argument("--configs", default="A,F",
+                   help="comma-separated configuration keys "
+                        "(default A,F)")
+    q.add_argument("--policies", default=",".join(PAPER_POLICIES),
+                   help="comma-separated policies "
+                        "(default: all six paper columns)")
+    add_profile_common(q)
+
+    q = psub.add_parser("chaos", help="profile one chaos schedule run")
+    q.add_argument("--seed", type=int, default=0, help="chaos seed")
+    q.add_argument("--policy", default="LDV",
+                   help="protocol to run the schedule against")
+    add_chaos_build(q)
+    add_profile_common(q)
+
+    p = sub.add_parser(
+        "bench",
+        help="record benchmark trajectory points and gate on "
+             "regressions",
+    )
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+
+    q = bsub.add_parser(
+        "record", help="append a BENCH_<n>.json trajectory point",
+    )
+    q.add_argument("--quick", action="store_true",
+                   help="time the pinned micro subset in-process "
+                        "(seconds to run; the CI smoke source) instead "
+                        "of the full pytest-benchmark suite")
+    q.add_argument("--rounds", type=int, default=5,
+                   help="rounds per quick workload (default 5)")
+    q.add_argument("--from-json", metavar="FILE", default=None,
+                   help="ingest a pytest-benchmark --benchmark-json "
+                        "document instead of running anything")
+    q.add_argument("--out", metavar="PATH", default=None,
+                   help="write the point here instead of the next "
+                        "BENCH_<n>.json in --dir")
+    q.add_argument("--dir", default=".", metavar="DIR",
+                   help="trajectory directory (default: current "
+                        "directory)")
+    q.add_argument("--note", default="",
+                   help="free-text note stored in the point")
+
+    q = bsub.add_parser(
+        "compare",
+        help="diff two trajectory points; exit 1 on a regression",
+    )
+    q.add_argument("current", nargs="?", default=None,
+                   help="current point (default: the highest-numbered "
+                        "BENCH_<n>.json in --dir)")
+    q.add_argument("--baseline", required=True, metavar="FILE",
+                   help="baseline trajectory point")
+    q.add_argument("--dir", default=".", metavar="DIR",
+                   help="where to look for the default current point")
+    q.add_argument("--max-regression", type=float, default=0.25,
+                   help="relative median growth that counts as a "
+                        "regression (default 0.25 = 25%%)")
+    q.add_argument("--iqr-factor", type=float, default=1.5,
+                   help="the median must also move by this many IQRs "
+                        "(default 1.5)")
+    q.add_argument("--ignore-fingerprint", action="store_true",
+                   help="compare across machines/interpreters anyway "
+                        "(CI does, with a wide --max-regression)")
+    q.add_argument("--json-out", metavar="PATH", default=None,
+                   help="also write the comparison as a JSON document")
+
     sub.add_parser("demo", help="run the Section 2 worked example")
     return parser
 
@@ -341,8 +453,6 @@ def _write_metrics_dump(
 
 
 def _cmd_tables(args: argparse.Namespace, which: str) -> int:
-    import time
-
     from repro.obs.metrics import MetricsRegistry
 
     params = _params(args)
@@ -354,16 +464,22 @@ def _cmd_tables(args: argparse.Namespace, which: str) -> int:
         file=sys.stderr,
     )
     metrics_out = getattr(args, "metrics_out", None)
-    metrics = MetricsRegistry() if metrics_out else None
-    started = time.perf_counter()
-    cells = run_study(params, jobs=getattr(args, "jobs", None),
-                      metrics=metrics,
-                      progress=getattr(args, "progress", False))
-    elapsed = time.perf_counter() - started
-    if metrics_out:
+    if not metrics_out:
+        cells = run_study(params, jobs=getattr(args, "jobs", None),
+                          progress=getattr(args, "progress", False))
+    else:
+        # The registry times the command itself (command.seconds), so
+        # the manifest's wall clock is the timer's own reading — no
+        # hand-rolled perf_counter pair.
+        metrics = MetricsRegistry()
+        with metrics.timed("command.seconds", command=which):
+            cells = run_study(params, jobs=getattr(args, "jobs", None),
+                              metrics=metrics,
+                              progress=getattr(args, "progress", False))
         _write_metrics_dump(
             metrics_out, which, params, PAPER_POLICIES,
-            tuple(sorted(CONFIGURATIONS)), metrics, elapsed,
+            tuple(sorted(CONFIGURATIONS)), metrics,
+            metrics.histogram("command.seconds", command=which).total,
             jobs=getattr(args, "jobs", None),
         )
     if which in ("table2", "study"):
@@ -514,27 +630,22 @@ def _cmd_overhead(args: argparse.Namespace) -> None:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     """Cross-check the simulator against closed forms (DESIGN.md §4)."""
-    import time
-
     from repro.analysis.enumeration import (
         mcv_predicate,
         single_copy_predicate,
         static_availability,
     )
-    from repro.experiments.evaluator import evaluate_policy
+    from repro.experiments.evaluator import evaluate_policy, poisson_times
     from repro.experiments.testbed import testbed_topology
     from repro.obs.metrics import MetricsRegistry, MetricsSink
     from repro.obs.tracer import Tracer
 
     metrics_out = getattr(args, "metrics_out", None)
     metrics = MetricsRegistry() if metrics_out else None
-    started = time.perf_counter()
     params = _params(args)
     topology = testbed_topology()
-    trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
-    measured_sites = {s: trace.site_availability(s) for s in range(1, 9)}
 
-    def evaluate_cell(policy, copies, config_key, **kwargs):
+    def evaluate_cell(policy, copies, config_key, trace, **kwargs):
         """evaluate_policy, tallied and timed when --metrics-out is set."""
         if metrics is None:
             return evaluate_policy(policy, topology, copies, trace, **kwargs)
@@ -545,63 +656,80 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                 **kwargs,
             )
 
-    print(f"simulated {params.horizon:.0f} days (seed {params.seed})\n")
-    failures = 0
+    def run_checks() -> int:
+        import math
 
-    print("1. per-site availability vs mttf/(mttf+mttr):")
-    import math
+        trace = generate_trace(
+            testbed_profiles(), params.horizon, params.seed
+        )
+        measured_sites = {
+            s: trace.site_availability(s) for s in range(1, 9)
+        }
+        print(f"simulated {params.horizon:.0f} days (seed {params.seed})\n")
+        failures = 0
 
-    for profile in testbed_profiles():
-        analytic = profile.steady_state_availability()
-        simulated = measured_sites[profile.site_id]
-        # ~3 standard errors of the downtime estimator: per-failure
-        # downtime varies by roughly its own mean (exponential parts),
-        # and the horizon sees about horizon / mttf failures.  Plus the
-        # maintenance duty cycle (sites 1, 3, 5), absent from the
-        # closed form.
-        n_failures = max(1.0, params.horizon / profile.mttf_days)
-        sigma = profile.expected_downtime() * math.sqrt(n_failures) / params.horizon
-        slack = 3.0 * sigma + 0.002 + (0.0015 if profile.maintenance else 0.0)
-        ok = abs(simulated - analytic) < slack
-        failures += 0 if ok else 1
-        print(f"   site {profile.site_id} ({profile.name:<8}) "
-              f"simulated {simulated:.6f}  analytic {analytic:.6f}  "
-              f"{'ok' if ok else 'MISMATCH'}")
+        print("1. per-site availability vs mttf/(mttf+mttr):")
+        for profile in testbed_profiles():
+            analytic = profile.steady_state_availability()
+            simulated = measured_sites[profile.site_id]
+            # ~3 standard errors of the downtime estimator: per-failure
+            # downtime varies by roughly its own mean (exponential
+            # parts), and the horizon sees about horizon / mttf
+            # failures.  Plus the maintenance duty cycle (sites 1, 3,
+            # 5), absent from the closed form.
+            n_failures = max(1.0, params.horizon / profile.mttf_days)
+            sigma = (profile.expected_downtime() * math.sqrt(n_failures)
+                     / params.horizon)
+            slack = (3.0 * sigma + 0.002
+                     + (0.0015 if profile.maintenance else 0.0))
+            ok = abs(simulated - analytic) < slack
+            failures += 0 if ok else 1
+            print(f"   site {profile.site_id} ({profile.name:<8}) "
+                  f"simulated {simulated:.6f}  analytic {analytic:.6f}  "
+                  f"{'ok' if ok else 'MISMATCH'}")
 
-    print("\n2. MCV availability vs exact 2^8-state enumeration:")
-    for key in ("A", "B", "F"):
-        copies = configuration(key).copy_sites
-        result = evaluate_cell("MCV", copies, key, warmup=0.0, batches=1)
-        exact = static_availability(topology, measured_sites,
-                                    mcv_predicate(copies))
-        ok = abs(result.availability - exact) < 0.005
-        failures += 0 if ok else 1
-        print(f"   config {key}: simulated {result.availability:.6f}  "
-              f"exact {exact:.6f}  {'ok' if ok else 'MISMATCH'}")
+        print("\n2. MCV availability vs exact 2^8-state enumeration:")
+        for key in ("A", "B", "F"):
+            copies = configuration(key).copy_sites
+            result = evaluate_cell("MCV", copies, key, trace,
+                                   warmup=0.0, batches=1)
+            exact = static_availability(topology, measured_sites,
+                                        mcv_predicate(copies))
+            ok = abs(result.availability - exact) < 0.005
+            failures += 0 if ok else 1
+            print(f"   config {key}: simulated {result.availability:.6f}  "
+                  f"exact {exact:.6f}  {'ok' if ok else 'MISMATCH'}")
 
-    print("\n3. no policy beats the 'some copy up' bound (config A):")
-    from repro.core.registry import PAPER_POLICIES
-    from repro.experiments.evaluator import poisson_times
+        print("\n3. no policy beats the 'some copy up' bound (config A):")
+        copies = configuration("A").copy_sites
+        bound = static_availability(topology, measured_sites,
+                                    single_copy_predicate(copies))
+        access = poisson_times(params.access_rate_per_day, params.horizon,
+                               params.seed)
+        for policy in PAPER_POLICIES:
+            result = evaluate_cell(policy, copies, "A", trace,
+                                   warmup=0.0, batches=1,
+                                   access_times=access)
+            ok = result.availability <= bound + 0.002
+            failures += 0 if ok else 1
+            print(f"   {policy:<5} {result.availability:.6f} <= "
+                  f"{bound:.6f}  {'ok' if ok else 'VIOLATION'}")
 
-    copies = configuration("A").copy_sites
-    bound = static_availability(topology, measured_sites,
-                                single_copy_predicate(copies))
-    access = poisson_times(params.access_rate_per_day, params.horizon,
-                           params.seed)
-    for policy in PAPER_POLICIES:
-        result = evaluate_cell(policy, copies, "A", warmup=0.0, batches=1,
-                               access_times=access)
-        ok = result.availability <= bound + 0.002
-        failures += 0 if ok else 1
-        print(f"   {policy:<5} {result.availability:.6f} <= {bound:.6f}  "
-              f"{'ok' if ok else 'VIOLATION'}")
+        print(f"\n{'all checks passed' if failures == 0 else f'{failures} check(s) FAILED'}")
+        return failures
 
-    print(f"\n{'all checks passed' if failures == 0 else f'{failures} check(s) FAILED'}")
-    if metrics_out:
+    if metrics is None:
+        failures = run_checks()
+    else:
+        # Same dedup as _cmd_tables: the registry's timer is the one
+        # wall clock, read back for the manifest.
+        with metrics.timed("command.seconds", command="validate"):
+            failures = run_checks()
         _write_metrics_dump(
             metrics_out, "validate", params,
             ("MCV",) + tuple(PAPER_POLICIES), ("A", "B", "F"),
-            metrics, time.perf_counter() - started,
+            metrics,
+            metrics.histogram("command.seconds", command="validate").total,
             failures=failures,
         )
     return 0 if failures == 0 else 1
@@ -1083,6 +1211,281 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a scenario / study / chaos workload (``repro profile``)."""
+    import pathlib
+
+    from repro.obs.prof import PhaseProfiler, run_profiled
+
+    phases = PhaseProfiler()
+    command = args.profile_command
+    if command == "scenario":
+        from repro.experiments.scenarios import load_scenario, run_scenario
+        from repro.experiments.testbed import testbed_topology
+
+        spec = load_scenario(args.file)
+        policy = args.policy if args.policy is not None else spec.policy
+        topology = testbed_topology()
+
+        def workload():
+            with phases.phase("scenario", policy=policy):
+                return run_scenario(
+                    topology, spec.copy_sites, policy, spec.steps,
+                    initial=spec.initial,
+                )
+
+        target = f"scenario:{spec.name} ({policy})"
+    elif command == "study":
+        if args.horizon is None:
+            # A profiled study defaults to a short horizon: cProfile
+            # multiplies the replay cost several-fold, and hot spots
+            # show at 4000 days just as well as at 40000.
+            args.horizon = 4000.0
+        params = _params(args)
+        configs = [configuration(key.strip())
+                   for key in args.configs.split(",") if key.strip()]
+        if not configs:
+            raise ConfigurationError("--configs named no configurations")
+        policies = [name.strip()
+                    for name in args.policies.split(",") if name.strip()]
+        known = available_policies()
+        for name in policies:
+            if name not in known:
+                raise ConfigurationError(
+                    f"unknown policy {name!r} in --policies; choose "
+                    f"from {', '.join(sorted(known))}"
+                )
+        if not policies:
+            raise ConfigurationError("--policies named no protocols")
+
+        def workload():
+            with phases.phase("study"):
+                return run_study(params, configurations=configs,
+                                 policies=policies, profiler=phases)
+
+        target = (f"study:{len(configs)}x{len(policies)} cells, "
+                  f"{params.horizon:g} days")
+    elif command == "chaos":
+        from repro.chaos import run_schedule
+
+        schedule = _chaos_schedule_from_args(args, args.seed)
+
+        def workload():
+            with phases.phase("chaos", policy=args.policy):
+                return run_schedule(schedule, args.policy,
+                                    profiler=phases)
+
+        target = (f"chaos:seed={args.seed} {args.policy} "
+                  f"x{args.steps} steps")
+    else:  # pragma: no cover - argparse enforces choices
+        raise ConfigurationError(f"unknown profile command {command!r}")
+
+    if args.interval <= 0:
+        raise ConfigurationError(
+            f"--interval must be > 0 ms, got {args.interval}"
+        )
+    _, report = run_profiled(
+        workload, target, engine=args.engine,
+        interval=args.interval / 1000.0, top=args.top, phases=phases,
+    )
+    text = report.format_text(args.top)
+    if args.out:
+        try:
+            pathlib.Path(args.out).write_text(text + "\n")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write {args.out}: {exc}"
+            ) from exc
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    if args.collapsed:
+        try:
+            pathlib.Path(args.collapsed).write_text(
+                "\n".join(report.collapsed) + "\n"
+            )
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write {args.collapsed}: {exc}"
+            ) from exc
+        print(f"{len(report.collapsed)} collapsed stacks written to "
+              f"{args.collapsed} (flamegraph.pl / speedscope ready)",
+              file=sys.stderr)
+    if args.json_out:
+        _write_json_out(args.json_out, report.to_dict())
+    return 0
+
+
+def _bench_full_suite() -> list:
+    """Run the pytest-benchmark suite; returns its BenchmarkStats."""
+    import json
+    import os
+    import pathlib
+    import subprocess
+    import tempfile
+
+    from repro.obs.prof import ingest_pytest_benchmark
+
+    src = str(pathlib.Path(__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    print("running the pytest-benchmark suite "
+          "(--quick records the smoke subset in seconds) ...",
+          file=sys.stderr)
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "benchmark.json"
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest", "benchmarks/",
+             "--benchmark-only", f"--benchmark-json={out}", "-q"],
+            env=env,
+        )
+        if result.returncode != 0 or not out.exists():
+            raise ReproError(
+                f"pytest-benchmark run failed (exit {result.returncode})"
+            )
+        document = json.loads(out.read_text())
+    return ingest_pytest_benchmark(document)
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.obs.prof import (
+        build_point,
+        ingest_pytest_benchmark,
+        next_trajectory_path,
+        run_quick,
+    )
+
+    if args.quick and args.from_json:
+        raise ConfigurationError("give --quick or --from-json, not both")
+    if args.rounds < 1:
+        raise ConfigurationError(
+            f"--rounds must be >= 1, got {args.rounds}"
+        )
+    if args.from_json:
+        source_path = pathlib.Path(args.from_json)
+        try:
+            document = json.loads(source_path.read_text())
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read {source_path}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{source_path} is not JSON: {exc}"
+            ) from exc
+        stats = ingest_pytest_benchmark(document)
+        source = "pytest-benchmark"
+    elif args.quick:
+        print(f"timing the quick subset ({args.rounds} rounds each) ...",
+              file=sys.stderr)
+        stats = run_quick(args.rounds)
+        source = "quick"
+    else:
+        stats = _bench_full_suite()
+        source = "pytest-benchmark"
+    if args.out:
+        index, target = None, pathlib.Path(args.out)
+    else:
+        index, target = next_trajectory_path(args.dir)
+    point = build_point(stats, source, index=index, note=args.note)
+    try:
+        target.write_text(json.dumps(point, indent=2) + "\n")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot write {target}: {exc}") from exc
+    label = f"point #{index}" if index is not None else "point"
+    print(f"trajectory {label} written to {target} "
+          f"({len(stats)} benchmarks, source {source})")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ascii_table
+    from repro.obs.prof import (
+        compare_points,
+        latest_trajectory_path,
+        load_point,
+    )
+
+    baseline = load_point(args.baseline)
+    current_path = args.current
+    if current_path is None:
+        found = latest_trajectory_path(args.dir)
+        if found is None:
+            raise ConfigurationError(
+                f"no BENCH_<n>.json in {args.dir}; name the current "
+                "point explicitly"
+            )
+        current_path = str(found)
+    current = load_point(current_path)
+    comparison = compare_points(
+        baseline, current,
+        max_regression=args.max_regression,
+        iqr_factor=args.iqr_factor,
+        ignore_fingerprint=args.ignore_fingerprint,
+    )
+    print(f"baseline {args.baseline}  vs  current {current_path}")
+    if comparison.status == "incomparable":
+        print("incomparable: the points come from different "
+              "interpreters or machines:")
+        for key in ("implementation", "python", "machine"):
+            print(f"  {key}: {comparison.baseline_fingerprint.get(key)}"
+                  f" vs {comparison.current_fingerprint.get(key)}")
+        print("re-record on one machine, or pass --ignore-fingerprint "
+              "with a --max-regression wide enough for the difference")
+        if args.json_out:
+            _write_json_out(args.json_out, comparison.to_dict())
+        return 1
+    rows = [
+        [
+            row.name, row.verdict,
+            "-" if row.baseline_median is None
+            else f"{row.baseline_median:.6f}",
+            "-" if row.current_median is None
+            else f"{row.current_median:.6f}",
+            "-" if row.ratio is None else f"{row.ratio:.3f}x",
+        ]
+        for row in comparison.rows
+    ]
+    print(ascii_table(
+        ["benchmark", "verdict", "base median(s)", "cur median(s)",
+         "ratio"],
+        rows,
+    ))
+    if not comparison.fingerprint_matches:
+        print("note: fingerprints differ; comparing anyway "
+              "(--ignore-fingerprint)", file=sys.stderr)
+    regressions = comparison.regressions
+    if regressions:
+        print(f"\nREGRESSION: {len(regressions)} benchmark(s) slowed "
+              f"by more than {comparison.max_regression:.0%} beyond "
+              "noise:")
+        for row in regressions:
+            print(f"  {row.name}: {row.baseline_median:.6f}s -> "
+                  f"{row.current_median:.6f}s ({row.ratio:.2f}x)")
+    else:
+        print(f"\nok: no regression beyond "
+              f"{comparison.max_regression:.0%} + noise")
+    if args.json_out:
+        _write_json_out(args.json_out, comparison.to_dict())
+    return 1 if comparison.status != "ok" else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    command = args.bench_command
+    if command == "record":
+        return _cmd_bench_record(args)
+    if command == "compare":
+        return _cmd_bench_compare(args)
+    raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+        f"unknown bench command {command!r}"
+    )
+
+
 def _ensure_writable(path: str) -> None:
     """Fail fast (exit 2) on an unwritable output path, before hours of
     simulation would be thrown away at write time."""
@@ -1134,7 +1537,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
-    for attr in ("out", "save", "save_schedule", "json_out", "metrics_out"):
+    for attr in ("out", "save", "save_schedule", "json_out", "metrics_out",
+                 "collapsed"):
         value = getattr(args, attr, None)
         if value:
             _ensure_writable(value)
@@ -1161,6 +1565,10 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_analyze(args)
     elif command == "chaos":
         return _cmd_chaos(args)
+    elif command == "profile":
+        return _cmd_profile(args)
+    elif command == "bench":
+        return _cmd_bench(args)
     elif command == "demo":
         _cmd_demo(args)
     else:  # pragma: no cover - argparse enforces choices

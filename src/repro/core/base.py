@@ -132,6 +132,7 @@ class VotingProtocol(abc.ABC):
         self._replicas = replicas
         self._history: Optional[list["CommitRecord"]] = None
         self._tracer: Optional["Tracer"] = None
+        self._profiler = None
 
     # ------------------------------------------------------------------
     # structured tracing
@@ -147,6 +148,18 @@ class VotingProtocol(abc.ABC):
         ``None`` check.  Returns ``self`` for chaining.
         """
         self._tracer = tracer
+        return self
+
+    def attach_profiler(self, profiler) -> "VotingProtocol":
+        """Attach (or, with ``None``, detach) a
+        :class:`~repro.obs.prof.phases.PhaseProfiler`.
+
+        Attached, every quorum evaluation and block test is tallied per
+        policy (``quorum.evaluate.<name>`` / ``quorum.block.<name>``
+        hot-path counters); detached (the default) the availability
+        probe pays one ``None`` check.  Returns ``self`` for chaining.
+        """
+        self._profiler = profiler
         return self
 
     def _trace_decision(
@@ -281,11 +294,16 @@ class VotingProtocol(abc.ABC):
         """The verdict for the best block — the paper's single user "can
         access any of the sites", so the file is available if *any* block
         grants.  Returns the granting verdict, or the last denial."""
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.count(f"quorum.evaluate.{self.name}")
         denial: Optional[Verdict] = None
         copies = self._replicas.copy_sites
         for block in view.blocks:
             if not (block & copies):
                 continue
+            if profiler is not None:
+                profiler.count(f"quorum.block.{self.name}")
             verdict = self.evaluate_block(view, block)
             if verdict.granted:
                 return verdict

@@ -203,6 +203,18 @@ class MessageCluster:
         self.network = Network(mailboxes, pipeline=pipeline)
         self._up: set[int] = set(topology.site_ids)
         self._round = 0
+        self._profiler = None
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach (or, with ``None``, detach) a
+        :class:`~repro.obs.prof.phases.PhaseProfiler`.
+
+        Attached, every read/write/recover operation is counted and the
+        network tallies sends by message type; detached (the default)
+        each operation pays one ``None`` check.
+        """
+        self._profiler = profiler
+        self.network.attach_profiler(profiler)
 
     # ------------------------------------------------------------------
     @property
@@ -233,6 +245,8 @@ class MessageCluster:
     # ------------------------------------------------------------------
     def read(self, at_site: int) -> Any:
         """READ from *at_site*, purely by messages (Figure 1/5)."""
+        if self._profiler is not None:
+            self._profiler.count("engine.op.read")
         replies, view = self._start(at_site)
         verdict = self._decide(replies, view, at_site)
         newest = verdict.newest
@@ -244,6 +258,8 @@ class MessageCluster:
 
     def write(self, at_site: int, value: Any) -> None:
         """WRITE from *at_site* (Figure 2/6): payload rides the COMMIT."""
+        if self._profiler is not None:
+            self._profiler.count("engine.op.write")
         replies, view = self._start(at_site)
         verdict = self._decide(replies, view, at_site)
         anchor = replies[min(verdict.current)]
@@ -255,6 +271,8 @@ class MessageCluster:
         """One RECOVER attempt by the copy at *at_site* (Figure 3/7)."""
         if at_site not in self._copy_sites:
             raise ConfigurationError(f"no copy at site {at_site}")
+        if self._profiler is not None:
+            self._profiler.count("engine.op.recover")
         try:
             replies, view = self._start(at_site)
             verdict = self._decide(replies, view, at_site)

@@ -181,11 +181,19 @@ class Network:
         self._ids = itertools.count()
         self._loss_plan: dict[int, list[int]] = {}
         self._held: list[Message] = []
+        self._profiler = None
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
         self.duplicated = 0
         self.delayed = 0
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach (or, with ``None``, detach) a
+        :class:`~repro.obs.prof.phases.PhaseProfiler`; attached, every
+        send is tallied by message type.  Detached (the default) the
+        send path pays one ``None`` check."""
+        self._profiler = profiler
 
     @property
     def pipeline(self) -> tuple[FaultStage, ...]:
@@ -231,6 +239,8 @@ class Network:
             raise EngineError(f"no mailbox for site {message.receiver}")
         stamped = _stamp(message, next(self._ids))
         self.sent += 1
+        if self._profiler is not None:
+            self._profiler.count(f"engine.msg.{type(message).__name__}")
         if self._should_drop(message.receiver):
             self.dropped += 1
             return False

@@ -15,12 +15,14 @@ The measurement model (DESIGN.md §3):
 
 from __future__ import annotations
 
+import contextlib
 import math
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.prof.phases import PhaseProfiler
     from repro.obs.tracer import Tracer
 
 from repro.core.base import VotingProtocol
@@ -197,6 +199,7 @@ def evaluate_policy(
     batches: int = 20,
     access_times: tuple[float, ...] = (),
     tracer: Optional["Tracer"] = None,
+    profiler: Optional["PhaseProfiler"] = None,
 ) -> EvaluationResult:
     """Replay *trace* against one policy and measure availability.
 
@@ -214,6 +217,11 @@ def evaluate_policy(
         tracer: Attached to the protocol for the replay, so every quorum
             test emits a decision record (``None``, the default, adds no
             per-event work).
+        profiler: Attached to the protocol for the replay and fed the
+            hot-path counts of the merge loop (site transitions,
+            accesses, synchronizations); the whole replay is timed as a
+            ``replay`` phase.  ``None`` (the default) adds no per-event
+            work — the check is hoisted out of the loop.
     """
     unknown = copy_sites - topology.site_ids
     if unknown:
@@ -235,6 +243,8 @@ def evaluate_policy(
         protocol = policy(replicas)
     if tracer is not None:
         protocol.attach_tracer(tracer)
+    if profiler is not None:
+        protocol.attach_profiler(profiler)
     if not protocol.eager and not access_times:
         raise ConfigurationError(
             f"{protocol.name} is optimistic; supply access_times "
@@ -257,39 +267,53 @@ def evaluate_policy(
     accesses = access_times if not protocol.eager else ()
     i = j = 0
     n_trace, n_access = len(trace_events), len(accesses)
-    while i < n_trace or j < n_access:
-        # Merge the two streams; on exact ties apply the site transition
-        # first so the access observes the post-transition network.
-        take_trace = j >= n_access or (
-            i < n_trace and trace_events[i].time <= accesses[j]
-        )
-        if take_trace:
-            event = trace_events[i]
-            i += 1
-            if event.up:
-                up.add(event.site_id)
+    # Hoisted: a profiler cannot (re)attach mid-replay, so the disabled
+    # path pays nothing inside the merge loop.
+    profiling = profiler is not None
+    replay_phase = (
+        profiler.phase("replay", policy=protocol.name)
+        if profiling else contextlib.nullcontext()
+    )
+    with replay_phase:
+        while i < n_trace or j < n_access:
+            # Merge the two streams; on exact ties apply the site
+            # transition first so the access observes the
+            # post-transition network.
+            take_trace = j >= n_access or (
+                i < n_trace and trace_events[i].time <= accesses[j]
+            )
+            if take_trace:
+                event = trace_events[i]
+                i += 1
+                if event.up:
+                    up.add(event.site_id)
+                else:
+                    up.discard(event.site_id)
+                view = topology.view(up)
+                now = event.time
+                if tracer is not None:
+                    tracer.set_time(now)
+                if profiling:
+                    profiler.count("replay.transitions")
+                if protocol.eager:
+                    protocol.synchronize(view)
+                    synchronizations += 1
+                else:
+                    # Restarting sites run their own RECOVER loops
+                    # without waiting for an access (see
+                    # VotingProtocol.recover_stale); quorum adjustment
+                    # still waits for the access stream.
+                    protocol.recover_stale(view)
             else:
-                up.discard(event.site_id)
-            view = topology.view(up)
-            now = event.time
-            if tracer is not None:
-                tracer.set_time(now)
-            if protocol.eager:
+                now = accesses[j]
+                j += 1
+                if tracer is not None:
+                    tracer.set_time(now)
+                if profiling:
+                    profiler.count("replay.accesses")
                 protocol.synchronize(view)
                 synchronizations += 1
-            else:
-                # Restarting sites run their own RECOVER loops without
-                # waiting for an access (see VotingProtocol.recover_stale);
-                # quorum adjustment still waits for the access stream.
-                protocol.recover_stale(view)
-        else:
-            now = accesses[j]
-            j += 1
-            if tracer is not None:
-                tracer.set_time(now)
-            protocol.synchronize(view)
-            synchronizations += 1
-        tracker.set_state(now, protocol.is_available(view))
+            tracker.set_state(now, protocol.is_available(view))
     tracker.finish(trace.horizon)
 
     interval = _batch_interval(tracker, warmup, trace.horizon, batches)

@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.prof.phases import PhaseProfiler
 
 from repro.core.registry import PAPER_POLICIES
 from repro.errors import ConfigurationError
@@ -106,6 +110,7 @@ def run_cell(
     trace: Optional[FailureTrace] = None,
     access_times: Optional[tuple[float, ...]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional["PhaseProfiler"] = None,
 ) -> CellResult:
     """Evaluate one (configuration, policy) cell.
 
@@ -118,6 +123,10 @@ def run_cell(
     into per-policy ``quorum.granted`` / ``quorum.denied`` /
     ``tiebreak.lexicographic`` / ``votes.carried`` series, labelled by
     configuration.  Tallying never changes the simulated results.
+
+    With a *profiler*, the cell is timed as a ``cell`` phase (labelled
+    by configuration and policy) and the replay's hot-path counters are
+    collected (see :func:`~repro.experiments.evaluator.evaluate_policy`).
     """
     if topology is None:
         topology = testbed_topology()
@@ -138,16 +147,22 @@ def run_cell(
             batches=params.batches,
             access_times=access_times,
             tracer=tracer,
+            profiler=profiler,
         )
 
-    if metrics is None:
-        result = evaluate(None)
-    else:
-        tracer = Tracer(MetricsSink(metrics, config=configuration.key))
-        with metrics.timed(
-            "cell.seconds", config=configuration.key, policy=policy
-        ):
-            result = evaluate(tracer)
+    cell_phase = (
+        profiler.phase("cell", config=configuration.key, policy=policy)
+        if profiler is not None else contextlib.nullcontext()
+    )
+    with cell_phase:
+        if metrics is None:
+            result = evaluate(None)
+        else:
+            tracer = Tracer(MetricsSink(metrics, config=configuration.key))
+            with metrics.timed(
+                "cell.seconds", config=configuration.key, policy=policy
+            ):
+                result = evaluate(tracer)
     return CellResult(configuration, result)
 
 
@@ -253,6 +268,7 @@ def run_study(
     jobs: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
     progress: ProgressSpec = None,
+    profiler: Optional["PhaseProfiler"] = None,
 ) -> StudyResult:
     """Run the full study: every configuration against every policy.
 
@@ -287,6 +303,15 @@ def run_study(
             state and stays correct under the parallel path (the
             ordered ``pool.map`` stream makes its lines trail the
             slowest outstanding cell, never over-report).
+        profiler: A :class:`~repro.obs.prof.phases.PhaseProfiler`
+            collecting phase timings (``study.trace``, ``study.access``,
+            per-cell ``cell``) and the replay's hot-path counters.
+            Profiling is in-process by design — it measures *this*
+            interpreter — so it cannot be combined with ``jobs > 1``.
+
+    Raises:
+        ConfigurationError: for ``jobs < 1``, or a *profiler* combined
+            with ``jobs > 1``.
     """
     if params is None:
         params = StudyParameters()
@@ -295,6 +320,11 @@ def run_study(
     configurations = list(configurations)
     if jobs is not None and jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if profiler is not None and jobs is not None and jobs > 1:
+        raise ConfigurationError(
+            "profiling is in-process; run the study with jobs=1 "
+            f"(got jobs={jobs})"
+        )
     _log.info(
         "study: %d configurations x %d policies, horizon %.0f days, "
         "seed %d, jobs=%s",
@@ -302,10 +332,20 @@ def run_study(
         jobs or 1,
     )
     topology = testbed_topology()
-    trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
-    access_times = poisson_times(
-        params.access_rate_per_day, trace.horizon, params.seed
+    trace_phase = (
+        profiler.phase("study.trace")
+        if profiler is not None else contextlib.nullcontext()
     )
+    with trace_phase:
+        trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    access_phase = (
+        profiler.phase("study.access")
+        if profiler is not None else contextlib.nullcontext()
+    )
+    with access_phase:
+        access_times = poisson_times(
+            params.access_rate_per_day, trace.horizon, params.seed
+        )
     reporter: Optional[StudyProgress] = None
     if progress:
         total_cells = len(configurations) * len(policies)
@@ -336,6 +376,7 @@ def run_study(
                             trace=trace,
                             access_times=access_times,
                             metrics=metrics,
+                            profiler=profiler,
                         )
                     except Exception as exc:
                         last_error = _describe_error(exc)

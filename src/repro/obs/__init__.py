@@ -17,6 +17,11 @@ this package makes them visible without slowing them down:
 * :mod:`repro.obs.analysis` — streaming trace analytics: lazy record
   queries, availability timelines, denial auditing and trace diffing
   (``repro analyze {summary,timeline,audit,diff}``).
+* :mod:`repro.obs.prof` — performance observability: deterministic
+  phase timers and hot-path counters (:class:`~repro.obs.prof.PhaseProfiler`),
+  cProfile/sampling engines with flamegraph-ready collapsed stacks
+  (``repro profile``), and the benchmark trajectory with its
+  regression gate (``repro bench record`` / ``repro bench compare``).
 
 Quickstart::
 
@@ -29,6 +34,7 @@ Quickstart::
 """
 
 from repro.obs.manifest import RunManifest, build_manifest, git_revision
+from repro.obs.prof import PhaseProfiler
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -64,6 +70,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSink",
     "NullSink",
+    "PhaseProfiler",
     "RunManifest",
     "StudyProgress",
     "TraceRecord",

@@ -1,0 +1,62 @@
+"""Performance observability: phase timers, profilers, bench trajectory.
+
+Three layers, from always-on-able to fully offline:
+
+* :mod:`repro.obs.prof.phases` — :class:`PhaseProfiler`, deterministic
+  phase timers and hot-path counters.  Instrumented code (the sim
+  kernel, the message engine, the protocols, the study runner) holds
+  ``profiler = None`` by default and pays one ``is not None`` check per
+  event when detached, exactly like the :class:`~repro.obs.tracer.
+  Tracer` hooks.
+* :mod:`repro.obs.prof.profiler` / :mod:`repro.obs.prof.sampler` — a
+  deterministic ``cProfile`` wrapper and a signal-based stack sampler,
+  both exporting collapsed stacks that standard flamegraph tooling
+  renders (``repro profile <scenario|study|chaos>``).
+* :mod:`repro.obs.prof.bench` — the benchmark trajectory: fingerprinted
+  ``BENCH_<n>.json`` points recorded by ``repro bench record`` and the
+  noise-aware regression gate behind ``repro bench compare``.
+"""
+
+from repro.obs.prof.bench import (
+    BenchComparison,
+    BenchmarkStat,
+    build_point,
+    compare_points,
+    ingest_pytest_benchmark,
+    latest_trajectory_path,
+    load_point,
+    machine_fingerprint,
+    next_trajectory_path,
+    run_quick,
+    validate_point,
+)
+from repro.obs.prof.phases import PhaseProfiler
+from repro.obs.prof.profiler import (
+    HotFunction,
+    ProfileReport,
+    collapse_stats,
+    hot_functions,
+    run_profiled,
+)
+from repro.obs.prof.sampler import StackSampler
+
+__all__ = [
+    "BenchComparison",
+    "BenchmarkStat",
+    "HotFunction",
+    "PhaseProfiler",
+    "ProfileReport",
+    "StackSampler",
+    "build_point",
+    "collapse_stats",
+    "compare_points",
+    "hot_functions",
+    "ingest_pytest_benchmark",
+    "latest_trajectory_path",
+    "load_point",
+    "machine_fingerprint",
+    "next_trajectory_path",
+    "run_profiled",
+    "run_quick",
+    "validate_point",
+]

@@ -1,0 +1,218 @@
+"""Deterministic phase timers and hot-path counters.
+
+A :class:`PhaseProfiler` answers "where did the wall-clock go?" without
+a profiler's overhead: coarse *phases* (trace generation, one study
+cell, a replay loop) are timed with one ``perf_counter`` pair each,
+while *hot-path counters* (events fired per type, messages sent per
+kind, quorum evaluations per policy) are plain dictionary increments —
+cheap enough to leave in code that executes millions of times per
+study.
+
+Instrumented code follows the :class:`~repro.obs.tracer.Tracer`
+convention: it holds ``profiler = None`` by default and guards every
+hook with ``if profiler is not None``, so the detached hot path pays
+only the ``None`` check (guarded by
+``benchmarks/test_bench_prof_overhead.py``).
+
+Counts are folded into the shared :class:`~repro.obs.metrics.
+MetricsRegistry` on :meth:`~PhaseProfiler.flush` (or :meth:`~
+PhaseProfiler.to_dict`), so phase timings land in the same
+``--metrics-out`` document as the runner's ``cell.seconds`` series.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Phase timers plus hot-path counters over a metrics registry.
+
+    Usage::
+
+        profiler = PhaseProfiler()
+        sim.attach_profiler(profiler)          # kernel event counts
+        with profiler.phase("study.trace"):
+            trace = generate_trace(...)
+        profiler.to_dict()                     # flushes + summarises
+
+    Phases nest: a ``phase("cell")`` opened inside ``phase("study")``
+    is recorded as ``study/cell``, giving a flamegraph-shaped breakdown
+    of the run's own structure.  Counters (:meth:`count`,
+    :meth:`count_event`) are plain dict increments until :meth:`flush`
+    moves them into the registry as ``prof.count`` / ``prof.event``
+    series.
+    """
+
+    __slots__ = ("registry", "_counts", "_event_counts", "_stack",
+                 "_events_executed", "_run_seconds")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counts: dict[str, float] = {}
+        self._event_counts: dict[str, int] = {}
+        self._stack: list[str] = []
+        self._events_executed = 0
+        self._run_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # hot-path counters (plain dict increments)
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment the hot-path counter *name* by *amount*."""
+        counts = self._counts
+        counts[name] = counts.get(name, 0.0) + amount
+
+    def count_event(self, name: str) -> None:
+        """Tally one kernel event of type *name* (its schedule name)."""
+        key = name or "<anonymous>"
+        counts = self._event_counts
+        counts[key] = counts.get(key, 0) + 1
+
+    def note_run(self, events: int, seconds: float) -> None:
+        """Record one kernel run loop: *events* executed in *seconds*.
+
+        Accumulates across runs; :attr:`events_per_second` reports the
+        aggregate rate.
+        """
+        self._events_executed += events
+        self._run_seconds += seconds
+
+    # ------------------------------------------------------------------
+    # phase timers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str, **labels: Any) -> Iterator[None]:
+        """Time a ``with`` block as phase *name* (nested phases join
+        with ``/``), recording into ``prof.phase.seconds``."""
+        if not name:
+            raise ValueError("phase name must be non-empty")
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        start = _time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = _time.perf_counter() - start
+            self._stack.pop()
+            self.registry.histogram(
+                "prof.phase.seconds", phase=path, **labels
+            ).observe(elapsed)
+
+    @property
+    def current_phase(self) -> str:
+        """The ``/``-joined path of open phases (empty outside any)."""
+        return "/".join(self._stack)
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate kernel event rate over every noted run loop."""
+        if self._run_seconds <= 0.0:
+            return 0.0
+        return self._events_executed / self._run_seconds
+
+    # ------------------------------------------------------------------
+    # folding into the registry
+    # ------------------------------------------------------------------
+    def flush(self) -> MetricsRegistry:
+        """Move the dict counters into the registry; returns it.
+
+        Idempotent between hot-path updates: each flush transfers only
+        the increments accumulated since the previous one.
+        """
+        for name, amount in self._counts.items():
+            if amount:
+                self.registry.counter("prof.count", counter=name).inc(amount)
+        self._counts.clear()
+        for name, amount in self._event_counts.items():
+            if amount:
+                self.registry.counter("prof.event", event=name).inc(amount)
+        self._event_counts.clear()
+        if self._run_seconds > 0.0:
+            self.registry.counter("prof.kernel.events").inc(
+                self._events_executed
+            )
+            self.registry.counter("prof.kernel.run_seconds").inc(
+                self._run_seconds
+            )
+            self.registry.gauge("prof.kernel.events_per_second").set(
+                self.events_per_second
+            )
+            self._events_executed = 0
+            self._run_seconds = 0.0
+        return self.registry
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flush, then summarise: phases by time, counters, event rate."""
+        self.flush()
+        phases = []
+        counters: dict[str, float] = {}
+        events: dict[str, float] = {}
+        events_per_second = None
+        for name, labels, instrument in self.registry.series():
+            if name == "prof.phase.seconds":
+                entry = {"phase": labels.get("phase", "?")}
+                entry.update(
+                    {k: v for k, v in labels.items() if k != "phase"}
+                )
+                entry["seconds"] = instrument.total
+                entry["count"] = instrument.count
+                phases.append(entry)
+            elif name == "prof.count":
+                counters[labels.get("counter", "?")] = instrument.value
+            elif name == "prof.event":
+                events[labels.get("event", "?")] = instrument.value
+            elif name == "prof.kernel.events_per_second":
+                events_per_second = instrument.value
+        phases.sort(key=lambda e: (-e["seconds"], e["phase"]))
+        return {
+            "format": "repro-prof-phases",
+            "version": 1,
+            "phases": phases,
+            "counters": dict(sorted(counters.items())),
+            "events": dict(sorted(events.items())),
+            "events_per_second": events_per_second,
+        }
+
+    def report(self) -> str:
+        """A small text report: phases by wall time, top counters."""
+        doc = self.to_dict()
+        lines = ["phase breakdown (wall seconds):"]
+        if doc["phases"]:
+            width = max(len(e["phase"]) for e in doc["phases"])
+            for entry in doc["phases"]:
+                lines.append(
+                    f"  {entry['phase']:<{width}}  "
+                    f"{entry['seconds']:>10.4f}s  x{entry['count']}"
+                )
+        else:
+            lines.append("  (no phases recorded)")
+        if doc["events_per_second"]:
+            lines.append(
+                f"kernel: {doc['events_per_second']:,.0f} events/s"
+            )
+        if doc["events"]:
+            lines.append("kernel events by type:")
+            for name, value in sorted(
+                doc["events"].items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                lines.append(f"  {name:<32} {value:>12,.0f}")
+        if doc["counters"]:
+            lines.append("hot-path counters:")
+            for name, value in sorted(
+                doc["counters"].items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                lines.append(f"  {name:<32} {value:>12,.0f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PhaseProfiler phases={len(self._stack)} "
+            f"counters={len(self._counts)}>"
+        )

@@ -1,0 +1,327 @@
+"""Profiling a workload: cProfile wrapper, collapsed stacks, reports.
+
+Two engines behind ``repro profile``:
+
+* ``cprofile`` (default) — deterministic: every call counted, exact
+  ``tottime``/``cumtime``.  cProfile only records *immediate* callers,
+  so :func:`collapse_stats` reconstructs flamegraph stacks the way
+  ``flameprof`` does: walk the call graph from its roots and attribute
+  each function's own time proportionally to the cumulative time of the
+  edge it was reached through.  The estimate is exact for tree-shaped
+  call graphs (the common case here) and proportional elsewhere.
+* ``sample`` — the :class:`~repro.obs.prof.sampler.StackSampler`:
+  statistical counts but *true* stacks, and overhead that does not grow
+  with call volume (the better choice for the paper-scale study).
+
+Both produce a :class:`ProfileReport` with a top-N hot-function table,
+collapsed stacks renderable by standard flamegraph tooling, and a JSON
+export; ``repro profile`` also folds in the deterministic
+:class:`~repro.obs.prof.phases.PhaseProfiler` phases.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.prof.phases import PhaseProfiler
+from repro.obs.prof.sampler import StackSampler
+
+__all__ = [
+    "HotFunction",
+    "ProfileReport",
+    "collapse_stats",
+    "hot_functions",
+    "run_profiled",
+]
+
+#: Functions deeper than this are truncated in collapsed stacks.
+_MAX_STACK_DEPTH = 80
+#: Collapsed-stack sample unit: microseconds of estimated own time.
+_STACK_SCALE = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class HotFunction:
+    """One row of the top-N hot-function report."""
+
+    name: str
+    location: str
+    calls: int
+    own_seconds: float
+    cumulative_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """One hot-function row, JSON-shaped."""
+        return {
+            "name": self.name,
+            "location": self.location,
+            "calls": self.calls,
+            "own_seconds": self.own_seconds,
+            "cumulative_seconds": self.cumulative_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Everything one ``repro profile`` run produced.
+
+    Attributes:
+        engine: ``"cprofile"`` or ``"sample"``.
+        target: What was profiled (``"scenario:..."``, ``"study"``, ...).
+        seconds: Wall-clock of the profiled workload.
+        hot: Hot functions, by own time (or leaf samples), descending.
+        collapsed: Flamegraph-compatible ``a;b;c count`` lines.
+        samples: Stack samples captured (``None`` for cprofile).
+        phases: The :class:`PhaseProfiler` summary, when one ran.
+    """
+
+    engine: str
+    target: str
+    seconds: float
+    hot: tuple[HotFunction, ...]
+    collapsed: tuple[str, ...]
+    samples: Optional[int] = None
+    phases: Optional[dict[str, Any]] = field(default=None)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable export (``--json-out``)."""
+        return {
+            "format": "repro-profile",
+            "version": 1,
+            "engine": self.engine,
+            "target": self.target,
+            "seconds": self.seconds,
+            "samples": self.samples,
+            "hot": [entry.to_dict() for entry in self.hot],
+            "collapsed": list(self.collapsed),
+            "phases": self.phases,
+        }
+
+    def format_text(self, top: int = 15) -> str:
+        """The human report ``repro profile`` prints."""
+        lines = [
+            f"profiled {self.target} with {self.engine} "
+            f"({self.seconds:.3f}s wall"
+            + (f", {self.samples} samples" if self.samples is not None
+               else "")
+            + ")",
+        ]
+        shown = self.hot[:top]
+        if shown:
+            width = max(len(entry.name) for entry in shown)
+            lines.append("")
+            lines.append(
+                f"{'function':<{width}}  {'calls':>9}  {'own(s)':>9}  "
+                f"{'cum(s)':>9}  location"
+            )
+            for entry in shown:
+                calls = str(entry.calls) if entry.calls >= 0 else "-"
+                lines.append(
+                    f"{entry.name:<{width}}  {calls:>9}  "
+                    f"{entry.own_seconds:>9.4f}  "
+                    f"{entry.cumulative_seconds:>9.4f}  {entry.location}"
+                )
+        if self.phases is not None and self.phases.get("phases"):
+            lines.append("")
+            lines.append("phase breakdown (wall seconds):")
+            width = max(
+                len(e["phase"]) for e in self.phases["phases"]
+            )
+            for entry in self.phases["phases"]:
+                lines.append(
+                    f"  {entry['phase']:<{width}}  "
+                    f"{entry['seconds']:>10.4f}s  x{entry['count']}"
+                )
+            rate = self.phases.get("events_per_second")
+            if rate:
+                lines.append(f"  kernel: {rate:,.0f} events/s")
+        if self.phases is not None and self.phases.get("counters"):
+            lines.append("")
+            lines.append("hot-path counters:")
+            ranked = sorted(
+                self.phases["counters"].items(),
+                key=lambda kv: (-kv[1], kv[0]),
+            )
+            for name, value in ranked[:10]:
+                lines.append(f"  {name:<32} {value:>12,.0f}")
+            if len(ranked) > 10:
+                lines.append(f"  ... and {len(ranked) - 10} more "
+                             "(--json-out has all)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# cProfile: hot functions and collapsed stacks
+# ----------------------------------------------------------------------
+def _func_label(func: tuple[str, int, str]) -> str:
+    filename, _, name = func
+    if filename == "~":  # built-ins
+        module = "builtins"
+    else:
+        module = filename.rsplit("/", 1)[-1]
+        if module.endswith(".py"):
+            module = module[:-3]
+    # The collapsed format reserves ';' (frame separator) and ' '
+    # (count separator): sanitise both out of every frame label.
+    return f"{module}:{name}".replace(";", ",").replace(" ", "_")
+
+
+def _func_location(func: tuple[str, int, str]) -> str:
+    filename, line, _ = func
+    if filename == "~":
+        return "<builtin>"
+    short = filename
+    for marker in ("/site-packages/", "/src/"):
+        index = short.rfind(marker)
+        if index >= 0:
+            short = short[index + len(marker):]
+            break
+    return f"{short}:{line}"
+
+
+def hot_functions(
+    stats: pstats.Stats, limit: int = 15
+) -> tuple[HotFunction, ...]:
+    """The *limit* hottest functions by own (tot) time."""
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append(HotFunction(
+            name=_func_label(func),
+            location=_func_location(func),
+            calls=nc,
+            own_seconds=tt,
+            cumulative_seconds=ct,
+        ))
+    rows.sort(key=lambda r: (-r.own_seconds, r.name))
+    return tuple(rows[:limit])
+
+
+def collapse_stats(stats: pstats.Stats) -> tuple[str, ...]:
+    """Estimate collapsed (flamegraph) stacks from cProfile output.
+
+    cProfile's call graph holds, per function, its immediate callers and
+    the time spent on each caller edge.  Stacks are reconstructed by
+    depth-first walking from the roots (functions nobody calls),
+    attributing each function's own time proportionally to the
+    cumulative time of the edge it was reached through — the
+    ``flameprof`` estimation.  Values are integer microseconds; zero
+    after rounding drops the line.
+    """
+    raw: dict = stats.stats  # type: ignore[attr-defined]
+    children: dict = {}
+    incoming: dict = {}
+    for func, (_cc, _nc, _tt, _ct, callers) in raw.items():
+        for caller, (_ccc, _cnc, _ctt, cct) in callers.items():
+            children.setdefault(caller, []).append((func, cct))
+            incoming[func] = incoming.get(func, 0.0) + cct
+    roots = [func for func in raw if func not in incoming]
+    lines: dict[str, int] = {}
+
+    def walk(func: tuple, path: tuple, labels: str, fraction: float,
+             depth: int) -> None:
+        _cc, _nc, tt, _ct, _callers = raw[func]
+        own = int(round(tt * fraction * _STACK_SCALE))
+        label = labels + _func_label(func) if not path else \
+            labels + ";" + _func_label(func)
+        if own > 0:
+            lines[label] = lines.get(label, 0) + own
+        if depth >= _MAX_STACK_DEPTH:
+            return
+        for child, edge_ct in children.get(func, ()):
+            if child in path or child == func:
+                continue  # cycle guard: recursion collapses onto itself
+            total_in = incoming.get(child, 0.0)
+            if total_in <= 0.0 or edge_ct <= 0.0:
+                continue
+            walk(child, path + (func,), label,
+                 fraction * (edge_ct / total_in), depth + 1)
+
+    for root in roots:
+        walk(root, (), "", 1.0, 0)
+    return tuple(
+        f"{label} {value}" for label, value in sorted(lines.items())
+    )
+
+
+# ----------------------------------------------------------------------
+# the one entry point the CLI uses
+# ----------------------------------------------------------------------
+def run_profiled(
+    workload: Callable[[], Any],
+    target: str,
+    engine: str = "cprofile",
+    interval: float = 0.005,
+    top: int = 15,
+    phases: Optional[PhaseProfiler] = None,
+) -> tuple[Any, ProfileReport]:
+    """Run *workload* under the chosen engine; returns (result, report).
+
+    Args:
+        workload: Zero-argument callable to profile.
+        target: Human-readable name recorded in the report.
+        engine: ``"cprofile"`` (deterministic) or ``"sample"``.
+        interval: Sampler period in seconds (``sample`` engine only).
+        top: Hot functions to keep in the report.
+        phases: A :class:`PhaseProfiler` whose summary is folded into
+            the report (the CLI threads one through the workload).
+
+    Raises:
+        ConfigurationError: unknown engine, or sampling unsupported on
+            this platform/thread.
+    """
+    import time
+
+    if engine == "cprofile":
+        profile = cProfile.Profile()
+        start = time.perf_counter()
+        result = profile.runcall(workload)
+        seconds = time.perf_counter() - start
+        stats = pstats.Stats(profile, stream=io.StringIO())
+        report = ProfileReport(
+            engine=engine,
+            target=target,
+            seconds=seconds,
+            hot=hot_functions(stats, top),
+            collapsed=collapse_stats(stats),
+            phases=phases.to_dict() if phases is not None else None,
+        )
+        return result, report
+    if engine == "sample":
+        if not StackSampler.supported():
+            raise ConfigurationError(
+                "the sampling engine needs signal.setitimer and the "
+                "main thread; use --engine cprofile"
+            )
+        sampler = StackSampler(interval=interval)
+        start = time.perf_counter()
+        with sampler:
+            result = workload()
+        seconds = time.perf_counter() - start
+        hot = tuple(
+            HotFunction(
+                name=name,
+                location="<sampled>",
+                calls=-1,
+                own_seconds=count * sampler.interval,
+                cumulative_seconds=count * sampler.interval,
+            )
+            for name, count in sampler.hot_functions(top)
+        )
+        report = ProfileReport(
+            engine=engine,
+            target=target,
+            seconds=seconds,
+            hot=hot,
+            collapsed=tuple(sampler.collapsed()),
+            samples=sampler.sample_count,
+            phases=phases.to_dict() if phases is not None else None,
+        )
+        return result, report
+    raise ConfigurationError(
+        f"unknown profile engine {engine!r}; choose cprofile or sample"
+    )

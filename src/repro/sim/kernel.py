@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import time as _time
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SchedulingError, SimulationError
@@ -10,6 +11,7 @@ from repro.sim.calendar import EventCalendar
 from repro.sim.events import Event, Priority
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.prof.phases import PhaseProfiler
     from repro.obs.tracer import Tracer
 
 __all__ = ["Simulation"]
@@ -30,22 +32,36 @@ class Simulation:
 
     When a :class:`~repro.obs.tracer.Tracer` is attached, the kernel
     emits ``event.fired`` / ``event.cancelled`` records; detached (the
-    default), the hot loop pays only a ``None`` check per event.
+    default), the hot loop pays only a ``None`` check per event.  A
+    :class:`~repro.obs.prof.phases.PhaseProfiler` attaches the same way
+    and receives per-event-type counts, calendar pressure and run-loop
+    events/sec — again a single ``None`` check when detached.
     """
 
     def __init__(self, start_time: float = 0.0,
-                 tracer: Optional["Tracer"] = None):
+                 tracer: Optional["Tracer"] = None,
+                 profiler: Optional["PhaseProfiler"] = None):
         self._now = float(start_time)
         self._calendar = EventCalendar()
         self._seq = 0
         self._running = False
         self._stopped = False
         self._tracer = tracer
+        self._profiler = profiler
         self.events_executed = 0
 
     def attach_tracer(self, tracer: Optional["Tracer"]) -> None:
         """Attach (or, with ``None``, detach) a structured-event tracer."""
         self._tracer = tracer
+
+    def attach_profiler(self, profiler: Optional["PhaseProfiler"]) -> None:
+        """Attach (or, with ``None``, detach) a performance profiler.
+
+        Attached, the kernel tallies scheduled and fired events by name
+        and reports each run loop's events/sec; detached (the default)
+        the hot loop pays only the ``None`` check.
+        """
+        self._profiler = profiler
 
     # ------------------------------------------------------------------
     # clock
@@ -96,6 +112,8 @@ class Simulation:
         event = Event(time, action, priority=priority, seq=self._seq, name=name)
         self._seq += 1
         self._calendar.push(event)
+        if self._profiler is not None:
+            self._profiler.count("kernel.scheduled")
         return event
 
     def cancel(self, event: Event) -> None:
@@ -124,6 +142,8 @@ class Simulation:
         self._now = event.time
         self.events_executed += 1
         event.fire()
+        if self._profiler is not None:
+            self._profiler.count_event(event.name)
         if self._tracer is not None:
             self._tracer.record(
                 "event.fired", time=event.time,
@@ -154,6 +174,9 @@ class Simulation:
         self._running = True
         self._stopped = False
         executed = 0
+        profiler = self._profiler
+        started = _time.perf_counter() if profiler is not None else 0.0
+        peak_pending = 0
         try:
             while self._calendar and not self._stopped:
                 if max_events is not None and executed >= max_events:
@@ -162,10 +185,19 @@ class Simulation:
                 assert head is not None
                 if until is not None and head.time > until:
                     break
+                if profiler is not None:
+                    pending = len(self._calendar)
+                    if pending > peak_pending:
+                        peak_pending = pending
                 self.step()
                 executed += 1
         finally:
             self._running = False
+            if profiler is not None:
+                profiler.note_run(executed, _time.perf_counter() - started)
+                profiler.registry.gauge("prof.kernel.peak_pending").set(
+                    max(peak_pending, len(self._calendar))
+                )
         if until is not None and not self._stopped:
             head = self._calendar.peek()
             if head is None or head.time > until:

@@ -411,3 +411,204 @@ class TestChaos:
                      "--policies", "LDV,BROKEN-TIE"]) == 1
         out = capsys.readouterr().out
         assert "VIOLATION" in out
+
+
+class TestProfile:
+    def _scenario_path(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        return root / "examples" / "scenarios" / "configuration_h_split.json"
+
+    def test_profile_scenario_with_exports(self, capsys, tmp_path):
+        import json
+        import re
+
+        collapsed = tmp_path / "stacks.folded"
+        report = tmp_path / "profile.json"
+        assert main(["profile", "scenario", str(self._scenario_path()),
+                     "--collapsed", str(collapsed),
+                     "--json-out", str(report), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "profiled scenario:" in out
+        assert "phase breakdown" in out
+        # Every collapsed line must render in flamegraph tooling.
+        line_re = re.compile(r"^[^ ;]+(;[^ ;]+)* \d+$")
+        lines = collapsed.read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert line_re.match(line), line
+        payload = json.loads(report.read_text())
+        assert payload["format"] == "repro-profile"
+        assert payload["engine"] == "cprofile"
+        assert payload["phases"]["phases"]
+
+    def test_profile_scenario_policy_override(self, capsys):
+        assert main(["profile", "scenario", str(self._scenario_path()),
+                     "--policy", "TDV", "--top", "3"]) == 0
+        assert "(TDV)" in capsys.readouterr().out
+
+    def test_profile_study_small(self, capsys):
+        assert main(["profile", "study", "--horizon", "1200",
+                     "--configs", "A", "--policies", "MCV",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "study/cell/replay" in out
+        assert "events/s" not in out or "kernel" in out
+
+    def test_profile_study_unknown_policy_fails(self, capsys):
+        assert main(["profile", "study", "--policies", "NOPE"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_profile_chaos(self, capsys):
+        assert main(["profile", "chaos", "--seed", "1",
+                     "--policy", "LDV", "--steps", "30",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "profiled chaos:" in out
+        # Engine hot-path counters flow through the attached profiler.
+        assert "engine." in out
+
+    def test_profile_report_to_file(self, capsys, tmp_path):
+        report = tmp_path / "report.txt"
+        assert main(["profile", "chaos", "--steps", "20",
+                     "--out", str(report)]) == 0
+        assert "profiled chaos:" in report.read_text()
+        assert "profiled chaos:" not in capsys.readouterr().out
+
+    def test_profile_bad_interval_fails(self, capsys):
+        assert main(["profile", "chaos", "--steps", "10",
+                     "--interval", "0"]) == 2
+        assert "--interval" in capsys.readouterr().err
+
+    def test_profile_collapsed_unwritable_fails_fast(self, capsys,
+                                                     tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "stacks.folded"
+        assert main(["profile", "chaos", "--steps", "10",
+                     "--collapsed", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestBench:
+    def _record_quick(self, tmp_path, *extra):
+        return main(["bench", "record", "--quick", "--rounds", "2",
+                     "--dir", str(tmp_path), *extra])
+
+    def test_record_appends_numbered_points(self, capsys, tmp_path):
+        import json
+
+        assert self._record_quick(tmp_path) == 0
+        assert self._record_quick(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "point #0" in out and "point #1" in out
+        point = json.loads((tmp_path / "BENCH_0.json").read_text())
+        assert point["format"] == "repro-bench"
+        assert point["index"] == 0
+        assert {b["name"] for b in point["benchmarks"]} >= {
+            "micro/kernel_event_throughput",
+        }
+
+    def test_record_explicit_out_and_note(self, tmp_path):
+        import json
+
+        dest = tmp_path / "custom.json"
+        assert self._record_quick(tmp_path, "--out", str(dest),
+                                  "--note", "seed point") == 0
+        point = json.loads(dest.read_text())
+        assert point["note"] == "seed point"
+        assert point["index"] is None
+
+    def test_record_from_pytest_benchmark_json(self, tmp_path):
+        import json
+
+        source = tmp_path / "pytest.json"
+        source.write_text(json.dumps({
+            "benchmarks": [{
+                "fullname": "benchmarks/test_a.py::test_b",
+                "stats": {"rounds": 5, "median": 0.1, "iqr": 0.01,
+                          "mean": 0.1, "min": 0.09, "max": 0.12},
+            }],
+        }))
+        assert main(["bench", "record", "--from-json", str(source),
+                     "--dir", str(tmp_path)]) == 0
+        point = json.loads((tmp_path / "BENCH_0.json").read_text())
+        assert point["source"] == "pytest-benchmark"
+
+    def test_record_quick_and_from_json_conflict(self, capsys, tmp_path):
+        assert main(["bench", "record", "--quick",
+                     "--from-json", "x.json",
+                     "--dir", str(tmp_path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_compare_within_noise_exits_zero(self, capsys, tmp_path):
+        assert self._record_quick(tmp_path) == 0
+        baseline = tmp_path / "BENCH_0.json"
+        # Same point on both sides: guaranteed within noise.
+        assert main(["bench", "compare", str(baseline),
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "within-noise" in out
+        assert "ok: no regression" in out
+
+    def test_compare_synthetic_slowdown_exits_one(self, capsys,
+                                                  tmp_path):
+        import json
+
+        assert self._record_quick(tmp_path) == 0
+        baseline = tmp_path / "BENCH_0.json"
+        slow = json.loads(baseline.read_text())
+        for bench in slow["benchmarks"]:
+            for key in ("median", "mean", "min", "max"):
+                bench[key] *= 2.0
+        slow_path = tmp_path / "BENCH_1.json"
+        slow_path.write_text(json.dumps(slow))
+        # Default current: the latest point in --dir (BENCH_1).
+        assert main(["bench", "compare", "--baseline", str(baseline),
+                     "--dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "2.00x" in out
+
+    def test_compare_mismatched_fingerprint(self, capsys, tmp_path):
+        import json
+
+        assert self._record_quick(tmp_path) == 0
+        baseline = tmp_path / "BENCH_0.json"
+        alien = json.loads(baseline.read_text())
+        alien["fingerprint"]["machine"] = "vax11"
+        alien_path = tmp_path / "alien.json"
+        alien_path.write_text(json.dumps(alien))
+        assert main(["bench", "compare", str(alien_path),
+                     "--baseline", str(baseline)]) == 1
+        assert "incomparable" in capsys.readouterr().out
+        # --ignore-fingerprint compares anyway; same numbers: ok.
+        assert main(["bench", "compare", str(alien_path),
+                     "--baseline", str(baseline),
+                     "--ignore-fingerprint"]) == 0
+
+    def test_compare_missing_baseline_exits_two(self, capsys, tmp_path):
+        assert main(["bench", "compare",
+                     "--baseline", str(tmp_path / "nope.json"),
+                     "--dir", str(tmp_path)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_compare_no_current_point_exits_two(self, capsys, tmp_path):
+        assert self._record_quick(tmp_path, "--out",
+                                  str(tmp_path / "only.json")) == 0
+        assert main(["bench", "compare",
+                     "--baseline", str(tmp_path / "only.json"),
+                     "--dir", str(tmp_path)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_compare_json_export(self, tmp_path):
+        import json
+
+        assert self._record_quick(tmp_path) == 0
+        baseline = tmp_path / "BENCH_0.json"
+        dest = tmp_path / "comparison.json"
+        assert main(["bench", "compare", str(baseline),
+                     "--baseline", str(baseline),
+                     "--json-out", str(dest)]) == 0
+        payload = json.loads(dest.read_text())
+        assert payload["format"] == "repro-bench-comparison"
+        assert payload["status"] == "ok"

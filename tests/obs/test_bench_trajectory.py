@@ -1,0 +1,259 @@
+"""Unit tests for the benchmark trajectory and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.prof import (
+    BenchmarkStat,
+    build_point,
+    compare_points,
+    ingest_pytest_benchmark,
+    latest_trajectory_path,
+    load_point,
+    machine_fingerprint,
+    next_trajectory_path,
+    run_quick,
+    validate_point,
+)
+
+#: Deterministic stand-ins for the quick workloads (tests must not
+#: depend on wall-clock stability of the real subset).
+TINY_WORKLOADS = {
+    "tiny/sum": lambda: sum(range(1000)),
+    "tiny/sort": lambda: sorted(range(100, 0, -1)),
+}
+
+
+def _stat(name, median, iqr=0.001, rounds=5):
+    return BenchmarkStat(
+        name=name, rounds=rounds, median=median, iqr=iqr,
+        mean=median, minimum=median * 0.9, maximum=median * 1.1,
+    )
+
+
+def _point(stats, **overrides):
+    point = build_point(stats, "test")
+    point.update(overrides)
+    return point
+
+
+class TestBenchmarkStat:
+    def test_from_rounds_median_and_iqr(self):
+        stat = BenchmarkStat.from_rounds(
+            "b", [1.0, 2.0, 3.0, 4.0, 100.0]
+        )
+        assert stat.median == 3.0
+        assert stat.rounds == 5
+        assert stat.minimum == 1.0
+        assert stat.maximum == 100.0
+        assert stat.iqr > 0
+
+    def test_from_rounds_small_samples(self):
+        assert BenchmarkStat.from_rounds("b", [2.0]).iqr == 0.0
+        assert BenchmarkStat.from_rounds("b", [1.0, 3.0]).iqr == 2.0
+
+    def test_from_rounds_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkStat.from_rounds("b", [])
+
+
+class TestPointConstruction:
+    def test_run_quick_times_custom_workloads(self):
+        stats = run_quick(rounds=2, workloads=TINY_WORKLOADS)
+        assert {s.name for s in stats} == set(TINY_WORKLOADS)
+        for stat in stats:
+            assert stat.rounds == 2
+            assert stat.median >= 0.0
+
+    def test_run_quick_rejects_bad_rounds(self):
+        with pytest.raises(ConfigurationError):
+            run_quick(rounds=0)
+
+    def test_build_point_is_schema_valid_and_stamped(self):
+        point = build_point([_stat("a", 0.5)], "quick", index=3,
+                            note="hello")
+        validate_point(point)  # must not raise
+        assert point["index"] == 3
+        assert point["note"] == "hello"
+        assert point["source"] == "quick"
+        assert set(point["fingerprint"]) >= {
+            "implementation", "python", "machine"
+        }
+
+    def test_fingerprint_matches_this_interpreter(self):
+        fingerprint = machine_fingerprint()
+        assert fingerprint["implementation"]
+        assert "." in fingerprint["python"]
+
+    def test_point_round_trips_through_disk(self, tmp_path):
+        point = build_point([_stat("a", 0.5)], "quick", index=0)
+        path = tmp_path / "BENCH_0.json"
+        path.write_text(json.dumps(point))
+        assert load_point(path) == point
+
+    def test_ingest_pytest_benchmark(self):
+        document = {
+            "benchmarks": [{
+                "fullname": "benchmarks/test_x.py::test_y",
+                "name": "test_y",
+                "stats": {"rounds": 7, "median": 0.2, "iqr": 0.01,
+                          "mean": 0.21, "min": 0.19, "max": 0.25},
+            }],
+        }
+        stats = ingest_pytest_benchmark(document)
+        assert stats[0].name == "benchmarks/test_x.py::test_y"
+        assert stats[0].rounds == 7
+        assert stats[0].median == 0.2
+
+    def test_ingest_rejects_non_benchmark_documents(self):
+        with pytest.raises(ConfigurationError):
+            ingest_pytest_benchmark({"benchmarks": []})
+        with pytest.raises(ConfigurationError):
+            ingest_pytest_benchmark({"nope": 1})
+
+    def test_ingest_rejects_malformed_entries(self):
+        with pytest.raises(ConfigurationError):
+            ingest_pytest_benchmark(
+                {"benchmarks": [{"name": "x", "stats": {}}]}
+            )
+
+
+class TestValidation:
+    def test_rejects_wrong_format_and_version(self):
+        point = build_point([_stat("a", 0.5)], "test")
+        with pytest.raises(ConfigurationError):
+            validate_point({**point, "format": "not-bench"})
+        with pytest.raises(ConfigurationError):
+            validate_point({**point, "version": 99})
+
+    def test_rejects_missing_fingerprint(self):
+        point = build_point([_stat("a", 0.5)], "test")
+        del point["fingerprint"]
+        with pytest.raises(ConfigurationError):
+            validate_point(point)
+
+    def test_rejects_duplicate_benchmark_names(self):
+        point = _point([_stat("a", 0.5)])
+        point["benchmarks"].append(dict(point["benchmarks"][0]))
+        with pytest.raises(ConfigurationError):
+            validate_point(point)
+
+    def test_rejects_negative_statistics(self):
+        point = _point([_stat("a", 0.5)])
+        point["benchmarks"][0]["median"] = -1.0
+        with pytest.raises(ConfigurationError):
+            validate_point(point)
+
+    def test_rejects_empty_benchmarks(self):
+        point = _point([_stat("a", 0.5)])
+        point["benchmarks"] = []
+        with pytest.raises(ConfigurationError):
+            validate_point(point)
+
+    def test_load_point_reports_the_file(self, tmp_path):
+        bad = tmp_path / "BENCH_0.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="BENCH_0"):
+            load_point(bad)
+
+
+class TestTrajectoryFiles:
+    def test_numbering_starts_at_zero(self, tmp_path):
+        index, path = next_trajectory_path(tmp_path)
+        assert index == 0
+        assert path.name == "BENCH_0.json"
+
+    def test_numbering_continues_past_gaps(self, tmp_path):
+        (tmp_path / "BENCH_0.json").write_text("{}")
+        (tmp_path / "BENCH_4.json").write_text("{}")
+        (tmp_path / "BENCH_x.json").write_text("{}")  # not a point
+        index, path = next_trajectory_path(tmp_path)
+        assert index == 5
+        assert path.name == "BENCH_5.json"
+        assert latest_trajectory_path(tmp_path).name == "BENCH_4.json"
+
+    def test_latest_none_when_empty(self, tmp_path):
+        assert latest_trajectory_path(tmp_path) is None
+
+
+class TestComparison:
+    def test_identical_points_are_within_noise(self):
+        point = _point([_stat("a", 0.5), _stat("b", 0.1)])
+        comparison = compare_points(point, point)
+        assert comparison.status == "ok"
+        assert {r.verdict for r in comparison.rows} == {"within-noise"}
+
+    def test_synthetic_two_x_slowdown_regresses(self):
+        base = _point([_stat("a", 0.5)])
+        slow = _point([_stat("a", 1.0)])
+        comparison = compare_points(base, slow)
+        assert comparison.status == "regression"
+        assert comparison.regressions[0].name == "a"
+        assert comparison.regressions[0].ratio == pytest.approx(2.0)
+
+    def test_symmetric_improvement(self):
+        base = _point([_stat("a", 1.0)])
+        fast = _point([_stat("a", 0.5)])
+        comparison = compare_points(base, fast)
+        assert comparison.status == "ok"
+        assert comparison.rows[0].verdict == "improvement"
+
+    def test_noisy_benchmark_does_not_regress(self):
+        # 2x median move, but the IQR is as wide as the move: noise.
+        base = _point([_stat("a", 0.5, iqr=0.5)])
+        slow = _point([_stat("a", 1.0, iqr=0.5)])
+        comparison = compare_points(base, slow)
+        assert comparison.rows[0].verdict == "within-noise"
+
+    def test_small_drift_within_threshold(self):
+        base = _point([_stat("a", 1.0, iqr=0.0)])
+        drift = _point([_stat("a", 1.1, iqr=0.0)])
+        comparison = compare_points(base, drift,
+                                    max_regression=0.25)
+        assert comparison.rows[0].verdict == "within-noise"
+
+    def test_added_and_removed_benchmarks_never_gate(self):
+        base = _point([_stat("a", 0.5), _stat("gone", 0.2)])
+        current = _point([_stat("a", 0.5), _stat("new", 0.3)])
+        comparison = compare_points(base, current)
+        verdicts = {r.name: r.verdict for r in comparison.rows}
+        assert verdicts["gone"] == "only-baseline"
+        assert verdicts["new"] == "only-current"
+        assert comparison.status == "ok"
+
+    def test_mismatched_fingerprints_are_incomparable(self):
+        base = _point([_stat("a", 0.5)])
+        alien = _point([_stat("a", 0.5)])
+        alien["fingerprint"] = dict(alien["fingerprint"],
+                                    machine="vax11")
+        comparison = compare_points(base, alien)
+        assert comparison.status == "incomparable"
+        assert comparison.rows == ()
+        assert not comparison.fingerprint_matches
+
+    def test_ignore_fingerprint_overrides(self):
+        base = _point([_stat("a", 0.5)])
+        alien = _point([_stat("a", 1.5)])
+        alien["fingerprint"] = dict(alien["fingerprint"],
+                                    machine="vax11")
+        comparison = compare_points(base, alien,
+                                    ignore_fingerprint=True)
+        assert comparison.status == "regression"
+        assert not comparison.fingerprint_matches
+
+    def test_thresholds_validated(self):
+        point = _point([_stat("a", 0.5)])
+        with pytest.raises(ConfigurationError):
+            compare_points(point, point, max_regression=0.0)
+        with pytest.raises(ConfigurationError):
+            compare_points(point, point, iqr_factor=-1.0)
+
+    def test_comparison_round_trips_to_dict(self):
+        base = _point([_stat("a", 0.5)])
+        slow = _point([_stat("a", 1.0)])
+        doc = compare_points(base, slow).to_dict()
+        assert doc["format"] == "repro-bench-comparison"
+        assert doc["status"] == "regression"
+        assert doc["rows"][0]["ratio"] == pytest.approx(2.0)

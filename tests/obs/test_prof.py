@@ -1,0 +1,282 @@
+"""Unit tests for the profiling subsystem (phases, engines, wiring)."""
+
+import re
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.runner import StudyParameters, run_cell, run_study
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import (
+    PhaseProfiler,
+    StackSampler,
+    collapse_stats,
+    hot_functions,
+    run_profiled,
+)
+from repro.sim.kernel import Simulation
+
+#: One collapsed-stack line: frames joined by ';', a space, an integer.
+COLLAPSED_LINE = re.compile(r"^[^ ;]+(;[^ ;]+)* \d+$")
+
+
+class TestPhaseProfiler:
+    def test_phase_records_histogram(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("alpha"):
+            pass
+        series = {
+            (name, labels.get("phase"))
+            for name, labels, _ in profiler.registry.series()
+        }
+        assert ("prof.phase.seconds", "alpha") in series
+
+    def test_phases_nest_with_slash(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("outer"):
+            assert profiler.current_phase == "outer"
+            with profiler.phase("inner"):
+                assert profiler.current_phase == "outer/inner"
+        assert profiler.current_phase == ""
+        phases = {e["phase"] for e in profiler.to_dict()["phases"]}
+        assert phases == {"outer", "outer/inner"}
+
+    def test_phase_stack_unwinds_on_error(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("doomed"):
+                raise RuntimeError("boom")
+        assert profiler.current_phase == ""
+
+    def test_empty_phase_name_rejected(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(ValueError):
+            with profiler.phase(""):
+                pass
+
+    def test_counters_fold_into_registry_on_flush(self):
+        profiler = PhaseProfiler()
+        profiler.count("widgets", 2)
+        profiler.count("widgets")
+        profiler.count_event("tick")
+        doc = profiler.to_dict()
+        assert doc["counters"]["widgets"] == 3.0
+        assert doc["events"]["tick"] == 1.0
+
+    def test_flush_transfers_increments_once(self):
+        profiler = PhaseProfiler()
+        profiler.count("n", 5)
+        profiler.flush()
+        profiler.flush()  # nothing new: must not double-count
+        assert profiler.to_dict()["counters"]["n"] == 5.0
+
+    def test_anonymous_events_get_a_label(self):
+        profiler = PhaseProfiler()
+        profiler.count_event("")
+        assert profiler.to_dict()["events"]["<anonymous>"] == 1.0
+
+    def test_events_per_second_accumulates_runs(self):
+        profiler = PhaseProfiler()
+        profiler.note_run(100, 0.5)
+        profiler.note_run(100, 0.5)
+        assert profiler.events_per_second == pytest.approx(200.0)
+
+    def test_shared_registry_is_used(self):
+        registry = MetricsRegistry()
+        profiler = PhaseProfiler(registry)
+        profiler.count("x")
+        profiler.flush()
+        assert registry.counter("prof.count", counter="x").value == 1.0
+
+    def test_report_mentions_phases_and_counters(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("work"):
+            profiler.count("ops", 7)
+        text = profiler.report()
+        assert "work" in text
+        assert "ops" in text
+
+
+class TestKernelInstrumentation:
+    def _run(self, profiler, events=200):
+        sim = Simulation(profiler=profiler)
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < events:
+                sim.schedule(1.0, tick, name="tick")
+
+        sim.schedule(0.0, tick, name="tick")
+        sim.run()
+        return count
+
+    def test_attached_kernel_counts_events(self):
+        profiler = PhaseProfiler()
+        assert self._run(profiler) == 200
+        doc = profiler.to_dict()
+        assert doc["events"]["tick"] == 200.0
+        assert doc["counters"]["kernel.scheduled"] == 200.0
+        assert doc["events_per_second"] > 0
+
+    def test_detached_kernel_records_nothing(self):
+        profiler = PhaseProfiler()
+        self._run(None)
+        assert profiler.to_dict()["events"] == {}
+
+    def test_attach_detach_midway(self):
+        profiler = PhaseProfiler()
+        sim = Simulation()
+        sim.attach_profiler(profiler)
+        sim.schedule(1.0, lambda: None, name="once")
+        sim.run()
+        sim.attach_profiler(None)
+        sim.schedule(1.0, lambda: None, name="unseen")
+        sim.run()
+        events = profiler.to_dict()["events"]
+        assert events.get("once") == 1.0
+        assert "unseen" not in events
+
+    def test_peak_pending_gauge(self):
+        profiler = PhaseProfiler()
+        sim = Simulation(profiler=profiler)
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        gauge = profiler.registry.gauge("prof.kernel.peak_pending")
+        assert gauge.value == 3.0
+
+
+class TestStudyWiring:
+    PARAMS = StudyParameters(horizon=1200.0, warmup=360.0, batches=4,
+                             seed=7)
+
+    def test_run_cell_collects_replay_counters(self):
+        profiler = PhaseProfiler()
+        run_cell(CONFIGURATIONS["A"], "OTDV", self.PARAMS,
+                 profiler=profiler)
+        doc = profiler.to_dict()
+        assert doc["counters"]["replay.transitions"] > 0
+        assert doc["counters"]["replay.accesses"] > 0
+        assert doc["counters"]["quorum.evaluate.OTDV"] > 0
+        phases = {e["phase"] for e in doc["phases"]}
+        assert {"cell", "cell/replay"} <= phases
+
+    def test_profiled_cell_results_are_bit_identical(self):
+        bare = run_cell(CONFIGURATIONS["A"], "LDV", self.PARAMS)
+        profiled = run_cell(CONFIGURATIONS["A"], "LDV", self.PARAMS,
+                            profiler=PhaseProfiler())
+        assert bare.result == profiled.result
+
+    def test_run_study_profiler_with_parallel_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_study(self.PARAMS, jobs=2, profiler=PhaseProfiler())
+
+    def test_run_study_sequential_collects_phases(self):
+        profiler = PhaseProfiler()
+        run_study(self.PARAMS,
+                  configurations=[CONFIGURATIONS["A"]],
+                  policies=("MCV",), profiler=profiler)
+        phases = {e["phase"] for e in profiler.to_dict()["phases"]}
+        assert {"study.trace", "study.access", "cell"} <= phases
+
+
+def _busy(n=40_000):
+    return sum(i * i for i in range(n))
+
+
+class TestProfileEngines:
+    def test_cprofile_collapsed_lines_are_flamegraph_shaped(self):
+        _, report = run_profiled(_busy, "busy", engine="cprofile")
+        assert report.engine == "cprofile"
+        assert report.collapsed
+        for line in report.collapsed:
+            assert COLLAPSED_LINE.match(line), line
+
+    def test_cprofile_finds_the_hot_function(self):
+        _, report = run_profiled(_busy, "busy", engine="cprofile",
+                                 top=30)
+        names = [entry.name for entry in report.hot]
+        assert any("_busy" in name or "genexpr" in name
+                   for name in names)
+
+    def test_result_is_returned_unchanged(self):
+        result, _ = run_profiled(lambda: 42, "const",
+                                 engine="cprofile")
+        assert result == 42
+
+    def test_report_round_trips_to_dict(self):
+        _, report = run_profiled(_busy, "busy", engine="cprofile")
+        doc = report.to_dict()
+        assert doc["format"] == "repro-profile"
+        assert doc["version"] == 1
+        assert doc["target"] == "busy"
+        assert isinstance(doc["collapsed"], list)
+
+    def test_phases_fold_into_report(self):
+        phases = PhaseProfiler()
+
+        def workload():
+            with phases.phase("crunch"):
+                return _busy()
+
+        _, report = run_profiled(workload, "busy",
+                                 engine="cprofile", phases=phases)
+        assert report.phases is not None
+        assert any(e["phase"] == "crunch"
+                   for e in report.phases["phases"])
+        assert "crunch" in report.format_text()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_profiled(_busy, "busy", engine="dtrace")
+
+    @pytest.mark.skipif(not StackSampler.supported(),
+                        reason="needs setitimer + main thread")
+    def test_sampler_captures_stacks(self):
+        _, report = run_profiled(
+            lambda: _busy(3_000_000), "busy",
+            engine="sample", interval=0.001,
+        )
+        assert report.engine == "sample"
+        assert report.samples is not None and report.samples > 0
+        for line in report.collapsed:
+            assert COLLAPSED_LINE.match(line), line
+
+    @pytest.mark.skipif(not StackSampler.supported(),
+                        reason="needs setitimer + main thread")
+    def test_sampler_stops_cleanly(self):
+        sampler = StackSampler(interval=0.001)
+        with sampler:
+            _busy(200_000)
+        count = sampler.sample_count
+        _busy(200_000)  # no sampling after stop
+        assert sampler.sample_count == count
+
+    def test_collapse_stats_handles_recursion(self):
+        import cProfile
+        import io
+        import pstats
+
+        def recurse(n):
+            return 0 if n == 0 else recurse(n - 1) + _busy(2_000)
+
+        profile = cProfile.Profile()
+        profile.runcall(recurse, 5)
+        stats = pstats.Stats(profile, stream=io.StringIO())
+        for line in collapse_stats(stats):
+            assert COLLAPSED_LINE.match(line), line
+
+    def test_hot_functions_sorted_by_own_time(self):
+        import cProfile
+        import io
+        import pstats
+
+        profile = cProfile.Profile()
+        profile.runcall(_busy)
+        stats = pstats.Stats(profile, stream=io.StringIO())
+        rows = hot_functions(stats, limit=5)
+        own = [entry.own_seconds for entry in rows]
+        assert own == sorted(own, reverse=True)
