@@ -70,7 +70,7 @@ from repro.experiments.testbed import testbed_topology
 from repro.net.topology import Topology
 from repro.net.views import NetworkView
 from repro.obs.analysis.diff import TraceDiff, diff_traces
-from repro.obs.tracer import MemorySink, TraceRecord, Tracer
+from repro.obs.tracer import FanoutSink, MemorySink, TraceRecord, Tracer
 
 __all__ = [
     "AuditedCluster",
@@ -113,21 +113,6 @@ def _resolve_policy(name: str) -> str:
             f"unknown chaos policy {name!r}; choose from {chaos_policies()}"
         )
     return resolved
-
-
-class _FanoutSink:
-    """Forward every record to several sinks (trace file + memory)."""
-
-    def __init__(self, sinks: Sequence[Any]):
-        self._sinks = tuple(sinks)
-
-    def emit(self, record: TraceRecord) -> None:
-        for sink in self._sinks:
-            sink.emit(record)
-
-    def close(self) -> None:
-        for sink in self._sinks:
-            sink.close()
 
 
 class AuditedCluster(MessageCluster):
@@ -608,7 +593,7 @@ def run_schedule(
     if topology is None:
         topology = testbed_topology()
     memory = MemorySink(capacity=250_000)
-    inner: Any = memory if sink is None else _FanoutSink((memory, sink))
+    inner: Any = memory if sink is None else FanoutSink((memory, sink))
     monitor = InvariantMonitor(inner, policy=name, seed=schedule.seed)
     tracer = Tracer(monitor)
     cluster, stages = _build_cluster(name, schedule, topology, tracer, faults)

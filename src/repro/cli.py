@@ -28,13 +28,22 @@ Commands regenerate everything in the paper from the terminal:
   ``BENCH_<n>.json`` point (quick in-process subset, or ingest a
   pytest-benchmark JSON), ``compare`` diffs two points with noise-aware
   thresholds and exits 1 on a regression (the CI gate);
+* ``repro runs``      — the content-addressed run registry: ``list``,
+  ``show``, ``gc``, and ``diff``, which aligns two recorded studies
+  cell by cell and exits 1 on an availability regression beyond noise;
+* ``repro report``    — render recorded runs as one self-contained
+  HTML file (tables vs paper, availability timelines, phase
+  breakdowns, chaos verdicts) that opens offline;
 * ``repro demo``      — the engine walkthrough from Section 2's example.
 
 Observability: a global ``--log-level`` flag configures the package
 logger; ``study``/``table2``/``table3`` and ``validate`` accept
 ``--metrics-out PATH`` to write a run manifest plus metrics dump, and
 the study commands accept ``--progress`` for a live progress line (see
-:mod:`repro.obs`).
+:mod:`repro.obs`).  The study, trace-scenario, chaos, profile and
+bench-record commands all accept ``--record`` to store the run (with
+its manifest, lineage and artifacts) in the registry under
+``--runs-dir`` (default ``.repro/runs``, or ``REPRO_RUNS_DIR``).
 """
 
 from __future__ import annotations
@@ -93,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--access-rate", type=float, default=1.0,
                        help="file accesses per day (optimistic policies)")
 
+    def add_record_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--record", action="store_true",
+                       help="store this run (manifest, lineage, "
+                            "artifacts) in the content-addressed run "
+                            "registry")
+        p.add_argument("--runs-dir", metavar="DIR", default=None,
+                       help="registry root (default .repro/runs, or "
+                            "REPRO_RUNS_DIR)")
+
     sub.add_parser("testbed", help="print the Figure 8 network and Table 1")
 
     for name, help_text in (
@@ -114,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--progress", action="store_true",
                        help="print a live progress line (cells done, "
                             "events/s, ETA) to stderr as cells complete")
+        add_record_args(p)
 
     p = sub.add_parser("sweep", help="access-rate ablation for ODV/OTDV")
     add_sim_args(p)
@@ -143,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="JSONL destination for the scenario decision "
                         "trace (default: stdout)")
+    add_record_args(p)
 
     p = sub.add_parser("overhead", help="per-policy message bill")
     add_sim_args(p)
@@ -244,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the schedule as replayable JSON")
     q.add_argument("--json-out", metavar="PATH", default=None,
                    help="also write the run summary as a JSON document")
+    add_record_args(q)
 
     q = csub.add_parser(
         "sweep",
@@ -275,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSONL destination for the structured trace")
     q.add_argument("--json-out", metavar="PATH", default=None,
                    help="also write the run summary as a JSON document")
+    add_record_args(q)
 
     p = sub.add_parser(
         "profile",
@@ -303,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
         q.add_argument("--out", metavar="PATH", default=None,
                        help="write the text report here instead of "
                             "stdout")
+        add_record_args(q)
 
     q = psub.add_parser("scenario", help="profile one scenario replay")
     q.add_argument("file", help="path to a repro-scenario JSON document")
@@ -356,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "directory)")
     q.add_argument("--note", default="",
                    help="free-text note stored in the point")
+    add_record_args(q)
 
     q = bsub.add_parser(
         "compare",
@@ -379,6 +403,83 @@ def build_parser() -> argparse.ArgumentParser:
                         "(CI does, with a wide --max-regression)")
     q.add_argument("--json-out", metavar="PATH", default=None,
                    help="also write the comparison as a JSON document")
+
+    p = sub.add_parser(
+        "runs",
+        help="browse, diff and prune the content-addressed run registry",
+    )
+    rsub = p.add_subparsers(dest="runs_command", required=True)
+
+    def add_runs_dir(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--runs-dir", metavar="DIR", default=None,
+                       help="registry root (default .repro/runs, or "
+                            "REPRO_RUNS_DIR)")
+
+    q = rsub.add_parser("list", help="every recorded run, oldest first")
+    q.add_argument("--kind", default=None,
+                   choices=("study", "scenario", "chaos", "bench",
+                            "profile"),
+                   help="restrict to one run kind")
+    add_runs_dir(q)
+
+    q = rsub.add_parser(
+        "show", help="one run's identity, lineage and artifacts",
+    )
+    q.add_argument("run",
+                   help="run id, unique prefix (>= 4 chars), run "
+                        "directory path, or 'latest'")
+    q.add_argument("--json-out", metavar="PATH", default=None,
+                   help="also write the record as a JSON document")
+    add_runs_dir(q)
+
+    q = rsub.add_parser(
+        "diff",
+        help="align two recorded studies cell by cell; exit 1 on an "
+             "availability regression beyond noise",
+    )
+    q.add_argument("baseline",
+                   help="baseline run (id, prefix, directory path, or "
+                        "'latest')")
+    q.add_argument("current", nargs="?", default="latest",
+                   help="run under test (default: latest)")
+    q.add_argument("--max-regression", type=float, default=0.25,
+                   help="relative unavailability growth that counts as "
+                        "a regression (default 0.25 = 25%%)")
+    q.add_argument("--noise-factor", type=float, default=1.5,
+                   help="the delta must also exceed this many "
+                        "confidence half-widths (default 1.5)")
+    q.add_argument("--verbose", action="store_true",
+                   help="print every aligned cell, not only the ones "
+                        "beyond noise")
+    q.add_argument("--json-out", metavar="PATH", default=None,
+                   help="also write the diff as a JSON document")
+    add_runs_dir(q)
+
+    q = rsub.add_parser(
+        "gc", help="prune old runs and compact the index",
+    )
+    q.add_argument("--keep-last", type=int, default=20,
+                   help="runs to keep, most recent first (default 20)")
+    q.add_argument("--kind", action="append", default=None,
+                   choices=("study", "scenario", "chaos", "bench",
+                            "profile"),
+                   help="prune only this kind (repeatable)")
+    q.add_argument("--dry-run", action="store_true",
+                   help="report what would be deleted, delete nothing")
+    add_runs_dir(q)
+
+    p = sub.add_parser(
+        "report",
+        help="render recorded runs as one self-contained HTML file",
+    )
+    p.add_argument("runs", nargs="+", metavar="RUN",
+                   help="run ids, unique prefixes, run directory "
+                        "paths, or 'latest'")
+    p.add_argument("--out", metavar="PATH", default="report.html",
+                   help="HTML destination (default report.html)")
+    p.add_argument("--title", default="Dynamic voting — recorded results",
+                   help="document title")
+    add_runs_dir(p)
 
     sub.add_parser("demo", help="run the Section 2 worked example")
     return parser
@@ -464,24 +565,46 @@ def _cmd_tables(args: argparse.Namespace, which: str) -> int:
         file=sys.stderr,
     )
     metrics_out = getattr(args, "metrics_out", None)
-    if not metrics_out:
-        cells = run_study(params, jobs=getattr(args, "jobs", None),
+    record = getattr(args, "record", False)
+    jobs = getattr(args, "jobs", None)
+    if not metrics_out and not record:
+        cells = run_study(params, jobs=jobs,
                           progress=getattr(args, "progress", False))
     else:
         # The registry times the command itself (command.seconds), so
         # the manifest's wall clock is the timer's own reading — no
         # hand-rolled perf_counter pair.
         metrics = MetricsRegistry()
+        profiler = None
+        if record and (jobs is None or jobs == 1):
+            # Recording keeps phase timings too (the report's phase
+            # breakdown); profiling is in-process, so parallel runs
+            # record without it rather than fail.
+            from repro.obs.prof import PhaseProfiler
+
+            profiler = PhaseProfiler(metrics)
         with metrics.timed("command.seconds", command=which):
-            cells = run_study(params, jobs=getattr(args, "jobs", None),
+            cells = run_study(params, jobs=jobs,
                               metrics=metrics,
-                              progress=getattr(args, "progress", False))
-        _write_metrics_dump(
-            metrics_out, which, params, PAPER_POLICIES,
-            tuple(sorted(CONFIGURATIONS)), metrics,
-            metrics.histogram("command.seconds", command=which).total,
-            jobs=getattr(args, "jobs", None),
-        )
+                              progress=getattr(args, "progress", False),
+                              profiler=profiler,
+                              capture_timelines=record)
+        if profiler is not None:
+            profiler.flush()
+        if metrics_out:
+            _write_metrics_dump(
+                metrics_out, which, params, PAPER_POLICIES,
+                tuple(sorted(CONFIGURATIONS)), metrics,
+                metrics.histogram("command.seconds", command=which).total,
+                jobs=jobs,
+            )
+        if record:
+            registered = _registry(args).record_study(
+                cells, params, PAPER_POLICIES,
+                tuple(sorted(CONFIGURATIONS)), command=which,
+                metrics=metrics, timelines=cells.timelines,
+            )
+            _record_note(registered)
     if which in ("table2", "study"):
         if args.no_compare:
             print(format_table2(cells))
@@ -546,7 +669,7 @@ def _cmd_trace_scenario(args: argparse.Namespace) -> int:
     """Replay a scenario file with full structured tracing (JSONL)."""
     from repro.experiments.scenarios import load_scenario, run_scenario
     from repro.experiments.testbed import testbed_topology
-    from repro.obs.tracer import JsonlSink, Tracer
+    from repro.obs.tracer import FanoutSink, JsonlSink, MemorySink, Tracer
 
     spec = load_scenario(args.scenario)
     try:
@@ -555,7 +678,12 @@ def _cmd_trace_scenario(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             f"cannot write trace to {args.out}: {exc}"
         ) from exc
-    tracer = Tracer(sink, scenario=spec.name)
+    memory = None
+    outer = sink
+    if getattr(args, "record", False):
+        memory = MemorySink(capacity=1_000_000)
+        outer = FanoutSink((sink, memory))
+    tracer = Tracer(outer, scenario=spec.name)
     try:
         result = run_scenario(
             testbed_topology(), spec.copy_sites, spec.policy, spec.steps,
@@ -570,6 +698,12 @@ def _cmd_trace_scenario(args: argparse.Namespace) -> int:
         + (f" -> {args.out}" if args.out else ""),
         file=sys.stderr,
     )
+    if memory is not None:
+        registered = _registry(args).record_scenario(
+            spec.name, spec.policy,
+            [record.to_dict() for record in memory.records],
+        )
+        _record_note(registered)
     return 0
 
 
@@ -1106,6 +1240,9 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         _print_chaos_violation(result)
     if args.json_out:
         _write_json_out(args.json_out, result.to_dict())
+    if getattr(args, "record", False):
+        _record_note(_registry(args).record_chaos(result,
+                                                  command="chaos run"))
     return 0 if result.ok else 1
 
 
@@ -1195,6 +1332,9 @@ def _cmd_chaos_replay(args: argparse.Namespace) -> int:
         _print_chaos_violation(result)
     if args.json_out:
         _write_json_out(args.json_out, result.to_dict())
+    if getattr(args, "record", False):
+        _record_note(_registry(args).record_chaos(result,
+                                                  command="chaos replay"))
     return 0 if result.ok else 1
 
 
@@ -1313,6 +1453,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
               file=sys.stderr)
     if args.json_out:
         _write_json_out(args.json_out, report.to_dict())
+    if getattr(args, "record", False):
+        _record_note(_registry(args).record_profile(
+            report.to_dict(), command=f"profile {command}", label=target,
+        ))
     return 0
 
 
@@ -1400,6 +1544,9 @@ def _cmd_bench_record(args: argparse.Namespace) -> int:
     label = f"point #{index}" if index is not None else "point"
     print(f"trajectory {label} written to {target} "
           f"({len(stats)} benchmarks, source {source})")
+    if getattr(args, "record", False):
+        _record_note(_registry(args).record_bench(point,
+                                                  command="bench record"))
     return 0
 
 
@@ -1486,6 +1633,197 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
 
+def _registry(args: argparse.Namespace):
+    """The run registry named by ``--runs-dir`` (or the default root)."""
+    from repro.obs.registry import RunRegistry
+
+    return RunRegistry(getattr(args, "runs_dir", None))
+
+
+def _record_note(record) -> None:
+    print(f"recorded {record.kind} run {record.run_id} -> {record.path}",
+          file=sys.stderr)
+
+
+def _summarize_run(record) -> str:
+    """One compact ``key=value`` string for the runs listing."""
+    parts = []
+    for key in ("configurations", "policies", "cells", "seed", "horizon",
+                "scenario", "policy", "decisions", "denied", "ok",
+                "violation", "benchmarks", "source", "target", "engine"):
+        value = record.summary.get(key)
+        if value is None or value == []:
+            continue
+        if isinstance(value, list):
+            value = ",".join(str(v) for v in value)
+        parts.append(f"{key}={value}")
+        if len(parts) >= 4:
+            break
+    return " ".join(parts)
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ascii_table
+
+    registry = _registry(args)
+    runs = registry.list_runs(kind=args.kind)
+    if not runs:
+        print(f"no runs recorded under {registry.root}")
+        return 0
+    rows = [
+        [
+            record.run_id, record.kind,
+            record.created_at.split("T")[0],
+            _summarize_run(record),
+        ]
+        for record in runs
+    ]
+    print(ascii_table(["run", "kind", "recorded", "summary"], rows))
+    print(f"{len(runs)} run(s) under {registry.root}")
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    registry = _registry(args)
+    record = registry.resolve(args.run)
+    print(f"run {record.run_id} ({record.kind}) — {record.command}")
+    print(f"  recorded:  {record.created_at}")
+    print(f"  directory: {record.path}")
+    if record.lineage:
+        print("  lineage:")
+        for key, value in sorted(record.lineage.items()):
+            print(f"    {key}: {value}")
+    if record.summary:
+        print("  summary:")
+        for key, value in sorted(record.summary.items()):
+            print(f"    {key}: {value}")
+    if record.artifacts:
+        print("  artifacts:")
+        for name in sorted(record.artifacts):
+            path = record.artifact_path(name)
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = None
+            detail = f"{size} bytes" if size is not None else "missing"
+            print(f"    {name}: {path.name} ({detail})")
+    if args.json_out:
+        _write_json_out(args.json_out, record.to_dict())
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.registry import diff_runs, format_diff
+
+    registry = _registry(args)
+    baseline = registry.resolve(args.baseline)
+    current = registry.resolve(args.current)
+    diff = diff_runs(
+        baseline, current,
+        max_regression=args.max_regression,
+        noise_factor=args.noise_factor,
+    )
+    print(format_diff(diff, verbose=args.verbose))
+    if diff.regressions:
+        print(f"\nREGRESSION: {len(diff.regressions)} cell(s) lost "
+              f"availability beyond {diff.max_regression:.0%} + noise")
+    else:
+        print(f"\nok: no availability regression beyond "
+              f"{diff.max_regression:.0%} + noise")
+    if args.json_out:
+        _write_json_out(args.json_out, diff.to_dict())
+    return 1 if diff.regressions else 0
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    registry = _registry(args)
+    doomed = registry.gc(
+        keep_last=args.keep_last,
+        kinds=args.kind,
+        dry_run=args.dry_run,
+    )
+    verb = "would delete" if args.dry_run else "deleted"
+    if not doomed:
+        print(f"nothing to prune under {registry.root} "
+              f"(keep-last {args.keep_last})")
+        return 0
+    for record in doomed:
+        print(f"{verb} {record.run_id} ({record.kind}, "
+              f"{record.created_at.split('T')[0]})")
+    print(f"{verb} {len(doomed)} run(s); "
+          f"{len(registry.list_runs())} remain")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    command = args.runs_command
+    if command == "list":
+        return _cmd_runs_list(args)
+    if command == "show":
+        return _cmd_runs_show(args)
+    if command == "diff":
+        return _cmd_runs_diff(args)
+    if command == "gc":
+        return _cmd_runs_gc(args)
+    raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+        f"unknown runs command {command!r}"
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import write_report
+
+    registry = _registry(args)
+    records = []
+    seen = set()
+    for token in args.runs:
+        record = registry.resolve(token)
+        if record.run_id in seen:
+            continue
+        seen.add(record.run_id)
+        records.append(record)
+    try:
+        write_report(records, args.out, title=args.title)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot write {args.out}: {exc}"
+        ) from exc
+    print(f"report on {len(records)} run(s) written to {args.out}",
+          file=sys.stderr)
+    return 0
+
+
+#: Every ``--...-out``-style flag, preflighted centrally by
+#: :func:`_dispatch` so a doomed write fails before the simulation, not
+#: after it.  New commands inherit the check by reusing these attribute
+#: names.
+_OUTPUT_PATH_ATTRS = ("out", "save", "save_schedule", "json_out",
+                      "metrics_out", "collapsed")
+
+
+def _ensure_dir_writable(path: str) -> None:
+    """Fail fast (exit 2) when a directory destination (``--runs-dir``)
+    could not be created or written."""
+    import os
+    import pathlib
+
+    target = pathlib.Path(path)
+    if target.exists() and not target.is_dir():
+        raise ConfigurationError(
+            f"cannot use {path} as a directory: it is a file"
+        )
+    probe = target
+    while not probe.exists():
+        parent = probe.parent
+        if parent == probe:
+            break
+        probe = parent
+    if not os.access(probe, os.W_OK):
+        raise ConfigurationError(
+            f"cannot write under {path}: {probe} is not writable"
+        )
+
+
 def _ensure_writable(path: str) -> None:
     """Fail fast (exit 2) on an unwritable output path, before hours of
     simulation would be thrown away at write time."""
@@ -1537,12 +1875,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
-    for attr in ("out", "save", "save_schedule", "json_out", "metrics_out",
-                 "collapsed"):
+    for attr in _OUTPUT_PATH_ATTRS:
         value = getattr(args, attr, None)
         if value:
             _ensure_writable(value)
+    runs_dir = getattr(args, "runs_dir", None)
+    if runs_dir and (getattr(args, "record", False)
+                     or args.command in ("runs", "report")):
+        _ensure_dir_writable(runs_dir)
     command = args.command
+    if command == "trace" and getattr(args, "record", False) \
+            and args.scenario is None:
+        raise ConfigurationError(
+            "trace --record requires a scenario file; ad-hoc traces are "
+            "written with --out instead"
+        )
     if command == "testbed":
         _cmd_testbed(args)
     elif command in ("table2", "table3", "study"):
@@ -1569,6 +1916,10 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_profile(args)
     elif command == "bench":
         return _cmd_bench(args)
+    elif command == "runs":
+        return _cmd_runs(args)
+    elif command == "report":
+        return _cmd_report(args)
     elif command == "demo":
         _cmd_demo(args)
     else:  # pragma: no cover - argparse enforces choices

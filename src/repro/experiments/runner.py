@@ -26,7 +26,7 @@ from repro.net.topology import Topology
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, MetricsSink
 from repro.obs.telemetry import StudyProgress
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import FanoutSink, Tracer
 
 _log = get_logger("experiments.runner")
 
@@ -111,6 +111,7 @@ def run_cell(
     access_times: Optional[tuple[float, ...]] = None,
     metrics: Optional[MetricsRegistry] = None,
     profiler: Optional["PhaseProfiler"] = None,
+    extra_sinks: Sequence[object] = (),
 ) -> CellResult:
     """Evaluate one (configuration, policy) cell.
 
@@ -127,6 +128,11 @@ def run_cell(
     With a *profiler*, the cell is timed as a ``cell`` phase (labelled
     by configuration and policy) and the replay's hot-path counters are
     collected (see :func:`~repro.experiments.evaluator.evaluate_policy`).
+
+    *extra_sinks* receive every decision record of the replay alongside
+    the metrics tally (the run registry attaches a
+    :class:`~repro.obs.registry.store.TimelineSink` this way).  Like
+    metrics, sinks observe and never change the simulated results.
     """
     if topology is None:
         topology = testbed_topology()
@@ -150,18 +156,27 @@ def run_cell(
             profiler=profiler,
         )
 
+    sinks: list[object] = []
+    if metrics is not None:
+        sinks.append(MetricsSink(metrics, config=configuration.key))
+    sinks.extend(extra_sinks)
     cell_phase = (
         profiler.phase("cell", config=configuration.key, policy=policy)
         if profiler is not None else contextlib.nullcontext()
     )
     with cell_phase:
-        if metrics is None:
+        if not sinks:
             result = evaluate(None)
         else:
-            tracer = Tracer(MetricsSink(metrics, config=configuration.key))
-            with metrics.timed(
-                "cell.seconds", config=configuration.key, policy=policy
-            ):
+            sink = sinks[0] if len(sinks) == 1 else FanoutSink(sinks)
+            tracer = Tracer(sink)
+            timer = (
+                metrics.timed(
+                    "cell.seconds", config=configuration.key, policy=policy
+                )
+                if metrics is not None else contextlib.nullcontext()
+            )
+            with timer:
                 result = evaluate(tracer)
     return CellResult(configuration, result)
 
@@ -199,11 +214,17 @@ class StudyResult(dict):
     :attr:`failed_cells` record of any cell whose evaluation raised
     twice — such cells are *absent* from the mapping, and the table
     formatters print them as ``?``/``-``.
+
+    When the study ran with ``capture_timelines=True``,
+    :attr:`timelines` maps ``config_key -> policy -> timeline
+    document`` (the spans the run registry stores as
+    ``timelines.json`` and the HTML report renders).
     """
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.failed_cells: tuple[FailedCell, ...] = ()
+        self.timelines: dict[str, dict[str, dict]] = {}
 
     @property
     def ok(self) -> bool:
@@ -233,16 +254,29 @@ def _init_worker(
 
 
 def _run_cell_worker(
-    task: tuple[str, str, bool],
-) -> tuple[tuple[str, str], CellResult, Optional[MetricsRegistry]]:
+    task: tuple[str, str, bool, bool],
+) -> tuple[
+    tuple[str, str],
+    CellResult,
+    Optional[MetricsRegistry],
+    Optional[dict],
+]:
     """Process-pool entry point: one (configuration, policy) cell.
 
     The shared study context comes from :func:`_init_worker`; the task
-    itself is just the cell key plus whether to tally metrics (returned
-    as a per-cell registry for the parent to merge).
+    itself is just the cell key plus whether to tally metrics and
+    capture timelines (both returned per cell for the parent to merge —
+    registries merge, timeline documents are per-cell already).
     """
-    config_key, policy, want_metrics = task
+    config_key, policy, want_metrics, want_timelines = task
     metrics = MetricsRegistry() if want_metrics else None
+    timeline_sink = None
+    extra_sinks: tuple[object, ...] = ()
+    if want_timelines:
+        from repro.obs.registry.store import TimelineSink
+
+        timeline_sink = TimelineSink()
+        extra_sinks = (timeline_sink,)
     cell = run_cell(
         CONFIGURATIONS[config_key],
         policy,
@@ -251,8 +285,12 @@ def _run_cell_worker(
         trace=_WORKER_CONTEXT["trace"],
         access_times=_WORKER_CONTEXT["access_times"],
         metrics=metrics,
+        extra_sinks=extra_sinks,
     )
-    return ((config_key, policy), cell, metrics)
+    documents = (
+        timeline_sink.documents() if timeline_sink is not None else None
+    )
+    return ((config_key, policy), cell, metrics, documents)
 
 
 #: Accepted by ``run_study(progress=...)``: ``True`` for a default
@@ -269,6 +307,7 @@ def run_study(
     metrics: Optional[MetricsRegistry] = None,
     progress: ProgressSpec = None,
     profiler: Optional["PhaseProfiler"] = None,
+    capture_timelines: bool = False,
 ) -> StudyResult:
     """Run the full study: every configuration against every policy.
 
@@ -308,6 +347,13 @@ def run_study(
             per-cell ``cell``) and the replay's hot-path counters.
             Profiling is in-process by design — it measures *this*
             interpreter — so it cannot be combined with ``jobs > 1``.
+        capture_timelines: Fold every cell's quorum verdicts into
+            availability timelines (streaming, O(spans) memory — no
+            trace is stored) and attach them as
+            :attr:`StudyResult.timelines`.  This is what ``repro study
+            --record`` stores as ``timelines.json``; in the parallel
+            path each worker folds its own cell and ships the finished
+            spans back.
 
     Raises:
         ConfigurationError: for ``jobs < 1``, or a *profiler* combined
@@ -358,6 +404,8 @@ def run_study(
             )
     cells = StudyResult()
     failed: list[FailedCell] = []
+    if capture_timelines:
+        from repro.obs.registry.store import TimelineSink
     if jobs is None or jobs == 1:
         for configuration in configurations:
             for policy in policies:
@@ -365,8 +413,11 @@ def run_study(
                 attempts = 0
                 cell = None
                 last_error = ""
+                timeline_sink = TimelineSink() if capture_timelines else None
                 while cell is None and attempts < 2:
                     attempts += 1
+                    if timeline_sink is not None and attempts > 1:
+                        timeline_sink = TimelineSink()  # drop partial spans
                     try:
                         cell = run_cell(
                             configuration,
@@ -377,6 +428,10 @@ def run_study(
                             access_times=access_times,
                             metrics=metrics,
                             profiler=profiler,
+                            extra_sinks=(
+                                (timeline_sink,)
+                                if timeline_sink is not None else ()
+                            ),
                         )
                     except Exception as exc:
                         last_error = _describe_error(exc)
@@ -392,12 +447,16 @@ def run_study(
                     _log.debug("cell %s/%s done: unavailability %.6f",
                                configuration.key, policy, cell.unavailability)
                     cells[key] = cell
+                    if timeline_sink is not None:
+                        cells.timelines.setdefault(
+                            configuration.key, {}
+                        ).update(timeline_sink.documents())
                 if reporter is not None:
                     reporter.cell_done(key)
         cells.failed_cells = tuple(failed)
         return cells
     tasks = [
-        (configuration.key, policy, metrics is not None)
+        (configuration.key, policy, metrics is not None, capture_timelines)
         for configuration in configurations
         for policy in policies
     ]
@@ -419,7 +478,7 @@ def run_study(
                 task, attempt = pending.pop(future)
                 key = (task[0], task[1])
                 try:
-                    _, cell, cell_metrics = future.result()
+                    _, cell, cell_metrics, cell_timelines = future.result()
                 except Exception as exc:
                     error = _describe_error(exc)
                     _log.warning("cell %s/%s failed (attempt %d): %s",
@@ -448,6 +507,10 @@ def run_study(
                 cells[key] = cell
                 if metrics is not None and cell_metrics is not None:
                     metrics.merge(cell_metrics)
+                if cell_timelines is not None:
+                    cells.timelines.setdefault(key[0], {}).update(
+                        cell_timelines
+                    )
                 if reporter is not None:
                     reporter.cell_done(key)
     cells.failed_cells = tuple(failed)

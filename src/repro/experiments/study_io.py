@@ -18,7 +18,13 @@ from repro.experiments.evaluator import EvaluationResult
 from repro.experiments.runner import CellResult
 from repro.stats.batch_means import ConfidenceInterval
 
-__all__ = ["dump_study", "load_study", "study_to_dict", "study_from_dict"]
+__all__ = [
+    "canonical_study_bytes",
+    "dump_study",
+    "load_study",
+    "study_from_dict",
+    "study_to_dict",
+]
 
 _FORMAT = "repro-study"
 _VERSION = 1
@@ -89,14 +95,28 @@ def study_from_dict(data: dict) -> dict[tuple[str, str], CellResult]:
     return cells
 
 
+def canonical_study_bytes(
+    cells: Mapping[tuple[str, str], CellResult],
+) -> bytes:
+    """The canonical serialisation of study cells.
+
+    Key ordering, separators and float formatting are all pinned, so
+    the same cells always produce the same bytes — the property the run
+    registry's content-addressed run ids are built on (two dumps of the
+    same study hash identically; see ``repro.obs.registry``).
+    """
+    return json.dumps(
+        study_to_dict(cells), sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+
+
 def dump_study(
     cells: Mapping[tuple[str, str], CellResult],
     path: Union[str, pathlib.Path],
 ) -> None:
-    """Write study cells to *path* as JSON."""
+    """Write study cells to *path* in the canonical serialisation."""
     path = pathlib.Path(path)
-    with path.open("w") as handle:
-        json.dump(study_to_dict(cells), handle)
+    path.write_bytes(canonical_study_bytes(cells) + b"\n")
 
 
 def load_study(path: Union[str, pathlib.Path]) -> dict[tuple[str, str], CellResult]:

@@ -19,10 +19,27 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence, Union
 
-__all__ = ["RunManifest", "build_manifest", "git_revision"]
+__all__ = [
+    "RunManifest",
+    "build_manifest",
+    "clear_revision_cache",
+    "git_revision",
+]
 
 _FORMAT = "repro-manifest"
 _VERSION = 1
+
+#: Per-process ``git_revision`` results, keyed by the queried directory.
+#: Shelling out to git twice per manifest is invisible for one study but
+#: not for a registry building a manifest per recorded run; the revision
+#: cannot change under a running process in any way we could honour
+#: anyway (the sha is captured when the run starts).
+_REVISION_CACHE: dict[str, tuple[Optional[str], Optional[bool]]] = {}
+
+
+def clear_revision_cache() -> None:
+    """Forget cached ``git_revision`` results (tests, long daemons)."""
+    _REVISION_CACHE.clear()
 
 
 def git_revision(
@@ -31,10 +48,21 @@ def git_revision(
     """The ``(sha, dirty)`` of the working tree, or ``(None, None)``.
 
     Never raises: outside a checkout (installed wheel, tarball) there is
-    simply no revision to record.
+    simply no revision to record.  Results are cached per directory for
+    the life of the process (see :func:`clear_revision_cache`).
     """
     if repo_dir is None:
         repo_dir = pathlib.Path(__file__).resolve().parent
+    key = str(repo_dir)
+    cached = _REVISION_CACHE.get(key)
+    if cached is None:
+        cached = _REVISION_CACHE[key] = _query_git(repo_dir)
+    return cached
+
+
+def _query_git(
+    repo_dir: Union[str, pathlib.Path],
+) -> tuple[Optional[str], Optional[bool]]:
     try:
         sha = subprocess.run(
             ["git", "rev-parse", "HEAD"],

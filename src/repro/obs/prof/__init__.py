@@ -27,6 +27,7 @@ from repro.obs.prof.bench import (
     load_point,
     machine_fingerprint,
     next_trajectory_path,
+    noise_gated_verdict,
     run_quick,
     validate_point,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "load_point",
     "machine_fingerprint",
     "next_trajectory_path",
+    "noise_gated_verdict",
     "run_profiled",
     "run_quick",
     "validate_point",

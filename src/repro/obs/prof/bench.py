@@ -53,6 +53,7 @@ __all__ = [
     "load_point",
     "machine_fingerprint",
     "next_trajectory_path",
+    "noise_gated_verdict",
     "run_quick",
     "validate_point",
 ]
@@ -442,6 +443,37 @@ class BenchComparison:
         }
 
 
+def noise_gated_verdict(
+    baseline: float,
+    current: float,
+    baseline_noise: float,
+    current_noise: float,
+    max_regression: float,
+    iqr_factor: float,
+) -> str:
+    """The dual noise gate shared by every regression comparison.
+
+    A measurement regresses only when it grew by more than
+    *max_regression* relative to the baseline **and** by more than
+    *iqr_factor* times the larger of the two noise estimates — so
+    neither a small drift on a quiet series nor a large wobble on a
+    noisy one trips the verdict.  Improvement is symmetric.  The bench
+    trajectory feeds medians and IQRs; the run registry feeds
+    unavailabilities and their batch-means half-widths (``repro runs
+    diff``) through the very same gate.
+
+    Returns ``"regression"``, ``"improvement"`` or ``"within-noise"``.
+    """
+    delta = current - baseline
+    noise = iqr_factor * max(baseline_noise, current_noise)
+    threshold = max_regression * baseline
+    if delta > threshold and delta > noise:
+        return "regression"
+    if -delta > threshold and -delta > noise:
+        return "improvement"
+    return "within-noise"
+
+
 def _fingerprints_match(a: Mapping[str, Any], b: Mapping[str, Any]) -> bool:
     return all(
         a.get(key) == b.get(key)
@@ -506,15 +538,10 @@ def compare_points(
                 name, "only-baseline", base["median"], None
             ))
             continue
-        delta = cur["median"] - base["median"]
-        noise = iqr_factor * max(base["iqr"], cur["iqr"])
-        threshold = max_regression * base["median"]
-        if delta > threshold and delta > noise:
-            verdict = "regression"
-        elif -delta > threshold and -delta > noise:
-            verdict = "improvement"
-        else:
-            verdict = "within-noise"
+        verdict = noise_gated_verdict(
+            base["median"], cur["median"], base["iqr"], cur["iqr"],
+            max_regression, iqr_factor,
+        )
         rows.append(ComparisonRow(
             name, verdict, base["median"], cur["median"]
         ))

@@ -1,0 +1,57 @@
+"""The run registry: content-addressed storage for every run artifact.
+
+The repo emits five kinds of run products — study tables, metrics
+dumps, JSONL decision traces, chaos reports and ``BENCH_<n>.json``
+trajectory points — and before this package they landed as loose files
+with no shared identity.  A :class:`RunRegistry` gives each recorded
+invocation a *content-addressed run id* (the SHA-256 of the run's
+canonical result bytes, so an identical re-run is the identical run),
+stores the manifest, result tables, metrics and artifacts under
+``.repro/runs/<id>/``, appends one line per run to an append-only
+``index.jsonl``, and keeps lineage: the baseline a run was diffed
+against, a chaos schedule's seed, a bench point's provenance.
+
+On top of it:
+
+* :func:`diff_runs` aligns two recorded studies cell by cell
+  (configuration × policy) and passes every availability delta through
+  the same noise-aware gate as the benchmark trajectory
+  (:func:`repro.obs.prof.bench.noise_gated_verdict`), so CI can gate on
+  *availability*, not just wall-clock (``repro runs diff`` exits 1 on a
+  regression);
+* ``repro runs {list,show,diff,gc}`` browses and prunes the store;
+* :mod:`repro.obs.report` renders recorded runs as a self-contained
+  HTML explorer (``repro report``).
+
+Recording is opt-in: the CLI's ``--record`` flag (on ``study``,
+``table2``/``table3``, ``trace <scenario>``, ``chaos run``/``replay``,
+``profile`` and ``bench record``) wires a registry into
+:func:`repro.experiments.runner.run_study`,
+:func:`repro.chaos.harness.run_schedule` and the bench trajectory.
+"""
+
+from repro.obs.registry.diffing import (
+    CellDelta,
+    RunDiff,
+    diff_runs,
+    format_diff,
+)
+from repro.obs.registry.store import (
+    DEFAULT_ROOT,
+    RUNS_DIR_ENV,
+    RunRecord,
+    RunRegistry,
+    TimelineSink,
+)
+
+__all__ = [
+    "CellDelta",
+    "DEFAULT_ROOT",
+    "RUNS_DIR_ENV",
+    "RunDiff",
+    "RunRecord",
+    "RunRegistry",
+    "TimelineSink",
+    "diff_runs",
+    "format_diff",
+]

@@ -1,0 +1,265 @@
+"""Cross-run regression diffing for recorded studies.
+
+:func:`diff_runs` aligns two recorded study runs cell by cell
+(configuration × policy) and passes every *unavailability* delta
+through the same noise-aware gate the benchmark trajectory uses
+(:func:`repro.obs.prof.bench.noise_gated_verdict`).  The noise term for
+an availability cell is its batch-means confidence half-width: a
+difference only counts as a regression when it clears *both* the
+relative threshold and a multiple of the wider of the two cells'
+half-widths.  Re-running the identical seed therefore diffs to zero
+deltas and a clean exit, while a genuinely worse protocol trips the
+gate even when the relative change is small in absolute terms.
+
+``repro runs diff`` prints the aligned table and exits 1 when any cell
+regresses — the availability analogue of ``repro bench compare``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.prof.bench import noise_gated_verdict
+
+__all__ = [
+    "CellDelta",
+    "RunDiff",
+    "diff_runs",
+    "format_diff",
+]
+
+#: Relative unavailability increase below which a cell is never flagged.
+DEFAULT_MAX_REGRESSION = 0.25
+
+#: Multiplier on the wider confidence half-width a delta must also clear.
+DEFAULT_NOISE_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One aligned (configuration, policy) cell across two runs.
+
+    Attributes:
+        config: Configuration key (``"A"`` ... ``"L"``).
+        policy: Voting policy name.
+        baseline: Baseline unavailability (fraction of time down).
+        current: Current unavailability.
+        delta: ``current - baseline`` (positive = less available).
+        baseline_noise: Baseline batch-means CI half-width.
+        current_noise: Current batch-means CI half-width.
+        verdict: ``"regression"``, ``"improvement"`` or
+            ``"within-noise"`` from the shared gate.
+        baseline_down: Baseline mean down duration (hours).
+        current_down: Current mean down duration (hours).
+    """
+
+    config: str
+    policy: str
+    baseline: float
+    current: float
+    delta: float
+    baseline_noise: float
+    current_noise: float
+    verdict: str
+    baseline_down: float
+    current_down: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """``current / baseline``, or ``None`` for a zero baseline."""
+        if self.baseline == 0.0:
+            return None
+        return self.current / self.baseline
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation."""
+        return {
+            "config": self.config,
+            "policy": self.policy,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta": self.delta,
+            "ratio": self.ratio,
+            "baseline_noise": self.baseline_noise,
+            "current_noise": self.current_noise,
+            "verdict": self.verdict,
+            "baseline_down": self.baseline_down,
+            "current_down": self.current_down,
+        }
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """The full alignment of two recorded study runs.
+
+    Attributes:
+        baseline_id: Run id the comparison is anchored on.
+        current_id: Run id under test.
+        cells: Aligned deltas, sorted by (config, policy).
+        only_baseline: Cells present only in the baseline run.
+        only_current: Cells present only in the current run.
+        max_regression: Relative threshold the gate used.
+        noise_factor: Half-width multiplier the gate used.
+    """
+
+    baseline_id: str
+    current_id: str
+    cells: tuple[CellDelta, ...]
+    only_baseline: tuple[tuple[str, str], ...] = ()
+    only_current: tuple[tuple[str, str], ...] = ()
+    max_regression: float = DEFAULT_MAX_REGRESSION
+    noise_factor: float = DEFAULT_NOISE_FACTOR
+
+    @property
+    def regressions(self) -> tuple[CellDelta, ...]:
+        """Cells whose verdict is ``"regression"``."""
+        return tuple(c for c in self.cells if c.verdict == "regression")
+
+    @property
+    def improvements(self) -> tuple[CellDelta, ...]:
+        """Cells whose verdict is ``"improvement"``."""
+        return tuple(c for c in self.cells if c.verdict == "improvement")
+
+    @property
+    def ok(self) -> bool:
+        """True when no cell regressed (missing cells do not gate)."""
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation."""
+        return {
+            "format": "repro-run-diff",
+            "version": 1,
+            "baseline": self.baseline_id,
+            "current": self.current_id,
+            "max_regression": self.max_regression,
+            "noise_factor": self.noise_factor,
+            "ok": self.ok,
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "cells": [cell.to_dict() for cell in self.cells],
+            "only_baseline": [list(key) for key in self.only_baseline],
+            "only_current": [list(key) for key in self.only_current],
+        }
+
+
+def _study_cells(record: Any) -> dict:
+    try:
+        return record.load_study_cells()
+    except ConfigurationError as exc:
+        raise ConfigurationError(
+            f"run {record.run_id} ({record.kind}) cannot be diffed: {exc}"
+        ) from exc
+
+
+def diff_runs(
+    baseline: Any,
+    current: Any,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    noise_factor: float = DEFAULT_NOISE_FACTOR,
+) -> RunDiff:
+    """Align two recorded study runs cell by cell and gate the deltas.
+
+    Args:
+        baseline: The anchor :class:`~repro.obs.registry.store.RunRecord`.
+        current: The record under test.
+        max_regression: Relative unavailability increase tolerated
+            before a cell can regress (0.25 = 25%).
+        noise_factor: The delta must additionally exceed this multiple
+            of the wider of the two cells' CI half-widths.
+
+    Raises:
+        ConfigurationError: either run records no study table, or the
+            thresholds are malformed.
+    """
+    if max_regression < 0:
+        raise ConfigurationError(
+            f"max-regression must be >= 0, got {max_regression}"
+        )
+    if noise_factor < 0:
+        raise ConfigurationError(
+            f"noise-factor must be >= 0, got {noise_factor}"
+        )
+    base_cells = _study_cells(baseline)
+    cur_cells = _study_cells(current)
+    shared = sorted(set(base_cells) & set(cur_cells))
+    deltas = []
+    for key in shared:
+        base = base_cells[key].result
+        cur = cur_cells[key].result
+        verdict = noise_gated_verdict(
+            base.unavailability,
+            cur.unavailability,
+            base.interval.half_width,
+            cur.interval.half_width,
+            max_regression=max_regression,
+            iqr_factor=noise_factor,
+        )
+        deltas.append(CellDelta(
+            config=key[0],
+            policy=key[1],
+            baseline=base.unavailability,
+            current=cur.unavailability,
+            delta=cur.unavailability - base.unavailability,
+            baseline_noise=base.interval.half_width,
+            current_noise=cur.interval.half_width,
+            verdict=verdict,
+            baseline_down=base.mean_down_duration,
+            current_down=cur.mean_down_duration,
+        ))
+    return RunDiff(
+        baseline_id=baseline.run_id,
+        current_id=current.run_id,
+        cells=tuple(deltas),
+        only_baseline=tuple(sorted(set(base_cells) - set(cur_cells))),
+        only_current=tuple(sorted(set(cur_cells) - set(base_cells))),
+        max_regression=max_regression,
+        noise_factor=noise_factor,
+    )
+
+
+_MARKS = {"regression": "!", "improvement": "+", "within-noise": " "}
+
+
+def format_diff(diff: RunDiff, verbose: bool = False) -> str:
+    """Render *diff* as the aligned text table ``repro runs diff``
+    prints.
+
+    Quiet cells are elided unless *verbose*; regressions and
+    improvements always show.
+    """
+    lines = [
+        f"baseline {diff.baseline_id}  ->  current {diff.current_id}",
+        f"cells compared: {len(diff.cells)}  "
+        f"regressions: {len(diff.regressions)}  "
+        f"improvements: {len(diff.improvements)}",
+    ]
+    shown = [
+        cell for cell in diff.cells
+        if verbose or cell.verdict != "within-noise"
+    ]
+    if shown:
+        lines.append("")
+        lines.append(
+            f"  {'cell':<10} {'baseline':>12} {'current':>12} "
+            f"{'delta':>12}  verdict"
+        )
+        for cell in shown:
+            mark = _MARKS.get(cell.verdict, "?")
+            lines.append(
+                f"{mark} {cell.config + '/' + cell.policy:<10} "
+                f"{cell.baseline:>12.6f} {cell.current:>12.6f} "
+                f"{cell.delta:>+12.6f}  {cell.verdict}"
+            )
+    elif diff.cells:
+        lines.append("all compared cells within noise")
+    for label, keys in (
+        ("only in baseline", diff.only_baseline),
+        ("only in current", diff.only_current),
+    ):
+        if keys:
+            rendered = ", ".join(f"{c}/{p}" for c, p in keys)
+            lines.append(f"{label}: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Self-contained HTML reports over recorded runs.
+
+``repro report <run-id ...>`` renders one HTML file — inline CSS and
+JS, zero network fetches — that a reviewer opens straight from a CI
+artifact: the paper's Table 1 site characteristics, measured Tables 2
+and 3 side by side with the published 1988 numbers, per-policy
+availability timelines, ``prof.*`` phase breakdowns and chaos
+invariant verdicts, for every run id given.
+"""
+
+from repro.obs.report.html import render_report, write_report
+
+__all__ = ["render_report", "write_report"]

@@ -1,0 +1,654 @@
+"""Rendering recorded runs as one self-contained HTML document.
+
+Everything is inlined — CSS custom properties, a dozen lines of JS for
+the light/dark toggle, SVG timelines drawn server-side — so the file
+opens identically from a CI artifact tab, a mail attachment or
+``file://`` with the network cable unplugged.  No external fonts,
+scripts, styles or images are referenced.
+
+Accessibility follows the charting rules the rest of the repo's docs
+use: values and labels wear ink tokens (never the series color), status
+colors always travel with an icon *and* a word, unavailable spans carry
+a hatch texture on top of the status hue, and every mark has a
+``<title>`` tooltip.  Dark mode is its own palette selection, not a
+filter over the light one.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import pathlib
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["render_report", "write_report"]
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _unavail(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.6f}"
+
+
+def _days(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.4f}"
+
+
+# ----------------------------------------------------------------------
+# document chrome
+# ----------------------------------------------------------------------
+
+# Ink, surface and series tokens; the dark values are selected steps,
+# not an automatic inversion of the light ones.
+_CSS = """
+:root {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e;
+  --ink-muted: #898781; --grid: #e1e0d9; --panel: #f4f3f0;
+  --accent: #2a78d6; --accent-soft: #cde2fb;
+  --good: #0ca30c; --warning: #fab219;
+  --serious: #ec835a; --critical: #d03b3b;
+}
+[data-theme="dark"] {
+  --surface: #1a1a19; --ink: #ffffff; --ink-2: #c3c2b7;
+  --ink-muted: #898781; --grid: #2c2c2a; --panel: #232322;
+  --accent: #3987e5; --accent-soft: #0d366b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:not([data-theme]) {
+    --surface: #1a1a19; --ink: #ffffff; --ink-2: #c3c2b7;
+    --ink-muted: #898781; --grid: #2c2c2a; --panel: #232322;
+    --accent: #3987e5; --accent-soft: #0d366b;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 2rem clamp(1rem, 4vw, 3rem) 4rem;
+  background: var(--surface); color: var(--ink);
+  font: 15px/1.5 system-ui, sans-serif;
+}
+h1 { font-size: 1.45rem; margin: 0 0 .25rem; }
+h2 { font-size: 1.15rem; margin: 2.2rem 0 .4rem; }
+h3 { font-size: .95rem; margin: 1.4rem 0 .4rem; color: var(--ink-2); }
+a { color: var(--accent); }
+.subtitle { color: var(--ink-2); margin: 0 0 1rem; }
+.topbar { display: flex; justify-content: space-between;
+  align-items: baseline; gap: 1rem; }
+button.theme {
+  background: var(--panel); color: var(--ink);
+  border: 1px solid var(--grid); border-radius: 6px;
+  padding: .3rem .7rem; cursor: pointer; font: inherit;
+}
+.chips { display: flex; flex-wrap: wrap; gap: .4rem; margin: .4rem 0 1rem; }
+.chip {
+  background: var(--panel); border: 1px solid var(--grid);
+  border-radius: 999px; padding: .1rem .6rem; font-size: .8rem;
+  color: var(--ink-2);
+}
+.chip b { color: var(--ink); font-weight: 600; }
+section.run {
+  border: 1px solid var(--grid); border-radius: 10px;
+  padding: 1rem 1.25rem 1.5rem; margin: 1.5rem 0;
+}
+table { border-collapse: collapse; margin: .5rem 0; }
+th, td {
+  padding: .3rem .65rem; text-align: right;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--ink-2); font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+td .paper { display: block; font-size: .72rem; color: var(--ink-muted); }
+.note { color: var(--ink-muted); font-size: .8rem; }
+.callout {
+  display: flex; gap: .6rem; align-items: baseline;
+  border: 1px solid var(--grid); border-left: 4px solid var(--ink-muted);
+  border-radius: 6px; background: var(--panel);
+  padding: .6rem .9rem; margin: .8rem 0;
+}
+.callout.good { border-left-color: var(--good); }
+.callout.critical { border-left-color: var(--critical); }
+.callout.warning { border-left-color: var(--warning); }
+.callout .icon { font-weight: 700; }
+.callout.good .icon { color: var(--good); }
+.callout.critical .icon { color: var(--critical); }
+.callout.warning .icon { color: var(--warning); }
+.timeline-grid { display: grid; gap: .45rem .8rem;
+  grid-template-columns: max-content 1fr max-content; align-items: center; }
+.timeline-grid .name { color: var(--ink-2); font-size: .85rem; }
+.timeline-grid .value { color: var(--ink-2); font-size: .8rem;
+  font-variant-numeric: tabular-nums; }
+.legend { display: flex; gap: 1.2rem; margin: .5rem 0;
+  color: var(--ink-2); font-size: .82rem; }
+.legend .swatch { display: inline-block; width: 12px; height: 12px;
+  border-radius: 3px; margin-right: .35rem; vertical-align: -1px; }
+.bars { display: grid; gap: .35rem .8rem;
+  grid-template-columns: max-content 1fr max-content; align-items: center; }
+.bars .name { font-size: .85rem; color: var(--ink-2);
+  overflow-wrap: anywhere; }
+.bars .track { background: var(--panel); border-radius: 4px; height: 14px; }
+.bars .fill { background: var(--accent); border-radius: 4px; height: 14px; }
+.bars .value { font-size: .8rem; color: var(--ink-2);
+  font-variant-numeric: tabular-nums; }
+svg.timeline { display: block; width: 100%; height: 22px; }
+svg .span-up { fill: var(--good); }
+svg .span-down { fill: var(--critical); }
+svg .frame { fill: none; stroke: var(--grid); }
+footer { margin-top: 3rem; color: var(--ink-muted); font-size: .8rem; }
+"""
+
+_JS = """
+(function () {
+  var root = document.documentElement;
+  var button = document.getElementById('theme-toggle');
+  function current() {
+    var set = root.getAttribute('data-theme');
+    if (set) return set;
+    var dark = window.matchMedia &&
+      window.matchMedia('(prefers-color-scheme: dark)').matches;
+    return dark ? 'dark' : 'light';
+  }
+  function label() {
+    button.textContent = current() === 'dark' ? 'Light mode' : 'Dark mode';
+  }
+  button.addEventListener('click', function () {
+    root.setAttribute('data-theme',
+      current() === 'dark' ? 'light' : 'dark');
+    label();
+  });
+  label();
+})();
+"""
+
+
+# ----------------------------------------------------------------------
+# shared pieces
+# ----------------------------------------------------------------------
+def _chips(record: Any) -> str:
+    pairs: list[tuple[str, Any]] = [
+        ("kind", record.kind),
+        ("command", record.command),
+        ("recorded", record.created_at.split(".")[0].replace("T", " ")),
+    ]
+    for key in ("seed", "chaos_seed", "policy", "config", "scenario",
+                "git_sha", "baseline", "bench_index", "source", "target"):
+        value = record.lineage.get(key)
+        if value is not None:
+            pairs.append((key.replace("_", " "), value))
+    rendered = "".join(
+        f'<span class="chip">{_esc(key)} <b>{_esc(value)}</b></span>'
+        for key, value in pairs
+    )
+    return f'<div class="chips">{rendered}</div>'
+
+
+def _callout(status: str, icon: str, word: str, detail: str) -> str:
+    """A status banner: color + icon + word, never color alone."""
+    return (
+        f'<div class="callout {status}"><span class="icon">{icon} '
+        f'{_esc(word)}</span><span>{detail}</span></div>'
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1 (static site characteristics)
+# ----------------------------------------------------------------------
+def _table1_section() -> str:
+    from repro.failures.profiles import testbed_profiles
+
+    rows = []
+    for p in testbed_profiles():
+        maintenance = (
+            f"{p.maintenance.duration_hours:g} h / "
+            f"{p.maintenance.interval_days:g} d"
+            if p.maintenance else "-"
+        )
+        rows.append(
+            f"<tr><td>{p.site_id} {_esc(p.name)}</td>"
+            f"<td>{p.mttf_days:.1f}</td>"
+            f"<td>{p.hardware_fraction * 100:.0f}%</td>"
+            f"<td>{p.restart_minutes:.1f}</td>"
+            f"<td>{p.repair_constant_hours:.1f}</td>"
+            f"<td>{p.repair_exponential_hours:.1f}</td>"
+            f"<td>{_esc(maintenance)}</td></tr>"
+        )
+    return (
+        "<h2>Table 1 — site characteristics</h2>"
+        '<p class="note">The paper’s testbed, as simulated: '
+        "exponential failures, hardware/software split, preventive "
+        "maintenance.</p>"
+        "<table><thead><tr><th>site</th><th>MTTF (d)</th><th>hw</th>"
+        "<th>restart (min)</th><th>repair c (h)</th><th>repair e (h)</th>"
+        "<th>maintenance</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+# ----------------------------------------------------------------------
+# study runs
+# ----------------------------------------------------------------------
+def _grid(
+    title: str,
+    note: str,
+    measured: Mapping[tuple[str, str], Optional[float]],
+    paper: Mapping[str, Mapping[str, Optional[float]]],
+    policies: Sequence[str],
+    config_keys: Sequence[str],
+    fmt,
+) -> str:
+    head = "".join(f"<th>{_esc(p)}</th>" for p in policies)
+    rows = []
+    for key in config_keys:
+        cells = []
+        for policy in policies:
+            value = measured.get((key, policy))
+            published = paper.get(key, {}).get(policy, None)
+            cell = _esc(fmt(value)) if (key, policy) in measured else "·"
+            extra = (
+                f'<span class="paper">paper {_esc(fmt(published))}</span>'
+                if key in paper else ""
+            )
+            cells.append(f"<td>{cell}{extra}</td>")
+        rows.append(
+            f"<tr><td>{_esc(_config_label(key))}</td>{''.join(cells)}</tr>"
+        )
+    return (
+        f"<h3>{_esc(title)}</h3>"
+        f'<p class="note">{note}</p>'
+        f"<table><thead><tr><th>configuration</th>{head}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _config_label(key: str) -> str:
+    from repro.experiments.configs import CONFIGURATIONS
+
+    config = CONFIGURATIONS.get(key)
+    return config.label if config is not None else key
+
+
+def _study_tables(cells: Mapping[tuple[str, str], Any]) -> str:
+    from repro.experiments.tables import PAPER_TABLE_2, PAPER_TABLE_3
+
+    config_keys = sorted({config for config, _ in cells})
+    policies = sorted(
+        {policy for _, policy in cells},
+        key=lambda p: _policy_rank(p),
+    )
+    unavail = {
+        key: cell.result.unavailability for key, cell in cells.items()
+    }
+    down: dict[tuple[str, str], Optional[float]] = {}
+    for key, cell in cells.items():
+        if cell.result.down_periods == 0:
+            down[key] = None
+        else:
+            down[key] = cell.result.mean_down_duration / 24.0
+    return (
+        _grid(
+            "Table 2 — replicated file unavailability",
+            "Fraction of time no quorum could be assembled; the small "
+            "figure is the published 1988 value.",
+            unavail, PAPER_TABLE_2, policies, config_keys, _unavail,
+        )
+        + _grid(
+            "Table 3 — mean duration of unavailable periods (days)",
+            "“-” means the cell never became unavailable, as in "
+            "the paper’s configuration E.",
+            down, PAPER_TABLE_3, policies, config_keys, _days,
+        )
+    )
+
+
+def _policy_rank(policy: str) -> tuple[int, str]:
+    from repro.core.registry import PAPER_POLICIES
+
+    try:
+        return (list(PAPER_POLICIES).index(policy), policy)
+    except ValueError:
+        return (len(PAPER_POLICIES), policy)
+
+
+# ----------------------------------------------------------------------
+# timelines
+# ----------------------------------------------------------------------
+_HATCH_DEF = (
+    '<defs><pattern id="hatch" width="5" height="5" '
+    'patternTransform="rotate(45)" patternUnits="userSpaceOnUse">'
+    '<rect width="5" height="5" fill="var(--critical)"></rect>'
+    '<line x1="0" y1="0" x2="0" y2="5" stroke="var(--surface)" '
+    'stroke-width="1.5"></line></pattern></defs>'
+)
+
+
+def _timeline_svg(doc: Mapping[str, Any]) -> str:
+    spans = doc.get("spans") or []
+    observed = doc.get("observed") or {}
+    start = float(observed.get("start", 0.0))
+    end = float(observed.get("end", start))
+    width = end - start
+    unit = "d" if doc.get("unit") == "time" else str(doc.get("unit", ""))
+    if width <= 0 or not spans:
+        return '<p class="note">no observed window</p>'
+    parts = ['<svg class="timeline" viewBox="0 0 1000 22" '
+             'preserveAspectRatio="none" role="img">', _HATCH_DEF]
+    for span in spans:
+        s = float(span["start"])
+        e = float(span["end"])
+        if e <= s:
+            continue
+        x = (s - start) / width * 1000
+        w = (e - s) / width * 1000
+        up = bool(span.get("available"))
+        fill = ' fill="url(#hatch)"' if not up else ""
+        state = "available" if up else "UNAVAILABLE"
+        parts.append(
+            f'<rect class="{"span-up" if up else "span-down"}"{fill} '
+            f'x="{x:.2f}" y="2" width="{max(w, 1.2):.2f}" height="18" '
+            f'rx="2"><title>{state} {s:.3f}–{e:.3f} {unit} '
+            f'({e - s:.3f} {unit})</title></rect>'
+        )
+    parts.append('<rect class="frame" x="0" y="1" width="999" '
+                 'height="20" rx="3"></rect></svg>')
+    return "".join(parts)
+
+
+_TIMELINE_LEGEND = (
+    '<div class="legend">'
+    '<span><span class="swatch" style="background:var(--good)"></span>'
+    "✓ available</span>"
+    '<span><span class="swatch" style="background:'
+    "repeating-linear-gradient(45deg, var(--critical), var(--critical) "
+    '3px, var(--surface) 3px, var(--surface) 5px)"></span>'
+    "✗ unavailable</span></div>"
+)
+
+
+def _timelines_section(
+    heading: str,
+    by_policy: Mapping[str, Mapping[str, Any]],
+) -> str:
+    if not by_policy:
+        return ""
+    rows = []
+    for policy, doc in sorted(by_policy.items()):
+        unavailability = doc.get("unavailability")
+        measure = (
+            f"u = {float(unavailability):.6f}"
+            if unavailability is not None else ""
+        )
+        rows.append(
+            f'<span class="name">{_esc(policy)}</span>'
+            f"{_timeline_svg(doc)}"
+            f'<span class="value">{_esc(measure)}</span>'
+        )
+    return (
+        f"<h3>{_esc(heading)}</h3>{_TIMELINE_LEGEND}"
+        f'<div class="timeline-grid">{"".join(rows)}</div>'
+    )
+
+
+def _study_timelines(timelines_doc: Mapping[str, Any]) -> str:
+    configurations = timelines_doc.get("configurations") or {}
+    if not configurations:
+        return ""
+    out = ["<h2>Availability timelines</h2>",
+           '<p class="note">Quorum verdicts folded into alternating '
+           "available/unavailable spans, one strip per policy; hover a "
+           "span for its interval.</p>"]
+    for config, by_policy in sorted(configurations.items()):
+        out.append(_timelines_section(
+            f"Configuration {_config_label(config)}", by_policy
+        ))
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# metrics / phase breakdown
+# ----------------------------------------------------------------------
+def _phase_section(metrics_doc: Mapping[str, Any]) -> str:
+    series = metrics_doc.get("series") or []
+    phases = [
+        entry for entry in series
+        if entry.get("name") == "prof.phase.seconds"
+        and entry.get("labels", {}).get("phase")
+    ]
+    if not phases:
+        return ""
+    totals: dict[str, float] = {}
+    for entry in phases:
+        phase = str(entry["labels"]["phase"])
+        totals[phase] = totals.get(phase, 0.0) + float(entry.get("sum", 0.0))
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1])[:20]
+    top = ranked[0][1] if ranked else 1.0
+    rows = []
+    for phase, seconds in ranked:
+        pct = 0.0 if top <= 0 else seconds / top * 100
+        rows.append(
+            f'<span class="name">{_esc(phase)}</span>'
+            f'<span class="track"><span class="fill" '
+            f'style="width:{max(pct, 0.5):.1f}%; display:block">'
+            f"</span></span>"
+            f'<span class="value">{seconds:.3f} s</span>'
+        )
+    dropped = len(totals) - len(ranked)
+    note = (
+        f'<p class="note">top {len(ranked)} phases by total seconds '
+        f"({dropped} more elided)</p>" if dropped > 0 else ""
+    )
+    return (
+        "<h2>Phase breakdown</h2>"
+        '<p class="note">Wall-clock seconds per <code>prof.*</code> '
+        "phase, from the run’s metrics dump.</p>"
+        f'<div class="bars">{"".join(rows)}</div>{note}'
+    )
+
+
+# ----------------------------------------------------------------------
+# per-kind sections
+# ----------------------------------------------------------------------
+def _study_section(record: Any) -> str:
+    cells = record.load_study_cells()
+    failed = int(record.summary.get("failed_cells", 0) or 0)
+    parts = [_study_tables(cells)]
+    if failed:
+        parts.insert(0, _callout(
+            "warning", "⚠", "incomplete",
+            f"{failed} cell(s) failed and are missing from the grids.",
+        ))
+    if "timelines" in record.artifacts:
+        parts.append(_study_timelines(record.load_json("timelines")))
+    if "metrics" in record.artifacts:
+        parts.append(_phase_section(record.load_json("metrics")))
+    return "".join(parts)
+
+
+def _chaos_section(record: Any) -> str:
+    doc = record.load_json("chaos")
+    violation = doc.get("violation")
+    if doc.get("ok", violation is None):
+        banner = _callout(
+            "good", "✓", "invariants held",
+            f"{doc.get('operations', '?')} operations, "
+            f"{doc.get('granted', '?')} granted / "
+            f"{doc.get('denied', '?')} denied, no safety violation.",
+        )
+    else:
+        detail = violation if isinstance(violation, str) else json.dumps(
+            violation, sort_keys=True
+        )
+        banner = _callout(
+            "critical", "✗", "INVARIANT VIOLATED", _esc(detail)
+        )
+    rows = "".join(
+        f"<tr><td>{_esc(key.replace('_', ' '))}</td>"
+        f"<td>{_esc(doc.get(key))}</td></tr>"
+        for key in ("policy", "seed", "config", "steps", "operations",
+                    "granted", "denied", "aborted", "stale_commits",
+                    "faults_injected", "messages_sent")
+        if doc.get(key) is not None
+    )
+    table = (
+        f"<table><tbody>{rows}</tbody></table>" if rows else ""
+    )
+    timelines = ""
+    if "trace" in record.artifacts:
+        timelines = _trace_timelines(record, "Availability timeline")
+    return banner + table + timelines
+
+
+def _trace_timelines(record: Any, heading: str) -> str:
+    from repro.obs.analysis.timeline import build_timelines
+    from repro.obs.tracer import iter_jsonl
+
+    path = record.artifact_path("trace")
+    timelines = build_timelines(iter_jsonl(path))
+    return _timelines_section(
+        heading, {p: t.to_dict() for p, t in timelines.items()}
+    )
+
+
+def _scenario_section(record: Any) -> str:
+    summary = record.summary
+    rows = "".join(
+        f"<tr><td>{_esc(key)}</td><td>{_esc(summary.get(key))}</td></tr>"
+        for key in ("scenario", "policy", "records", "decisions", "denied")
+        if summary.get(key) is not None
+    )
+    return (
+        f"<table><tbody>{rows}</tbody></table>"
+        + _trace_timelines(record, "Decision timeline")
+    )
+
+
+def _bench_section(record: Any) -> str:
+    doc = record.load_json("bench")
+    rows = []
+    for entry in doc.get("benchmarks", []):
+        rows.append(
+            f"<tr><td>{_esc(entry.get('name'))}</td>"
+            f"<td>{float(entry.get('median', 0)):.6f}</td>"
+            f"<td>{float(entry.get('iqr', 0)):.6f}</td>"
+            f"<td>{entry.get('rounds', '-')}</td></tr>"
+        )
+    return (
+        '<p class="note">Benchmark medians are seconds per round; IQR '
+        "is the noise term the regression gate compares against.</p>"
+        "<table><thead><tr><th>benchmark</th><th>median (s)</th>"
+        "<th>IQR (s)</th><th>rounds</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _profile_section(record: Any) -> str:
+    doc = record.load_json("profile")
+    hot = doc.get("hot") or []
+    rows = []
+    for entry in hot[:15]:
+        rows.append(
+            f"<tr><td>{_esc(entry.get('name'))} "
+            f'<span class="paper">{_esc(entry.get("location", ""))}</span>'
+            f"</td>"
+            f"<td>{float(entry.get('own_seconds', 0)):.4f}</td>"
+            f"<td>{float(entry.get('cumulative_seconds', 0)):.4f}</td>"
+            f"<td>{entry.get('calls', '-')}</td></tr>"
+        )
+    header = (
+        f'<p class="note">{_esc(doc.get("target", "?"))} profiled with '
+        f'{_esc(doc.get("engine", "?"))}, '
+        f'{float(doc.get("seconds", 0)):.3f} s wall-clock.</p>'
+    )
+    table = (
+        "<table><thead><tr><th>function</th><th>self (s)</th>"
+        "<th>cumulative (s)</th><th>calls</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        if rows else '<p class="note">no hot functions recorded</p>'
+    )
+    return header + table
+
+
+_SECTIONS = {
+    "study": _study_section,
+    "chaos": _chaos_section,
+    "scenario": _scenario_section,
+    "bench": _bench_section,
+    "profile": _profile_section,
+}
+
+
+def _run_section(record: Any) -> str:
+    try:
+        renderer = _SECTIONS.get(record.kind)
+        if renderer is None:
+            body = (
+                f'<p class="note">no renderer for kind '
+                f"{_esc(record.kind)}</p>"
+            )
+        else:
+            body = renderer(record)
+    except ConfigurationError as exc:
+        body = _callout("warning", "⚠", "unrenderable", _esc(exc))
+    return (
+        f'<section class="run" id="run-{_esc(record.run_id)}">'
+        f"<h2>Run <code>{_esc(record.run_id)}</code></h2>"
+        f"{_chips(record)}{body}</section>"
+    )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def render_report(
+    records: Iterable[Any],
+    title: str = "Dynamic voting — recorded results",
+) -> str:
+    """Render *records* (run records) into one self-contained HTML page.
+
+    Raises:
+        ConfigurationError: no records were given.
+    """
+    records = list(records)
+    if not records:
+        raise ConfigurationError("report needs at least one run")
+    sections = "".join(_run_section(record) for record in records)
+    study_present = any(record.kind == "study" for record in records)
+    table1 = _table1_section() if study_present else ""
+    count = len(records)
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<div class="topbar">
+<div>
+<h1>{_esc(title)}</h1>
+<p class="subtitle">{count} recorded run{"s" if count != 1 else ""} ·
+“Efficient Dynamic Voting Algorithms” (ICDE 1988) reproduction</p>
+</div>
+<button class="theme" id="theme-toggle" type="button">Dark mode</button>
+</div>
+{table1}
+{sections}
+<footer>Generated by <code>repro report</code>; fully self-contained
+(inline styles, no network access needed).</footer>
+<script>{_JS}</script>
+</body>
+</html>
+"""
+
+
+def write_report(
+    records: Iterable[Any],
+    path: Union[str, pathlib.Path],
+    title: str = "Dynamic voting — recorded results",
+) -> None:
+    """Render and write the report to *path*."""
+    document = render_report(records, title=title)
+    pathlib.Path(path).write_text(document, encoding="utf-8")

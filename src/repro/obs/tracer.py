@@ -31,9 +31,10 @@ import json
 import pathlib
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping, Optional, Union
+from typing import Any, Iterable, Iterator, Mapping, Optional, Union
 
 __all__ = [
+    "FanoutSink",
     "JsonlSink",
     "MemorySink",
     "NullSink",
@@ -119,6 +120,28 @@ class MemorySink:
     def clear(self) -> None:
         """Empty the buffer (the ``emitted`` count is kept)."""
         self._buffer.clear()
+
+
+class FanoutSink:
+    """Forwards every record to several sinks (file + memory + ...)."""
+
+    def __init__(self, sinks: Iterable[Any]):
+        self._sinks = tuple(sinks)
+
+    @property
+    def sinks(self) -> tuple[Any, ...]:
+        """The receiving sinks, in delivery order."""
+        return self._sinks
+
+    def emit(self, record: TraceRecord) -> None:
+        """Deliver *record* to every sink, in order."""
+        for sink in self._sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        """Close every sink, in order."""
+        for sink in self._sinks:
+            sink.close()
 
 
 def _is_gzip_path(path: Union[str, pathlib.Path]) -> bool:

@@ -8,6 +8,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.configs import CONFIGURATIONS
 from repro.experiments.runner import StudyParameters, run_study
 from repro.experiments.study_io import (
+    canonical_study_bytes,
     dump_study,
     load_study,
     study_from_dict,
@@ -73,3 +74,32 @@ class TestStudyIO:
     def test_unreadable_file(self, tmp_path):
         with pytest.raises(ConfigurationError):
             load_study(tmp_path / "absent.json")
+
+
+class TestByteIdentity:
+    """The registry's content addressing relies on dump determinism."""
+
+    def test_repeated_dumps_are_byte_identical(self, cells, tmp_path):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        dump_study(cells, first)
+        dump_study(cells, second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_dump_load_dump_is_byte_identical(self, cells, tmp_path):
+        original = tmp_path / "original.json"
+        dump_study(cells, original)
+        reloaded = load_study(original)
+        again = tmp_path / "again.json"
+        dump_study(reloaded, again)
+        assert original.read_bytes() == again.read_bytes()
+
+    def test_canonical_bytes_match_dump(self, cells, tmp_path):
+        path = tmp_path / "study.json"
+        dump_study(cells, path)
+        assert path.read_bytes() == canonical_study_bytes(cells) + b"\n"
+
+    def test_canonical_bytes_ignore_insertion_order(self, cells):
+        reversed_cells = dict(reversed(list(cells.items())))
+        assert (canonical_study_bytes(reversed_cells)
+                == canonical_study_bytes(cells))

@@ -612,3 +612,143 @@ class TestBench:
         payload = json.loads(dest.read_text())
         assert payload["format"] == "repro-bench-comparison"
         assert payload["status"] == "ok"
+
+
+class TestRunRegistryCommands:
+    """End-to-end coverage for ``--record``, ``runs`` and ``report``."""
+
+    def _scenario_path(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        return root / "examples" / "scenarios" / "configuration_h_split.json"
+
+    def _record_study(self, runs_dir, seed="7", capsys=None):
+        code = main(["study", *FAST, "--seed", seed,
+                     "--record", "--runs-dir", str(runs_dir)])
+        if capsys is not None:
+            capsys.readouterr()
+        return code
+
+    def test_record_then_list_and_show(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._record_study(runs_dir, capsys=capsys) == 0
+        assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "study" in out
+        assert "1 run(s)" in out
+        assert main(["runs", "show", "latest",
+                     "--runs-dir", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest" in out
+        assert "timelines" in out
+
+    def test_identical_seed_rerun_is_idempotent_and_diffs_clean(
+        self, tmp_path, capsys,
+    ):
+        runs_dir = tmp_path / "runs"
+        assert self._record_study(runs_dir, capsys=capsys) == 0
+        assert self._record_study(runs_dir, capsys=capsys) == 0
+        assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 0
+        assert "1 run(s)" in capsys.readouterr().out
+        assert main(["runs", "diff", "latest",
+                     "--runs-dir", str(runs_dir)]) == 0
+        assert "no availability regression" in capsys.readouterr().out
+
+    def test_diff_exits_one_on_injected_regression(self, tmp_path, capsys):
+        import json
+        import pathlib
+
+        runs_dir = tmp_path / "runs"
+        assert self._record_study(runs_dir, capsys=capsys) == 0
+        run_dir = next(
+            child for child in pathlib.Path(runs_dir).iterdir()
+            if child.is_dir()
+        )
+        degraded = tmp_path / "degraded"
+        degraded.mkdir()
+        for name in ("record.json", "study.json", "manifest.json"):
+            source = run_dir / name
+            if source.exists():
+                (degraded / name).write_bytes(source.read_bytes())
+        study = json.loads((degraded / "study.json").read_text())
+        for cell in study["cells"]:
+            cell["unavailability"] = cell["unavailability"] * 10 + 0.2
+        (degraded / "study.json").write_text(json.dumps(study))
+        assert main(["runs", "diff", "latest", str(degraded),
+                     "--runs-dir", str(runs_dir)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_diff_json_out(self, tmp_path, capsys):
+        import json
+
+        runs_dir = tmp_path / "runs"
+        dest = tmp_path / "diff.json"
+        assert self._record_study(runs_dir, capsys=capsys) == 0
+        assert main(["runs", "diff", "latest", "--runs-dir", str(runs_dir),
+                     "--json-out", str(dest)]) == 0
+        payload = json.loads(dest.read_text())
+        assert payload["format"] == "repro-run-diff"
+
+    def test_unknown_run_exits_two(self, tmp_path, capsys):
+        assert main(["runs", "show", "feedbeef",
+                     "--runs-dir", str(tmp_path / "runs")]) == 2
+        assert capsys.readouterr().err
+
+    def test_gc_keeps_the_newest(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._record_study(runs_dir, seed="1", capsys=capsys) == 0
+        assert self._record_study(runs_dir, seed="2", capsys=capsys) == 0
+        assert main(["runs", "gc", "--keep-last", "1",
+                     "--runs-dir", str(runs_dir)]) == 0
+        assert "deleted 1 run(s)" in capsys.readouterr().out
+        assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 0
+        assert "1 run(s)" in capsys.readouterr().out
+
+    def test_report_is_self_contained(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        dest = tmp_path / "report.html"
+        assert self._record_study(runs_dir, capsys=capsys) == 0
+        assert main(["report", "latest", "--out", str(dest),
+                     "--runs-dir", str(runs_dir)]) == 0
+        html = dest.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Table 2" in html
+        assert "http" not in html
+
+    def test_report_unwritable_out_exits_two(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._record_study(runs_dir, capsys=capsys) == 0
+        assert main(["report", "latest",
+                     "--out", str(tmp_path / "no" / "such" / "dir" / "r.html"),
+                     "--runs-dir", str(runs_dir)]) == 2
+        assert capsys.readouterr().err
+
+    def test_record_unwritable_runs_dir_exits_two(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        assert main(["study", *FAST, "--record",
+                     "--runs-dir", str(blocker)]) == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_adhoc_trace_record_rejected(self, capsys):
+        assert main(["trace", "--record"]) == 2
+        assert "scenario" in capsys.readouterr().err
+
+    def test_scenario_trace_records(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert main(["trace", str(self._scenario_path()), "--record",
+                     "--runs-dir", str(runs_dir),
+                     "--out", str(tmp_path / "trace.jsonl")]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 0
+        assert "scenario" in capsys.readouterr().out
+
+    def test_chaos_run_records(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert main(["chaos", "run", "--policy", "DV", "--seed", "3",
+                     "--steps", "200", "--record",
+                     "--runs-dir", str(runs_dir)]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 0
+        assert "chaos" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Unit tests for the self-contained HTML results explorer."""
+
+import re
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.runner import StudyParameters, run_study
+from repro.obs.registry import RunRegistry
+from repro.obs.report import render_report, write_report
+
+
+@pytest.fixture(scope="module")
+def params():
+    return StudyParameters(horizon=2000.0, warmup=360.0, batches=2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def cells(params):
+    return run_study(
+        params,
+        configurations=[CONFIGURATIONS["A"], CONFIGURATIONS["H"]],
+        policies=("MCV", "LDV"),
+        capture_timelines=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def study_record(tmp_path_factory, cells, params):
+    registry = RunRegistry(tmp_path_factory.mktemp("runs"))
+    return registry.record_study(
+        cells, params, ("MCV", "LDV"), ("A", "H"),
+        command="study", timelines=cells.timelines,
+    )
+
+
+class TestRenderReport:
+    def test_is_a_single_self_contained_document(self, study_record):
+        html = render_report([study_record])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http" not in html
+        assert "<script src" not in html
+        assert re.search(r"<link[^>]*href", html) is None
+
+    def test_renders_paper_tables_and_timelines(self, study_record):
+        html = render_report([study_record])
+        assert "Table 1" in html
+        assert "Table 2" in html
+        assert "Table 3" in html
+        assert "<svg" in html
+        for policy in ("MCV", "LDV"):
+            assert policy in html
+        for config in ("A", "H"):
+            assert f"configuration {config}" in html.lower() or config in html
+
+    def test_run_lineage_is_shown(self, study_record):
+        html = render_report([study_record])
+        assert study_record.run_id in html
+        assert "seed" in html
+
+    def test_balanced_markup(self, study_record):
+        html = render_report([study_record])
+        for tag in ("section", "table", "svg", "div", "html", "body"):
+            opened = len(re.findall(rf"<{tag}[ >]", html))
+            closed = html.count(f"</{tag}>")
+            assert opened == closed, tag
+
+    def test_empty_record_list_raises(self):
+        with pytest.raises(ConfigurationError):
+            render_report([])
+
+    def test_write_report_creates_the_file(self, study_record, tmp_path):
+        path = tmp_path / "report.html"
+        write_report([study_record], path, title="smoke")
+        text = path.read_text()
+        assert "smoke" in text
+        assert "http" not in text

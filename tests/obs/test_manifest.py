@@ -2,8 +2,23 @@
 
 import json
 
+import pytest
+
 from repro.experiments.runner import StudyParameters
-from repro.obs.manifest import RunManifest, build_manifest, git_revision
+from repro.obs import manifest as manifest_module
+from repro.obs.manifest import (
+    RunManifest,
+    build_manifest,
+    clear_revision_cache,
+    git_revision,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_revision_cache():
+    clear_revision_cache()
+    yield
+    clear_revision_cache()
 
 
 class TestGitRevision:
@@ -14,6 +29,44 @@ class TestGitRevision:
     def test_outside_checkout_returns_none(self, tmp_path):
         sha, dirty = git_revision(tmp_path)
         assert (sha, dirty) == (None, None)
+
+    def test_result_is_cached_per_process(self, tmp_path, monkeypatch):
+        calls = []
+        real_query = manifest_module._query_git
+
+        def counting_query(repo_dir):
+            calls.append(str(repo_dir))
+            return real_query(repo_dir)
+
+        monkeypatch.setattr(manifest_module, "_query_git", counting_query)
+        first = git_revision(tmp_path)
+        second = git_revision(tmp_path)
+        assert first == second == (None, None)
+        assert len(calls) == 1
+
+    def test_cache_is_keyed_by_directory(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            manifest_module, "_query_git",
+            lambda repo_dir: (calls.append(str(repo_dir)), (None, None))[1],
+        )
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        git_revision(tmp_path / "a")
+        git_revision(tmp_path / "b")
+        git_revision(tmp_path / "a")
+        assert len(calls) == 2
+
+    def test_clear_revision_cache_forces_requery(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            manifest_module, "_query_git",
+            lambda repo_dir: (calls.append(str(repo_dir)), (None, None))[1],
+        )
+        git_revision(tmp_path)
+        clear_revision_cache()
+        git_revision(tmp_path)
+        assert len(calls) == 2
 
 
 class TestBuildManifest:

@@ -1,0 +1,171 @@
+"""Unit tests for the content-addressed run registry and run diffing."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import CONFIGURATIONS
+from repro.experiments.runner import StudyParameters, run_study
+from repro.obs.registry import (
+    RunRegistry,
+    diff_runs,
+    format_diff,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return StudyParameters(horizon=2000.0, warmup=360.0, batches=2, seed=11)
+
+
+@pytest.fixture(scope="module")
+def cells(params):
+    return run_study(
+        params,
+        configurations=[CONFIGURATIONS["A"]],
+        policies=("MCV", "LDV"),
+        capture_timelines=True,
+    )
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return RunRegistry(tmp_path / "runs")
+
+
+def _record(registry, cells, params, **kwargs):
+    return registry.record_study(
+        cells, params, ("MCV", "LDV"), ("A",), command="study", **kwargs
+    )
+
+
+class TestRecording:
+    def test_record_study_persists_everything(self, registry, cells, params):
+        record = _record(registry, cells, params, timelines=cells.timelines)
+        assert record.kind == "study"
+        assert len(record.run_id) == 16
+        assert record.path.is_dir()
+        assert (record.path / "record.json").is_file()
+        study = record.load_json("study")
+        assert study["format"] == "repro-study"
+        timelines = record.load_json("timelines")
+        assert "A" in timelines["configurations"]
+        manifest = record.load_json("manifest")
+        assert manifest["seed"] == 11
+
+    def test_identical_study_is_idempotent(self, registry, cells, params):
+        first = _record(registry, cells, params)
+        second = _record(registry, cells, params)
+        assert first.run_id == second.run_id
+        assert len(registry.list_runs()) == 1
+        index_lines = [
+            line
+            for line in (registry.root / "index.jsonl").read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(index_lines) == 1
+
+    def test_different_seed_changes_the_id(self, registry, cells, params):
+        first = _record(registry, cells, params)
+        other_params = StudyParameters(
+            horizon=2000.0, warmup=360.0, batches=2, seed=12
+        )
+        second = _record(registry, cells, other_params)
+        assert first.run_id != second.run_id
+        assert len(registry.list_runs()) == 2
+
+    def test_load_study_cells_round_trips(self, registry, cells, params):
+        record = _record(registry, cells, params)
+        loaded = record.load_study_cells()
+        assert set(loaded) == set(cells)
+        for key in cells:
+            assert loaded[key].unavailability == cells[key].unavailability
+
+
+class TestResolve:
+    def test_by_exact_id_prefix_and_latest(self, registry, cells, params):
+        record = _record(registry, cells, params)
+        assert registry.resolve(record.run_id).run_id == record.run_id
+        assert registry.resolve(record.run_id[:6]).run_id == record.run_id
+        assert registry.resolve("latest").run_id == record.run_id
+
+    def test_by_run_directory_path(self, registry, cells, params):
+        record = _record(registry, cells, params)
+        assert registry.resolve(str(record.path)).run_id == record.run_id
+        assert (registry.resolve(str(record.path / "record.json")).run_id
+                == record.run_id)
+
+    def test_unknown_token_raises(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.resolve("doesnotexist")
+        with pytest.raises(ConfigurationError):
+            registry.resolve("latest")
+
+    def test_short_prefix_raises(self, registry, cells, params):
+        record = _record(registry, cells, params)
+        with pytest.raises(ConfigurationError):
+            registry.resolve(record.run_id[:2])
+
+
+class TestGc:
+    def test_keeps_the_newest_runs(self, registry, cells, params):
+        ids = []
+        for seed in (1, 2, 3):
+            p = StudyParameters(
+                horizon=2000.0, warmup=360.0, batches=2, seed=seed
+            )
+            ids.append(_record(registry, cells, p).run_id)
+        doomed = registry.gc(keep_last=2)
+        assert [record.run_id for record in doomed] == [ids[0]]
+        remaining = {record.run_id for record in registry.list_runs()}
+        assert remaining == set(ids[1:])
+        assert not (registry.root / ids[0]).exists()
+
+    def test_dry_run_deletes_nothing(self, registry, cells, params):
+        _record(registry, cells, params)
+        doomed = registry.gc(keep_last=0, dry_run=True)
+        assert len(doomed) == 1
+        assert len(registry.list_runs()) == 1
+
+
+class TestDiff:
+    def test_identical_runs_have_no_regressions(self, registry, cells, params):
+        record = _record(registry, cells, params)
+        diff = diff_runs(record, record)
+        assert diff.ok
+        assert not diff.regressions
+        assert len(diff.cells) == 2
+        assert all(cell.verdict == "within-noise" for cell in diff.cells)
+
+    def test_injected_regression_is_flagged(self, registry, cells, params):
+        record = _record(registry, cells, params)
+        degraded_dir = registry.root / "degraded"
+        degraded_dir.mkdir()
+        for name in ("record.json", "study.json", "manifest.json"):
+            source = record.path / name
+            if source.exists():
+                degraded_dir.joinpath(name).write_bytes(source.read_bytes())
+        study = json.loads((degraded_dir / "study.json").read_text())
+        for cell in study["cells"]:
+            cell["unavailability"] = cell["unavailability"] * 10 + 0.2
+        (degraded_dir / "study.json").write_text(json.dumps(study))
+        degraded = registry.resolve(str(degraded_dir))
+        diff = diff_runs(record, degraded)
+        assert not diff.ok
+        assert diff.regressions
+        text = format_diff(diff)
+        assert "!" in text
+
+    def test_thresholds_are_validated(self, registry, cells, params):
+        record = _record(registry, cells, params)
+        with pytest.raises(ConfigurationError):
+            diff_runs(record, record, max_regression=-0.1)
+        with pytest.raises(ConfigurationError):
+            diff_runs(record, record, noise_factor=-1.0)
+
+    def test_to_dict_is_json_serialisable(self, registry, cells, params):
+        record = _record(registry, cells, params)
+        document = diff_runs(record, record).to_dict()
+        json.dumps(document)
+        assert document["format"] == "repro-run-diff"
