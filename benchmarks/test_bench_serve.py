@@ -1,0 +1,113 @@
+"""Warm-index listing throughput for the results explorer.
+
+The acceptance bar for ``repro serve``: listing a registry must be a
+cache-file read, not a registry walk.  Over a synthetic 1000-run
+registry the warm path (``SummaryCache.cards`` + ``query_cards``) may
+touch exactly two files — the cache document and a ``stat``/head-read
+of ``index.jsonl`` — and must never open a per-run ``record.json``.
+The guard proves that the hard way: every ``record.json`` is deleted
+after warming, and the listing must not notice.
+
+``REPRO_SERVE_RUNS`` overrides the synthetic registry size (default
+1000) for quick local runs.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.obs.registry.store import RunRegistry
+from repro.obs.serve import SummaryCache, query_cards
+
+RUNS = int(os.environ.get("REPRO_SERVE_RUNS", "1000"))
+KINDS = ("study", "chaos", "bench")
+POLICIES = ("MCV", "DV", "LDV", "ODV", "TDV", "OTDV")
+
+
+def _synthetic_registry(root) -> RunRegistry:
+    """A registry of ``RUNS`` runs written the way recordings land on
+    disk: one run directory with a ``record.json`` each, plus the
+    append-only ``index.jsonl``."""
+    registry = RunRegistry(root)
+    root.mkdir(parents=True, exist_ok=True)
+    rng = random.Random(1988)
+    with registry.index_path.open("w") as index:
+        for i in range(RUNS):
+            run_id = f"{i:016x}"
+            kind = KINDS[i % len(KINDS)]
+            line = {
+                "run_id": run_id,
+                "kind": kind,
+                "command": kind,
+                "created_at": f"2026-08-{1 + i % 28:02d}T00:00:00Z",
+                "summary": {
+                    "configurations": ["A", "B"],
+                    "policies": list(POLICIES[: 2 + i % 4]),
+                    "cells": 2 + i % 4,
+                },
+                "lineage": {"seed": rng.randrange(10_000)},
+                "artifacts": {},
+            }
+            run_dir = root / run_id
+            run_dir.mkdir()
+            (run_dir / "record.json").write_text(json.dumps(line))
+            index.write(json.dumps(line, sort_keys=True) + "\n")
+    return registry
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    return _synthetic_registry(tmp_path_factory.mktemp("serve") / "runs")
+
+
+@pytest.fixture(scope="module")
+def warm_cache(registry):
+    cache = SummaryCache(registry)
+    cache.warm()
+    return cache
+
+
+def test_bench_warm_listing(benchmark, warm_cache):
+    """The hot path behind ``repro runs list`` and ``GET /api/runs``:
+    a warm cache read plus one filtered/sorted/paginated page."""
+
+    def listing():
+        cards = warm_cache.cards()
+        return query_cards(
+            cards, kind="study", sort="time", descending=True, limit=50
+        )
+
+    total, page = benchmark(listing)
+    assert total == sum(1 for i in range(RUNS) if i % len(KINDS) == 0)
+    assert len(page) == min(50, total)
+
+
+def test_bench_cold_rebuild(benchmark, registry, tmp_path):
+    """Full rebuild from the index — the once-per-``gc`` worst case.
+    Each round gets a cacheless view of the same index."""
+
+    def rebuild():
+        cache = SummaryCache(registry)
+        try:
+            cache.path.unlink()
+        except OSError:
+            pass
+        return len(cache.cards())
+
+    count = benchmark(rebuild)
+    assert count == RUNS
+
+
+def test_guard_warm_listing_reads_no_records(registry, warm_cache):
+    """Deleting every per-run ``record.json`` after warming must be
+    invisible to the listing — the cache hit path does zero per-run
+    I/O."""
+    assert warm_cache.cards()  # ensure the cache document exists
+    for i in range(RUNS):
+        (registry.root / f"{i:016x}" / "record.json").unlink()
+    cards = warm_cache.cards()
+    assert len(cards) == RUNS
+    assert cards[0]["run_id"] == f"{0:016x}"
+    assert cards[-1]["run_id"] == f"{RUNS - 1:016x}"

@@ -34,6 +34,12 @@ Commands regenerate everything in the paper from the terminal:
 * ``repro report``    — render recorded runs as one self-contained
   HTML file (tables vs paper, availability timelines, phase
   breakdowns, chaos verdicts) that opens offline;
+* ``repro serve``     — the registry as a web service: a paginated run
+  index over pregenerated summary cards, per-run pages reusing the
+  report renderer, noise-gated cross-run diff views, and a versioned
+  JSON API (``/api/runs``, ``/healthz``, ``/metricsz``), all stdlib
+  WSGI with request telemetry recorded as ``serve.*`` metrics;
+  ``repro serve warm`` pregenerates the summary cache and exits;
 * ``repro demo``      — the engine walkthrough from Section 2's example.
 
 Observability: a global ``--log-level`` flag configures the package
@@ -415,11 +421,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="registry root (default .repro/runs, or "
                             "REPRO_RUNS_DIR)")
 
-    q = rsub.add_parser("list", help="every recorded run, oldest first")
+    q = rsub.add_parser(
+        "list",
+        help="recorded runs, from the pregenerated summary cache",
+    )
     q.add_argument("--kind", default=None,
                    choices=("study", "scenario", "chaos", "bench",
                             "profile"),
                    help="restrict to one run kind")
+    q.add_argument("--sort", default="time",
+                   choices=("time", "kind", "id"),
+                   help="listing order: time = recording order "
+                        "(default), kind groups by run kind, id is "
+                        "lexicographic")
+    q.add_argument("--limit", type=int, default=None,
+                   help="show at most N runs")
+    q.add_argument("--offset", type=int, default=0,
+                   help="skip the first N runs (after sorting)")
     add_runs_dir(q)
 
     q = rsub.add_parser(
@@ -480,6 +498,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--title", default="Dynamic voting — recorded results",
                    help="document title")
     add_runs_dir(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve the run registry as a browsable web explorer "
+             "(HTML pages + JSON API); 'repro serve warm' pregenerates "
+             "the summary cache and exits",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8137,
+                   help="TCP port (default 8137; 0 picks a free one)")
+    p.add_argument("--adopt", action="append", metavar="RUN_DIR",
+                   default=None,
+                   help="copy an external run directory (e.g. "
+                        "results/baseline_run) into the registry "
+                        "before serving (repeatable)")
+    add_runs_dir(p)
+    ssub = p.add_subparsers(dest="serve_command", required=False)
+    warm = ssub.add_parser(
+        "warm",
+        help="pregenerate the summary cache over the current index "
+             "position, print its size, and exit",
+    )
+    # Accept the registry options after the subcommand too, so
+    # `repro serve warm --runs-dir X --adopt Y` reads naturally.
+    # SUPPRESS defaults keep unset options from clobbering values the
+    # parent parser already bound (the classic subparser-default trap).
+    warm.add_argument("--adopt", action="append", metavar="RUN_DIR",
+                      default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    warm.add_argument("--runs-dir", metavar="DIR",
+                      default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
     sub.add_parser("demo", help="run the Section 2 worked example")
     return parser
@@ -1645,41 +1694,34 @@ def _record_note(record) -> None:
           file=sys.stderr)
 
 
-def _summarize_run(record) -> str:
-    """One compact ``key=value`` string for the runs listing."""
-    parts = []
-    for key in ("configurations", "policies", "cells", "seed", "horizon",
-                "scenario", "policy", "decisions", "denied", "ok",
-                "violation", "benchmarks", "source", "target", "engine"):
-        value = record.summary.get(key)
-        if value is None or value == []:
-            continue
-        if isinstance(value, list):
-            value = ",".join(str(v) for v in value)
-        parts.append(f"{key}={value}")
-        if len(parts) >= 4:
-            break
-    return " ".join(parts)
-
-
 def _cmd_runs_list(args: argparse.Namespace) -> int:
     from repro.experiments.report import ascii_table
+    from repro.obs.serve.cache import SummaryCache, query_cards
 
     registry = _registry(args)
-    runs = registry.list_runs(kind=args.kind)
-    if not runs:
-        print(f"no runs recorded under {registry.root}")
+    cards = SummaryCache(registry).cards()
+    total, page = query_cards(
+        cards, kind=args.kind, sort=args.sort,
+        limit=args.limit, offset=args.offset,
+    )
+    if not page:
+        print(f"no runs recorded under {registry.root}"
+              if not cards else
+              f"no runs match (of {len(cards)} under {registry.root})")
         return 0
     rows = [
         [
-            record.run_id, record.kind,
-            record.created_at.split("T")[0],
-            _summarize_run(record),
+            card["run_id"], card["kind"],
+            card["created_at"].split("T")[0],
+            card["caption"],
         ]
-        for record in runs
+        for card in page
     ]
     print(ascii_table(["run", "kind", "recorded", "summary"], rows))
-    print(f"{len(runs)} run(s) under {registry.root}")
+    if len(page) != total:
+        print(f"{len(page)} of {total} run(s) under {registry.root}")
+    else:
+        print(f"{total} run(s) under {registry.root}")
     return 0
 
 
@@ -1793,6 +1835,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.serve import create_app, make_http_server
+
+    application = create_app(getattr(args, "runs_dir", None))
+    for run_dir in args.adopt or ():
+        record = application.registry.adopt(run_dir)
+        print(f"adopted {record.kind} run {record.run_id} "
+              f"-> {record.path}", file=sys.stderr)
+    count, fresh = application.cache.warm()
+    if args.serve_command == "warm":
+        state = "already fresh" if fresh else "rebuilt"
+        print(f"summary cache {state}: {count} run(s) under "
+              f"{application.registry.root} -> {application.cache.path}")
+        return 0
+    httpd = make_http_server(application, args.host, args.port)
+    host, port = httpd.server_address[:2]
+    print(f"serving {count} run(s) from {application.registry.root} "
+          f"on http://{host}:{port}/ (Ctrl-C to stop)", file=sys.stderr)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("stopped", file=sys.stderr)
+    finally:
+        httpd.server_close()
+    return 0
+
+
 #: Every ``--...-out``-style flag, preflighted centrally by
 #: :func:`_dispatch` so a doomed write fails before the simulation, not
 #: after it.  New commands inherit the check by reusing these attribute
@@ -1881,7 +1950,7 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             _ensure_writable(value)
     runs_dir = getattr(args, "runs_dir", None)
     if runs_dir and (getattr(args, "record", False)
-                     or args.command in ("runs", "report")):
+                     or args.command in ("runs", "report", "serve")):
         _ensure_dir_writable(runs_dir)
     command = args.command
     if command == "trace" and getattr(args, "record", False) \
@@ -1920,6 +1989,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_runs(args)
     elif command == "report":
         return _cmd_report(args)
+    elif command == "serve":
+        return _cmd_serve(args)
     elif command == "demo":
         _cmd_demo(args)
     else:  # pragma: no cover - argparse enforces choices

@@ -35,6 +35,7 @@ from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "CACHE_DIR_NAME",
     "DEFAULT_ROOT",
     "RUNS_DIR_ENV",
     "RunRecord",
@@ -58,6 +59,10 @@ _ID_LENGTH = 16
 
 #: Shortest accepted id prefix for :meth:`RunRegistry.resolve`.
 _MIN_PREFIX = 4
+
+#: Directory under the registry root holding derived data (the serve
+#: summary cache).  Never scanned for runs — run ids are hex only.
+CACHE_DIR_NAME = ".cache"
 
 
 def canonical_bytes(payload: Any) -> bytes:
@@ -252,6 +257,24 @@ class RunRegistry:
     def index_path(self) -> pathlib.Path:
         """The append-only ``index.jsonl``."""
         return self.root / "index.jsonl"
+
+    @property
+    def cache_dir(self) -> pathlib.Path:
+        """Derived-data directory (``.cache/``) under the root."""
+        return self.root / CACHE_DIR_NAME
+
+    def index_position(self) -> int:
+        """The current byte size of ``index.jsonl`` (0 when absent).
+
+        Because the index is append-only between :meth:`gc` compactions,
+        this is a monotone cursor: a consumer that remembers the
+        position it summarised up to needs to parse only the bytes past
+        it — the invalidation signal the serve summary cache keys on.
+        """
+        try:
+            return self.index_path.stat().st_size
+        except OSError:
+            return 0
 
     # ------------------------------------------------------------------
     # recording
@@ -587,6 +610,99 @@ class RunRegistry:
             ) from exc
         return RunRecord.from_dict(data, path=run_dir)
 
+    def read_index_from(
+        self, offset: int = 0
+    ) -> tuple[list[dict[str, Any]], int]:
+        """Parse complete index lines starting at byte *offset*.
+
+        Returns ``(records, new_offset)`` where *new_offset* points just
+        past the last **complete** (newline-terminated) line consumed.
+        A trailing segment with no newline — the signature of a
+        concurrent writer caught mid-append — is left for the next call
+        instead of raising, matching the truncation tolerance of
+        :func:`repro.obs.tracer.iter_jsonl`.  A complete line that is
+        not JSON is real corruption and raises.
+
+        Raises:
+            ConfigurationError: *offset* is negative or past the file,
+                or a newline-terminated line fails to parse.
+        """
+        if offset < 0:
+            raise ConfigurationError(
+                f"index offset must be >= 0, got {offset}"
+            )
+        try:
+            with self.index_path.open("rb") as handle:
+                handle.seek(offset)
+                data = handle.read()
+        except OSError:
+            if offset == 0:
+                return [], 0
+            raise ConfigurationError(
+                f"no index to read at offset {offset} under {self.root}"
+            ) from None
+        records: list[dict[str, Any]] = []
+        position = offset
+        for raw in data.split(b"\n")[:-1]:  # drop the newline-less tail
+            position += len(raw) + 1
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"corrupt index line at byte {position - len(raw) - 1} "
+                    f"under {self.root}: {exc}"
+                ) from exc
+            if isinstance(payload, dict):
+                records.append(payload)
+        return records, position
+
+    def adopt(self, run_dir: Union[str, pathlib.Path]) -> RunRecord:
+        """Copy an external run directory into this registry.
+
+        *run_dir* is a directory holding a ``record.json`` (for example
+        the committed ``results/baseline_run``).  Its artifacts are
+        copied under ``<root>/<run_id>/`` and the record appended to the
+        index; adopting a run that is already stored is a no-op, like
+        any other recording.
+
+        Raises:
+            ConfigurationError: *run_dir* holds no readable run record,
+                or an artifact it lists is missing.
+        """
+        source = pathlib.Path(run_dir)
+        if source.name == "record.json":
+            source = source.parent
+        record_path = source / "record.json"
+        try:
+            data = json.loads(record_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot adopt {run_dir}: {exc}"
+            ) from exc
+        record = RunRecord.from_dict(data, path=source)
+        destination = self.root / record.run_id
+        if (destination / "record.json").exists():
+            return self.get(record.run_id)
+        try:
+            destination.mkdir(parents=True, exist_ok=True)
+            for file_name in record.artifacts.values():
+                shutil.copyfile(source / file_name,
+                                destination / file_name)
+            shutil.copyfile(record_path, destination / "record.json")
+            with self.index_path.open("a") as handle:
+                handle.write(json.dumps(record.to_dict(),
+                                        sort_keys=True) + "\n")
+                handle.flush()
+        except OSError as exc:
+            shutil.rmtree(destination, ignore_errors=True)
+            raise ConfigurationError(
+                f"cannot adopt {run_dir} into {self.root}: {exc}"
+            ) from exc
+        return self.get(record.run_id)
+
     def list_runs(self, kind: Optional[str] = None) -> list[RunRecord]:
         """Every recorded run, oldest first (the index order).
 
@@ -716,4 +832,7 @@ class RunRegistry:
             raise ConfigurationError(
                 f"cannot rewrite index under {self.root}: {exc}"
             ) from exc
+        # Compaction is the one move that breaks the append-only cursor
+        # contract, so derived summaries must be rebuilt from scratch.
+        shutil.rmtree(self.cache_dir, ignore_errors=True)
         return doomed

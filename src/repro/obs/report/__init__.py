@@ -8,6 +8,20 @@ availability timelines, ``prof.*`` phase breakdowns and chaos
 invariant verdicts, for every run id given.
 """
 
-from repro.obs.report.html import render_report, write_report
+from repro.obs.report.html import (
+    diff_section,
+    render_page,
+    render_report,
+    run_section,
+    table1_section,
+    write_report,
+)
 
-__all__ = ["render_report", "write_report"]
+__all__ = [
+    "diff_section",
+    "render_page",
+    "render_report",
+    "run_section",
+    "table1_section",
+    "write_report",
+]

@@ -23,7 +23,14 @@ from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 
-__all__ = ["render_report", "write_report"]
+__all__ = [
+    "diff_section",
+    "render_page",
+    "render_report",
+    "run_section",
+    "table1_section",
+    "write_report",
+]
 
 
 def _esc(value: Any) -> str:
@@ -138,6 +145,30 @@ svg .span-up { fill: var(--good); }
 svg .span-down { fill: var(--critical); }
 svg .frame { fill: none; stroke: var(--grid); }
 footer { margin-top: 3rem; color: var(--ink-muted); font-size: .8rem; }
+nav.crumbs { margin: 0 0 1rem; color: var(--ink-muted); font-size: .85rem; }
+nav.crumbs a { text-decoration: none; }
+.cards { display: grid; gap: .8rem; margin: 1rem 0;
+  grid-template-columns: repeat(auto-fill, minmax(310px, 1fr)); }
+.card {
+  border: 1px solid var(--grid); border-radius: 10px;
+  background: var(--panel); padding: .7rem .9rem; display: block;
+  color: inherit; text-decoration: none;
+}
+.card:hover { border-color: var(--accent); }
+.card .id { font-family: ui-monospace, monospace; font-size: .85rem; }
+.card .meta { color: var(--ink-2); font-size: .78rem; margin-top: .25rem;
+  overflow-wrap: anywhere; }
+.card .kind { float: right; color: var(--accent); font-size: .78rem;
+  text-transform: uppercase; letter-spacing: .04em; }
+.pager { display: flex; gap: .8rem; align-items: baseline;
+  margin: 1rem 0; color: var(--ink-2); font-size: .85rem; }
+.toolbar { display: flex; flex-wrap: wrap; gap: .5rem;
+  align-items: baseline; margin: .6rem 0; }
+.toolbar a {
+  border: 1px solid var(--grid); border-radius: 6px;
+  padding: .15rem .55rem; font-size: .8rem; text-decoration: none;
+}
+.toolbar a.active { background: var(--accent-soft); }
 """
 
 _JS = """
@@ -196,7 +227,8 @@ def _callout(status: str, icon: str, word: str, detail: str) -> str:
 # ----------------------------------------------------------------------
 # Table 1 (static site characteristics)
 # ----------------------------------------------------------------------
-def _table1_section() -> str:
+def table1_section() -> str:
+    """The paper's Table 1 (static site characteristics) as HTML."""
     from repro.failures.profiles import testbed_profiles
 
     rows = []
@@ -579,7 +611,13 @@ _SECTIONS = {
 }
 
 
-def _run_section(record: Any) -> str:
+def run_section(record: Any) -> str:
+    """One run's full detail block (chips + kind-specific body).
+
+    The same fragment backs ``repro report`` documents and the serve
+    per-run pages; a body that cannot be rendered degrades to a
+    warning callout instead of failing the whole page.
+    """
     try:
         renderer = _SECTIONS.get(record.kind)
         if renderer is None:
@@ -599,24 +637,91 @@ def _run_section(record: Any) -> str:
 
 
 # ----------------------------------------------------------------------
+# cross-run diff
+# ----------------------------------------------------------------------
+def diff_section(diff: Any) -> str:
+    """A :class:`~repro.obs.registry.diffing.RunDiff` as HTML.
+
+    Same content as ``repro runs diff``'s text table — the noise-gated
+    verdict banner, every out-of-noise cell, the one-sided cells — so
+    the serve diff pages and CI agree by construction.
+    """
+    regressions = diff.regressions
+    improvements = diff.improvements
+    if regressions:
+        banner = _callout(
+            "critical", "✗", "REGRESSION",
+            f"{len(regressions)} cell(s) lost availability beyond "
+            f"{diff.max_regression:.0%} + "
+            f"{diff.noise_factor:g}× noise.",
+        )
+    else:
+        banner = _callout(
+            "good", "✓", "no regression",
+            f"{len(diff.cells)} aligned cell(s) within "
+            f"{diff.max_regression:.0%} + "
+            f"{diff.noise_factor:g}× noise; "
+            f"{len(improvements)} improved.",
+        )
+    shown = [c for c in diff.cells if c.verdict != "within-noise"]
+    rows = []
+    for cell in shown:
+        icon, word, status = {
+            "regression": ("✗", "regression", "critical"),
+            "improvement": ("✓", "improvement", "good"),
+        }.get(cell.verdict, ("·", cell.verdict, ""))
+        rows.append(
+            f"<tr><td>{_esc(cell.config)}/{_esc(cell.policy)}</td>"
+            f"<td>{cell.baseline:.6f}</td><td>{cell.current:.6f}</td>"
+            f"<td>{cell.delta:+.6f}</td>"
+            f'<td style="text-align:left; color:var(--{status or "ink"})">'
+            f"{icon} {_esc(word)}</td></tr>"
+        )
+    if rows:
+        table = (
+            "<table><thead><tr><th>cell</th><th>baseline</th>"
+            "<th>current</th><th>delta</th><th>verdict</th></tr>"
+            f"</thead><tbody>{''.join(rows)}</tbody></table>"
+        )
+    elif diff.cells:
+        table = '<p class="note">all compared cells within noise</p>'
+    else:
+        table = '<p class="note">no cells aligned</p>'
+    extras = []
+    for label, keys in (
+        ("only in baseline", diff.only_baseline),
+        ("only in current", diff.only_current),
+    ):
+        if keys:
+            rendered = ", ".join(
+                f"{_esc(c)}/{_esc(p)}" for c, p in keys
+            )
+            extras.append(f'<p class="note">{label}: {rendered}</p>')
+    return (
+        f'<section class="run">'
+        f"<h2>Diff <code>{_esc(diff.baseline_id)}</code> → "
+        f"<code>{_esc(diff.current_id)}</code></h2>"
+        f"{banner}{table}{''.join(extras)}</section>"
+    )
+
+
+# ----------------------------------------------------------------------
 # entry points
 # ----------------------------------------------------------------------
-def render_report(
-    records: Iterable[Any],
+def render_page(
+    body: str,
     title: str = "Dynamic voting — recorded results",
+    subtitle: str = "“Efficient Dynamic Voting Algorithms” (ICDE 1988) "
+                    "reproduction",
+    footer: str = "Fully self-contained (inline styles, no network "
+                  "access needed).",
 ) -> str:
-    """Render *records* (run records) into one self-contained HTML page.
+    """Wrap *body* (already-escaped HTML) in the document chrome.
 
-    Raises:
-        ConfigurationError: no records were given.
+    One chrome for every consumer — ``repro report`` files and every
+    ``repro serve`` page share the inline CSS, the light/dark toggle
+    and the offline-complete property.
     """
-    records = list(records)
-    if not records:
-        raise ConfigurationError("report needs at least one run")
-    sections = "".join(_run_section(record) for record in records)
-    study_present = any(record.kind == "study" for record in records)
-    table1 = _table1_section() if study_present else ""
-    count = len(records)
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -629,19 +734,46 @@ def render_report(
 <div class="topbar">
 <div>
 <h1>{_esc(title)}</h1>
-<p class="subtitle">{count} recorded run{"s" if count != 1 else ""} ·
-“Efficient Dynamic Voting Algorithms” (ICDE 1988) reproduction</p>
+<p class="subtitle">{subtitle}</p>
 </div>
 <button class="theme" id="theme-toggle" type="button">Dark mode</button>
 </div>
-{table1}
-{sections}
-<footer>Generated by <code>repro report</code>; fully self-contained
-(inline styles, no network access needed).</footer>
+{body}
+<footer>{footer}</footer>
 <script>{_JS}</script>
 </body>
 </html>
 """
+
+
+def render_report(
+    records: Iterable[Any],
+    title: str = "Dynamic voting — recorded results",
+) -> str:
+    """Render *records* (run records) into one self-contained HTML page.
+
+    Raises:
+        ConfigurationError: no records were given.
+    """
+    records = list(records)
+    if not records:
+        raise ConfigurationError("report needs at least one run")
+    sections = "".join(run_section(record) for record in records)
+    study_present = any(record.kind == "study" for record in records)
+    table1 = table1_section() if study_present else ""
+    count = len(records)
+    return render_page(
+        f"{table1}\n{sections}",
+        title=title,
+        subtitle=(
+            f"{count} recorded run{'s' if count != 1 else ''} ·\n"
+            "“Efficient Dynamic Voting Algorithms” (ICDE 1988) "
+            "reproduction"
+        ),
+        footer="Generated by <code>repro report</code>; fully "
+               "self-contained (inline styles, no network access "
+               "needed).",
+    )
 
 
 def write_report(

@@ -1,0 +1,50 @@
+"""The results-explorer web service over the run registry.
+
+``repro serve`` promotes the content-addressed registry from an
+artifact dump into the project's operational surface: a browsable run
+index with pregenerated summary cards, per-run pages rendered by the
+same fragments as ``repro report``, CI-grade cross-run diff views, and
+a versioned JSON API — all stdlib-only WSGI, with the server's own
+request telemetry flowing into the ordinary metrics registry as
+``serve.*`` series.
+
+Layout:
+
+* :mod:`~repro.obs.serve.app` — routing, pages, JSON API, ETag/304
+  handling, the gunicorn-compatible :data:`~repro.obs.serve.app.app`;
+* :mod:`~repro.obs.serve.cache` — ``cubedash-gen``-style summary
+  pregeneration keyed on the append-only index position;
+* :mod:`~repro.obs.serve.middleware` — request-timing middleware and
+  structured access logs.
+"""
+
+from repro.obs.serve.app import (
+    API_VERSION,
+    RunExplorerApp,
+    app,
+    create_app,
+    make_http_server,
+)
+from repro.obs.serve.cache import (
+    SORT_KEYS,
+    SummaryCache,
+    caption,
+    query_cards,
+    summary_card,
+)
+from repro.obs.serve.middleware import ROUTE_KEY, RequestTimingMiddleware
+
+__all__ = [
+    "API_VERSION",
+    "ROUTE_KEY",
+    "RequestTimingMiddleware",
+    "RunExplorerApp",
+    "SORT_KEYS",
+    "SummaryCache",
+    "app",
+    "caption",
+    "create_app",
+    "make_http_server",
+    "query_cards",
+    "summary_card",
+]

@@ -1,0 +1,599 @@
+"""The results-explorer WSGI application over the run registry.
+
+Zero third-party dependencies: routing, pages and the JSON API are
+plain WSGI (``repro serve`` runs it on a threading ``wsgiref`` server;
+any WSGI container works — the module-level :data:`app` callable is
+gunicorn-compatible).  Pages reuse the exact fragments ``repro report``
+renders (:mod:`repro.obs.report.html`), so a per-run page in the
+browser and the CI artifact file are the same pixels.
+
+Routes::
+
+    GET /                   paginated, sortable run index (HTML)
+    GET /runs/<id>          one run (HTML; id, >=4-char prefix, latest)
+    GET /diff/<a>/<b>       cross-run study diff (HTML)
+    GET /api/runs           summary cards (JSON; sort/kind/limit/offset)
+    GET /api/runs/<id>      one run record (JSON)
+    GET /api/diff/<a>/<b>   noise-gated diff document (JSON)
+    GET /healthz            liveness + registry stats (JSON)
+    GET /metricsz           the server's own MetricsRegistry (JSON)
+
+Caching: run ids are content hashes, so every per-run response carries
+a deterministic ``ETag`` and honours ``If-None-Match`` with a bodyless
+304; listing responses use the summary-cache fingerprint (index
+position + head checksum) the same way.  All listing endpoints read the
+pregenerated summary cache (:mod:`repro.obs.serve.cache`) — a warm
+index never re-reads per-run ``record.json``.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import re
+import socketserver
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+from urllib.parse import parse_qs, urlencode
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer
+from wsgiref.simple_server import make_server as _wsgiref_make_server
+
+from repro.errors import ConfigurationError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.registry.store import RunRecord, RunRegistry
+from repro.obs.serve.cache import SORT_KEYS, SummaryCache, query_cards
+from repro.obs.serve.middleware import ROUTE_KEY, RequestTimingMiddleware
+
+__all__ = [
+    "API_VERSION",
+    "RunExplorerApp",
+    "app",
+    "create_app",
+    "make_http_server",
+]
+
+#: Version stamped into every JSON API envelope (and the ETag salt, so
+#: a renderer change busts conditional caches).
+API_VERSION = 1
+
+#: Run-page tokens accepted over HTTP: a hex id/prefix or ``latest``.
+#: Never a filesystem path — URL tokens must not reach the path branch
+#: of :meth:`RunRegistry.resolve`.
+_TOKEN = re.compile(r"^(latest|[0-9a-f]{4,64})$")
+
+_PAGE_LIMIT = 50
+
+_STATUS = {
+    200: "200 OK",
+    304: "304 Not Modified",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    500: "500 Internal Server Error",
+}
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+class _Response:
+    """One materialised response (status, headers, body bytes)."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(
+        self,
+        body: bytes,
+        status: int = 200,
+        content_type: str = "text/html; charset=utf-8",
+        etag: Optional[str] = None,
+        extra: Optional[Sequence[tuple[str, str]]] = None,
+    ):
+        self.status = _STATUS.get(status, f"{status} ?")
+        self.body = body
+        self.headers = [
+            ("Content-Type", content_type),
+            ("Content-Length", str(len(body))),
+        ]
+        if etag is not None:
+            self.headers.append(("ETag", etag))
+        if extra:
+            self.headers.extend(extra)
+
+
+def _json_response(
+    payload: Mapping[str, Any],
+    status: int = 200,
+    etag: Optional[str] = None,
+) -> _Response:
+    document = {"format": "repro-serve", "version": API_VERSION}
+    document.update(payload)
+    body = (json.dumps(document, sort_keys=True) + "\n").encode()
+    return _Response(
+        body, status=status,
+        content_type="application/json; charset=utf-8", etag=etag,
+    )
+
+
+def _not_modified(etag: str) -> _Response:
+    return _Response(b"", status=304, etag=etag)
+
+
+def _first(query: Mapping[str, list[str]], key: str,
+           default: Optional[str] = None) -> Optional[str]:
+    values = query.get(key)
+    return values[0] if values else default
+
+
+def _int_param(query: Mapping[str, list[str]], key: str,
+               default: Optional[int]) -> Optional[int]:
+    raw = _first(query, key)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"query parameter {key!r} must be an integer, got {raw!r}"
+        ) from None
+
+
+class RunExplorerApp:
+    """The explorer: one registry, one metrics registry, one cache."""
+
+    def __init__(
+        self,
+        root: Union[str, None] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.registry = RunRegistry(root)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = SummaryCache(self.registry, metrics=self.metrics)
+        self.logger = get_logger("serve")
+        self._pipeline = RequestTimingMiddleware(
+            self._respond, self.metrics, self.logger
+        )
+
+    # ------------------------------------------------------------------
+    # WSGI plumbing
+    # ------------------------------------------------------------------
+    def __call__(self, environ: dict[str, Any],
+                 start_response: Callable[..., Any]) -> Iterable[bytes]:
+        return self._pipeline(environ, start_response)
+
+    def _respond(self, environ: dict[str, Any],
+                 start_response: Callable[..., Any]) -> Iterable[bytes]:
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/") or "/"
+        query = parse_qs(environ.get("QUERY_STRING", ""))
+        etag_in = environ.get("HTTP_IF_NONE_MATCH")
+        if method not in ("GET", "HEAD"):
+            environ[ROUTE_KEY] = "method-not-allowed"
+            response = _Response(
+                b"only GET and HEAD are served\n", status=405,
+                content_type="text/plain; charset=utf-8",
+                extra=[("Allow", "GET, HEAD")],
+            )
+        else:
+            route, response = self._route(path, query, etag_in)
+            environ[ROUTE_KEY] = route
+        start_response(response.status, response.headers)
+        if method == "HEAD":
+            return [b""]
+        return [response.body]
+
+    def _route(
+        self,
+        path: str,
+        query: Mapping[str, list[str]],
+        etag_in: Optional[str],
+    ) -> tuple[str, _Response]:
+        route, is_api, handler = self._match(path, query, etag_in)
+        try:
+            return route, handler()
+        except ConfigurationError as exc:
+            status = 404 if "no run" in str(exc) else 400
+            if is_api:
+                return route, _json_response(
+                    {"error": str(exc)}, status=status
+                )
+            return route, self._page_error(status, str(exc))
+        except Exception:  # pragma: no cover - defensive 500
+            self.logger.exception("unhandled error serving %s", path)
+            if is_api:
+                return route, _json_response(
+                    {"error": "internal server error"}, status=500
+                )
+            return route, self._page_error(500, "internal server error")
+
+    def _match(
+        self,
+        path: str,
+        query: Mapping[str, list[str]],
+        etag_in: Optional[str],
+    ) -> tuple[str, bool, Callable[[], _Response]]:
+        """Map *path* to ``(route_label, is_api, handler_thunk)``.
+
+        The label is bound before the handler runs, so an error
+        response is still counted against the route that produced it
+        (a thousand bad ``/runs/<id>`` lookups are one ``run``/``4xx``
+        series, not an anonymous error bucket).
+        """
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            return "index", False, \
+                lambda: self._index_page(query, etag_in)
+        if parts == ["healthz"]:
+            return "healthz", True, self._healthz
+        if parts == ["metricsz"]:
+            return "metricsz", True, self._metricsz
+        if parts[0] == "runs" and len(parts) == 2:
+            return "run", False, \
+                lambda: self._run_page(parts[1], etag_in)
+        if parts[0] == "diff" and len(parts) == 3:
+            return "diff", False, \
+                lambda: self._diff_page(parts[1], parts[2], etag_in)
+        if parts[0] == "api":
+            rest = parts[1:]
+            if rest and rest[0] == "runs" and len(rest) == 1:
+                return "api.runs", True, \
+                    lambda: self._api_runs(query, etag_in)
+            if rest and rest[0] == "runs" and len(rest) == 2:
+                return "api.run", True, \
+                    lambda: self._api_run(rest[1], etag_in)
+            if rest and rest[0] == "diff" and len(rest) == 3:
+                return "api.diff", True, \
+                    lambda: self._api_diff(rest[1], rest[2], etag_in)
+            return "not-found", True, lambda: _json_response(
+                {"error": "no such API endpoint"}, status=404
+            )
+        return "not-found", False, lambda: self._page_error(
+            404, f"no page at {path}"
+        )
+
+    # ------------------------------------------------------------------
+    # resolution (summary-cache backed; never filesystem paths)
+    # ------------------------------------------------------------------
+    def _resolve(self, token: str) -> RunRecord:
+        token = token.lower()
+        if not _TOKEN.match(token):
+            raise ConfigurationError(
+                f"no run matches {token!r}: give a run id, a >=4 char "
+                "hex prefix, or 'latest'"
+            )
+        cards = self.cache.cards()
+        if token == "latest":
+            if not cards:
+                raise ConfigurationError(
+                    f"no run matches 'latest': registry "
+                    f"{self.registry.root} is empty"
+                )
+            return self.registry.get(cards[-1]["run_id"])
+        matches = [
+            card["run_id"] for card in cards
+            if card["run_id"].startswith(token)
+        ]
+        if not matches:
+            raise ConfigurationError(f"no run matches {token!r}")
+        if len(set(matches)) > 1:
+            raise ConfigurationError(
+                f"run prefix {token!r} is ambiguous: "
+                + ", ".join(sorted(set(matches)))
+            )
+        return self.registry.get(matches[0])
+
+    def _listing(
+        self, query: Mapping[str, list[str]], descending: bool
+    ) -> dict[str, Any]:
+        sort = _first(query, "sort", "time") or "time"
+        kind = _first(query, "kind") or None
+        order = _first(query, "order")
+        if order is not None:
+            if order not in ("asc", "desc"):
+                raise ConfigurationError(
+                    f"order must be 'asc' or 'desc', got {order!r}"
+                )
+            descending = order == "desc"
+        limit = _int_param(query, "limit", _PAGE_LIMIT)
+        if limit == 0:
+            limit = None
+        offset = _int_param(query, "offset", 0) or 0
+        cards = self.cache.cards()
+        total, page = query_cards(
+            cards, kind=kind, sort=sort, descending=descending,
+            limit=limit, offset=offset,
+        )
+        return {
+            "sort": sort, "kind": kind, "limit": limit, "offset": offset,
+            "descending": descending, "total": total, "page": page,
+            "all_cards": cards,
+        }
+
+    def _collection_etag(self, query: Mapping[str, list[str]],
+                         flavor: str) -> str:
+        canonical = urlencode(sorted(
+            (key, value)
+            for key, values in query.items() for value in values
+        ))
+        return f'"{flavor}-{API_VERSION}-{self.cache.fingerprint()}' \
+               f'-{canonical}"'
+
+    # ------------------------------------------------------------------
+    # JSON API
+    # ------------------------------------------------------------------
+    def _api_runs(self, query: Mapping[str, list[str]],
+                  etag_in: Optional[str]) -> _Response:
+        etag = self._collection_etag(query, "api.runs")
+        if etag_in == etag:
+            return _not_modified(etag)
+        listing = self._listing(query, descending=False)
+        return _json_response({
+            "root": str(self.registry.root),
+            "total": listing["total"],
+            "count": len(listing["page"]),
+            "sort": listing["sort"],
+            "kind": listing["kind"],
+            "limit": listing["limit"],
+            "offset": listing["offset"],
+            "order": "desc" if listing["descending"] else "asc",
+            "runs": listing["page"],
+        }, etag=etag)
+
+    def _run_etag(self, record: RunRecord) -> str:
+        return f'"run-{API_VERSION}-{record.run_id}"'
+
+    def _api_run(self, token: str, etag_in: Optional[str]) -> _Response:
+        record = self._resolve(token)
+        etag = self._run_etag(record)
+        if etag_in == etag:
+            return _not_modified(etag)
+        return _json_response({"run": record.to_dict()}, etag=etag)
+
+    def _api_diff(self, token_a: str, token_b: str,
+                  etag_in: Optional[str]) -> _Response:
+        from repro.obs.registry.diffing import diff_runs
+
+        baseline = self._resolve(token_a)
+        current = self._resolve(token_b)
+        etag = (f'"diff-{API_VERSION}-{baseline.run_id}'
+                f'-{current.run_id}"')
+        if etag_in == etag:
+            return _not_modified(etag)
+        diff = diff_runs(baseline, current)
+        return _json_response({"diff": diff.to_dict()}, etag=etag)
+
+    def _healthz(self) -> _Response:
+        return _json_response({
+            "status": "ok",
+            "root": str(self.registry.root),
+            "runs": len(self.cache.cards()),
+            "index_position": self.registry.index_position(),
+        })
+
+    def _metricsz(self) -> _Response:
+        return _json_response({"metrics": self.metrics.to_dict()})
+
+    # ------------------------------------------------------------------
+    # HTML pages
+    # ------------------------------------------------------------------
+    def _page(self, body: str, title: str, subtitle: str) -> str:
+        from repro.obs.report.html import render_page
+
+        return render_page(
+            body, title=title, subtitle=subtitle,
+            footer="Served by <code>repro serve</code> over "
+                   f"<code>{_esc(self.registry.root)}</code>; JSON at "
+                   '<code>/api/runs</code>, liveness at '
+                   '<code>/healthz</code>, request telemetry at '
+                   '<code>/metricsz</code>.',
+        )
+
+    def _page_error(self, status: int, message: str) -> _Response:
+        word = {400: "bad request", 404: "not found"}.get(
+            status, "server error"
+        )
+        body = (
+            f'<nav class="crumbs"><a href="/">← run index</a></nav>'
+            f'<div class="callout warning"><span class="icon">⚠ '
+            f"{_esc(word)}</span><span>{_esc(message)}</span></div>"
+        )
+        return _Response(
+            self._page(body, f"{status} — dynamic voting runs",
+                       "results explorer").encode(),
+            status=status,
+        )
+
+    def _card_html(self, card: Mapping[str, Any]) -> str:
+        created = str(card.get("created_at", "")).split(".")[0]
+        created = created.replace("T", " ")
+        caption = card.get("caption") or ""
+        return (
+            f'<a class="card" href="/runs/{_esc(card["run_id"])}">'
+            f'<span class="kind">{_esc(card.get("kind", "?"))}</span>'
+            f'<span class="id">{_esc(card["run_id"])}</span>'
+            f'<div class="meta">{_esc(created)}</div>'
+            f'<div class="meta">{_esc(caption)}</div></a>'
+        )
+
+    def _index_page(self, query: Mapping[str, list[str]],
+                    etag_in: Optional[str]) -> _Response:
+        etag = self._collection_etag(query, "index")
+        if etag_in == etag:
+            return _not_modified(etag)
+        listing = self._listing(query, descending=True)
+        total, page = listing["total"], listing["page"]
+        sort, kind = listing["sort"], listing["kind"]
+        limit = listing["limit"] or total or 1
+        offset = listing["offset"]
+
+        def link(label: str, active: bool, **params: Any) -> str:
+            keep = {"sort": sort, "kind": kind}
+            keep.update(params)
+            qs = urlencode({k: v for k, v in keep.items() if v})
+            cls = ' class="active"' if active else ""
+            return f'<a{cls} href="/?{qs}">{_esc(label)}</a>'
+
+        by_kind: dict[str, int] = {}
+        for card in listing["all_cards"]:
+            by_kind[card["kind"]] = by_kind.get(card["kind"], 0) + 1
+        chips = "".join(
+            f'<span class="chip">{_esc(k)} <b>{v}</b></span>'
+            for k, v in sorted(by_kind.items())
+        )
+        toolbar = (
+            '<div class="toolbar"><span class="note">kind:</span>'
+            + link("all", kind is None, kind=None, offset=0)
+            + "".join(link(k, kind == k, kind=k, offset=0)
+                      for k in sorted(by_kind))
+            + '<span class="note">sort:</span>'
+            + "".join(link(s, sort == s, sort=s, offset=0)
+                      for s in SORT_KEYS)
+            + "</div>"
+        )
+        cards_html = (
+            f'<div class="cards">{"".join(self._card_html(c) for c in page)}'
+            "</div>" if page else
+            '<p class="note">no runs recorded yet — record one with '
+            "<code>repro study --record</code>.</p>"
+        )
+        pager = ""
+        if total > len(page) or offset:
+            first = offset + 1 if page else 0
+            last = offset + len(page)
+            older = newer = ""
+            if offset > 0:
+                newer = link("← newer", False,
+                             offset=max(0, offset - limit))
+            if last < total:
+                older = link("older →", False, offset=offset + limit)
+            pager = (
+                f'<div class="pager">{newer}'
+                f"<span>showing {first}–{last} of {total}</span>"
+                f"{older}</div>"
+            )
+        body = (
+            f'<div class="chips">{chips}</div>'
+            f"{toolbar}{cards_html}{pager}"
+        )
+        subtitle = (
+            f"{total} run(s) · registry "
+            f"<code>{_esc(self.registry.root)}</code>"
+        )
+        return _Response(
+            self._page(body, "Dynamic voting — run registry",
+                       subtitle).encode(),
+            etag=etag,
+        )
+
+    def _run_page(self, token: str, etag_in: Optional[str]) -> _Response:
+        from repro.obs.report.html import run_section, table1_section
+
+        record = self._resolve(token)
+        etag = self._run_etag(record)
+        if etag_in == etag:
+            return _not_modified(etag)
+        crumbs = [f'<nav class="crumbs"><a href="/">← run index</a>'
+                  f' · <a href="/api/runs/{_esc(record.run_id)}">JSON'
+                  "</a>"]
+        if record.kind == "study":
+            others = [
+                card["run_id"] for card in self.cache.cards()
+                if card["kind"] == "study"
+                and card["run_id"] != record.run_id
+            ]
+            for other in others[-4:]:
+                crumbs.append(
+                    f' · <a href="/diff/{_esc(other)}/'
+                    f'{_esc(record.run_id)}">diff vs {_esc(other[:8])}</a>'
+                )
+        crumbs.append("</nav>")
+        table1 = table1_section() if record.kind == "study" else ""
+        body = "".join(crumbs) + run_section(record) + table1
+        return _Response(
+            self._page(
+                body, f"Run {record.run_id}",
+                f"{record.kind} · recorded "
+                f"{_esc(record.created_at.split('.')[0])}",
+            ).encode(),
+            etag=etag,
+        )
+
+    def _diff_page(self, token_a: str, token_b: str,
+                   etag_in: Optional[str]) -> _Response:
+        from repro.obs.registry.diffing import diff_runs
+        from repro.obs.report.html import diff_section
+
+        baseline = self._resolve(token_a)
+        current = self._resolve(token_b)
+        etag = (f'"diff-{API_VERSION}-{baseline.run_id}'
+                f'-{current.run_id}"')
+        if etag_in == etag:
+            return _not_modified(etag)
+        diff = diff_runs(baseline, current)
+        body = (
+            f'<nav class="crumbs"><a href="/">← run index</a> · '
+            f'<a href="/runs/{_esc(baseline.run_id)}">baseline</a> · '
+            f'<a href="/runs/{_esc(current.run_id)}">current</a> · '
+            f'<a href="/api/diff/{_esc(baseline.run_id)}/'
+            f'{_esc(current.run_id)}">JSON</a></nav>'
+            + diff_section(diff)
+        )
+        return _Response(
+            self._page(
+                body,
+                f"Diff {baseline.run_id} → {current.run_id}",
+                "cell-by-cell availability diff, noise-gated like CI",
+            ).encode(),
+            etag=etag,
+        )
+
+
+def create_app(
+    root: Union[str, None] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RunExplorerApp:
+    """Build the explorer over *root* (default: ``.repro/runs`` or
+    ``REPRO_RUNS_DIR``)."""
+    return RunExplorerApp(root, metrics=metrics)
+
+
+#: Gunicorn-compatible module-level callable:
+#: ``gunicorn repro.obs.serve.app:app``.  Construction does no I/O; the
+#: registry root is read from ``REPRO_RUNS_DIR`` (or the default) at
+#: import time.
+app = create_app()
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Suppress wsgiref's per-request stderr lines — the timing
+    middleware already writes one structured access-log record."""
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+
+class _ThreadingWSGIServer(socketserver.ThreadingMixIn, WSGIServer):
+    daemon_threads = True
+
+
+def make_http_server(
+    application: RunExplorerApp,
+    host: str = "127.0.0.1",
+    port: int = 8137,
+) -> WSGIServer:
+    """A threading stdlib HTTP server wired to *application*.
+
+    Raises:
+        ConfigurationError: the address cannot be bound.
+    """
+    try:
+        return _wsgiref_make_server(
+            host, port, application,
+            server_class=_ThreadingWSGIServer,
+            handler_class=_QuietHandler,
+        )
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot listen on {host}:{port}: {exc}"
+        ) from exc

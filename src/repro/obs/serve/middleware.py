@@ -1,0 +1,93 @@
+"""Request telemetry for the results explorer — observing the observer.
+
+A WSGI middleware in the datacube-explorer ``_monitoring.py`` shape:
+every request is timed into the same :class:`MetricsRegistry` the
+simulator uses, as ``serve.*`` series —
+
+* ``serve.requests`` — counter labelled ``route`` × ``status`` class
+  (``2xx``/``3xx``/``4xx``/``5xx``);
+* ``serve.latency.seconds`` — per-route wall-clock histogram
+  (p50/p95 land in ``/metricsz`` for free);
+* ``serve.response.bytes`` — per-route payload-size histogram —
+
+and one structured access-log line goes through the obs logging bridge
+(logger ``repro.serve``), so explorer traffic interleaves with the rest
+of the package's logs under the ordinary ``--log-level`` switch.
+
+The inner app names its route by setting ``environ["repro.route"]``
+while handling the request; the middleware reads it afterwards, so
+metrics aggregate by route pattern (``run``, ``api.runs``, ...), never
+by raw path — a thousand ``/runs/<id>`` pages are one series, not a
+thousand.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Any, Callable, Iterable, Optional
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ROUTE_KEY", "RequestTimingMiddleware"]
+
+#: ``environ`` key the app sets to its matched route label.
+ROUTE_KEY = "repro.route"
+
+
+class RequestTimingMiddleware:
+    """Wraps a WSGI app with per-request metrics and access logging."""
+
+    def __init__(
+        self,
+        app: Callable[..., Iterable[bytes]],
+        metrics: MetricsRegistry,
+        logger: Optional[logging.Logger] = None,
+    ):
+        self.app = app
+        self.metrics = metrics
+        self.logger = logger if logger is not None else get_logger("serve")
+
+    def __call__(self, environ: dict[str, Any],
+                 start_response: Callable[..., Any]) -> Iterable[bytes]:
+        start = time.perf_counter()
+        seen_status: list[str] = []
+
+        def counting_start_response(status, headers, exc_info=None):
+            seen_status.append(status)
+            return start_response(status, headers, exc_info)
+
+        chunks = self.app(environ, counting_start_response)
+        try:
+            body = b"".join(chunks)
+        finally:
+            close = getattr(chunks, "close", None)
+            if close is not None:
+                close()
+        duration = time.perf_counter() - start
+        status = seen_status[-1] if seen_status else "500 Internal Error"
+        try:
+            code = int(status.split(None, 1)[0])
+        except ValueError:
+            code = 500
+        klass = f"{code // 100}xx"
+        route = str(environ.get(ROUTE_KEY, "unrouted"))
+        self.metrics.counter(
+            "serve.requests", route=route, status=klass
+        ).inc()
+        self.metrics.histogram(
+            "serve.latency.seconds", route=route
+        ).observe(duration)
+        self.metrics.histogram(
+            "serve.response.bytes", route=route
+        ).observe(float(len(body)))
+        if self.logger.isEnabledFor(logging.INFO):
+            self.logger.info(
+                "access method=%s path=%s route=%s status=%d "
+                "duration_ms=%.2f bytes=%d",
+                environ.get("REQUEST_METHOD", "-"),
+                environ.get("PATH_INFO", "-"),
+                route, code, duration * 1000.0, len(body),
+            )
+        return [body]

@@ -169,3 +169,108 @@ class TestDiff:
         document = diff_runs(record, record).to_dict()
         json.dumps(document)
         assert document["format"] == "repro-run-diff"
+
+
+class TestIndexCursor:
+    def test_position_tracks_index_bytes(self, registry, cells, params):
+        assert registry.index_position() == 0
+        _record(registry, cells, params)
+        position = registry.index_position()
+        assert position == registry.index_path.stat().st_size
+        assert position > 0
+
+    def test_read_from_offset_returns_only_the_tail(
+        self, registry, cells, params
+    ):
+        first = _record(registry, cells, params)
+        cursor = registry.index_position()
+        other = StudyParameters(
+            horizon=2000.0, warmup=360.0, batches=2, seed=12
+        )
+        second = _record(registry, cells, other)
+        entries, new_cursor = registry.read_index_from(cursor)
+        assert [entry["run_id"] for entry in entries] == [second.run_id]
+        assert first.run_id not in {e["run_id"] for e in entries}
+        assert new_cursor == registry.index_position()
+        # fully caught up: nothing more to read
+        assert registry.read_index_from(new_cursor) == ([], new_cursor)
+
+    def test_torn_final_line_is_left_unconsumed(
+        self, registry, cells, params
+    ):
+        _record(registry, cells, params)
+        cursor = registry.index_position()
+        with registry.index_path.open("a") as handle:
+            handle.write('{"run_id": "feedc0de00000000", "kind": "stu')
+        entries, new_cursor = registry.read_index_from(cursor)
+        assert entries == []
+        assert new_cursor == cursor
+        with registry.index_path.open("a") as handle:
+            handle.write('dy", "summary": {}}\n')
+        entries, _ = registry.read_index_from(cursor)
+        assert [e["run_id"] for e in entries] == ["feedc0de00000000"]
+
+    def test_complete_corrupt_line_raises(self, registry, cells, params):
+        _record(registry, cells, params)
+        with registry.index_path.open("a") as handle:
+            handle.write("not json at all\n")
+        with pytest.raises(ConfigurationError, match="corrupt index"):
+            registry.read_index_from(0)
+
+    def test_offset_validation(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.read_index_from(-1)
+        # offset past a missing index is an error; zero is fine
+        assert registry.read_index_from(0) == ([], 0)
+        with pytest.raises(ConfigurationError):
+            registry.read_index_from(10)
+
+
+class TestAdopt:
+    def test_adopt_copies_record_and_artifacts(
+        self, registry, cells, params, tmp_path
+    ):
+        origin = RunRegistry(tmp_path / "origin")
+        record = origin.record_study(
+            cells, params, ("MCV", "LDV"), ("A",), command="study"
+        )
+        adopted = registry.adopt(record.path)
+        assert adopted.run_id == record.run_id
+        assert adopted.path == registry.root / record.run_id
+        assert (adopted.path / "record.json").is_file()
+        for file_name in record.artifacts.values():
+            assert (adopted.path / file_name).is_file()
+        listed = {r.run_id for r in registry.list_runs()}
+        assert record.run_id in listed
+
+    def test_adopt_is_idempotent(self, registry, cells, params, tmp_path):
+        origin = RunRegistry(tmp_path / "origin")
+        record = origin.record_study(
+            cells, params, ("MCV", "LDV"), ("A",), command="study"
+        )
+        registry.adopt(record.path)
+        cursor = registry.index_position()
+        registry.adopt(record.path)
+        assert registry.index_position() == cursor
+
+    def test_adopt_rejects_non_run_directories(self, registry, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot adopt"):
+            registry.adopt(tmp_path / "nowhere")
+
+
+class TestGcCacheInvalidation:
+    def test_gc_drops_the_summary_cache(self, registry, cells, params):
+        _record(registry, cells, params)
+        registry.cache_dir.mkdir(parents=True, exist_ok=True)
+        stale = registry.cache_dir / "summaries.json"
+        stale.write_text("{}")
+        registry.gc(keep_last=0)
+        assert not stale.exists()
+
+    def test_dry_run_keeps_the_summary_cache(self, registry, cells, params):
+        _record(registry, cells, params)
+        registry.cache_dir.mkdir(parents=True, exist_ok=True)
+        stale = registry.cache_dir / "summaries.json"
+        stale.write_text("{}")
+        registry.gc(keep_last=0, dry_run=True)
+        assert stale.exists()

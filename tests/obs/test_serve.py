@@ -1,0 +1,383 @@
+"""In-process tests for the ``repro serve`` results explorer.
+
+No sockets: a minimal WSGI test client drives the application
+directly, against a temp registry seeded from the committed
+``results/baseline_run`` — index, per-run and diff pages, the JSON
+API, ETag/304 handling, 404s, health/metrics endpoints, and the
+summary cache's no-per-run-I/O guarantee.
+"""
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import RunRegistry
+from repro.obs.serve import (
+    SummaryCache,
+    caption,
+    create_app,
+    query_cards,
+    summary_card,
+)
+
+BASELINE = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "results" / "baseline_run"
+)
+BASELINE_ID = json.loads(
+    (BASELINE / "record.json").read_text()
+)["run_id"]
+
+
+class Response:
+    def __init__(self, status: str, headers, body: bytes):
+        self.status = status
+        self.code = int(status.split()[0])
+        self.headers = dict(headers)
+        self.body = body
+
+    def json(self):
+        return json.loads(self.body)
+
+    @property
+    def text(self):
+        return self.body.decode("utf-8")
+
+
+class Client:
+    """Calls the WSGI app in-process, one request per ``get``."""
+
+    def __init__(self, app):
+        self.app = app
+
+    def request(self, method, path, query="", headers=None):
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "SERVER_NAME": "testserver",
+            "SERVER_PORT": "80",
+            "SERVER_PROTOCOL": "HTTP/1.1",
+            "wsgi.version": (1, 0),
+            "wsgi.url_scheme": "http",
+            "wsgi.input": io.BytesIO(b""),
+            "wsgi.errors": io.StringIO(),
+            "wsgi.multithread": False,
+            "wsgi.multiprocess": False,
+            "wsgi.run_once": False,
+        }
+        for key, value in (headers or {}).items():
+            environ["HTTP_" + key.upper().replace("-", "_")] = value
+        captured = {}
+
+        def start_response(status, response_headers, exc_info=None):
+            captured["status"] = status
+            captured["headers"] = response_headers
+
+        body = b"".join(self.app(environ, start_response))
+        return Response(captured["status"], captured["headers"], body)
+
+    def get(self, path, query="", headers=None):
+        return self.request("GET", path, query, headers)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    reg = RunRegistry(tmp_path / "runs")
+    reg.adopt(BASELINE)
+    return reg
+
+
+@pytest.fixture
+def app(registry):
+    return create_app(str(registry.root))
+
+
+@pytest.fixture
+def client(app):
+    return Client(app)
+
+
+class TestHtmlPages:
+    def test_index_lists_the_run(self, client):
+        response = client.get("/")
+        assert response.code == 200
+        assert "text/html" in response.headers["Content-Type"]
+        assert BASELINE_ID in response.text
+        assert "ETag" in response.headers
+
+    def test_index_filters_and_sorts(self, client):
+        assert BASELINE_ID in client.get("/", "kind=study").text
+        assert BASELINE_ID not in client.get("/", "kind=chaos").text
+        assert client.get("/", "sort=id").code == 200
+        assert client.get("/", "sort=bogus").code == 400
+
+    def test_run_page_by_id_prefix_and_latest(self, client):
+        for token in (BASELINE_ID, BASELINE_ID[:6], "latest"):
+            response = client.get(f"/runs/{token}")
+            assert response.code == 200, token
+            assert "Table 2" in response.text
+            assert "Table 1" in response.text
+
+    def test_run_page_304_on_matching_etag(self, client):
+        etag = client.get(f"/runs/{BASELINE_ID}").headers["ETag"]
+        assert BASELINE_ID in etag
+        conditional = client.get(
+            f"/runs/{BASELINE_ID}", headers={"If-None-Match": etag}
+        )
+        assert conditional.code == 304
+        assert conditional.body == b""
+        assert conditional.headers["ETag"] == etag
+
+    def test_unknown_run_is_404(self, client):
+        assert client.get("/runs/deadbeef").code == 404
+        assert client.get("/runs/latest").code == 200
+
+    def test_path_tokens_never_resolve_as_filesystem_paths(self, client):
+        assert client.get("/runs/..").code == 404
+        assert client.get("/runs/results").code == 404
+
+    def test_unknown_route_is_404(self, client):
+        assert client.get("/nope").code == 404
+
+    def test_post_is_405(self, client):
+        response = client.request("POST", "/")
+        assert response.code == 405
+        assert response.headers["Allow"] == "GET, HEAD"
+
+    def test_head_has_no_body(self, client):
+        response = client.request("HEAD", "/")
+        assert response.code == 200
+        assert response.body == b""
+        assert int(response.headers["Content-Length"]) > 0
+
+    def test_diff_page_of_identical_runs(self, client):
+        response = client.get(f"/diff/{BASELINE_ID}/{BASELINE_ID}")
+        assert response.code == 200
+        assert "no regression" in response.text
+
+    def test_empty_registry_index_still_serves(self, tmp_path):
+        empty = Client(create_app(str(tmp_path / "empty")))
+        response = empty.get("/")
+        assert response.code == 200
+        assert "no runs recorded" in response.text
+        assert empty.get("/runs/latest").code == 404
+
+
+class TestJsonApi:
+    def test_runs_listing_envelope(self, client):
+        doc = client.get("/api/runs").json()
+        assert doc["format"] == "repro-serve"
+        assert doc["version"] == 1
+        assert doc["total"] == 1
+        card = doc["runs"][0]
+        assert card["run_id"] == BASELINE_ID
+        assert card["kind"] == "study"
+        assert "caption" in card
+        assert card["summary"]["cells"] == 48
+
+    def test_listing_pagination_and_filter(self, client):
+        assert client.get("/api/runs", "kind=chaos").json()["total"] == 0
+        page = client.get("/api/runs", "limit=1&offset=1").json()
+        assert page["total"] == 1
+        assert page["count"] == 0
+        assert client.get("/api/runs", "limit=x").code == 400
+        assert client.get("/api/runs", "order=sideways").code == 400
+
+    def test_listing_304_on_matching_etag(self, client):
+        etag = client.get("/api/runs").headers["ETag"]
+        assert client.get(
+            "/api/runs", headers={"If-None-Match": etag}
+        ).code == 304
+        # a different query string is a different resource
+        assert client.get(
+            "/api/runs", "kind=study", headers={"If-None-Match": etag}
+        ).code == 200
+
+    def test_single_run_and_304(self, client):
+        response = client.get(f"/api/runs/{BASELINE_ID}")
+        doc = response.json()
+        assert doc["run"]["run_id"] == BASELINE_ID
+        assert doc["run"]["format"] == "repro-run"
+        assert client.get(
+            f"/api/runs/{BASELINE_ID}",
+            headers={"If-None-Match": response.headers["ETag"]},
+        ).code == 304
+
+    def test_unknown_run_is_404_json(self, client):
+        response = client.get("/api/runs/deadbeef")
+        assert response.code == 404
+        assert "error" in response.json()
+
+    def test_diff_of_identical_runs_is_clean(self, client):
+        doc = client.get(
+            f"/api/diff/{BASELINE_ID}/{BASELINE_ID}"
+        ).json()
+        assert doc["diff"]["ok"] is True
+        assert doc["diff"]["regressions"] == 0
+        assert doc["diff"]["format"] == "repro-run-diff"
+
+    def test_diff_against_unknown_run_is_404(self, client):
+        assert client.get(
+            f"/api/diff/{BASELINE_ID}/feedbeef"
+        ).code == 404
+
+
+class TestHealthAndMetrics:
+    def test_healthz(self, client):
+        doc = client.get("/healthz").json()
+        assert doc["status"] == "ok"
+        assert doc["runs"] == 1
+        assert doc["index_position"] > 0
+
+    def test_request_telemetry_accumulates(self, app, client):
+        client.get("/")
+        client.get(f"/runs/{BASELINE_ID}")
+        client.get("/api/runs")
+        doc = client.get("/metricsz").json()
+        series = {
+            (entry["name"], tuple(sorted(entry["labels"].items())))
+            : entry
+            for entry in doc["metrics"]["series"]
+        }
+        requests = [
+            entry for (name, _), entry in series.items()
+            if name == "serve.requests"
+        ]
+        routes = {entry["labels"]["route"] for entry in requests}
+        assert {"index", "run", "api.runs"} <= routes
+        assert all(
+            entry["labels"]["status"] == "2xx" for entry in requests
+        )
+        latency = [
+            entry for (name, _), entry in series.items()
+            if name == "serve.latency.seconds"
+        ]
+        assert latency and all(e["count"] >= 1 for e in latency)
+
+    def test_error_requests_count_in_their_class(self, app, client):
+        client.get("/runs/deadbeef")
+        assert app.metrics.value(
+            "serve.requests", route="run", status="4xx"
+        ) == 1.0
+
+    def test_cache_hit_ratio_gauge_climbs(self, app, client):
+        client.get("/api/runs")
+        first = app.metrics.value("serve.cache.hit_ratio")
+        for _ in range(8):
+            client.get("/api/runs")
+        second = app.metrics.value("serve.cache.hit_ratio")
+        assert second is not None and first is not None
+        assert second > first
+        assert app.metrics.value("serve.cache.hits") >= 8
+
+
+class TestSummaryCache:
+    def test_warm_then_fresh(self, registry):
+        cache = SummaryCache(registry)
+        count, fresh = cache.warm()
+        assert (count, fresh) == (1, False)
+        assert cache.path.is_file()
+        count, fresh = cache.warm()
+        assert (count, fresh) == (1, True)
+
+    def test_hit_path_does_no_per_run_io(self, registry):
+        cache = SummaryCache(registry)
+        cache.warm()
+        # Destroy every per-run record: a warm listing must not notice.
+        (registry.root / BASELINE_ID / "record.json").unlink()
+        cards = cache.cards()
+        assert [card["run_id"] for card in cards] == [BASELINE_ID]
+
+    def test_torn_final_line_is_tolerated_and_not_consumed(
+        self, registry,
+    ):
+        cache = SummaryCache(registry)
+        cache.warm()
+        with registry.index_path.open("a") as handle:
+            handle.write('{"run_id": "9999beef00000000", "kind": "cha')
+        cards = cache.cards()
+        assert [card["run_id"] for card in cards] == [BASELINE_ID]
+        # completing the line makes the run appear on the next pass
+        with registry.index_path.open("a") as handle:
+            handle.write('os", "summary": {}}\n')
+        kinds = {card["kind"] for card in cache.cards()}
+        assert kinds == {"study", "chaos"}
+
+    def test_incremental_update_appends_only_the_tail(self, registry):
+        cache = SummaryCache(registry)
+        cache.warm()
+        before = json.loads(cache.path.read_text())["position"]
+        line = {"run_id": "aaaa000011112222", "kind": "bench",
+                "summary": {"benchmarks": 3}}
+        with registry.index_path.open("a") as handle:
+            handle.write(json.dumps(line) + "\n")
+        cards = cache.cards()
+        assert len(cards) == 2
+        after = json.loads(cache.path.read_text())["position"]
+        assert after > before
+
+    def test_gc_invalidates_the_cache(self, registry):
+        cache = SummaryCache(registry)
+        cache.warm()
+        registry.gc(keep_last=0)
+        assert not cache.path.exists()
+        assert cache.cards() == []
+
+    def test_readonly_registry_still_lists(self, registry, monkeypatch):
+        cache = SummaryCache(registry)
+        monkeypatch.setattr(
+            SummaryCache, "_save", lambda self, document: None
+        )
+        assert len(cache.cards()) == 1
+        assert not cache.path.exists()
+
+
+class TestQueryCards:
+    CARDS = [
+        {"run_id": "bbb", "kind": "study", "created_at": "2"},
+        {"run_id": "aaa", "kind": "chaos", "created_at": "1"},
+        {"run_id": "ccc", "kind": "study", "created_at": "3"},
+    ]
+
+    def test_time_sort_is_given_order(self):
+        total, page = query_cards(self.CARDS)
+        assert total == 3
+        assert [c["run_id"] for c in page] == ["bbb", "aaa", "ccc"]
+
+    def test_kind_groups_stably(self):
+        _, page = query_cards(self.CARDS, sort="kind")
+        assert [c["run_id"] for c in page] == ["aaa", "bbb", "ccc"]
+
+    def test_id_sort_and_descending(self):
+        _, page = query_cards(self.CARDS, sort="id", descending=True)
+        assert [c["run_id"] for c in page] == ["ccc", "bbb", "aaa"]
+
+    def test_kind_filter_with_pagination(self):
+        total, page = query_cards(
+            self.CARDS, kind="study", limit=1, offset=1
+        )
+        assert total == 2
+        assert [c["run_id"] for c in page] == ["ccc"]
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(ConfigurationError):
+            query_cards(self.CARDS, sort="size")
+        with pytest.raises(ConfigurationError):
+            query_cards(self.CARDS, offset=-1)
+
+    def test_summary_card_and_caption(self):
+        line = {
+            "run_id": "abc", "kind": "chaos", "command": "chaos",
+            "created_at": "t",
+            "summary": {"policy": "DV", "ok": True, "seed": 3},
+            "lineage": {"chaos_seed": 3, "git_sha": "cafe"},
+        }
+        card = summary_card(line)
+        assert card["seed"] == 3
+        assert card["git_sha"] == "cafe"
+        assert "policy=DV" in card["caption"]
+        assert caption({}) == ""
