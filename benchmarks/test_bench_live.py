@@ -1,0 +1,94 @@
+"""Live-telemetry overhead guards.
+
+The tentpole's zero-cost claim: a :class:`TelemetryBus` with no
+subscriber must make ``publish()`` a constant-time early return —
+cheap enough to sit on the study hot path unconditionally.  The guard
+compares a million idle publishes against the same million delivered
+to a no-op subscriber; the idle path must be clearly cheaper.  A
+second benchmark times Prometheus exposition over a realistically
+sized registry, and a third times the full bus -> sink -> tail loop.
+"""
+
+import time
+
+import pytest
+
+from repro.obs.live.bus import TelemetryBus
+from repro.obs.live.export import render_prometheus
+from repro.obs.live.stream import LiveStreamSink, LiveTail
+from repro.obs.metrics import MetricsRegistry
+
+IDLE_PUBLISHES = 200_000
+
+
+def _publish_n(bus, n):
+    publish = bus.publish
+    for i in range(n):
+        publish("study.cell", cells_done=i)
+
+
+def _best_of(func, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_bus_publish_no_subscriber(benchmark):
+    """Throughput of the idle fast path (events silently dropped)."""
+    bus = TelemetryBus()
+    benchmark(lambda: _publish_n(bus, IDLE_PUBLISHES))
+    assert bus.dropped >= IDLE_PUBLISHES
+
+
+def test_idle_publish_beats_delivery():
+    """The no-subscriber early return must be clearly cheaper than
+    delivering to even a no-op subscriber — otherwise the 'zero cost
+    when disabled' contract is broken and the hooks cannot stay
+    unconditional on the study hot path."""
+    idle = TelemetryBus()
+    busy = TelemetryBus()
+    busy.subscribe(lambda event: None, name="noop")
+    idle_cost = _best_of(lambda: _publish_n(idle, IDLE_PUBLISHES))
+    busy_cost = _best_of(lambda: _publish_n(busy, IDLE_PUBLISHES))
+    assert idle_cost < busy_cost, (
+        f"idle publish ({idle_cost:.4f}s) is not cheaper than "
+        f"delivered publish ({busy_cost:.4f}s)"
+    )
+
+
+def test_bench_prometheus_render(benchmark):
+    """Exposition over a registry the size of a busy serve process."""
+    registry = MetricsRegistry()
+    for route in ("index", "run", "diff", "api.runs", "api.run.live"):
+        for status in ("2xx", "4xx"):
+            registry.counter("serve.requests", route=route,
+                             status=status).inc(1000)
+            histogram = registry.histogram("serve.latency.seconds",
+                                           route=route, status=status)
+            for i in range(256):
+                histogram.observe(i / 1000.0)
+    registry.gauge("live.proc.rss_bytes").set(1 << 26)
+    text = benchmark(lambda: render_prometheus(registry))
+    assert "# TYPE serve_requests_total counter" in text
+
+
+def test_bench_stream_round_trip(benchmark, tmp_path):
+    """bus -> jsonl sink -> tail poll, 1000 events per round."""
+    path = tmp_path / "live.jsonl"
+    bus = TelemetryBus()
+    sink = LiveStreamSink(path)
+    bus.subscribe(sink, name="sink")
+    tail = LiveTail(path)
+
+    def round_trip():
+        for i in range(1000):
+            bus.publish("study.cell", cells_done=i, total_cells=1000)
+        return len(tail.poll())
+
+    result = benchmark(round_trip)
+    assert result == 1000
+    tail.close()
+    sink.close()

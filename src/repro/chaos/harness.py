@@ -572,6 +572,7 @@ def run_schedule(
     faults: bool = True,
     sink: Optional[Any] = None,
     profiler: Optional[Any] = None,
+    bus: Optional[Any] = None,
 ) -> ChaosRunResult:
     """Execute *schedule* against *policy* with the monitor always on.
 
@@ -586,6 +587,11 @@ def run_schedule(
     hot-path counters are collected (``repro profile chaos``); it never
     changes the run.
 
+    A *bus* (:class:`~repro.obs.live.bus.TelemetryBus`) receives an
+    ``invariant.violation`` event the instant the monitor trips and a
+    ``chaos.run`` summary when the schedule ends; ``None`` costs
+    nothing.
+
     Returns a :class:`ChaosRunResult`; a violation ends the run at its
     step and is stored on the result rather than raised.
     """
@@ -594,7 +600,8 @@ def run_schedule(
         topology = testbed_topology()
     memory = MemorySink(capacity=250_000)
     inner: Any = memory if sink is None else FanoutSink((memory, sink))
-    monitor = InvariantMonitor(inner, policy=name, seed=schedule.seed)
+    monitor = InvariantMonitor(inner, policy=name, seed=schedule.seed,
+                               bus=bus)
     tracer = Tracer(monitor)
     cluster, stages = _build_cluster(name, schedule, topology, tracer, faults)
     if profiler is not None:
@@ -638,6 +645,17 @@ def run_schedule(
     )
     result.messages_sent = cluster.network.sent
     result.records = memory.records
+    if bus is not None:
+        bus.publish(
+            "chaos.run",
+            policy=name,
+            seed=schedule.seed,
+            config=schedule.config,
+            operations=result.operations,
+            granted=result.granted,
+            denied=result.denied,
+            ok=result.ok,
+        )
     return result
 
 
@@ -716,6 +734,7 @@ def run_sweep(
     chaos: Optional[ChaosPolicy] = None,
     topology: Optional[Topology] = None,
     stop_on_violation: bool = False,
+    bus: Optional[Any] = None,
 ) -> SweepReport:
     """Fuzz *policies* with one seeded schedule per (policy, seed).
 
@@ -723,6 +742,10 @@ def run_sweep(
     keeps the monitor on; violations are collected per policy (with the
     first violating run's full result kept for divergence reporting)
     rather than raised, so one broken protocol never hides another's.
+
+    With a *bus*, the sweep publishes one ``chaos.phase`` event per
+    policy, and each schedule's ``chaos.run`` / ``invariant.violation``
+    events flow through :func:`run_schedule`.
     """
     if chaos is None:
         chaos = ChaosPolicy()
@@ -734,6 +757,11 @@ def run_sweep(
     rows = []
     for name in names:
         row = PolicySweepRow(policy=name)
+        if bus is not None:
+            bus.publish(
+                "chaos.phase", policy=name, seeds=len(seeds),
+                config=placement.key,
+            )
         for seed in seeds:
             schedule = build_schedule(
                 seed,
@@ -743,7 +771,8 @@ def run_sweep(
                 length=steps,
                 config=placement.key,
             )
-            result = run_schedule(schedule, name, topology=topology)
+            result = run_schedule(schedule, name, topology=topology,
+                                  bus=bus)
             row.runs += 1
             row.operations += result.operations
             row.granted += result.granted

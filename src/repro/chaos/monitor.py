@@ -113,13 +113,19 @@ class InvariantMonitor:
             protocol's partition set is a fixed denominator, not the
             granted quorum.
         seed: Chaos seed, stamped onto violations.
+        bus: A :class:`~repro.obs.live.bus.TelemetryBus` receiving an
+            ``invariant.violation`` event the instant a check trips —
+            before the exception unwinds — so live watchers see the
+            callout in real time.  ``None`` (the default) costs
+            nothing.
     """
 
     def __init__(self, inner: Any = None, policy: Optional[str] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None, bus: Optional[Any] = None):
         self._inner = inner if inner is not None else NullSink()
         self._policy = policy
         self._seed = seed
+        self._bus = bus
         self._check_containment = policy != "MCV"
         self._last_state: dict[int, tuple[int, int]] = {}
         self._commit_bodies: dict[int, tuple[int, frozenset[int]]] = {}
@@ -201,6 +207,15 @@ class InvariantMonitor:
                 "step": self.step_index,
             },
         ))
+        if self._bus is not None:
+            self._bus.publish(
+                "invariant.violation",
+                invariant=invariant,
+                detail=detail,
+                policy=self._policy,
+                seed=self._seed,
+                step=self.step_index,
+            )
         raise exc
 
     def _check_site_commit(self, record: TraceRecord) -> None:

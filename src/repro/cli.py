@@ -138,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--progress", action="store_true",
                        help="print a live progress line (cells done, "
                             "events/s, ETA) to stderr as cells complete")
+        p.add_argument("--live", action="store_true",
+                       help="stream telemetry (cell completions, phases, "
+                            "resource samples) to a live session under "
+                            "the run registry; follow it with 'repro "
+                            "watch' or the /live page of 'repro serve'")
         add_record_args(p)
 
     p = sub.add_parser("sweep", help="access-rate ablation for ODV/OTDV")
@@ -285,6 +290,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="8 seeds per policy: the CI smoke variant")
     q.add_argument("--json-out", metavar="PATH", default=None,
                    help="also write the sweep report as a JSON document")
+    q.add_argument("--live", action="store_true",
+                   help="stream per-policy phases, run summaries and "
+                        "invariant violations to a live session under "
+                        "the run registry")
+    q.add_argument("--runs-dir", metavar="DIR", default=None,
+                   help="registry root for --live (default .repro/runs, "
+                        "or REPRO_RUNS_DIR)")
 
     q = csub.add_parser(
         "replay",
@@ -438,6 +450,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="show at most N runs")
     q.add_argument("--offset", type=int, default=0,
                    help="skip the first N runs (after sorting)")
+    q.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                   help="repaint the listing every N seconds (summary-"
+                        "cache backed: an unchanged index costs one "
+                        "stat per repaint) until interrupted")
+    q.add_argument("--watch-count", type=int, default=None,
+                   metavar="N", help=argparse.SUPPRESS)
     add_runs_dir(q)
 
     q = rsub.add_parser(
@@ -530,6 +548,26 @@ def build_parser() -> argparse.ArgumentParser:
     warm.add_argument("--runs-dir", metavar="DIR",
                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
+    p = sub.add_parser(
+        "watch",
+        help="follow a live telemetry session (started with --live) in "
+             "the terminal",
+    )
+    p.add_argument("session", nargs="?", default="latest",
+                   help="live session id, >=4 char prefix, recorded run "
+                        "id, or 'latest' (default)")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="poll period in seconds (default 0.5)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="give up after N seconds even if the session "
+                        "is still running (default: wait forever)")
+    p.add_argument("--from-start", action="store_true",
+                   help="replay the whole event stream instead of "
+                        "tailing from the current end")
+    p.add_argument("--runs-dir", metavar="DIR", default=None,
+                   help="registry root (default .repro/runs, or "
+                        "REPRO_RUNS_DIR)")
+
     sub.add_parser("demo", help="run the Section 2 worked example")
     return parser
 
@@ -616,44 +654,66 @@ def _cmd_tables(args: argparse.Namespace, which: str) -> int:
     metrics_out = getattr(args, "metrics_out", None)
     record = getattr(args, "record", False)
     jobs = getattr(args, "jobs", None)
-    if not metrics_out and not record:
-        cells = run_study(params, jobs=jobs,
-                          progress=getattr(args, "progress", False))
-    else:
-        # The registry times the command itself (command.seconds), so
-        # the manifest's wall clock is the timer's own reading — no
-        # hand-rolled perf_counter pair.
-        metrics = MetricsRegistry()
-        profiler = None
-        if record and (jobs is None or jobs == 1):
-            # Recording keeps phase timings too (the report's phase
-            # breakdown); profiling is in-process, so parallel runs
-            # record without it rather than fail.
-            from repro.obs.prof import PhaseProfiler
-
-            profiler = PhaseProfiler(metrics)
-        with metrics.timed("command.seconds", command=which):
+    bus, live_session = _start_live(args, which, {
+        "horizon": params.horizon,
+        "seed": params.seed,
+        "warmup": params.warmup,
+        "batches": params.batches,
+        "access_rate": params.access_rate_per_day,
+        "jobs": jobs,
+    })
+    registered = None
+    try:
+        if not metrics_out and not record:
             cells = run_study(params, jobs=jobs,
-                              metrics=metrics,
                               progress=getattr(args, "progress", False),
-                              profiler=profiler,
-                              capture_timelines=record)
-        if profiler is not None:
-            profiler.flush()
-        if metrics_out:
-            _write_metrics_dump(
-                metrics_out, which, params, PAPER_POLICIES,
-                tuple(sorted(CONFIGURATIONS)), metrics,
-                metrics.histogram("command.seconds", command=which).total,
-                jobs=jobs,
-            )
-        if record:
-            registered = _registry(args).record_study(
-                cells, params, PAPER_POLICIES,
-                tuple(sorted(CONFIGURATIONS)), command=which,
-                metrics=metrics, timelines=cells.timelines,
-            )
-            _record_note(registered)
+                              bus=bus)
+        else:
+            # The registry times the command itself (command.seconds), so
+            # the manifest's wall clock is the timer's own reading — no
+            # hand-rolled perf_counter pair.
+            metrics = MetricsRegistry()
+            profiler = None
+            if record and (jobs is None or jobs == 1):
+                # Recording keeps phase timings too (the report's phase
+                # breakdown); profiling is in-process, so parallel runs
+                # record without it rather than fail.
+                from repro.obs.prof import PhaseProfiler
+
+                profiler = PhaseProfiler(metrics)
+            with metrics.timed("command.seconds", command=which):
+                cells = run_study(params, jobs=jobs,
+                                  metrics=metrics,
+                                  progress=getattr(args, "progress", False),
+                                  profiler=profiler,
+                                  capture_timelines=record,
+                                  bus=bus)
+            if profiler is not None:
+                profiler.flush()
+            if metrics_out:
+                _write_metrics_dump(
+                    metrics_out, which, params, PAPER_POLICIES,
+                    tuple(sorted(CONFIGURATIONS)), metrics,
+                    metrics.histogram("command.seconds",
+                                      command=which).total,
+                    jobs=jobs,
+                )
+            if record:
+                registered = _registry(args).record_study(
+                    cells, params, PAPER_POLICIES,
+                    tuple(sorted(CONFIGURATIONS)), command=which,
+                    metrics=metrics, timelines=cells.timelines,
+                )
+                _record_note(registered)
+    except BaseException:
+        if live_session is not None:
+            live_session.finish("failed")
+        raise
+    if live_session is not None:
+        live_session.finish(
+            "finished",
+            run_id=None if registered is None else registered.run_id,
+        )
     if which in ("table2", "study"):
         if args.no_compare:
             print(format_table2(cells))
@@ -1311,13 +1371,28 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
     print(f"chaos sweep: {len(policies)} policies x {seeds} seeds "
           f"({len(policies) * seeds} schedules of {args.steps} steps, "
           f"config {args.config}) ...", file=sys.stderr)
-    report = run_sweep(
-        policies=policies,
-        seeds=range(seeds),
-        config=args.config,
-        steps=args.steps,
-        chaos=chaos,
-    )
+    bus, live_session = _start_live(args, "chaos sweep", {
+        "policies": policies,
+        "seeds": seeds,
+        "config": args.config,
+        "steps": args.steps,
+        "unsafe_partial_commits": args.unsafe_partial_commits,
+    })
+    try:
+        report = run_sweep(
+            policies=policies,
+            seeds=range(seeds),
+            config=args.config,
+            steps=args.steps,
+            chaos=chaos,
+            bus=bus,
+        )
+    except BaseException:
+        if live_session is not None:
+            live_session.finish("failed")
+        raise
+    if live_session is not None:
+        live_session.finish("finished")
     rows = [
         [
             row.policy, row.runs, row.operations, row.granted, row.denied,
@@ -1689,40 +1764,154 @@ def _registry(args: argparse.Namespace):
     return RunRegistry(getattr(args, "runs_dir", None))
 
 
+def _start_live(args: argparse.Namespace, command: str,
+                parameters: dict) -> tuple:
+    """A ``(bus, session)`` pair when ``--live`` was given, else
+    ``(None, None)`` — the no-bus path costs nothing downstream."""
+    if not getattr(args, "live", False):
+        return None, None
+    from repro.obs.live import TelemetryBus
+    from repro.obs.live.stream import LiveSession
+
+    registry = _registry(args)
+    bus = TelemetryBus()
+    try:
+        session = LiveSession.start(registry.root, command, parameters)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot start a live session under {registry.root}: {exc}"
+        ) from exc
+    session.attach(bus)
+    print(f"live session {session.live_id} -> {session.stream_path} "
+          f"(follow with 'repro watch {session.live_id[:8]}' or the "
+          "/live page of 'repro serve')", file=sys.stderr)
+    return bus, session
+
+
+def _format_live_event(event: dict) -> str:
+    """One ``live.jsonl`` event as a terminal line."""
+    seq = event.get("seq", "?")
+    kind = event.get("kind", "?")
+    detail = " ".join(
+        f"{key}={value}"
+        for key, value in sorted(event.items())
+        if key not in ("seq", "kind", "at") and value is not None
+    )
+    return f"[{seq:>5}] {kind:<20} {detail}"
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.live.stream import LiveTail
+
+    registry = _registry(args)
+    session = registry.resolve_live(args.session)
+    offset = 0
+    if not args.from_start:
+        try:
+            offset = session.stream_path.stat().st_size
+        except OSError:
+            offset = 0
+    print(f"watching live session {session.live_id} "
+          f"({session.descriptor.get('command', '?')}, "
+          f"{session.status}) under {registry.root}", file=sys.stderr)
+    deadline = None
+    if args.timeout is not None:
+        deadline = time.monotonic() + args.timeout
+    tail = LiveTail(session.stream_path, offset=offset)
+    try:
+        while True:
+            events = tail.poll()
+            for event in events:
+                print(_format_live_event(event))
+            if events:
+                continue
+            session.refresh()
+            if session.status != "running":
+                for event in tail.poll():  # drain the final writes
+                    print(_format_live_event(event))
+                run_id = session.descriptor.get("run_id")
+                print(f"session {session.status}"
+                      + (f"; recorded as run {run_id}" if run_id else ""),
+                      file=sys.stderr)
+                return 1 if session.status == "failed" else 0
+            if deadline is not None and time.monotonic() >= deadline:
+                print(f"gave up after {args.timeout:g}s: session "
+                      "is still running", file=sys.stderr)
+                return 1
+            time.sleep(max(args.interval, 0.05))
+    except KeyboardInterrupt:
+        print("stopped", file=sys.stderr)
+        return 0
+    finally:
+        tail.close()
+
+
 def _record_note(record) -> None:
     print(f"recorded {record.kind} run {record.run_id} -> {record.path}",
           file=sys.stderr)
 
 
 def _cmd_runs_list(args: argparse.Namespace) -> int:
+    import time
+
     from repro.experiments.report import ascii_table
     from repro.obs.serve.cache import SummaryCache, query_cards
 
     registry = _registry(args)
-    cards = SummaryCache(registry).cards()
-    total, page = query_cards(
-        cards, kind=args.kind, sort=args.sort,
-        limit=args.limit, offset=args.offset,
-    )
-    if not page:
-        print(f"no runs recorded under {registry.root}"
-              if not cards else
-              f"no runs match (of {len(cards)} under {registry.root})")
-        return 0
-    rows = [
-        [
-            card["run_id"], card["kind"],
-            card["created_at"].split("T")[0],
-            card["caption"],
+    cache = SummaryCache(registry)
+    watch = getattr(args, "watch", None)
+    if watch is not None and watch <= 0:
+        raise ConfigurationError(
+            f"--watch must be a positive number of seconds, got {watch:g}"
+        )
+    repaints = 0
+
+    def paint() -> None:
+        cards = cache.cards()
+        total, page = query_cards(
+            cards, kind=args.kind, sort=args.sort,
+            limit=args.limit, offset=args.offset,
+        )
+        if not page:
+            print(f"no runs recorded under {registry.root}"
+                  if not cards else
+                  f"no runs match (of {len(cards)} under "
+                  f"{registry.root})")
+            return
+        rows = [
+            [
+                card["run_id"], card["kind"],
+                card["created_at"].split("T")[0],
+                card["caption"],
+            ]
+            for card in page
         ]
-        for card in page
-    ]
-    print(ascii_table(["run", "kind", "recorded", "summary"], rows))
-    if len(page) != total:
-        print(f"{len(page)} of {total} run(s) under {registry.root}")
-    else:
-        print(f"{total} run(s) under {registry.root}")
-    return 0
+        print(ascii_table(["run", "kind", "recorded", "summary"], rows))
+        if len(page) != total:
+            print(f"{len(page)} of {total} run(s) under {registry.root}")
+        else:
+            print(f"{total} run(s) under {registry.root}")
+
+    try:
+        while True:
+            if repaints and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            elif repaints:
+                print()
+            paint()
+            repaints += 1
+            if watch is None:
+                return 0
+            count = getattr(args, "watch_count", None)
+            if count is not None and repaints >= count:
+                return 0
+            sys.stdout.flush()
+            time.sleep(watch)
+    except KeyboardInterrupt:
+        print("stopped", file=sys.stderr)
+        return 0
 
 
 def _cmd_runs_show(args: argparse.Namespace) -> int:
@@ -1950,6 +2139,7 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             _ensure_writable(value)
     runs_dir = getattr(args, "runs_dir", None)
     if runs_dir and (getattr(args, "record", False)
+                     or getattr(args, "live", False)
                      or args.command in ("runs", "report", "serve")):
         _ensure_dir_writable(runs_dir)
     command = args.command
@@ -1991,6 +2181,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_report(args)
     elif command == "serve":
         return _cmd_serve(args)
+    elif command == "watch":
+        return _cmd_watch(args)
     elif command == "demo":
         _cmd_demo(args)
     else:  # pragma: no cover - argparse enforces choices

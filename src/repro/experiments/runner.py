@@ -9,6 +9,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.live.bus import TelemetryBus
     from repro.obs.prof.phases import PhaseProfiler
 
 from repro.core.registry import PAPER_POLICIES
@@ -251,10 +252,15 @@ def _init_worker(
     _WORKER_CONTEXT["trace"] = trace
     _WORKER_CONTEXT["access_times"] = access_times
     _WORKER_CONTEXT["topology"] = testbed_topology()
+    _WORKER_CONTEXT["events_per_cell"] = (
+        len(trace.events) + len(access_times)
+    )
+    _WORKER_CONTEXT["events_done"] = 0
+    _WORKER_CONTEXT.pop("sampler", None)
 
 
 def _run_cell_worker(
-    task: tuple[str, str, bool, bool],
+    task: tuple[str, str, bool, bool, bool],
 ) -> tuple[
     tuple[str, str],
     CellResult,
@@ -264,12 +270,16 @@ def _run_cell_worker(
     """Process-pool entry point: one (configuration, policy) cell.
 
     The shared study context comes from :func:`_init_worker`; the task
-    itself is just the cell key plus whether to tally metrics and
-    capture timelines (both returned per cell for the parent to merge —
-    registries merge, timeline documents are per-cell already).
+    itself is just the cell key plus whether to tally metrics, capture
+    timelines and sample resources (all returned per cell for the
+    parent to merge — registries merge, timeline documents are
+    per-cell already, and ``live.proc.*`` gauges ride in the metrics
+    registry labelled by worker pid).
     """
-    config_key, policy, want_metrics, want_timelines = task
-    metrics = MetricsRegistry() if want_metrics else None
+    config_key, policy, want_metrics, want_timelines, want_live = task
+    metrics = (
+        MetricsRegistry() if (want_metrics or want_live) else None
+    )
     timeline_sink = None
     extra_sinks: tuple[object, ...] = ()
     if want_timelines:
@@ -287,6 +297,18 @@ def _run_cell_worker(
         metrics=metrics,
         extra_sinks=extra_sinks,
     )
+    if want_live:
+        from repro.obs.live.resources import ResourceSampler
+
+        sampler = _WORKER_CONTEXT.get("sampler")
+        if sampler is None:
+            sampler = _WORKER_CONTEXT["sampler"] = ResourceSampler()
+        _WORKER_CONTEXT["events_done"] += _WORKER_CONTEXT["events_per_cell"]
+        sampler.tick(
+            metrics=metrics,
+            events=_WORKER_CONTEXT["events_done"],
+            worker=os.getpid(),
+        )
     documents = (
         timeline_sink.documents() if timeline_sink is not None else None
     )
@@ -299,6 +321,17 @@ def _run_cell_worker(
 ProgressSpec = Union[bool, Callable[[int, int], StudyProgress], None]
 
 
+class _NullTextStream:
+    """Swallow progress lines when live telemetry runs without
+    ``progress=True`` (the bus still needs per-cell events)."""
+
+    def write(self, text: str) -> int:
+        return len(text)
+
+    def flush(self) -> None:
+        pass
+
+
 def run_study(
     params: Optional[StudyParameters] = None,
     configurations: Optional[Iterable[Configuration]] = None,
@@ -308,6 +341,7 @@ def run_study(
     progress: ProgressSpec = None,
     profiler: Optional["PhaseProfiler"] = None,
     capture_timelines: bool = False,
+    bus: Optional["TelemetryBus"] = None,
 ) -> StudyResult:
     """Run the full study: every configuration against every policy.
 
@@ -354,6 +388,15 @@ def run_study(
             --record`` stores as ``timelines.json``; in the parallel
             path each worker folds its own cell and ships the finished
             spans back.
+        bus: A :class:`~repro.obs.live.bus.TelemetryBus` receiving
+            live events: ``study.phase`` transitions, ``study.start``,
+            one ``study.cell`` per completion, throttled
+            ``resource.sample`` readings and a terminal ``study.done``.
+            Like every other hook, ``None`` (the default) costs
+            nothing.  The bus lives in this process; in the parallel
+            path workers additionally fold ``live.proc.*`` gauges
+            (labelled by worker pid) into their per-cell registries,
+            which merge through *metrics* as usual.
 
     Raises:
         ConfigurationError: for ``jobs < 1``, or a *profiler* combined
@@ -378,12 +421,16 @@ def run_study(
         jobs or 1,
     )
     topology = testbed_topology()
+    if bus is not None:
+        bus.publish("study.phase", phase="generate-trace")
     trace_phase = (
         profiler.phase("study.trace")
         if profiler is not None else contextlib.nullcontext()
     )
     with trace_phase:
         trace = generate_trace(testbed_profiles(), params.horizon, params.seed)
+    if bus is not None:
+        bus.publish("study.phase", phase="generate-access")
     access_phase = (
         profiler.phase("study.access")
         if profiler is not None else contextlib.nullcontext()
@@ -392,16 +439,42 @@ def run_study(
         access_times = poisson_times(
             params.access_rate_per_day, trace.horizon, params.seed
         )
+    total_cells = len(configurations) * len(policies)
+    events_per_cell = len(trace.events) + len(access_times)
     reporter: Optional[StudyProgress] = None
     if progress:
-        total_cells = len(configurations) * len(policies)
-        events_per_cell = len(trace.events) + len(access_times)
         if callable(progress):
             reporter = progress(total_cells, events_per_cell)
+            if bus is not None and reporter._bus is None:
+                reporter._bus = bus
         else:
             reporter = StudyProgress(
-                total_cells, events_per_cell, metrics=metrics
+                total_cells, events_per_cell, metrics=metrics, bus=bus
             )
+    elif bus is not None:
+        # No progress lines asked for, but the bus still needs one
+        # study.cell event per completion: report into a null stream.
+        reporter = StudyProgress(
+            total_cells, events_per_cell, stream=_NullTextStream(),
+            metrics=metrics, bus=bus,
+        )
+    sampler = None
+    if bus is not None:
+        from repro.obs.live.resources import ResourceSampler
+
+        sampler = ResourceSampler()
+        bus.publish(
+            "study.start",
+            total_cells=total_cells,
+            events_per_cell=events_per_cell,
+            configurations=[c.key for c in configurations],
+            policies=list(policies),
+            horizon=params.horizon,
+            seed=params.seed,
+            jobs=jobs or 1,
+        )
+        sampler.tick(bus=bus, metrics=metrics, events=0, force=True)
+        bus.publish("study.phase", phase="evaluate")
     cells = StudyResult()
     failed: list[FailedCell] = []
     if capture_timelines:
@@ -453,10 +526,23 @@ def run_study(
                         ).update(timeline_sink.documents())
                 if reporter is not None:
                     reporter.cell_done(key)
+                if sampler is not None and reporter is not None:
+                    sampler.tick(
+                        bus=bus, metrics=metrics,
+                        events=reporter.cells_done * events_per_cell,
+                    )
         cells.failed_cells = tuple(failed)
+        if bus is not None:
+            bus.publish(
+                "study.done",
+                cells=len(cells),
+                failed_cells=len(cells.failed_cells),
+                ok=cells.ok,
+            )
         return cells
     tasks = [
-        (configuration.key, policy, metrics is not None, capture_timelines)
+        (configuration.key, policy, metrics is not None, capture_timelines,
+         bus is not None)
         for configuration in configurations
         for policy in policies
     ]
@@ -513,5 +599,17 @@ def run_study(
                     )
                 if reporter is not None:
                     reporter.cell_done(key)
+                if sampler is not None and reporter is not None:
+                    sampler.tick(
+                        bus=bus, metrics=metrics,
+                        events=reporter.cells_done * events_per_cell,
+                    )
     cells.failed_cells = tuple(failed)
+    if bus is not None:
+        bus.publish(
+            "study.done",
+            cells=len(cells),
+            failed_cells=len(cells.failed_cells),
+            ok=cells.ok,
+        )
     return cells

@@ -1,0 +1,53 @@
+"""Live telemetry: watch a run while it is still running.
+
+Everything observability built so far is post-hoc — traces, metrics,
+registry records and HTML reports exist only after a run finishes.
+This package adds the *during*: an in-process pub/sub
+:class:`TelemetryBus` that the runner, the chaos harness and the
+invariant monitor publish structured events into; a
+:class:`LiveStreamSink` that persists those events to a tailable
+``live.jsonl`` under the run registry; a :class:`ResourceSampler`
+reading ``/proc/self`` for RSS/CPU so a long sweep's footprint is
+visible as ``live.proc.*`` gauges; and :func:`render_prometheus`, a
+text-format exposition of any :class:`~repro.obs.metrics.
+MetricsRegistry` so ``/metricsz`` speaks to a scraper.
+
+Like every other hook in the package, the bus is zero-cost when
+unused: publishers take ``bus=None`` defaults and skip all work, so a
+study without ``--live`` pays nothing.
+"""
+
+from repro.obs.live.bus import Subscription, TelemetryBus, TelemetryEvent
+from repro.obs.live.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.live.resources import (
+    ResourceSample,
+    ResourceSampler,
+    sample_self,
+)
+from repro.obs.live.stream import (
+    LIVE_DESCRIPTOR_NAME,
+    LIVE_STREAM_NAME,
+    LiveSession,
+    LiveStreamSink,
+    LiveTail,
+    live_session_id,
+    read_live_events,
+)
+
+__all__ = [
+    "LIVE_DESCRIPTOR_NAME",
+    "LIVE_STREAM_NAME",
+    "LiveSession",
+    "LiveStreamSink",
+    "LiveTail",
+    "PROMETHEUS_CONTENT_TYPE",
+    "ResourceSample",
+    "ResourceSampler",
+    "Subscription",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "live_session_id",
+    "read_live_events",
+    "render_prometheus",
+    "sample_self",
+]

@@ -1,0 +1,224 @@
+"""An in-process telemetry bus: sequence-numbered, bounded pub/sub.
+
+The bus is the seam between the layers that *produce* live signals
+(the study runner, the chaos harness, the invariant monitor, the
+resource sampler) and the layers that *consume* them (the
+``live.jsonl`` stream sink, the SSE endpoint, ``repro watch``).
+Producers call ``bus.publish(kind, **fields)``; each delivered event
+carries a gap-free sequence number, a wall-clock timestamp and the
+free-form fields.
+
+Design points:
+
+* **Zero-cost when nobody listens.**  ``publish`` with no subscriber
+  returns immediately without allocating an event or taking the lock
+  (only a dropped-counter increment), and every call site takes
+  ``bus=None`` defaults, so an un-instrumented run pays nothing —
+  the same contract as ``tracer is not None`` / ``profiler is not
+  None`` elsewhere in the package.
+* **Gap-free sequence numbers.**  Sequence numbers are assigned only
+  to delivered events, under the bus lock, so a sink attached before
+  the run starts observes ``0, 1, 2, ...`` with no holes — the
+  property the live-stream tests assert.
+* **Bounded ring.**  The last *capacity* events are retained so a
+  subscriber attaching mid-run (``replay=True``) can catch up without
+  the producers ever blocking on a slow consumer.
+* **Merge-safe across workers.**  In a parallel ``run_study`` the bus
+  lives in the *parent* process and is fed as cell results arrive
+  (exactly like :class:`~repro.obs.telemetry.StudyProgress`); workers
+  fold their ``live.proc.*`` gauges into their per-cell
+  :class:`~repro.obs.metrics.MetricsRegistry`, which the parent
+  merges.  No cross-process bus state exists.
+
+A subscriber that raises is detached (with a logged traceback) rather
+than aborting the run: live telemetry must never change or kill the
+simulation it watches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import deque
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.logging import get_logger
+
+__all__ = ["Subscription", "TelemetryBus", "TelemetryEvent"]
+
+_log = get_logger("obs.live.bus")
+
+
+class TelemetryEvent:
+    """One published event.
+
+    Attributes:
+        seq: Gap-free sequence number assigned by the bus.
+        kind: Dotted event kind (``study.cell``, ``resource.sample``,
+            ``invariant.violation``, ...).
+        at: Wall-clock POSIX timestamp at publish time.
+        fields: The publisher's free-form payload.
+    """
+
+    __slots__ = ("seq", "kind", "at", "fields")
+
+    def __init__(self, seq: int, kind: str, at: float,
+                 fields: Mapping[str, Any]):
+        self.seq = seq
+        self.kind = kind
+        self.at = at
+        self.fields = fields
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable document (``seq``/``kind``/``at`` plus
+        the payload fields)."""
+        document: dict[str, Any] = {
+            "seq": self.seq, "kind": self.kind, "at": self.at,
+        }
+        document.update(self.fields)
+        return document
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetryEvent":
+        """Rebuild an event from its :meth:`to_dict` document."""
+        try:
+            seq = int(data["seq"])
+            kind = str(data["kind"])
+            at = float(data["at"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"not a telemetry event document: {dict(data)!r}"
+            ) from exc
+        fields = {
+            key: value for key, value in data.items()
+            if key not in ("seq", "kind", "at")
+        }
+        return cls(seq, kind, at, fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TelemetryEvent #{self.seq} {self.kind}>"
+
+
+class Subscription:
+    """A handle on one bus subscription; ``close()`` detaches it."""
+
+    __slots__ = ("_bus", "callback", "name")
+
+    def __init__(self, bus: "TelemetryBus",
+                 callback: Callable[[TelemetryEvent], None], name: str):
+        self._bus = bus
+        self.callback = callback
+        self.name = name
+
+    def close(self) -> None:
+        """Detach from the bus (idempotent)."""
+        self._bus.unsubscribe(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Subscription {self.name}>"
+
+
+class TelemetryBus:
+    """Sequence-numbered, bounded-ring pub/sub of structured events.
+
+    Args:
+        capacity: Events retained in the replay ring (``>= 1``).
+        clock: Wall-clock source stamped on events (injectable for
+            tests; default ``time.time``).
+    """
+
+    _RESERVED = frozenset({"seq", "kind", "at"})
+
+    def __init__(self, capacity: int = 1024,
+                 clock: Callable[[], float] = _time.time):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"bus capacity must be >= 1, got {capacity}"
+            )
+        self._ring: deque[TelemetryEvent] = deque(maxlen=capacity)
+        self._subscribers: list[Subscription] = []
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.next_seq = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def publish(self, kind: str, **fields: Any) -> Optional[TelemetryEvent]:
+        """Deliver one event to every subscriber; returns it.
+
+        With no subscriber attached this is (nearly) free: no event is
+        allocated, no lock is taken, and ``None`` is returned — only
+        :attr:`dropped` is incremented.  Sequence numbers therefore
+        count *delivered* events and stay gap-free for any sink that
+        subscribed before the run started.
+
+        Raises:
+            ConfigurationError: a field shadows ``seq``/``kind``/``at``.
+        """
+        if not self._subscribers:
+            self.dropped += 1
+            return None
+        shadowed = self._RESERVED.intersection(fields)
+        if shadowed:
+            raise ConfigurationError(
+                f"telemetry fields {sorted(shadowed)} shadow the "
+                "event envelope (seq/kind/at)"
+            )
+        with self._lock:
+            event = TelemetryEvent(self.next_seq, str(kind),
+                                   self._clock(), fields)
+            self.next_seq += 1
+            self._ring.append(event)
+            targets = tuple(self._subscribers)
+        for subscription in targets:
+            try:
+                subscription.callback(event)
+            except Exception:
+                _log.exception(
+                    "telemetry subscriber %s failed on %s; detaching",
+                    subscription.name, event.kind,
+                )
+                self.unsubscribe(subscription)
+        return event
+
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        callback: Callable[[TelemetryEvent], None],
+        name: str = "subscriber",
+        replay: bool = False,
+    ) -> Subscription:
+        """Attach *callback*; with ``replay=True`` it first receives
+        the retained ring (a late watcher catching up mid-run)."""
+        subscription = Subscription(self, callback, name)
+        with self._lock:
+            backlog = tuple(self._ring) if replay else ()
+            self._subscribers.append(subscription)
+        for event in backlog:
+            callback(event)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Detach *subscription* (idempotent)."""
+        with self._lock:
+            try:
+                self._subscribers.remove(subscription)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    def recent(self) -> tuple[TelemetryEvent, ...]:
+        """The retained ring, oldest first."""
+        with self._lock:
+            return tuple(self._ring)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TelemetryBus seq={self.next_seq} "
+            f"subscribers={len(self._subscribers)} dropped={self.dropped}>"
+        )

@@ -1,0 +1,117 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+Renders any registry — the simulator's per-run series or the serve
+middleware's request telemetry — in the text exposition format
+(version 0.0.4) a Prometheus scraper ingests:
+
+* counters become ``<name>_total`` samples typed ``counter``;
+* gauges map one-to-one;
+* histograms become *summaries*: ``{quantile="0.5|0.95|0.99"}``
+  samples from the bounded reservoir plus exact ``_sum``/``_count``.
+
+Dotted series names are sanitised to the Prometheus grammar
+(``serve.latency.seconds`` → ``serve_latency_seconds``); labels are
+escaped per the format's rules.  The renderer only reads the registry,
+so it can run concurrently with instrumented code the same way
+``to_dict()`` does.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "render_prometheus"]
+
+#: The Content-Type a conforming exposition endpoint serves.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Summary quantiles exported for histogram series.
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _metric_name(name: str) -> str:
+    sanitized = _INVALID.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+                 .replace("\n", "\\n")
+                 .replace('"', '\\"'))
+
+
+def _labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_metric_name(key)}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (0.0.4).
+
+    Series sharing a name render contiguously under one ``# TYPE``
+    line (the registry enforces one instrument kind per name, so the
+    type is well defined).
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for name, labels, instrument in registry.series():
+        base = _metric_name(name)
+        if isinstance(instrument, Counter):
+            if base not in typed:
+                typed.add(base)
+                lines.append(f"# TYPE {base}_total counter")
+            lines.append(
+                f"{base}_total{_labels(labels)} {_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Gauge):
+            if base not in typed:
+                typed.add(base)
+                lines.append(f"# TYPE {base} gauge")
+            lines.append(
+                f"{base}{_labels(labels)} {_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Histogram):
+            if base not in typed:
+                typed.add(base)
+                lines.append(f"# TYPE {base} summary")
+            for quantile in _QUANTILES:
+                quantile_label = f'quantile="{_value(quantile)}"'
+                lines.append(
+                    f"{base}{_labels(labels, quantile_label)} "
+                    f"{_value(instrument.quantile(quantile))}"
+                )
+            lines.append(
+                f"{base}_sum{_labels(labels)} {_value(instrument.total)}"
+            )
+            lines.append(
+                f"{base}_count{_labels(labels)} {_value(instrument.count)}"
+            )
+        # Unknown instrument kinds are skipped: exposition must never
+        # break the endpoint that serves it.
+    return "\n".join(lines) + "\n" if lines else ""

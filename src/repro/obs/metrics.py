@@ -149,7 +149,7 @@ class Histogram:
         return ordered[index] + fraction * (ordered[index + 1] - ordered[index])
 
     def to_dict(self) -> dict[str, Any]:
-        """A JSON-serialisable summary with p50/p95."""
+        """A JSON-serialisable summary with p50/p95/p99."""
         return {
             "type": "histogram",
             "count": self.count,
@@ -159,6 +159,7 @@ class Histogram:
             "mean": self.mean,
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -12,6 +12,9 @@ Layout::
             timelines.json     # per-cell availability timelines
             trace.jsonl        # decision trace (scenario/chaos runs)
             chaos.json / bench.json / profile.json
+        <live-id>/
+            live.json          # live-session descriptor (in-flight runs)
+            live.jsonl         # tailable telemetry event stream
 
 A run id is the truncated SHA-256 of the run's *canonical result
 bytes* (:func:`repro.experiments.study_io.canonical_study_bytes` for
@@ -737,6 +740,88 @@ class RunRegistry:
         runs = self.list_runs(kind=kind)
         return runs[-1] if runs else None
 
+    # ------------------------------------------------------------------
+    # live sessions
+    # ------------------------------------------------------------------
+    def live_sessions(self) -> list[Any]:
+        """Every live-telemetry session under this root, oldest first.
+
+        A live session (:class:`~repro.obs.live.stream.LiveSession`) is
+        a directory holding a ``live.json`` descriptor and a tailable
+        ``live.jsonl`` event stream.  It has no ``record.json``, so the
+        index-driven run listing never sees it; this scan is the one
+        place live directories are discovered.
+        """
+        from repro.obs.live.stream import LIVE_DESCRIPTOR_NAME, LiveSession
+
+        sessions = []
+        try:
+            children = sorted(self.root.iterdir())
+        except OSError:
+            return []
+        for child in children:
+            if child.name == CACHE_DIR_NAME:
+                continue
+            if not (child / LIVE_DESCRIPTOR_NAME).is_file():
+                continue
+            try:
+                sessions.append(LiveSession.load(child))
+            except ConfigurationError:
+                continue
+        sessions.sort(
+            key=lambda session: str(session.descriptor.get("started_at", ""))
+        )
+        return sessions
+
+    def latest_live(self) -> Optional[Any]:
+        """The most recently started live session, preferring one that
+        is still running; ``None`` when there are none."""
+        sessions = self.live_sessions()
+        if not sessions:
+            return None
+        running = [s for s in sessions if s.status == "running"]
+        return (running or sessions)[-1]
+
+    def resolve_live(self, token: str) -> Any:
+        """Resolve *token* to one live session.
+
+        Accepted forms: the literal ``latest`` (running sessions win);
+        an exact live id; a unique id prefix of at least 4 characters;
+        or the ``run_id`` a finished session was recorded as.
+
+        Raises:
+            ConfigurationError: nothing (or more than one) matches.
+        """
+        if token == "latest":
+            session = self.latest_live()
+            if session is None:
+                raise ConfigurationError(
+                    f"no live sessions under {self.root}"
+                )
+            return session
+        wanted = token.lower()
+        sessions = self.live_sessions()
+        matches = [
+            session for session in sessions
+            if session.live_id == wanted
+            or str(session.descriptor.get("run_id", "")) == wanted
+        ]
+        if not matches and len(wanted) >= _MIN_PREFIX:
+            matches = [
+                session for session in sessions
+                if session.live_id.startswith(wanted)
+            ]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            ids = ", ".join(session.live_id for session in matches)
+            raise ConfigurationError(
+                f"live session prefix {token!r} is ambiguous: {ids}"
+            )
+        raise ConfigurationError(
+            f"no live session matches {token!r} under {self.root}"
+        )
+
     def resolve(self, token: str) -> RunRecord:
         """Resolve *token* to one run.
 
@@ -815,24 +900,33 @@ class RunRegistry:
         ]
         keep = keep_last if keep_last is not None else 0
         doomed = candidates[: max(0, len(candidates) - keep)]
-        if dry_run or not doomed:
+        if dry_run:
             return doomed
-        doomed_ids = {record.run_id for record in doomed}
-        for record in doomed:
-            shutil.rmtree(self.root / record.run_id, ignore_errors=True)
-        survivors = [r for r in runs if r.run_id not in doomed_ids]
-        try:
-            tmp = self.index_path.with_suffix(".jsonl.tmp")
-            with tmp.open("w") as handle:
-                for record in survivors:
-                    handle.write(json.dumps(record.to_dict(),
-                                            sort_keys=True) + "\n")
-            tmp.replace(self.index_path)
-        except OSError as exc:
-            raise ConfigurationError(
-                f"cannot rewrite index under {self.root}: {exc}"
-            ) from exc
-        # Compaction is the one move that breaks the append-only cursor
-        # contract, so derived summaries must be rebuilt from scratch.
-        shutil.rmtree(self.cache_dir, ignore_errors=True)
+        if doomed:
+            doomed_ids = {record.run_id for record in doomed}
+            for record in doomed:
+                shutil.rmtree(self.root / record.run_id,
+                              ignore_errors=True)
+            survivors = [r for r in runs if r.run_id not in doomed_ids]
+            try:
+                tmp = self.index_path.with_suffix(".jsonl.tmp")
+                with tmp.open("w") as handle:
+                    for record in survivors:
+                        handle.write(json.dumps(record.to_dict(),
+                                                sort_keys=True) + "\n")
+                tmp.replace(self.index_path)
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot rewrite index under {self.root}: {exc}"
+                ) from exc
+            # Compaction is the one move that breaks the append-only
+            # cursor contract, so derived summaries must be rebuilt
+            # from scratch.
+            shutil.rmtree(self.cache_dir, ignore_errors=True)
+        # Finished live sessions are derived data too: their streams
+        # were either recorded (run_id stamped) or abandoned.  Running
+        # ones are left alone — another process may still be writing.
+        for session in self.live_sessions():
+            if session.status != "running":
+                shutil.rmtree(session.path, ignore_errors=True)
         return doomed

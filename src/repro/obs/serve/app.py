@@ -12,11 +12,16 @@ Routes::
     GET /                   paginated, sortable run index (HTML)
     GET /runs/<id>          one run (HTML; id, >=4-char prefix, latest)
     GET /diff/<a>/<b>       cross-run study diff (HTML)
+    GET /live               real-time dashboard over live sessions (HTML)
     GET /api/runs           summary cards (JSON; sort/kind/limit/offset)
     GET /api/runs/<id>      one run record (JSON)
+    GET /api/runs/<id>/live SSE stream tailing the session's live.jsonl
     GET /api/diff/<a>/<b>   noise-gated diff document (JSON)
+    GET /api/live           live-session listing (JSON)
     GET /healthz            liveness + registry stats (JSON)
-    GET /metricsz           the server's own MetricsRegistry (JSON)
+    GET /metricsz           the server's own MetricsRegistry (JSON; or
+                            Prometheus text via Accept: text/plain /
+                            ?format=prometheus)
 
 Caching: run ids are content hashes, so every per-run response carries
 a deterministic ``ETag`` and honours ``If-None-Match`` with a bodyless
@@ -32,17 +37,40 @@ import html as _html
 import json
 import re
 import socketserver
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+import time as _time
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 from urllib.parse import parse_qs, urlencode
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer
 from wsgiref.simple_server import make_server as _wsgiref_make_server
 
 from repro.errors import ConfigurationError
+from repro.obs.live.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.live.stream import LiveSession, LiveTail
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.registry.store import RunRecord, RunRegistry
 from repro.obs.serve.cache import SORT_KEYS, SummaryCache, query_cards
-from repro.obs.serve.middleware import ROUTE_KEY, RequestTimingMiddleware
+from repro.obs.serve.live import (
+    SSE_CONTENT_TYPE,
+    live_dashboard_body,
+    sse_comment,
+    sse_end,
+    sse_event,
+)
+from repro.obs.serve.middleware import (
+    ROUTE_KEY,
+    STREAM_KEY,
+    RequestTimingMiddleware,
+)
 
 __all__ = [
     "API_VERSION",
@@ -116,6 +144,32 @@ def _json_response(
     )
 
 
+class _StreamResponse:
+    """A chunk-by-chunk response (the SSE live stream).
+
+    No ``Content-Length``: the connection closes when the iterator
+    ends, which is how an SSE stream terminates.  The middleware sees
+    ``environ["repro.stream"]`` and passes chunks through unbuffered.
+    """
+
+    __slots__ = ("status", "headers", "iterator")
+
+    def __init__(self, iterator: Iterator[bytes],
+                 content_type: str = SSE_CONTENT_TYPE):
+        self.status = _STATUS[200]
+        self.iterator = iterator
+        self.headers = [
+            ("Content-Type", content_type),
+            ("Cache-Control", "no-store"),
+            ("X-Accel-Buffering", "no"),
+        ]
+
+    def close(self) -> None:
+        close = getattr(self.iterator, "close", None)
+        if close is not None:
+            close()
+
+
 def _not_modified(etag: str) -> _Response:
     return _Response(b"", status=304, etag=etag)
 
@@ -137,6 +191,20 @@ def _int_param(query: Mapping[str, list[str]], key: str,
         raise ConfigurationError(
             f"query parameter {key!r} must be an integer, got {raw!r}"
         ) from None
+
+
+def _float_param(query: Mapping[str, list[str]], key: str,
+                 default: float, minimum: float, maximum: float) -> float:
+    raw = _first(query, key)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"query parameter {key!r} must be a number, got {raw!r}"
+        ) from None
+    return min(max(value, minimum), maximum)
 
 
 class RunExplorerApp:
@@ -168,17 +236,24 @@ class RunExplorerApp:
         path = environ.get("PATH_INFO", "/") or "/"
         query = parse_qs(environ.get("QUERY_STRING", ""))
         etag_in = environ.get("HTTP_IF_NONE_MATCH")
+        accept = environ.get("HTTP_ACCEPT", "")
         if method not in ("GET", "HEAD"):
             environ[ROUTE_KEY] = "method-not-allowed"
-            response = _Response(
+            response: Union[_Response, _StreamResponse] = _Response(
                 b"only GET and HEAD are served\n", status=405,
                 content_type="text/plain; charset=utf-8",
                 extra=[("Allow", "GET, HEAD")],
             )
         else:
-            route, response = self._route(path, query, etag_in)
+            route, response = self._route(path, query, etag_in, accept)
             environ[ROUTE_KEY] = route
         start_response(response.status, response.headers)
+        if isinstance(response, _StreamResponse):
+            if method == "HEAD":
+                response.close()
+                return [b""]
+            environ[STREAM_KEY] = True
+            return response.iterator
         if method == "HEAD":
             return [b""]
         return [response.body]
@@ -188,17 +263,20 @@ class RunExplorerApp:
         path: str,
         query: Mapping[str, list[str]],
         etag_in: Optional[str],
-    ) -> tuple[str, _Response]:
-        route, is_api, handler = self._match(path, query, etag_in)
+        accept: str,
+    ) -> tuple[str, Union[_Response, _StreamResponse]]:
+        route, is_api, handler = self._match(path, query, etag_in, accept)
         try:
             return route, handler()
         except ConfigurationError as exc:
-            status = 404 if "no run" in str(exc) else 400
+            message = str(exc)
+            status = 404 if ("no run" in message
+                             or "no live session" in message) else 400
             if is_api:
                 return route, _json_response(
-                    {"error": str(exc)}, status=status
+                    {"error": message}, status=status
                 )
-            return route, self._page_error(status, str(exc))
+            return route, self._page_error(status, message)
         except Exception:  # pragma: no cover - defensive 500
             self.logger.exception("unhandled error serving %s", path)
             if is_api:
@@ -212,7 +290,9 @@ class RunExplorerApp:
         path: str,
         query: Mapping[str, list[str]],
         etag_in: Optional[str],
-    ) -> tuple[str, bool, Callable[[], _Response]]:
+        accept: str,
+    ) -> tuple[str, bool,
+               Callable[[], Union[_Response, _StreamResponse]]]:
         """Map *path* to ``(route_label, is_api, handler_thunk)``.
 
         The label is bound before the handler runs, so an error
@@ -227,7 +307,10 @@ class RunExplorerApp:
         if parts == ["healthz"]:
             return "healthz", True, self._healthz
         if parts == ["metricsz"]:
-            return "metricsz", True, self._metricsz
+            return "metricsz", True, \
+                lambda: self._metricsz(query, accept)
+        if parts == ["live"]:
+            return "live", False, self._live_page
         if parts[0] == "runs" and len(parts) == 2:
             return "run", False, \
                 lambda: self._run_page(parts[1], etag_in)
@@ -242,6 +325,12 @@ class RunExplorerApp:
             if rest and rest[0] == "runs" and len(rest) == 2:
                 return "api.run", True, \
                     lambda: self._api_run(rest[1], etag_in)
+            if (rest and rest[0] == "runs" and len(rest) == 3
+                    and rest[2] == "live"):
+                return "api.run.live", True, \
+                    lambda: self._api_run_live(rest[1], query)
+            if rest == ["live"]:
+                return "api.live", True, self._api_live
             if rest and rest[0] == "diff" and len(rest) == 3:
                 return "api.diff", True, \
                     lambda: self._api_diff(rest[1], rest[2], etag_in)
@@ -371,8 +460,103 @@ class RunExplorerApp:
             "index_position": self.registry.index_position(),
         })
 
-    def _metricsz(self) -> _Response:
+    def _metricsz(self, query: Mapping[str, list[str]],
+                  accept: str) -> _Response:
+        fmt = _first(query, "format")
+        if fmt is not None and fmt not in ("json", "prometheus"):
+            raise ConfigurationError(
+                f"format must be 'json' or 'prometheus', got {fmt!r}"
+            )
+        wants_text = fmt == "prometheus" or (
+            fmt is None and "text/plain" in accept
+        )
+        if wants_text:
+            return _Response(
+                render_prometheus(self.metrics).encode(),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
         return _json_response({"metrics": self.metrics.to_dict()})
+
+    # ------------------------------------------------------------------
+    # live telemetry (SSE over live.jsonl)
+    # ------------------------------------------------------------------
+    def _api_live(self) -> _Response:
+        sessions = []
+        for session in self.registry.live_sessions():
+            entry = dict(session.descriptor)
+            try:
+                entry["stream_bytes"] = session.stream_path.stat().st_size
+            except OSError:
+                entry["stream_bytes"] = 0
+            sessions.append(entry)
+        return _json_response({
+            "root": str(self.registry.root),
+            "count": len(sessions),
+            "sessions": sessions,
+        })
+
+    def _api_run_live(self, token: str,
+                      query: Mapping[str, list[str]]) -> _StreamResponse:
+        token = token.lower()
+        if not _TOKEN.match(token):
+            raise ConfigurationError(
+                f"no live session matches {token!r}: give a live id, a "
+                ">=4 char hex prefix, or 'latest'"
+            )
+        session = self.registry.resolve_live(token)
+        start_offset = _int_param(query, "from", 0) or 0
+        interval = _float_param(query, "interval", 0.5, 0.0, 10.0)
+        timeout = _float_param(query, "timeout", 300.0, 0.0, 3600.0)
+        return _StreamResponse(
+            self._sse_stream(session, start_offset, interval, timeout)
+        )
+
+    def _sse_stream(self, session: LiveSession, start_offset: int,
+                    interval: float, timeout: float) -> Iterator[bytes]:
+        """Generate SSE frames tailing *session*'s ``live.jsonl``.
+
+        The tail handle is opened inside the generator body (not the
+        handler) so ``close()`` on an unstarted generator never leaks a
+        file handle, and the ``finally`` always releases it once
+        iteration has begun.  ``interval == 0`` makes every ``next()``
+        perform exactly one poll — that is what the in-process tests
+        drive; real servers keep the default and sleep between polls.
+        """
+        tail = LiveTail(session.stream_path, offset=start_offset)
+        deadline = _time.monotonic() + timeout
+        try:
+            yield sse_comment(f"live {session.live_id}")
+            finishing = False
+            while True:
+                try:
+                    events = tail.poll()
+                except ConfigurationError as exc:
+                    yield sse_end("corrupt", None)
+                    self.logger.warning(
+                        "live stream %s aborted: %s", session.live_id, exc
+                    )
+                    return
+                for event in events:
+                    yield sse_event(event)
+                if finishing:
+                    yield sse_end(
+                        session.status, session.descriptor.get("run_id")
+                    )
+                    return
+                if events:
+                    continue
+                session.refresh()
+                if session.status != "running":
+                    finishing = True  # one last poll drains the tail
+                    continue
+                if _time.monotonic() >= deadline:
+                    yield sse_end("timeout", None)
+                    return
+                yield sse_comment("keepalive")
+                if interval > 0:
+                    _time.sleep(interval)
+        finally:
+            tail.close()
 
     # ------------------------------------------------------------------
     # HTML pages
@@ -384,7 +568,8 @@ class RunExplorerApp:
             body, title=title, subtitle=subtitle,
             footer="Served by <code>repro serve</code> over "
                    f"<code>{_esc(self.registry.root)}</code>; JSON at "
-                   '<code>/api/runs</code>, liveness at '
+                   '<code>/api/runs</code>, live dashboard at '
+                   '<code><a href="/live">/live</a></code>, liveness at '
                    '<code>/healthz</code>, request telemetry at '
                    '<code>/metricsz</code>.',
         )
@@ -402,6 +587,15 @@ class RunExplorerApp:
             self._page(body, f"{status} — dynamic voting runs",
                        "results explorer").encode(),
             status=status,
+        )
+
+    def _live_page(self) -> _Response:
+        return _Response(
+            self._page(
+                live_dashboard_body(),
+                "Dynamic voting — live telemetry",
+                "streaming progress, resources and invariant callouts",
+            ).encode(),
         )
 
     def _card_html(self, card: Mapping[str, Any]) -> str:

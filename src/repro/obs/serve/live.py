@@ -1,0 +1,301 @@
+"""SSE wire helpers and the ``/live`` dashboard for ``repro serve``.
+
+Wire format (Server-Sent Events, ``text/event-stream``): every
+telemetry event becomes one frame ::
+
+    id: <seq>
+    data: {"seq": ..., "kind": "study.cell", "at": ..., ...}
+
+followed by a blank line.  Idle polls emit comment heartbeats
+(``: keepalive``) so proxies keep the connection warm, and the stream
+ends with a named terminal frame ::
+
+    event: end
+    data: {"kind": "stream.end", "status": "finished", "run_id": ...}
+
+The dashboard page is self-contained vanilla JS in the shared report
+chrome: it lists live sessions from ``/api/live``, follows one over
+``EventSource``, and renders per-run progress bars, events/s and RSS
+sparklines, and invariant-violation callouts as they arrive.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional
+
+__all__ = [
+    "SSE_CONTENT_TYPE",
+    "live_dashboard_body",
+    "sse_comment",
+    "sse_end",
+    "sse_event",
+]
+
+#: Content type of the SSE endpoint.
+SSE_CONTENT_TYPE = "text/event-stream; charset=utf-8"
+
+
+def sse_event(event: Mapping[str, Any]) -> bytes:
+    """One telemetry event as an SSE frame (``id:`` + ``data:``)."""
+    seq = event.get("seq")
+    prefix = f"id: {seq}\n" if isinstance(seq, int) else ""
+    return (
+        prefix + "data: " + json.dumps(event, sort_keys=True) + "\n\n"
+    ).encode()
+
+
+def sse_end(status: str, run_id: Optional[str] = None) -> bytes:
+    """The terminal frame: a named ``end`` event."""
+    payload: dict[str, Any] = {"kind": "stream.end", "status": status}
+    if run_id:
+        payload["run_id"] = run_id
+    return (
+        "event: end\ndata: " + json.dumps(payload, sort_keys=True) + "\n\n"
+    ).encode()
+
+
+def sse_comment(text: str) -> bytes:
+    """A comment frame (heartbeat; ignored by ``EventSource``)."""
+    return (": " + text + "\n\n").encode()
+
+
+_LIVE_CSS = """
+.live-grid { display: grid; gap: 1rem;
+  grid-template-columns: repeat(auto-fit, minmax(280px, 1fr)); }
+.panel { border: 1px solid var(--grid); border-radius: 10px;
+  background: var(--panel); padding: .8rem 1rem; }
+.panel h3 { margin: 0 0 .5rem; }
+.stat { font-size: 1.3rem; font-variant-numeric: tabular-nums; }
+.stat small { font-size: .75rem; color: var(--ink-muted); }
+.progress { background: var(--surface); border: 1px solid var(--grid);
+  border-radius: 6px; height: 18px; overflow: hidden; margin: .4rem 0; }
+.progress .fill { background: var(--accent); height: 100%; width: 0;
+  transition: width .3s; }
+svg.spark { display: block; width: 100%; height: 46px; }
+svg.spark polyline { fill: none; stroke: var(--accent);
+  stroke-width: 1.5; }
+svg.spark .frame { fill: none; stroke: var(--grid); }
+#live-sessions .card { cursor: pointer; }
+#live-sessions .card.active { border-color: var(--accent); }
+#live-status.running { color: var(--good); }
+#live-status.finished { color: var(--ink-muted); }
+#live-log { font-family: ui-monospace, monospace; font-size: .78rem;
+  max-height: 14rem; overflow-y: auto; white-space: pre-wrap; }
+"""
+
+_LIVE_JS = """
+(function () {
+  'use strict';
+  var source = null, session = null;
+  var total = 0, done = 0;
+  var rates = [], rsses = [];
+  var el = function (id) { return document.getElementById(id); };
+
+  function fmt(n) {
+    if (n === null || n === undefined) return '—';
+    if (n >= 1e9) return (n / 1e9).toFixed(1) + 'G';
+    if (n >= 1e6) return (n / 1e6).toFixed(1) + 'M';
+    if (n >= 1e3) return (n / 1e3).toFixed(1) + 'k';
+    return (Math.round(n * 100) / 100).toString();
+  }
+
+  function spark(svg, values) {
+    var frame = '<rect class="frame" x="0" y="0" width="100" height="28"/>';
+    if (values.length < 2) { svg.innerHTML = frame; return; }
+    var tail = values.slice(-120);
+    var max = Math.max.apply(null, tail), min = Math.min.apply(null, tail);
+    var span = (max - min) || 1;
+    var pts = tail.map(function (v, i) {
+      var x = (i / (tail.length - 1)) * 100;
+      var y = 26 - ((v - min) / span) * 24;
+      return x.toFixed(2) + ',' + y.toFixed(2);
+    }).join(' ');
+    svg.innerHTML = frame + '<polyline points="' + pts + '"/>';
+  }
+
+  function logLine(text, cls) {
+    var line = document.createElement('div');
+    if (cls) line.className = cls;
+    line.textContent = text;
+    var log = el('live-log');
+    log.appendChild(line);
+    log.scrollTop = log.scrollHeight;
+    while (log.childNodes.length > 400) log.removeChild(log.firstChild);
+  }
+
+  function violation(ev) {
+    var box = document.createElement('div');
+    box.className = 'callout critical';
+    var icon = document.createElement('span');
+    icon.className = 'icon';
+    icon.textContent = '\\u2715 ' + (ev.invariant || 'violation');
+    var text = document.createElement('span');
+    text.textContent = (ev.policy || '?') + ' seed ' + ev.seed +
+      ' step ' + ev.step + ': ' + (ev.detail || '');
+    box.appendChild(icon);
+    box.appendChild(text);
+    el('live-violations').appendChild(box);
+  }
+
+  function handle(ev) {
+    if (ev.kind === 'study.start') {
+      total = ev.total_cells || 0;
+      el('live-phase').textContent = 'starting (' + total + ' cells, seed ' +
+        ev.seed + ', horizon ' + ev.horizon + ')';
+    } else if (ev.kind === 'study.phase' || ev.kind === 'chaos.phase') {
+      el('live-phase').textContent = ev.phase ||
+        ('policy ' + ev.policy + ' \\u00d7 ' + ev.seeds + ' seeds');
+    } else if (ev.kind === 'study.cell') {
+      done = ev.cells_done || 0;
+      total = ev.total_cells || total;
+      var pct = total ? (100 * done / total) : 0;
+      el('live-fill').style.width = pct.toFixed(1) + '%';
+      el('live-cells').textContent = done + ' / ' + total +
+        (ev.cell ? ' \\u00b7 last ' + [].concat(ev.cell).join('/') : '');
+      if (ev.events_per_second) {
+        rates.push(ev.events_per_second);
+        el('live-rate').firstChild.textContent = fmt(ev.events_per_second);
+        spark(el('spark-rate'), rates);
+      }
+      if (ev.eta_seconds !== null && ev.eta_seconds !== undefined)
+        el('live-eta').textContent = 'ETA ' + fmt(ev.eta_seconds) + 's';
+    } else if (ev.kind === 'resource.sample') {
+      if (ev.rss_bytes) {
+        rsses.push(ev.rss_bytes);
+        el('live-rss').firstChild.textContent = fmt(ev.rss_bytes) + 'B';
+        spark(el('spark-rss'), rsses);
+      }
+      if (ev.events_per_second) {
+        rates.push(ev.events_per_second);
+        el('live-rate').firstChild.textContent = fmt(ev.events_per_second);
+        spark(el('spark-rate'), rates);
+      }
+    } else if (ev.kind === 'invariant.violation') {
+      violation(ev);
+    } else if (ev.kind === 'study.done') {
+      el('live-phase').textContent = 'done (' + ev.cells + ' cells' +
+        (ev.failed_cells ? ', ' + ev.failed_cells + ' failed' : '') + ')';
+    }
+    logLine('#' + ev.seq + ' ' + ev.kind + ' ' + JSON.stringify(ev));
+  }
+
+  function follow(id) {
+    if (source) source.close();
+    session = id;
+    total = 0; done = 0; rates = []; rsses = [];
+    el('live-log').textContent = '';
+    el('live-violations').textContent = '';
+    el('live-id').textContent = id;
+    el('live-status').textContent = 'connecting';
+    source = new EventSource(
+      '/api/runs/' + encodeURIComponent(id) + '/live');
+    source.onopen = function () {
+      el('live-status').textContent = 'streaming';
+      el('live-status').className = 'running';
+    };
+    source.onmessage = function (message) {
+      try { handle(JSON.parse(message.data)); } catch (err) {}
+    };
+    source.addEventListener('end', function (message) {
+      var payload = {};
+      try { payload = JSON.parse(message.data); } catch (err) {}
+      el('live-status').textContent = payload.status || 'finished';
+      el('live-status').className = 'finished';
+      if (payload.run_id) {
+        var link = document.createElement('a');
+        link.href = '/runs/' + encodeURIComponent(payload.run_id);
+        link.textContent = 'recorded as ' + payload.run_id;
+        el('live-recorded').textContent = '';
+        el('live-recorded').appendChild(link);
+      }
+      source.close();
+    });
+    source.onerror = function () {
+      el('live-status').textContent = 'reconnecting\\u2026';
+    };
+  }
+
+  function card(entry) {
+    var box = document.createElement('div');
+    box.className = 'card' + (entry.live_id === session ? ' active' : '');
+    var kind = document.createElement('span');
+    kind.className = 'kind';
+    kind.textContent = entry.status;
+    var id = document.createElement('span');
+    id.className = 'id';
+    id.textContent = entry.live_id;
+    var meta = document.createElement('div');
+    meta.className = 'meta';
+    meta.textContent = entry.kind + ' \\u00b7 ' + (entry.command || '') +
+      ' \\u00b7 started ' + (entry.started_at || '').replace('T', ' ')
+      .split('.')[0];
+    box.appendChild(kind);
+    box.appendChild(id);
+    box.appendChild(meta);
+    box.addEventListener('click', function () {
+      follow(entry.live_id);
+      refresh();
+    });
+    return box;
+  }
+
+  function refresh() {
+    fetch('/api/live').then(function (res) {
+      return res.json();
+    }).then(function (doc) {
+      var list = el('live-sessions');
+      list.textContent = '';
+      (doc.sessions || []).forEach(function (entry) {
+        list.appendChild(card(entry));
+      });
+      if (!doc.sessions || !doc.sessions.length) {
+        el('live-empty').style.display = '';
+      } else if (!session) {
+        var running = doc.sessions.filter(function (entry) {
+          return entry.status === 'running';
+        });
+        var pick = (running.length ? running : doc.sessions);
+        follow(pick[pick.length - 1].live_id);
+      }
+    }).catch(function () {});
+  }
+
+  refresh();
+  window.setInterval(refresh, 10000);
+})();
+"""
+
+
+def live_dashboard_body() -> str:
+    """The ``/live`` page body (inline CSS + JS, chrome-ready HTML)."""
+    return f"""<style>{_LIVE_CSS}</style>
+<nav class="crumbs"><a href="/">&larr; run index</a> &middot;
+<a href="/api/live">JSON</a></nav>
+<p class="note" id="live-empty" style="display:none">no live sessions —
+start one with <code>repro study --live</code>.</p>
+<div class="cards" id="live-sessions"></div>
+<section class="run">
+<h2>session <span class="id" id="live-id">—</span>
+<span id="live-status">idle</span></h2>
+<p class="note" id="live-phase">waiting for events&hellip;</p>
+<div class="progress"><div class="fill" id="live-fill"></div></div>
+<div class="note" id="live-cells">0 / 0</div>
+<div class="note" id="live-eta"></div>
+<p class="note" id="live-recorded"></p>
+<div class="live-grid">
+<div class="panel"><h3>events / second</h3>
+<div class="stat" id="live-rate">—<small> events/s</small></div>
+<svg class="spark" id="spark-rate" viewBox="0 0 100 28"
+ preserveAspectRatio="none"></svg></div>
+<div class="panel"><h3>resident set size</h3>
+<div class="stat" id="live-rss">—<small> RSS</small></div>
+<svg class="spark" id="spark-rss" viewBox="0 0 100 28"
+ preserveAspectRatio="none"></svg></div>
+</div>
+<div id="live-violations"></div>
+<h3>event log</h3>
+<div id="live-log"></div>
+</section>
+<script>{_LIVE_JS}</script>
+"""

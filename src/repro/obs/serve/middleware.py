@@ -7,7 +7,7 @@ simulator uses, as ``serve.*`` series —
 * ``serve.requests`` — counter labelled ``route`` × ``status`` class
   (``2xx``/``3xx``/``4xx``/``5xx``);
 * ``serve.latency.seconds`` — per-route wall-clock histogram
-  (p50/p95 land in ``/metricsz`` for free);
+  (p50/p95/p99 land in ``/metricsz`` for free);
 * ``serve.response.bytes`` — per-route payload-size histogram —
 
 and one structured access-log line goes through the obs logging bridge
@@ -19,21 +19,33 @@ while handling the request; the middleware reads it afterwards, so
 metrics aggregate by route pattern (``run``, ``api.runs``, ...), never
 by raw path — a thousand ``/runs/<id>`` pages are one series, not a
 thousand.
+
+Materialised responses are joined into one body (one write, correct
+``Content-Length`` accounting).  A *streaming* response — the SSE live
+endpoint — must not be buffered: the inner app marks it by setting
+``environ["repro.stream"]`` truthy, and the middleware then passes
+chunks through as they are produced, recording the same metrics and
+access-log line when the stream ends (including a client disconnect,
+which surfaces as ``close()`` on the pass-through generator).
 """
 
 from __future__ import annotations
 
 import logging
 import time
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["ROUTE_KEY", "RequestTimingMiddleware"]
+__all__ = ["ROUTE_KEY", "STREAM_KEY", "RequestTimingMiddleware"]
 
 #: ``environ`` key the app sets to its matched route label.
 ROUTE_KEY = "repro.route"
+
+#: ``environ`` key the app sets (truthy) when the response must stream
+#: chunk by chunk instead of being joined into one body.
+STREAM_KEY = "repro.stream"
 
 
 class RequestTimingMiddleware:
@@ -59,12 +71,51 @@ class RequestTimingMiddleware:
             return start_response(status, headers, exc_info)
 
         chunks = self.app(environ, counting_start_response)
+        if environ.get(STREAM_KEY):
+            return self._passthrough(chunks, environ, start, seen_status)
         try:
             body = b"".join(chunks)
         finally:
             close = getattr(chunks, "close", None)
             if close is not None:
                 close()
+        self._record(environ, start, seen_status, len(body))
+        return [body]
+
+    def _passthrough(
+        self,
+        chunks: Iterable[bytes],
+        environ: dict[str, Any],
+        start: float,
+        seen_status: list[str],
+    ) -> Iterator[bytes]:
+        """Yield *chunks* unbuffered; account when the stream ends.
+
+        The ``finally`` runs on normal exhaustion *and* on
+        ``GeneratorExit`` — the WSGI server closes the iterable when
+        the client disconnects mid-stream — so a dropped SSE client
+        still produces one access-log line and its latency sample.
+        The inner iterable's own ``close()`` (which releases the tail
+        file handle) is always invoked.
+        """
+        bytes_sent = 0
+        try:
+            for chunk in chunks:
+                bytes_sent += len(chunk)
+                yield chunk
+        finally:
+            close = getattr(chunks, "close", None)
+            if close is not None:
+                close()
+            self._record(environ, start, seen_status, bytes_sent)
+
+    def _record(
+        self,
+        environ: dict[str, Any],
+        start: float,
+        seen_status: list[str],
+        bytes_sent: int,
+    ) -> None:
         duration = time.perf_counter() - start
         status = seen_status[-1] if seen_status else "500 Internal Error"
         try:
@@ -81,13 +132,12 @@ class RequestTimingMiddleware:
         ).observe(duration)
         self.metrics.histogram(
             "serve.response.bytes", route=route
-        ).observe(float(len(body)))
+        ).observe(float(bytes_sent))
         if self.logger.isEnabledFor(logging.INFO):
             self.logger.info(
                 "access method=%s path=%s route=%s status=%d "
                 "duration_ms=%.2f bytes=%d",
                 environ.get("REQUEST_METHOD", "-"),
                 environ.get("PATH_INFO", "-"),
-                route, code, duration * 1000.0, len(body),
+                route, code, duration * 1000.0, bytes_sent,
             )
-        return [body]

@@ -23,10 +23,13 @@ from __future__ import annotations
 
 import sys
 import time as _time
-from typing import Any, Callable, Optional, TextIO
+from typing import TYPE_CHECKING, Any, Callable, Optional, TextIO
 
 from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.live.bus import TelemetryBus
 
 __all__ = ["StudyProgress"]
 
@@ -43,6 +46,10 @@ class StudyProgress:
             final cell always reports, so short runs still print once.
         metrics: Registry receiving the telemetry gauges (optional).
         clock: Monotonic time source (injectable for tests).
+        bus: A :class:`~repro.obs.live.bus.TelemetryBus` receiving one
+            ``study.cell`` event per completion (optional; every cell
+            publishes, unthrottled — the bus is cheap and the live
+            dashboard wants every completion, not one per interval).
     """
 
     def __init__(
@@ -53,6 +60,7 @@ class StudyProgress:
         interval_seconds: float = 5.0,
         metrics: Optional[MetricsRegistry] = None,
         clock: Callable[[], float] = _time.monotonic,
+        bus: Optional["TelemetryBus"] = None,
     ):
         if total_cells < 1:
             raise ConfigurationError(
@@ -72,6 +80,7 @@ class StudyProgress:
         self._interval = interval_seconds
         self._metrics = metrics
         self._clock = clock
+        self._bus = bus
         self._started = clock()
         self._last_report: Optional[float] = None
         self.cells_done = 0
@@ -93,6 +102,17 @@ class StudyProgress:
             or now - self._last_report >= self._interval
         )
         self._publish_metrics(now)
+        if self._bus is not None:
+            eta = self.eta_seconds(now)
+            self._bus.publish(
+                "study.cell",
+                cell=(list(key) if isinstance(key, tuple)
+                      else (None if key is None else str(key))),
+                cells_done=self.cells_done,
+                total_cells=self.total_cells,
+                events_per_second=self.events_per_second(now),
+                eta_seconds=(None if eta == float("inf") else eta),
+            )
         if final or due:
             self._emit(now, key)
             self._last_report = now

@@ -752,3 +752,77 @@ class TestRunRegistryCommands:
         capsys.readouterr()
         assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 0
         assert "chaos" in capsys.readouterr().out
+
+
+class TestLiveTelemetry:
+    """End-to-end coverage for ``--live``, ``watch`` and
+    ``runs list --watch``."""
+
+    def test_study_live_records_a_gap_free_stream(self, tmp_path, capsys):
+        import json
+
+        runs_dir = tmp_path / "runs"
+        assert main(["study", *FAST, "--seed", "7", "--live", "--record",
+                     "--runs-dir", str(runs_dir)]) == 0
+        err = capsys.readouterr().err
+        assert "live session" in err
+        streams = list(runs_dir.glob("*/live.jsonl"))
+        assert len(streams) == 1
+        events = [json.loads(line)
+                  for line in streams[0].read_text().splitlines()]
+        assert [event["seq"] for event in events] == \
+            list(range(len(events)))
+        kinds = [event["kind"] for event in events]
+        assert "study.start" in kinds and kinds[-1] == "study.done"
+        descriptor = json.loads(
+            (streams[0].parent / "live.json").read_text()
+        )
+        assert descriptor["status"] == "finished"
+        assert descriptor["run_id"]  # stamped from --record
+
+    def test_watch_replays_a_finished_session(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert main(["study", *FAST, "--seed", "7", "--live",
+                     "--runs-dir", str(runs_dir)]) == 0
+        capsys.readouterr()
+        assert main(["watch", "latest", "--from-start",
+                     "--runs-dir", str(runs_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "study.start" in captured.out
+        assert "study.done" in captured.out
+        assert "session finished" in captured.err
+
+    def test_watch_without_sessions_fails_with_guidance(
+            self, tmp_path, capsys):
+        assert main(["watch", "latest",
+                     "--runs-dir", str(tmp_path / "runs")]) == 2
+        assert "no live session" in capsys.readouterr().err
+
+    def test_chaos_sweep_live(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert main(["chaos", "sweep", "--quick", "--steps", "20",
+                     "--policies", "LDV", "--live",
+                     "--runs-dir", str(runs_dir)]) == 0
+        capsys.readouterr()
+        assert main(["watch", "latest", "--from-start",
+                     "--runs-dir", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "chaos.phase" in out
+        assert "chaos.run" in out
+
+    def test_runs_list_watch_repaints(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        code = main(["study", *FAST, "--seed", "7",
+                     "--record", "--runs-dir", str(runs_dir)])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--runs-dir", str(runs_dir),
+                     "--watch", "0.05", "--watch-count", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("1 run(s)") == 3
+
+    def test_runs_list_watch_rejects_nonpositive_period(
+            self, tmp_path, capsys):
+        assert main(["runs", "list", "--runs-dir", str(tmp_path),
+                     "--watch", "0"]) == 2
+        assert "--watch" in capsys.readouterr().err

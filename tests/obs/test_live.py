@@ -1,0 +1,360 @@
+"""Unit tests for the live-telemetry layer (:mod:`repro.obs.live`).
+
+Bus semantics (zero-cost idle path, gap-free delivered sequence
+numbers, bounded ring, misbehaving subscribers), the append-only
+``live.jsonl`` stream with its truncation-tolerant tail, live-session
+lifecycle and registry integration, the ``/proc`` resource sampler
+with injected readers/clocks, Prometheus text exposition, and the
+gap-free guarantee end to end through a sequential ``run_study``.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.live import (
+    LiveSession,
+    LiveStreamSink,
+    LiveTail,
+    ResourceSample,
+    ResourceSampler,
+    TelemetryBus,
+    live_session_id,
+    read_live_events,
+    render_prometheus,
+    sample_self,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestTelemetryBus:
+    def test_publish_without_subscribers_returns_none(self):
+        bus = TelemetryBus()
+        assert bus.publish("study.cell", cells_done=1) is None
+        assert bus.dropped == 1
+        assert bus.next_seq == 0  # no seq consumed while idle
+
+    def test_sequence_numbers_are_contiguous_for_delivered_events(self):
+        bus = TelemetryBus()
+        bus.publish("warmup")  # dropped: no subscriber yet
+        seen = []
+        bus.subscribe(seen.append, name="test")
+        for i in range(5):
+            bus.publish("tick", i=i)
+        assert [event.seq for event in seen] == [0, 1, 2, 3, 4]
+        assert [event.fields["i"] for event in seen] == list(range(5))
+
+    def test_event_envelope_round_trips(self):
+        bus = TelemetryBus(clock=lambda: 12.5)
+        seen = []
+        bus.subscribe(seen.append, name="test")
+        bus.publish("study.cell", cell=["A", "MCV"], cells_done=3)
+        doc = seen[0].to_dict()
+        assert doc == {"seq": 0, "kind": "study.cell", "at": 12.5,
+                       "cell": ["A", "MCV"], "cells_done": 3}
+
+    def test_reserved_field_names_are_rejected(self):
+        bus = TelemetryBus()
+        bus.subscribe(lambda event: None, name="test")
+        with pytest.raises(ConfigurationError, match="shadow"):
+            bus.publish("tick", seq=9)
+
+    def test_ring_is_bounded_and_replay_sends_backlog(self):
+        bus = TelemetryBus(capacity=3)
+        bus.subscribe(lambda event: None, name="sink")
+        for i in range(5):
+            bus.publish("tick", i=i)
+        assert [event.seq for event in bus.recent()] == [2, 3, 4]
+        late = []
+        bus.subscribe(late.append, name="late", replay=True)
+        assert [event.seq for event in late] == [2, 3, 4]
+
+    def test_raising_subscriber_is_detached_not_fatal(self):
+        bus = TelemetryBus()
+        healthy = []
+
+        def broken(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(broken, name="broken")
+        bus.subscribe(healthy.append, name="healthy")
+        bus.publish("tick")
+        bus.publish("tock")
+        assert bus.subscriber_count == 1
+        assert [event.kind for event in healthy] == ["tick", "tock"]
+
+    def test_unsubscribe_restores_the_idle_fast_path(self):
+        bus = TelemetryBus()
+        subscription = bus.subscribe(lambda event: None, name="s")
+        bus.publish("tick")
+        subscription.close()
+        bus.publish("tock")
+        assert bus.subscriber_count == 0
+        assert bus.dropped == 1
+        assert bus.next_seq == 1
+
+
+class TestLiveStream:
+    def test_sink_appends_one_sorted_json_line_per_event(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        bus = TelemetryBus(clock=lambda: 1.0)
+        sink = LiveStreamSink(path)
+        bus.subscribe(sink, name="sink")
+        bus.publish("study.start", total_cells=2)
+        bus.publish("study.done", cells=2)
+        sink.close()
+        assert sink.events_written == 2
+        events, offset = read_live_events(path)
+        assert offset == path.stat().st_size
+        assert [event["kind"] for event in events] == \
+            ["study.start", "study.done"]
+        assert [event["seq"] for event in events] == [0, 1]
+
+    def test_torn_final_line_is_left_for_the_next_poll(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        whole = json.dumps({"seq": 0, "kind": "a", "at": 0.0}) + "\n"
+        torn = '{"seq": 1, "kind": "b", "at"'
+        path.write_text(whole + torn)
+        events, offset = read_live_events(path)
+        assert [event["seq"] for event in events] == [0]
+        assert offset == len(whole.encode())
+        # the writer finishes the line: the next poll delivers it
+        path.write_text(whole + torn + ': 1.0}\n')
+        events, offset = read_live_events(path, offset)
+        assert [event["seq"] for event in events] == [1]
+        assert offset == path.stat().st_size
+
+    def test_corrupt_complete_line_raises(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ConfigurationError, match="corrupt live-stream"):
+            read_live_events(path)
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        events, offset = read_live_events(tmp_path / "absent.jsonl", 7)
+        assert events == [] and offset == 7
+
+    def test_tail_follows_appends_across_polls(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        sink = LiveStreamSink(path)
+        bus = TelemetryBus()
+        bus.subscribe(sink, name="sink")
+        tail = LiveTail(path)
+        assert tail.poll() == []
+        bus.publish("one")
+        assert [e["kind"] for e in tail.poll()] == ["one"]
+        bus.publish("two")
+        bus.publish("three")
+        assert [e["kind"] for e in tail.poll()] == ["two", "three"]
+        tail.close()
+        assert tail.closed
+        sink.close()
+
+    def test_session_id_is_input_derived_and_stable(self):
+        a = live_session_id("study", {"seed": 1, "horizon": 100.0})
+        b = live_session_id("study", {"horizon": 100.0, "seed": 1})
+        c = live_session_id("study", {"seed": 2, "horizon": 100.0})
+        assert a == b != c
+        assert len(a) == 16 and int(a, 16) >= 0
+
+
+class TestLiveSession:
+    def test_lifecycle_start_attach_finish(self, tmp_path):
+        bus = TelemetryBus()
+        session = LiveSession.start(tmp_path, "study", {"seed": 1})
+        session.attach(bus)
+        assert session.status == "running"
+        bus.publish("study.start", total_cells=1)
+        session.finish("finished", run_id="abc123")
+        assert session.status == "finished"
+        loaded = LiveSession.load(session.path)
+        assert loaded.live_id == session.live_id
+        assert loaded.descriptor["run_id"] == "abc123"
+        events, _ = read_live_events(session.stream_path)
+        assert [event["kind"] for event in events] == ["study.start"]
+
+    def test_restart_truncates_the_previous_stream(self, tmp_path):
+        bus = TelemetryBus()
+        first = LiveSession.start(tmp_path, "study", {"seed": 1})
+        first.attach(bus)
+        bus.publish("stale")
+        first.finish()
+        again = LiveSession.start(tmp_path, "study", {"seed": 1})
+        assert again.path == first.path  # same inputs, same identity
+        assert again.stream_path.stat().st_size == 0
+
+    def test_registry_lists_resolves_and_gcs_sessions(self, tmp_path):
+        from repro.obs.registry import RunRegistry
+
+        registry = RunRegistry(tmp_path / "runs")
+        running = LiveSession.start(registry.root, "study", {"seed": 1})
+        done = LiveSession.start(registry.root, "chaos sweep", {"s": 2})
+        done.finish("finished", run_id="cafe0123")
+        listed = registry.live_sessions()
+        assert {s.live_id for s in listed} == \
+            {running.live_id, done.live_id}
+        assert registry.latest_live().live_id == running.live_id
+        assert registry.resolve_live("latest").live_id == running.live_id
+        assert registry.resolve_live(
+            running.live_id[:6]).live_id == running.live_id
+        assert registry.resolve_live("cafe0123").live_id == done.live_id
+        with pytest.raises(ConfigurationError, match="no live session"):
+            registry.resolve_live("ffffffffffffffff")
+        # gc removes finished sessions, keeps running ones
+        registry.gc(keep_last=0)
+        remaining = {s.live_id for s in registry.live_sessions()}
+        assert remaining == {running.live_id}
+
+    def test_live_sessions_are_invisible_to_run_listings(self, tmp_path):
+        from repro.obs.registry import RunRegistry
+
+        registry = RunRegistry(tmp_path / "runs")
+        LiveSession.start(registry.root, "study", {"seed": 1})
+        assert registry.list_runs() == []
+
+
+class TestResourceSampler:
+    def test_sample_self_reads_this_process(self):
+        sample = sample_self()
+        assert sample.cpu_seconds >= 0.0
+        assert sample.rss_bytes is None or sample.rss_bytes > 0
+
+    def test_tick_throttles_and_computes_event_rate(self):
+        clock = {"now": 0.0}
+        reads = iter([
+            ResourceSample(rss_bytes=1000, cpu_seconds=0.5),
+            ResourceSample(rss_bytes=2000, cpu_seconds=1.0),
+            ResourceSample(rss_bytes=3000, cpu_seconds=1.5),
+        ])
+        sampler = ResourceSampler(
+            min_interval=1.0, clock=lambda: clock["now"],
+            reader=lambda: next(reads),
+        )
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(seen.append, name="test")
+        metrics = MetricsRegistry()
+        assert sampler.tick(bus=bus, metrics=metrics, events=0, force=True)
+        clock["now"] = 0.5
+        assert not sampler.tick(bus=bus, metrics=metrics, events=50)
+        clock["now"] = 1.0
+        assert sampler.tick(bus=bus, metrics=metrics, events=100)
+        assert sampler.samples_taken == 2
+        assert [event.kind for event in seen] == \
+            ["resource.sample", "resource.sample"]
+        assert seen[1].fields["events_per_second"] == pytest.approx(100.0)
+        assert seen[1].fields["rss_bytes"] == 2000
+        assert metrics.gauge("live.proc.rss_bytes").value == 2000
+        assert metrics.gauge(
+            "live.proc.events_per_second").value == pytest.approx(100.0)
+
+    def test_tick_labels_flow_into_gauges_and_events(self):
+        sampler = ResourceSampler(
+            min_interval=0.0, clock=lambda: 1.0,
+            reader=lambda: ResourceSample(rss_bytes=7, cpu_seconds=0.1),
+        )
+        metrics = MetricsRegistry()
+        sampler.tick(metrics=metrics, events=0, force=True, worker=42)
+        assert metrics.gauge("live.proc.rss_bytes", worker=42).value == 7
+
+
+class TestPrometheusExport:
+    def test_counters_gauges_and_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", route="run",
+                         status="2xx").inc(3)
+        registry.gauge("live.proc.rss_bytes").set(1024)
+        histogram = registry.histogram("serve.latency.seconds")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        assert "# TYPE serve_requests_total counter" in text
+        assert ('serve_requests_total{route="run",status="2xx"} 3'
+                in text)
+        assert "# TYPE live_proc_rss_bytes gauge" in text
+        assert "live_proc_rss_bytes 1024" in text
+        assert "# TYPE serve_latency_seconds summary" in text
+        assert 'serve_latency_seconds{quantile="0.5"}' in text
+        assert "serve_latency_seconds_sum 1" in text
+        assert "serve_latency_seconds_count 4" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped_and_names_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("odd-name.total", detail='say "hi"\n').inc()
+        text = render_prometheus(registry)
+        assert 'odd_name_total_total{detail="say \\"hi\\"\\n"} 1' in text
+
+    def test_empty_registry_renders_empty_exposition(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestHistogramQuantiles:
+    def test_to_dict_exports_p50_p95_p99(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        doc = histogram.to_dict()
+        assert doc["p50"] == pytest.approx(histogram.quantile(0.5))
+        assert doc["p95"] == pytest.approx(histogram.quantile(0.95))
+        assert doc["p99"] == pytest.approx(histogram.quantile(0.99))
+        assert doc["p99"] >= doc["p95"] >= doc["p50"]
+
+
+class TestStudyIntegration:
+    def test_sequential_study_emits_gap_free_stream(self, tmp_path):
+        from repro.experiments.configs import CONFIGURATIONS
+        from repro.experiments.runner import StudyParameters, run_study
+
+        bus = TelemetryBus()
+        session = LiveSession.start(tmp_path, "study", {"seed": 5})
+        session.attach(bus)
+        params = StudyParameters(horizon=800.0, warmup=100.0, batches=2)
+        cells = run_study(
+            params,
+            configurations=[CONFIGURATIONS["A"]],
+            policies=("MCV", "LDV"),
+            bus=bus,
+        )
+        session.finish("finished")
+        assert len(cells) == 2
+        events, _ = read_live_events(session.stream_path)
+        assert [event["seq"] for event in events] == \
+            list(range(len(events)))
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "study.phase"
+        assert "study.start" in kinds
+        assert kinds.count("study.cell") == 2
+        assert "resource.sample" in kinds
+        assert kinds[-1] == "study.done"
+        done = events[-1]
+        assert done["cells"] == 2 and done["ok"] is True
+
+    def test_chaos_violation_reaches_the_bus(self):
+        from repro.chaos import ChaosPolicy, build_schedule, run_schedule
+        from repro.experiments.configs import configuration
+        from repro.experiments.testbed import testbed_topology
+
+        topology = testbed_topology()
+        # The known-violating setup from the chaos harness tests: the
+        # partial-commit budget lifted, seed 1, LDV forks a generation.
+        unsafe = ChaosPolicy(
+            unsafe_partial_commits=True, partial_commit_rate=0.6,
+        )
+        schedule = build_schedule(
+            1, configuration("H").copy_sites, topology.site_ids,
+            policy=unsafe, length=60, config="H",
+        )
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(seen.append, name="test")
+        result = run_schedule(schedule, "LDV", topology=topology, bus=bus)
+        assert result.violation is not None
+        kinds = [event.kind for event in seen]
+        assert "invariant.violation" in kinds
+        violation = seen[kinds.index("invariant.violation")]
+        assert violation.fields["policy"] == "LDV"
+        assert violation.fields["invariant"] == "divergent-commit"
+        assert "chaos.run" in kinds

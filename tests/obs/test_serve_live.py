@@ -1,0 +1,315 @@
+"""Serve-layer tests for live telemetry: the SSE endpoint, the
+``/live`` dashboard, ``/api/live``, ``/metricsz`` content negotiation,
+and the streaming edge cases the wire format promises.
+
+Everything is driven through an in-process WSGI client — the response
+iterator is consumed frame by frame, never joined — except one test
+that binds a real socket on port 0 to prove ``make_http_server`` shuts
+down cleanly with a stream in flight.
+"""
+
+import importlib
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.live.bus import TelemetryBus
+from repro.obs.live.stream import LiveSession, LiveTail
+from repro.obs.serve.app import create_app, make_http_server
+
+# `repro.obs.serve.app` the module, not the package attribute `app`
+# (the module-level WSGI callable shadows the submodule on import-as).
+app_module = importlib.import_module("repro.obs.serve.app")
+
+
+class StreamingClient:
+    """A WSGI client that hands back the raw response iterator."""
+
+    def __init__(self, app):
+        self.app = app
+
+    def get(self, path, query="", accept="", method="GET"):
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "HTTP_ACCEPT": accept,
+            "SERVER_NAME": "testserver",
+            "SERVER_PORT": "80",
+            "SERVER_PROTOCOL": "HTTP/1.1",
+            "wsgi.version": (1, 0),
+            "wsgi.url_scheme": "http",
+            "wsgi.input": io.BytesIO(b""),
+            "wsgi.errors": io.StringIO(),
+            "wsgi.multithread": False,
+            "wsgi.multiprocess": False,
+            "wsgi.run_once": False,
+        }
+        captured = {}
+
+        def start_response(status, headers, exc_info=None):
+            captured["status"] = status
+            captured["headers"] = dict(headers)
+
+        body = self.app(environ, start_response)
+        return captured, body
+
+
+@pytest.fixture
+def app(tmp_path):
+    root = tmp_path / "runs"
+    root.mkdir()
+    return create_app(str(root))
+
+
+@pytest.fixture
+def client(app):
+    return StreamingClient(app)
+
+
+@pytest.fixture
+def live(app):
+    """A running live session attached to a bus, in the app's root."""
+    bus = TelemetryBus()
+    session = LiveSession.start(
+        app.registry.root, "study", {"seed": 9}
+    )
+    session.attach(bus)
+    return bus, session
+
+
+def read_frames(body, count):
+    iterator = iter(body)
+    return [next(iterator) for _ in range(count)]
+
+
+def data_payload(frame):
+    for line in frame.decode().splitlines():
+        if line.startswith("data: "):
+            return json.loads(line[len("data: "):])
+    raise AssertionError(f"no data line in {frame!r}")
+
+
+class TestSseStream:
+    def test_streams_events_then_ends_with_run_id(self, client, live):
+        bus, session = live
+        bus.publish("study.start", total_cells=1)
+        bus.publish("study.cell", cells_done=1, total_cells=1)
+        status, body = client.get(
+            "/api/runs/latest/live", query="interval=0"
+        )
+        assert status["status"].startswith("200")
+        assert status["headers"]["Content-Type"].startswith(
+            "text/event-stream"
+        )
+        assert status["headers"]["Cache-Control"] == "no-store"
+        assert "Content-Length" not in status["headers"]
+        opening, first, second = read_frames(body, 3)
+        assert opening.startswith(b": live ")
+        assert first.startswith(b"id: 0\n")
+        assert data_payload(first)["kind"] == "study.start"
+        assert data_payload(second)["cells_done"] == 1
+        # publish-after-connect is picked up by the next poll
+        bus.publish("invariant.violation", invariant="quorum-escape",
+                    detail="x", policy="LDV", seed=1, step=3)
+        frame = next(iter(body))
+        assert data_payload(frame)["kind"] == "invariant.violation"
+        # finishing the session ends the stream with the run id
+        session.finish("finished", run_id="feedface")
+        iterator = iter(body)
+        end = next(iterator)
+        assert end.startswith(b"event: end\n")
+        payload = data_payload(end)
+        assert payload == {"kind": "stream.end", "status": "finished",
+                           "run_id": "feedface"}
+        with pytest.raises(StopIteration):
+            next(iterator)
+
+    def test_idle_running_session_emits_keepalive_comments(
+            self, client, live):
+        bus, session = live
+        status, body = client.get(
+            "/api/runs/latest/live", query="interval=0"
+        )
+        iterator = iter(body)
+        assert next(iterator).startswith(b": live")
+        assert next(iterator) == b": keepalive\n\n"
+
+    def test_from_offset_skips_already_seen_bytes(self, client, live):
+        bus, session = live
+        bus.publish("study.start", total_cells=1)
+        skip = session.stream_path.stat().st_size
+        bus.publish("study.cell", cells_done=1)
+        status, body = client.get(
+            "/api/runs/latest/live", query=f"interval=0&from={skip}"
+        )
+        _, frame = read_frames(body, 2)
+        assert data_payload(frame)["kind"] == "study.cell"
+
+    def test_torn_final_line_is_held_then_delivered(self, client, live):
+        bus, session = live
+        bus.publish("study.start", total_cells=1)
+        whole = session.stream_path.read_bytes()
+        torn = b'{"seq": 1, "kind": "study.cell", "at"'
+        session.stream_path.write_bytes(whole + torn)
+        status, body = client.get(
+            "/api/runs/latest/live", query="interval=0"
+        )
+        iterator = iter(body)
+        next(iterator)  # opening comment
+        assert data_payload(next(iterator))["seq"] == 0
+        # the torn tail is NOT consumed: next poll is a keepalive
+        assert next(iterator).startswith(b": keepalive")
+        # the writer completes the line; the next poll delivers it
+        session.stream_path.write_bytes(whole + torn + b': 2.0}\n')
+        assert data_payload(next(iterator))["seq"] == 1
+
+    def test_corrupt_complete_line_ends_the_stream(self, client, live):
+        bus, session = live
+        session.stream_path.write_bytes(b"garbage\n")
+        status, body = client.get(
+            "/api/runs/latest/live", query="interval=0"
+        )
+        iterator = iter(body)
+        next(iterator)
+        end = next(iterator)
+        assert end.startswith(b"event: end")
+        assert data_payload(end)["status"] == "corrupt"
+        with pytest.raises(StopIteration):
+            next(iterator)
+
+    def test_timeout_ends_a_silent_stream(self, client, live):
+        status, body = client.get(
+            "/api/runs/latest/live", query="interval=0&timeout=0"
+        )
+        iterator = iter(body)
+        next(iterator)  # opening comment
+        end = next(iterator)
+        assert end.startswith(b"event: end")
+        assert data_payload(end)["status"] == "timeout"
+
+    def test_client_disconnect_releases_the_tail_handle(
+            self, app, client, live, monkeypatch):
+        tails = []
+        real = LiveTail
+
+        def tracking(*args, **kwargs):
+            tail = real(*args, **kwargs)
+            tails.append(tail)
+            return tail
+
+        monkeypatch.setattr(app_module, "LiveTail", tracking)
+        bus, session = live
+        bus.publish("study.start", total_cells=1)
+        status, body = client.get(
+            "/api/runs/latest/live", query="interval=0"
+        )
+        iterator = iter(body)
+        next(iterator)
+        next(iterator)
+        assert len(tails) == 1 and not tails[0].closed
+        body.close()  # the disconnect path: GeneratorExit -> finally
+        assert tails[0].closed
+
+    def test_head_request_does_not_leak_a_stream(self, client, live):
+        status, body = client.get("/api/runs/latest/live", method="HEAD")
+        assert status["status"].startswith("200")
+        assert b"".join(body) == b""
+
+    def test_unknown_session_is_404(self, client):
+        status, body = client.get("/api/runs/ffffffffffffffff/live")
+        assert status["status"].startswith("404")
+        assert b"no live session" in b"".join(body)
+
+    def test_bad_query_parameters_are_400(self, client, live):
+        status, _ = client.get("/api/runs/latest/live",
+                               query="interval=fast")
+        assert status["status"].startswith("400")
+        status, _ = client.get("/api/runs/latest/live", query="from=x")
+        assert status["status"].startswith("400")
+
+
+class TestLivePages:
+    def test_dashboard_renders(self, client):
+        status, body = client.get("/live")
+        text = b"".join(body).decode()
+        assert status["status"].startswith("200")
+        assert "EventSource" in text
+        assert "live-sessions" in text
+        assert "spark-rss" in text
+
+    def test_api_live_lists_sessions_with_stream_size(
+            self, client, live):
+        bus, session = live
+        bus.publish("study.start", total_cells=4)
+        status, body = client.get("/api/live")
+        doc = json.loads(b"".join(body))
+        assert doc["count"] == 1
+        entry = doc["sessions"][0]
+        assert entry["live_id"] == session.live_id
+        assert entry["status"] == "running"
+        assert entry["command"] == "study"
+        assert entry["stream_bytes"] > 0
+
+    def test_index_footer_links_the_dashboard(self, client):
+        status, body = client.get("/")
+        assert 'href="/live"' in b"".join(body).decode()
+
+
+class TestMetricszNegotiation:
+    def test_json_is_the_default(self, client):
+        status, body = client.get("/metricsz")
+        assert "application/json" in status["headers"]["Content-Type"]
+        assert "metrics" in json.loads(b"".join(body))
+
+    def test_accept_text_plain_selects_prometheus(self, client):
+        client.get("/healthz")  # put one request into the registry
+        status, body = client.get("/metricsz", accept="text/plain")
+        assert status["headers"]["Content-Type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        text = b"".join(body).decode()
+        assert "# TYPE serve_requests_total counter" in text
+
+    def test_format_parameter_overrides_accept(self, client):
+        status, body = client.get("/metricsz", query="format=prometheus")
+        assert status["headers"]["Content-Type"].startswith("text/plain")
+        status, body = client.get("/metricsz", query="format=json",
+                                  accept="text/plain")
+        assert "application/json" in status["headers"]["Content-Type"]
+
+    def test_unknown_format_is_400(self, client):
+        status, _ = client.get("/metricsz", query="format=xml")
+        assert status["status"].startswith("400")
+
+
+class TestServerShutdown:
+    def test_shutdown_with_an_in_flight_stream(self, app, live):
+        """`make_http_server` must come down cleanly while a client
+        holds an open SSE connection (daemon threads, port 0)."""
+        import http.client
+
+        bus, session = live
+        bus.publish("study.start", total_cells=1)
+        httpd = make_http_server(app, "127.0.0.1", 0)
+        host, port = httpd.server_address[:2]
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        connection = http.client.HTTPConnection(host, port, timeout=5)
+        try:
+            connection.request(
+                "GET", "/api/runs/latest/live?interval=0.05&timeout=30"
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            first = response.fp.readline()
+            assert first.startswith(b": live")
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            connection.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
