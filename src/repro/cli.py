@@ -423,6 +423,113 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the comparison as a JSON document")
 
     p = sub.add_parser(
+        "service",
+        help="the crash-tolerant replicated KV service: replica "
+             "processes, local clusters, live-chaos bench",
+    )
+    vsub = p.add_subparsers(dest="service_command", required=True)
+
+    def add_service_common(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--policy", default="ODV",
+                       choices=sorted(available_policies()),
+                       help="protocol every replica runs (default ODV)")
+        q.add_argument("--segments", default=None, metavar="SPEC",
+                       help="co-location groups for the topological "
+                            "protocols, e.g. '1,2/3,4,5'")
+        q.add_argument("--fsync", default="always",
+                       choices=("always", "never"),
+                       help="WAL durability (default always; 'never' "
+                            "is for tests only)")
+
+    q = vsub.add_parser(
+        "replica", help="run one replica process (what the cluster "
+                        "supervisor spawns)",
+    )
+    q.add_argument("--site", type=int, required=True,
+                   help="this replica's paper site number (1-based)")
+    q.add_argument("--host", default="127.0.0.1",
+                   help="listen address (default 127.0.0.1)")
+    q.add_argument("--port", type=int, default=0,
+                   help="listen port (default 0 = OS-assigned)")
+    q.add_argument("--data-dir", required=True, metavar="DIR",
+                   help="directory for WAL, snapshot and recovery "
+                        "marker")
+    q.add_argument("--peers", default="", metavar="SPEC",
+                   help="other replicas as '2=host:port,3=host:port'")
+    add_service_common(q)
+    q.add_argument("--lease", type=float, default=2.0,
+                   help="coordinator lease seconds (default 2.0)")
+    q.add_argument("--peer-timeout", type=float, default=1.0,
+                   help="per-peer round-trip budget (default 1.0)")
+    q.add_argument("--recover-interval", type=float, default=1.0,
+                   help="RECOVER loop cadence (default 1.0)")
+    q.add_argument("--compact-every", type=int, default=256,
+                   help="snapshot compaction period in commits "
+                        "(default 256)")
+
+    q = vsub.add_parser(
+        "cluster", help="run a supervised local cluster (behind the "
+                        "chaos proxy) until interrupted",
+    )
+    q.add_argument("--dir", default=".service", metavar="DIR",
+                   help="cluster directory (default .service)")
+    q.add_argument("--replicas", type=int, default=5,
+                   help="replica processes (default 5)")
+    add_service_common(q)
+    q.add_argument("--no-proxy", action="store_true",
+                   help="connect replicas directly, skipping the chaos "
+                        "proxy indirection")
+
+    q = vsub.add_parser(
+        "bench", help="seeded chaos + load against real clusters, one "
+                      "per policy; exit 1 on any safety violation or "
+                      "failed recovery",
+    )
+    q.add_argument("--dir", default=None, metavar="DIR",
+                   help="working directory (default: a fresh temp dir, "
+                        "removed on success)")
+    q.add_argument("--policies", default="ODV,OTDV",
+                   help="comma-separated protocols (default ODV,OTDV)")
+    q.add_argument("--replicas", type=int, default=5,
+                   help="cluster size (default 5)")
+    q.add_argument("--duration", type=float, default=10.0,
+                   help="seconds of load per policy (default 10)")
+    q.add_argument("--seed", type=int, default=1988,
+                   help="root seed for schedule, proxy coins and load")
+    q.add_argument("--workers", type=int, default=3,
+                   help="load generator threads (default 3)")
+    q.add_argument("--write-ratio", type=float, default=0.5,
+                   help="fraction of writes (default 0.5)")
+    q.add_argument("--segments", default=None, metavar="SPEC",
+                   help="co-location groups, e.g. '1,2/3,4,5'")
+    q.add_argument("--fsync", default="always",
+                   choices=("always", "never"),
+                   help="WAL durability for every replica")
+    q.add_argument("--drop-rate", type=float, default=0.02,
+                   help="per-frame drop coin (default 0.02)")
+    q.add_argument("--delay-rate", type=float, default=0.05,
+                   help="per-frame delay coin (default 0.05)")
+    q.add_argument("--kills", type=int, default=1,
+                   help="minimum SIGKILLs the plan must contain "
+                        "(default 1)")
+    q.add_argument("--partitions", type=int, default=1,
+                   help="minimum live partitions (default 1)")
+    q.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the bench document as JSON")
+    q.add_argument("--live", action="store_true",
+                   help="stream cluster phases and applied faults to a "
+                        "live session under the run registry")
+    add_record_args(q)
+
+    q = vsub.add_parser(
+        "kill", help="SIGKILL one replica of a running cluster (uses "
+                     "the cluster.json control file)",
+    )
+    q.add_argument("site", type=int, help="site number to kill")
+    q.add_argument("--dir", default=".service", metavar="DIR",
+                   help="cluster directory (default .service)")
+
+    p = sub.add_parser(
         "runs",
         help="browse, diff and prune the content-addressed run registry",
     )
@@ -439,7 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("--kind", default=None,
                    choices=("study", "scenario", "chaos", "bench",
-                            "profile"),
+                            "profile", "service"),
                    help="restrict to one run kind")
     q.add_argument("--sort", default="time",
                    choices=("time", "kind", "id"),
@@ -498,7 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="runs to keep, most recent first (default 20)")
     q.add_argument("--kind", action="append", default=None,
                    choices=("study", "scenario", "chaos", "bench",
-                            "profile"),
+                            "profile", "service"),
                    help="prune only this kind (repeatable)")
     q.add_argument("--dry-run", action="store_true",
                    help="report what would be deleted, delete nothing")
@@ -1757,6 +1864,206 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
 
+def _parse_peer_spec(spec: str) -> dict:
+    """``'2=host:port,3=host:port'`` → ``{site: (host, port)}``."""
+    peers: dict[int, tuple] = {}
+    for token in (spec or "").split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            site_part, address = token.split("=", 1)
+            host, port = address.rsplit(":", 1)
+            peers[int(site_part)] = (host, int(port))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad peer spec {token!r} (want site=host:port): {exc}"
+            ) from exc
+    return peers
+
+
+def _cmd_service_replica(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.cluster import parse_segments
+    from repro.service.replica import ReplicaConfig, serve_replica
+
+    config = ReplicaConfig(
+        site_id=args.site,
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        peers=_parse_peer_spec(args.peers),
+        policy=args.policy,
+        segments=parse_segments(args.segments),
+        fsync=args.fsync,
+        compact_every=args.compact_every,
+        lease_s=args.lease,
+        peer_timeout=args.peer_timeout,
+        recover_interval=args.recover_interval,
+    )
+    try:
+        asyncio.run(serve_replica(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_service_cluster(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.cluster import ClusterSpec, LocalCluster
+
+    spec = ClusterSpec(
+        directory=args.dir,
+        replicas=args.replicas,
+        policy=args.policy,
+        fsync=args.fsync,
+        proxy=not args.no_proxy,
+        segments=args.segments,
+    )
+    cluster = LocalCluster(spec)
+    cluster.start()
+    addresses = ", ".join(
+        f"{host}:{port}" for host, port in cluster.client_addresses)
+    print(f"cluster of {args.replicas} {args.policy} replica(s) under "
+          f"{cluster.root} — clients connect to {addresses} "
+          "(Ctrl-C to stop; 'repro service kill <site>' for chaos)",
+          file=sys.stderr)
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("stopping cluster", file=sys.stderr)
+    finally:
+        cluster.stop()
+    return 0
+
+
+def _print_service_summary(document: dict) -> None:
+    for policy, doc in sorted(document.get("policies", {}).items()):
+        load = doc.get("load", {})
+        mark = "ok" if doc.get("ok") else "FAILED"
+        print(f"{policy}: {mark}, {load.get('operations', 0)} ops, "
+              f"{len(doc.get('kills', []))} kill(s), "
+              f"{sum(1 for f in doc.get('faults', []) if f.get('verb') == 'partition')} "
+              f"partition(s), {len(doc.get('violations', []))} "
+              "violation(s)")
+        for op, hist in sorted(load.get("latency", {}).items()):
+            print(f"  {op}: n={hist.get('count', 0)} "
+                  f"p50={hist.get('p50', 0) * 1000:.1f}ms "
+                  f"p95={hist.get('p95', 0) * 1000:.1f}ms "
+                  f"p99={hist.get('p99', 0) * 1000:.1f}ms")
+        for op, table in sorted(load.get("availability", {}).items()):
+            outcomes = " ".join(
+                f"{name}={count}" for name, count in sorted(
+                    table.get("outcomes", {}).items()))
+            print(f"  {op}: ok_rate={table.get('ok_rate', 0):.3f} "
+                  f"({outcomes})")
+
+
+def _cmd_service_bench(args: argparse.Namespace) -> int:
+    import json
+    import shutil
+    import tempfile
+
+    from repro.service.bench import BenchOptions, run_bench
+
+    policies = tuple(token.strip().upper()
+                     for token in args.policies.split(",")
+                     if token.strip())
+    directory = args.dir
+    temporary = directory is None
+    if temporary:
+        directory = tempfile.mkdtemp(prefix="repro-service-")
+    options = BenchOptions(
+        directory=directory,
+        policies=policies,
+        replicas=args.replicas,
+        duration=args.duration,
+        seed=args.seed,
+        workers=args.workers,
+        write_ratio=args.write_ratio,
+        fsync=args.fsync,
+        segments=args.segments,
+        drop_rate=args.drop_rate,
+        delay_rate=args.delay_rate,
+        min_kills=args.kills,
+        min_partitions=args.partitions,
+    )
+    bus, session = _start_live(args, "service bench", {
+        "policies": ",".join(policies),
+        "replicas": args.replicas,
+        "duration": args.duration,
+        "seed": args.seed,
+    })
+    try:
+        document, samples = run_bench(options, bus=bus)
+    except BaseException:
+        if session is not None:
+            session.finish(status="failed")
+        raise
+    run_id = None
+    if getattr(args, "record", False):
+        record = _registry(args).record_service(
+            document, command="service bench", samples=samples)
+        _record_note(record)
+        run_id = record.run_id
+    if session is not None:
+        session.finish(
+            status="finished" if document["ok"] else "failed",
+            run_id=run_id)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    _print_service_summary(document)
+    if document["ok"]:
+        if temporary:
+            shutil.rmtree(directory, ignore_errors=True)
+        return 0
+    print(f"service bench FAILED; cluster state kept under {directory}",
+          file=sys.stderr)
+    return 1
+
+
+def _cmd_service_kill(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from repro.service.cluster import load_control
+
+    control = load_control(args.dir)
+    site = (control.get("sites") or {}).get(str(args.site))
+    if not site or not site.get("pid"):
+        raise ConfigurationError(
+            f"no live pid for site {args.site} under {args.dir}"
+        )
+    try:
+        os.kill(int(site["pid"]), signal.SIGKILL)
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            f"cannot SIGKILL pid {site['pid']}: {exc}"
+        ) from exc
+    print(f"sent SIGKILL to site {args.site} (pid {site['pid']})")
+    return 0
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    command = args.service_command
+    if command == "replica":
+        return _cmd_service_replica(args)
+    if command == "cluster":
+        return _cmd_service_cluster(args)
+    if command == "bench":
+        return _cmd_service_bench(args)
+    if command == "kill":
+        return _cmd_service_kill(args)
+    raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+        f"unknown service command {command!r}"
+    )
+
+
 def _registry(args: argparse.Namespace):
     """The run registry named by ``--runs-dir`` (or the default root)."""
     from repro.obs.registry import RunRegistry
@@ -2175,6 +2482,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_profile(args)
     elif command == "bench":
         return _cmd_bench(args)
+    elif command == "service":
+        return _cmd_service(args)
     elif command == "runs":
         return _cmd_runs(args)
     elif command == "report":

@@ -19,6 +19,8 @@ __all__ = [
     "ConfigurationError",
     "EngineError",
     "SiteUnavailableError",
+    "ServiceError",
+    "WALCorruptionError",
 ]
 
 
@@ -64,3 +66,16 @@ class EngineError(ReproError):
 
 class SiteUnavailableError(EngineError):
     """Raised when a message is sent to a site that is down or unreachable."""
+
+
+class ServiceError(ReproError):
+    """Raised by the networked replicated KV service (:mod:`repro.service`)."""
+
+
+class WALCorruptionError(ServiceError):
+    """Raised when a write-ahead log is corrupt beyond its torn tail.
+
+    A torn *final* record — the signature of a crash mid-append — is
+    recovered from silently; corruption anywhere earlier means the disk
+    lied and recovery must not guess.
+    """

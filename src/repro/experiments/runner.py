@@ -5,6 +5,7 @@ from __future__ import annotations
 import concurrent.futures
 import contextlib
 import os
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence, Union
 
@@ -28,8 +29,16 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, MetricsSink
 from repro.obs.telemetry import StudyProgress
 from repro.obs.tracer import FanoutSink, Tracer
+from repro.util.backoff import BackoffPolicy
 
 _log = get_logger("experiments.runner")
+
+#: The cell-retry policy.  A simulation cell fails deterministically or
+#: not at all (shared trace, fixed seed), so pacing is pointless: zero
+#: base delay, no jitter — but the *attempt budget* comes from the same
+#: :class:`BackoffPolicy` the service client uses, so "how often do we
+#: retry" has exactly one definition in the package.
+_CELL_RETRY = BackoffPolicy(base=0.0, jitter=0.0, max_attempts=2)
 
 __all__ = [
     "FailedCell",
@@ -487,7 +496,8 @@ def run_study(
                 cell = None
                 last_error = ""
                 timeline_sink = TimelineSink() if capture_timelines else None
-                while cell is None and attempts < 2:
+                retry_delays = _CELL_RETRY.delays()
+                while cell is None:
                     attempts += 1
                     if timeline_sink is not None and attempts > 1:
                         timeline_sink = TimelineSink()  # drop partial spans
@@ -512,6 +522,11 @@ def run_study(
                             "cell %s/%s failed (attempt %d): %s",
                             configuration.key, policy, attempts, last_error,
                         )
+                        delay = next(retry_delays, None)
+                        if delay is None:
+                            break
+                        if delay > 0:
+                            time.sleep(delay)
                 if cell is None:
                     failed.append(FailedCell(
                         configuration.key, policy, last_error, attempts,
@@ -569,7 +584,7 @@ def run_study(
                     error = _describe_error(exc)
                     _log.warning("cell %s/%s failed (attempt %d): %s",
                                  key[0], key[1], attempt, error)
-                    if attempt < 2:
+                    if attempt < (_CELL_RETRY.max_attempts or 1):
                         try:
                             retry = pool.submit(_run_cell_worker, task)
                         except Exception as submit_exc:

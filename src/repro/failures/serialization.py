@@ -131,22 +131,48 @@ def load_chaos_document(path: Union[str, pathlib.Path]) -> dict:
     :func:`dump_chaos_schedule` (notably ``"protocol"``, the policy the
     schedule was recorded against).
 
+    Corrupt or truncated JSON is diagnosed precisely: the error names
+    the file and the offending line and column, and a parse failure at
+    end-of-file — the signature of a half-written or cut-off schedule
+    — says so explicitly.  Every failure mode raises
+    :class:`~repro.errors.ConfigurationError`, so the CLI exits 2.
+
     Raises:
-        ConfigurationError: on unreadable files or wrong format tags.
+        ConfigurationError: on unreadable files, corrupt JSON or wrong
+            format tags.
     """
     path = pathlib.Path(path)
     try:
-        with path.open() as handle:
-            data = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+        text = path.read_text()
+    except OSError as exc:
         raise ConfigurationError(
             f"cannot read chaos schedule {path}: {exc}"
         ) from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        # Truncation has two signatures: the parse error sits at the
+        # end of the text, or the parser scanned to EOF hunting for a
+        # closing quote (which reports the string's *start* position).
+        truncated = (exc.pos >= len(text.rstrip())
+                     or "Unterminated" in exc.msg)
+        hint = (
+            "; the document ends mid-value — the file looks truncated "
+            "(half-written or cut off in transfer)"
+            if truncated else ""
+        )
+        raise ConfigurationError(
+            f"corrupt chaos schedule {path}: {exc.msg} at line "
+            f"{exc.lineno} column {exc.colno}{hint}"
+        ) from exc
     if not isinstance(data, dict) or data.get("format") != _CHAOS_FORMAT:
-        raise ConfigurationError("not a repro chaos-schedule document")
+        raise ConfigurationError(
+            f"{path} is not a repro chaos-schedule document"
+        )
     if data.get("version") != _CHAOS_VERSION:
         raise ConfigurationError(
-            f"unsupported chaos-schedule version {data.get('version')!r}"
+            f"unsupported chaos-schedule version {data.get('version')!r} "
+            f"in {path}"
         )
     return data
 

@@ -41,6 +41,7 @@ __all__ = [
     "CACHE_DIR_NAME",
     "DEFAULT_ROOT",
     "RUNS_DIR_ENV",
+    "SAMPLES_DIR_NAME",
     "RunRecord",
     "RunRegistry",
     "TimelineSink",
@@ -66,6 +67,12 @@ _MIN_PREFIX = 4
 #: Directory under the registry root holding derived data (the serve
 #: summary cache).  Never scanned for runs — run ids are hex only.
 CACHE_DIR_NAME = ".cache"
+
+#: Directory under the registry root holding large per-operation sample
+#: files (``<run_id>.jsonl``) recorded next to service bench runs.
+#: Sidecars, not artifacts: they are too big to hash into the run
+#: identity, and :meth:`RunRegistry.gc` prunes any whose run is gone.
+SAMPLES_DIR_NAME = ".samples"
 
 
 def canonical_bytes(payload: Any) -> bytes:
@@ -590,6 +597,68 @@ class RunRegistry:
             },
         )
 
+    def record_service(
+        self,
+        result: Mapping[str, Any],
+        command: str = "service bench",
+        samples: Optional[bytes] = None,
+    ) -> RunRecord:
+        """Record one replicated-service bench run.
+
+        *result* is the ``repro-service-bench`` document; *samples* is
+        the optional per-operation JSON-lines blob, stored as a sidecar
+        under :data:`SAMPLES_DIR_NAME` (outside the run's identity —
+        see :meth:`samples_path`).
+        """
+        if result.get("format") != "repro-service-bench":
+            raise ConfigurationError(
+                "record_service expects a repro-service-bench document, "
+                f"got format={result.get('format')!r}"
+            )
+        identity = canonical_bytes(result)
+        lineage = self._code_lineage()
+        lineage["seed"] = result.get("seed")
+        lineage["policies"] = sorted(result.get("policies", {}))
+        totals = result.get("totals", {})
+        record = self._store(
+            kind="service",
+            command=command,
+            identity=identity,
+            files={
+                "service": (
+                    "service.json",
+                    (json.dumps(dict(result), indent=2,
+                                sort_keys=True) + "\n").encode(),
+                ),
+            },
+            lineage=lineage,
+            summary={
+                "policies": ",".join(sorted(result.get("policies", {}))),
+                "seed": result.get("seed"),
+                "replicas": result.get("replicas"),
+                "operations": totals.get("operations"),
+                "kills": totals.get("kills"),
+                "partitions": totals.get("partitions"),
+                "violations": totals.get("violations"),
+                "ok": result.get("ok"),
+            },
+        )
+        if samples:
+            path = self.samples_path(record.run_id)
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_bytes(samples)
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot write samples sidecar {path}: {exc}"
+                ) from exc
+        return record
+
+    def samples_path(self, run_id: str) -> pathlib.Path:
+        """Where *run_id*'s per-operation samples sidecar lives (the
+        file may not exist — not every run records samples)."""
+        return self.root / SAMPLES_DIR_NAME / f"{run_id}.jsonl"
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
@@ -929,4 +998,16 @@ class RunRegistry:
         for session in self.live_sessions():
             if session.status != "running":
                 shutil.rmtree(session.path, ignore_errors=True)
+        # Sample sidecars follow their run the same way: once the run
+        # is gone from the index, the (large) per-operation file is an
+        # orphan and goes with it.
+        samples_dir = self.root / SAMPLES_DIR_NAME
+        if samples_dir.is_dir():
+            alive = {record.run_id for record in self.list_runs()}
+            for sidecar in samples_dir.glob("*.jsonl"):
+                if sidecar.stem not in alive:
+                    try:
+                        sidecar.unlink()
+                    except OSError:
+                        pass
         return doomed

@@ -602,12 +602,78 @@ def _profile_section(record: Any) -> str:
     return header + table
 
 
+def _service_section(record: Any) -> str:
+    doc = record.load_json("service")
+    totals = doc.get("totals", {})
+    if doc.get("ok"):
+        banner = _callout(
+            "good", "✓", "service survived",
+            f"{totals.get('operations', '?')} operations across "
+            f"{len(doc.get('policies', {}))} polic(ies) with "
+            f"{totals.get('kills', '?')} SIGKILL(s) and "
+            f"{totals.get('partitions', '?')} partition(s): zero "
+            "safety violations, every crashed replica recovered.",
+        )
+    else:
+        banner = _callout(
+            "critical", "✗", "SERVICE RUN FAILED",
+            f"{totals.get('violations', '?')} violation(s) or failed "
+            "recovery — see the per-policy tables.",
+        )
+    parts = [banner]
+    for policy, pdoc in sorted(doc.get("policies", {}).items()):
+        load = pdoc.get("load", {})
+        latency_rows = []
+        for op, hist in sorted(load.get("latency", {}).items()):
+            latency_rows.append(
+                f"<tr><td>{_esc(op)}</td>"
+                f"<td>{int(hist.get('count', 0))}</td>"
+                f"<td>{float(hist.get('p50', 0)) * 1000:.1f}</td>"
+                f"<td>{float(hist.get('p95', 0)) * 1000:.1f}</td>"
+                f"<td>{float(hist.get('p99', 0)) * 1000:.1f}</td></tr>"
+            )
+        avail_rows = []
+        for op, table in sorted(load.get("availability", {}).items()):
+            outcomes = ", ".join(
+                f"{name}: {count}"
+                for name, count in sorted(
+                    table.get("outcomes", {}).items())
+            )
+            avail_rows.append(
+                f"<tr><td>{_esc(op)}</td>"
+                f"<td>{float(table.get('ok_rate', 0)):.3f}</td>"
+                f"<td>{_esc(outcomes)}</td></tr>"
+            )
+        faults = pdoc.get("faults", [])
+        fault_note = ", ".join(
+            f"{fault.get('verb')}@{fault.get('at')}s"
+            + (f" site {fault['site']}" if fault.get("site") else "")
+            for fault in faults
+        )
+        parts.append(
+            f"<h3>{_esc(policy)} "
+            f"{'✓' if pdoc.get('ok') else '✗'}</h3>"
+            '<p class="note">Latency is milliseconds over successful '
+            "operations; availability counts every client outcome "
+            "under live chaos.</p>"
+            "<table><thead><tr><th>op</th><th>n</th><th>p50 (ms)</th>"
+            "<th>p95 (ms)</th><th>p99 (ms)</th></tr></thead>"
+            f"<tbody>{''.join(latency_rows)}</tbody></table>"
+            "<table><thead><tr><th>op</th><th>ok rate</th>"
+            "<th>outcomes</th></tr></thead>"
+            f"<tbody>{''.join(avail_rows)}</tbody></table>"
+            f'<p class="note">faults: {_esc(fault_note or "none")}</p>'
+        )
+    return "".join(parts)
+
+
 _SECTIONS = {
     "study": _study_section,
     "chaos": _chaos_section,
     "scenario": _scenario_section,
     "bench": _bench_section,
     "profile": _profile_section,
+    "service": _service_section,
 }
 
 

@@ -53,6 +53,7 @@ _CAPTION_KEYS = (
     "configurations", "policies", "cells", "seed", "horizon",
     "scenario", "policy", "decisions", "denied", "ok", "violation",
     "benchmarks", "source", "target", "engine",
+    "replicas", "operations", "kills", "partitions", "violations",
 )
 
 

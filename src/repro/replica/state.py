@@ -101,6 +101,42 @@ class ReplicaState:
         """The ``(o, v, P)`` triple as an immutable value."""
         return (self._operation, self._version, self._partition_set)
 
+    def to_dict(self) -> dict:
+        """A JSON-serialisable ``(o, v, P)`` document.
+
+        The partition set is emitted sorted so identical states always
+        serialise to identical bytes — the replicated service's
+        recovery tests compare snapshots byte-for-byte.
+        """
+        return {
+            "site": self.site_id,
+            "operation": self._operation,
+            "version": self._version,
+            "partition_set": sorted(self._partition_set),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReplicaState":
+        """Rebuild a state from :meth:`to_dict` output.
+
+        Raises:
+            ConfigurationError: on missing fields or invariant-breaking
+                values (checked by the constructor).
+        """
+        try:
+            return cls(
+                site_id=int(data["site"]),
+                operation=int(data["operation"]),
+                version=int(data["version"]),
+                partition_set=frozenset(
+                    int(s) for s in data["partition_set"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed replica-state document: {exc}"
+            ) from exc
+
     def __repr__(self) -> str:
         members = ",".join(map(str, sorted(self._partition_set)))
         return (
@@ -124,6 +160,31 @@ class ReplicaSet:
         self._states = {
             sid: ReplicaState(sid, partition_set=initial) for sid in sites
         }
+
+    @classmethod
+    def from_states(
+        cls,
+        states: Mapping[int, tuple[int, int, AbstractSet[int]]],
+        copy_sites: Iterable[int] = (),
+    ) -> "ReplicaSet":
+        """Build a set holding the given ``{site: (o, v, P)}`` triples.
+
+        Sites in *copy_sites* missing from *states* keep the paper's
+        initial state (``o = v = 1``, ``P`` = the full copy set).  The
+        replicated service uses this to evaluate a quorum round over
+        the states its coordinator actually collected: unreachable
+        copies stay at the initial placeholder, which the algorithms
+        never read (they only consult states inside the requesting
+        block) but which keeps static denominators like MCV's "all
+        copies" correct.
+        """
+        sites = sorted(set(states) | set(copy_sites))
+        replica_set = cls(sites)
+        for sid, (operation, version, partition_set) in states.items():
+            replica_set._states[sid] = ReplicaState(
+                sid, operation, version, frozenset(partition_set)
+            )
+        return replica_set
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,91 @@
+"""A crash-tolerant replicated key-value service over real sockets.
+
+This package promotes the paper's protocols from simulation to a live
+system: N replica *processes*, each holding one copy's ``(o, v, P)``
+state behind a durable write-ahead log with snapshot compaction, decide
+reads and writes through real ODV/OTDV quorum rounds over
+length-prefixed JSON frames on TCP, while a chaos proxy injects the
+seeded schedule's faults — message drops, delays, live partitions and
+SIGKILLs — into the actual wire.
+
+Entry points:
+
+* :func:`~repro.service.replica.serve_replica` / ``repro service
+  replica`` — one replica process;
+* :class:`~repro.service.cluster.LocalCluster` / ``repro service
+  cluster`` — a supervised local fleet behind the proxy;
+* :func:`~repro.service.bench.run_bench` / ``repro service bench`` —
+  chaos + load + safety checks + recovery verification, recorded into
+  the run registry;
+* :class:`~repro.service.client.ServiceClient` — a retrying client.
+"""
+
+from repro.service.bench import BenchOptions, run_bench
+from repro.service.chaos import (
+    FaultEvent,
+    LiveFaultDriver,
+    ensure_minimums,
+    live_plan_from_schedule,
+)
+from repro.service.client import OpResult, ServiceClient
+from repro.service.cluster import (
+    AsyncRuntime,
+    ClusterSpec,
+    LocalCluster,
+    load_control,
+    parse_segments,
+)
+from repro.service.frames import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.service.invariants import check_histories, collect_histories
+from repro.service.loadgen import LoadResult, LoadSpec, run_load
+from repro.service.proxy import ChaosProxy, ChaosRules
+from repro.service.quorum import ClusterView, evaluate_round, plan_commit
+from repro.service.replica import ReplicaConfig, ReplicaServer, serve_replica
+from repro.service.store import DurableReplica, commit_body, writes_digest
+from repro.service.wal import ReplayResult, SnapshotStore, WriteAheadLog
+
+__all__ = [
+    "AsyncRuntime",
+    "BenchOptions",
+    "ChaosProxy",
+    "ChaosRules",
+    "ClusterSpec",
+    "ClusterView",
+    "DurableReplica",
+    "FaultEvent",
+    "LiveFaultDriver",
+    "LoadResult",
+    "LoadSpec",
+    "LocalCluster",
+    "MAX_FRAME_BYTES",
+    "OpResult",
+    "ReplayResult",
+    "ReplicaConfig",
+    "ReplicaServer",
+    "ServiceClient",
+    "SnapshotStore",
+    "WriteAheadLog",
+    "check_histories",
+    "collect_histories",
+    "commit_body",
+    "encode_frame",
+    "ensure_minimums",
+    "evaluate_round",
+    "live_plan_from_schedule",
+    "load_control",
+    "parse_segments",
+    "plan_commit",
+    "read_frame",
+    "recv_frame",
+    "run_bench",
+    "run_load",
+    "send_frame",
+    "serve_replica",
+    "writes_digest",
+]

@@ -1,0 +1,288 @@
+"""The service bench: live chaos against a real cluster, per policy.
+
+For every requested protocol this spins up a fresh
+:class:`~repro.service.cluster.LocalCluster` behind the chaos proxy,
+derives a seeded fault plan from a simulator
+:class:`~repro.chaos.schedule.ChaosSchedule` (topped up to the
+acceptance gate's minimum of one SIGKILL and one live partition),
+plays it with the :class:`~repro.service.chaos.LiveFaultDriver` while
+worker threads hammer the cluster, and then holds the run to account:
+
+* the durable histories must pass every offline safety check
+  (:func:`~repro.service.invariants.check_histories`);
+* the load workers must have observed no stale read;
+* every SIGKILLed replica must have come back, verified its replay
+  byte-for-byte and been reinserted by a RECOVER quorum.
+
+The result document (``format: repro-service-bench``) carries latency
+quantiles and per-outcome availability per policy; the per-operation
+samples are returned separately for the registry's sidecar file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.chaos.schedule import ChaosPolicy, build_schedule, derived_rng
+from repro.core.registry import available_policies
+from repro.errors import ConfigurationError
+from repro.service.chaos import (
+    LiveFaultDriver,
+    ensure_minimums,
+    live_plan_from_schedule,
+)
+from repro.service.cluster import ClusterSpec, LocalCluster
+from repro.service.invariants import check_histories, collect_histories
+from repro.service.loadgen import LoadResult, LoadSpec, run_load
+from repro.service.replica import RECOVERY_MARKER
+
+__all__ = [
+    "BenchOptions",
+    "run_bench",
+]
+
+
+@dataclass(frozen=True)
+class BenchOptions:
+    """Shape of one service bench run.
+
+    Attributes:
+        directory: Working directory (one subdirectory per policy).
+        policies: Protocols to bench, each against its own cluster.
+        replicas: Cluster size.
+        duration: Seconds of load per policy.
+        seed: Root seed for the schedule, the proxy coins and the load.
+        workers: Load generator threads.
+        write_ratio: Fraction of operations that are writes.
+        fsync: WAL durability policy for every replica.
+        segments: Co-location spec for the topological protocols.
+        drop_rate / delay_rate: Frame-level chaos for the proxy coins.
+        min_kills / min_partitions: Acceptance-gate fault quota.
+        schedule_length: Steps drawn from the seeded schedule.
+    """
+
+    directory: str
+    policies: tuple[str, ...] = ("ODV", "OTDV")
+    replicas: int = 5
+    duration: float = 10.0
+    seed: int = 1988
+    workers: int = 3
+    write_ratio: float = 0.5
+    fsync: str = "always"
+    segments: Optional[str] = None
+    drop_rate: float = 0.02
+    delay_rate: float = 0.05
+    min_kills: int = 1
+    min_partitions: int = 1
+    schedule_length: int = 40
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ConfigurationError("bench needs at least one policy")
+        for policy in self.policies:
+            if policy not in available_policies():
+                raise ConfigurationError(
+                    f"unknown policy {policy!r}; "
+                    f"choose from {available_policies()}"
+                )
+        if self.replicas < 2:
+            raise ConfigurationError(
+                f"the bench needs >= 2 replicas, got {self.replicas}")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be > 0, got {self.duration}")
+
+
+def _read_marker(path: pathlib.Path) -> Optional[dict[str, Any]]:
+    try:
+        marker = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return marker if isinstance(marker, dict) else None
+
+
+def _await_recovery(
+    cluster: LocalCluster, killed: list[int], grace: float,
+) -> dict[str, Any]:
+    """Poll the killed sites' recovery markers until reinserted."""
+    deadline = time.monotonic() + grace
+    pending = set(killed)
+    markers: dict[str, Any] = {}
+    while pending and time.monotonic() < deadline:
+        for site in sorted(pending):
+            marker = _read_marker(
+                cluster.data_dir(site) / RECOVERY_MARKER)
+            if marker and marker.get("verified") \
+                    and marker.get("reinserted"):
+                markers[str(site)] = marker
+                pending.discard(site)
+        if pending:
+            time.sleep(0.2)
+    for site in sorted(pending):
+        markers[str(site)] = _read_marker(
+            cluster.data_dir(site) / RECOVERY_MARKER)
+    return markers
+
+
+def _run_policy(
+    options: BenchOptions, policy: str, bus: Optional[Any],
+) -> tuple[dict[str, Any], LoadResult]:
+    """One policy's full cluster lifecycle; returns (doc, load)."""
+    root = pathlib.Path(options.directory) / policy.lower()
+    spec = ClusterSpec(
+        directory=str(root),
+        replicas=options.replicas,
+        policy=policy,
+        fsync=options.fsync,
+        proxy=True,
+        segments=options.segments,
+    )
+    cluster = LocalCluster(spec)
+    cluster.rules.rng = derived_rng(options.seed, f"proxy-{policy}")
+    sites = list(cluster.sites)
+    schedule = build_schedule(
+        options.seed, sites, sites,
+        policy=ChaosPolicy(drop_rate=options.drop_rate,
+                           delay_rate=options.delay_rate),
+        length=options.schedule_length,
+        config=f"service-{policy}",
+    )
+    plan = ensure_minimums(
+        live_plan_from_schedule(schedule, options.duration),
+        sites, options.duration,
+        min_kills=options.min_kills,
+        min_partitions=options.min_partitions,
+    )
+    if bus is not None:
+        bus.publish("service.policy.start", policy=policy,
+                    replicas=options.replicas,
+                    planned_faults=len(plan))
+    cluster.start()
+    driver = LiveFaultDriver(plan, proxy=cluster.proxy,
+                             supervisor=cluster)
+    fault_future = cluster.runtime.submit(driver.run())
+    load_spec = LoadSpec(
+        duration=options.duration,
+        workers=options.workers,
+        write_ratio=options.write_ratio,
+        seed=options.seed,
+    )
+    load_box: dict[str, LoadResult] = {}
+
+    def _load() -> None:
+        load_box["result"] = run_load(cluster.client_addresses, load_spec)
+
+    load_thread = threading.Thread(target=_load, name=f"bench-{policy}",
+                                   daemon=True)
+    load_thread.start()
+    published = 0
+    try:
+        while load_thread.is_alive():
+            # driver.applied is append-only; publishing from here keeps
+            # the telemetry bus single-threaded.
+            while bus is not None and published < len(driver.applied):
+                bus.publish("service.fault", policy=policy,
+                            **driver.applied[published])
+                published += 1
+            time.sleep(0.1)
+        load_thread.join()
+        fault_future.result(timeout=options.duration + 30.0)
+        while bus is not None and published < len(driver.applied):
+            bus.publish("service.fault", policy=policy,
+                        **driver.applied[published])
+            published += 1
+        killed = sorted({record["site"] for record in cluster.kills})
+        recovery = _await_recovery(
+            cluster, killed, grace=max(5.0, 0.75 * options.duration))
+        proxy_stats = {
+            "forwarded": cluster.proxy.forwarded,
+            "dropped": cluster.proxy.dropped,
+            "delayed": cluster.proxy.delayed,
+        } if cluster.proxy is not None else {}
+    finally:
+        cluster.stop()
+    load = load_box.get("result") or LoadResult()
+    histories = collect_histories(root, sites)
+    violations = check_histories(histories) + list(load.violations)
+    recovered = all(
+        (recovery.get(str(site)) or {}).get("verified")
+        and (recovery.get(str(site)) or {}).get("reinserted")
+        for site in killed
+    )
+    applied_kills = sum(1 for record in driver.applied
+                        if record["verb"] == "crash")
+    applied_partitions = sum(1 for record in driver.applied
+                             if record["verb"] == "partition")
+    ok = (not violations and recovered
+          and applied_kills >= options.min_kills
+          and applied_partitions >= options.min_partitions)
+    doc = {
+        "policy": policy,
+        "ok": ok,
+        "load": load.to_dict(),
+        "faults": list(driver.applied),
+        "kills": list(cluster.kills),
+        "restarts": list(cluster.restarts),
+        "recovery": recovery,
+        "recovered": recovered,
+        "violations": violations,
+        "proxy": proxy_stats,
+        "commits": {str(site): len(history)
+                    for site, history in sorted(histories.items())},
+    }
+    if bus is not None:
+        bus.publish("service.policy.done", policy=policy, ok=ok,
+                    operations=len(load.samples),
+                    violations=len(violations))
+    return doc, load
+
+
+def run_bench(
+    options: BenchOptions, bus: Optional[Any] = None,
+) -> tuple[dict[str, Any], bytes]:
+    """Run the bench for every policy; returns ``(document, samples)``.
+
+    *document* is the ``repro-service-bench`` summary; *samples* is the
+    JSON-lines sidecar (one line per operation, stamped with its
+    policy) the registry stores next to the run.
+    """
+    policies: dict[str, Any] = {}
+    lines: list[str] = []
+    for policy in options.policies:
+        doc, load = _run_policy(options, policy, bus)
+        policies[policy] = doc
+        for sample in load.samples:
+            lines.append(json.dumps(
+                dict(sample, policy=policy),
+                sort_keys=True, separators=(",", ":")))
+    document = {
+        "format": "repro-service-bench",
+        "version": 1,
+        "seed": options.seed,
+        "duration": options.duration,
+        "replicas": options.replicas,
+        "workers": options.workers,
+        "write_ratio": options.write_ratio,
+        "fsync": options.fsync,
+        "policies": policies,
+        "ok": all(doc["ok"] for doc in policies.values()),
+        "totals": {
+            "operations": sum(
+                doc["load"]["operations"] for doc in policies.values()),
+            "violations": sum(
+                len(doc["violations"]) for doc in policies.values()),
+            "kills": sum(len(doc["kills"]) for doc in policies.values()),
+            "partitions": sum(
+                sum(1 for fault in doc["faults"]
+                    if fault["verb"] == "partition")
+                for doc in policies.values()),
+        },
+    }
+    samples = ("\n".join(lines) + "\n").encode("utf-8") if lines \
+        else b""
+    return document, samples

@@ -1,0 +1,214 @@
+"""The blocking service client: retries, timeouts, replica failover.
+
+A :class:`ServiceClient` is what the load generator (and a human at
+the CLI) uses: plain blocking sockets, one frame out and one frame
+back per request, with the shared
+:class:`~repro.util.backoff.BackoffPolicy` pacing retries and a
+rotation over every replica address for failover.
+
+Outcome taxonomy — the availability accounting the bench records:
+
+* ``ok`` — a replica granted and committed the operation;
+* ``denied`` — a quorum round ran and refused (the paper's
+  *unavailable* state: fewer than half the previous partition set
+  reachable).  Denials are authoritative, so they are **not** retried;
+* ``unavailable`` — no replica produced a decision before the retry
+  budget ran out (connection failures, timeouts, minority commits,
+  lease contention).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.frames import FrameError, recv_frame, send_frame
+from repro.util.backoff import BackoffPolicy
+
+__all__ = [
+    "DEFAULT_CLIENT_BACKOFF",
+    "OpResult",
+    "ServiceClient",
+]
+
+#: Retry pacing for client operations: quick first retry, full jitter,
+#: capped well under a chaos partition window so failover actually
+#: lands on another replica instead of sleeping through the run.
+DEFAULT_CLIENT_BACKOFF = BackoffPolicy(
+    base=0.05, factor=2.0, max_delay=0.5, jitter=1.0, max_attempts=5,
+)
+
+
+class OpResult:
+    """The outcome of one client operation.
+
+    Attributes:
+        ok: Whether the operation was granted and committed.
+        outcome: ``"ok"``, ``"denied"`` or ``"unavailable"``.
+        op: ``"get"`` or ``"put"``.
+        key: The key operated on.
+        value: The value read (``None`` for writes and misses).
+        version: The data version the operation observed or created.
+        site: The replica that coordinated the decisive round.
+        reason: Denial/unavailability explanation.
+        latency: Wall-clock seconds from first attempt to outcome.
+        attempts: Requests actually sent (1 = no retry needed).
+    """
+
+    __slots__ = ("ok", "outcome", "op", "key", "value", "version",
+                 "site", "reason", "latency", "attempts")
+
+    def __init__(self, ok: bool, outcome: str, op: str, key: str,
+                 value: Any = None, version: Optional[int] = None,
+                 site: Optional[int] = None, reason: str = "",
+                 latency: float = 0.0, attempts: int = 0):
+        self.ok = ok
+        self.outcome = outcome
+        self.op = op
+        self.key = key
+        self.value = value
+        self.version = version
+        self.site = site
+        self.reason = reason
+        self.latency = latency
+        self.attempts = attempts
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable record (one latency-sample line)."""
+        return {
+            "ok": self.ok,
+            "outcome": self.outcome,
+            "op": self.op,
+            "key": self.key,
+            "version": self.version,
+            "site": self.site,
+            "latency": self.latency,
+            "attempts": self.attempts,
+        }
+
+
+class _Retryable(ServiceError):
+    """Internal: this attempt failed but another replica may answer."""
+
+
+class ServiceClient:
+    """A blocking client over one or more replica addresses.
+
+    Each request opens a fresh connection to the next address in the
+    rotation (round-robin from a random seeded start), so a dead or
+    partitioned replica only costs one timeout before failover.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[Tuple[str, int]],
+        timeout: float = 2.0,
+        backoff: Optional[BackoffPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if not addresses:
+            raise ConfigurationError("client needs at least one address")
+        self.addresses = [(str(h), int(p)) for h, p in addresses]
+        self.timeout = timeout
+        self.backoff = backoff or DEFAULT_CLIENT_BACKOFF
+        self._rng = rng or random.Random()
+        self._cursor = self._rng.randrange(len(self.addresses))
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> OpResult:
+        """Quorum read of *key*."""
+        return self._operate("get", key, None)
+
+    def put(self, key: str, value: Any) -> OpResult:
+        """Quorum write of *key* = *value*."""
+        return self._operate("put", key, value)
+
+    def ping(self, address: Optional[Tuple[str, int]] = None) -> bool:
+        """Whether a replica answers at all (readiness probe)."""
+        target = address or self.addresses[self._cursor]
+        try:
+            reply = self._request(target, {"kind": "ping"})
+        except (OSError, ServiceError):
+            return False
+        return bool(reply) and reply.get("kind") == "pong"
+
+    def info(self, address: Tuple[str, int]) -> Optional[dict[str, Any]]:
+        """One replica's ``info`` document, or ``None`` if unreachable."""
+        try:
+            reply = self._request(address, {"kind": "info"})
+        except (OSError, ServiceError):
+            return None
+        if reply is None or reply.get("kind") != "info":
+            return None
+        return reply
+
+    # ------------------------------------------------------------------
+    def _operate(self, op: str, key: str, value: Any) -> OpResult:
+        start = time.monotonic()
+        attempts = 0
+        message: dict[str, Any] = {"kind": op, "key": key}
+        if op == "put":
+            message["value"] = value
+
+        def attempt() -> OpResult:
+            nonlocal attempts
+            attempts += 1
+            address = self._next_address()
+            try:
+                reply = self._request(address, dict(message))
+            except (OSError, FrameError) as exc:
+                raise _Retryable(f"{address[0]}:{address[1]}: {exc}") from exc
+            if reply is None or reply.get("kind") not in ("result", "error"):
+                raise _Retryable(
+                    f"{address[0]}:{address[1]}: connection closed "
+                    "before a result"
+                )
+            if reply.get("kind") == "error":
+                raise _Retryable(str(reply.get("reason", "replica error")))
+            if reply.get("ok"):
+                return OpResult(
+                    ok=True, outcome="ok", op=op, key=key,
+                    value=reply.get("value"),
+                    version=reply.get("version"),
+                    site=reply.get("site"),
+                )
+            outcome = str(reply.get("outcome", "unavailable"))
+            if outcome == "denied":
+                # A quorum ran and said no; retrying cannot change it
+                # until the network does.
+                return OpResult(
+                    ok=False, outcome="denied", op=op, key=key,
+                    site=reply.get("site"),
+                    reason=str(reply.get("reason", "")),
+                )
+            raise _Retryable(str(reply.get("reason", outcome)))
+
+        try:
+            result = self.backoff.run(
+                attempt, retry_on=(_Retryable,), rng=self._rng)
+        except _Retryable as exc:
+            result = OpResult(ok=False, outcome="unavailable", op=op,
+                              key=key, reason=str(exc))
+        result.latency = time.monotonic() - start
+        result.attempts = attempts
+        return result
+
+    def _next_address(self) -> Tuple[str, int]:
+        address = self.addresses[self._cursor % len(self.addresses)]
+        self._cursor += 1
+        return address
+
+    def _request(self, address: Tuple[str, int],
+                 message: dict[str, Any]) -> Optional[dict[str, Any]]:
+        with socket.create_connection(address,
+                                      timeout=self.timeout) as sock:
+            send_frame(sock, message)
+            try:
+                return recv_frame(sock)
+            except socket.timeout as exc:
+                raise _Retryable(
+                    f"timed out waiting for {address[0]}:{address[1]}"
+                ) from exc

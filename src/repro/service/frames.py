@@ -1,0 +1,144 @@
+"""Length-prefixed JSON frames — the service's one wire format.
+
+Every connection (client → replica, replica → replica, and both legs
+through the chaos proxy) speaks the same trivially parseable framing::
+
+    +--------------------+----------------------+
+    | length (4B, BE)    | payload (JSON bytes) |
+    +--------------------+----------------------+
+
+The payload is a single JSON object.  Keeping the wire format
+frame-oriented (rather than a raw byte stream) is what lets the chaos
+proxy drop and delay individual *messages* — the unit the paper's
+fault model is defined over — instead of tearing arbitrary byte
+boundaries.
+
+Both an asyncio reader (:func:`read_frame`) and a blocking-socket
+reader (:func:`recv_frame`) are provided so the asyncio replicas and
+the synchronous load-generator client share one encoder.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_frame",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Upper bound on one frame's payload.  Large enough for a full KV
+#: snapshot during recovery, small enough that a corrupt length prefix
+#: cannot make a reader allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ServiceError):
+    """Raised for malformed frames (bad length, bad JSON, truncation)."""
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialise one message to its on-wire bytes.
+
+    Raises:
+        FrameError: if the encoded payload exceeds :data:`MAX_FRAME_BYTES`.
+    """
+    payload = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode(payload: bytes) -> dict[str, Any]:
+    try:
+        message = json.loads(payload)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict[str, Any]]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    Raises:
+        FrameError: on truncation mid-frame or a malformed payload.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise FrameError("connection closed mid-frame header") from exc
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame payload") from exc
+    return _decode(payload)
+
+
+def send_frame(sock: socket.socket, message: dict[str, Any]) -> None:
+    """Blocking send of one frame over *sock*."""
+    sock.sendall(encode_frame(message))
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict[str, Any]]:
+    """Blocking read of one frame; ``None`` on clean EOF at a boundary.
+
+    Raises:
+        FrameError: on truncation mid-frame or a malformed payload.
+        socket.timeout: propagated from the socket's timeout setting.
+    """
+    header = _recv_exactly(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    payload = _recv_exactly(sock, length, allow_eof=False)
+    assert payload is not None
+    return _decode(payload)
+
+
+def _recv_exactly(
+    sock: socket.socket, count: int, allow_eof: bool
+) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

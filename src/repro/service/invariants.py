@@ -1,0 +1,118 @@
+"""Offline safety checks over the replicas' durable commit histories.
+
+After a bench run the replica processes are gone; what remains is the
+ground truth — each site's WAL + snapshot.  These checks are the live
+counterparts of the simulator's
+:class:`~repro.chaos.monitor.InvariantMonitor` records:
+
+* ``divergent-commit`` — two replicas applied the same operation
+  number with different bodies (version, partition set, kind or write
+  digest).  Commits are totally ordered by mutual exclusion, so this
+  can never happen while the protocols hold;
+* ``non-monotone-state`` — a replica's history shows ``o`` or ``v``
+  going backwards (or ``v > o``), which the runtime guards should have
+  made impossible;
+* ``foreign-commit`` — a replica applied a commit whose partition set
+  does not contain it: COMMIT is addressed to exactly the new ``P``.
+
+Zero violations is the bench's acceptance gate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Iterable, Mapping, Union
+
+from repro.service.store import DurableReplica, commit_body
+
+__all__ = [
+    "check_histories",
+    "collect_histories",
+]
+
+
+def collect_histories(
+    root: Union[str, pathlib.Path],
+    sites: Iterable[int],
+) -> dict[int, list[dict[str, Any]]]:
+    """Load every site's commit history from its data directory.
+
+    *root* is the cluster directory (``site-<n>`` subdirectories, as
+    :class:`~repro.service.cluster.LocalCluster` lays them out).
+
+    Raises:
+        WALCorruptionError: if any site's log is corrupt mid-file —
+            a finding in its own right, surfaced loudly.
+    """
+    sites = sorted(int(s) for s in sites)
+    histories: dict[int, list[dict[str, Any]]] = {}
+    for site in sites:
+        directory = pathlib.Path(root) / f"site-{site}"
+        if not directory.exists():
+            continue
+        store = DurableReplica.open(directory, site, sites, fsync="never")
+        try:
+            histories[site] = list(store.history)
+        finally:
+            store.close()
+    return histories
+
+
+def check_histories(
+    histories: Mapping[int, list[Mapping[str, Any]]],
+) -> list[dict[str, Any]]:
+    """Run every safety check; returns the violations (empty = safe)."""
+    violations: list[dict[str, Any]] = []
+    bodies: dict[int, tuple] = {}
+    body_owner: dict[int, int] = {}
+    for site in sorted(histories):
+        previous_operation = 0
+        previous_version = 0
+        for entry in histories[site]:
+            operation = int(entry["operation"])
+            version = int(entry["version"])
+            members = frozenset(int(s) for s in entry["partition_set"])
+            if operation <= previous_operation or version < previous_version:
+                violations.append({
+                    "invariant": "non-monotone-state",
+                    "site": site,
+                    "detail": (
+                        f"(o, v) went {previous_operation, previous_version}"
+                        f" -> {operation, version} at site {site}"
+                    ),
+                })
+            if version > operation:
+                violations.append({
+                    "invariant": "non-monotone-state",
+                    "site": site,
+                    "detail": (
+                        f"version {version} exceeds operation {operation} "
+                        f"at site {site}"
+                    ),
+                })
+            if site not in members:
+                violations.append({
+                    "invariant": "foreign-commit",
+                    "site": site,
+                    "detail": (
+                        f"site {site} applied operation {operation} whose "
+                        f"partition set {sorted(members)} excludes it"
+                    ),
+                })
+            body = commit_body(entry)
+            if operation in bodies and bodies[operation] != body:
+                violations.append({
+                    "invariant": "divergent-commit",
+                    "site": site,
+                    "detail": (
+                        f"operation {operation} committed as "
+                        f"{bodies[operation]} at site "
+                        f"{body_owner[operation]} but {body} at site {site}"
+                    ),
+                })
+            else:
+                bodies.setdefault(operation, body)
+                body_owner.setdefault(operation, site)
+            previous_operation = operation
+            previous_version = version
+    return violations

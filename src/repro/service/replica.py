@@ -1,0 +1,713 @@
+"""The asyncio replica server: durable state + live quorum rounds.
+
+One :class:`ReplicaServer` is one paper "site": it owns a
+:class:`~repro.service.store.DurableReplica` (the ``(o, v, P)`` triple,
+the key-value map and the WAL) and serves length-prefixed JSON frames
+on TCP.  Any replica can coordinate a client operation:
+
+1. collect ``(o, v, P)`` states from every peer (a short lease rides
+   on the state request, serialising concurrent coordinators);
+2. evaluate the paper's quorum test over the responders — the real
+   :mod:`repro.core` protocol classes via
+   :func:`repro.service.quorum.evaluate_round`;
+3. if granted, broadcast ``COMMIT(S, o_m+1, v', S')``; every recipient
+   appends the entry to its WAL *before* acking, so an acked commit
+   survives SIGKILL.
+
+A restarting replica recovers from snapshot + WAL, verifies the replay
+against an independent cold read (writing a ``recovery.json`` marker
+the bench asserts on), and then runs the paper's RECOVER loop until a
+quorum reinserts it.  The same background loop performs commit repair:
+if a crashed coordinator left a commit at a minority, the max-``o``
+holder re-broadcasts it once a majority of its partition set is
+reachable — restoring the majority-preserving commit property the
+protocols' liveness rests on (the chaos harness budgets partial
+commits the same way).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.core.registry import available_policies
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ServiceError,
+    WALCorruptionError,
+)
+from repro.service.frames import FrameError, encode_frame, read_frame
+from repro.service.quorum import evaluate_round, plan_commit
+from repro.service.store import DurableReplica, commit_body
+from repro.util.backoff import BackoffPolicy
+
+__all__ = [
+    "ReplicaConfig",
+    "ReplicaServer",
+    "serve_replica",
+]
+
+#: File a restarting replica writes its recovery verification into.
+RECOVERY_MARKER = "recovery.json"
+
+#: Pacing for contended coordinator rounds (lease collisions).
+_ROUND_RETRY = BackoffPolicy(base=0.02, factor=2.0, max_delay=0.25,
+                             jitter=1.0, max_attempts=6)
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """Static configuration of one replica process.
+
+    Attributes:
+        site_id: This replica's paper site number (1-based).
+        host / port: Listen address (port 0 lets the OS pick).
+        data_dir: Directory for WAL, snapshot and recovery marker.
+        peers: ``{site: (host, port)}`` for every *other* replica —
+            pointed at the chaos proxy when one is in the wire.
+        policy: Protocol abbreviation (``"ODV"``, ``"OTDV"``, ...).
+        segments: Optional ``{site: segment}`` co-location map for the
+            topological protocols' vote claiming.
+        fsync: WAL durability policy (``"always"`` / ``"never"``).
+        compact_every: Snapshot-compaction period, in commits.
+        lease_s: Coordinator lease duration; bounds how long a crashed
+            coordinator can block others.
+        peer_timeout: Per-peer round-trip budget; a peer that misses it
+            is treated as unreachable this round.
+        recover_interval: Cadence of the RECOVER / anti-entropy loop.
+    """
+
+    site_id: int
+    host: str
+    port: int
+    data_dir: str
+    peers: Mapping[int, Tuple[str, int]] = field(default_factory=dict)
+    policy: str = "ODV"
+    segments: Optional[Mapping[int, int]] = None
+    fsync: str = "always"
+    compact_every: int = 256
+    lease_s: float = 2.0
+    peer_timeout: float = 1.0
+    recover_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in available_policies():
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; "
+                f"choose from {available_policies()}"
+            )
+        if self.site_id in self.peers:
+            raise ConfigurationError(
+                f"peers must not include the replica itself "
+                f"(site {self.site_id})"
+            )
+
+    @property
+    def copy_sites(self) -> frozenset[int]:
+        """All sites holding a copy: this one plus every peer."""
+        return frozenset(self.peers) | {self.site_id}
+
+
+class ReplicaServer:
+    """One live replica: TCP frame server + coordinator + RECOVER loop."""
+
+    def __init__(self, config: ReplicaConfig):
+        self.config = config
+        self.site_id = config.site_id
+        self.store: Optional[DurableReplica] = None
+        self.recovery_info: Optional[dict[str, Any]] = None
+        self.counters: dict[str, int] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._recover_task: Optional[asyncio.Task] = None
+        self._coord_lock = asyncio.Lock()
+        self._lease_holder: Optional[int] = None
+        self._lease_expires = 0.0
+        self._last_entry: Optional[dict[str, Any]] = None
+        self._rng = random.Random(f"replica:{config.site_id}")
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Recover durable state, verify the replay, start serving."""
+        probe = DurableReplica(
+            self.config.data_dir, self.site_id, self.config.copy_sites)
+        had_state = (probe.wal.path.exists()
+                     or probe.snapshots.path.exists())
+        self.store = DurableReplica.open(
+            self.config.data_dir, self.site_id, self.config.copy_sites,
+            fsync=self.config.fsync,
+            compact_every=self.config.compact_every,
+        )
+        self.recovery_info = self.store.verify_recovery()
+        self.recovery_info["had_state"] = had_state
+        self.recovery_info["reinserted"] = False
+        self._write_recovery_marker()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+        )
+        self._recover_task = asyncio.create_task(self._recover_loop())
+
+    @property
+    def port(self) -> int:
+        """The bound listen port (useful after binding port 0)."""
+        if self._server is None or not self._server.sockets:
+            raise ConfigurationError("replica server is not started")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` is called."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Stop serving, cancel background work, close the WAL."""
+        if self._recover_task is not None:
+            self._recover_task.cancel()
+            try:
+                await self._recover_task
+            except asyncio.CancelledError:
+                pass
+            except Exception:
+                pass
+            self._recover_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.store is not None:
+            self.store.close()
+        self._stopped.set()
+
+    def _write_recovery_marker(self) -> None:
+        marker = self.store.directory / RECOVERY_MARKER  # type: ignore[union-attr]
+        marker.write_text(json.dumps(self.recovery_info, sort_keys=True,
+                                     indent=2) + "\n")
+
+    def _count(self, name: str) -> None:
+        self.counters[name] = self.counters.get(name, 0) + 1
+
+    # ------------------------------------------------------------------
+    # frame server
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except FrameError:
+                    break  # torn connection: drop it, the peer retries
+                if message is None:
+                    break
+                response = await self._dispatch(message)
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        kind = message.get("kind")
+        try:
+            if kind == "ping":
+                return self._on_ping()
+            if kind == "state?":
+                return self._on_state(message)
+            if kind == "commit":
+                return self._on_commit(message)
+            if kind == "release":
+                return self._on_release(message)
+            if kind == "fetch":
+                return self._on_fetch()
+            if kind == "info":
+                return self._on_info()
+            if kind in ("get", "put"):
+                return await self._on_client_op(message)
+            return {"kind": "error", "reason": f"unknown kind {kind!r}"}
+        except (ProtocolError, WALCorruptionError, ServiceError,
+                ConfigurationError) as exc:
+            self._count("errors")
+            return {"kind": "error", "reason": str(exc)}
+
+    # -- peer handlers --------------------------------------------------
+    def _on_ping(self) -> dict[str, Any]:
+        return {"kind": "pong", "site": self.site_id}
+
+    def _now(self) -> float:
+        return asyncio.get_running_loop().time()
+
+    def _try_lease(self, holder: int) -> bool:
+        now = self._now()
+        if (self._lease_holder is None or self._lease_holder == holder
+                or now >= self._lease_expires):
+            self._lease_holder = holder
+            self._lease_expires = now + self.config.lease_s
+            return True
+        return False
+
+    def _drop_lease(self, holder: int) -> None:
+        if self._lease_holder == holder:
+            self._lease_holder = None
+            self._lease_expires = 0.0
+
+    def _on_state(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        holder = int(message.get("from", 0))
+        if not self._try_lease(holder):
+            self._count("busy")
+            return {"kind": "busy", "site": self.site_id,
+                    "holder": self._lease_holder}
+        assert self.store is not None
+        state = self.store.state
+        reply: dict[str, Any] = {
+            "kind": "state",
+            "site": self.site_id,
+            "operation": state.operation,
+            "version": state.version,
+            "partition_set": sorted(state.partition_set),
+        }
+        if self.store.history:
+            latest = self.store.history[-1]
+            reply["last"] = {
+                "operation": latest["operation"],
+                "version": latest["version"],
+                "partition_set": list(latest["partition_set"]),
+                "kind": latest["kind"],
+                "writes_digest": latest["writes_digest"],
+            }
+        key = message.get("key")
+        if key is not None:
+            reply["value"] = self.store.data.get(str(key))
+        return reply
+
+    def _on_commit(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        holder = int(message.get("from", 0))
+        entry = message.get("entry")
+        if not isinstance(entry, dict):
+            return {"kind": "error", "reason": "commit without entry"}
+        assert self.store is not None
+        if not self.store.accepts(int(entry.get("operation", 0))):
+            self._drop_lease(holder)
+            return {"kind": "stale", "site": self.site_id,
+                    "operation": self.store.state.operation}
+        self.store.commit(entry)
+        self._last_entry = dict(entry)
+        self._count("commits")
+        self._drop_lease(holder)
+        return {"kind": "ok", "site": self.site_id,
+                "operation": self.store.state.operation}
+
+    def _on_release(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        self._drop_lease(int(message.get("from", 0)))
+        return {"kind": "ok", "site": self.site_id}
+
+    def _on_fetch(self) -> dict[str, Any]:
+        assert self.store is not None
+        return {
+            "kind": "data",
+            "site": self.site_id,
+            "state": self.store.state.to_dict(),
+            "data": dict(self.store.data),
+            "history": [dict(entry) for entry in self.store.history],
+        }
+
+    def _on_info(self) -> dict[str, Any]:
+        assert self.store is not None
+        return {
+            "kind": "info",
+            "site": self.site_id,
+            "policy": self.config.policy,
+            "operation": self.store.state.operation,
+            "version": self.store.state.version,
+            "partition_set": sorted(self.store.state.partition_set),
+            "applied_index": self.store.applied_index,
+            "digest": self.store.digest(),
+            "counters": dict(self.counters),
+            "recovery": self.recovery_info,
+        }
+
+    # ------------------------------------------------------------------
+    # peer RPC
+    # ------------------------------------------------------------------
+    async def _call_peer(
+        self, site: int, message: dict[str, Any],
+    ) -> Optional[dict[str, Any]]:
+        """One request-response to *site*; ``None`` on any failure.
+
+        A request to the replica's own site never touches the network:
+        partitioning a site away from itself is not a thing.
+        """
+        message = dict(message, **{"from": self.site_id})
+        if site == self.site_id:
+            return await self._dispatch(message)
+        address = self.config.peers.get(site)
+        if address is None:
+            return None
+        host, port = address
+        writer = None
+        try:
+            connect = asyncio.open_connection(host, port)
+            reader, writer = await asyncio.wait_for(
+                connect, self.config.peer_timeout)
+            writer.write(encode_frame(message))
+            await writer.drain()
+            reply = await asyncio.wait_for(
+                read_frame(reader), self.config.peer_timeout)
+            return reply
+        except (OSError, asyncio.TimeoutError, FrameError):
+            return None
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def _broadcast(
+        self, sites: frozenset[int], message: dict[str, Any],
+    ) -> dict[int, Optional[dict[str, Any]]]:
+        ordered = sorted(sites)
+        replies = await asyncio.gather(
+            *(self._call_peer(site, dict(message)) for site in ordered)
+        )
+        return dict(zip(ordered, replies))
+
+    # ------------------------------------------------------------------
+    # coordinator
+    # ------------------------------------------------------------------
+    async def _on_client_op(
+        self, message: Mapping[str, Any],
+    ) -> dict[str, Any]:
+        op = str(message["kind"])
+        key = message.get("key")
+        if key is None:
+            return {"kind": "error", "reason": f"{op} needs a key"}
+        value = message.get("value")
+        async with self._coord_lock:
+            return await self._coordinate(op, str(key), value)
+
+    async def _coordinate(
+        self, op: str, key: str, value: Any,
+    ) -> dict[str, Any]:
+        """Run quorum rounds for one client operation until decided."""
+        assert self.store is not None
+        self._count(f"rounds.{op}")
+        delays = _ROUND_RETRY.delays(self._rng)
+        while True:
+            outcome = await self._one_round(op, key, value)
+            if outcome is not None:
+                return outcome
+            delay = next(delays, None)
+            if delay is None:
+                self._count("contended")
+                return {"kind": "result", "ok": False, "op": op,
+                        "outcome": "contended",
+                        "reason": "coordinator lease contention"}
+            await asyncio.sleep(delay)
+
+    async def _one_round(
+        self, op: str, key: str, value: Any,
+    ) -> Optional[dict[str, Any]]:
+        """One state-collection + quorum + commit attempt.
+
+        Returns a client response, or ``None`` when the round hit lease
+        contention and should be retried after a jittered pause.
+        """
+        states, values, busy, _ = await self._collect_states(key)
+        if busy:
+            await self._release_leases(frozenset(states) - {self.site_id})
+            return None
+        verdict, replica_set, protocol = evaluate_round(
+            self.config.policy, states, self.config.copy_sites,
+            self.config.segments,
+        )
+        if not verdict.granted:
+            await self._release_leases(frozenset(states) - {self.site_id})
+            self._count("denied")
+            return {"kind": "result", "ok": False, "op": op,
+                    "outcome": "denied", "reason": verdict.reason}
+        if op == "get" and protocol is not None \
+                and not protocol.commits_on_read:
+            # Static protocols read without adjusting the quorum.
+            await self._release_leases(frozenset(states) - {self.site_id})
+            return self._read_result(verdict, values)
+        kind = "write" if op == "put" else "read"
+        plan = plan_commit(verdict, replica_set, kind)
+        writes = {key: value} if op == "put" else None
+        entry = self.store.make_entry(
+            kind, plan.operation, plan.version, plan.partition_set,
+            writes=writes, coordinator=self.site_id,
+        )
+        acks = await self._broadcast(
+            plan.partition_set, {"kind": "commit", "entry": entry})
+        self._last_entry = dict(entry)
+        await self._release_leases(
+            frozenset(states) - plan.partition_set - {self.site_id})
+        committed = frozenset(
+            site for site, reply in acks.items()
+            if reply is not None and reply.get("kind") == "ok"
+        )
+        if 2 * len(committed) <= len(plan.partition_set):
+            # The commit may or may not survive the next quorum round;
+            # the client must treat the operation as unresolved.
+            self._count("commit.minority")
+            return {"kind": "result", "ok": False, "op": op,
+                    "outcome": "unavailable",
+                    "reason": (
+                        f"commit acked by {sorted(committed)} only "
+                        f"(needed a majority of "
+                        f"{sorted(plan.partition_set)})"
+                    )}
+        self._count(f"granted.{op}")
+        if op == "get":
+            return self._read_result(verdict, values)
+        return {"kind": "result", "ok": True, "op": op,
+                "version": plan.version, "operation": plan.operation,
+                "site": self.site_id}
+
+    def _read_result(
+        self, verdict: Any, values: Mapping[Any, Any],
+    ) -> dict[str, Any]:
+        source = min(verdict.newest)
+        return {"kind": "result", "ok": True, "op": "get",
+                "value": values.get(source),
+                "version": values.get(("version", source)),
+                "site": self.site_id, "source": source}
+
+    async def _collect_states(
+        self, key: Optional[str],
+    ) -> tuple[dict[int, tuple[int, int, frozenset[int]]],
+               dict[Any, Any], bool,
+               dict[int, dict[str, Any]]]:
+        """Ask every copy site for its ``(o, v, P)`` (and *key*'s value).
+
+        Returns ``(states, values, busy, replies)``; *busy* is ``True``
+        when any responder refused the lease — the round must abort so
+        two coordinators never interleave commits.  *replies* holds the
+        raw state frames (the recover loop reads the ``last`` commit
+        bodies from them).
+        """
+        message: dict[str, Any] = {"kind": "state?"}
+        if key is not None:
+            message["key"] = key
+        raw = await self._broadcast(self.config.copy_sites, message)
+        states: dict[int, tuple[int, int, frozenset[int]]] = {}
+        values: dict[Any, Any] = {}
+        replies: dict[int, dict[str, Any]] = {}
+        busy = False
+        for site, reply in raw.items():
+            if reply is None:
+                continue
+            if reply.get("kind") == "busy":
+                busy = True
+                continue
+            if reply.get("kind") != "state":
+                continue
+            try:
+                states[site] = (
+                    int(reply["operation"]),
+                    int(reply["version"]),
+                    frozenset(int(s) for s in reply["partition_set"]),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            replies[site] = reply
+            if "value" in reply:
+                values[site] = reply["value"]
+                values[("version", site)] = int(reply["version"])
+        return states, values, busy, replies
+
+    async def _release_leases(self, sites: frozenset[int]) -> None:
+        self._drop_lease(self.site_id)
+        if sites:
+            await self._broadcast(frozenset(sites), {"kind": "release"})
+
+    # ------------------------------------------------------------------
+    # RECOVER / anti-entropy loop
+    # ------------------------------------------------------------------
+    async def _recover_loop(self) -> None:
+        """The paper's RECOVER loop, then periodic anti-entropy.
+
+        Each tick runs one recover round: a stale replica reinserts
+        itself (``COMMIT(S ∪ {l}, o_m+1, v_m, S ∪ {l})`` plus a data
+        copy from the anchor); a current replica repairs any orphaned
+        commit it is the max-``o`` holder of.
+        """
+        while True:
+            interval = self.config.recover_interval
+            await asyncio.sleep(
+                interval * (0.5 + self._rng.random()))
+            try:
+                async with self._coord_lock:
+                    await self._recover_round()
+            except asyncio.CancelledError:
+                raise
+            except (ProtocolError, ServiceError, ConfigurationError,
+                    OSError):
+                self._count("recover.errors")
+
+    async def _recover_round(self) -> None:
+        assert self.store is not None
+        states, _, busy, replies = await self._collect_states(None)
+        if busy:
+            await self._release_leases(frozenset(states) - {self.site_id})
+            return
+        if await self._maybe_rollback(replies):
+            await self._release_leases(frozenset(states) - {self.site_id})
+            return
+        verdict, replica_set, _ = evaluate_round(
+            self.config.policy, states, self.config.copy_sites,
+            self.config.segments,
+        )
+        others = frozenset(states) - {self.site_id}
+        if not verdict.granted:
+            await self._release_leases(others)
+            await self._maybe_repair(states)
+            return
+        if self.site_id in verdict.current:
+            await self._release_leases(others)
+            if self.recovery_info is not None \
+                    and not self.recovery_info.get("reinserted"):
+                self.recovery_info["reinserted"] = True
+                self._write_recovery_marker()
+            return
+        # Stale: reinsert with a data copy from the newest anchor.
+        plan = plan_commit(verdict, replica_set, "recover",
+                           recovering_site=self.site_id)
+        fetched = await self._call_peer(plan.anchor, {"kind": "fetch"})
+        if fetched is None or fetched.get("kind") != "data":
+            await self._release_leases(others)
+            return
+        base_entry = self.store.make_entry(
+            "recover", plan.operation, plan.version, plan.partition_set,
+            coordinator=self.site_id,
+        )
+        acks: dict[int, Optional[dict[str, Any]]] = {}
+        for site in sorted(plan.partition_set):
+            entry = dict(base_entry)
+            if site == self.site_id:
+                entry["data"] = dict(fetched["data"])
+            acks[site] = await self._call_peer(
+                site, {"kind": "commit", "entry": entry})
+        await self._release_leases(others - plan.partition_set)
+        if (acks.get(self.site_id) or {}).get("kind") == "ok":
+            self._count("recovered")
+            if self.recovery_info is not None:
+                self.recovery_info["reinserted"] = True
+                self.recovery_info["reinserted_operation"] = \
+                    self.store.state.operation
+                self._write_recovery_marker()
+
+    async def _maybe_rollback(
+        self, replies: Mapping[int, Mapping[str, Any]],
+    ) -> bool:
+        """Discard an orphaned tail commit (crashed-coordinator victim).
+
+        A SIGKILL in mid-broadcast can leave this replica holding a
+        commit no other site ever saw.  While the orphan's holder was
+        down, the surviving majority may have committed a *different*
+        operation under the same number; when the holder returns, the
+        two bodies collide and every quorum that sees both would abort.
+        Commits are totally ordered among majority-applied bodies, so
+        if a rival body at this replica's own operation number is held
+        by a majority of its own partition set among the responders,
+        this replica's tail is provably the orphan: adopt the rival's
+        full durable state (state, data *and* history) and let the
+        normal RECOVER flow take it from there.
+
+        Returns ``True`` when a rollback happened this round.
+        """
+        assert self.store is not None
+        if not self.store.history:
+            return False
+        mine = self.store.history[-1]
+        my_operation = int(mine["operation"])
+        my_body = commit_body(mine)
+        rivals: dict[tuple, set[int]] = {}
+        members_of: dict[tuple, frozenset[int]] = {}
+        for site, reply in replies.items():
+            if site == self.site_id:
+                continue
+            last = reply.get("last")
+            if not isinstance(last, dict):
+                continue
+            try:
+                if int(last["operation"]) != my_operation:
+                    continue
+                body = commit_body(last)
+            except (KeyError, TypeError, ValueError):
+                continue
+            if body == my_body:
+                continue
+            rivals.setdefault(body, set()).add(site)
+            members_of[body] = frozenset(
+                int(s) for s in last["partition_set"])
+        for body, holders in rivals.items():
+            members = members_of[body]
+            if 2 * len(holders & members) <= len(members):
+                continue  # not provably majority-committed: stay put
+            source = min(holders & members)
+            fetched = await self._call_peer(source, {"kind": "fetch"})
+            if fetched is None or fetched.get("kind") != "data":
+                return False
+            self.store.install_remote(
+                fetched["state"], fetched["data"],
+                fetched.get("history", []))
+            self._count("rollbacks")
+            return True
+        return False
+
+    async def _maybe_repair(self, states: Mapping[int, tuple]) -> None:
+        """Re-broadcast an orphaned commit (crashed coordinator repair).
+
+        Only the max-``o`` holder repairs, only when it can reach a
+        majority of its own partition set, and the payload installs the
+        holder's full data map so receivers skip no write deltas.
+        """
+        assert self.store is not None
+        my_operation = self.store.state.operation
+        if any(o > my_operation for o, _, _ in states.values()):
+            return
+        partition_set = self.store.state.partition_set
+        behind = frozenset(
+            site for site, (o, _, _) in states.items()
+            if o < my_operation and site in partition_set
+        )
+        if not behind:
+            return
+        reachable_members = frozenset(states) & partition_set
+        if 2 * len(reachable_members) <= len(partition_set):
+            return
+        if not self.store.history:
+            return
+        # Re-deliver the holder's latest commit with its original kind
+        # and write digest, so the receivers' histories stay body-equal
+        # with every replica that applied the commit first-hand.  The
+        # payload is a full map install: the receiver may have missed
+        # any number of intermediate write deltas.
+        latest = self.store.history[-1]
+        entry = self.store.make_entry(
+            latest["kind"], my_operation, self.store.state.version,
+            partition_set, data=dict(self.store.data),
+            coordinator=self.site_id,
+        )
+        entry["writes_digest"] = latest["writes_digest"]
+        await self._broadcast(behind, {"kind": "commit", "entry": entry})
+        self._count("repairs")
+
+
+async def serve_replica(config: ReplicaConfig) -> None:
+    """Run one replica until cancelled (the CLI entry point)."""
+    server = ReplicaServer(config)
+    await server.start()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()

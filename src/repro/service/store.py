@@ -1,0 +1,333 @@
+"""Durable per-replica state: ``(o, v, P)`` + key-value data + history.
+
+A :class:`DurableReplica` composes the WAL and snapshot store into the
+state machine one replica process owns.  Every COMMIT is appended to
+the WAL *before* it is applied in memory (and long before it is acked
+over the wire), so a SIGKILL at any point leaves a state that replay
+reconstructs exactly.
+
+Determinism is the load-bearing property here: the canonical document
+(:meth:`DurableReplica.canonical_document`) of a replica recovered
+from snapshot + WAL must be byte-identical to one produced by a clean
+replay of the same commits — the crash-recovery tests and the bench's
+post-kill verification both compare these bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from repro.errors import ConfigurationError, ProtocolError, WALCorruptionError
+from repro.replica.state import ReplicaState
+from repro.service.wal import SnapshotStore, WriteAheadLog
+
+__all__ = [
+    "DurableReplica",
+    "commit_body",
+    "writes_digest",
+]
+
+_SNAPSHOT_FORMAT = "repro-service-snapshot"
+_SNAPSHOT_VERSION = 1
+
+
+def writes_digest(writes: Optional[Mapping[str, Any]]) -> Optional[str]:
+    """A short stable digest of a commit's write set (``None`` for
+    data-free commits) — what the divergence check compares instead of
+    whole payloads."""
+    if writes is None:
+        return None
+    payload = json.dumps(writes, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def commit_body(entry: Mapping[str, Any]) -> tuple:
+    """The comparable body of one history entry: two replicas that
+    committed the same operation number must agree on this tuple."""
+    return (
+        int(entry["version"]),
+        tuple(sorted(int(s) for s in entry["partition_set"])),
+        str(entry["kind"]),
+        entry.get("writes_digest"),
+    )
+
+
+class DurableReplica:
+    """One replica's durable state machine.
+
+    Use :meth:`open` to create-or-recover; then :meth:`commit` for
+    every accepted COMMIT.  The in-memory members (``state``, ``data``,
+    ``history``) are only ever mutated by applying WAL entries, which
+    is what makes recovery equal to a replay.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        site_id: int,
+        copy_sites: Iterable[int],
+        fsync: str = "always",
+        compact_every: int = 256,
+    ):
+        if compact_every < 1:
+            raise ConfigurationError(
+                f"compact_every must be >= 1, got {compact_every}"
+            )
+        self.directory = pathlib.Path(directory)
+        self.site_id = int(site_id)
+        self.copy_sites = frozenset(int(s) for s in copy_sites)
+        if self.site_id not in self.copy_sites:
+            raise ConfigurationError(
+                f"site {self.site_id} not among copy sites "
+                f"{sorted(self.copy_sites)}"
+            )
+        self.compact_every = compact_every
+        self.wal = WriteAheadLog(self.directory, fsync=fsync)
+        self.snapshots = SnapshotStore(self.directory)
+        self.state = ReplicaState(self.site_id,
+                                  partition_set=self.copy_sites)
+        self.data: dict[str, Any] = {}
+        self.history: list[dict[str, Any]] = []
+        self.applied_index = 0
+        self.torn_tail_bytes = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, pathlib.Path],
+        site_id: int,
+        copy_sites: Iterable[int],
+        fsync: str = "always",
+        compact_every: int = 256,
+    ) -> "DurableReplica":
+        """Create a replica store, recovering any on-disk state.
+
+        Raises:
+            WALCorruptionError: on mid-log or snapshot corruption.
+        """
+        store = cls(directory, site_id, copy_sites,
+                    fsync=fsync, compact_every=compact_every)
+        snapshot = store.snapshots.load()
+        if snapshot is not None:
+            store._install_snapshot(snapshot)
+        replay = store.wal.open()
+        store.torn_tail_bytes = replay.torn_bytes
+        for entry in replay.entries:
+            store._apply(entry)
+        return store
+
+    def _install_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        if snapshot.get("format") != _SNAPSHOT_FORMAT:
+            raise WALCorruptionError(
+                f"{self.snapshots.path} is not a service snapshot"
+            )
+        if snapshot.get("version") != _SNAPSHOT_VERSION:
+            raise WALCorruptionError(
+                f"unsupported snapshot version {snapshot.get('version')!r}"
+            )
+        try:
+            self.state = ReplicaState.from_dict(snapshot["state"])
+            self.data = dict(snapshot["data"])
+            self.history = [dict(entry) for entry in snapshot["history"]]
+            self.applied_index = int(snapshot["applied_index"])
+        except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+            raise WALCorruptionError(
+                f"malformed snapshot {self.snapshots.path}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def make_entry(
+        self,
+        kind: str,
+        operation: int,
+        version: int,
+        partition_set: Iterable[int],
+        writes: Optional[Mapping[str, Any]] = None,
+        data: Optional[Mapping[str, Any]] = None,
+        coordinator: Optional[int] = None,
+    ) -> dict[str, Any]:
+        """Build (but do not log) one WAL entry for a COMMIT.
+
+        *writes* is the key-value delta of a write commit; *data* is a
+        full map install (RECOVER copies the file from the anchor).
+        The entry carries no sequence number: every receiver numbers
+        applied entries locally, so one broadcast entry is valid at
+        replicas whose logs have different lengths.
+        """
+        return {
+            "kind": str(kind),
+            "operation": int(operation),
+            "version": int(version),
+            "partition_set": sorted(int(s) for s in partition_set),
+            "writes": None if writes is None else dict(writes),
+            "data": None if data is None else dict(data),
+            "coordinator": coordinator,
+        }
+
+    def commit(self, entry: Mapping[str, Any]) -> None:
+        """Log *entry* durably, then apply it; compacts when due.
+
+        Raises:
+            ProtocolError: if applying would break ``(o, v, P)``
+                monotonicity (the entry is still on disk at that point,
+                matching what a real torn run would leave — callers
+                treat this as fatal).
+        """
+        self.wal.append(entry)
+        self._apply(entry)
+        if self.applied_index % self.compact_every == 0:
+            self.compact()
+
+    def accepts(self, operation: int) -> bool:
+        """Whether a commit numbered *operation* advances this replica
+        (strictly newer than anything applied)."""
+        return int(operation) > self.state.operation
+
+    # ------------------------------------------------------------------
+    def _apply(self, entry: Mapping[str, Any]) -> None:
+        try:
+            operation = int(entry["operation"])
+            version = int(entry["version"])
+            partition_set = frozenset(int(s)
+                                      for s in entry["partition_set"])
+            kind = str(entry["kind"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WALCorruptionError(
+                f"malformed WAL entry in {self.wal.path}: {exc}"
+            ) from exc
+        self.state.commit(operation, version, partition_set)
+        if entry.get("data") is not None:
+            self.data = dict(entry["data"])
+        if entry.get("writes"):
+            self.data.update(entry["writes"])
+        self.applied_index += 1
+        # A repair re-delivery carries the original commit's digest
+        # explicitly (its payload is a full map install, not the write
+        # delta); first-hand commits derive it from the delta.
+        if "writes_digest" in entry:
+            digest = entry["writes_digest"]
+        else:
+            digest = writes_digest(entry.get("writes"))
+        self.history.append({
+            "index": self.applied_index,
+            "kind": kind,
+            "operation": operation,
+            "version": version,
+            "partition_set": sorted(partition_set),
+            "writes_digest": digest,
+        })
+
+    def install_remote(
+        self,
+        state_doc: Mapping[str, Any],
+        data: Mapping[str, Any],
+        history: Iterable[Mapping[str, Any]],
+    ) -> None:
+        """Adopt a peer's full durable state (orphan rollback).
+
+        When a crashed coordinator leaves a commit at a minority and a
+        rival commit with the same operation number is later proven
+        majority-committed, the minority holder's tail never happened
+        as far as the protocol is concerned: this replaces state, data
+        and history wholesale and persists the result as a snapshot, so
+        the discarded tail also disappears from the WAL.
+
+        Raises:
+            ConfigurationError: on a malformed peer state document.
+        """
+        try:
+            adopted = ReplicaState(
+                self.site_id,
+                operation=int(state_doc["operation"]),
+                version=int(state_doc["version"]),
+                partition_set=frozenset(
+                    int(s) for s in state_doc["partition_set"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed peer state document: {exc}"
+            ) from exc
+        self.state = adopted
+        self.data = dict(data)
+        self.history = [dict(entry) for entry in history]
+        self.applied_index = len(self.history)
+        self.compact()
+
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Snapshot the full state atomically, then reset the WAL."""
+        self.snapshots.save({
+            "format": _SNAPSHOT_FORMAT,
+            "version": _SNAPSHOT_VERSION,
+            "state": self.state.to_dict(),
+            "data": self.data,
+            "history": self.history,
+            "applied_index": self.applied_index,
+        })
+        self.wal.reset()
+
+    def close(self) -> None:
+        """Close the WAL handle."""
+        self.wal.close()
+
+    # ------------------------------------------------------------------
+    def canonical_document(self) -> bytes:
+        """The replica's externally visible state as canonical bytes.
+
+        Two replicas (or one replica before and after a crash) are
+        *the same* exactly when these bytes match.
+        """
+        document = {
+            "site": self.site_id,
+            "state": self.state.to_dict(),
+            "data": {key: self.data[key] for key in sorted(self.data)},
+            "applied_index": self.applied_index,
+        }
+        return json.dumps(document, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def digest(self) -> str:
+        """SHA-256 of :meth:`canonical_document` (hex)."""
+        return hashlib.sha256(self.canonical_document()).hexdigest()
+
+    def verify_recovery(self) -> dict[str, Any]:
+        """Cross-check this store against an independent cold replay.
+
+        Re-opens the same directory with a fresh reader and compares
+        canonical documents byte for byte.  Called by a restarting
+        replica right after recovery; the bench requires the resulting
+        marker to say ``verified``.
+
+        Raises:
+            ProtocolError: when the two replays disagree — the WAL
+                apply path is not deterministic, which must never pass
+                silently.
+        """
+        shadow = DurableReplica.open(
+            self.directory, self.site_id, self.copy_sites,
+            fsync="never", compact_every=self.compact_every,
+        )
+        try:
+            mine = self.canonical_document()
+            theirs = shadow.canonical_document()
+        finally:
+            shadow.close()
+        if mine != theirs:
+            raise ProtocolError(
+                f"recovery replay diverged at site {self.site_id}: "
+                f"{mine!r} != {theirs!r}"
+            )
+        return {
+            "site": self.site_id,
+            "verified": True,
+            "digest": self.digest(),
+            "applied_index": self.applied_index,
+            "operation": self.state.operation,
+            "version": self.state.version,
+            "torn_tail_bytes": self.torn_tail_bytes,
+        }

@@ -1,0 +1,278 @@
+"""A durable append-only write-ahead log with snapshot compaction.
+
+The replicated service acks a COMMIT only after the entry is on disk;
+this module is the disk half of that promise.  The format is a flat
+sequence of CRC-checked records::
+
+    +------------------+----------------+----------------------+
+    | length (4B, BE)  | crc32 (4B, BE) | payload (JSON bytes) |
+    +------------------+----------------+----------------------+
+
+Recovery reuses the run registry's truncation-tolerant cursor idiom
+(:meth:`repro.obs.registry.store.RunRegistry.read_index_from`): a
+*torn final record* — one whose bytes stop at end-of-file, the
+signature of a crash mid-append — is dropped silently and the log is
+truncated back to the last complete record.  Corruption anywhere
+earlier (a bad CRC or undecodable payload followed by more data) means
+the disk lied, and recovery refuses to guess: it raises
+:class:`~repro.errors.WALCorruptionError`.
+
+Snapshots bound replay time: :meth:`SnapshotStore.save` writes the
+full state atomically (tmp + fsync + rename), after which the log is
+truncated and replay starts from the snapshot instead of from genesis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import zlib
+from typing import Any, Optional, Union
+
+from repro.errors import ConfigurationError, WALCorruptionError
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "ReplayResult",
+    "SnapshotStore",
+    "WriteAheadLog",
+]
+
+#: Accepted fsync policies: ``"always"`` fsyncs after every append (an
+#: ack then really means durable), ``"never"`` leaves flushing to the
+#: OS (fast, loses the tail on power failure — crash-safe only against
+#: process death, which is what the chaos harness injects).
+FSYNC_POLICIES = ("always", "never")
+
+_RECORD = struct.Struct(">II")
+
+#: Upper bound on one record's payload; a length prefix above this is
+#: treated as corruption rather than an allocation request.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+_LOG_NAME = "wal.log"
+_SNAPSHOT_NAME = "snapshot.json"
+
+
+class ReplayResult:
+    """What :meth:`WriteAheadLog.open` recovered from disk.
+
+    Attributes:
+        entries: The decoded records, oldest first.
+        consumed: Byte offset of the last complete record's end.
+        torn_bytes: Size of the dropped torn tail (0 for a clean log).
+    """
+
+    __slots__ = ("entries", "consumed", "torn_bytes")
+
+    def __init__(self, entries: list, consumed: int, torn_bytes: int):
+        self.entries = entries
+        self.consumed = consumed
+        self.torn_bytes = torn_bytes
+
+
+def _scan(data: bytes, origin: str) -> ReplayResult:
+    """Decode every complete record in *data*, tolerating a torn tail."""
+    entries: list[Any] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        if offset + _RECORD.size > size:
+            break  # torn header at end-of-file
+        length, crc = _RECORD.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            raise WALCorruptionError(
+                f"{origin}: record at byte {offset} claims {length} bytes "
+                f"(limit {MAX_RECORD_BYTES}) — corrupt length prefix"
+            )
+        start = offset + _RECORD.size
+        end = start + length
+        if end > size:
+            break  # torn payload at end-of-file
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            if end == size:
+                break  # torn final record: length landed, payload did not
+            raise WALCorruptionError(
+                f"{origin}: CRC mismatch at byte {offset} with "
+                f"{size - end} bytes following — mid-log corruption"
+            )
+        try:
+            entry = json.loads(payload)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            # The CRC matched, so these are exactly the bytes that were
+            # written: a non-JSON payload is a writer bug or tampering,
+            # never a torn append.
+            raise WALCorruptionError(
+                f"{origin}: undecodable record at byte {offset}: {exc}"
+            ) from exc
+        entries.append(entry)
+        offset = end
+    return ReplayResult(entries, offset, size - offset)
+
+
+class WriteAheadLog:
+    """The append-only record log for one replica.
+
+    Use :meth:`open` to recover existing records and position the log
+    for appending; every :meth:`append` then writes one durable record
+    (honouring the fsync policy) before returning.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path],
+                 fsync: str = "always"):
+        if fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self.directory = pathlib.Path(directory)
+        self.fsync = fsync
+        self._handle: Optional[Any] = None
+
+    @property
+    def path(self) -> pathlib.Path:
+        """Location of the log file."""
+        return self.directory / _LOG_NAME
+
+    # ------------------------------------------------------------------
+    def open(self) -> ReplayResult:
+        """Recover existing records and open the log for appending.
+
+        A torn final record is dropped and the file truncated back to
+        the last complete record, exactly like the registry's index
+        cursor leaves a torn final line unconsumed.
+
+        Raises:
+            WALCorruptionError: on mid-log corruption (recovery must
+                not guess what the lost records said).
+            ConfigurationError: when the directory cannot be created
+                or the log cannot be opened.
+        """
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            data = self.path.read_bytes() if self.path.exists() else b""
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot open WAL under {self.directory}: {exc}"
+            ) from exc
+        result = _scan(data, str(self.path))
+        try:
+            handle = open(self.path, "ab")
+            if result.torn_bytes:
+                handle.truncate(result.consumed)
+            self._handle = handle
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot open WAL under {self.directory}: {exc}"
+            ) from exc
+        return result
+
+    def append(self, entry: Any) -> None:
+        """Write one record; durable by the time this returns (policy
+        ``"always"``)."""
+        if self._handle is None:
+            raise ConfigurationError("WAL is not open")
+        payload = json.dumps(
+            entry, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        if len(payload) > MAX_RECORD_BYTES:
+            raise ConfigurationError(
+                f"WAL record of {len(payload)} bytes exceeds the "
+                f"{MAX_RECORD_BYTES}-byte limit"
+            )
+        record = _RECORD.pack(len(payload), zlib.crc32(payload)) + payload
+        try:
+            self._handle.write(record)
+            self._handle.flush()
+            if self.fsync == "always":
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot append to WAL {self.path}: {exc}"
+            ) from exc
+
+    def sync(self) -> None:
+        """Force buffered records to disk regardless of policy."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def reset(self) -> None:
+        """Truncate the log to empty (called right after a snapshot)."""
+        if self._handle is None:
+            raise ConfigurationError("WAL is not open")
+        try:
+            self._handle.truncate(0)
+            self._handle.seek(0)
+            self._handle.flush()
+            if self.fsync == "always":
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot truncate WAL {self.path}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class SnapshotStore:
+    """Atomic full-state snapshots next to the WAL.
+
+    The write path is tmp + fsync + rename, so a crash mid-snapshot
+    leaves the previous snapshot intact; a reader never sees a torn
+    snapshot, which is why a *corrupt* one is always an error.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path]):
+        self.directory = pathlib.Path(directory)
+
+    @property
+    def path(self) -> pathlib.Path:
+        """Location of the snapshot file."""
+        return self.directory / _SNAPSHOT_NAME
+
+    def save(self, document: Any) -> None:
+        """Atomically replace the snapshot with *document*."""
+        tmp = self.path.with_suffix(".json.tmp")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w") as handle:
+                json.dump(document, handle, sort_keys=True,
+                          separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            tmp.replace(self.path)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write snapshot {self.path}: {exc}"
+            ) from exc
+
+    def load(self) -> Optional[Any]:
+        """The last saved document, or ``None`` when no snapshot exists.
+
+        Raises:
+            WALCorruptionError: if the snapshot exists but does not
+                decode — the atomic write rules out tearing, so a bad
+                snapshot means the disk lied.
+        """
+        if not self.path.exists():
+            return None
+        try:
+            return json.loads(self.path.read_bytes())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WALCorruptionError(
+                f"corrupt snapshot {self.path}: {exc}"
+            ) from exc

@@ -1,0 +1,10 @@
+"""Small shared utilities with no dependencies on the rest of the package.
+
+Currently: :mod:`repro.util.backoff`, the jittered-exponential retry
+policy shared by the replicated service client and the study runner's
+cell-retry path.
+"""
+
+from repro.util.backoff import BackoffPolicy, retry_call
+
+__all__ = ["BackoffPolicy", "retry_call"]

@@ -102,3 +102,58 @@ class TestScheduleSerialization:
     def test_step_kind_validated(self):
         with pytest.raises(ConfigurationError):
             ChaosStep("explode", 1)
+
+
+class TestCorruptScheduleDiagnostics:
+    """Corrupt schedule files are diagnosed precisely, not just rejected:
+    the error names the file and position, and a parse failure at EOF is
+    called out as truncation."""
+
+    def test_mid_document_corruption_names_the_position(self, tmp_path):
+        from repro.failures.serialization import load_chaos_schedule
+
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text('{"format": "x",, "version": 1}\n')
+        with pytest.raises(ConfigurationError) as err:
+            load_chaos_schedule(corrupt)
+        message = str(err.value)
+        assert str(corrupt) in message
+        assert "line 1" in message
+        assert "column" in message
+        assert "truncated" not in message
+
+    def test_half_written_file_gets_the_truncation_hint(self, tmp_path):
+        from repro.failures.serialization import (
+            dump_chaos_schedule,
+            load_chaos_schedule,
+        )
+
+        schedule = build_schedule(11, COPIES, SITES, config="H")
+        path = tmp_path / "schedule.json"
+        dump_chaos_schedule(schedule, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ConfigurationError) as err:
+            load_chaos_schedule(path)
+        assert "truncated" in str(err.value)
+
+    def test_foreign_document_message_names_the_file(self, tmp_path):
+        from repro.failures.serialization import load_chaos_schedule
+
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"format": "other", "version": 1}\n')
+        with pytest.raises(ConfigurationError) as err:
+            load_chaos_schedule(foreign)
+        assert "not a repro chaos-schedule document" in str(err.value)
+
+    def test_cli_replay_exits_2_on_a_corrupt_schedule(self, tmp_path,
+                                                      capsys):
+        from repro.cli import main
+
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text('{"format": "repro-chaos-schedule"')
+        code = main(["chaos", "replay", "--schedule", str(corrupt)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "corrupt chaos schedule" in err
+        assert "truncated" in err

@@ -1,0 +1,104 @@
+"""End-to-end bench test: subprocess replicas, live chaos, registry.
+
+This is the slowest test in the suite — one real ``run_bench`` with
+three replica subprocesses behind the chaos proxy, seeded kills and
+partitions, crash recovery and the invariant sweep.  Everything else
+about the service layer is unit-tested; this one proves the pieces
+compose.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import RunRegistry
+from repro.service.bench import BenchOptions, run_bench
+from repro.service.cluster import load_control, parse_segments
+
+
+class TestParseSegments:
+    def test_none_and_empty_mean_no_colocation(self):
+        assert parse_segments(None) is None
+        assert parse_segments("") is None
+
+    def test_groups_map_to_segment_ids(self):
+        assert parse_segments("1,2/3,4,5") == {1: 0, 2: 0, 3: 1,
+                                               4: 1, 5: 1}
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_segments("1,x/3")
+
+
+class TestBenchOptions:
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            BenchOptions(directory=str(tmp_path), policies=("NOPE",))
+
+    def test_needs_two_replicas(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            BenchOptions(directory=str(tmp_path), replicas=1)
+
+    def test_positive_duration(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            BenchOptions(directory=str(tmp_path), duration=0.0)
+
+
+class TestBenchEndToEnd:
+    def test_chaos_bench_survives_and_records(self, tmp_path):
+        options = BenchOptions(
+            directory=str(tmp_path / "cluster"),
+            policies=("ODV",),
+            replicas=3,
+            duration=3.5,
+            seed=11,
+            workers=2,
+            fsync="never",
+            schedule_length=12,
+        )
+        document, samples = run_bench(options)
+
+        assert document["format"] == "repro-service-bench"
+        assert document["seed"] == 11
+        assert document["replicas"] == 3
+        assert document["ok"] is True
+        totals = document["totals"]
+        assert totals["violations"] == 0
+        assert totals["kills"] >= 1
+        assert totals["partitions"] >= 1
+        assert totals["operations"] == len(samples.splitlines())
+
+        policy_doc = document["policies"]["ODV"]
+        assert policy_doc["policy"] == "ODV"
+        assert policy_doc["ok"] is True
+        assert policy_doc["violations"] == []
+        assert policy_doc["recovered"] is True
+        # Every killed site came back with a verified recovery marker.
+        for record in policy_doc["kills"]:
+            report = policy_doc["recovery"][str(record["site"])]
+            assert report["verified"] is True
+            assert report["reinserted"] is True
+        # Quorum commits reached every site's durable history.
+        assert all(count > 0 for count in policy_doc["commits"].values())
+        assert policy_doc["proxy"]["forwarded"] > 0
+
+        # The samples sidecar is JSONL, one stamped line per operation.
+        lines = samples.decode().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert first["policy"] == "ODV"
+        assert {"op", "outcome", "latency"} <= set(first)
+
+        # The cluster left a readable control file behind.
+        control = load_control(tmp_path / "cluster" / "odv")
+        assert control["policy"] == "ODV"
+        assert control["stopped"] is True
+        assert set(control["sites"]) == {"1", "2", "3"}
+
+        # And the registry round-trips the whole thing.
+        registry = RunRegistry(tmp_path / "runs")
+        record = registry.record_service(document, samples=samples)
+        assert record.kind == "service"
+        assert record.summary["ok"] is True
+        assert registry.samples_path(record.run_id).read_bytes() == samples

@@ -1,0 +1,181 @@
+"""Crash-recovery tests for the durable replica state machine.
+
+The contract under test: an acked commit is on disk before the ack, so
+a SIGKILL at *any* point — including between the WAL append and the
+rest of the commit broadcast — leaves a directory whose recovery is
+byte-identical to a clean replay of the same commits.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.service.store import DurableReplica, commit_body, writes_digest
+
+SITES = (1, 2, 3)
+
+
+def _open(directory, site=1, **kwargs):
+    kwargs.setdefault("fsync", "never")
+    return DurableReplica.open(directory, site, SITES, **kwargs)
+
+
+def _write_entry(store, operation, value):
+    return store.make_entry(
+        "write", operation, operation, SITES,
+        writes={"k": value}, coordinator=store.site_id,
+    )
+
+
+def _clean_replay(directory, entries, site=1):
+    """A fresh store that applied *entries* with no crash anywhere."""
+    store = _open(directory, site)
+    for entry in entries:
+        store.commit(entry)
+    return store
+
+
+class TestDigests:
+    def test_writes_digest_is_stable_and_order_free(self):
+        assert writes_digest({"a": 1, "b": 2}) == writes_digest({"b": 2, "a": 1})
+        assert writes_digest(None) is None
+        assert writes_digest({"a": 1}) != writes_digest({"a": 2})
+
+    def test_commit_body_compares_the_protocol_fields(self):
+        store = DurableReplica("unused", 1, SITES)
+        entry = _write_entry(store, 1, "v1")
+        entry["writes_digest"] = writes_digest(entry["writes"])
+        same = dict(entry, coordinator=3)  # coordinator is not body
+        assert commit_body(entry) == commit_body(same)
+        other = dict(entry, version=2)
+        assert commit_body(entry) != commit_body(other)
+
+
+class TestBasicDurability:
+    def test_commit_then_reopen(self, tmp_path):
+        store = _open(tmp_path / "s1")
+        store.commit(_write_entry(store, 1, "v1"))
+        store.commit(_write_entry(store, 2, "v2"))
+        store.close()
+        recovered = _open(tmp_path / "s1")
+        assert recovered.state.operation == 2
+        assert recovered.data == {"k": "v2"}
+        assert len(recovered.history) == 2
+        assert recovered.torn_tail_bytes == 0
+
+    def test_accepts_is_strictly_monotone(self, tmp_path):
+        store = _open(tmp_path / "s1")
+        store.commit(_write_entry(store, 3, "v"))
+        assert store.accepts(4)
+        assert not store.accepts(3)
+        assert not store.accepts(2)
+
+    def test_site_must_hold_a_copy(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            DurableReplica(tmp_path, 9, SITES)
+
+
+class TestCrashMidCommit:
+    def test_durable_but_unacked_commit_survives_the_kill(self, tmp_path):
+        """SIGKILL lands after the WAL append but before the ack: the
+        entry is on disk, so recovery must apply it."""
+        store = _open(tmp_path / "crash")
+        first = _write_entry(store, 1, "v1")
+        store.commit(first)
+        tail = _write_entry(store, 2, "v2")
+        store.wal.append(tail)  # ...and the process dies right here
+        store.close()
+
+        recovered = _open(tmp_path / "crash")
+        assert recovered.state.operation == 2
+        assert recovered.data == {"k": "v2"}
+        clean = _clean_replay(tmp_path / "clean", [first, tail])
+        assert recovered.canonical_document() == clean.canonical_document()
+        assert recovered.digest() == clean.digest()
+
+    def test_recovery_passes_its_own_verification(self, tmp_path):
+        store = _open(tmp_path / "crash")
+        store.commit(_write_entry(store, 1, "v1"))
+        store.wal.append(_write_entry(store, 2, "v2"))
+        store.close()
+        recovered = _open(tmp_path / "crash")
+        report = recovered.verify_recovery()
+        assert report["verified"] is True
+        assert report["operation"] == 2
+        assert report["digest"] == recovered.digest()
+
+    def test_torn_final_wal_record_rolls_back_to_the_last_ack(self, tmp_path):
+        """SIGKILL lands *mid-append*: the torn record was never acked,
+        so recovery must equal the clean replay without it."""
+        store = _open(tmp_path / "crash")
+        first = _write_entry(store, 1, "v1")
+        store.commit(first)
+        store.commit(_write_entry(store, 2, "v2"))
+        store.close()
+        wal_path = tmp_path / "crash" / "wal.log"
+        wal_path.write_bytes(wal_path.read_bytes()[:-5])
+
+        recovered = _open(tmp_path / "crash")
+        assert recovered.torn_tail_bytes > 0
+        assert recovered.state.operation == 1
+        assert recovered.data == {"k": "v1"}
+        clean = _clean_replay(tmp_path / "clean", [first])
+        assert recovered.canonical_document() == clean.canonical_document()
+        assert recovered.verify_recovery()["verified"] is True
+
+
+class TestCompaction:
+    def test_snapshot_resets_the_wal(self, tmp_path):
+        store = _open(tmp_path / "s1", compact_every=2)
+        store.commit(_write_entry(store, 1, "v1"))
+        store.commit(_write_entry(store, 2, "v2"))  # triggers compaction
+        assert store.snapshots.path.exists()
+        assert store.wal.path.stat().st_size == 0
+        store.close()
+
+    def test_recovery_from_snapshot_plus_tail(self, tmp_path):
+        entries = [_write_entry(DurableReplica("u", 1, SITES), k, f"v{k}")
+                   for k in range(1, 6)]
+        store = _open(tmp_path / "s1", compact_every=3)
+        for entry in entries:
+            store.commit(entry)
+        store.close()
+        recovered = _open(tmp_path / "s1", compact_every=3)
+        clean = _clean_replay(tmp_path / "clean", entries)
+        assert recovered.canonical_document() == clean.canonical_document()
+
+    def test_monotonicity_is_enforced_on_apply(self, tmp_path):
+        store = _open(tmp_path / "s1")
+        store.commit(_write_entry(store, 2, "v2"))
+        with pytest.raises(ProtocolError):
+            store.commit(_write_entry(store, 1, "v1"))
+
+
+class TestInstallRemote:
+    def test_adopting_a_peer_replaces_everything_durably(self, tmp_path):
+        donor = _open(tmp_path / "donor", site=2)
+        donor.commit(_write_entry(donor, 1, "v1"))
+        rival = donor.make_entry("write", 2, 2, (2, 3),
+                                 writes={"k": "rival"}, coordinator=2)
+        donor.commit(rival)
+
+        orphan_holder = _open(tmp_path / "holder", site=1)
+        orphan_holder.commit(_write_entry(orphan_holder, 1, "v1"))
+        orphan_holder.commit(_write_entry(orphan_holder, 2, "orphan"))
+        orphan_holder.install_remote(
+            donor.state.to_dict(), donor.data,
+            [dict(entry) for entry in donor.history],
+        )
+        assert orphan_holder.data == {"k": "rival"}
+        assert orphan_holder.state.partition_set == frozenset({2, 3})
+        assert commit_body(orphan_holder.history[-1]) == commit_body(
+            donor.history[-1])
+        orphan_holder.close()
+        # The orphan is gone from disk too, not just from memory.
+        reopened = _open(tmp_path / "holder")
+        assert reopened.data == {"k": "rival"}
+        assert reopened.applied_index == len(reopened.history)
+
+    def test_malformed_peer_state_is_rejected(self, tmp_path):
+        store = _open(tmp_path / "s1")
+        with pytest.raises(ConfigurationError):
+            store.install_remote({"operation": "nope"}, {}, [])

@@ -1,0 +1,111 @@
+"""Unit tests for the length-prefixed JSON wire format."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.service.frames import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+def _read(data: bytes):
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+    return asyncio.run(scenario())
+
+
+class TestEncode:
+    def test_header_carries_the_payload_length(self):
+        frame = encode_frame({"kind": "ping"})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_encoding_is_canonical(self):
+        assert encode_frame({"b": 1, "a": 2}) == encode_frame({"a": 2, "b": 1})
+
+    def test_oversize_payload_rejected(self):
+        with pytest.raises(FrameError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestAsyncRead:
+    def test_round_trip(self):
+        message = {"kind": "state?", "key": "k", "from": 3}
+        assert _read(encode_frame(message)) == message
+
+    def test_consecutive_frames(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"n": 1}) + encode_frame({"n": 2}))
+            reader.feed_eof()
+            return await read_frame(reader), await read_frame(reader)
+
+        first, second = asyncio.run(scenario())
+        assert (first, second) == ({"n": 1}, {"n": 2})
+
+    def test_clean_eof_is_none(self):
+        assert _read(b"") is None
+
+    def test_eof_mid_header_is_an_error(self):
+        with pytest.raises(FrameError):
+            _read(b"\x00\x00")
+
+    def test_eof_mid_payload_is_an_error(self):
+        with pytest.raises(FrameError):
+            _read(encode_frame({"kind": "ping"})[:-2])
+
+    def test_absurd_length_prefix_rejected_before_reading(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError):
+            _read(header)
+
+    def test_non_json_payload_rejected(self):
+        payload = b"not json"
+        with pytest.raises(FrameError):
+            _read(struct.pack(">I", len(payload)) + payload)
+
+    def test_non_object_payload_rejected(self):
+        payload = b"[1,2,3]"
+        with pytest.raises(FrameError):
+            _read(struct.pack(">I", len(payload)) + payload)
+
+
+class TestBlockingSockets:
+    def test_send_then_recv(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"kind": "pong", "site": 2})
+            assert recv_frame(right) == {"kind": "pong", "site": 2}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_is_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_truncated_frame_is_an_error(self):
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(2.0)
+            left.sendall(encode_frame({"kind": "ping"})[:-1])
+            left.close()
+            with pytest.raises(FrameError):
+                recv_frame(right)
+        finally:
+            right.close()

@@ -1,0 +1,104 @@
+"""Unit tests for the live-round quorum bridge."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.quorum import ClusterView, evaluate_round, plan_commit
+
+ALL = frozenset({1, 2, 3})
+
+
+def _states(sites, o=1, v=1, members=ALL):
+    return {site: (o, v, frozenset(members)) for site in sites}
+
+
+class TestClusterView:
+    def test_blocks_are_responders_plus_singleton_silents(self):
+        view = ClusterView({1, 2}, ALL)
+        assert view.blocks == (frozenset({1, 2}), frozenset({3}))
+
+    def test_is_up_and_block_of(self):
+        view = ClusterView({1, 2}, ALL)
+        assert view.is_up(1) and not view.is_up(3)
+        assert view.block_of(2) == frozenset({1, 2})
+        assert view.block_of(3) == frozenset({3})
+
+    def test_max_site_tie_breaker(self):
+        assert ClusterView({1}, ALL).max_site([2, 5, 3]) == 5
+
+    def test_segments_default_to_singletons(self):
+        view = ClusterView({1, 2}, ALL)
+        assert view.same_segment(1, 1)
+        assert not view.same_segment(1, 2)
+
+    def test_configured_segments_colocate(self):
+        view = ClusterView({1, 2}, ALL, segments={1: 0, 2: 0, 3: 1})
+        assert view.same_segment(1, 2)
+        assert not view.same_segment(1, 3)
+
+
+class TestEvaluateRound:
+    def test_majority_of_responders_is_granted(self):
+        verdict, replica_set, protocol = evaluate_round(
+            "ODV", _states([1, 2]), ALL)
+        assert verdict.granted
+        assert verdict.newest == frozenset({1, 2})
+        assert protocol is not None and protocol.commits_on_read
+
+    def test_minority_is_denied(self):
+        verdict, _, _ = evaluate_round("ODV", _states([1]), ALL)
+        assert not verdict.granted
+
+    def test_no_responders_is_denied_without_a_protocol(self):
+        verdict, _, protocol = evaluate_round("ODV", {}, ALL)
+        assert not verdict.granted
+        assert protocol is None
+
+    def test_static_mcv_does_not_commit_on_read(self):
+        _, _, protocol = evaluate_round("MCV", _states([1, 2]), ALL)
+        assert protocol is not None and not protocol.commits_on_read
+
+
+class TestPlanCommit:
+    def _granted(self, states=None, policy="ODV"):
+        states = states if states is not None else _states([1, 2])
+        verdict, replica_set, _ = evaluate_round(policy, states, ALL)
+        assert verdict.granted
+        return verdict, replica_set
+
+    def test_write_bumps_operation_and_version(self):
+        verdict, replica_set = self._granted()
+        plan = plan_commit(verdict, replica_set, "write")
+        assert (plan.operation, plan.version) == (2, 2)
+        assert plan.partition_set == frozenset({1, 2})
+        assert plan.anchor in plan.partition_set
+
+    def test_read_bumps_operation_only(self):
+        verdict, replica_set = self._granted()
+        plan = plan_commit(verdict, replica_set, "read")
+        assert (plan.operation, plan.version) == (2, 1)
+
+    def test_recover_reinserts_the_site(self):
+        states = _states([1, 2], o=2, v=2, members={1, 2})
+        states[3] = (1, 1, ALL)  # stale returner
+        verdict, replica_set = self._granted(states)
+        plan = plan_commit(verdict, replica_set, "recover",
+                           recovering_site=3)
+        assert plan.partition_set == ALL
+        assert plan.operation == 3
+        assert plan.version == 2
+
+    def test_recover_without_a_site_is_an_error(self):
+        verdict, replica_set = self._granted()
+        with pytest.raises(ConfigurationError):
+            plan_commit(verdict, replica_set, "recover")
+
+    def test_denied_round_cannot_be_planned(self):
+        verdict, replica_set, _ = evaluate_round("ODV", _states([1]), ALL)
+        with pytest.raises(ConfigurationError):
+            plan_commit(verdict, replica_set, "write")
+
+    def test_unknown_kind_is_an_error(self):
+        verdict, replica_set = self._granted()
+        with pytest.raises(ConfigurationError):
+            plan_commit(verdict, replica_set, "compare-and-swap")

@@ -1,0 +1,266 @@
+"""In-process cluster tests for the asyncio replica server.
+
+These run several :class:`ReplicaServer` instances inside one event
+loop (no subprocesses, no proxy) and speak the wire protocol directly;
+the subprocess path is covered by the bench end-to-end test.
+"""
+
+import asyncio
+import json
+
+from repro.service.cluster import free_port
+from repro.service.frames import encode_frame, read_frame
+from repro.service.replica import RECOVERY_MARKER, ReplicaConfig, ReplicaServer
+from repro.service.store import DurableReplica, commit_body, writes_digest
+
+HOST = "127.0.0.1"
+
+
+async def _start_cluster(root, n=3, policy="ODV", recover_interval=5.0):
+    sites = list(range(1, n + 1))
+    ports = {site: free_port() for site in sites}
+    servers = {}
+    for site in sites:
+        config = ReplicaConfig(
+            site_id=site, host=HOST, port=ports[site],
+            data_dir=str(root / f"site-{site}"),
+            peers={peer: (HOST, ports[peer])
+                   for peer in sites if peer != site},
+            policy=policy, fsync="never",
+            lease_s=1.0, peer_timeout=0.4,
+            recover_interval=recover_interval,
+        )
+        servers[site] = ReplicaServer(config)
+        await servers[site].start()
+    return servers, ports
+
+
+async def _stop_all(servers):
+    for server in servers.values():
+        await server.stop()
+
+
+async def _ask(port, message, timeout=5.0):
+    reader, writer = await asyncio.open_connection(HOST, port)
+    try:
+        writer.write(encode_frame(message))
+        await writer.drain()
+        return await asyncio.wait_for(read_frame(reader), timeout)
+    finally:
+        writer.close()
+
+
+class TestClientOperations:
+    def test_put_and_get_through_different_replicas(self, tmp_path):
+        async def scenario():
+            servers, ports = await _start_cluster(tmp_path)
+            try:
+                reply = await _ask(ports[1],
+                                   {"kind": "put", "key": "k", "value": "v1"})
+                assert reply["ok"] is True
+                assert reply["op"] == "put"
+                read = await _ask(ports[2], {"kind": "get", "key": "k"})
+                assert read["ok"] is True
+                assert read["value"] == "v1"
+                miss = await _ask(ports[3], {"kind": "get", "key": "nope"})
+                assert miss["ok"] is True and miss["value"] is None
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_commits_replicate_to_every_site(self, tmp_path):
+        async def scenario():
+            servers, ports = await _start_cluster(tmp_path)
+            try:
+                await _ask(ports[1], {"kind": "put", "key": "a", "value": 1})
+                await _ask(ports[2], {"kind": "put", "key": "b", "value": 2})
+                infos = [await _ask(ports[site], {"kind": "info"})
+                         for site in (1, 2, 3)]
+                assert len({info["operation"] for info in infos}) == 1
+                assert len({info["version"] for info in infos}) == 1
+                assert all(info["partition_set"] == [1, 2, 3]
+                           for info in infos)
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_minority_coordinator_denies(self, tmp_path):
+        async def scenario():
+            servers, ports = await _start_cluster(tmp_path)
+            try:
+                await _ask(ports[1], {"kind": "put", "key": "k", "value": 1})
+                await servers[2].stop()
+                await servers[3].stop()
+                reply = await _ask(ports[1],
+                                   {"kind": "put", "key": "k", "value": 2})
+                assert reply["ok"] is False
+                assert reply["outcome"] == "denied"
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_majority_survives_one_silent_site(self, tmp_path):
+        async def scenario():
+            servers, ports = await _start_cluster(tmp_path)
+            try:
+                await servers[3].stop()
+                reply = await _ask(ports[1],
+                                   {"kind": "put", "key": "k", "value": 9})
+                assert reply["ok"] is True
+                info = await _ask(ports[2], {"kind": "info"})
+                assert info["partition_set"] == [1, 2]
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+
+class TestRecovery:
+    def test_start_writes_a_verified_marker(self, tmp_path):
+        async def scenario():
+            servers, _ = await _start_cluster(tmp_path)
+            try:
+                marker = json.loads(
+                    (tmp_path / "site-1" / RECOVERY_MARKER).read_text())
+                assert marker["verified"] is True
+                assert marker["had_state"] is False
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_stale_replica_is_reinserted_with_data(self, tmp_path):
+        async def scenario():
+            servers, ports = await _start_cluster(
+                tmp_path, recover_interval=0.25)
+            try:
+                await _ask(ports[1], {"kind": "put", "key": "k", "value": 1})
+                await servers[3].stop()
+                # The survivors shrink P to {1, 2} and keep writing.
+                reply = await _ask(ports[1],
+                                   {"kind": "put", "key": "k", "value": 2})
+                assert reply["ok"] is True
+                survivor = await _ask(ports[1], {"kind": "info"})
+                # Site 3 comes back over its surviving directory.  Its
+                # stale state still *claims* P={1,2,3}, so the signal
+                # that RECOVER actually ran is the marker, not P.
+                servers[3] = ReplicaServer(servers[3].config)
+                await servers[3].start()
+                marker_path = tmp_path / "site-3" / RECOVERY_MARKER
+                deadline = asyncio.get_running_loop().time() + 15.0
+                marker = {}
+                while asyncio.get_running_loop().time() < deadline:
+                    marker = json.loads(marker_path.read_text())
+                    if marker.get("reinserted"):
+                        break
+                    await asyncio.sleep(0.2)
+                assert marker["verified"] is True
+                assert marker["had_state"] is True
+                assert marker["reinserted"] is True
+                info = await _ask(ports[3], {"kind": "info"})
+                assert info["partition_set"] == [1, 2, 3]
+                assert info["operation"] > survivor["operation"]
+                read = await _ask(ports[3], {"kind": "get", "key": "k"})
+                assert read["ok"] is True and read["value"] == 2
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+
+class TestOrphanRollback:
+    def _replica(self, tmp_path, site):
+        config = ReplicaConfig(
+            site_id=site, host=HOST, port=0,
+            data_dir=str(tmp_path / f"site-{site}"),
+            peers={peer: (HOST, 1) for peer in (1, 2, 3) if peer != site},
+        )
+        server = ReplicaServer(config)
+        server.store = DurableReplica.open(
+            tmp_path / f"site-{site}", site, (1, 2, 3), fsync="never")
+        return server
+
+    def _seed(self, store, value="v1"):
+        store.commit(store.make_entry(
+            "write", 1, 1, (1, 2, 3), writes={"k": value}, coordinator=1))
+
+    @staticmethod
+    def _state_reply(site, store):
+        latest = store.history[-1]
+        return {
+            "kind": "state", "site": site,
+            "operation": store.state.operation,
+            "version": store.state.version,
+            "partition_set": sorted(store.state.partition_set),
+            "last": {
+                "operation": latest["operation"],
+                "version": latest["version"],
+                "partition_set": list(latest["partition_set"]),
+                "kind": latest["kind"],
+                "writes_digest": latest["writes_digest"],
+            },
+        }
+
+    def test_majority_rival_forces_rollback(self, tmp_path):
+        holder = self._replica(tmp_path, 1)
+        self._seed(holder.store)
+        # The orphan: a commit no other site ever received.
+        holder.store.commit(holder.store.make_entry(
+            "write", 2, 2, (1, 2, 3), writes={"k": "orphan"},
+            coordinator=1))
+        # The rival: committed by the surviving majority {2, 3}.
+        donor = self._replica(tmp_path, 2)
+        self._seed(donor.store)
+        rival = donor.store.make_entry(
+            "write", 2, 2, (2, 3), writes={"k": "rival"}, coordinator=2)
+        donor.store.commit(rival)
+        replies = {site: self._state_reply(site, donor.store)
+                   for site in (2, 3)}
+
+        async def fake_call(site, message):
+            assert message["kind"] == "fetch"
+            return {
+                "kind": "data", "site": site,
+                "state": donor.store.state.to_dict(),
+                "data": dict(donor.store.data),
+                "history": [dict(e) for e in donor.store.history],
+            }
+
+        holder._call_peer = fake_call
+        rolled = asyncio.run(holder._maybe_rollback(replies))
+        assert rolled is True
+        assert holder.counters.get("rollbacks") == 1
+        assert holder.store.data == {"k": "rival"}
+        assert commit_body(holder.store.history[-1]) == \
+            commit_body(donor.store.history[-1])
+        holder.store.close()
+        # The rollback is durable: the orphan never comes back.
+        reopened = DurableReplica.open(
+            tmp_path / "site-1", 1, (1, 2, 3), fsync="never")
+        assert reopened.data == {"k": "rival"}
+        assert writes_digest({"k": "orphan"}) not in {
+            entry["writes_digest"] for entry in reopened.history}
+
+    def test_minority_rival_stays_put(self, tmp_path):
+        holder = self._replica(tmp_path, 1)
+        self._seed(holder.store)
+        holder.store.commit(holder.store.make_entry(
+            "write", 2, 2, (1, 2, 3), writes={"k": "orphan"},
+            coordinator=1))
+        donor = self._replica(tmp_path, 2)
+        self._seed(donor.store)
+        donor.store.commit(donor.store.make_entry(
+            "write", 2, 2, (2, 3), writes={"k": "rival"}, coordinator=2))
+        # Only one of the rival's two members answered: not provably
+        # majority-committed, so safety demands staying put.
+        replies = {2: self._state_reply(2, donor.store)}
+
+        async def fail_fetch(site, message):  # pragma: no cover
+            raise AssertionError("must not fetch without proof")
+
+        holder._call_peer = fail_fetch
+        assert asyncio.run(holder._maybe_rollback(replies)) is False
+        assert holder.store.data == {"k": "orphan"}

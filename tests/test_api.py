@@ -47,7 +47,7 @@ class TestPublicSurface:
             "repro.sim", "repro.stats", "repro.net", "repro.replica",
             "repro.core", "repro.engine", "repro.failures",
             "repro.experiments", "repro.analysis", "repro.cli",
-            "repro.errors",
+            "repro.errors", "repro.service", "repro.util",
         ],
     )
     def test_every_subpackage_imports(self, module):

@@ -1,0 +1,135 @@
+"""Unit tests for the shared jittered-backoff policy."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.backoff import BackoffPolicy, retry_call
+
+
+class TestPolicyValidation:
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base=-0.1)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(max_delay=-1.0)
+
+    def test_rejects_shrinking_factor(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(factor=0.5)
+
+    def test_rejects_out_of_range_jitter(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(jitter=1.5)
+
+    def test_rejects_unbounded_policy(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(max_attempts=None, deadline=None)
+        BackoffPolicy(max_attempts=None, deadline=math.inf)  # ok
+
+
+class TestDelays:
+    def test_deterministic_sequence_without_jitter(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, max_delay=0.5,
+                               jitter=0.0, max_attempts=5)
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_is_reproducible_with_seeded_rng(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, max_delay=1.0,
+                               jitter=1.0, max_attempts=6)
+        first = list(policy.delays(random.Random(7)))
+        second = list(policy.delays(random.Random(7)))
+        assert first == second
+        assert all(0.0 <= d <= 0.1 * (2.0 ** k)
+                   for k, d in enumerate(first))
+
+    def test_equal_jitter_keeps_half_the_delay(self):
+        policy = BackoffPolicy(base=1.0, factor=1.0, max_delay=1.0,
+                               jitter=0.5, max_attempts=50)
+        for delay in policy.delays(random.Random(3)):
+            assert 0.5 <= delay <= 1.0
+
+
+class TestRun:
+    def test_returns_first_success(self):
+        policy = BackoffPolicy(base=0.0, jitter=0.0, max_attempts=3)
+        calls = []
+        result = policy.run(lambda: calls.append(1) or "ok")
+        assert result == "ok"
+        assert len(calls) == 1
+
+    def test_retries_then_succeeds(self):
+        policy = BackoffPolicy(base=0.0, jitter=0.0, max_attempts=3)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ValueError("not yet")
+            return len(attempts)
+
+        assert policy.run(flaky, retry_on=(ValueError,)) == 3
+
+    def test_exhaustion_reraises_last_error(self):
+        policy = BackoffPolicy(base=0.0, jitter=0.0, max_attempts=2)
+        with pytest.raises(ValueError, match="always"):
+            policy.run(lambda: (_ for _ in ()).throw(ValueError("always")),
+                       retry_on=(ValueError,))
+
+    def test_unlisted_exception_propagates_immediately(self):
+        policy = BackoffPolicy(base=0.0, jitter=0.0, max_attempts=5)
+        attempts = []
+
+        def boom():
+            attempts.append(1)
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            policy.run(boom, retry_on=(ValueError,))
+        assert len(attempts) == 1
+
+    def test_deadline_stops_retries(self):
+        policy = BackoffPolicy(base=10.0, max_delay=10.0, jitter=0.0,
+                               max_attempts=None, deadline=5.0)
+        ticks = iter(float(k) for k in range(100))
+        with pytest.raises(ValueError):
+            policy.run(lambda: (_ for _ in ()).throw(ValueError("x")),
+                       retry_on=(ValueError,), clock=ticks.__next__,
+                       sleep=lambda _: None)
+
+    def test_on_retry_callback_sees_each_failure(self):
+        policy = BackoffPolicy(base=0.0, jitter=0.0, max_attempts=3)
+        seen = []
+        with pytest.raises(ValueError):
+            policy.run(lambda: (_ for _ in ()).throw(ValueError("x")),
+                       retry_on=(ValueError,),
+                       on_retry=lambda k, exc: seen.append(k))
+        assert seen == [1, 2]
+
+    def test_sleeps_the_policy_delays(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, max_delay=1.0,
+                               jitter=0.0, max_attempts=3)
+        slept = []
+        with pytest.raises(ValueError):
+            policy.run(lambda: (_ for _ in ()).throw(ValueError("x")),
+                       retry_on=(ValueError,), sleep=slept.append)
+        assert slept == [0.1, 0.2]
+
+
+class TestRetryCall:
+    def test_default_policy(self):
+        assert retry_call(lambda: 42) == 42
+
+    def test_explicit_policy(self):
+        policy = BackoffPolicy(base=0.0, jitter=0.0, max_attempts=2)
+        attempts = []
+
+        def once():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise OSError("transient")
+            return "done"
+
+        assert retry_call(once, policy, retry_on=(OSError,)) == "done"
