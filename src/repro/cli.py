@@ -466,6 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--compact-every", type=int, default=256,
                    help="snapshot compaction period in commits "
                         "(default 256)")
+    q.add_argument("--trace", action="store_true",
+                   help="write distributed-tracing spans to "
+                        "spans.jsonl next to the WAL")
 
     q = vsub.add_parser(
         "cluster", help="run a supervised local cluster (behind the "
@@ -479,6 +482,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--no-proxy", action="store_true",
                    help="connect replicas directly, skipping the chaos "
                         "proxy indirection")
+    q.add_argument("--trace", action="store_true",
+                   help="every replica (and the proxy) writes "
+                        "distributed-tracing span logs")
 
     q = vsub.add_parser(
         "bench", help="seeded chaos + load against real clusters, one "
@@ -514,6 +520,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 1)")
     q.add_argument("--partitions", type=int, default=1,
                    help="minimum live partitions (default 1)")
+    q.add_argument("--trace", action="store_true",
+                   help="record end-to-end distributed traces and "
+                        "sample exemplars per policy (the slowest, "
+                        "denied and fault-hit operations)")
+    q.add_argument("--trace-exemplars", type=int, default=8,
+                   help="exemplar traces kept per policy (default 8)")
     q.add_argument("--out", metavar="PATH", default=None,
                    help="also write the bench document as JSON")
     q.add_argument("--live", action="store_true",
@@ -528,6 +540,26 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("site", type=int, help="site number to kill")
     q.add_argument("--dir", default=".service", metavar="DIR",
                    help="cluster directory (default .service)")
+
+    q = vsub.add_parser(
+        "trace", help="render the exemplar distributed traces a traced "
+                      "service bench recorded (text waterfall per "
+                      "trace, causality-checked)",
+    )
+    q.add_argument("run", nargs="?", default="latest",
+                   help="run id (or unique prefix), or 'latest' "
+                        "(default: the newest service run)")
+    q.add_argument("--trace-id", default=None, metavar="ID",
+                   help="render only the trace whose id starts with ID")
+    q.add_argument("--outcome", default=None, metavar="NAME",
+                   help="render only traces with this root outcome "
+                        "(e.g. denied, unavailable)")
+    q.add_argument("--no-events", action="store_true",
+                   help="hide span events (send/recv, quorum verdicts, "
+                        "chaos annotations)")
+    q.add_argument("--runs-dir", metavar="DIR", default=None,
+                   help="registry root (default .repro/runs, or "
+                        "REPRO_RUNS_DIR)")
 
     p = sub.add_parser(
         "runs",
@@ -1901,6 +1933,7 @@ def _cmd_service_replica(args: argparse.Namespace) -> int:
         lease_s=args.lease,
         peer_timeout=args.peer_timeout,
         recover_interval=args.recover_interval,
+        trace=args.trace,
     )
     try:
         asyncio.run(serve_replica(config))
@@ -1921,6 +1954,7 @@ def _cmd_service_cluster(args: argparse.Namespace) -> int:
         fsync=args.fsync,
         proxy=not args.no_proxy,
         segments=args.segments,
+        trace=args.trace,
     )
     cluster = LocalCluster(spec)
     cluster.start()
@@ -1949,17 +1983,23 @@ def _print_service_summary(document: dict) -> None:
               f"{sum(1 for f in doc.get('faults', []) if f.get('verb') == 'partition')} "
               f"partition(s), {len(doc.get('violations', []))} "
               "violation(s)")
-        for op, hist in sorted(load.get("latency", {}).items()):
-            print(f"  {op}: n={hist.get('count', 0)} "
-                  f"p50={hist.get('p50', 0) * 1000:.1f}ms "
-                  f"p95={hist.get('p95', 0) * 1000:.1f}ms "
-                  f"p99={hist.get('p99', 0) * 1000:.1f}ms")
+        for op, outcomes in sorted(load.get("latency", {}).items()):
+            for outcome, hist in sorted(outcomes.items()):
+                print(f"  {op}/{outcome}: n={hist.get('count', 0)} "
+                      f"p50={hist.get('p50', 0) * 1000:.1f}ms "
+                      f"p95={hist.get('p95', 0) * 1000:.1f}ms "
+                      f"p99={hist.get('p99', 0) * 1000:.1f}ms")
         for op, table in sorted(load.get("availability", {}).items()):
             outcomes = " ".join(
                 f"{name}={count}" for name, count in sorted(
                     table.get("outcomes", {}).items()))
             print(f"  {op}: ok_rate={table.get('ok_rate', 0):.3f} "
                   f"({outcomes})")
+        traces = doc.get("traces")
+        if traces:
+            print(f"  traces: {traces.get('traces', 0)} recorded, "
+                  f"{traces.get('sampled', 0)} exemplar(s) kept "
+                  f"({traces.get('spans', 0)} spans)")
 
 
 def _cmd_service_bench(args: argparse.Namespace) -> int:
@@ -1990,6 +2030,8 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
         delay_rate=args.delay_rate,
         min_kills=args.kills,
         min_partitions=args.partitions,
+        trace=args.trace,
+        trace_exemplars=args.trace_exemplars,
     )
     bus, session = _start_live(args, "service bench", {
         "policies": ",".join(policies),
@@ -1998,7 +2040,7 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
         "seed": args.seed,
     })
     try:
-        document, samples = run_bench(options, bus=bus)
+        document, samples, traces = run_bench(options, bus=bus)
     except BaseException:
         if session is not None:
             session.finish(status="failed")
@@ -2006,7 +2048,8 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
     run_id = None
     if getattr(args, "record", False):
         record = _registry(args).record_service(
-            document, command="service bench", samples=samples)
+            document, command="service bench", samples=samples,
+            traces=traces)
         _record_note(record)
         run_id = record.run_id
     if session is not None:
@@ -2049,6 +2092,46 @@ def _cmd_service_kill(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service_trace(args: argparse.Namespace) -> int:
+    from repro.obs.dtrace.collect import build_traces, read_span_log
+    from repro.obs.dtrace.render import text_waterfall
+
+    registry = _registry(args)
+    if args.run == "latest":
+        record = registry.latest(kind="service")
+        if record is None:
+            raise ConfigurationError(
+                "no service runs recorded under this registry")
+    else:
+        record = registry.resolve(args.run)
+    sidecar = registry.traces_path(record.run_id)
+    if not sidecar.exists():
+        raise ConfigurationError(
+            f"run {record.run_id} has no trace sidecar — was the bench "
+            "run with --trace --record?"
+        )
+    records, skipped = read_span_log(sidecar)
+    traces = build_traces(records)
+    if skipped:
+        print(f"({skipped} unparseable span line(s) skipped)",
+              file=sys.stderr)
+    shown = 0
+    for trace_id in sorted(traces):
+        trace = traces[trace_id]
+        if args.trace_id and not trace_id.startswith(args.trace_id):
+            continue
+        if args.outcome and trace.outcome() != args.outcome:
+            continue
+        if shown:
+            print()
+        print(text_waterfall(trace, events=not args.no_events))
+        shown += 1
+    if not shown:
+        print("no traces matched", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_service(args: argparse.Namespace) -> int:
     command = args.service_command
     if command == "replica":
@@ -2059,6 +2142,8 @@ def _cmd_service(args: argparse.Namespace) -> int:
         return _cmd_service_bench(args)
     if command == "kill":
         return _cmd_service_kill(args)
+    if command == "trace":
+        return _cmd_service_trace(args)
     raise ConfigurationError(  # pragma: no cover - argparse enforces choices
         f"unknown service command {command!r}"
     )

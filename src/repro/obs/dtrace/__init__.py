@@ -1,0 +1,77 @@
+"""Distributed tracing for the replicated service — causal spans.
+
+The simulator's tracer (:mod:`repro.obs.tracer`) sees every quorum
+decision because everything runs in one process.  The live service
+(:mod:`repro.service`) is many processes joined by TCP frames, so this
+package rebuilds the same visibility the distributed way:
+
+* :mod:`~repro.obs.dtrace.context` — trace/span ids and per-process
+  Lamport clocks, carried between processes as an optional ``ctx``
+  member of the service's JSON frames (old peers ignore it);
+* :mod:`~repro.obs.dtrace.spans` — span recorders with append-only
+  JSONL logs (each replica writes next to its WAL) and the
+  zero-cost-when-disabled discipline the tracer set;
+* :mod:`~repro.obs.dtrace.collect` — merge the per-process logs by
+  trace id into trees ordered by happens-before (Lamport pairs, never
+  wall clocks), validate causality, sample exemplar traces;
+* :mod:`~repro.obs.dtrace.render` — text and SVG waterfalls for the
+  CLI (``repro service trace``), the HTML report and the explorer.
+
+A denied write under chaos decomposes into its round anatomy:
+*contacted {1,2,3}; state? to 2 dropped by fault window #4; quorum
+evaluate said no per Algorithm 1* — each clause a span or span event
+in the merged trace.
+"""
+
+from repro.obs.dtrace.context import (
+    CTX_FIELD,
+    LamportClock,
+    ctx_from_frame,
+    ctx_to_wire,
+    new_span_id,
+    new_trace_id,
+)
+from repro.obs.dtrace.spans import (
+    SPAN_LOG_NAME,
+    JsonlSpanSink,
+    MemorySpanSink,
+    Span,
+    SpanRecorder,
+)
+from repro.obs.dtrace.collect import (
+    Trace,
+    build_traces,
+    causal_violations,
+    fault_windows,
+    iter_span_log_paths,
+    load_span_logs,
+    read_span_log,
+    sample_exemplars,
+    summarize_trace,
+)
+from repro.obs.dtrace.render import svg_waterfall, text_waterfall
+
+__all__ = [
+    "CTX_FIELD",
+    "JsonlSpanSink",
+    "LamportClock",
+    "MemorySpanSink",
+    "SPAN_LOG_NAME",
+    "Span",
+    "SpanRecorder",
+    "Trace",
+    "build_traces",
+    "causal_violations",
+    "ctx_from_frame",
+    "ctx_to_wire",
+    "fault_windows",
+    "iter_span_log_paths",
+    "load_span_logs",
+    "new_span_id",
+    "new_trace_id",
+    "read_span_log",
+    "sample_exemplars",
+    "summarize_trace",
+    "svg_waterfall",
+    "text_waterfall",
+]

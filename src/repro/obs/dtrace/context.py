@@ -1,0 +1,118 @@
+"""Trace context: ids, Lamport clocks and the on-wire ``ctx`` field.
+
+A trace context is three values — trace id, span id, Lamport clock —
+carried between processes as an optional ``ctx`` member of the
+service's length-prefixed JSON frames
+(:mod:`repro.service.frames`)::
+
+    {"kind": "state?", "from": 1, "ctx": {"trace": "9a1b...",
+                                          "span": "4c0d...",
+                                          "lc": 17}}
+
+Old readers ignore the extra key and new readers treat its absence as
+"untraced", so the wire format needs no version bump; the frame
+compatibility tests pin that down.
+
+Causal order comes from the Lamport pairs, never from wall clocks:
+every process keeps one :class:`LamportClock`, ticks it on local
+events and sends, and folds remote values in on receives
+(``max(local, remote) + 1``).  A child span recorded on another
+process therefore always carries a larger clock value than the send
+that caused it, which is what lets the collector rebuild
+happens-before across replica logs whose wall clocks never agree.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Mapping, Optional, Tuple
+
+__all__ = [
+    "CTX_FIELD",
+    "LamportClock",
+    "ctx_from_frame",
+    "ctx_to_wire",
+    "new_span_id",
+    "new_trace_id",
+]
+
+#: The reserved frame key trace context travels under.
+CTX_FIELD = "ctx"
+
+#: (trace id, parent span id, remote Lamport value) — a parsed ``ctx``.
+WireContext = Tuple[str, str, int]
+
+
+class LamportClock:
+    """One process's logical clock (thread-safe).
+
+    ``tick()`` advances on every local event (span start, send, span
+    end); ``observe(remote)`` folds in a clock value that arrived on
+    the wire.  Both return the new value.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, start: int = 0):
+        self._value = int(start)
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        """The current clock value (no tick)."""
+        return self._value
+
+    def tick(self) -> int:
+        """Advance for a local event."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def observe(self, remote: int) -> int:
+        """Fold in a remote clock value: ``max(local, remote) + 1``."""
+        with self._lock:
+            self._value = max(self._value, int(remote)) + 1
+            return self._value
+
+
+def new_trace_id(rng: Optional[random.Random] = None) -> str:
+    """A fresh 64-bit trace id as 16 hex chars."""
+    bits = (rng or random).getrandbits(64)
+    return f"{bits:016x}"
+
+
+def new_span_id(rng: Optional[random.Random] = None) -> str:
+    """A fresh 32-bit span id as 8 hex chars."""
+    bits = (rng or random).getrandbits(32)
+    return f"{bits:08x}"
+
+
+def ctx_to_wire(trace_id: str, span_id: str, lc: int) -> dict[str, Any]:
+    """The ``ctx`` object to attach to an outgoing frame."""
+    return {"trace": trace_id, "span": span_id, "lc": int(lc)}
+
+
+def ctx_from_frame(
+    message: Optional[Mapping[str, Any]],
+) -> Optional[WireContext]:
+    """Parse the ``ctx`` field of *message*; ``None`` when absent/bad.
+
+    Tolerant by design: a malformed context from a foreign client must
+    degrade to "untraced", never to a protocol error.
+    """
+    if not isinstance(message, Mapping):
+        return None
+    ctx = message.get(CTX_FIELD)
+    if not isinstance(ctx, Mapping):
+        return None
+    trace = ctx.get("trace")
+    span = ctx.get("span")
+    lc = ctx.get("lc")
+    if not isinstance(trace, str) or not trace:
+        return None
+    if not isinstance(span, str) or not span:
+        return None
+    if not isinstance(lc, int) or isinstance(lc, bool):
+        return None
+    return trace, span, lc

@@ -1,0 +1,167 @@
+"""Waterfall renderers for merged traces: terminal text and SVG.
+
+The text waterfall is what ``repro service trace`` prints — one line
+per span, indented by tree depth, with wall offsets relative to the
+trace's earliest span and the Lamport pair that actually orders it;
+span events (quorum verdicts, sends, chaos annotations) hang beneath
+their span.  The SVG variant draws the same tree as horizontal bars
+for the report and the explorer's trace pages.
+
+Wall-clock offsets are cosmetic — bars from different processes may
+sit a little off against each other since no two processes share a
+clock — but the *order* shown is the Lamport order the collector
+validated, so a child bar never renders above its parent.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Mapping
+
+from repro.obs.dtrace.collect import (
+    Trace,
+    causal_violations,
+    fault_windows,
+    summarize_trace,
+)
+
+__all__ = [
+    "svg_waterfall",
+    "text_waterfall",
+]
+
+#: Bar colours per span status (SVG).
+_STATUS_COLOURS = {
+    "ok": "#2f855a",
+    "denied": "#dd6b20",
+    "unavailable": "#c53030",
+    "contended": "#b7791f",
+    "dropped": "#c53030",
+    "delayed": "#b7791f",
+    "timeout": "#718096",
+    "unreachable": "#718096",
+    "busy": "#b7791f",
+    "error": "#c53030",
+}
+_DEFAULT_COLOUR = "#4a5568"
+
+
+def _attr_text(attrs: Mapping[str, Any]) -> str:
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if key == "window":
+            parts.append(f"fault window #{value}")
+            continue
+        if isinstance(value, (list, tuple)):
+            value = "[" + ",".join(str(v) for v in value) + "]"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _event_text(event: Mapping[str, Any]) -> str:
+    extra = {key: value for key, value in event.items()
+             if key not in ("name", "lc", "t")}
+    text = f"{event.get('name')} lc={event.get('lc')}"
+    if extra:
+        text += " " + _attr_text(extra)
+    return text
+
+
+def text_waterfall(trace: Trace, events: bool = True) -> str:
+    """Render *trace* as an indented terminal waterfall."""
+    summary = summarize_trace(trace)
+    t0 = min((float(span.get("start", 0.0))
+              for span in trace.spans.values()), default=0.0)
+    header = (
+        f"trace {trace.trace_id} · {summary['name']}"
+        + (f" {summary['key']}" if summary.get("key") else "")
+        + f" → {summary['outcome']}"
+        + f" in {summary['duration'] * 1000.0:.1f} ms"
+        + f" · {summary['spans']} spans over "
+        + f"{', '.join(summary['procs'])}"
+    )
+    lines = [header]
+    windows = fault_windows(trace)
+    if windows:
+        lines.append("  chaos: fault window"
+                     + ("s" if len(windows) > 1 else "") + " "
+                     + ", ".join(f"#{w}" for w in windows))
+    for depth, span in trace.walk():
+        offset = (float(span.get("start", t0)) - t0) * 1000.0
+        dur = float(span.get("dur", 0.0)) * 1000.0
+        lc = span.get("lc") or [0, 0]
+        indent = "  " * depth
+        attrs = span.get("attrs") or {}
+        line = (
+            f"  [{offset:8.1f}ms {dur:+9.1f}ms] "
+            f"{indent}{span.get('name')} [{span.get('proc')}] "
+            f"lc={lc[0]}..{lc[1]} {span.get('status')}"
+        )
+        attr_text = _attr_text(attrs)
+        if attr_text:
+            line += "  " + attr_text
+        lines.append(line)
+        if events:
+            for event in span.get("events", []):
+                lines.append(f"  {'':>23}{indent}  · "
+                             + _event_text(event))
+    problems = causal_violations(trace)
+    for problem in problems:
+        lines.append(f"  !! causality: {problem}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# SVG
+# ----------------------------------------------------------------------
+def svg_waterfall(trace: Trace, width: int = 860) -> str:
+    """Render *trace* as an SVG waterfall (one bar per span)."""
+    spans = list(trace.walk())
+    if not spans:
+        return "<svg xmlns='http://www.w3.org/2000/svg'></svg>"
+    t0 = min(float(span.get("start", 0.0)) for _, span in spans)
+    t1 = max(float(span.get("start", 0.0)) + float(span.get("dur", 0.0))
+             for _, span in spans)
+    total = max(t1 - t0, 1e-6)
+    row_h, top, left, label_w = 22, 28, 8, 300
+    chart_w = max(width - left - label_w - 8, 100)
+    height = top + row_h * len(spans) + 8
+    summary = summarize_trace(trace)
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' font-family='monospace' font-size='11'>",
+        f"<text x='{left}' y='16' font-size='12' fill='#1a202c'>"
+        + html.escape(
+            f"trace {trace.trace_id} · {summary['name']} → "
+            f"{summary['outcome']} in "
+            f"{summary['duration'] * 1000.0:.1f} ms")
+        + "</text>",
+    ]
+    for row, (depth, span) in enumerate(spans):
+        y = top + row * row_h
+        start = float(span.get("start", t0)) - t0
+        dur = float(span.get("dur", 0.0))
+        x = left + label_w + chart_w * (start / total)
+        bar_w = max(2.0, chart_w * (dur / total))
+        colour = _STATUS_COLOURS.get(str(span.get("status")),
+                                     _DEFAULT_COLOUR)
+        attrs = span.get("attrs") or {}
+        label = (" " * (2 * depth)) \
+            + f"{span.get('name')} [{span.get('proc')}]"
+        title = (f"{span.get('name')} {span.get('status')} "
+                 f"lc={span.get('lc')} {_attr_text(attrs)}")
+        parts.append(
+            f"<text x='{left}' y='{y + 14}' fill='#2d3748'>"
+            + html.escape(label) + "</text>")
+        parts.append(
+            f"<g><rect x='{x:.1f}' y='{y + 4}' width='{bar_w:.1f}' "
+            f"height='{row_h - 8}' rx='2' fill='{colour}'>"
+            f"<title>{html.escape(title)}</title></rect>"
+            f"<text x='{min(x + bar_w + 4, width - 70):.1f}' "
+            f"y='{y + 14}' fill='#4a5568'>"
+            + html.escape(f"{dur * 1000.0:.1f}ms "
+                          f"{span.get('status')}")
+            + "</text></g>")
+    parts.append("</svg>")
+    return "".join(parts)

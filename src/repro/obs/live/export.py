@@ -9,6 +9,12 @@ middleware's request telemetry — in the text exposition format
 * histograms become *summaries*: ``{quantile="0.5|0.95|0.99"}``
   samples from the bounded reservoir plus exact ``_sum``/``_count``.
 
+Every family is introduced by a ``# HELP`` line followed by its
+``# TYPE`` line, as the exposition format specifies — scrapers work
+without them, but ``promtool`` lint and metric explorers expect both.
+Callers may supply per-series help text; families without any get a
+generated description naming the source series.
+
 Dotted series names are sanitised to the Prometheus grammar
 (``serve.latency.seconds`` → ``serve_latency_seconds``); labels are
 escaped per the format's rules.  The renderer only reads the registry,
@@ -20,7 +26,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
@@ -58,6 +64,10 @@ def _labels(labels: Mapping[str, str], extra: str = "") -> str:
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _value(value: Any) -> str:
     if value is None:
         return "NaN"
@@ -71,20 +81,33 @@ def _value(value: Any) -> str:
     return repr(number)
 
 
-def render_prometheus(registry: MetricsRegistry) -> str:
+def render_prometheus(
+    registry: MetricsRegistry,
+    help_text: Optional[Mapping[str, str]] = None,
+) -> str:
     """The registry as Prometheus text exposition (0.0.4).
 
-    Series sharing a name render contiguously under one ``# TYPE``
-    line (the registry enforces one instrument kind per name, so the
-    type is well defined).
+    Series sharing a name render contiguously under one ``# HELP`` +
+    ``# TYPE`` pair (the registry enforces one instrument kind per
+    name, so the type is well defined).  *help_text* maps dotted
+    series names to their ``# HELP`` descriptions; families without
+    an entry get a generated one naming the source series.
     """
     lines: list[str] = []
     typed: set[str] = set()
+    descriptions = help_text or {}
+
+    def _help(name: str, family: str, fallback: str) -> None:
+        text = descriptions.get(name) or fallback
+        lines.append(f"# HELP {family} {_escape_help(text)}")
+
     for name, labels, instrument in registry.series():
         base = _metric_name(name)
         if isinstance(instrument, Counter):
             if base not in typed:
                 typed.add(base)
+                _help(name, f"{base}_total",
+                      f"Total count of '{name}' events.")
                 lines.append(f"# TYPE {base}_total counter")
             lines.append(
                 f"{base}_total{_labels(labels)} {_value(instrument.value)}"
@@ -92,6 +115,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         elif isinstance(instrument, Gauge):
             if base not in typed:
                 typed.add(base)
+                _help(name, base, f"Current value of '{name}'.")
                 lines.append(f"# TYPE {base} gauge")
             lines.append(
                 f"{base}{_labels(labels)} {_value(instrument.value)}"
@@ -99,6 +123,9 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         elif isinstance(instrument, Histogram):
             if base not in typed:
                 typed.add(base)
+                _help(name, base,
+                      f"Summary of '{name}' observations "
+                      "(reservoir quantiles, exact sum/count).")
                 lines.append(f"# TYPE {base} summary")
             for quantile in _QUANTILES:
                 quantile_label = f'quantile="{_value(quantile)}"'

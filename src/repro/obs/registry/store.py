@@ -42,6 +42,7 @@ __all__ = [
     "DEFAULT_ROOT",
     "RUNS_DIR_ENV",
     "SAMPLES_DIR_NAME",
+    "TRACES_DIR_NAME",
     "RunRecord",
     "RunRegistry",
     "TimelineSink",
@@ -73,6 +74,11 @@ CACHE_DIR_NAME = ".cache"
 #: Sidecars, not artifacts: they are too big to hash into the run
 #: identity, and :meth:`RunRegistry.gc` prunes any whose run is gone.
 SAMPLES_DIR_NAME = ".samples"
+
+#: Directory under the registry root holding exemplar trace span files
+#: (``<run_id>.jsonl``) recorded next to traced service bench runs.
+#: Same contract as :data:`SAMPLES_DIR_NAME`: sidecar, not artifact.
+TRACES_DIR_NAME = ".traces"
 
 
 def canonical_bytes(payload: Any) -> bytes:
@@ -602,13 +608,16 @@ class RunRegistry:
         result: Mapping[str, Any],
         command: str = "service bench",
         samples: Optional[bytes] = None,
+        traces: Optional[bytes] = None,
     ) -> RunRecord:
         """Record one replicated-service bench run.
 
         *result* is the ``repro-service-bench`` document; *samples* is
         the optional per-operation JSON-lines blob, stored as a sidecar
         under :data:`SAMPLES_DIR_NAME` (outside the run's identity —
-        see :meth:`samples_path`).
+        see :meth:`samples_path`); *traces* is the optional exemplar
+        trace span blob, stored under :data:`TRACES_DIR_NAME` (see
+        :meth:`traces_path`).
         """
         if result.get("format") != "repro-service-bench":
             raise ConfigurationError(
@@ -643,14 +652,18 @@ class RunRegistry:
                 "ok": result.get("ok"),
             },
         )
-        if samples:
-            path = self.samples_path(record.run_id)
+        for blob, path_of, what in (
+                (samples, self.samples_path, "samples"),
+                (traces, self.traces_path, "traces")):
+            if not blob:
+                continue
+            path = path_of(record.run_id)
             try:
                 path.parent.mkdir(parents=True, exist_ok=True)
-                path.write_bytes(samples)
+                path.write_bytes(blob)
             except OSError as exc:
                 raise ConfigurationError(
-                    f"cannot write samples sidecar {path}: {exc}"
+                    f"cannot write {what} sidecar {path}: {exc}"
                 ) from exc
         return record
 
@@ -658,6 +671,11 @@ class RunRegistry:
         """Where *run_id*'s per-operation samples sidecar lives (the
         file may not exist — not every run records samples)."""
         return self.root / SAMPLES_DIR_NAME / f"{run_id}.jsonl"
+
+    def traces_path(self, run_id: str) -> pathlib.Path:
+        """Where *run_id*'s exemplar trace span sidecar lives (the
+        file may not exist — only traced service runs record one)."""
+        return self.root / TRACES_DIR_NAME / f"{run_id}.jsonl"
 
     # ------------------------------------------------------------------
     # lookup
@@ -998,13 +1016,17 @@ class RunRegistry:
         for session in self.live_sessions():
             if session.status != "running":
                 shutil.rmtree(session.path, ignore_errors=True)
-        # Sample sidecars follow their run the same way: once the run
-        # is gone from the index, the (large) per-operation file is an
-        # orphan and goes with it.
-        samples_dir = self.root / SAMPLES_DIR_NAME
-        if samples_dir.is_dir():
-            alive = {record.run_id for record in self.list_runs()}
-            for sidecar in samples_dir.glob("*.jsonl"):
+        # Sidecars follow their run the same way: once the run is gone
+        # from the index, the (large) per-operation sample and trace
+        # files are orphans and go with it.
+        alive: Optional[set[str]] = None
+        for dir_name in (SAMPLES_DIR_NAME, TRACES_DIR_NAME):
+            sidecar_dir = self.root / dir_name
+            if not sidecar_dir.is_dir():
+                continue
+            if alive is None:
+                alive = {record.run_id for record in self.list_runs()}
+            for sidecar in sidecar_dir.glob("*.jsonl"):
                 if sidecar.stem not in alive:
                     try:
                         sidecar.unlink()

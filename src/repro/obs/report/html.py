@@ -624,14 +624,18 @@ def _service_section(record: Any) -> str:
     for policy, pdoc in sorted(doc.get("policies", {}).items()):
         load = pdoc.get("load", {})
         latency_rows = []
-        for op, hist in sorted(load.get("latency", {}).items()):
-            latency_rows.append(
-                f"<tr><td>{_esc(op)}</td>"
-                f"<td>{int(hist.get('count', 0))}</td>"
-                f"<td>{float(hist.get('p50', 0)) * 1000:.1f}</td>"
-                f"<td>{float(hist.get('p95', 0)) * 1000:.1f}</td>"
-                f"<td>{float(hist.get('p99', 0)) * 1000:.1f}</td></tr>"
-            )
+        for op, value in sorted(load.get("latency", {}).items()):
+            # Version 1 documents carried one blended series per op;
+            # version 2 splits by outcome.
+            series = {"ok": value} if "count" in value else value
+            for outcome, hist in sorted(series.items()):
+                latency_rows.append(
+                    f"<tr><td>{_esc(op)}</td><td>{_esc(outcome)}</td>"
+                    f"<td>{int(hist.get('count', 0))}</td>"
+                    f"<td>{float(hist.get('p50', 0)) * 1000:.1f}</td>"
+                    f"<td>{float(hist.get('p95', 0)) * 1000:.1f}</td>"
+                    f"<td>{float(hist.get('p99', 0)) * 1000:.1f}</td></tr>"
+                )
         avail_rows = []
         for op, table in sorted(load.get("availability", {}).items()):
             outcomes = ", ".join(
@@ -653,18 +657,97 @@ def _service_section(record: Any) -> str:
         parts.append(
             f"<h3>{_esc(policy)} "
             f"{'✓' if pdoc.get('ok') else '✗'}</h3>"
-            '<p class="note">Latency is milliseconds over successful '
-            "operations; availability counts every client outcome "
-            "under live chaos.</p>"
-            "<table><thead><tr><th>op</th><th>n</th><th>p50 (ms)</th>"
-            "<th>p95 (ms)</th><th>p99 (ms)</th></tr></thead>"
+            '<p class="note">Latency is milliseconds, split per client '
+            "outcome (a denial is one quorum round, an unavailability "
+            "the whole retry budget); availability counts every "
+            "outcome under live chaos.</p>"
+            "<table><thead><tr><th>op</th><th>outcome</th><th>n</th>"
+            "<th>p50 (ms)</th><th>p95 (ms)</th><th>p99 (ms)</th></tr>"
+            "</thead>"
             f"<tbody>{''.join(latency_rows)}</tbody></table>"
             "<table><thead><tr><th>op</th><th>ok rate</th>"
             "<th>outcomes</th></tr></thead>"
             f"<tbody>{''.join(avail_rows)}</tbody></table>"
             f'<p class="note">faults: {_esc(fault_note or "none")}</p>'
+            + _trace_exemplars_html(pdoc.get("traces"))
         )
+    parts.append(_trace_waterfalls(record))
     return "".join(parts)
+
+
+def _trace_exemplars_html(summary: Optional[Mapping[str, Any]]) -> str:
+    """The exemplar-trace table embedded in a policy's doc."""
+    if not summary:
+        return ""
+    rows = []
+    for entry in summary.get("exemplars", []):
+        windows = ", ".join(
+            f"#{w}" for w in entry.get("fault_windows", []))
+        flags = []
+        if entry.get("violations"):
+            flags.append("causality!")
+        rows.append(
+            f'<tr><td><code>{_esc(entry.get("trace", "?")[:10])}</code>'
+            f"</td><td>{_esc(entry.get('name'))}</td>"
+            f"<td>{_esc(entry.get('outcome'))}</td>"
+            f"<td>{float(entry.get('duration', 0)) * 1000:.1f}</td>"
+            f"<td>{entry.get('spans', 0)}</td>"
+            f"<td>{_esc(', '.join(entry.get('procs', [])))}</td>"
+            f"<td>{_esc(windows or '-')} {_esc(' '.join(flags))}</td>"
+            "</tr>"
+        )
+    if not rows:
+        return ""
+    return (
+        f'<p class="note">{summary.get("sampled", 0)} exemplar '
+        f'trace(s) sampled from {summary.get("traces", 0)} recorded '
+        "(violation, denied and fault-hit traces always kept; "
+        "slowest fill the rest).</p>"
+        "<table><thead><tr><th>trace</th><th>op</th><th>outcome</th>"
+        "<th>ms</th><th>spans</th><th>procs</th><th>chaos</th></tr>"
+        f"</thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _trace_waterfalls(record: Any, limit: int = 4) -> str:
+    """SVG waterfalls for the worst exemplar traces of a service run.
+
+    Reads the ``.traces`` sidecar next to the registry (via the
+    record's path); silently renders nothing when the run was not
+    traced or the sidecar is gone.
+    """
+    spans = _load_trace_sidecar(record)
+    if not spans:
+        return ""
+    from repro.obs.dtrace.collect import build_traces, sample_exemplars
+    from repro.obs.dtrace.render import svg_waterfall
+
+    traces = sample_exemplars(build_traces(spans), limit=limit)
+    blocks = []
+    for trace in traces:
+        blocks.append(
+            f'<div class="waterfall">{svg_waterfall(trace)}</div>')
+    if not blocks:
+        return ""
+    return (
+        "<h3>Trace waterfalls</h3>"
+        '<p class="note">Spans are ordered by Lamport clock (causal '
+        "order), bars by wall-clock offset within the trace; a denied "
+        "operation decomposes into the quorum round and the chaos "
+        "verdicts that starved it.</p>"
+        + "".join(blocks)
+    )
+
+
+def _load_trace_sidecar(record: Any) -> list:
+    path = getattr(record, "path", None)
+    if path is None:
+        return []
+    from repro.obs.dtrace.collect import read_span_log
+
+    sidecar = path.parent / ".traces" / f"{record.run_id}.jsonl"
+    records, _ = read_span_log(sidecar)
+    return records
 
 
 _SECTIONS = {

@@ -314,6 +314,10 @@ class RunExplorerApp:
         if parts[0] == "runs" and len(parts) == 2:
             return "run", False, \
                 lambda: self._run_page(parts[1], etag_in)
+        if parts[0] == "runs" and len(parts) == 3 \
+                and parts[2] == "traces":
+            return "run.traces", False, \
+                lambda: self._traces_page(parts[1], etag_in)
         if parts[0] == "diff" and len(parts) == 3:
             return "diff", False, \
                 lambda: self._diff_page(parts[1], parts[2], etag_in)
@@ -329,6 +333,10 @@ class RunExplorerApp:
                     and rest[2] == "live"):
                 return "api.run.live", True, \
                     lambda: self._api_run_live(rest[1], query)
+            if (rest and rest[0] == "runs" and len(rest) == 3
+                    and rest[2] == "traces"):
+                return "api.run.traces", True, \
+                    lambda: self._api_run_traces(rest[1], etag_in)
             if rest == ["live"]:
                 return "api.live", True, self._api_live
             if rest and rest[0] == "diff" and len(rest) == 3:
@@ -438,6 +446,33 @@ class RunExplorerApp:
         if etag_in == etag:
             return _not_modified(etag)
         return _json_response({"run": record.to_dict()}, etag=etag)
+
+    def _trace_spans(self, record: RunRecord) -> list[dict[str, Any]]:
+        """The run's exemplar span records (empty when untraced)."""
+        from repro.obs.dtrace.collect import read_span_log
+
+        records, _ = read_span_log(
+            self.registry.traces_path(record.run_id))
+        return records
+
+    def _traces_etag(self, record: RunRecord) -> str:
+        return f'"run-traces-{API_VERSION}-{record.run_id}"'
+
+    def _api_run_traces(self, token: str,
+                        etag_in: Optional[str]) -> _Response:
+        from repro.obs.dtrace.collect import build_traces, summarize_trace
+
+        record = self._resolve(token)
+        etag = self._traces_etag(record)
+        if etag_in == etag:
+            return _not_modified(etag)
+        traces = build_traces(self._trace_spans(record))
+        return _json_response({
+            "run": record.run_id,
+            "count": len(traces),
+            "traces": [summarize_trace(traces[trace_id])
+                       for trace_id in sorted(traces)],
+        }, etag=etag)
 
     def _api_diff(self, token_a: str, token_b: str,
                   etag_in: Optional[str]) -> _Response:
@@ -690,6 +725,11 @@ class RunExplorerApp:
         crumbs = [f'<nav class="crumbs"><a href="/">← run index</a>'
                   f' · <a href="/api/runs/{_esc(record.run_id)}">JSON'
                   "</a>"]
+        if record.kind == "service" \
+                and self.registry.traces_path(record.run_id).exists():
+            crumbs.append(
+                f' · <a href="/runs/{_esc(record.run_id)}/traces">'
+                "traces</a>")
         if record.kind == "study":
             others = [
                 card["run_id"] for card in self.cache.cards()
@@ -709,6 +749,73 @@ class RunExplorerApp:
                 body, f"Run {record.run_id}",
                 f"{record.kind} · recorded "
                 f"{_esc(record.created_at.split('.')[0])}",
+            ).encode(),
+            etag=etag,
+        )
+
+    def _traces_page(self, token: str,
+                     etag_in: Optional[str]) -> _Response:
+        from repro.obs.dtrace.collect import (
+            build_traces,
+            sample_exemplars,
+            summarize_trace,
+        )
+        from repro.obs.dtrace.render import svg_waterfall, text_waterfall
+
+        record = self._resolve(token)
+        etag = self._traces_etag(record)
+        if etag_in == etag:
+            return _not_modified(etag)
+        crumbs = (
+            f'<nav class="crumbs"><a href="/">← run index</a> · '
+            f'<a href="/runs/{_esc(record.run_id)}">run</a> · '
+            f'<a href="/api/runs/{_esc(record.run_id)}/traces">JSON'
+            "</a></nav>"
+        )
+        spans = self._trace_spans(record)
+        if not spans:
+            body = crumbs + (
+                '<div class="callout warning"><span class="icon">⚠ '
+                "no traces</span><span>this run recorded no trace "
+                "sidecar — rerun the bench with "
+                "<code>--trace --record</code>.</span></div>"
+            )
+        else:
+            traces = build_traces(spans)
+            ordered = sample_exemplars(traces, limit=len(traces))
+            blocks = []
+            for trace in ordered:
+                summary = summarize_trace(trace)
+                windows = ", ".join(
+                    f"#{w}" for w in summary["fault_windows"])
+                chaos = f" · fault window(s) {windows}" if windows \
+                    else ""
+                causal = (
+                    ' <span class="chip">causality violation</span>'
+                    if summary["violations"] else ""
+                )
+                blocks.append(
+                    f"<h3><code>{_esc(trace.trace_id)}</code> — "
+                    f"{_esc(summary['name'])} → "
+                    f"{_esc(summary['outcome'])} in "
+                    f"{summary['duration'] * 1000:.1f} ms"
+                    f"{_esc(chaos)}{causal}</h3>"
+                    f'<div class="waterfall">{svg_waterfall(trace)}'
+                    "</div>"
+                    "<details><summary>text waterfall</summary>"
+                    f"<pre>{_esc(text_waterfall(trace))}</pre>"
+                    "</details>"
+                )
+            body = crumbs + (
+                f'<p class="note">{len(ordered)} exemplar trace(s), '
+                "worst first — denied/unavailable operations and "
+                "fault-hit traces lead; spans are causally ordered "
+                "by Lamport clock.</p>" + "".join(blocks)
+            )
+        return _Response(
+            self._page(
+                body, f"Traces — run {record.run_id}",
+                f"{record.kind} · distributed trace exemplars",
             ).encode(),
             etag=etag,
         )

@@ -31,6 +31,12 @@ from typing import Any, Optional
 from repro.chaos.schedule import ChaosPolicy, build_schedule, derived_rng
 from repro.core.registry import available_policies
 from repro.errors import ConfigurationError
+from repro.obs.dtrace.collect import (
+    build_traces,
+    load_span_logs,
+    sample_exemplars,
+    summarize_trace,
+)
 from repro.service.chaos import (
     LiveFaultDriver,
     ensure_minimums,
@@ -64,6 +70,11 @@ class BenchOptions:
         drop_rate / delay_rate: Frame-level chaos for the proxy coins.
         min_kills / min_partitions: Acceptance-gate fault quota.
         schedule_length: Steps drawn from the seeded schedule.
+        trace: Record distributed traces end to end — clients, replicas
+            and the chaos proxy all write spans, and after each policy
+            the bench merges the logs and samples exemplar traces
+            (always keeping violation and denied/unavailable traces).
+        trace_exemplars: How many exemplar traces to keep per policy.
     """
 
     directory: str
@@ -80,6 +91,8 @@ class BenchOptions:
     min_kills: int = 1
     min_partitions: int = 1
     schedule_length: int = 40
+    trace: bool = False
+    trace_exemplars: int = 8
 
     def __post_init__(self) -> None:
         if not self.policies:
@@ -129,10 +142,39 @@ def _await_recovery(
     return markers
 
 
+def _collect_traces(
+    options: BenchOptions, root: pathlib.Path, load: LoadResult,
+) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Merge span logs, pick exemplars; returns (summary, records).
+
+    *records* holds every span belonging to a sampled exemplar trace —
+    the lines that become the registry's ``.traces`` sidecar.
+    """
+    records = load_span_logs(root) + list(load.spans)
+    traces = build_traces(records)
+    always = {violation["trace"] for violation in load.violations
+              if violation.get("trace")}
+    exemplars = sample_exemplars(
+        traces, limit=options.trace_exemplars, always=always)
+    keep = {trace.trace_id for trace in exemplars}
+    summary = {
+        "spans": len(records),
+        "traces": len(traces),
+        "sampled": len(exemplars),
+        "exemplars": [summarize_trace(trace) for trace in exemplars],
+    }
+    kept = [record for record in records if record.get("trace") in keep]
+    return summary, kept
+
+
 def _run_policy(
     options: BenchOptions, policy: str, bus: Optional[Any],
-) -> tuple[dict[str, Any], LoadResult]:
-    """One policy's full cluster lifecycle; returns (doc, load)."""
+) -> tuple[dict[str, Any], LoadResult, list[dict[str, Any]]]:
+    """One policy's full cluster lifecycle.
+
+    Returns ``(doc, load, trace_records)`` — *trace_records* is empty
+    unless ``options.trace``.
+    """
     root = pathlib.Path(options.directory) / policy.lower()
     spec = ClusterSpec(
         directory=str(root),
@@ -141,6 +183,7 @@ def _run_policy(
         fsync=options.fsync,
         proxy=True,
         segments=options.segments,
+        trace=options.trace,
     )
     cluster = LocalCluster(spec)
     cluster.rules.rng = derived_rng(options.seed, f"proxy-{policy}")
@@ -171,6 +214,7 @@ def _run_policy(
         workers=options.workers,
         write_ratio=options.write_ratio,
         seed=options.seed,
+        trace=options.trace,
     )
     load_box: dict[str, LoadResult] = {}
 
@@ -235,34 +279,45 @@ def _run_policy(
         "commits": {str(site): len(history)
                     for site, history in sorted(histories.items())},
     }
+    trace_records: list[dict[str, Any]] = []
+    if options.trace:
+        doc["traces"], trace_records = _collect_traces(
+            options, root, load)
     if bus is not None:
         bus.publish("service.policy.done", policy=policy, ok=ok,
                     operations=len(load.samples),
                     violations=len(violations))
-    return doc, load
+    return doc, load, trace_records
 
 
 def run_bench(
     options: BenchOptions, bus: Optional[Any] = None,
-) -> tuple[dict[str, Any], bytes]:
-    """Run the bench for every policy; returns ``(document, samples)``.
+) -> tuple[dict[str, Any], bytes, bytes]:
+    """Run the bench; returns ``(document, samples, traces)``.
 
     *document* is the ``repro-service-bench`` summary; *samples* is the
     JSON-lines sidecar (one line per operation, stamped with its
-    policy) the registry stores next to the run.
+    policy) the registry stores next to the run; *traces* is the
+    JSON-lines span sidecar for the sampled exemplar traces (empty
+    unless ``options.trace``).
     """
     policies: dict[str, Any] = {}
     lines: list[str] = []
+    trace_lines: list[str] = []
     for policy in options.policies:
-        doc, load = _run_policy(options, policy, bus)
+        doc, load, trace_records = _run_policy(options, policy, bus)
         policies[policy] = doc
         for sample in load.samples:
             lines.append(json.dumps(
                 dict(sample, policy=policy),
                 sort_keys=True, separators=(",", ":")))
+        for record in trace_records:
+            trace_lines.append(json.dumps(
+                dict(record, policy=policy),
+                sort_keys=True, separators=(",", ":")))
     document = {
         "format": "repro-service-bench",
-        "version": 1,
+        "version": 2,
         "seed": options.seed,
         "duration": options.duration,
         "replicas": options.replicas,
@@ -285,4 +340,6 @@ def run_bench(
     }
     samples = ("\n".join(lines) + "\n").encode("utf-8") if lines \
         else b""
-    return document, samples
+    traces = ("\n".join(trace_lines) + "\n").encode("utf-8") \
+        if trace_lines else b""
+    return document, samples, traces

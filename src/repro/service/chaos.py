@@ -208,12 +208,16 @@ class LiveFaultDriver:
     def _apply(self, event: FaultEvent) -> None:
         rules = self.proxy.rules if self.proxy is not None else None
         if event.verb == "partition" and rules is not None:
+            rules.note_fault(event.to_dict())
             rules.set_partition(event.blocks or ())
         elif event.verb == "heal" and rules is not None:
+            rules.note_fault(event.to_dict())
             rules.heal()
         elif event.verb == "drop" and rules is not None:
+            rules.note_fault(event.to_dict())
             rules.drop_rate = event.rate
         elif event.verb == "delay" and rules is not None:
+            rules.note_fault(event.to_dict())
             rules.delay_rate = event.rate
             rules.delay_s = event.delay_s or rules.delay_s
         elif event.verb == "crash" and self.supervisor is not None \

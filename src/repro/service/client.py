@@ -25,6 +25,8 @@ import time
 from typing import Any, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ServiceError
+from repro.obs.dtrace.context import CTX_FIELD, ctx_from_frame
+from repro.obs.dtrace.spans import SpanRecorder
 from repro.service.frames import FrameError, recv_frame, send_frame
 from repro.util.backoff import BackoffPolicy
 
@@ -56,15 +58,19 @@ class OpResult:
         reason: Denial/unavailability explanation.
         latency: Wall-clock seconds from first attempt to outcome.
         attempts: Requests actually sent (1 = no retry needed).
+        trace: Trace id of the operation's root span, when the client
+            records spans (``None`` otherwise) — ties a latency sample
+            to its merged trace.
     """
 
     __slots__ = ("ok", "outcome", "op", "key", "value", "version",
-                 "site", "reason", "latency", "attempts")
+                 "site", "reason", "latency", "attempts", "trace")
 
     def __init__(self, ok: bool, outcome: str, op: str, key: str,
                  value: Any = None, version: Optional[int] = None,
                  site: Optional[int] = None, reason: str = "",
-                 latency: float = 0.0, attempts: int = 0):
+                 latency: float = 0.0, attempts: int = 0,
+                 trace: Optional[str] = None):
         self.ok = ok
         self.outcome = outcome
         self.op = op
@@ -75,10 +81,11 @@ class OpResult:
         self.reason = reason
         self.latency = latency
         self.attempts = attempts
+        self.trace = trace
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serialisable record (one latency-sample line)."""
-        return {
+        record = {
             "ok": self.ok,
             "outcome": self.outcome,
             "op": self.op,
@@ -88,6 +95,9 @@ class OpResult:
             "latency": self.latency,
             "attempts": self.attempts,
         }
+        if self.trace is not None:
+            record["trace"] = self.trace
+        return record
 
 
 class _Retryable(ServiceError):
@@ -100,6 +110,12 @@ class ServiceClient:
     Each request opens a fresh connection to the next address in the
     rotation (round-robin from a random seeded start), so a dead or
     partitioned replica only costs one timeout before failover.
+
+    With a *recorder*, every operation opens a root span and every
+    attempt a child span whose context rides the request frame's
+    ``ctx`` field — the replica-side spans it causes become its
+    children in the merged trace.  Without one (the default) no trace
+    code runs at all.
     """
 
     def __init__(
@@ -108,12 +124,14 @@ class ServiceClient:
         timeout: float = 2.0,
         backoff: Optional[BackoffPolicy] = None,
         rng: Optional[random.Random] = None,
+        recorder: Optional[SpanRecorder] = None,
     ):
         if not addresses:
             raise ConfigurationError("client needs at least one address")
         self.addresses = [(str(h), int(p)) for h, p in addresses]
         self.timeout = timeout
         self.backoff = backoff or DEFAULT_CLIENT_BACKOFF
+        self.recorder = recorder
         self._rng = rng or random.Random()
         self._cursor = self._rng.randrange(len(self.addresses))
 
@@ -152,23 +170,51 @@ class ServiceClient:
         message: dict[str, Any] = {"kind": op, "key": key}
         if op == "put":
             message["value"] = value
+        op_span = None
+        if self.recorder is not None:
+            op_span = self.recorder.span(f"client.{op}", op=op, key=key)
 
         def attempt() -> OpResult:
             nonlocal attempts
             attempts += 1
             address = self._next_address()
+            request = dict(message)
+            span = None
+            if op_span is not None and self.recorder is not None:
+                span = self.recorder.span(
+                    "client.attempt", parent=op_span,
+                    attempt=attempts,
+                    address=f"{address[0]}:{address[1]}")
+                request[CTX_FIELD] = span.sent()
             try:
-                reply = self._request(address, dict(message))
+                reply = self._request(address, request)
             except (OSError, FrameError) as exc:
+                if span is not None:
+                    span.finish("unreachable", error=str(exc))
                 raise _Retryable(f"{address[0]}:{address[1]}: {exc}") from exc
+            except _Retryable as exc:
+                if span is not None:
+                    span.finish("timeout", error=str(exc))
+                raise
+            if span is not None and reply is not None:
+                remote = ctx_from_frame(reply)
+                if remote is not None:
+                    span.received(remote[2], site=reply.get("site"))
             if reply is None or reply.get("kind") not in ("result", "error"):
+                if span is not None:
+                    span.finish("error", error="connection closed")
                 raise _Retryable(
                     f"{address[0]}:{address[1]}: connection closed "
                     "before a result"
                 )
             if reply.get("kind") == "error":
+                if span is not None:
+                    span.finish("error",
+                                error=str(reply.get("reason", "")))
                 raise _Retryable(str(reply.get("reason", "replica error")))
             if reply.get("ok"):
+                if span is not None:
+                    span.finish("ok")
                 return OpResult(
                     ok=True, outcome="ok", op=op, key=key,
                     value=reply.get("value"),
@@ -179,11 +225,17 @@ class ServiceClient:
             if outcome == "denied":
                 # A quorum ran and said no; retrying cannot change it
                 # until the network does.
+                if span is not None:
+                    span.finish("denied",
+                                reason=str(reply.get("reason", "")))
                 return OpResult(
                     ok=False, outcome="denied", op=op, key=key,
                     site=reply.get("site"),
                     reason=str(reply.get("reason", "")),
                 )
+            if span is not None:
+                span.finish(outcome,
+                            reason=str(reply.get("reason", "")))
             raise _Retryable(str(reply.get("reason", outcome)))
 
         try:
@@ -194,6 +246,17 @@ class ServiceClient:
                               key=key, reason=str(exc))
         result.latency = time.monotonic() - start
         result.attempts = attempts
+        if op_span is not None:
+            result.trace = op_span.trace_id
+            finish_attrs: dict[str, Any] = {
+                "attempts": attempts,
+                "latency": round(result.latency, 6),
+            }
+            if result.site is not None:
+                finish_attrs["site"] = result.site
+            if result.reason:
+                finish_attrs["reason"] = result.reason
+            op_span.finish(result.outcome, **finish_attrs)
         return result
 
     def _next_address(self) -> Tuple[str, int]:

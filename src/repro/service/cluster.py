@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Coroutine, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError, ServiceError
+from repro.obs.dtrace.spans import JsonlSpanSink, SpanRecorder
 from repro.service.client import ServiceClient
 from repro.service.proxy import ChaosProxy, ChaosRules
 
@@ -136,6 +137,9 @@ class ClusterSpec:
         lease_s / peer_timeout / recover_interval / compact_every:
             Forwarded to every :class:`~repro.service.replica.
             ReplicaConfig`.
+        trace: Record distributed-tracing spans — every replica writes
+            ``spans.jsonl`` next to its WAL and the proxy writes
+            ``proxy.spans.jsonl`` under the cluster root.
     """
 
     directory: str
@@ -149,6 +153,7 @@ class ClusterSpec:
     peer_timeout: float = 0.6
     recover_interval: float = 0.75
     compact_every: int = 64
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -172,6 +177,7 @@ class LocalCluster:
         self.runtime = AsyncRuntime()
         self.proxy: Optional[ChaosProxy] = None
         self.rules = ChaosRules()
+        self.proxy_recorder: Optional[SpanRecorder] = None
         self._started_at = 0.0
 
     # ------------------------------------------------------------------
@@ -195,11 +201,17 @@ class LocalCluster:
                 self.proxy_ports[site] = free_port(self.spec.host)
         if self.spec.proxy:
             self.runtime.start()
+            if self.spec.trace:
+                self.proxy_recorder = SpanRecorder(
+                    JsonlSpanSink(self.root / "proxy.spans.jsonl"),
+                    proc="proxy",
+                )
             self.proxy = ChaosProxy(
                 self.spec.host,
                 {site: (self.proxy_ports[site], self.replica_ports[site])
                  for site in self.sites},
                 rules=self.rules,
+                recorder=self.proxy_recorder,
             )
             self.runtime.submit(self.proxy.start()).result(10.0)
         self._started_at = time.monotonic()
@@ -236,6 +248,8 @@ class LocalCluster:
             argv += ["--peers", peers]
         if self.spec.segments:
             argv += ["--segments", self.spec.segments]
+        if self.spec.trace:
+            argv.append("--trace")
         env = dict(os.environ)
         package_root = str(pathlib.Path(__file__).resolve().parents[2])
         existing = env.get("PYTHONPATH", "")
@@ -325,6 +339,8 @@ class LocalCluster:
             except Exception:
                 pass
         self.runtime.stop()
+        if self.proxy_recorder is not None:
+            self.proxy_recorder.close()
         self._write_control(stopped=True)
 
     # ------------------------------------------------------------------

@@ -16,6 +16,14 @@ boundaries.
 Both an asyncio reader (:func:`read_frame`) and a blocking-socket
 reader (:func:`recv_frame`) are provided so the asyncio replicas and
 the synchronous load-generator client share one encoder.
+
+Frames are extensible by construction: the payload is a JSON object
+and every reader picks the keys it knows, so new optional members ride
+along without a version bump.  The one reserved optional key is
+``"ctx"`` — distributed-tracing context (trace id, span id, Lamport
+clock; see :mod:`repro.obs.dtrace.context`).  Traced and untraced
+peers interoperate freely: an old reader ignores ``ctx``, a new reader
+treats its absence as an untraced frame.
 """
 
 from __future__ import annotations

@@ -28,6 +28,7 @@ from typing import Any, Optional, Sequence, Tuple
 
 from repro.chaos.schedule import derived_rng
 from repro.errors import ConfigurationError
+from repro.obs.dtrace.spans import MemorySpanSink, SpanRecorder
 from repro.obs.metrics import Histogram
 from repro.service.client import ServiceClient
 
@@ -54,6 +55,10 @@ class LoadSpec:
         seed: Root seed; worker ``w`` derives its RNG from
             ``(seed, "load-<w>")`` so runs are reproducible.
         timeout: Per-request client timeout.
+        trace: Record distributed-tracing spans — each worker's client
+            opens a root span per operation and the spans land in
+            :attr:`LoadResult.spans` for the collector to merge with
+            the replica-side logs.
     """
 
     duration: float = 10.0
@@ -63,6 +68,7 @@ class LoadSpec:
     think_s: float = 0.01
     seed: int = 1988
     timeout: float = 2.0
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -88,19 +94,26 @@ class LoadResult:
             latency, attempts, worker) — the registry's sidecar lines.
         violations: Consistency violations observed by the workers.
         outcomes: ``{op: {outcome: count}}`` availability table.
+        spans: Client-side trace spans (empty unless ``spec.trace``).
     """
 
     samples: list[dict[str, Any]] = field(default_factory=list)
     violations: list[dict[str, Any]] = field(default_factory=list)
     outcomes: dict[str, dict[str, int]] = field(default_factory=dict)
+    spans: list[dict[str, Any]] = field(default_factory=list)
 
-    def latencies(self) -> dict[str, Histogram]:
-        """Per-op latency histograms over the successful samples."""
-        tables: dict[str, Histogram] = {}
+    def latencies(self) -> dict[str, dict[str, Histogram]]:
+        """Per-op, per-outcome latency histograms over every sample.
+
+        A denied operation's latency is a different population from a
+        granted one's (a denial is one quorum round, an unavailability
+        the whole retry budget), so blending them into one series hid
+        both; each outcome gets its own histogram.
+        """
+        tables: dict[str, dict[str, Histogram]] = {}
         for sample in self.samples:
-            if sample["outcome"] != "ok":
-                continue
-            tables.setdefault(sample["op"], Histogram()).observe(
+            per_op = tables.setdefault(sample["op"], {})
+            per_op.setdefault(sample["outcome"], Histogram()).observe(
                 sample["latency"])
         return tables
 
@@ -122,8 +135,11 @@ class LoadResult:
             "operations": len(self.samples),
             "violations": list(self.violations),
             "availability": self.availability(),
-            "latency": {op: hist.to_dict()
-                        for op, hist in sorted(self.latencies().items())},
+            "latency": {
+                op: {outcome: hist.to_dict()
+                     for outcome, hist in sorted(outcomes.items())}
+                for op, outcomes in sorted(self.latencies().items())
+            },
         }
 
 
@@ -137,9 +153,15 @@ class _Worker:
         self.stop = stop
         self.started = started
         self.rng = derived_rng(spec.seed, f"load-{index}")
+        self.recorder: Optional[SpanRecorder] = None
+        if spec.trace:
+            self.recorder = SpanRecorder(
+                MemorySpanSink(), proc=f"client-{index}",
+                rng=derived_rng(spec.seed, f"trace-{index}"))
         self.client = ServiceClient(addresses, timeout=spec.timeout,
                                     rng=derived_rng(spec.seed,
-                                                    f"client-{index}"))
+                                                    f"client-{index}"),
+                                    recorder=self.recorder)
         self.keys = [f"w{index}.k{slot}"
                      for slot in range(spec.keys_per_worker)]
         # Per key: every value ever issued (in order) and the position
@@ -165,7 +187,7 @@ class _Worker:
 
     # ------------------------------------------------------------------
     def _record(self, result: Any, key: str) -> None:
-        self.samples.append({
+        sample = {
             "t": round(time.monotonic() - self.started, 4),
             "worker": self.index,
             "op": result.op,
@@ -174,7 +196,10 @@ class _Worker:
             "latency": round(result.latency, 6),
             "attempts": result.attempts,
             "site": result.site,
-        })
+        }
+        if getattr(result, "trace", None):
+            sample["trace"] = result.trace
+        self.samples.append(sample)
 
     def _put(self, key: str) -> None:
         self.serial += 1
@@ -194,28 +219,33 @@ class _Worker:
             return
         floor = self.acked.get(key, -1)
         value = result.value
+        trace = getattr(result, "trace", None)
         if value is None:
             if floor >= 0:
-                self._flag(key, value, floor)
+                self._flag(key, value, floor, trace)
             return
         try:
             position = self.issued[key].index(value)
         except ValueError:
-            self._flag(key, value, floor)
+            self._flag(key, value, floor, trace)
             return
         if position < floor:
-            self._flag(key, value, floor)
+            self._flag(key, value, floor, trace)
 
-    def _flag(self, key: str, value: Any, floor: int) -> None:
+    def _flag(self, key: str, value: Any, floor: int,
+              trace: Optional[str] = None) -> None:
         expected = self.issued[key][floor] if floor >= 0 else None
-        self.violations.append({
+        violation = {
             "invariant": "stale-read",
             "worker": self.index,
             "key": key,
             "read": value,
             "newest_acked": expected,
             "t": round(time.monotonic() - self.started, 4),
-        })
+        }
+        if trace:
+            violation["trace"] = trace
+        self.violations.append(violation)
 
 
 def run_load(
@@ -249,6 +279,10 @@ def run_load(
     for worker in workers:
         result.samples.extend(worker.samples)
         result.violations.extend(worker.violations)
+        if worker.recorder is not None:
+            sink = worker.recorder.sink
+            if isinstance(sink, MemorySpanSink):
+                result.spans.extend(sink.records)
         for sample in worker.samples:
             per_op = result.outcomes.setdefault(sample["op"], {})
             per_op[sample["outcome"]] = \

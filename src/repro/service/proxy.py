@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import Iterable, Mapping, Optional, Tuple
+from typing import Any, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.dtrace.context import ctx_from_frame
+from repro.obs.dtrace.spans import SpanRecorder
 from repro.service.frames import FrameError, encode_frame, read_frame
 
 __all__ = [
@@ -43,6 +45,11 @@ class ChaosRules:
         delay_rate: Probability a frame is held back.
         delay_s: How long a delayed frame is held.
         rng: Seeded source for the drop/delay coins.
+        window: Monotonic fault-window counter — bumped every time the
+            live-fault driver mutates these rules, so a traced frame
+            verdict can name the injected fault that caused it
+            ("dropped by fault window #4").
+        last_fault: The fault event that opened the current window.
     """
 
     def __init__(
@@ -62,7 +69,17 @@ class ChaosRules:
         self.delay_rate = delay_rate
         self.delay_s = delay_s
         self.rng = rng or random.Random()
+        self.window = 0
+        self.last_fault: Optional[dict[str, Any]] = None
         self._blocks: Optional[tuple[frozenset[int], ...]] = None
+
+    def note_fault(self, description: Optional[dict[str, Any]] = None,
+                   ) -> int:
+        """Open a new fault window; returns its number."""
+        self.window += 1
+        self.last_fault = dict(description or {},
+                               window=self.window)
+        return self.window
 
     # ------------------------------------------------------------------
     @property
@@ -93,15 +110,27 @@ class ChaosRules:
 
     def verdict(self, src: Optional[int], dst: Optional[int]) -> str:
         """``"drop"``, ``"delay"`` or ``"pass"`` for one frame."""
+        return self.decide(src, dst)[0]
+
+    def decide(
+        self, src: Optional[int], dst: Optional[int],
+    ) -> tuple[str, str]:
+        """The verdict plus its cause: ``("drop", "partition")``,
+        ``("drop", "coin")``, ``("delay", "coin")`` or ``("pass", "")``.
+
+        One call consumes at most the coins the verdict needed, so a
+        traced proxy makes exactly the same decisions as an untraced
+        one under the same seed.
+        """
         if self.severed(src, dst):
-            return "drop"
+            return "drop", "partition"
         if src is None or dst is None:
-            return "pass"  # message-level chaos targets peer traffic
+            return "pass", ""  # message-level chaos targets peer traffic
         if self.drop_rate and self.rng.random() < self.drop_rate:
-            return "drop"
+            return "drop", "coin"
         if self.delay_rate and self.rng.random() < self.delay_rate:
-            return "delay"
-        return "pass"
+            return "delay", "coin"
+        return "pass", ""
 
 
 class ChaosProxy:
@@ -113,6 +142,10 @@ class ChaosProxy:
             listen port lets the OS pick (read it back from
             :meth:`listen_port`).
         rules: The mutable fault configuration.
+        recorder: Optional span recorder — a drop/delay verdict on a
+            frame carrying trace context then becomes a span in that
+            frame's trace, annotated with the fault window that caused
+            it.  Untraced frames and ``pass`` verdicts record nothing.
     """
 
     def __init__(
@@ -120,6 +153,7 @@ class ChaosProxy:
         host: str,
         routes: Mapping[int, Tuple[int, int]],
         rules: Optional[ChaosRules] = None,
+        recorder: Optional[SpanRecorder] = None,
     ):
         if not routes:
             raise ConfigurationError("proxy needs at least one route")
@@ -127,6 +161,7 @@ class ChaosProxy:
         self.routes = {int(site): (int(listen), int(upstream))
                        for site, (listen, upstream) in routes.items()}
         self.rules = rules or ChaosRules()
+        self.recorder = recorder
         self.forwarded = 0
         self.dropped = 0
         self.delayed = 0
@@ -155,6 +190,40 @@ class ChaosProxy:
         return int(server.sockets[0].getsockname()[1])
 
     # ------------------------------------------------------------------
+    def _annotate(
+        self,
+        message: Mapping[str, Any],
+        action: str,
+        cause: str,
+        src: Optional[int],
+        dst: Optional[int],
+        finished: bool = True,
+    ) -> Optional[Any]:
+        """Record one chaos verdict as a span in the frame's trace.
+
+        Only frames carrying trace context can be blamed — the span
+        becomes a child of whatever span sent the frame, annotated
+        with the fault window in force, which is how a merged trace
+        names the injected fault behind a dropped RPC.
+        """
+        if self.recorder is None:
+            return None
+        ctx = ctx_from_frame(message)
+        if ctx is None:
+            return None
+        span = self.recorder.span(
+            f"proxy.{action}", ctx=ctx,
+            kind=str(message.get("kind")), src=src, dst=dst,
+            cause=cause)
+        if self.rules.window:
+            span.annotate(window=self.rules.window)
+        if cause == "partition" and self.rules.last_fault is not None:
+            span.annotate(fault=dict(self.rules.last_fault))
+        if finished:
+            span.finish("dropped" if action == "drop" else "delayed")
+            return None
+        return span
+
     def _acceptor(self, site: int):
         async def handle(reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
@@ -210,13 +279,18 @@ class ChaosProxy:
                 src, dst = identity["src"], site
             else:
                 src, dst = site, identity["src"]
-            action = self.rules.verdict(src, dst)
+            action, cause = self.rules.decide(src, dst)
             if action == "drop":
                 self.dropped += 1
+                self._annotate(message, "drop", cause, src, dst)
                 continue
             if action == "delay":
                 self.delayed += 1
+                span = self._annotate(message, "delay", cause,
+                                      src, dst, finished=False)
                 await asyncio.sleep(self.rules.delay_s)
+                if span is not None:
+                    span.finish("delayed")
             self.forwarded += 1
             try:
                 writer.write(encode_frame(message))

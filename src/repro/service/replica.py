@@ -40,6 +40,9 @@ from repro.errors import (
     ServiceError,
     WALCorruptionError,
 )
+from repro.obs.dtrace.context import CTX_FIELD, ctx_from_frame
+from repro.obs.dtrace.spans import SPAN_LOG_NAME, JsonlSpanSink, Span, \
+    SpanRecorder
 from repro.service.frames import FrameError, encode_frame, read_frame
 from repro.service.quorum import evaluate_round, plan_commit
 from repro.service.store import DurableReplica, commit_body
@@ -57,6 +60,17 @@ RECOVERY_MARKER = "recovery.json"
 #: Pacing for contended coordinator rounds (lease collisions).
 _ROUND_RETRY = BackoffPolicy(base=0.02, factor=2.0, max_delay=0.25,
                              jitter=1.0, max_attempts=6)
+
+
+def _response_status(response: Mapping[str, Any]) -> str:
+    """Span status for a reply frame: the outcome the sender sees."""
+    kind = response.get("kind")
+    if kind == "result":
+        return "ok" if response.get("ok") \
+            else str(response.get("outcome", "error"))
+    if kind in ("busy", "stale", "error"):
+        return str(kind)
+    return "ok"
 
 
 @dataclass(frozen=True)
@@ -79,6 +93,8 @@ class ReplicaConfig:
         peer_timeout: Per-peer round-trip budget; a peer that misses it
             is treated as unreachable this round.
         recover_interval: Cadence of the RECOVER / anti-entropy loop.
+        trace: Record distributed-tracing spans to ``spans.jsonl``
+            next to the WAL (zero-cost when off, the default).
     """
 
     site_id: int
@@ -93,6 +109,7 @@ class ReplicaConfig:
     lease_s: float = 2.0
     peer_timeout: float = 1.0
     recover_interval: float = 1.0
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.policy not in available_policies():
@@ -120,6 +137,7 @@ class ReplicaServer:
         self.site_id = config.site_id
         self.store: Optional[DurableReplica] = None
         self.recovery_info: Optional[dict[str, Any]] = None
+        self.recorder: Optional[SpanRecorder] = None
         self.counters: dict[str, int] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._recover_task: Optional[asyncio.Task] = None
@@ -148,6 +166,12 @@ class ReplicaServer:
         self.recovery_info["had_state"] = had_state
         self.recovery_info["reinserted"] = False
         self._write_recovery_marker()
+        if self.config.trace:
+            # Append-only, next to the WAL: a restart extends the log.
+            self.recorder = SpanRecorder(
+                JsonlSpanSink(self.store.directory / SPAN_LOG_NAME),
+                proc=f"site-{self.site_id}",
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
         )
@@ -179,6 +203,9 @@ class ReplicaServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.recorder is not None:
+            self.recorder.close()
+            self.recorder = None
         if self.store is not None:
             self.store.close()
         self._stopped.set()
@@ -218,6 +245,41 @@ class ReplicaServer:
                 pass
 
     async def _dispatch(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        span = self._handler_span(message)
+        response = await self._dispatch_message(message, span)
+        if span is not None:
+            # Echo context so the sender can fold this clock back in.
+            response[CTX_FIELD] = span.sent()
+            span.finish(_response_status(response))
+        return response
+
+    def _handler_span(self,
+                      message: Mapping[str, Any]) -> Optional[Span]:
+        """A span for one incoming frame, or ``None`` when untraced.
+
+        Client operations always get a span (a traced replica serving
+        an old, untraced client still records its side); peer frames
+        only when they carry context — an orphan peer span with no
+        parent would never join a trace tree.
+        """
+        if self.recorder is None:
+            return None
+        kind = message.get("kind")
+        ctx = ctx_from_frame(message)
+        if kind in ("get", "put") or (
+                ctx is not None and kind in
+                ("state?", "commit", "release", "fetch")):
+            span = self.recorder.span(f"replica.{kind}", ctx=ctx,
+                                      site=self.site_id)
+            key = message.get("key")
+            if key is not None:
+                span.annotate(key=str(key))
+            return span
+        return None
+
+    async def _dispatch_message(
+        self, message: Mapping[str, Any], span: Optional[Span] = None,
+    ) -> dict[str, Any]:
         kind = message.get("kind")
         try:
             if kind == "ping":
@@ -233,7 +295,7 @@ class ReplicaServer:
             if kind == "info":
                 return self._on_info()
             if kind in ("get", "put"):
-                return await self._on_client_op(message)
+                return await self._on_client_op(message, span)
             return {"kind": "error", "reason": f"unknown kind {kind!r}"}
         except (ProtocolError, WALCorruptionError, ServiceError,
                 ConfigurationError) as exc:
@@ -341,13 +403,38 @@ class ReplicaServer:
     # ------------------------------------------------------------------
     async def _call_peer(
         self, site: int, message: dict[str, Any],
+        parent: Optional[Span] = None,
     ) -> Optional[dict[str, Any]]:
         """One request-response to *site*; ``None`` on any failure.
 
         A request to the replica's own site never touches the network:
         partitioning a site away from itself is not a thing.
+
+        With a *parent* span (and tracing on), the request gets an
+        ``rpc.<kind>`` child span whose context rides the frame — the
+        receiving replica's handler span, and any chaos-proxy verdict
+        on the way, become its children in the merged trace.
         """
         message = dict(message, **{"from": self.site_id})
+        rpc = None
+        if self.recorder is not None and parent is not None:
+            rpc = self.recorder.span(f"rpc.{message.get('kind')}",
+                                     parent=parent, site=site)
+            message[CTX_FIELD] = rpc.sent(site=site)
+        reply = await self._send_peer(site, message)
+        if rpc is not None:
+            if reply is None:
+                rpc.finish("timeout")
+            else:
+                remote = ctx_from_frame(reply)
+                if remote is not None:
+                    rpc.received(remote[2], site=site)
+                rpc.finish(_response_status(reply))
+        return reply
+
+    async def _send_peer(
+        self, site: int, message: dict[str, Any],
+    ) -> Optional[dict[str, Any]]:
         if site == self.site_id:
             return await self._dispatch(message)
         address = self.config.peers.get(site)
@@ -372,10 +459,12 @@ class ReplicaServer:
 
     async def _broadcast(
         self, sites: frozenset[int], message: dict[str, Any],
+        parent: Optional[Span] = None,
     ) -> dict[int, Optional[dict[str, Any]]]:
         ordered = sorted(sites)
         replies = await asyncio.gather(
-            *(self._call_peer(site, dict(message)) for site in ordered)
+            *(self._call_peer(site, dict(message), parent)
+              for site in ordered)
         )
         return dict(zip(ordered, replies))
 
@@ -383,7 +472,7 @@ class ReplicaServer:
     # coordinator
     # ------------------------------------------------------------------
     async def _on_client_op(
-        self, message: Mapping[str, Any],
+        self, message: Mapping[str, Any], span: Optional[Span] = None,
     ) -> dict[str, Any]:
         op = str(message["kind"])
         key = message.get("key")
@@ -391,17 +480,18 @@ class ReplicaServer:
             return {"kind": "error", "reason": f"{op} needs a key"}
         value = message.get("value")
         async with self._coord_lock:
-            return await self._coordinate(op, str(key), value)
+            return await self._coordinate(op, str(key), value, span)
 
     async def _coordinate(
         self, op: str, key: str, value: Any,
+        span: Optional[Span] = None,
     ) -> dict[str, Any]:
         """Run quorum rounds for one client operation until decided."""
         assert self.store is not None
         self._count(f"rounds.{op}")
         delays = _ROUND_RETRY.delays(self._rng)
         while True:
-            outcome = await self._one_round(op, key, value)
+            outcome = await self._one_round(op, key, value, span)
             if outcome is not None:
                 return outcome
             delay = next(delays, None)
@@ -414,29 +504,61 @@ class ReplicaServer:
 
     async def _one_round(
         self, op: str, key: str, value: Any,
+        span: Optional[Span] = None,
     ) -> Optional[dict[str, Any]]:
         """One state-collection + quorum + commit attempt.
 
         Returns a client response, or ``None`` when the round hit lease
         contention and should be retried after a jittered pause.
+
+        Traced, the round is one ``quorum.round`` span under the
+        client-op span: which sites answered the state collection,
+        what the paper's quorum test said and why, and who acked the
+        commit all land on it as events, with one ``rpc.*`` child per
+        peer exchange.
         """
-        states, values, busy, _ = await self._collect_states(key)
+        round_span = None
+        if self.recorder is not None and span is not None:
+            round_span = self.recorder.span(
+                "quorum.round", parent=span, op=op,
+                policy=self.config.policy, coordinator=self.site_id)
+        states, values, busy, _ = await self._collect_states(
+            key, round_span)
+        if round_span is not None:
+            round_span.event(
+                "state.collect",
+                responders=sorted(states),
+                silent=sorted(self.config.copy_sites
+                              - frozenset(states)),
+                busy=busy)
         if busy:
             await self._release_leases(frozenset(states) - {self.site_id})
+            if round_span is not None:
+                round_span.finish("busy")
             return None
         verdict, replica_set, protocol = evaluate_round(
             self.config.policy, states, self.config.copy_sites,
             self.config.segments,
         )
+        if round_span is not None:
+            round_span.event(
+                "quorum.evaluate", granted=verdict.granted,
+                reason=verdict.reason,
+                current=sorted(verdict.current),
+                newest=sorted(verdict.newest))
         if not verdict.granted:
             await self._release_leases(frozenset(states) - {self.site_id})
             self._count("denied")
+            if round_span is not None:
+                round_span.finish("denied", reason=verdict.reason)
             return {"kind": "result", "ok": False, "op": op,
                     "outcome": "denied", "reason": verdict.reason}
         if op == "get" and protocol is not None \
                 and not protocol.commits_on_read:
             # Static protocols read without adjusting the quorum.
             await self._release_leases(frozenset(states) - {self.site_id})
+            if round_span is not None:
+                round_span.finish("ok")
             return self._read_result(verdict, values)
         kind = "write" if op == "put" else "read"
         plan = plan_commit(verdict, replica_set, kind)
@@ -446,7 +568,8 @@ class ReplicaServer:
             writes=writes, coordinator=self.site_id,
         )
         acks = await self._broadcast(
-            plan.partition_set, {"kind": "commit", "entry": entry})
+            plan.partition_set, {"kind": "commit", "entry": entry},
+            round_span)
         self._last_entry = dict(entry)
         await self._release_leases(
             frozenset(states) - plan.partition_set - {self.site_id})
@@ -454,10 +577,19 @@ class ReplicaServer:
             site for site, reply in acks.items()
             if reply is not None and reply.get("kind") == "ok"
         )
+        if round_span is not None:
+            round_span.event(
+                "commit.broadcast",
+                partition_set=sorted(plan.partition_set),
+                acked=sorted(committed),
+                operation=plan.operation)
         if 2 * len(committed) <= len(plan.partition_set):
             # The commit may or may not survive the next quorum round;
             # the client must treat the operation as unresolved.
             self._count("commit.minority")
+            if round_span is not None:
+                round_span.finish("unavailable",
+                                  reason="minority commit")
             return {"kind": "result", "ok": False, "op": op,
                     "outcome": "unavailable",
                     "reason": (
@@ -466,6 +598,8 @@ class ReplicaServer:
                         f"{sorted(plan.partition_set)})"
                     )}
         self._count(f"granted.{op}")
+        if round_span is not None:
+            round_span.finish("ok")
         if op == "get":
             return self._read_result(verdict, values)
         return {"kind": "result", "ok": True, "op": op,
@@ -482,7 +616,7 @@ class ReplicaServer:
                 "site": self.site_id, "source": source}
 
     async def _collect_states(
-        self, key: Optional[str],
+        self, key: Optional[str], span: Optional[Span] = None,
     ) -> tuple[dict[int, tuple[int, int, frozenset[int]]],
                dict[Any, Any], bool,
                dict[int, dict[str, Any]]]:
@@ -497,7 +631,8 @@ class ReplicaServer:
         message: dict[str, Any] = {"kind": "state?"}
         if key is not None:
             message["key"] = key
-        raw = await self._broadcast(self.config.copy_sites, message)
+        raw = await self._broadcast(self.config.copy_sites, message,
+                                    span)
         states: dict[int, tuple[int, int, frozenset[int]]] = {}
         values: dict[Any, Any] = {}
         replies: dict[int, dict[str, Any]] = {}
@@ -555,36 +690,60 @@ class ReplicaServer:
 
     async def _recover_round(self) -> None:
         assert self.store is not None
-        states, _, busy, replies = await self._collect_states(None)
+        span = None
+        if self.recorder is not None:
+            # Recovery rounds are self-caused: each gets a root trace.
+            span = self.recorder.span("recover.round",
+                                      site=self.site_id,
+                                      policy=self.config.policy)
+        status = "current"
+        try:
+            status = await self._recover_once(span)
+        finally:
+            if span is not None:
+                span.finish(status)
+
+    async def _recover_once(self, span: Optional[Span]) -> str:
+        """One recover/anti-entropy round; returns its span status."""
+        assert self.store is not None
+        states, _, busy, replies = await self._collect_states(None, span)
+        if span is not None:
+            span.event("state.collect", responders=sorted(states),
+                       busy=busy)
         if busy:
             await self._release_leases(frozenset(states) - {self.site_id})
-            return
+            return "busy"
         if await self._maybe_rollback(replies):
             await self._release_leases(frozenset(states) - {self.site_id})
-            return
+            return "rollback"
         verdict, replica_set, _ = evaluate_round(
             self.config.policy, states, self.config.copy_sites,
             self.config.segments,
         )
+        if span is not None:
+            span.event("quorum.evaluate", granted=verdict.granted,
+                       reason=verdict.reason,
+                       current=sorted(verdict.current))
         others = frozenset(states) - {self.site_id}
         if not verdict.granted:
             await self._release_leases(others)
-            await self._maybe_repair(states)
-            return
+            await self._maybe_repair(states, span)
+            return "denied"
         if self.site_id in verdict.current:
             await self._release_leases(others)
             if self.recovery_info is not None \
                     and not self.recovery_info.get("reinserted"):
                 self.recovery_info["reinserted"] = True
                 self._write_recovery_marker()
-            return
+            return "current"
         # Stale: reinsert with a data copy from the newest anchor.
         plan = plan_commit(verdict, replica_set, "recover",
                            recovering_site=self.site_id)
-        fetched = await self._call_peer(plan.anchor, {"kind": "fetch"})
+        fetched = await self._call_peer(plan.anchor, {"kind": "fetch"},
+                                        span)
         if fetched is None or fetched.get("kind") != "data":
             await self._release_leases(others)
-            return
+            return "fetch-failed"
         base_entry = self.store.make_entry(
             "recover", plan.operation, plan.version, plan.partition_set,
             coordinator=self.site_id,
@@ -595,7 +754,7 @@ class ReplicaServer:
             if site == self.site_id:
                 entry["data"] = dict(fetched["data"])
             acks[site] = await self._call_peer(
-                site, {"kind": "commit", "entry": entry})
+                site, {"kind": "commit", "entry": entry}, span)
         await self._release_leases(others - plan.partition_set)
         if (acks.get(self.site_id) or {}).get("kind") == "ok":
             self._count("recovered")
@@ -604,6 +763,8 @@ class ReplicaServer:
                 self.recovery_info["reinserted_operation"] = \
                     self.store.state.operation
                 self._write_recovery_marker()
+            return "reinserted"
+        return "reinsert-failed"
 
     async def _maybe_rollback(
         self, replies: Mapping[int, Mapping[str, Any]],
@@ -664,7 +825,8 @@ class ReplicaServer:
             return True
         return False
 
-    async def _maybe_repair(self, states: Mapping[int, tuple]) -> None:
+    async def _maybe_repair(self, states: Mapping[int, tuple],
+                            span: Optional[Span] = None) -> None:
         """Re-broadcast an orphaned commit (crashed coordinator repair).
 
         Only the max-``o`` holder repairs, only when it can reach a
@@ -699,7 +861,11 @@ class ReplicaServer:
             coordinator=self.site_id,
         )
         entry["writes_digest"] = latest["writes_digest"]
-        await self._broadcast(behind, {"kind": "commit", "entry": entry})
+        if span is not None:
+            span.event("commit.repair", behind=sorted(behind),
+                       operation=my_operation)
+        await self._broadcast(behind, {"kind": "commit", "entry": entry},
+                              span)
         self._count("repairs")
 
 

@@ -76,3 +76,67 @@ class TestRenderReport:
         text = path.read_text()
         assert "smoke" in text
         assert "http" not in text
+
+
+class TestServiceTraceSection:
+    def _record(self, tmp_path, with_traces=True):
+        import json
+
+        registry = RunRegistry(tmp_path / "runs")
+        document = {
+            "format": "repro-service-bench", "version": 2, "seed": 7,
+            "duration": 1.0, "replicas": 3, "workers": 1,
+            "write_ratio": 0.5, "fsync": "never",
+            "policies": {"ODV": {
+                "policy": "ODV", "ok": True, "violations": [],
+                "recovered": True,
+                "latency": {"put": {
+                    "ok": {"count": 3, "p50": 0.01, "p95": 0.02,
+                           "p99": 0.02, "mean": 0.012,
+                           "min": 0.01, "max": 0.02},
+                    "denied": {"count": 1, "p50": 0.05, "p95": 0.05,
+                               "p99": 0.05, "mean": 0.05,
+                               "min": 0.05, "max": 0.05},
+                }},
+                "traces": {"spans": 2, "traces": 1, "sampled": 1,
+                           "exemplars": [{
+                               "trace": "f" * 16, "name": "client.put",
+                               "key": "w0:k0", "outcome": "denied",
+                               "duration": 0.02, "spans": 2,
+                               "procs": ["client-0", "site-1"],
+                               "fault_windows": [4], "violations": []}]},
+            }},
+            "ok": True,
+            "totals": {"operations": 4, "violations": 0,
+                       "kills": 0, "partitions": 0},
+        }
+        spans = [
+            {"trace": "f" * 16, "span": "aaaaaaaa", "parent": None,
+             "proc": "client-0", "name": "client.put", "start": 0.0,
+             "dur": 0.02, "lc": [1, 9], "status": "denied"},
+            {"trace": "f" * 16, "span": "bbbbbbbb",
+             "parent": "aaaaaaaa", "proc": "site-1",
+             "name": "replica.put", "start": 0.002, "dur": 0.01,
+             "lc": [3, 7], "status": "denied",
+             "attrs": {"window": 4}},
+        ]
+        blob = "".join(json.dumps(s) + "\n" for s in spans).encode()
+        return registry.record_service(
+            document, traces=blob if with_traces else None)
+
+    def test_latency_table_splits_outcomes(self, tmp_path):
+        html = render_report([self._record(tmp_path)])
+        assert "denied" in html
+        assert "outcome" in html
+
+    def test_exemplars_and_waterfalls_render(self, tmp_path):
+        html = render_report([self._record(tmp_path)])
+        assert "client.put" in html
+        assert "fault window" in html or "fault_windows" in html \
+            or "#4" in html
+        assert "<svg" in html
+
+    def test_report_survives_a_missing_sidecar(self, tmp_path):
+        html = render_report([self._record(tmp_path, with_traces=False)])
+        assert "client.put" in html  # exemplar table from the document
+        assert "<svg" not in html

@@ -279,6 +279,21 @@ class TestPrometheusExport:
         assert "serve_latency_seconds_sum 1" in text
         assert "serve_latency_seconds_count 4" in text
         assert text.endswith("\n")
+        # Every family carries a HELP line, emitted before its TYPE.
+        for family in ("serve_requests_total", "live_proc_rss_bytes",
+                       "serve_latency_seconds"):
+            assert f"# HELP {family} " in text
+            assert text.index(f"# HELP {family}") \
+                < text.index(f"# TYPE {family}")
+
+    def test_help_text_override_and_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc()
+        text = render_prometheus(
+            registry,
+            help_text={"serve.requests": 'requests\nwith "quotes"'})
+        assert ('# HELP serve_requests_total requests\\nwith "quotes"'
+                in text)
 
     def test_label_values_are_escaped_and_names_sanitised(self):
         registry = MetricsRegistry()

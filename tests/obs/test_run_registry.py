@@ -326,14 +326,31 @@ class TestServiceRuns:
         again = registry.record_service(_service_document())
         assert again.run_id == with_samples.run_id
 
+    def test_traces_sidecar_round_trips(self, registry):
+        span = b'{"trace": "a" * 16, "span": "b", "proc": "site-1"}\n'
+        record = registry.record_service(_service_document(),
+                                         samples=b'{"op": "get"}\n',
+                                         traces=span)
+        sidecar = registry.traces_path(record.run_id)
+        assert sidecar.parent == registry.root / ".traces"
+        assert sidecar.read_bytes() == span
+        # Like samples, traces sit outside the run identity.
+        again = registry.record_service(_service_document())
+        assert again.run_id == record.run_id
+
     def test_gc_prunes_orphaned_sidecars_and_keeps_live_ones(self, registry):
         doomed = registry.record_service(_service_document(seed=1),
-                                         samples=b"old\n")
+                                         samples=b"old\n",
+                                         traces=b"old-trace\n")
         kept = registry.record_service(_service_document(seed=2),
-                                       samples=b"new\n")
+                                       samples=b"new\n",
+                                       traces=b"new-trace\n")
         registry.gc(keep_last=1)
         assert not registry.samples_path(doomed.run_id).exists()
+        assert not registry.traces_path(doomed.run_id).exists()
         assert registry.samples_path(kept.run_id).read_bytes() == b"new\n"
+        assert registry.traces_path(kept.run_id).read_bytes() \
+            == b"new-trace\n"
 
     def test_gc_dry_run_leaves_sidecars_alone(self, registry):
         record = registry.record_service(_service_document(),

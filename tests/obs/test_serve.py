@@ -381,3 +381,75 @@ class TestQueryCards:
         assert card["git_sha"] == "cafe"
         assert "policy=DV" in card["caption"]
         assert caption({}) == ""
+
+
+def _traced_service_run(registry, with_sidecar=True):
+    document = {
+        "format": "repro-service-bench", "version": 2, "seed": 7,
+        "duration": 1.0, "replicas": 3, "workers": 1,
+        "write_ratio": 0.5, "fsync": "never",
+        "policies": {"ODV": {"policy": "ODV", "ok": True,
+                             "violations": [], "recovered": True}},
+        "ok": True,
+        "totals": {"operations": 2, "violations": 0,
+                   "kills": 0, "partitions": 0},
+    }
+    spans = [
+        {"trace": "f" * 16, "span": "aaaaaaaa", "parent": None,
+         "proc": "client-0", "name": "client.put", "start": 0.0,
+         "dur": 0.02, "lc": [1, 9], "status": "denied",
+         "events": [{"name": "send", "lc": 2, "t": 0.001}]},
+        {"trace": "f" * 16, "span": "bbbbbbbb", "parent": "aaaaaaaa",
+         "proc": "site-1", "name": "replica.put", "start": 0.002,
+         "dur": 0.01, "lc": [3, 7], "status": "denied",
+         "attrs": {"window": 4}},
+    ]
+    blob = "".join(json.dumps(span) + "\n" for span in spans).encode()
+    return registry.record_service(
+        document, traces=blob if with_sidecar else None)
+
+
+class TestTracePages:
+    def test_traces_page_renders_waterfalls(self, registry):
+        record = _traced_service_run(registry)
+        client = Client(create_app(str(registry.root)))
+        response = client.get(f"/runs/{record.run_id}/traces")
+        assert response.code == 200
+        assert "client.put" in response.text
+        assert "replica.put" in response.text
+        assert "<svg" in response.text
+        assert "fault window #4" in response.text
+        # The run page links to its traces.
+        page = client.get(f"/runs/{record.run_id}")
+        assert f"/runs/{record.run_id}/traces" in page.text
+
+    def test_traces_page_without_sidecar_explains(self, registry):
+        record = _traced_service_run(registry, with_sidecar=False)
+        client = Client(create_app(str(registry.root)))
+        response = client.get(f"/runs/{record.run_id}/traces")
+        assert response.code == 200
+        assert "no trace" in response.text
+        page = client.get(f"/runs/{record.run_id}")
+        assert f"/runs/{record.run_id}/traces" not in page.text
+
+    def test_api_traces_envelope_and_304(self, registry):
+        record = _traced_service_run(registry)
+        client = Client(create_app(str(registry.root)))
+        response = client.get(f"/api/runs/{record.run_id}/traces")
+        assert response.code == 200
+        doc = response.json()
+        assert doc["run"] == record.run_id
+        assert doc["count"] == 1
+        (summary,) = doc["traces"]
+        assert summary["trace"] == "f" * 16
+        assert summary["outcome"] == "denied"
+        assert summary["fault_windows"] == [4]
+        assert summary["violations"] == []
+        etag = response.headers["ETag"]
+        again = client.get(f"/api/runs/{record.run_id}/traces",
+                           headers={"If-None-Match": etag})
+        assert again.code == 304
+
+    def test_traces_of_unknown_run_is_404(self, client):
+        assert client.get("/runs/zzzzzz/traces").code == 404
+        assert client.get("/api/runs/zzzzzz/traces").code == 404

@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.obs.dtrace import build_traces, causal_violations, text_waterfall
 from repro.obs.registry import RunRegistry
 from repro.service.bench import BenchOptions, run_bench
 from repro.service.cluster import load_control, parse_segments
@@ -46,7 +47,7 @@ class TestBenchOptions:
 
 
 class TestBenchEndToEnd:
-    def test_chaos_bench_survives_and_records(self, tmp_path):
+    def test_chaos_bench_survives_and_records(self, tmp_path, capsys):
         options = BenchOptions(
             directory=str(tmp_path / "cluster"),
             policies=("ODV",),
@@ -56,10 +57,12 @@ class TestBenchEndToEnd:
             workers=2,
             fsync="never",
             schedule_length=12,
+            trace=True,
         )
-        document, samples = run_bench(options)
+        document, samples, traces = run_bench(options)
 
         assert document["format"] == "repro-service-bench"
+        assert document["version"] == 2
         assert document["seed"] == 11
         assert document["replicas"] == 3
         assert document["ok"] is True
@@ -96,9 +99,51 @@ class TestBenchEndToEnd:
         assert control["stopped"] is True
         assert set(control["sites"]) == {"1", "2", "3"}
 
+        # Tracing was on: the bench sampled exemplar traces and every
+        # span in the sidecar merges into a causally consistent tree.
+        tsum = policy_doc["traces"]
+        assert tsum["spans"] > 0
+        assert tsum["traces"] > 0
+        assert tsum["sampled"] >= 1
+        records = [json.loads(line)
+                   for line in traces.decode().splitlines()]
+        assert all(record["policy"] == "ODV" for record in records)
+        merged = build_traces(records)
+        assert merged
+        for trace in merged.values():
+            assert causal_violations(trace) == []
+
+        # Acceptance: a denied/unavailable op's waterfall decomposes
+        # into its round anatomy — which replicas were contacted and
+        # which injected fault window got in the way.
+        refused = [e for e in tsum["exemplars"]
+                   if e["outcome"] in ("denied", "unavailable")]
+        assert refused, "chaos bench produced no denied/unavailable trace"
+        refused_text = text_waterfall(merged[refused[0]["trace"]])
+        assert "client." in refused_text
+        assert "site-" in refused_text
+        faulty = [e for e in tsum["exemplars"] if e["fault_windows"]]
+        assert faulty, "no exemplar trace crossed an injected fault"
+        faulty_text = text_waterfall(merged[faulty[0]["trace"]])
+        assert "fault window #" in faulty_text
+
         # And the registry round-trips the whole thing.
         registry = RunRegistry(tmp_path / "runs")
-        record = registry.record_service(document, samples=samples)
+        record = registry.record_service(document, samples=samples,
+                                         traces=traces)
         assert record.kind == "service"
         assert record.summary["ok"] is True
         assert registry.samples_path(record.run_id).read_bytes() == samples
+        assert registry.traces_path(record.run_id).read_bytes() == traces
+
+        # The CLI renders the recorded run's waterfalls from the
+        # sidecar alone.
+        from repro.cli import main as cli_main
+
+        capsys.readouterr()
+        code = cli_main(["service", "trace", "latest",
+                         "--runs-dir", str(tmp_path / "runs")])
+        shown = capsys.readouterr().out
+        assert code == 0
+        assert "trace " in shown
+        assert "site-" in shown

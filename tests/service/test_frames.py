@@ -81,6 +81,57 @@ class TestAsyncRead:
             _read(struct.pack(">I", len(payload)) + payload)
 
 
+class TestContextCompat:
+    """Frames with and without the optional ``ctx`` key interoperate.
+
+    The tracing context rides as an extra payload member; these tests
+    pin the compatibility contract: an old reader passes the key
+    through untouched, a new reader treats its absence as untraced,
+    and no version bump is needed in either direction.
+    """
+
+    CTX = {"trace": "a" * 16, "span": "b" * 8, "lc": 7}
+
+    def test_frame_with_ctx_round_trips(self):
+        message = {"kind": "get", "key": "k", "ctx": dict(self.CTX)}
+        assert _read(encode_frame(message)) == message
+
+    def test_frame_without_ctx_round_trips(self):
+        message = {"kind": "get", "key": "k"}
+        decoded = _read(encode_frame(message))
+        assert decoded == message
+        assert "ctx" not in decoded
+
+    def test_ctx_survives_blocking_sockets(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"kind": "put", "ctx": dict(self.CTX)})
+            received = recv_frame(right)
+            assert received["ctx"] == self.CTX
+        finally:
+            left.close()
+            right.close()
+
+    def test_old_reader_sees_ctx_as_plain_data(self):
+        # An "old" peer is any code that never imports dtrace: the
+        # context is an ordinary JSON member it can ignore or forward.
+        message = {"kind": "state?", "from": 1, "ctx": dict(self.CTX)}
+        decoded = _read(encode_frame(message))
+        forwarded = encode_frame(decoded)
+        assert _read(forwarded) == message
+
+    def test_new_reader_parses_and_tolerates(self):
+        from repro.obs.dtrace import ctx_from_frame
+
+        traced = _read(encode_frame({"kind": "get",
+                                     "ctx": dict(self.CTX)}))
+        assert ctx_from_frame(traced) == ("a" * 16, "b" * 8, 7)
+        untraced = _read(encode_frame({"kind": "get"}))
+        assert ctx_from_frame(untraced) is None
+        mangled = _read(encode_frame({"kind": "get", "ctx": [1, 2]}))
+        assert ctx_from_frame(mangled) is None
+
+
 class TestBlockingSockets:
     def test_send_then_recv(self):
         left, right = socket.socketpair()

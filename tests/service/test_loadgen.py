@@ -42,10 +42,13 @@ class TestLoadResult:
                            "put": {"ok": 1}}
         return result
 
-    def test_latencies_cover_only_successes(self):
+    def test_latencies_split_by_outcome(self):
         tables = self._result().latencies()
         assert sorted(tables) == ["get", "put"]
-        assert tables["get"].count == 1
+        assert sorted(tables["get"]) == ["denied", "ok"]
+        assert tables["get"]["ok"].count == 1
+        assert tables["get"]["denied"].count == 1
+        assert tables["put"]["ok"].count == 1
 
     def test_availability_rates(self):
         table = self._result().availability()
@@ -57,7 +60,8 @@ class TestLoadResult:
         doc = self._result().to_dict()
         assert doc["operations"] == 3
         assert doc["violations"] == []
-        assert "p95" in doc["latency"]["get"]
+        assert "p95" in doc["latency"]["get"]["ok"]
+        assert "p95" in doc["latency"]["get"]["denied"]
 
 
 class TestRunLoad:
@@ -92,7 +96,7 @@ class TestRunLoad:
                 servers[site] = runtime.submit(start_one(site)).result(10.0)
             spec = LoadSpec(duration=1.5, workers=2, write_ratio=0.6,
                             keys_per_worker=2, think_s=0.005, seed=7,
-                            timeout=1.0)
+                            timeout=1.0, trace=True)
             addresses = [(HOST, ports[site]) for site in sites]
             result = run_load(addresses, spec)
         finally:
@@ -111,6 +115,14 @@ class TestRunLoad:
             assert availability[op]["ok_rate"] == 1.0
         # Reproducible key naming: every key belongs to a worker space.
         assert all(sample["key"].startswith("w") for sample in result.samples)
+        # Tracing was on: every sample names its trace and the client
+        # spans were collected from the worker recorders.
+        assert all(sample.get("trace") for sample in result.samples)
+        assert result.spans
+        roots = {span["trace"] for span in result.spans
+                 if span["name"].startswith("client.")
+                 and not span.get("parent")}
+        assert {s["trace"] for s in result.samples} <= roots
 
     def test_external_stop_ends_the_run_early(self, tmp_path):
         stop = threading.Event()

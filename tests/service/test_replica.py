@@ -16,7 +16,8 @@ from repro.service.store import DurableReplica, commit_body, writes_digest
 HOST = "127.0.0.1"
 
 
-async def _start_cluster(root, n=3, policy="ODV", recover_interval=5.0):
+async def _start_cluster(root, n=3, policy="ODV", recover_interval=5.0,
+                         trace=False):
     sites = list(range(1, n + 1))
     ports = {site: free_port() for site in sites}
     servers = {}
@@ -29,6 +30,7 @@ async def _start_cluster(root, n=3, policy="ODV", recover_interval=5.0):
             policy=policy, fsync="never",
             lease_s=1.0, peer_timeout=0.4,
             recover_interval=recover_interval,
+            trace=trace,
         )
         servers[site] = ReplicaServer(config)
         await servers[site].start()
@@ -264,3 +266,97 @@ class TestOrphanRollback:
         holder._call_peer = fail_fetch
         assert asyncio.run(holder._maybe_rollback(replies)) is False
         assert holder.store.data == {"k": "orphan"}
+
+
+class TestTracing:
+    """Wire-compat and span recording for traced replicas.
+
+    "Old client" here means a bare frame with no ``ctx`` (the protocol
+    before tracing existed); "new client" attaches one.  Both must
+    complete operations against traced and untraced replicas alike.
+    """
+
+    def test_old_client_against_traced_replicas(self, tmp_path):
+        async def scenario():
+            servers, ports = await _start_cluster(tmp_path, trace=True)
+            try:
+                reply = await _ask(ports[1],
+                                   {"kind": "put", "key": "k",
+                                    "value": "v"})
+                assert reply["ok"] is True
+                # The reply to an untraced request gains a ctx from the
+                # replica's own handler span; an old client simply
+                # ignores the extra key.
+                read = await _ask(ports[2], {"kind": "get", "key": "k"})
+                assert read["value"] == "v"
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+        # Every replica wrote its span log next to the WAL, and the
+        # client op decomposed into a quorum round.
+        from repro.obs.dtrace import load_span_logs
+
+        spans = load_span_logs(tmp_path)
+        assert spans
+        names = {span["name"] for span in spans}
+        assert "replica.put" in names
+        assert "quorum.round" in names
+
+    def test_new_client_against_untraced_replicas(self, tmp_path):
+        async def scenario():
+            servers, ports = await _start_cluster(tmp_path, trace=False)
+            try:
+                ctx = {"trace": "c" * 16, "span": "d" * 8, "lc": 3}
+                reply = await _ask(ports[1],
+                                   {"kind": "put", "key": "k",
+                                    "value": "v", "ctx": ctx})
+                assert reply["ok"] is True
+                # Untraced replicas neither echo nor record context.
+                assert "ctx" not in reply
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+        assert not list(tmp_path.rglob("*spans.jsonl"))
+
+    def test_traced_round_trip_builds_a_causal_tree(self, tmp_path):
+        from repro.obs.dtrace import (
+            MemorySpanSink,
+            SpanRecorder,
+            build_traces,
+            causal_violations,
+            ctx_from_frame,
+            load_span_logs,
+        )
+
+        client = SpanRecorder(MemorySpanSink(), proc="client-0")
+
+        async def scenario():
+            servers, ports = await _start_cluster(tmp_path, trace=True)
+            try:
+                op = client.span("client.put", op="put", key="k")
+                reply = await _ask(ports[1],
+                                   {"kind": "put", "key": "k",
+                                    "value": "v", "ctx": op.sent()})
+                assert reply["ok"] is True
+                remote = ctx_from_frame(reply)
+                assert remote is not None
+                op.received(remote[2])
+                op.finish(reply.get("outcome", "ok"))
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+        spans = load_span_logs(tmp_path) + client.sink.records
+        traces = build_traces(spans)
+        trace = traces[client.sink.records[0]["trace"]]
+        assert causal_violations(trace) == []
+        names = [span["name"] for _, span in trace.walk()]
+        assert names[0] == "client.put"
+        assert "replica.put" in names
+        assert "quorum.round" in names
+        assert any(name.startswith("rpc.") for name in names)
+        procs = trace.procs()
+        assert "client-0" in procs
+        assert any(proc.startswith("site-") for proc in procs)
