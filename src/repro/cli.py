@@ -526,6 +526,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "denied and fault-hit operations)")
     q.add_argument("--trace-exemplars", type=int, default=8,
                    help="exemplar traces kept per policy (default 8)")
+    q.add_argument("--scrape-interval", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="poll every replica's metrics into an on-disk "
+                        "time-series store every N seconds and evaluate "
+                        "SLO burn-rate alerts live (0 = off)")
+    q.add_argument("--availability-target", type=float, default=0.99,
+                   metavar="RATIO",
+                   help="SLO availability target the burn-rate alert "
+                        "guards (default 0.99)")
     q.add_argument("--out", metavar="PATH", default=None,
                    help="also write the bench document as JSON")
     q.add_argument("--live", action="store_true",
@@ -560,6 +569,60 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--runs-dir", metavar="DIR", default=None,
                    help="registry root (default .repro/runs, or "
                         "REPRO_RUNS_DIR)")
+
+    p = sub.add_parser(
+        "metrics",
+        help="query a scraped time-series store: windowed rates, "
+             "quantiles, and the SLO alert history",
+    )
+    msub = p.add_subparsers(dest="metrics_command", required=True)
+
+    def add_metrics_source(q: argparse.ArgumentParser) -> None:
+        q.add_argument("run", nargs="?", default="latest",
+                       help="run id (or unique prefix), or 'latest' "
+                            "(default: the newest service run)")
+        q.add_argument("--tsdb", metavar="DIR", default=None,
+                       help="query a raw store directory instead of a "
+                            "recorded run (e.g. <bench-dir>/tsdb)")
+        q.add_argument("--policy", default=None,
+                       help="restrict to one policy's series")
+        q.add_argument("--runs-dir", metavar="DIR", default=None,
+                       help="registry root (default .repro/runs, or "
+                            "REPRO_RUNS_DIR)")
+
+    q = msub.add_parser(
+        "query", help="evaluate one selector over the stored series "
+                      "(rate, increase, last, quantiles)",
+    )
+    q.add_argument("selector", metavar="SELECTOR",
+                   help="series selector, e.g. "
+                        "'service.ops{outcome=\"ok\"}'")
+    q.add_argument("--fn", default="last",
+                   choices=("rate", "increase", "last", "mean",
+                            "p50", "p95", "p99", "p999"),
+                   help="query function (default last)")
+    q.add_argument("--window", type=float, default=None,
+                   metavar="SECONDS",
+                   help="lookback window (required for rate/increase)")
+    q.add_argument("--at", type=float, default=None, metavar="UNIX",
+                   help="evaluate at this wall-clock time (default: "
+                        "the newest matched sample)")
+    q.add_argument("--json-out", metavar="PATH", default=None,
+                   help="also write the result as a JSON document")
+    add_metrics_source(q)
+
+    q = msub.add_parser(
+        "alerts", help="replay the SLO alert rules over the stored "
+                       "series and print every firing/resolved edge",
+    )
+    q.add_argument("--duration", type=float, default=60.0,
+                   help="bench duration the rule windows were sized "
+                        "for (default 60)")
+    q.add_argument("--target", type=float, default=0.99,
+                   help="SLO availability target (default 0.99)")
+    q.add_argument("--json-out", metavar="PATH", default=None,
+                   help="also write the alert history as JSON")
+    add_metrics_source(q)
 
     p = sub.add_parser(
         "runs",
@@ -2000,6 +2063,21 @@ def _print_service_summary(document: dict) -> None:
             print(f"  traces: {traces.get('traces', 0)} recorded, "
                   f"{traces.get('sampled', 0)} exemplar(s) kept "
                   f"({traces.get('spans', 0)} spans)")
+        scrape = doc.get("scrape")
+        if scrape:
+            print(f"  scrape: {scrape.get('scrapes', 0)} round(s) over "
+                  f"{scrape.get('targets', 0)} target(s), "
+                  f"{scrape.get('failures', 0)} failure(s)")
+        alerts = doc.get("alerts")
+        if alerts:
+            events = alerts.get("events", [])
+            firing = alerts.get("firing", [])
+            fired = sorted({e.get("alert") for e in events
+                            if e.get("state") == "firing"})
+            print(f"  alerts: {len(events)} edge(s)"
+                  + (f", fired: {', '.join(fired)}" if fired else "")
+                  + (f", STILL FIRING: {', '.join(firing)}"
+                     if firing else ""))
 
 
 def _cmd_service_bench(args: argparse.Namespace) -> int:
@@ -2032,6 +2110,8 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
         min_partitions=args.partitions,
         trace=args.trace,
         trace_exemplars=args.trace_exemplars,
+        scrape_interval=args.scrape_interval,
+        availability_target=args.availability_target,
     )
     bus, session = _start_live(args, "service bench", {
         "policies": ",".join(policies),
@@ -2049,7 +2129,7 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
     if getattr(args, "record", False):
         record = _registry(args).record_service(
             document, command="service bench", samples=samples,
-            traces=traces)
+            traces=traces, tsdb=document.get("tsdb"))
         _record_note(record)
         run_id = record.run_id
     if session is not None:
@@ -2146,6 +2226,128 @@ def _cmd_service(args: argparse.Namespace) -> int:
         return _cmd_service_trace(args)
     raise ConfigurationError(  # pragma: no cover - argparse enforces choices
         f"unknown service command {command!r}"
+    )
+
+
+def _metrics_store(args: argparse.Namespace):
+    """Resolve ``repro metrics`` source args to an open store."""
+    import pathlib
+
+    from repro.obs.tsdb import TimeSeriesStore
+
+    if args.tsdb is not None:
+        directory = pathlib.Path(args.tsdb)
+        if not directory.is_dir():
+            raise ConfigurationError(
+                f"no time-series store at {directory}"
+            )
+        return TimeSeriesStore(directory)
+    registry = _registry(args)
+    if args.run == "latest":
+        record = registry.latest(kind="service")
+        if record is None:
+            raise ConfigurationError(
+                "no service runs recorded under this registry")
+    else:
+        record = registry.resolve(args.run)
+    directory = registry.tsdb_path(record.run_id)
+    if not directory.is_dir():
+        raise ConfigurationError(
+            f"run {record.run_id} has no time-series sidecar — was the "
+            "bench run with --scrape-interval and --record?"
+        )
+    return TimeSeriesStore(directory)
+
+
+def _metrics_samples(args: argparse.Namespace, store) -> list:
+    samples = list(store.samples())
+    if args.policy is not None:
+        samples = [sample for sample in samples
+                   if sample.labels.get("policy") == args.policy]
+    return samples
+
+
+def _format_metric_value(value) -> str:
+    return "-" if value is None else f"{value:.6g}"
+
+
+def _cmd_metrics_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.tsdb import run_query
+
+    store = _metrics_store(args)
+    samples = _metrics_samples(args, store)
+    result = run_query(samples, args.selector, args.fn,
+                       window=args.window, at=args.at)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if not result["results"]:
+        print(f"no series matched {args.selector!r}", file=sys.stderr)
+        return 1
+    name, _ = args.selector.split("{", 1) if "{" in args.selector \
+        else (args.selector, "")
+    for row in result["results"]:
+        labels = ",".join(f'{key}="{value}"'
+                          for key, value in sorted(row["labels"].items()))
+        print(f"{name.strip()}{{{labels}}} "
+              f"{_format_metric_value(row['value'])} "
+              f"({row['points']} point(s))")
+    if result.get("merged") is not None:
+        print(f"merged {args.fn}: {result['merged']:.6g}")
+    return 0
+
+
+def _cmd_metrics_alerts(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.tsdb import AlertEngine, default_rules
+
+    store = _metrics_store(args)
+    samples = _metrics_samples(args, store)
+    engine = AlertEngine(store,
+                         default_rules(args.duration, target=args.target))
+    # Replay: evaluate at every scrape instant, in order, so the
+    # firing/resolved history a live run produced is reconstructed
+    # from the stored series alone.
+    for instant in sorted({sample.at for sample in samples}):
+        engine.evaluate(samples=samples, now=instant)
+    summary = engine.summary()
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if not summary["events"]:
+        print("no alert transitions over the stored series")
+        return 0
+    for event in summary["events"]:
+        mark = "FIRING " if event["state"] == "firing" else "resolved"
+        extra = ""
+        if "burn_fast" in event:
+            extra = (f" burn fast={event['burn_fast']:g} "
+                     f"slow={event['burn_slow']:g}")
+        elif event.get("value") is not None:
+            extra = (f" {event.get('quantile', 'value')}="
+                     f"{event['value']:g} > {event.get('threshold')}")
+        if "after_seconds" in event:
+            extra += f" (after {event['after_seconds']:g}s)"
+        print(f"{event['at']:.3f} {mark} {event['alert']} "
+              f"[{event['severity']}]{extra}")
+    if summary["firing"]:
+        print(f"still firing: {', '.join(summary['firing'])}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    command = args.metrics_command
+    if command == "query":
+        return _cmd_metrics_query(args)
+    if command == "alerts":
+        return _cmd_metrics_alerts(args)
+    raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+        f"unknown metrics command {command!r}"
     )
 
 
@@ -2569,6 +2771,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_bench(args)
     elif command == "service":
         return _cmd_service(args)
+    elif command == "metrics":
+        return _cmd_metrics(args)
     elif command == "runs":
         return _cmd_runs(args)
     elif command == "report":

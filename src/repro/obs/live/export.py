@@ -6,7 +6,7 @@ middleware's request telemetry — in the text exposition format
 
 * counters become ``<name>_total`` samples typed ``counter``;
 * gauges map one-to-one;
-* histograms become *summaries*: ``{quantile="0.5|0.95|0.99"}``
+* histograms become *summaries*: ``{quantile="0.5|0.95|0.99|0.999"}``
   samples from the bounded reservoir plus exact ``_sum``/``_count``.
 
 Every family is introduced by a ``# HELP`` line followed by its
@@ -38,7 +38,7 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: Summary quantiles exported for histogram series.
-_QUANTILES = (0.5, 0.95, 0.99)
+_QUANTILES = (0.5, 0.95, 0.99, 0.999)
 
 
 def _metric_name(name: str) -> str:

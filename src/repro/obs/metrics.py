@@ -149,7 +149,12 @@ class Histogram:
         return ordered[index] + fraction * (ordered[index + 1] - ordered[index])
 
     def to_dict(self) -> dict[str, Any]:
-        """A JSON-serialisable summary with p50/p95/p99."""
+        """A JSON-serialisable summary with p50/p95/p99/p99.9.
+
+        ``sum``/``count`` are exact, so rates and averages stay
+        computable from the serialised form alone — the contract the
+        time-series query layer and Prometheus exposition rely on.
+        """
         return {
             "type": "histogram",
             "count": self.count,
@@ -160,6 +165,7 @@ class Histogram:
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
         }
 
 

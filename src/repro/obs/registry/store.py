@@ -43,6 +43,7 @@ __all__ = [
     "RUNS_DIR_ENV",
     "SAMPLES_DIR_NAME",
     "TRACES_DIR_NAME",
+    "TSDB_DIR_NAME",
     "RunRecord",
     "RunRegistry",
     "TimelineSink",
@@ -79,6 +80,13 @@ SAMPLES_DIR_NAME = ".samples"
 #: (``<run_id>.jsonl``) recorded next to traced service bench runs.
 #: Same contract as :data:`SAMPLES_DIR_NAME`: sidecar, not artifact.
 TRACES_DIR_NAME = ".traces"
+
+#: Directory under the registry root holding scraped time-series
+#: databases (``<run_id>/chunk-*.tsdb`` — whole directories, one per
+#: monitored service bench run).  Same contract as
+#: :data:`SAMPLES_DIR_NAME`: sidecar, not artifact, pruned by
+#: :meth:`RunRegistry.gc` when the run is gone.
+TSDB_DIR_NAME = ".tsdb"
 
 
 def canonical_bytes(payload: Any) -> bytes:
@@ -609,6 +617,7 @@ class RunRegistry:
         command: str = "service bench",
         samples: Optional[bytes] = None,
         traces: Optional[bytes] = None,
+        tsdb: Union[str, pathlib.Path, None] = None,
     ) -> RunRecord:
         """Record one replicated-service bench run.
 
@@ -617,7 +626,9 @@ class RunRegistry:
         under :data:`SAMPLES_DIR_NAME` (outside the run's identity —
         see :meth:`samples_path`); *traces* is the optional exemplar
         trace span blob, stored under :data:`TRACES_DIR_NAME` (see
-        :meth:`traces_path`).
+        :meth:`traces_path`); *tsdb* is the optional directory of a
+        scraped :class:`~repro.obs.tsdb.TimeSeriesStore`, copied whole
+        under :data:`TSDB_DIR_NAME` (see :meth:`tsdb_path`).
         """
         if result.get("format") != "repro-service-bench":
             raise ConfigurationError(
@@ -665,6 +676,19 @@ class RunRegistry:
                 raise ConfigurationError(
                     f"cannot write {what} sidecar {path}: {exc}"
                 ) from exc
+        if tsdb is not None:
+            source = pathlib.Path(tsdb)
+            destination = self.tsdb_path(record.run_id)
+            try:
+                if destination.exists():
+                    shutil.rmtree(destination)
+                destination.parent.mkdir(parents=True, exist_ok=True)
+                shutil.copytree(source, destination)
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot copy tsdb sidecar {source} -> "
+                    f"{destination}: {exc}"
+                ) from exc
         return record
 
     def samples_path(self, run_id: str) -> pathlib.Path:
@@ -676,6 +700,11 @@ class RunRegistry:
         """Where *run_id*'s exemplar trace span sidecar lives (the
         file may not exist — only traced service runs record one)."""
         return self.root / TRACES_DIR_NAME / f"{run_id}.jsonl"
+
+    def tsdb_path(self, run_id: str) -> pathlib.Path:
+        """Where *run_id*'s time-series store directory lives (it may
+        not exist — only scraped service runs record one)."""
+        return self.root / TSDB_DIR_NAME / run_id
 
     # ------------------------------------------------------------------
     # lookup
@@ -1032,4 +1061,12 @@ class RunRegistry:
                         sidecar.unlink()
                     except OSError:
                         pass
+        # Time-series sidecars are whole directories, one per run id.
+        tsdb_dir = self.root / TSDB_DIR_NAME
+        if tsdb_dir.is_dir():
+            if alive is None:
+                alive = {record.run_id for record in self.list_runs()}
+            for child in tsdb_dir.iterdir():
+                if child.is_dir() and child.name not in alive:
+                    shutil.rmtree(child, ignore_errors=True)
         return doomed

@@ -25,6 +25,7 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "diff_section",
+    "metrics_sparklines",
     "render_page",
     "render_report",
     "run_section",
@@ -144,6 +145,10 @@ svg.timeline { display: block; width: 100%; height: 22px; }
 svg .span-up { fill: var(--good); }
 svg .span-down { fill: var(--critical); }
 svg .frame { fill: none; stroke: var(--grid); }
+svg.spark { display: block; width: 100%; height: 26px; }
+svg.spark polyline { fill: none; stroke: var(--accent);
+  stroke-width: 1.5; stroke-linejoin: round; }
+svg.spark .floor { stroke: var(--grid); stroke-width: 1; }
 footer { margin-top: 3rem; color: var(--ink-muted); font-size: .8rem; }
 nav.crumbs { margin: 0 0 1rem; color: var(--ink-muted); font-size: .85rem; }
 nav.crumbs a { text-decoration: none; }
@@ -669,10 +674,188 @@ def _service_section(record: Any) -> str:
             "<th>outcomes</th></tr></thead>"
             f"<tbody>{''.join(avail_rows)}</tbody></table>"
             f'<p class="note">faults: {_esc(fault_note or "none")}</p>'
+            + _alerts_html(pdoc.get("alerts"))
             + _trace_exemplars_html(pdoc.get("traces"))
         )
+    samples = _load_tsdb_sidecar(record)
+    if samples:
+        parts.append(metrics_sparklines(samples))
     parts.append(_trace_waterfalls(record))
     return "".join(parts)
+
+
+def _sparkline_svg(values: Sequence[float], width: int = 300,
+                   height: int = 26) -> str:
+    """A tiny inline polyline chart over evenly spaced *values*."""
+    if len(values) < 2:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    step = (width - 2) / (len(values) - 1)
+    points = " ".join(
+        f"{1 + index * step:.1f},"
+        f"{height - 2 - (value - low) / span * (height - 4):.1f}"
+        for index, value in enumerate(values)
+    )
+    return (
+        f'<svg class="spark" viewBox="0 0 {width} {height}" '
+        'preserveAspectRatio="none" role="img">'
+        f'<line class="floor" x1="0" y1="{height - 1}" x2="{width}" '
+        f'y2="{height - 1}"></line>'
+        f'<polyline points="{points}"></polyline></svg>'
+    )
+
+
+def _counter_deltas(values: Sequence[float]) -> list[float]:
+    """Per-scrape growth of a cumulative counter, reset-tolerant."""
+    deltas: list[float] = []
+    previous: Optional[float] = None
+    for value in values:
+        if previous is not None:
+            step = value - previous
+            deltas.append(step if step >= 0 else value)
+        previous = value
+    return deltas
+
+
+def _alerts_html(summary: Optional[Mapping[str, Any]]) -> str:
+    """One policy's SLO alert history (from the bench document)."""
+    if not summary:
+        return ""
+    events = summary.get("events") or []
+    firing = summary.get("firing") or []
+    if not events and not firing:
+        return _callout(
+            "good", "✓", "SLO held",
+            f"{len(summary.get('rules', []))} alert rule(s) evaluated "
+            "against the scraped series; none fired.",
+        )
+    parts = []
+    if firing:
+        parts.append(_callout(
+            "critical", "✗", "alert still firing",
+            ", ".join(_esc(name) for name in firing),
+        ))
+    rows = []
+    for event in events:
+        detail = []
+        if "burn_fast" in event:
+            detail.append(f"burn fast={event['burn_fast']:g} "
+                          f"slow={event['burn_slow']:g}")
+        elif event.get("value") is not None:
+            detail.append(f"{event.get('quantile', 'value')}="
+                          f"{event['value']:g}")
+        if "after_seconds" in event:
+            detail.append(f"after {event['after_seconds']:g}s")
+        word = "firing" if event.get("state") == "firing" else "resolved"
+        rows.append(
+            f"<tr><td>{_esc(event.get('alert'))}</td>"
+            f"<td>{_esc(word)}</td>"
+            f"<td>{_esc(event.get('severity'))}</td>"
+            f"<td>{float(event.get('at', 0)):.3f}</td>"
+            f"<td>{_esc('; '.join(detail) or '-')}</td></tr>"
+        )
+    if rows:
+        parts.append(
+            '<p class="note">SLO alert transitions (multi-window '
+            "burn rate over replica-side outcome counters, plus "
+            "merged-quantile threshold rules).</p>"
+            "<table><thead><tr><th>alert</th><th>edge</th>"
+            "<th>severity</th><th>at</th><th>detail</th></tr></thead>"
+            f"<tbody>{''.join(rows)}</tbody></table>"
+        )
+    return "".join(parts)
+
+
+def _load_tsdb_sidecar(record: Any) -> list:
+    """The run's stored time-series samples (empty when unscraped)."""
+    path = getattr(record, "path", None)
+    if path is None:
+        return []
+    directory = path.parent / ".tsdb" / record.run_id
+    if not directory.is_dir():
+        return []
+    from repro.errors import ReproError
+    from repro.obs.tsdb import TimeSeriesStore
+
+    try:
+        return list(TimeSeriesStore(directory).samples())
+    except ReproError:
+        return []
+
+
+def metrics_sparklines(samples: Sequence[Any],
+                       max_rows: int = 40) -> str:
+    """Headline sparkline rows from flattened store samples.
+
+    One row per (policy, target): operation throughput per scrape
+    (counter deltas of ``service.ops``), the per-target p99 over time
+    (count-weighted across ops), and the ``scrape.up`` health strip.
+    Shared by the HTML report and the serve per-run metrics page.
+    """
+    by_key: dict[tuple[str, str, str], dict[float, list[Any]]] = {}
+    for sample in samples:
+        policy = sample.labels.get("policy", "")
+        target = sample.labels.get("target", "?")
+        if sample.name not in ("service.ops", "service.op.seconds",
+                               "scrape.up"):
+            continue
+        slot = by_key.setdefault((policy, sample.name, target), {})
+        slot.setdefault(sample.at, []).append(sample)
+
+    def series(policy: str, name: str, target: str) -> list[float]:
+        slots = by_key.get((policy, name, target), {})
+        values: list[float] = []
+        for at in sorted(slots):
+            points = slots[at]
+            if name == "service.ops":
+                values.append(sum(p.value or 0.0 for p in points))
+            elif name == "scrape.up":
+                values.append(max(p.value or 0.0 for p in points))
+            else:  # service.op.seconds: count-weighted p99
+                weighted = weight = 0.0
+                for p in points:
+                    summary = p.summary or {}
+                    p99 = summary.get("p99")
+                    count = summary.get("count") or 0
+                    if isinstance(p99, (int, float)) and count > 0:
+                        weighted += float(p99) * count
+                        weight += count
+                values.append(weighted / weight if weight else 0.0)
+        return values
+
+    keys = sorted({(policy, target)
+                   for policy, _, target in by_key
+                   if target != "proxy"})
+    rows = []
+    for policy, target in keys:
+        if len(rows) >= max_rows:
+            break
+        label_prefix = f"{policy} · " if policy else ""
+        ops = _counter_deltas(series(policy, "service.ops", target))
+        p99 = series(policy, "service.op.seconds", target)
+        up = series(policy, "scrape.up", target)
+        for label, values, fmt in (
+                (f"{label_prefix}{target} ops/scrape", ops, "{:.0f}"),
+                (f"{label_prefix}{target} p99 (s)", p99, "{:.3f}"),
+                (f"{label_prefix}{target} up", up, "{:.0f}")):
+            if len(values) < 2:
+                continue
+            rows.append(
+                f'<span class="name">{_esc(label)}</span>'
+                f"{_sparkline_svg(values)}"
+                f'<span class="value">{fmt.format(values[-1])}</span>'
+            )
+    if not rows:
+        return ""
+    return (
+        "<h3>Cluster metrics</h3>"
+        '<p class="note">Scraped per-replica series over the run: '
+        "operation throughput per scrape tick, count-weighted p99 "
+        "latency, and scrape health (a dead replica drops to 0).</p>"
+        f'<div class="timeline-grid">{"".join(rows)}</div>'
+    )
 
 
 def _trace_exemplars_html(summary: Optional[Mapping[str, Any]]) -> str:

@@ -11,10 +11,12 @@ Routes::
 
     GET /                   paginated, sortable run index (HTML)
     GET /runs/<id>          one run (HTML; id, >=4-char prefix, latest)
+    GET /runs/<id>/metrics  scraped cluster time-series, sparklined (HTML)
     GET /diff/<a>/<b>       cross-run study diff (HTML)
     GET /live               real-time dashboard over live sessions (HTML)
     GET /api/runs           summary cards (JSON; sort/kind/limit/offset)
     GET /api/runs/<id>      one run record (JSON)
+    GET /api/runs/<id>/query  selector query over the .tsdb sidecar (JSON)
     GET /api/runs/<id>/live SSE stream tailing the session's live.jsonl
     GET /api/diff/<a>/<b>   noise-gated diff document (JSON)
     GET /api/live           live-session listing (JSON)
@@ -318,6 +320,10 @@ class RunExplorerApp:
                 and parts[2] == "traces":
             return "run.traces", False, \
                 lambda: self._traces_page(parts[1], etag_in)
+        if parts[0] == "runs" and len(parts) == 3 \
+                and parts[2] == "metrics":
+            return "run.metrics", False, \
+                lambda: self._metrics_page(parts[1], etag_in)
         if parts[0] == "diff" and len(parts) == 3:
             return "diff", False, \
                 lambda: self._diff_page(parts[1], parts[2], etag_in)
@@ -337,6 +343,10 @@ class RunExplorerApp:
                     and rest[2] == "traces"):
                 return "api.run.traces", True, \
                     lambda: self._api_run_traces(rest[1], etag_in)
+            if (rest and rest[0] == "runs" and len(rest) == 3
+                    and rest[2] == "query"):
+                return "api.run.query", True, \
+                    lambda: self._api_run_query(rest[1], query, etag_in)
             if rest == ["live"]:
                 return "api.live", True, self._api_live
             if rest and rest[0] == "diff" and len(rest) == 3:
@@ -473,6 +483,66 @@ class RunExplorerApp:
             "traces": [summarize_trace(traces[trace_id])
                        for trace_id in sorted(traces)],
         }, etag=etag)
+
+    def _run_tsdb_samples(self, record: RunRecord) -> list:
+        """The run's stored time-series samples.
+
+        Raises:
+            ConfigurationError: the run has no ``.tsdb`` sidecar.
+        """
+        from repro.obs.tsdb import TimeSeriesStore
+
+        directory = self.registry.tsdb_path(record.run_id)
+        if not directory.is_dir():
+            raise ConfigurationError(
+                f"run {record.run_id} has no time-series sidecar — was "
+                "the bench run with --scrape-interval and --record?"
+            )
+        return list(TimeSeriesStore(directory).samples())
+
+    def _api_run_query(self, token: str, query: Mapping[str, list[str]],
+                       etag_in: Optional[str]) -> _Response:
+        from repro.obs.tsdb import run_query
+
+        record = self._resolve(token)
+        canonical = urlencode(sorted(
+            (key, value)
+            for key, values in query.items() for value in values
+        ))
+        etag = (f'"run-query-{API_VERSION}-{record.run_id}'
+                f'-{canonical}"')
+        if etag_in == etag:
+            return _not_modified(etag)
+        selector = _first(query, "selector")
+        if not selector:
+            raise ConfigurationError(
+                "query parameter 'selector' is required, e.g. "
+                '?selector=service.ops{outcome="ok"}&fn=rate&window=10'
+            )
+        fn = _first(query, "fn", "last") or "last"
+
+        def number(key: str) -> Optional[float]:
+            raw = _first(query, key)
+            if raw is None:
+                return None
+            try:
+                return float(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"query parameter {key!r} must be a number, "
+                    f"got {raw!r}"
+                ) from None
+
+        samples = self._run_tsdb_samples(record)
+        policy = _first(query, "policy")
+        if policy:
+            samples = [sample for sample in samples
+                       if sample.labels.get("policy") == policy]
+        result = run_query(samples, selector, fn,
+                           window=number("window"), at=number("at"))
+        return _json_response(
+            {"run": record.run_id, "query": result}, etag=etag,
+        )
 
     def _api_diff(self, token_a: str, token_b: str,
                   etag_in: Optional[str]) -> _Response:
@@ -730,6 +800,11 @@ class RunExplorerApp:
             crumbs.append(
                 f' · <a href="/runs/{_esc(record.run_id)}/traces">'
                 "traces</a>")
+        if record.kind == "service" \
+                and self.registry.tsdb_path(record.run_id).is_dir():
+            crumbs.append(
+                f' · <a href="/runs/{_esc(record.run_id)}/metrics">'
+                "metrics</a>")
         if record.kind == "study":
             others = [
                 card["run_id"] for card in self.cache.cards()
@@ -816,6 +891,54 @@ class RunExplorerApp:
             self._page(
                 body, f"Traces — run {record.run_id}",
                 f"{record.kind} · distributed trace exemplars",
+            ).encode(),
+            etag=etag,
+        )
+
+    def _metrics_page(self, token: str,
+                      etag_in: Optional[str]) -> _Response:
+        from repro.obs.report.html import metrics_sparklines
+
+        record = self._resolve(token)
+        etag = f'"run-metrics-{API_VERSION}-{record.run_id}"'
+        if etag_in == etag:
+            return _not_modified(etag)
+        crumbs = (
+            f'<nav class="crumbs"><a href="/">← run index</a> · '
+            f'<a href="/runs/{_esc(record.run_id)}">run</a> · '
+            f'<a href="/api/runs/{_esc(record.run_id)}/query?'
+            'selector=service.ops&fn=rate&window=10">query JSON</a>'
+            "</nav>"
+        )
+        try:
+            samples = self._run_tsdb_samples(record)
+        except ConfigurationError as exc:
+            body = crumbs + (
+                '<div class="callout warning"><span class="icon">⚠ '
+                f"no metrics</span><span>{_esc(exc)}</span></div>"
+            )
+        else:
+            charts = metrics_sparklines(samples) or (
+                '<p class="note">the store holds no chartable '
+                "series</p>"
+            )
+            example = (
+                f"/api/runs/{_esc(record.run_id)}/query?selector="
+                "service.ops%7Boutcome%3D%22ok%22%7D&fn=rate&window=10"
+            )
+            body = crumbs + charts + (
+                f'<p class="note">{len(samples)} stored point(s). '
+                "Ad-hoc queries: <code>GET "
+                f'<a href="{example}">{example}</a></code> — '
+                "<code>selector</code> plus <code>fn</code> (rate, "
+                "increase, last, mean, p50/p95/p99/p999), optional "
+                "<code>window</code>/<code>at</code>/"
+                "<code>policy</code>.</p>"
+            )
+        return _Response(
+            self._page(
+                body, f"Metrics — run {record.run_id}",
+                f"{record.kind} · scraped cluster time-series",
             ).encode(),
             etag=etag,
         )

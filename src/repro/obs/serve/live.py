@@ -16,7 +16,9 @@ ends with a named terminal frame ::
 The dashboard page is self-contained vanilla JS in the shared report
 chrome: it lists live sessions from ``/api/live``, follows one over
 ``EventSource``, and renders per-run progress bars, events/s and RSS
-sparklines, and invariant-violation callouts as they arrive.
+sparklines, and invariant-violation and SLO-alert callouts as they
+arrive (an ``alert.firing`` event raises a callout; the matching
+``alert.resolved`` edge turns it green).
 """
 
 from __future__ import annotations
@@ -138,6 +140,42 @@ _LIVE_JS = """
     el('live-violations').appendChild(box);
   }
 
+  var alertBoxes = {};
+
+  function alertEdge(ev, firing) {
+    var name = ev.alert || 'alert';
+    if (firing) {
+      var box = document.createElement('div');
+      box.className = 'callout ' +
+        (ev.severity === 'critical' ? 'critical' : 'warning');
+      var icon = document.createElement('span');
+      icon.className = 'icon';
+      icon.textContent = '\\u26a0 ' + name + ' FIRING';
+      var text = document.createElement('span');
+      var detail = [];
+      if (ev.burn_fast !== undefined)
+        detail.push('burn fast=' + ev.burn_fast + ' slow=' + ev.burn_slow);
+      if (ev.value !== undefined && ev.value !== null)
+        detail.push((ev.quantile || 'value') + '=' + ev.value +
+          ' > ' + ev.threshold);
+      text.textContent = '[' + (ev.severity || 'warning') + '] ' +
+        detail.join(' \\u00b7 ');
+      box.appendChild(icon);
+      box.appendChild(text);
+      if (alertBoxes[name]) alertBoxes[name].remove();
+      alertBoxes[name] = box;
+      el('live-violations').appendChild(box);
+    } else if (alertBoxes[name]) {
+      alertBoxes[name].className = 'callout good';
+      var mark = alertBoxes[name].querySelector('.icon');
+      if (mark) mark.textContent = '\\u2713 ' + name + ' resolved';
+      var body = alertBoxes[name].querySelector('span + span');
+      if (body && ev.after_seconds !== undefined)
+        body.textContent = 'resolved after ' + ev.after_seconds + 's';
+      delete alertBoxes[name];
+    }
+  }
+
   function handle(ev) {
     if (ev.kind === 'study.start') {
       total = ev.total_cells || 0;
@@ -173,6 +211,10 @@ _LIVE_JS = """
       }
     } else if (ev.kind === 'invariant.violation') {
       violation(ev);
+    } else if (ev.kind === 'alert.firing') {
+      alertEdge(ev, true);
+    } else if (ev.kind === 'alert.resolved') {
+      alertEdge(ev, false);
     } else if (ev.kind === 'study.done') {
       el('live-phase').textContent = 'done (' + ev.cells + ' cells' +
         (ev.failed_cells ? ', ' + ev.failed_cells + ' failed' : '') + ')';
@@ -183,7 +225,7 @@ _LIVE_JS = """
   function follow(id) {
     if (source) source.close();
     session = id;
-    total = 0; done = 0; rates = []; rsses = [];
+    total = 0; done = 0; rates = []; rsses = []; alertBoxes = {};
     el('live-log').textContent = '';
     el('live-violations').textContent = '';
     el('live-id').textContent = id;

@@ -1,0 +1,40 @@
+"""Cluster metrics pipeline: scrape, store, query, alert.
+
+The service layer's per-process :class:`~repro.obs.metrics.MetricsRegistry`
+instances (replicas over the ``metrics?`` frame, the chaos proxy
+in-process) are polled by a :class:`MetricsScraper` into a chunked
+append-only :class:`TimeSeriesStore`; :func:`run_query` answers
+windowed ``rate()``/last-value/quantile questions over the stored
+points; and an :class:`AlertEngine` evaluates SLO rules (availability
+burn rate, latency/fsync/recovery thresholds) against the same store,
+publishing ``alert.firing``/``alert.resolved`` telemetry edges.
+"""
+
+from repro.obs.tsdb.alerts import (AlertEngine, AlertRule, BurnRateRule,
+                                   QuantileThresholdRule, default_rules)
+from repro.obs.tsdb.query import (QUERY_FUNCTIONS, group_series, increase,
+                                  last_value, merged_quantile,
+                                  parse_selector, run_query)
+from repro.obs.tsdb.scrape import (MetricsScraper, RegistryScrapeTarget,
+                                   SocketScrapeTarget)
+from repro.obs.tsdb.store import Sample, TimeSeriesStore
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "BurnRateRule",
+    "MetricsScraper",
+    "QUERY_FUNCTIONS",
+    "QuantileThresholdRule",
+    "RegistryScrapeTarget",
+    "Sample",
+    "SocketScrapeTarget",
+    "TimeSeriesStore",
+    "default_rules",
+    "group_series",
+    "increase",
+    "last_value",
+    "merged_quantile",
+    "parse_selector",
+    "run_query",
+]

@@ -1,0 +1,312 @@
+"""Declarative SLO rules evaluated against the time-series store.
+
+The paper's regime — dynamic quorums under churn — is exactly where a
+static "did the bench pass" bit is too coarse: availability degrades
+*during* a partition and recovers after the heal, and an operator
+wants to know both edges.  This module evaluates a small set of
+declarative rules against scraped series and publishes the edges as
+``alert.firing`` / ``alert.resolved`` telemetry events, so they ride
+the existing bus → live stream → SSE path and land as callouts on the
+``/live`` dashboard and per-run pages.
+
+The flagship rule is the classic *multi-window burn rate*: with an
+availability target ``a`` the error budget is ``1 - a``, the burn rate
+is ``error_ratio / (1 - a)``, and the alert fires only when **both** a
+fast and a slow window burn hot — the fast window makes detection
+quick, the slow window suppresses blips.  Error ratio comes from the
+replica-side ``service.ops`` counters (outcome != ok over total), so
+it measures what the *cluster* refused, not what one client saw.
+
+Threshold rules read the count-weighted merged histogram quantile
+(:func:`~repro.obs.tsdb.query.merged_quantile`): p99 operation
+latency, WAL fsync stalls, and recovery-round overruns.
+
+Rules are pure state machines over ``(samples, now)``; the engine owns
+the firing bookkeeping so a rule never needs to remember anything.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.tsdb.query import (group_series, increase, merged_quantile,
+                                  parse_selector)
+from repro.obs.tsdb.store import Sample, TimeSeriesStore
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "BurnRateRule",
+    "QuantileThresholdRule",
+    "default_rules",
+]
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """Base rule: a name, a severity, and an ``evaluate`` hook."""
+
+    name: str
+    severity: str = "warning"
+
+    def evaluate(self, samples: Sequence[Sample],
+                 now: float) -> tuple[bool, dict[str, Any]]:
+        """``(active, detail)`` for the instant *now*."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        """The declarative form shown in run documents and docs."""
+        return {"name": self.name, "severity": self.severity}
+
+
+@dataclass(frozen=True)
+class BurnRateRule(AlertRule):
+    """Multi-window availability burn rate over outcome counters.
+
+    Attributes:
+        selector: Counter family holding per-outcome op counts.
+        outcome_label: Label carrying the outcome.
+        ok_value: The outcome value that spends no error budget.
+        target: Availability SLO (0.99 → a 1% error budget).
+        fast_window / slow_window: Seconds; both must burn to fire.
+        fast_burn / slow_burn: Burn-rate thresholds per window.
+    """
+
+    selector: str = "service.ops"
+    outcome_label: str = "outcome"
+    ok_value: str = "ok"
+    target: float = 0.99
+    fast_window: float = 60.0
+    slow_window: float = 300.0
+    fast_burn: float = 10.0
+    slow_burn: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ConfigurationError(
+                f"availability target must be in (0, 1), got {self.target}")
+        if self.fast_window <= 0 or self.slow_window < self.fast_window:
+            raise ConfigurationError(
+                "burn-rate windows must satisfy 0 < fast <= slow, got "
+                f"fast={self.fast_window} slow={self.slow_window}")
+
+    def _burn(self, samples: Sequence[Sample], start: float,
+              end: float) -> tuple[float, float]:
+        name, labels = parse_selector(self.selector)
+        groups = group_series(samples, name, labels)
+        total = 0.0
+        ok = 0.0
+        for key, points in groups.items():
+            grown = increase(points, start, end)
+            total += grown
+            if dict(key).get(self.outcome_label) == self.ok_value:
+                ok += grown
+        ratio = (total - ok) / total if total > 0 else 0.0
+        return ratio / (1.0 - self.target), total
+
+    def evaluate(self, samples: Sequence[Sample],
+                 now: float) -> tuple[bool, dict[str, Any]]:
+        fast, fast_ops = self._burn(samples, now - self.fast_window, now)
+        slow, slow_ops = self._burn(samples, now - self.slow_window, now)
+        active = fast >= self.fast_burn and slow >= self.slow_burn
+        return active, {
+            "burn_fast": round(fast, 4),
+            "burn_slow": round(slow, 4),
+            "ops_fast": fast_ops,
+            "ops_slow": slow_ops,
+            "target": self.target,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        document = super().to_dict()
+        document.update({
+            "kind": "burn-rate",
+            "selector": self.selector,
+            "target": self.target,
+            "fast_window": self.fast_window,
+            "slow_window": self.slow_window,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+        })
+        return document
+
+
+@dataclass(frozen=True)
+class QuantileThresholdRule(AlertRule):
+    """Fire when the merged histogram quantile exceeds a threshold."""
+
+    selector: str = ""
+    quantile: str = "p99"
+    threshold: float = 1.0
+    window: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.selector:
+            raise ConfigurationError("threshold rule needs a selector")
+        if self.window <= 0:
+            raise ConfigurationError(
+                f"threshold window must be > 0, got {self.window}")
+
+    def evaluate(self, samples: Sequence[Sample],
+                 now: float) -> tuple[bool, dict[str, Any]]:
+        name, labels = parse_selector(self.selector)
+        groups = group_series(samples, name, labels)
+        value = merged_quantile(groups, self.quantile,
+                                now - self.window, now)
+        active = value is not None and value > self.threshold
+        return active, {
+            "value": None if value is None else round(value, 6),
+            "threshold": self.threshold,
+            "quantile": self.quantile,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        document = super().to_dict()
+        document.update({
+            "kind": "quantile-threshold",
+            "selector": self.selector,
+            "quantile": self.quantile,
+            "threshold": self.threshold,
+            "window": self.window,
+        })
+        return document
+
+
+def default_rules(duration: float = 60.0,
+                  target: float = 0.99) -> list[AlertRule]:
+    """The standard rule set, windows scaled to a bench's *duration*.
+
+    A production deployment burns over minutes and hours; a seeded
+    bench lives for seconds, so windows scale with the run: the fast
+    window catches the injected partition, the slow window spans
+    enough history to reject single-scrape blips, and both stay small
+    enough that the alert can *resolve* before the bench ends.
+    """
+    fast = max(0.75, 0.2 * duration)
+    slow = max(2.0, 0.6 * duration)
+    return [
+        BurnRateRule(
+            name="availability-burn-rate", severity="critical",
+            selector="service.ops", target=target,
+            fast_window=fast, slow_window=slow,
+            fast_burn=10.0, slow_burn=3.0,
+        ),
+        QuantileThresholdRule(
+            name="p99-latency", severity="warning",
+            selector="service.op.seconds", quantile="p99",
+            threshold=2.0, window=slow,
+        ),
+        QuantileThresholdRule(
+            name="fsync-stall", severity="warning",
+            selector="wal.fsync.seconds", quantile="p99",
+            threshold=0.5, window=slow,
+        ),
+        QuantileThresholdRule(
+            name="recovery-overrun", severity="warning",
+            selector="replica.recover.seconds", quantile="p99",
+            threshold=5.0, window=slow,
+        ),
+    ]
+
+
+@dataclass
+class _RuleState:
+    firing: bool = False
+    since: Optional[float] = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class AlertEngine:
+    """Evaluates rules against the store and publishes the edges.
+
+    Args:
+        store: The time-series store scrapes land in.
+        rules: Declarative rules (``default_rules()`` when omitted).
+        bus: Optional :class:`~repro.obs.live.bus.TelemetryBus`; firing
+            and resolution edges publish ``alert.firing`` /
+            ``alert.resolved`` events onto it.
+        clock: Wall-clock source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        rules: Optional[Sequence[AlertRule]] = None,
+        bus: Optional[Any] = None,
+        clock: Any = _time.time,
+    ):
+        self.store = store
+        self.rules = list(rules if rules is not None else default_rules())
+        self.bus = bus
+        self._clock = clock
+        self._states: dict[str, _RuleState] = {
+            rule.name: _RuleState() for rule in self.rules
+        }
+        #: Every firing/resolved transition, in order.
+        self.events: list[dict[str, Any]] = []
+
+    def evaluate(
+        self,
+        samples: Optional[Iterable[Sample]] = None,
+        now: Optional[float] = None,
+    ) -> list[dict[str, Any]]:
+        """One evaluation pass; returns the transitions it produced.
+
+        *samples* lets a caller that already loaded the store (the
+        bench's poll loop) share the pass; omitted, the store is read.
+        """
+        if now is None:
+            now = self._clock()
+        loaded = list(samples) if samples is not None \
+            else list(self.store.samples())
+        transitions: list[dict[str, Any]] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            active, detail = rule.evaluate(loaded, now)
+            state.detail = detail
+            if active and not state.firing:
+                state.firing = True
+                state.since = now
+                transitions.append(self._edge("firing", rule, now, detail))
+            elif not active and state.firing:
+                state.firing = False
+                edge = self._edge("resolved", rule, now, detail)
+                if state.since is not None:
+                    edge["after_seconds"] = round(now - state.since, 3)
+                state.since = None
+                transitions.append(edge)
+        self.events.extend(transitions)
+        if self.bus is not None:
+            for edge in transitions:
+                # The bus stamps its own envelope ``at``; shipping the
+                # edge's would shadow it and be rejected.
+                self.bus.publish(f"alert.{edge['state']}",
+                                 **{k: v for k, v in edge.items()
+                                    if k not in ("state", "at")})
+        return transitions
+
+    def _edge(self, state: str, rule: AlertRule, now: float,
+              detail: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "state": state,
+            "alert": rule.name,
+            "severity": rule.severity,
+            "at": now,
+            **detail,
+        }
+
+    def firing(self) -> list[str]:
+        """Names of currently-firing alerts."""
+        return [name for name, state in self._states.items()
+                if state.firing]
+
+    def summary(self) -> dict[str, Any]:
+        """The JSON block the bench embeds per policy."""
+        return {
+            "rules": [rule.to_dict() for rule in self.rules],
+            "events": list(self.events),
+            "firing": self.firing(),
+        }

@@ -1,0 +1,261 @@
+"""Selectors and windowed functions over stored metric samples.
+
+The store gives back flat :class:`~repro.obs.tsdb.store.Sample` points;
+this module turns them into answers.  One grammar serves the CLI, the
+serve ``/api/runs/<id>/query`` route, and the alert engine::
+
+    service.ops{outcome="ok",target="site-1"}
+
+— a series name plus an optional ``{key="value",...}`` label filter
+(matching is subset: a sample matches when it carries every selector
+label with the given value).  Functions:
+
+* ``increase`` / ``rate`` — windowed counter deltas, tolerant of
+  counter resets (a replica restart zeroes its registry; a negative
+  delta counts the post-reset value instead of going negative);
+* ``last`` — gauge last-value within the window;
+* ``p50``/``p95``/``p99``/``p999``/``mean`` — per-series values read
+  from the newest histogram summary in the window, plus a
+  count-weighted merge across matched series (the cluster-wide
+  quantile estimate the alert rules consume).
+
+Histogram summaries are cumulative over a process lifetime (the
+registry never resets reservoirs), so the window selects *which scrape
+is fresh enough to trust*, not which observations are counted — the
+honest semantics for merged quantile estimates without shipping raw
+observations over the wire.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.tsdb.store import Sample
+
+__all__ = [
+    "QUERY_FUNCTIONS",
+    "group_series",
+    "increase",
+    "last_value",
+    "merged_quantile",
+    "parse_selector",
+    "run_query",
+]
+
+#: Every function ``run_query`` understands.
+QUERY_FUNCTIONS = ("rate", "increase", "last", "p50", "p95", "p99",
+                   "p999", "mean")
+
+_SELECTOR = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][\w.]*)\s*"
+    r"(?:\{(?P<labels>[^}]*)\})?\s*$"
+)
+_LABEL = re.compile(r'^\s*([A-Za-z_][\w.]*)\s*=\s*"([^"]*)"\s*$')
+
+_QUANTILE_KEYS = {"p50": "p50", "p95": "p95", "p99": "p99",
+                  "p999": "p999", "mean": "mean"}
+
+
+def parse_selector(text: str) -> Tuple[str, dict[str, str]]:
+    """``name{key="value",...}`` → ``(name, labels)``.
+
+    Raises:
+        ConfigurationError: on a malformed selector.
+    """
+    match = _SELECTOR.match(text or "")
+    if not match:
+        raise ConfigurationError(
+            f"malformed selector {text!r} — expected "
+            'name or name{key="value",...}'
+        )
+    labels: dict[str, str] = {}
+    body = match.group("labels")
+    if body and body.strip():
+        for part in body.split(","):
+            pair = _LABEL.match(part)
+            if not pair:
+                raise ConfigurationError(
+                    f"malformed label matcher {part.strip()!r} in "
+                    f"selector {text!r} — expected key=\"value\""
+                )
+            labels[pair.group(1)] = pair.group(2)
+    return match.group("name"), labels
+
+
+def _matches(sample: Sample, name: str, labels: Mapping[str, str]) -> bool:
+    if sample.name != name:
+        return False
+    return all(sample.labels.get(key) == value
+               for key, value in labels.items())
+
+
+def group_series(
+    samples: Iterable[Sample], name: str, labels: Mapping[str, str],
+) -> dict[Tuple[Tuple[str, str], ...], list[Sample]]:
+    """Matched samples grouped per full label set, time-ordered."""
+    groups: dict[Tuple[Tuple[str, str], ...], list[Sample]] = {}
+    for sample in samples:
+        if _matches(sample, name, labels):
+            key = tuple(sorted(sample.labels.items()))
+            groups.setdefault(key, []).append(sample)
+    for points in groups.values():
+        points.sort(key=lambda sample: sample.at)
+    return groups
+
+
+def _window(points: Sequence[Sample], start: float,
+            end: float) -> list[Sample]:
+    return [point for point in points if start <= point.at <= end]
+
+
+def increase(points: Sequence[Sample], start: float, end: float) -> float:
+    """Counter growth across the window, reset-tolerant.
+
+    The first in-window point is the baseline; each later point adds
+    its positive delta, and a *negative* delta (a process restart reset
+    the counter) adds the post-reset value instead — the observations
+    behind it are new since the reset.
+    """
+    inside = _window(points, start, end)
+    total = 0.0
+    previous: Optional[float] = None
+    for point in inside:
+        if point.value is None:
+            continue
+        if previous is not None:
+            delta = point.value - previous
+            total += delta if delta >= 0 else point.value
+        previous = point.value
+    return total
+
+
+def last_value(points: Sequence[Sample], start: float,
+               end: float) -> Optional[float]:
+    """The newest in-window value, or ``None`` when the window is empty."""
+    for point in reversed(_window(points, start, end)):
+        if point.value is not None:
+            return point.value
+    return None
+
+
+def _latest_summary(points: Sequence[Sample], start: float,
+                    end: float) -> Optional[Mapping[str, Any]]:
+    for point in reversed(_window(points, start, end)):
+        if point.summary is not None:
+            return point.summary
+    return None
+
+
+def merged_quantile(
+    groups: Mapping[Any, Sequence[Sample]],
+    key: str, start: float, end: float,
+) -> Optional[float]:
+    """Count-weighted merge of the newest per-series summaries.
+
+    *key* names a summary field (``p99``, ``mean``, ...).  Weighting by
+    each series' observation count makes a busy replica's estimate
+    dominate an idle one's, which is the right bias for cluster-wide
+    latency alerts.
+    """
+    weighted = 0.0
+    weight = 0.0
+    for points in groups.values():
+        summary = _latest_summary(points, start, end)
+        if not summary:
+            continue
+        value = summary.get(key)
+        count = summary.get("count") or 0
+        if isinstance(value, (int, float)) and count > 0:
+            weighted += float(value) * count
+            weight += count
+    return weighted / weight if weight else None
+
+
+def _time_bounds(
+    groups: Mapping[Any, Sequence[Sample]],
+    window: Optional[float], at: Optional[float],
+) -> Tuple[float, float]:
+    if at is None:
+        newest = [points[-1].at for points in groups.values() if points]
+        at = max(newest) if newest else 0.0
+    start = at - window if window else float("-inf")
+    return start, at
+
+
+def run_query(
+    samples: Iterable[Sample],
+    selector: str,
+    fn: str = "last",
+    window: Optional[float] = None,
+    at: Optional[float] = None,
+) -> dict[str, Any]:
+    """Evaluate *fn* over every series matching *selector*.
+
+    Args:
+        samples: Flattened store points (``store.samples()``).
+        selector: ``name{key="value",...}``.
+        fn: One of :data:`QUERY_FUNCTIONS`.
+        window: Seconds of history to consider, newest-anchored;
+            required for ``rate``/``increase``, optional otherwise
+            (``None`` means all history).
+        at: Window end as a wall-clock timestamp; defaults to the
+            newest matched sample.
+
+    Returns:
+        ``{"format": "repro-tsdb-query", ...}`` with one ``results``
+        row per matched series (its full label set, the value, and the
+        in-window point count), plus a ``merged`` cluster-wide value
+        for histogram quantile functions.
+    """
+    if fn not in QUERY_FUNCTIONS:
+        raise ConfigurationError(
+            f"unknown query function {fn!r}; expected one of "
+            f"{', '.join(QUERY_FUNCTIONS)}"
+        )
+    if fn in ("rate", "increase") and not window:
+        raise ConfigurationError(f"{fn}() needs a --window")
+    name, labels = parse_selector(selector)
+    groups = group_series(samples, name, labels)
+    start, end = _time_bounds(groups, window, at)
+
+    results: list[dict[str, Any]] = []
+    merged: Optional[float] = None
+    for key, points in sorted(groups.items()):
+        inside = _window(points, start, end)
+        value: Optional[float]
+        if fn in ("rate", "increase"):
+            grown = increase(points, start, end)
+            if fn == "rate":
+                span = (inside[-1].at - inside[0].at) if len(inside) > 1 \
+                    else 0.0
+                value = grown / span if span > 0 else None
+            else:
+                value = grown
+        elif fn == "last":
+            value = last_value(points, start, end)
+        else:
+            summary = _latest_summary(points, start, end)
+            raw = summary.get(_QUANTILE_KEYS[fn]) if summary else None
+            value = float(raw) if isinstance(raw, (int, float)) else None
+        results.append({
+            "labels": dict(key),
+            "value": value,
+            "points": len(inside),
+        })
+    if fn in _QUANTILE_KEYS:
+        merged = merged_quantile(groups, _QUANTILE_KEYS[fn], start, end)
+
+    document: dict[str, Any] = {
+        "format": "repro-tsdb-query",
+        "version": 1,
+        "selector": selector,
+        "fn": fn,
+        "window": window,
+        "at": end if groups else None,
+        "results": results,
+    }
+    if merged is not None:
+        document["merged"] = merged
+    return document

@@ -1,0 +1,168 @@
+"""The scraping collector: poll every process, append to the store.
+
+A scrape *target* is anything that can hand over a series list in the
+``MetricsRegistry.to_dict()`` shape:
+
+* :class:`SocketScrapeTarget` — a replica's direct (un-proxied)
+  service port; the scraper opens a fresh connection per scrape and
+  asks with a ``{"kind": "metrics?"}`` frame.  Going direct matters:
+  scraping *through* the chaos proxy would make the monitoring pipeline
+  share the faults it is meant to observe.
+* :class:`RegistryScrapeTarget` — an in-process registry (the chaos
+  proxy lives in the bench process, so its metrics need no socket).
+
+Scrape failures are data, not errors: a replica that is down
+mid-scrape (the chaos driver kills them on purpose) yields a batch
+whose only series is ``scrape.up 0``, exactly how Prometheus renders
+an unreachable instance — so availability of the *telemetry* itself is
+queryable, and a dead replica never aborts the collector.
+
+:class:`MetricsScraper` is pull-based and driven by whoever owns a
+convenient loop (the bench's poll loop calls :meth:`maybe_scrape`
+every tick); it throttles itself to the configured interval.
+"""
+
+from __future__ import annotations
+
+import socket
+import time as _time
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.errors import ReproError, ServiceError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tsdb.store import TimeSeriesStore
+
+__all__ = [
+    "MetricsScraper",
+    "RegistryScrapeTarget",
+    "SocketScrapeTarget",
+]
+
+
+class SocketScrapeTarget:
+    """One replica reached over its direct service port."""
+
+    def __init__(self, name: str, host: str, port: int,
+                 timeout: float = 1.0):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def collect(self) -> list[dict[str, Any]]:
+        """One ``metrics?`` round trip; raises when the target is down."""
+        # Imported here, not at module scope: the bench (inside the
+        # repro.service package) imports this module, so a top-level
+        # repro.service.frames import would be circular.
+        from repro.service.frames import FrameError, recv_frame, \
+            send_frame
+
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as sock:
+            sock.settimeout(self.timeout)
+            send_frame(sock, {"kind": "metrics?"})
+            reply = recv_frame(sock)
+        if reply is None or reply.get("kind") != "metrics":
+            raise FrameError(
+                f"{self.name}: unexpected metrics? reply "
+                f"{None if reply is None else reply.get('kind')!r}"
+            )
+        document = reply.get("metrics") or {}
+        series = document.get("series")
+        return list(series) if isinstance(series, list) else []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SocketScrapeTarget {self.name} {self.host}:{self.port}>"
+
+
+class RegistryScrapeTarget:
+    """An in-process registry (the proxy, or tests)."""
+
+    def __init__(self, name: str, registry: MetricsRegistry):
+        self.name = name
+        self.registry = registry
+
+    def collect(self) -> list[dict[str, Any]]:
+        """The registry's current series list, no wire involved."""
+        return self.registry.to_dict()["series"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RegistryScrapeTarget {self.name}>"
+
+
+class MetricsScraper:
+    """Polls every target on an interval, appending one batch each.
+
+    Args:
+        store: Where batches land.
+        targets: Scrape targets (socket or in-process).
+        interval: Minimum seconds between scrape rounds;
+            :meth:`maybe_scrape` between rounds costs one clock read.
+        labels: Extra labels stamped onto every batch (``policy=...``).
+        clock: Wall-clock source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        targets: Sequence[Any],
+        interval: float = 1.0,
+        labels: Optional[Mapping[str, Any]] = None,
+        clock: Callable[[], float] = _time.time,
+    ):
+        self.store = store
+        self.targets = list(targets)
+        self.interval = max(0.05, float(interval))
+        self.labels = {str(k): str(v) for k, v in (labels or {}).items()}
+        self._clock = clock
+        self._last: Optional[float] = None
+        self.scrapes = 0
+        self.failures = 0
+
+    def maybe_scrape(self, now: Optional[float] = None) -> bool:
+        """Scrape if the interval elapsed; the first call always does."""
+        if now is None:
+            now = self._clock()
+        if self._last is not None and now - self._last < self.interval:
+            return False
+        self.scrape(now)
+        return True
+
+    def scrape(self, now: Optional[float] = None) -> int:
+        """One round over every target; returns how many were up.
+
+        A target that fails (connection refused mid-kill, a torn reply,
+        a timeout) contributes a batch holding only ``scrape.up 0``;
+        the round itself never raises for a down target.
+        """
+        if now is None:
+            now = self._clock()
+        self._last = now
+        healthy = 0
+        for target in self.targets:
+            try:
+                series = target.collect()
+                up = 1.0
+                healthy += 1
+            except (OSError, ReproError, ServiceError, ValueError):
+                series = []
+                up = 0.0
+                self.failures += 1
+            series = series + [{
+                "name": "scrape.up", "labels": {},
+                "type": "gauge", "value": up,
+            }]
+            self.store.append({
+                "format": "repro-tsdb-batch",
+                "version": 1,
+                "at": now,
+                "target": target.name,
+                "labels": self.labels,
+                "series": series,
+            })
+        self.scrapes += 1
+        return healthy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MetricsScraper targets={len(self.targets)} "
+                f"scrapes={self.scrapes} failures={self.failures}>")

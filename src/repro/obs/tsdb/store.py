@@ -1,0 +1,293 @@
+"""A chunked, append-only on-disk time-series store.
+
+The scraper appends one *batch* per (target, scrape tick) — the full
+``MetricsRegistry.to_dict()`` series list stamped with a wall-clock
+time, a target name, and any extra labels (``policy=...``).  Batches
+land in numbered chunk files under one directory::
+
+    tsdb/
+      chunk-000001.tsdb
+      chunk-000002.tsdb     <- active tail
+
+Each chunk is a flat sequence of CRC-checked records in exactly the
+WAL's framing (:mod:`repro.service.wal`)::
+
+    +------------------+----------------+----------------------+
+    | length (4B, BE)  | crc32 (4B, BE) | payload (JSON bytes) |
+    +------------------+----------------+----------------------+
+
+and the read side keeps the same crash contract: a *torn final record*
+in the newest chunk — the signature of a scraper killed mid-append —
+is dropped silently, while corruption anywhere earlier raises
+:class:`~repro.errors.WALCorruptionError` (the store must not guess
+what a lying disk wrote).
+
+Chunks rotate once the active one passes ``chunk_bytes``; retention
+keeps the newest ``max_chunks`` and deletes the rest, so a long bench
+holds a bounded window of history, newest-biased — the same shape a
+production TSDB's head/block retention takes, scaled down.
+
+Reads flatten batches into :class:`Sample` points (one per series per
+batch) for the query layer; batch labels and the target name fold into
+each sample's label set so selectors can say ``{target="site-3"}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Optional, Union
+
+from repro.errors import ConfigurationError, WALCorruptionError
+
+__all__ = [
+    "CHUNK_PATTERN",
+    "MAX_RECORD_BYTES",
+    "Sample",
+    "TimeSeriesStore",
+]
+
+_RECORD = struct.Struct(">II")
+
+#: Upper bound on one batch's payload; a length prefix above this is
+#: treated as corruption rather than an allocation request.
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+#: Chunk file naming scheme (zero-padded so lexical order is scan order).
+CHUNK_PATTERN = re.compile(r"^chunk-(\d{6})\.tsdb$")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One flattened point: a series value at a scrape instant.
+
+    ``labels`` merges the series' own labels with the batch labels and
+    the target name (under ``target``).  For counters and gauges
+    ``value`` holds the number and ``summary`` is ``None``; for
+    histograms ``value`` is ``None`` and ``summary`` holds the full
+    quantile/sum/count document.
+    """
+
+    at: float
+    name: str
+    type: str
+    labels: Mapping[str, str]
+    value: Optional[float]
+    summary: Optional[Mapping[str, Any]]
+
+
+def _scan_chunk(data: bytes, origin: str, tolerate_tail: bool) -> list[Any]:
+    """Decode every complete record, tolerating a torn tail when asked."""
+    entries: list[Any] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        if offset + _RECORD.size > size:
+            if tolerate_tail:
+                break  # torn header at end-of-file
+            raise WALCorruptionError(
+                f"{origin}: torn record header at byte {offset} in a "
+                "sealed chunk — only the newest chunk may be torn"
+            )
+        length, crc = _RECORD.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            raise WALCorruptionError(
+                f"{origin}: record at byte {offset} claims {length} bytes "
+                f"(limit {MAX_RECORD_BYTES}) — corrupt length prefix"
+            )
+        start = offset + _RECORD.size
+        end = start + length
+        if end > size:
+            if tolerate_tail:
+                break  # torn payload at end-of-file
+            raise WALCorruptionError(
+                f"{origin}: torn record payload at byte {offset} in a "
+                "sealed chunk — only the newest chunk may be torn"
+            )
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            if tolerate_tail and end == size:
+                break  # torn final record: length landed, payload did not
+            raise WALCorruptionError(
+                f"{origin}: CRC mismatch at byte {offset} with "
+                f"{size - end} bytes following — mid-chunk corruption"
+            )
+        try:
+            entry = json.loads(payload)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WALCorruptionError(
+                f"{origin}: undecodable record at byte {offset}: {exc}"
+            ) from exc
+        entries.append(entry)
+        offset = end
+    return entries
+
+
+class TimeSeriesStore:
+    """The on-disk metrics store for one bench/cluster run.
+
+    Args:
+        directory: Where chunk files live (created on first append).
+        chunk_bytes: Rotate the active chunk once it reaches this size.
+        max_chunks: Retention — keep at most this many chunks, newest
+            first; older chunks are deleted at rotation time.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path],
+                 chunk_bytes: int = 256 * 1024, max_chunks: int = 64):
+        if chunk_bytes < 1:
+            raise ConfigurationError(
+                f"chunk_bytes must be >= 1, got {chunk_bytes}")
+        if max_chunks < 1:
+            raise ConfigurationError(
+                f"max_chunks must be >= 1, got {max_chunks}")
+        self.directory = pathlib.Path(directory)
+        self.chunk_bytes = chunk_bytes
+        self.max_chunks = max_chunks
+        self._handle: Optional[Any] = None
+        self._active: Optional[pathlib.Path] = None
+        self._active_size = 0
+
+    # ------------------------------------------------------------------
+    def chunk_paths(self) -> list[pathlib.Path]:
+        """Existing chunk files, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        chunks = [path for path in self.directory.iterdir()
+                  if CHUNK_PATTERN.match(path.name)]
+        return sorted(chunks)
+
+    def _open_active(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        chunks = self.chunk_paths()
+        if chunks and chunks[-1].stat().st_size < self.chunk_bytes:
+            self._active = chunks[-1]
+        else:
+            index = _chunk_index(chunks[-1]) + 1 if chunks else 1
+            self._active = self.directory / f"chunk-{index:06d}.tsdb"
+        self._handle = open(self._active, "ab")
+        self._active_size = self._active.stat().st_size
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        chunks = self.chunk_paths()
+        index = _chunk_index(chunks[-1]) + 1 if chunks else 1
+        self._active = self.directory / f"chunk-{index:06d}.tsdb"
+        self._handle = open(self._active, "ab")
+        self._active_size = 0
+        # Retention: drop the oldest chunks beyond the cap.  The active
+        # chunk is always newest, so it is never a deletion candidate.
+        chunks = self.chunk_paths()
+        for stale in chunks[:max(0, len(chunks) - self.max_chunks)]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - racing deletes are fine
+                pass
+
+    def append(self, batch: Mapping[str, Any]) -> None:
+        """Durably frame one scrape batch onto the active chunk."""
+        if self._handle is None:
+            try:
+                self._open_active()
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot open time-series store under "
+                    f"{self.directory}: {exc}"
+                ) from exc
+        payload = json.dumps(
+            batch, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        if len(payload) > MAX_RECORD_BYTES:
+            raise ConfigurationError(
+                f"scrape batch of {len(payload)} bytes exceeds the "
+                f"{MAX_RECORD_BYTES}-byte limit"
+            )
+        record = _RECORD.pack(len(payload), zlib.crc32(payload)) + payload
+        try:
+            assert self._handle is not None
+            self._handle.write(record)
+            self._handle.flush()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot append to chunk {self._active}: {exc}"
+            ) from exc
+        self._active_size += len(record)
+        if self._active_size >= self.chunk_bytes:
+            self._rotate()
+
+    def close(self) -> None:
+        """Close the active chunk handle (reads never need it open)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TimeSeriesStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def batches(self) -> Iterator[dict[str, Any]]:
+        """Every stored batch, oldest first.
+
+        Only the newest chunk may carry a torn tail (a scraper killed
+        mid-append); sealed chunks must be whole, and mid-chunk
+        corruption anywhere raises
+        :class:`~repro.errors.WALCorruptionError`.
+        """
+        chunks = self.chunk_paths()
+        for position, path in enumerate(chunks):
+            data = path.read_bytes()
+            tail = position == len(chunks) - 1
+            for entry in _scan_chunk(data, str(path), tolerate_tail=tail):
+                if isinstance(entry, dict):
+                    yield entry
+
+    def samples(self) -> Iterator[Sample]:
+        """Every stored point flattened for the query layer."""
+        for batch in self.batches():
+            at = batch.get("at")
+            if not isinstance(at, (int, float)):
+                continue
+            shared = {str(k): str(v)
+                      for k, v in (batch.get("labels") or {}).items()}
+            target = batch.get("target")
+            if target is not None:
+                shared["target"] = str(target)
+            for entry in batch.get("series") or ():
+                if not isinstance(entry, dict):
+                    continue
+                name = entry.get("name")
+                kind = entry.get("type")
+                if not name or kind not in ("counter", "gauge", "histogram"):
+                    continue
+                labels = dict(shared)
+                labels.update({str(k): str(v) for k, v in
+                               (entry.get("labels") or {}).items()})
+                if kind == "histogram":
+                    yield Sample(at=float(at), name=name, type=kind,
+                                 labels=labels, value=None, summary=entry)
+                else:
+                    value = entry.get("value")
+                    if not isinstance(value, (int, float)):
+                        continue
+                    yield Sample(at=float(at), name=name, type=kind,
+                                 labels=labels, value=float(value),
+                                 summary=None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TimeSeriesStore dir={self.directory} "
+                f"chunks={len(self.chunk_paths())}>")
+
+
+def _chunk_index(path: pathlib.Path) -> int:
+    match = CHUNK_PATTERN.match(path.name)
+    return int(match.group(1)) if match else 0

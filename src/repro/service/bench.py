@@ -37,6 +37,13 @@ from repro.obs.dtrace.collect import (
     sample_exemplars,
     summarize_trace,
 )
+from repro.obs.tsdb.alerts import AlertEngine, default_rules
+from repro.obs.tsdb.scrape import (
+    MetricsScraper,
+    RegistryScrapeTarget,
+    SocketScrapeTarget,
+)
+from repro.obs.tsdb.store import TimeSeriesStore
 from repro.service.chaos import (
     LiveFaultDriver,
     ensure_minimums,
@@ -75,6 +82,13 @@ class BenchOptions:
             the bench merges the logs and samples exemplar traces
             (always keeping violation and denied/unavailable traces).
         trace_exemplars: How many exemplar traces to keep per policy.
+        scrape_interval: Seconds between metrics scrapes; ``0`` (the
+            default) disables the pipeline.  On, every replica's
+            direct port plus the in-process proxy registry are scraped
+            into ``<directory>/tsdb`` and the SLO alert rules are
+            evaluated against the store as the run progresses.
+        availability_target: The burn-rate rules' SLO (0.99 → a 1%
+            error budget).
     """
 
     directory: str
@@ -93,6 +107,8 @@ class BenchOptions:
     schedule_length: int = 40
     trace: bool = False
     trace_exemplars: int = 8
+    scrape_interval: float = 0.0
+    availability_target: float = 0.99
 
     def __post_init__(self) -> None:
         if not self.policies:
@@ -109,6 +125,14 @@ class BenchOptions:
         if self.duration <= 0:
             raise ConfigurationError(
                 f"duration must be > 0, got {self.duration}")
+        if self.scrape_interval < 0:
+            raise ConfigurationError(
+                f"scrape_interval must be >= 0, got "
+                f"{self.scrape_interval}")
+        if not 0.0 < self.availability_target < 1.0:
+            raise ConfigurationError(
+                f"availability_target must be in (0, 1), got "
+                f"{self.availability_target}")
 
 
 def _read_marker(path: pathlib.Path) -> Optional[dict[str, Any]]:
@@ -167,8 +191,40 @@ def _collect_traces(
     return summary, kept
 
 
+def _policy_samples(store: Optional[TimeSeriesStore], policy: str) -> list:
+    """This policy's stored points (the store is shared across
+    policies; alert windows must not see a predecessor's tail)."""
+    if store is None:
+        return []
+    return [sample for sample in store.samples()
+            if sample.labels.get("policy") == policy]
+
+
+def _drain_alerts(
+    options: BenchOptions, policy: str,
+    store: Optional[TimeSeriesStore],
+    scraper: MetricsScraper, engine: AlertEngine,
+) -> None:
+    """Post-load scrapes until firing alerts resolve (or a deadline).
+
+    Load has stopped and faults are healed, so the burn-rate windows
+    empty of errors as wall-clock passes; this loop keeps scraping the
+    recovered cluster and re-evaluating so the ``alert.resolved`` edge
+    lands inside the run instead of being lost at shutdown.
+    """
+    fast = max(0.75, 0.2 * options.duration)
+    deadline = time.monotonic() + fast + 2.0
+    while True:
+        scraper.scrape()
+        engine.evaluate(samples=_policy_samples(store, policy))
+        if not engine.firing() or time.monotonic() >= deadline:
+            return
+        time.sleep(max(0.1, min(options.scrape_interval, 0.5)))
+
+
 def _run_policy(
     options: BenchOptions, policy: str, bus: Optional[Any],
+    tsdb_store: Optional[TimeSeriesStore] = None,
 ) -> tuple[dict[str, Any], LoadResult, list[dict[str, Any]]]:
     """One policy's full cluster lifecycle.
 
@@ -206,6 +262,25 @@ def _run_policy(
                     replicas=options.replicas,
                     planned_faults=len(plan))
     cluster.start()
+    scraper: Optional[MetricsScraper] = None
+    engine: Optional[AlertEngine] = None
+    if tsdb_store is not None and options.scrape_interval > 0:
+        targets: list[Any] = [
+            SocketScrapeTarget(name, host, port,
+                               timeout=min(1.0, options.scrape_interval))
+            for name, (host, port)
+            in sorted(cluster.scrape_addresses().items())
+        ]
+        targets.append(RegistryScrapeTarget("proxy",
+                                            cluster.proxy_metrics))
+        scraper = MetricsScraper(
+            tsdb_store, targets, interval=options.scrape_interval,
+            labels={"policy": policy})
+        engine = AlertEngine(
+            tsdb_store,
+            default_rules(options.duration,
+                          target=options.availability_target),
+            bus=bus)
     driver = LiveFaultDriver(plan, proxy=cluster.proxy,
                              supervisor=cluster)
     fault_future = cluster.runtime.submit(driver.run())
@@ -233,6 +308,10 @@ def _run_policy(
                 bus.publish("service.fault", policy=policy,
                             **driver.applied[published])
                 published += 1
+            if scraper is not None and engine is not None \
+                    and scraper.maybe_scrape():
+                engine.evaluate(
+                    samples=_policy_samples(tsdb_store, policy))
             time.sleep(0.1)
         load_thread.join()
         fault_future.result(timeout=options.duration + 30.0)
@@ -243,6 +322,8 @@ def _run_policy(
         killed = sorted({record["site"] for record in cluster.kills})
         recovery = _await_recovery(
             cluster, killed, grace=max(5.0, 0.75 * options.duration))
+        if scraper is not None and engine is not None:
+            _drain_alerts(options, policy, tsdb_store, scraper, engine)
         proxy_stats = {
             "forwarded": cluster.proxy.forwarded,
             "dropped": cluster.proxy.dropped,
@@ -279,6 +360,14 @@ def _run_policy(
         "commits": {str(site): len(history)
                     for site, history in sorted(histories.items())},
     }
+    if scraper is not None and engine is not None:
+        doc["scrape"] = {
+            "interval": options.scrape_interval,
+            "targets": len(scraper.targets),
+            "scrapes": scraper.scrapes,
+            "failures": scraper.failures,
+        }
+        doc["alerts"] = engine.summary()
     trace_records: list[dict[str, Any]] = []
     if options.trace:
         doc["traces"], trace_records = _collect_traces(
@@ -300,21 +389,36 @@ def run_bench(
     policy) the registry stores next to the run; *traces* is the
     JSON-lines span sidecar for the sampled exemplar traces (empty
     unless ``options.trace``).
+
+    With ``scrape_interval > 0`` the run also leaves a queryable
+    time-series store at ``<directory>/tsdb`` (its path rides the
+    document's ``tsdb`` member, and ``RunRegistry.record_service``
+    copies it into the run's ``.tsdb/`` sidecar when passed along).
     """
     policies: dict[str, Any] = {}
     lines: list[str] = []
     trace_lines: list[str] = []
-    for policy in options.policies:
-        doc, load, trace_records = _run_policy(options, policy, bus)
-        policies[policy] = doc
-        for sample in load.samples:
-            lines.append(json.dumps(
-                dict(sample, policy=policy),
-                sort_keys=True, separators=(",", ":")))
-        for record in trace_records:
-            trace_lines.append(json.dumps(
-                dict(record, policy=policy),
-                sort_keys=True, separators=(",", ":")))
+    tsdb_store: Optional[TimeSeriesStore] = None
+    tsdb_dir: Optional[pathlib.Path] = None
+    if options.scrape_interval > 0:
+        tsdb_dir = pathlib.Path(options.directory) / "tsdb"
+        tsdb_store = TimeSeriesStore(tsdb_dir)
+    try:
+        for policy in options.policies:
+            doc, load, trace_records = _run_policy(options, policy, bus,
+                                                   tsdb_store)
+            policies[policy] = doc
+            for sample in load.samples:
+                lines.append(json.dumps(
+                    dict(sample, policy=policy),
+                    sort_keys=True, separators=(",", ":")))
+            for record in trace_records:
+                trace_lines.append(json.dumps(
+                    dict(record, policy=policy),
+                    sort_keys=True, separators=(",", ":")))
+    finally:
+        if tsdb_store is not None:
+            tsdb_store.close()
     document = {
         "format": "repro-service-bench",
         "version": 2,
@@ -324,6 +428,8 @@ def run_bench(
         "workers": options.workers,
         "write_ratio": options.write_ratio,
         "fsync": options.fsync,
+        "scrape_interval": options.scrape_interval,
+        "tsdb": None if tsdb_dir is None else str(tsdb_dir),
         "policies": policies,
         "ok": all(doc["ok"] for doc in policies.values()),
         "totals": {

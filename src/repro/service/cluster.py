@@ -30,6 +30,7 @@ from typing import Any, Coroutine, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError, ServiceError
 from repro.obs.dtrace.spans import JsonlSpanSink, SpanRecorder
+from repro.obs.metrics import MetricsRegistry
 from repro.service.client import ServiceClient
 from repro.service.proxy import ChaosProxy, ChaosRules
 
@@ -178,6 +179,9 @@ class LocalCluster:
         self.proxy: Optional[ChaosProxy] = None
         self.rules = ChaosRules()
         self.proxy_recorder: Optional[SpanRecorder] = None
+        #: The proxy's in-process instrument registry (scraped without
+        #: a socket — the proxy lives in this process).
+        self.proxy_metrics = MetricsRegistry()
         self._started_at = 0.0
 
     # ------------------------------------------------------------------
@@ -186,6 +190,18 @@ class LocalCluster:
         """Where clients should connect (proxy ports when chaotic)."""
         ports = self.proxy_ports if self.spec.proxy else self.replica_ports
         return [(self.spec.host, ports[site]) for site in self.sites]
+
+    def scrape_addresses(self) -> dict[str, tuple[str, int]]:
+        """``{"site-N": (host, direct_port)}`` for the metrics scraper.
+
+        Always the *direct* replica ports: monitoring must not share
+        the chaos wire it is observing, or every injected partition
+        would also blind the collector.
+        """
+        return {
+            f"site-{site}": (self.spec.host, self.replica_ports[site])
+            for site in self.sites
+        }
 
     def data_dir(self, site: int) -> pathlib.Path:
         """The durable directory of *site*."""
@@ -212,6 +228,7 @@ class LocalCluster:
                  for site in self.sites},
                 rules=self.rules,
                 recorder=self.proxy_recorder,
+                metrics=self.proxy_metrics,
             )
             self.runtime.submit(self.proxy.start()).result(10.0)
         self._started_at = time.monotonic()

@@ -146,6 +146,10 @@ class ChaosProxy:
             frame carrying trace context then becomes a span in that
             frame's trace, annotated with the fault window that caused
             it.  Untraced frames and ``pass`` verdicts record nothing.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when set, every verdict counts into ``proxy.frames`` and
+            forwarded wire bytes into ``proxy.frame.bytes`` per
+            direction — the scraper reads them in-process.
     """
 
     def __init__(
@@ -154,6 +158,7 @@ class ChaosProxy:
         routes: Mapping[int, Tuple[int, int]],
         rules: Optional[ChaosRules] = None,
         recorder: Optional[SpanRecorder] = None,
+        metrics: Optional[Any] = None,
     ):
         if not routes:
             raise ConfigurationError("proxy needs at least one route")
@@ -162,6 +167,7 @@ class ChaosProxy:
                        for site, (listen, upstream) in routes.items()}
         self.rules = rules or ChaosRules()
         self.recorder = recorder
+        self.metrics = metrics
         self.forwarded = 0
         self.dropped = 0
         self.delayed = 0
@@ -279,7 +285,11 @@ class ChaosProxy:
                 src, dst = identity["src"], site
             else:
                 src, dst = site, identity["src"]
+            direction = "in" if inbound else "out"
             action, cause = self.rules.decide(src, dst)
+            if self.metrics is not None:
+                self.metrics.counter("proxy.frames", verdict=action,
+                                     direction=direction).inc()
             if action == "drop":
                 self.dropped += 1
                 self._annotate(message, "drop", cause, src, dst)
@@ -292,8 +302,12 @@ class ChaosProxy:
                 if span is not None:
                     span.finish("delayed")
             self.forwarded += 1
+            payload = encode_frame(message)
+            if self.metrics is not None:
+                self.metrics.counter("proxy.frame.bytes",
+                                     direction=direction).inc(len(payload))
             try:
-                writer.write(encode_frame(message))
+                writer.write(payload)
                 await writer.drain()
             except (ConnectionError, OSError):
                 return

@@ -30,6 +30,7 @@ from __future__ import annotations
 import asyncio
 import json
 import random
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Tuple
 
@@ -43,6 +44,9 @@ from repro.errors import (
 from repro.obs.dtrace.context import CTX_FIELD, ctx_from_frame
 from repro.obs.dtrace.spans import SPAN_LOG_NAME, JsonlSpanSink, Span, \
     SpanRecorder
+from repro.obs.live.export import render_prometheus
+from repro.obs.live.resources import ResourceSampler
+from repro.obs.metrics import MetricsRegistry
 from repro.service.frames import FrameError, encode_frame, read_frame
 from repro.service.quorum import evaluate_round, plan_commit
 from repro.service.store import DurableReplica, commit_body
@@ -139,6 +143,9 @@ class ReplicaServer:
         self.recovery_info: Optional[dict[str, Any]] = None
         self.recorder: Optional[SpanRecorder] = None
         self.counters: dict[str, int] = {}
+        #: Per-process instrument registry, served over ``metrics?``.
+        self.metrics = MetricsRegistry()
+        self._sampler = ResourceSampler(min_interval=0.5)
         self._server: Optional[asyncio.base_events.Server] = None
         self._recover_task: Optional[asyncio.Task] = None
         self._coord_lock = asyncio.Lock()
@@ -161,7 +168,9 @@ class ReplicaServer:
             self.config.data_dir, self.site_id, self.config.copy_sites,
             fsync=self.config.fsync,
             compact_every=self.config.compact_every,
+            metrics=self.metrics,
         )
+        self._sampler.tick(metrics=self.metrics, force=True)
         self.recovery_info = self.store.verify_recovery()
         self.recovery_info["had_state"] = had_state
         self.recovery_info["reinserted"] = False
@@ -233,7 +242,11 @@ class ReplicaServer:
                 if message is None:
                     break
                 response = await self._dispatch(message)
-                writer.write(encode_frame(response))
+                payload = encode_frame(response)
+                self.metrics.counter(
+                    "replica.frame.bytes", direction="out"
+                ).inc(len(payload))
+                writer.write(payload)
                 await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -281,6 +294,7 @@ class ReplicaServer:
         self, message: Mapping[str, Any], span: Optional[Span] = None,
     ) -> dict[str, Any]:
         kind = message.get("kind")
+        self.metrics.counter("replica.frames", kind=str(kind)).inc()
         try:
             if kind == "ping":
                 return self._on_ping()
@@ -294,6 +308,8 @@ class ReplicaServer:
                 return self._on_fetch()
             if kind == "info":
                 return self._on_info()
+            if kind == "metrics?":
+                return self._on_metrics(message)
             if kind in ("get", "put"):
                 return await self._on_client_op(message, span)
             return {"kind": "error", "reason": f"unknown kind {kind!r}"}
@@ -327,6 +343,7 @@ class ReplicaServer:
         holder = int(message.get("from", 0))
         if not self._try_lease(holder):
             self._count("busy")
+            self.metrics.counter("replica.lease.denied").inc()
             return {"kind": "busy", "site": self.site_id,
                     "holder": self._lease_holder}
         assert self.store is not None
@@ -397,6 +414,26 @@ class ReplicaServer:
             "counters": dict(self.counters),
             "recovery": self.recovery_info,
         }
+
+    def _on_metrics(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """The ``metrics?`` frame: this process's registry, for scrapers.
+
+        The reply carries the registry's JSON document; asking with
+        ``{"format": "prometheus"}`` adds the text exposition render so
+        a conventional scraper can be pointed at a replica with a
+        one-line shim.
+        """
+        self._sampler.tick(
+            metrics=self.metrics,
+            events=int(self.counters.get("commits", 0)))
+        reply: dict[str, Any] = {
+            "kind": "metrics",
+            "site": self.site_id,
+            "metrics": self.metrics.to_dict(),
+        }
+        if message.get("format") == "prometheus":
+            reply["text"] = render_prometheus(self.metrics)
+        return reply
 
     # ------------------------------------------------------------------
     # peer RPC
@@ -479,8 +516,22 @@ class ReplicaServer:
         if key is None:
             return {"kind": "error", "reason": f"{op} needs a key"}
         value = message.get("value")
-        async with self._coord_lock:
-            return await self._coordinate(op, str(key), value, span)
+        start = _time.perf_counter()
+        outcome = "error"
+        try:
+            async with self._coord_lock:
+                response = await self._coordinate(op, str(key), value,
+                                                  span)
+            outcome = "ok" if response.get("ok") \
+                else str(response.get("outcome", "error"))
+            return response
+        finally:
+            # Replica-side availability: what this cluster answered,
+            # regardless of what any one client managed to observe.
+            self.metrics.counter("service.ops", op=op,
+                                 outcome=outcome).inc()
+            self.metrics.histogram("service.op.seconds", op=op).observe(
+                _time.perf_counter() - start)
 
     async def _coordinate(
         self, op: str, key: str, value: Any,
@@ -522,8 +573,9 @@ class ReplicaServer:
             round_span = self.recorder.span(
                 "quorum.round", parent=span, op=op,
                 policy=self.config.policy, coordinator=self.site_id)
-        states, values, busy, _ = await self._collect_states(
-            key, round_span)
+        with self.metrics.timed("replica.round.collect.seconds"):
+            states, values, busy, _ = await self._collect_states(
+                key, round_span)
         if round_span is not None:
             round_span.event(
                 "state.collect",
@@ -536,10 +588,11 @@ class ReplicaServer:
             if round_span is not None:
                 round_span.finish("busy")
             return None
-        verdict, replica_set, protocol = evaluate_round(
-            self.config.policy, states, self.config.copy_sites,
-            self.config.segments,
-        )
+        with self.metrics.timed("replica.round.evaluate.seconds"):
+            verdict, replica_set, protocol = evaluate_round(
+                self.config.policy, states, self.config.copy_sites,
+                self.config.segments,
+            )
         if round_span is not None:
             round_span.event(
                 "quorum.evaluate", granted=verdict.granted,
@@ -567,9 +620,10 @@ class ReplicaServer:
             kind, plan.operation, plan.version, plan.partition_set,
             writes=writes, coordinator=self.site_id,
         )
-        acks = await self._broadcast(
-            plan.partition_set, {"kind": "commit", "entry": entry},
-            round_span)
+        with self.metrics.timed("replica.round.commit.seconds"):
+            acks = await self._broadcast(
+                plan.partition_set, {"kind": "commit", "entry": entry},
+                round_span)
         self._last_entry = dict(entry)
         await self._release_leases(
             frozenset(states) - plan.partition_set - {self.site_id})
@@ -687,6 +741,9 @@ class ReplicaServer:
             except (ProtocolError, ServiceError, ConfigurationError,
                     OSError):
                 self._count("recover.errors")
+            self._sampler.tick(
+                metrics=self.metrics,
+                events=int(self.counters.get("commits", 0)))
 
     async def _recover_round(self) -> None:
         assert self.store is not None
@@ -697,9 +754,13 @@ class ReplicaServer:
                                       site=self.site_id,
                                       policy=self.config.policy)
         status = "current"
+        start = _time.perf_counter()
         try:
             status = await self._recover_once(span)
         finally:
+            self.metrics.histogram(
+                "replica.recover.seconds", status=status
+            ).observe(_time.perf_counter() - start)
             if span is not None:
                 span.finish(status)
 

@@ -72,6 +72,7 @@ class DurableReplica:
         copy_sites: Iterable[int],
         fsync: str = "always",
         compact_every: int = 256,
+        metrics: Optional[Any] = None,
     ):
         if compact_every < 1:
             raise ConfigurationError(
@@ -86,8 +87,9 @@ class DurableReplica:
                 f"{sorted(self.copy_sites)}"
             )
         self.compact_every = compact_every
-        self.wal = WriteAheadLog(self.directory, fsync=fsync)
-        self.snapshots = SnapshotStore(self.directory)
+        self.wal = WriteAheadLog(self.directory, fsync=fsync,
+                                 metrics=metrics)
+        self.snapshots = SnapshotStore(self.directory, metrics=metrics)
         self.state = ReplicaState(self.site_id,
                                   partition_set=self.copy_sites)
         self.data: dict[str, Any] = {}
@@ -104,14 +106,20 @@ class DurableReplica:
         copy_sites: Iterable[int],
         fsync: str = "always",
         compact_every: int = 256,
+        metrics: Optional[Any] = None,
     ) -> "DurableReplica":
         """Create a replica store, recovering any on-disk state.
+
+        *metrics* (a :class:`~repro.obs.metrics.MetricsRegistry`) turns
+        on WAL append/fsync and snapshot-save timing series; ``None``
+        keeps the write path free of instrumentation branches' cost.
 
         Raises:
             WALCorruptionError: on mid-log or snapshot corruption.
         """
         store = cls(directory, site_id, copy_sites,
-                    fsync=fsync, compact_every=compact_every)
+                    fsync=fsync, compact_every=compact_every,
+                    metrics=metrics)
         snapshot = store.snapshots.load()
         if snapshot is not None:
             store._install_snapshot(snapshot)

@@ -28,6 +28,7 @@ import json
 import os
 import pathlib
 import struct
+import time as _time
 import zlib
 from typing import Any, Optional, Union
 
@@ -122,13 +123,16 @@ class WriteAheadLog:
     """
 
     def __init__(self, directory: Union[str, pathlib.Path],
-                 fsync: str = "always"):
+                 fsync: str = "always", metrics: Optional[Any] = None):
         if fsync not in FSYNC_POLICIES:
             raise ConfigurationError(
                 f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
             )
         self.directory = pathlib.Path(directory)
         self.fsync = fsync
+        #: Optional MetricsRegistry; when set, every append records
+        #: write/flush and fsync latency series plus record/byte counts.
+        self.metrics = metrics
         self._handle: Optional[Any] = None
 
     @property
@@ -184,14 +188,24 @@ class WriteAheadLog:
             )
         record = _RECORD.pack(len(payload), zlib.crc32(payload)) + payload
         try:
+            start = _time.perf_counter()
             self._handle.write(record)
             self._handle.flush()
+            flushed = _time.perf_counter()
             if self.fsync == "always":
                 os.fsync(self._handle.fileno())
         except OSError as exc:
             raise ConfigurationError(
                 f"cannot append to WAL {self.path}: {exc}"
             ) from exc
+        if self.metrics is not None:
+            self.metrics.histogram("wal.append.seconds").observe(
+                flushed - start)
+            if self.fsync == "always":
+                self.metrics.histogram("wal.fsync.seconds").observe(
+                    _time.perf_counter() - flushed)
+            self.metrics.counter("wal.records").inc()
+            self.metrics.counter("wal.bytes").inc(len(record))
 
     def sync(self) -> None:
         """Force buffered records to disk regardless of policy."""
@@ -236,8 +250,10 @@ class SnapshotStore:
     snapshot, which is why a *corrupt* one is always an error.
     """
 
-    def __init__(self, directory: Union[str, pathlib.Path]):
+    def __init__(self, directory: Union[str, pathlib.Path],
+                 metrics: Optional[Any] = None):
         self.directory = pathlib.Path(directory)
+        self.metrics = metrics
 
     @property
     def path(self) -> pathlib.Path:
@@ -247,6 +263,7 @@ class SnapshotStore:
     def save(self, document: Any) -> None:
         """Atomically replace the snapshot with *document*."""
         tmp = self.path.with_suffix(".json.tmp")
+        start = _time.perf_counter()
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             with open(tmp, "w") as handle:
@@ -259,6 +276,10 @@ class SnapshotStore:
             raise ConfigurationError(
                 f"cannot write snapshot {self.path}: {exc}"
             ) from exc
+        if self.metrics is not None:
+            self.metrics.histogram("wal.snapshot.seconds").observe(
+                _time.perf_counter() - start)
+            self.metrics.counter("wal.snapshots").inc()
 
     def load(self) -> Optional[Any]:
         """The last saved document, or ``None`` when no snapshot exists.

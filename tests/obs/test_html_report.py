@@ -140,3 +140,80 @@ class TestServiceTraceSection:
         html = render_report([self._record(tmp_path, with_traces=False)])
         assert "client.put" in html  # exemplar table from the document
         assert "<svg" not in html
+
+
+class TestServiceMetricsSection:
+    def _record(self, tmp_path, with_tsdb=True, alerts=None):
+        from repro.obs.tsdb import TimeSeriesStore
+
+        registry = RunRegistry(tmp_path / "runs")
+        policy_doc = {
+            "policy": "ODV", "ok": True, "violations": [],
+            "recovered": True,
+        }
+        if alerts is not None:
+            policy_doc["alerts"] = alerts
+        document = {
+            "format": "repro-service-bench", "version": 2, "seed": 7,
+            "duration": 1.0, "replicas": 2, "workers": 1,
+            "write_ratio": 0.5, "fsync": "never",
+            "policies": {"ODV": policy_doc},
+            "ok": True,
+            "totals": {"operations": 4, "violations": 0,
+                       "kills": 0, "partitions": 0},
+        }
+        source = None
+        if with_tsdb:
+            source = tmp_path / "bench-tsdb"
+            with TimeSeriesStore(source) as store:
+                for tick, count in enumerate((0, 10, 20, 30)):
+                    store.append({
+                        "format": "repro-tsdb-batch", "version": 1,
+                        "at": float(tick), "target": "site-1",
+                        "labels": {"policy": "ODV"},
+                        "series": [
+                            {"name": "service.ops",
+                             "labels": {"outcome": "ok"},
+                             "type": "counter", "value": count},
+                            {"name": "scrape.up", "labels": {},
+                             "type": "gauge", "value": 1.0},
+                        ],
+                    })
+        return registry.record_service(document, tsdb=source)
+
+    def test_sparklines_render_from_the_sidecar(self, tmp_path):
+        html = render_report([self._record(tmp_path)])
+        assert "Cluster metrics" in html
+        assert "site-1" in html
+        assert 'class="spark"' in html
+
+    def test_report_survives_a_missing_tsdb(self, tmp_path):
+        html = render_report([self._record(tmp_path, with_tsdb=False)])
+        assert "Cluster metrics" not in html
+
+    def test_alert_history_renders_edges(self, tmp_path):
+        alerts = {
+            "rules": [{"name": "availability-burn-rate",
+                       "severity": "critical", "kind": "burn-rate"}],
+            "events": [
+                {"state": "firing", "alert": "availability-burn-rate",
+                 "severity": "critical", "at": 4.0,
+                 "burn_fast": 100.0, "burn_slow": 60.0},
+                {"state": "resolved",
+                 "alert": "availability-burn-rate",
+                 "severity": "critical", "at": 8.0,
+                 "after_seconds": 4.0},
+            ],
+            "firing": [],
+        }
+        html = render_report([self._record(tmp_path, alerts=alerts)])
+        assert "availability-burn-rate" in html
+        assert "firing" in html
+        assert "resolved" in html
+
+    def test_quiet_run_shows_slo_held(self, tmp_path):
+        alerts = {"rules": [{"name": "availability-burn-rate",
+                             "severity": "critical"}],
+                  "events": [], "firing": []}
+        html = render_report([self._record(tmp_path, alerts=alerts)])
+        assert "SLO held" in html

@@ -315,7 +315,16 @@ class TestHistogramQuantiles:
         assert doc["p50"] == pytest.approx(histogram.quantile(0.5))
         assert doc["p95"] == pytest.approx(histogram.quantile(0.95))
         assert doc["p99"] == pytest.approx(histogram.quantile(0.99))
-        assert doc["p99"] >= doc["p95"] >= doc["p50"]
+        assert doc["p999"] == pytest.approx(histogram.quantile(0.999))
+        assert doc["p999"] >= doc["p99"] >= doc["p95"] >= doc["p50"]
+
+    def test_prometheus_summary_exports_p999(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("serve.latency.seconds")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        text = render_prometheus(registry)
+        assert 'serve_latency_seconds{quantile="0.999"}' in text
 
 
 class TestStudyIntegration:

@@ -338,6 +338,50 @@ class TestServiceRuns:
         again = registry.record_service(_service_document())
         assert again.run_id == record.run_id
 
+    def test_tsdb_sidecar_is_copied_into_the_registry(
+            self, registry, tmp_path):
+        from repro.obs.tsdb import TimeSeriesStore
+
+        source = tmp_path / "bench-tsdb"
+        with TimeSeriesStore(source) as store:
+            store.append({"format": "repro-tsdb-batch", "version": 1,
+                          "at": 1.0, "target": "site-1", "labels": {},
+                          "series": [{"name": "scrape.up", "labels": {},
+                                      "type": "gauge", "value": 1.0}]})
+        record = registry.record_service(_service_document(),
+                                         samples=b'{"op": "get"}\n',
+                                         tsdb=source)
+        sidecar = registry.tsdb_path(record.run_id)
+        assert sidecar.parent == registry.root / ".tsdb"
+        copied = TimeSeriesStore(sidecar)
+        [sample] = list(copied.samples())
+        assert sample.name == "scrape.up"
+        assert sample.labels["target"] == "site-1"
+        # Like samples/traces, the tsdb sits outside the run identity.
+        again = registry.record_service(_service_document())
+        assert again.run_id == record.run_id
+
+    def test_missing_tsdb_source_is_rejected(self, registry, tmp_path):
+        with pytest.raises(ConfigurationError):
+            registry.record_service(_service_document(),
+                                    tsdb=tmp_path / "nope")
+
+    def test_gc_prunes_orphaned_tsdb_directories(self, registry, tmp_path):
+        from repro.obs.tsdb import TimeSeriesStore
+
+        source = tmp_path / "bench-tsdb"
+        with TimeSeriesStore(source) as store:
+            store.append({"format": "repro-tsdb-batch", "version": 1,
+                          "at": 1.0, "target": "site-1", "labels": {},
+                          "series": []})
+        doomed = registry.record_service(_service_document(seed=1),
+                                         tsdb=source)
+        kept = registry.record_service(_service_document(seed=2),
+                                       tsdb=source)
+        registry.gc(keep_last=1)
+        assert not registry.tsdb_path(doomed.run_id).exists()
+        assert registry.tsdb_path(kept.run_id).is_dir()
+
     def test_gc_prunes_orphaned_sidecars_and_keeps_live_ones(self, registry):
         doomed = registry.record_service(_service_document(seed=1),
                                          samples=b"old\n",

@@ -453,3 +453,120 @@ class TestTracePages:
     def test_traces_of_unknown_run_is_404(self, client):
         assert client.get("/runs/zzzzzz/traces").code == 404
         assert client.get("/api/runs/zzzzzz/traces").code == 404
+
+
+def _scraped_service_run(registry, tmp_path, with_sidecar=True):
+    from repro.obs.tsdb import TimeSeriesStore
+
+    document = {
+        "format": "repro-service-bench", "version": 2, "seed": 7,
+        "duration": 1.0, "replicas": 2, "workers": 1,
+        "write_ratio": 0.5, "fsync": "never",
+        "policies": {"ODV": {"policy": "ODV", "ok": True,
+                             "violations": [], "recovered": True}},
+        "ok": True,
+        "totals": {"operations": 4, "violations": 0,
+                   "kills": 0, "partitions": 0},
+    }
+    source = None
+    if with_sidecar:
+        source = tmp_path / "bench-tsdb"
+        with TimeSeriesStore(source) as store:
+            for tick, count in enumerate((0, 10, 20)):
+                store.append({
+                    "format": "repro-tsdb-batch", "version": 1,
+                    "at": float(tick), "target": "site-1",
+                    "labels": {"policy": "ODV"},
+                    "series": [
+                        {"name": "service.ops",
+                         "labels": {"outcome": "ok"},
+                         "type": "counter", "value": count},
+                        {"name": "scrape.up", "labels": {},
+                         "type": "gauge", "value": 1.0},
+                    ],
+                })
+    return registry.record_service(document, tsdb=source)
+
+
+class TestMetricsPages:
+    def test_metrics_page_renders_sparklines(self, registry, tmp_path):
+        record = _scraped_service_run(registry, tmp_path)
+        client = Client(create_app(str(registry.root)))
+        response = client.get(f"/runs/{record.run_id}/metrics")
+        assert response.code == 200
+        assert "Cluster metrics" in response.text
+        assert "<svg" in response.text
+        assert "site-1" in response.text
+        # The run page links to its metrics.
+        page = client.get(f"/runs/{record.run_id}")
+        assert f"/runs/{record.run_id}/metrics" in page.text
+        # ETag round-trips as a 304.
+        etag = response.headers["ETag"]
+        again = client.get(f"/runs/{record.run_id}/metrics",
+                           headers={"If-None-Match": etag})
+        assert again.code == 304
+
+    def test_metrics_page_without_sidecar_explains(
+            self, registry, tmp_path):
+        record = _scraped_service_run(registry, tmp_path,
+                                      with_sidecar=False)
+        client = Client(create_app(str(registry.root)))
+        response = client.get(f"/runs/{record.run_id}/metrics")
+        assert response.code == 200
+        assert "no time-series sidecar" in response.text
+        page = client.get(f"/runs/{record.run_id}")
+        assert f"/runs/{record.run_id}/metrics" not in page.text
+
+    def test_api_query_rate_and_304(self, registry, tmp_path):
+        record = _scraped_service_run(registry, tmp_path)
+        client = Client(create_app(str(registry.root)))
+        response = client.get(
+            f"/api/runs/{record.run_id}/query",
+            query="selector=service.ops&fn=rate&window=60")
+        assert response.code == 200
+        doc = response.json()
+        assert doc["run"] == record.run_id
+        result = doc["query"]
+        assert result["format"] == "repro-tsdb-query"
+        assert result["fn"] == "rate"
+        [row] = result["results"]
+        assert row["value"] == pytest.approx(10.0)
+        assert row["labels"]["target"] == "site-1"
+        etag = response.headers["ETag"]
+        again = client.get(
+            f"/api/runs/{record.run_id}/query",
+            query="selector=service.ops&fn=rate&window=60",
+            headers={"If-None-Match": etag})
+        assert again.code == 304
+
+    def test_api_query_policy_filter(self, registry, tmp_path):
+        record = _scraped_service_run(registry, tmp_path)
+        client = Client(create_app(str(registry.root)))
+        response = client.get(
+            f"/api/runs/{record.run_id}/query",
+            query="selector=scrape.up&policy=MCV")
+        assert response.code == 200
+        assert response.json()["query"]["results"] == []
+
+    def test_api_query_requires_a_selector(self, registry, tmp_path):
+        record = _scraped_service_run(registry, tmp_path)
+        client = Client(create_app(str(registry.root)))
+        response = client.get(f"/api/runs/{record.run_id}/query")
+        assert response.code == 400
+        assert "selector" in response.json()["error"]
+
+    def test_api_query_without_sidecar_is_an_error(
+            self, registry, tmp_path):
+        record = _scraped_service_run(registry, tmp_path,
+                                      with_sidecar=False)
+        client = Client(create_app(str(registry.root)))
+        response = client.get(
+            f"/api/runs/{record.run_id}/query",
+            query="selector=service.ops")
+        assert response.code == 400
+        assert "no time-series sidecar" in response.json()["error"]
+
+    def test_metrics_of_unknown_run_is_404(self, client):
+        assert client.get("/runs/zzzzzz/metrics").code == 404
+        assert client.get("/api/runs/zzzzzz/query",
+                          query="selector=x").code == 404
